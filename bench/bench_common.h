@@ -1,0 +1,95 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench prints the corresponding paper table/figure as aligned text.
+// Scales default small enough that the full suite completes in minutes;
+// env overrides (LG_SCALE, LG_OPS, LG_CLIENTS, ...) reproduce paper-sized
+// runs when hardware/time permits.
+#ifndef LIVEGRAPH_BENCH_BENCH_COMMON_H_
+#define LIVEGRAPH_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "baselines/btree_store.h"
+#include "baselines/linked_list_store.h"
+#include "baselines/livegraph_store.h"
+#include "baselines/lsmt_store.h"
+#include "workload/linkbench.h"
+
+namespace livegraph::bench {
+
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoll(value) : fallback;
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline GraphOptions BenchGraphOptions(bool wal = false) {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 34;
+  options.max_vertices = size_t{1} << 24;
+  if (wal) {
+    options.wal_path = "/tmp/livegraph_bench_wal_" +
+                       std::to_string(::getpid()) + ".log";
+    options.fsync_wal = false;  // tmp storage; group commit path still runs
+  }
+  return options;
+}
+
+/// The three transactional contenders of Tables 3-6 (§7.1: "we compare
+/// LiveGraph with three embedded implementations ... as representatives for
+/// using B+ tree, LSMT, and linked list respectively").
+inline std::unique_ptr<GraphStore> MakeStore(const std::string& name,
+                                             PageCacheSim* pagesim = nullptr,
+                                             bool wal = false) {
+  if (name == "LiveGraph") {
+    return std::make_unique<LiveGraphStore>(BenchGraphOptions(wal), pagesim);
+  }
+  if (name == "LSMT") {
+    Lsmt::Options options;
+    options.pagesim = pagesim;
+    return std::make_unique<LsmtStore>(options);
+  }
+  if (name == "BTree") {
+    return std::make_unique<BTreeStore>(pagesim);
+  }
+  return std::make_unique<LinkedListStore>(pagesim);
+}
+
+inline void PrintLatencyRow(const char* system, const DriverResult& result) {
+  std::printf("%-12s %10.4f %10.4f %10.4f %14.0f\n", system,
+              result.overall.MeanMillis(),
+              result.overall.PercentileMillis(0.99),
+              result.overall.PercentileMillis(0.999), result.throughput());
+}
+
+inline void PrintLatencyHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-12s %10s %10s %10s %14s\n", "system", "mean(ms)", "P99(ms)",
+              "P999(ms)", "reqs/s");
+}
+
+}  // namespace livegraph::bench
+
+#endif  // LIVEGRAPH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,52 @@
+// Figure 7a: LiveGraph multi-core scalability on TAO and DFLT (paper:
+// near-ideal for TAO until physical cores exhausted; DFLT limited by WAL).
+// Figure 7b: TEL block-size distribution after the run — the power-law
+// degree distribution mapped onto power-of-2 blocks ("validating TEL's
+// buddy-system design").
+#include <map>
+
+#include "bench/linkbench_tables.h"
+
+int main() {
+  using namespace livegraph;
+  using namespace livegraph::bench;
+
+  std::printf("=== Figure 7a: LiveGraph scalability ===\n");
+  std::printf("%-8s %8s %14s %14s %10s\n", "mix", "clients", "reqs/s",
+              "ideal", "eff");
+  LiveGraphStore* dflt_store_keepalive = nullptr;
+  std::unique_ptr<GraphStore> dflt_store;
+  for (const auto& [name, mix] :
+       std::map<std::string, livegraph::LinkBenchMix>{
+           {"TAO", livegraph::TaoMix()}, {"DFLT", livegraph::DfltMix()}}) {
+    LinkBenchConfig config = DefaultLinkBenchConfig();
+    config.mix = mix;
+    config.ops_per_client = static_cast<uint64_t>(EnvInt("LG_OPS", 20'000));
+    auto store = MakeStore("LiveGraph", nullptr, /*wal=*/true);
+    vertex_t n = LoadLinkBenchGraph(store.get(), config);
+    double base_throughput = 0;
+    for (int clients : {1, 2, 4, 8, 16}) {
+      if (clients > EnvInt("LG_MAX_CLIENTS", 16)) break;
+      config.clients = clients;
+      DriverResult result = RunLinkBench(store.get(), config, n);
+      if (clients == 1) base_throughput = result.throughput();
+      double ideal = base_throughput * clients;
+      std::printf("%-8s %8d %14.0f %14.0f %9.0f%%\n", name.c_str(), clients,
+                  result.throughput(), ideal,
+                  ideal > 0 ? 100.0 * result.throughput() / ideal : 0.0);
+    }
+    if (name == "DFLT") {
+      dflt_store = std::move(store);
+      dflt_store_keepalive =
+          static_cast<LiveGraphStore*>(dflt_store.get());
+    }
+  }
+
+  std::printf("\n=== Figure 7b: TEL block size distribution ===\n");
+  std::printf("%-12s %12s\n", "bytes", "blocks");
+  for (const auto& [size, count] :
+       dflt_store_keepalive->graph().CollectTelSizeHistogram()) {
+    std::printf("%-12zu %12zu\n", size, count);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared harness for the LinkBench latency tables (3/4 in-memory, 5/6
+// out-of-core) and throughput figures.
+#ifndef LIVEGRAPH_BENCH_LINKBENCH_TABLES_H_
+#define LIVEGRAPH_BENCH_LINKBENCH_TABLES_H_
+
+#include <optional>
+
+#include "bench/bench_common.h"
+
+namespace livegraph::bench {
+
+struct TableConfig {
+  const char* title;
+  LinkBenchMix mix;
+  bool out_of_core = false;   // instrument stores with a page-cache sim
+  bool nand_profile = false;  // NAND latencies instead of Optane
+};
+
+inline LinkBenchConfig DefaultLinkBenchConfig() {
+  LinkBenchConfig config;
+  config.scale = static_cast<int>(EnvInt("LG_SCALE", 15));  // 32K vertices
+  config.clients = static_cast<int>(EnvInt("LG_CLIENTS", 8));
+  config.ops_per_client =
+      static_cast<uint64_t>(EnvInt("LG_OPS", 20'000));
+  return config;
+}
+
+inline void RunLatencyTable(const TableConfig& table) {
+  LinkBenchConfig config = DefaultLinkBenchConfig();
+  config.mix = table.mix;
+  PrintLatencyHeader(table.title);
+  for (const char* system : {"LiveGraph", "LSMT", "BTree"}) {
+    std::unique_ptr<PageCacheSim> pagesim;
+    if (table.out_of_core) {
+      // Cache sized to ~1/8 of the dataset's pages (the paper caps DRAM at
+      // ~16% of LiveGraph's footprint).
+      size_t dataset_pages =
+          (uint64_t{1} << config.scale) * 5 * (config.payload_bytes + 64) /
+          4096;
+      auto options = table.nand_profile
+                         ? PageCacheSim::Nand(dataset_pages / 8)
+                         : PageCacheSim::Optane(dataset_pages / 8);
+      pagesim = std::make_unique<PageCacheSim>(options);
+    }
+    auto store = MakeStore(system, pagesim.get(), /*wal=*/system ==
+                                                      std::string("LiveGraph"));
+    vertex_t n = LoadLinkBenchGraph(store.get(), config);
+    if (pagesim != nullptr) pagesim->ResetStats();
+    DriverResult result = RunLinkBench(store.get(), config, n);
+    PrintLatencyRow(system, result);
+  }
+}
+
+}  // namespace livegraph::bench
+
+#endif  // LIVEGRAPH_BENCH_LINKBENCH_TABLES_H_

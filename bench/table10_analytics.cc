@@ -1,0 +1,74 @@
+// Table 10: iterative analytics — PageRank (20 iters) and Connected
+// Components on the SNB person-knows subgraph, run (a) in-situ on the
+// LiveGraph snapshot and (b) on the Gemini-style CSR engine including the
+// ETL export it requires. Paper: LiveGraph reaches 58.6% / 24.6% of
+// Gemini's PageRank/ConnComp speed, but ETL alone (1520ms) dwarfs both
+// kernel times — end-to-end, in-situ wins.
+#include "analytics/conncomp.h"
+#include "analytics/etl.h"
+#include "analytics/pagerank.h"
+#include "analytics/static_engine.h"
+#include "bench/bench_common.h"
+#include "snb/datagen.h"
+
+int main() {
+  using namespace livegraph;
+  using namespace livegraph::bench;
+  using namespace livegraph::snb;
+  using livegraph::Csr;
+  using livegraph::ExportToCsr;
+  using livegraph::PageRankOptions;
+
+  DatagenOptions datagen;
+  datagen.scale_factor = EnvDouble("LG_SF", 8.0);
+  LiveGraphStore store(BenchGraphOptions());
+  SnbDataset data = GenerateSnb(&store, datagen);
+  const int threads = static_cast<int>(EnvInt("LG_THREADS", 8));
+
+  auto snapshot = store.graph().BeginReadOnlyTransaction();
+
+  PageRankOptions pr;
+  pr.threads = threads;
+
+  // In-situ on the latest snapshot: zero ETL.
+  Timer t1;
+  auto ranks = livegraph::PageRankOnSnapshot(snapshot, kKnows, pr);
+  double livegraph_pr_ms = t1.Millis();
+  Timer t2;
+  auto comps = livegraph::ConnCompOnSnapshot(snapshot, kKnows, threads);
+  double livegraph_cc_ms = t2.Millis();
+
+  // Dedicated engine: pay the export first.
+  Timer t3;
+  Csr csr = ExportToCsr(snapshot, kKnows, threads);
+  double etl_ms = t3.Millis();
+  livegraph::StaticGraphEngine engine(std::move(csr));
+  Timer t4;
+  auto engine_ranks = engine.PageRank(pr);
+  double engine_pr_ms = t4.Millis();
+  Timer t5;
+  auto engine_comps = engine.ConnComp(threads);
+  double engine_cc_ms = t5.Millis();
+
+  std::printf("=== Table 10: ETL and execution times (ms) ===\n");
+  std::printf("(knows subgraph: %zu persons, %lld edges)\n",
+              data.persons.size(),
+              static_cast<long long>(engine.csr().edge_count()));
+  std::printf("%-12s %12s %14s\n", "task", "LiveGraph", "StaticEngine");
+  std::printf("%-12s %12s %14.1f\n", "ETL", "-", etl_ms);
+  std::printf("%-12s %12.1f %14.1f\n", "PageRank", livegraph_pr_ms,
+              engine_pr_ms);
+  std::printf("%-12s %12.1f %14.1f\n", "ConnComp", livegraph_cc_ms,
+              engine_cc_ms);
+  std::printf("\nend-to-end: LiveGraph %.1f ms vs StaticEngine %.1f ms "
+              "(incl. ETL)\n", livegraph_pr_ms + livegraph_cc_ms,
+              etl_ms + engine_pr_ms + engine_cc_ms);
+  std::printf("paper shape: engine kernels faster, but ETL dominates "
+              "end-to-end\n");
+  // Keep results alive so the compiler cannot elide the computations.
+  if (ranks.size() != engine_ranks.size() || comps.size() != engine_comps.size()) {
+    std::printf("WARNING: result size mismatch\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Table 5: LinkBench TAO out-of-core latency, Optane-like and NAND-like
+// device profiles (simulated page cache; DESIGN.md substitution 3).
+// Paper shape: LiveGraph wins mean latency on both devices; RocksDB beats
+// LMDB on NAND (compression/bandwidth), LiveGraph P99 can trail RocksDB.
+#include "bench/linkbench_tables.h"
+
+int main() {
+  using namespace livegraph::bench;
+  RunLatencyTable(TableConfig{"Table 5a: TAO out of core, Optane profile",
+                              livegraph::TaoMix(), /*out_of_core=*/true,
+                              /*nand=*/false});
+  RunLatencyTable(TableConfig{"Table 5b: TAO out of core, NAND profile",
+                              livegraph::TaoMix(), /*out_of_core=*/true,
+                              /*nand=*/true});
+  return 0;
+}

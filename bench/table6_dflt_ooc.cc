@@ -1,0 +1,15 @@
+// Table 6: LinkBench DFLT out-of-core latency, both device profiles.
+// Paper shape: LiveGraph ahead of RocksDB by 1.79x (Optane) / 1.15x
+// (NAND) mean; LMDB far behind.
+#include "bench/linkbench_tables.h"
+
+int main() {
+  using namespace livegraph::bench;
+  RunLatencyTable(TableConfig{"Table 6a: DFLT out of core, Optane profile",
+                              livegraph::DfltMix(), /*out_of_core=*/true,
+                              /*nand=*/false});
+  RunLatencyTable(TableConfig{"Table 6b: DFLT out of core, NAND profile",
+                              livegraph::DfltMix(), /*out_of_core=*/true,
+                              /*nand=*/true});
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Real-time analytics dashboard (§7.4): PageRank and connected components
+// computed in-situ on the live graph's latest snapshot while updates keep
+// streaming in — no ETL, no staleness window beyond the snapshot epoch.
+#include <atomic>
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "analytics/conncomp.h"
+#include "analytics/pagerank.h"
+#include "core/graph.h"
+#include "core/transaction.h"
+#include "util/random.h"
+#include "workload/kronecker.h"
+
+int main() {
+  using namespace livegraph;
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 31;
+  options.max_vertices = 1 << 20;
+  Graph graph(options);
+
+  // Seed with a Kronecker graph (the paper's micro-benchmark generator).
+  KroneckerOptions kron;
+  kron.scale = 13;  // 8K vertices, 32K edges
+  {
+    Transaction txn = graph.BeginTransaction();
+    for (vertex_t v = 0; v < (vertex_t{1} << kron.scale); ++v) txn.AddVertex();
+    for (auto& [src, dst] : GenerateKronecker(kron)) txn.AddEdge(src, 0, dst);
+    if (txn.Commit() != Status::kOk) return 1;
+  }
+
+  // Updates keep flowing while the dashboard refreshes.
+  std::atomic<bool> stop{false};
+  std::atomic<int> updates{0};
+  std::thread writer([&] {
+    Xorshift rng(5);
+    while (!stop.load()) {
+      Transaction txn = graph.BeginTransaction();
+      auto src = static_cast<vertex_t>(rng.NextBounded(graph.VertexCount()));
+      auto dst = static_cast<vertex_t>(rng.NextBounded(graph.VertexCount()));
+      if (txn.AddEdge(src, 0, dst) == Status::kOk &&
+          txn.Commit() == Status::kOk) {
+        updates++;
+      }
+    }
+  });
+
+  PageRankOptions pr;
+  pr.threads = 8;
+  for (int refresh = 0; refresh < 3; ++refresh) {
+    ReadTransaction snapshot = graph.BeginReadOnlyTransaction();
+    auto ranks = PageRankOnSnapshot(snapshot, 0, pr);
+    auto comps = ConnCompOnSnapshot(snapshot, 0, pr.threads);
+    // Top influencer + component count at this instant.
+    size_t top = 0;
+    for (size_t v = 1; v < ranks.size(); ++v) {
+      if (ranks[v] > ranks[top]) top = v;
+    }
+    std::set<vertex_t> unique(comps.begin(), comps.end());
+    std::printf(
+        "refresh %d @epoch %lld: top vertex %zu (rank %.6f), "
+        "%zu components, %d updates ingested so far\n",
+        refresh, static_cast<long long>(snapshot.read_epoch()), top,
+        ranks[top], unique.size(), updates.load());
+  }
+  stop.store(true);
+  writer.join();
+  std::printf("analytics_dashboard OK (total updates: %d)\n", updates.load());
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "analytics/conncomp.h"
+
+#include <atomic>
+
+#include "util/thread_pool.h"
+
+namespace livegraph {
+
+namespace {
+
+/// Relaxes components across an edge until fixpoint.
+bool RelaxMin(std::vector<std::atomic<vertex_t>>& comp, vertex_t a,
+              vertex_t b) {
+  vertex_t ca = comp[static_cast<size_t>(a)].load(std::memory_order_relaxed);
+  vertex_t cb = comp[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  bool changed = false;
+  while (cb > ca) {
+    if (comp[static_cast<size_t>(b)].compare_exchange_weak(
+            cb, ca, std::memory_order_relaxed)) {
+      changed = true;
+      break;
+    }
+  }
+  while (ca > cb) {
+    if (comp[static_cast<size_t>(a)].compare_exchange_weak(
+            ca, cb, std::memory_order_relaxed)) {
+      changed = true;
+      break;
+    }
+  }
+  return changed;
+}
+
+template <typename ScanNeighbors>
+std::vector<vertex_t> ConnCompKernel(vertex_t n, int threads,
+                                     const ScanNeighbors& scan) {
+  std::vector<std::atomic<vertex_t>> comp(static_cast<size_t>(n));
+  for (vertex_t v = 0; v < n; ++v) {
+    comp[static_cast<size_t>(v)].store(v, std::memory_order_relaxed);
+  }
+  std::atomic<bool> changed{true};
+  while (changed.load(std::memory_order_relaxed)) {
+    changed.store(false, std::memory_order_relaxed);
+    ParallelFor(0, n, threads, [&](int64_t lo, int64_t hi) {
+      bool local = false;
+      for (int64_t v = lo; v < hi; ++v) {
+        scan(static_cast<vertex_t>(v), [&](vertex_t dst) {
+          local |= RelaxMin(comp, static_cast<vertex_t>(v), dst);
+        });
+      }
+      if (local) changed.store(true, std::memory_order_relaxed);
+    });
+  }
+  std::vector<vertex_t> result(static_cast<size_t>(n));
+  for (vertex_t v = 0; v < n; ++v) {
+    // Path-compress to the root label for stable output.
+    vertex_t c = comp[static_cast<size_t>(v)].load(std::memory_order_relaxed);
+    while (comp[static_cast<size_t>(c)].load(std::memory_order_relaxed) != c) {
+      c = comp[static_cast<size_t>(c)].load(std::memory_order_relaxed);
+    }
+    result[static_cast<size_t>(v)] = c;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<vertex_t> ConnCompOnSnapshot(const ReadTransaction& snapshot,
+                                         label_t label, int threads) {
+  return ConnCompKernel(snapshot.VertexCount(), threads,
+                        [&](vertex_t v, const auto& emit) {
+                          for (auto it = snapshot.GetEdges(v, label);
+                               it.Valid(); it.Next()) {
+                            emit(it.DstId());
+                          }
+                        });
+}
+
+std::vector<vertex_t> ConnCompOnCsr(const Csr& csr, int threads) {
+  return ConnCompKernel(csr.vertex_count(), threads,
+                        [&](vertex_t v, const auto& emit) {
+                          for (vertex_t dst : csr.Neighbors(v)) emit(dst);
+                        });
+}
+
+}  // namespace livegraph

@@ -1,0 +1,21 @@
+// Connected Components via label propagation — the paper's second
+// iterative workload (§7.4, Table 10: "ConnComp runs till convergence").
+// Edges are treated as undirected (both endpoints relax).
+#ifndef LIVEGRAPH_ANALYTICS_CONNCOMP_H_
+#define LIVEGRAPH_ANALYTICS_CONNCOMP_H_
+
+#include <vector>
+
+#include "baselines/csr.h"
+#include "core/transaction.h"
+
+namespace livegraph {
+
+std::vector<vertex_t> ConnCompOnSnapshot(const ReadTransaction& snapshot,
+                                         label_t label, int threads);
+
+std::vector<vertex_t> ConnCompOnCsr(const Csr& csr, int threads);
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_ANALYTICS_CONNCOMP_H_

@@ -1,0 +1,41 @@
+#include "analytics/etl.h"
+
+#include <atomic>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace livegraph {
+
+Csr ExportToCsr(const ReadTransaction& snapshot, label_t label, int threads) {
+  const vertex_t n = snapshot.VertexCount();
+  // Pass 1: degrees.
+  std::vector<std::atomic<int64_t>> degrees(static_cast<size_t>(n));
+  ParallelFor(0, n, threads, [&](int64_t lo, int64_t hi) {
+    for (int64_t v = lo; v < hi; ++v) {
+      degrees[static_cast<size_t>(v)].store(
+          static_cast<int64_t>(snapshot.CountEdges(v, label)),
+          std::memory_order_relaxed);
+    }
+  });
+  // Prefix sum (sequential: cheap relative to the scans).
+  std::vector<int64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (vertex_t v = 0; v < n; ++v) {
+    offsets[static_cast<size_t>(v) + 1] =
+        offsets[static_cast<size_t>(v)] +
+        degrees[static_cast<size_t>(v)].load(std::memory_order_relaxed);
+  }
+  // Pass 2: fill targets.
+  std::vector<vertex_t> targets(static_cast<size_t>(offsets.back()));
+  ParallelFor(0, n, threads, [&](int64_t lo, int64_t hi) {
+    for (int64_t v = lo; v < hi; ++v) {
+      int64_t cursor = offsets[static_cast<size_t>(v)];
+      for (auto it = snapshot.GetEdges(v, label); it.Valid(); it.Next()) {
+        targets[static_cast<size_t>(cursor++)] = it.DstId();
+      }
+    }
+  });
+  return Csr::Adopt(std::move(offsets), std::move(targets));
+}
+
+}  // namespace livegraph

@@ -1,0 +1,19 @@
+// ETL: export a LiveGraph snapshot to CSR — the conversion cost the paper
+// eliminates with in-situ analytics (§7.4, Table 10: "We measured this ETL
+// overhead (converting from TEL to CSR) ... to be 1520ms, greatly
+// exceeding the PageRank/ConnComp execution time").
+#ifndef LIVEGRAPH_ANALYTICS_ETL_H_
+#define LIVEGRAPH_ANALYTICS_ETL_H_
+
+#include "baselines/csr.h"
+#include "core/transaction.h"
+
+namespace livegraph {
+
+/// Builds a CSR of (snapshot, label) using `threads` workers. This is what
+/// a dedicated engine like Gemini would need before computing anything.
+Csr ExportToCsr(const ReadTransaction& snapshot, label_t label, int threads);
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_ANALYTICS_ETL_H_

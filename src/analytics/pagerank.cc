@@ -1,0 +1,92 @@
+#include "analytics/pagerank.h"
+
+#include <atomic>
+
+#include "util/thread_pool.h"
+
+namespace livegraph {
+
+namespace {
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Shared push-style kernel: `for_each_vertex(v, emit)` must call
+/// emit(dst) for every out-neighbor of v.
+template <typename ScanNeighbors>
+std::vector<double> PageRankKernel(vertex_t n,
+                                   const std::vector<int64_t>& degrees,
+                                   const PageRankOptions& options,
+                                   const ScanNeighbors& scan) {
+  std::vector<double> rank(static_cast<size_t>(n), n > 0 ? 1.0 / n : 0.0);
+  std::vector<std::atomic<double>> next(static_cast<size_t>(n));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (auto& x : next) x.store(0.0, std::memory_order_relaxed);
+    std::atomic<double> dangling_sum{0.0};
+    ParallelFor(0, n, options.threads, [&](int64_t lo, int64_t hi) {
+      double local_dangling = 0.0;
+      for (int64_t v = lo; v < hi; ++v) {
+        int64_t degree = degrees[static_cast<size_t>(v)];
+        if (degree == 0) {
+          local_dangling += rank[static_cast<size_t>(v)];
+          continue;
+        }
+        double share = rank[static_cast<size_t>(v)] / double(degree);
+        scan(static_cast<vertex_t>(v), [&](vertex_t dst) {
+          AtomicAdd(next[static_cast<size_t>(dst)], share);
+        });
+      }
+      AtomicAdd(dangling_sum, local_dangling);
+    });
+    double base = n > 0 ? (1.0 - options.damping) / n +
+                              options.damping * dangling_sum.load() / n
+                        : 0.0;
+    ParallelFor(0, n, options.threads, [&](int64_t lo, int64_t hi) {
+      for (int64_t v = lo; v < hi; ++v) {
+        rank[static_cast<size_t>(v)] =
+            base + options.damping *
+                       next[static_cast<size_t>(v)].load(
+                           std::memory_order_relaxed);
+      }
+    });
+  }
+  return rank;
+}
+
+}  // namespace
+
+std::vector<double> PageRankOnSnapshot(const ReadTransaction& snapshot,
+                                       label_t label,
+                                       const PageRankOptions& options) {
+  const vertex_t n = snapshot.VertexCount();
+  std::vector<int64_t> degrees(static_cast<size_t>(n), 0);
+  ParallelFor(0, n, options.threads, [&](int64_t lo, int64_t hi) {
+    for (int64_t v = lo; v < hi; ++v) {
+      degrees[static_cast<size_t>(v)] =
+          static_cast<int64_t>(snapshot.CountEdges(v, label));
+    }
+  });
+  return PageRankKernel(
+      n, degrees, options, [&](vertex_t v, const auto& emit) {
+        for (auto it = snapshot.GetEdges(v, label); it.Valid(); it.Next()) {
+          emit(it.DstId());
+        }
+      });
+}
+
+std::vector<double> PageRankOnCsr(const Csr& csr,
+                                  const PageRankOptions& options) {
+  const vertex_t n = csr.vertex_count();
+  std::vector<int64_t> degrees(static_cast<size_t>(n));
+  for (vertex_t v = 0; v < n; ++v) degrees[static_cast<size_t>(v)] = csr.Degree(v);
+  return PageRankKernel(n, degrees, options,
+                        [&](vertex_t v, const auto& emit) {
+                          for (vertex_t dst : csr.Neighbors(v)) emit(dst);
+                        });
+}
+
+}  // namespace livegraph

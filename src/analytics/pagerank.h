@@ -1,0 +1,32 @@
+// PageRank — the paper's first iterative analytics workload (§7.4,
+// Table 10: 20 iterations). Two front-ends over the same push-style
+// parallel kernel: in-situ on a LiveGraph snapshot (no ETL) and on CSR
+// (the Gemini-style dedicated engine).
+#ifndef LIVEGRAPH_ANALYTICS_PAGERANK_H_
+#define LIVEGRAPH_ANALYTICS_PAGERANK_H_
+
+#include <vector>
+
+#include "baselines/csr.h"
+#include "core/transaction.h"
+
+namespace livegraph {
+
+struct PageRankOptions {
+  int iterations = 20;
+  double damping = 0.85;
+  int threads = 8;
+};
+
+/// In-situ: scans TELs of the snapshot directly each iteration.
+std::vector<double> PageRankOnSnapshot(const ReadTransaction& snapshot,
+                                       label_t label,
+                                       const PageRankOptions& options);
+
+/// Static engine (CSR) version — identical math, read-optimal layout.
+std::vector<double> PageRankOnCsr(const Csr& csr,
+                                  const PageRankOptions& options);
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_ANALYTICS_PAGERANK_H_

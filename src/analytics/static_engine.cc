@@ -1,0 +1,2 @@
+// StaticGraphEngine is header-only; this TU anchors the target.
+#include "analytics/static_engine.h"

@@ -1,0 +1,35 @@
+// Gemini-style static analytics engine (§7.4): immutable CSR + parallel
+// kernels. Compared against LiveGraph's in-situ analytics in Table 10,
+// including the ETL cost of getting data into it.
+#ifndef LIVEGRAPH_ANALYTICS_STATIC_ENGINE_H_
+#define LIVEGRAPH_ANALYTICS_STATIC_ENGINE_H_
+
+#include <utility>
+#include <vector>
+
+#include "analytics/conncomp.h"
+#include "analytics/pagerank.h"
+#include "baselines/csr.h"
+
+namespace livegraph {
+
+class StaticGraphEngine {
+ public:
+  explicit StaticGraphEngine(Csr csr) : csr_(std::move(csr)) {}
+
+  const Csr& csr() const { return csr_; }
+
+  std::vector<double> PageRank(const PageRankOptions& options) const {
+    return PageRankOnCsr(csr_, options);
+  }
+  std::vector<vertex_t> ConnComp(int threads) const {
+    return ConnCompOnCsr(csr_, threads);
+  }
+
+ private:
+  Csr csr_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_ANALYTICS_STATIC_ENGINE_H_

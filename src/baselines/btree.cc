@@ -1,0 +1,225 @@
+#include "baselines/btree.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace livegraph {
+
+namespace {
+constexpr int kLeafCapacity = 64;      // ~ a 4 KiB page of edge keys
+constexpr int kInternalCapacity = 64;
+}  // namespace
+
+struct BPlusTree::Node {
+  bool is_leaf;
+  int count = 0;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BPlusTree::LeafNode : BPlusTree::Node {
+  LeafNode() : Node(true) {}
+  EdgeKey keys[kLeafCapacity];
+  std::string values[kLeafCapacity];
+  LeafNode* next = nullptr;
+};
+
+struct BPlusTree::InternalNode : BPlusTree::Node {
+  InternalNode() : Node(false) {}
+  // children[i] holds keys < keys[i]; children[count] holds the rest.
+  EdgeKey keys[kInternalCapacity];
+  Node* children[kInternalCapacity + 1] = {nullptr};
+};
+
+BPlusTree::BPlusTree(PageCacheSim* pagesim)
+    : root_(new LeafNode()), pagesim_(pagesim) {}
+
+BPlusTree::~BPlusTree() { FreeRecursive(root_); }
+
+void BPlusTree::FreeRecursive(Node* node) {
+  if (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    for (int i = 0; i <= internal->count; ++i) {
+      if (internal->children[i] != nullptr) FreeRecursive(internal->children[i]);
+    }
+    delete internal;
+  } else {
+    delete static_cast<LeafNode*>(node);
+  }
+}
+
+BPlusTree::LeafNode* BPlusTree::DescendToLeaf(const EdgeKey& key) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    if (pagesim_ != nullptr) pagesim_->Touch(node, sizeof(InternalNode), false);
+    auto* internal = static_cast<InternalNode*>(node);
+    int i = static_cast<int>(
+        std::upper_bound(internal->keys, internal->keys + internal->count,
+                         key) -
+        internal->keys);
+    node = internal->children[i];
+  }
+  if (pagesim_ != nullptr) pagesim_->Touch(node, sizeof(LeafNode), false);
+  return static_cast<LeafNode*>(node);
+}
+
+const std::string* BPlusTree::Find(const EdgeKey& key) {
+  LeafNode* leaf = DescendToLeaf(key);
+  int i = static_cast<int>(
+      std::lower_bound(leaf->keys, leaf->keys + leaf->count, key) -
+      leaf->keys);
+  if (i < leaf->count && leaf->keys[i] == key) return &leaf->values[i];
+  return nullptr;
+}
+
+bool BPlusTree::Insert(const EdgeKey& key, std::string_view value) {
+  // Iterative descent remembering the path, for bottom-up splits.
+  std::vector<std::pair<InternalNode*, int>> path;
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    int i = static_cast<int>(
+        std::upper_bound(internal->keys, internal->keys + internal->count,
+                         key) -
+        internal->keys);
+    path.emplace_back(internal, i);
+    node = internal->children[i];
+  }
+  if (pagesim_ != nullptr) pagesim_->Touch(node, sizeof(LeafNode), true);
+  auto* leaf = static_cast<LeafNode*>(node);
+  int pos = static_cast<int>(
+      std::lower_bound(leaf->keys, leaf->keys + leaf->count, key) -
+      leaf->keys);
+  if (pos < leaf->count && leaf->keys[pos] == key) {
+    leaf->values[pos].assign(value.data(), value.size());
+    return false;  // updated in place
+  }
+  // Shift and insert.
+  for (int i = leaf->count; i > pos; --i) {
+    leaf->keys[i] = leaf->keys[i - 1];
+    leaf->values[i] = std::move(leaf->values[i - 1]);
+  }
+  leaf->keys[pos] = key;
+  leaf->values[pos].assign(value.data(), value.size());
+  leaf->count++;
+  size_++;
+  if (leaf->count < kLeafCapacity) return true;
+
+  // Split the leaf; propagate upward.
+  auto* right = new LeafNode();
+  int half = leaf->count / 2;
+  right->count = leaf->count - half;
+  for (int i = 0; i < right->count; ++i) {
+    right->keys[i] = leaf->keys[half + i];
+    right->values[i] = std::move(leaf->values[half + i]);
+  }
+  leaf->count = half;
+  right->next = leaf->next;
+  leaf->next = right;
+  EdgeKey separator = right->keys[0];
+  Node* new_child = right;
+
+  while (!path.empty()) {
+    auto [parent, index] = path.back();
+    path.pop_back();
+    for (int i = parent->count; i > index; --i) {
+      parent->keys[i] = parent->keys[i - 1];
+      parent->children[i + 1] = parent->children[i];
+    }
+    parent->keys[index] = separator;
+    parent->children[index + 1] = new_child;
+    parent->count++;
+    if (parent->count < kInternalCapacity) return true;
+    // Split internal node.
+    auto* right_internal = new InternalNode();
+    int mid = parent->count / 2;
+    EdgeKey up = parent->keys[mid];
+    right_internal->count = parent->count - mid - 1;
+    for (int i = 0; i < right_internal->count; ++i) {
+      right_internal->keys[i] = parent->keys[mid + 1 + i];
+    }
+    for (int i = 0; i <= right_internal->count; ++i) {
+      right_internal->children[i] = parent->children[mid + 1 + i];
+    }
+    parent->count = mid;
+    separator = up;
+    new_child = right_internal;
+    if (path.empty()) {
+      auto* new_root = new InternalNode();
+      new_root->count = 1;
+      new_root->keys[0] = separator;
+      new_root->children[0] = root_;
+      new_root->children[1] = new_child;
+      root_ = new_root;
+      height_++;
+      return true;
+    }
+  }
+  // Root leaf split.
+  auto* new_root = new InternalNode();
+  new_root->count = 1;
+  new_root->keys[0] = separator;
+  new_root->children[0] = root_;
+  new_root->children[1] = new_child;
+  root_ = new_root;
+  height_++;
+  return true;
+}
+
+bool BPlusTree::Erase(const EdgeKey& key) {
+  LeafNode* leaf = DescendToLeaf(key);
+  if (pagesim_ != nullptr) pagesim_->Touch(leaf, sizeof(LeafNode), true);
+  int pos = static_cast<int>(
+      std::lower_bound(leaf->keys, leaf->keys + leaf->count, key) -
+      leaf->keys);
+  if (pos >= leaf->count || !(leaf->keys[pos] == key)) return false;
+  for (int i = pos; i < leaf->count - 1; ++i) {
+    leaf->keys[i] = leaf->keys[i + 1];
+    leaf->values[i] = std::move(leaf->values[i + 1]);
+  }
+  leaf->count--;
+  size_--;
+  // Lazy deletion: underflowing leaves are left sparse (no rebalance);
+  // range scans simply skip them. Documented trade-off — LinkBench's
+  // delete rate is 3% and LMDB similarly avoids eager merging.
+  return true;
+}
+
+BPlusTree::Iterator BPlusTree::LowerBound(const EdgeKey& key) {
+  LeafNode* leaf = DescendToLeaf(key);
+  int pos = static_cast<int>(
+      std::lower_bound(leaf->keys, leaf->keys + leaf->count, key) -
+      leaf->keys);
+  // Walk to the next non-empty leaf if we landed past this one's last slot
+  // (possible with lazily-deleted sparse leaves).
+  while (leaf != nullptr && pos >= leaf->count) {
+    leaf = leaf->next;
+    pos = 0;
+    if (leaf != nullptr && pagesim_ != nullptr) {
+      pagesim_->Touch(leaf, sizeof(LeafNode), false);
+    }
+  }
+  return Iterator(leaf, pos, pagesim_);
+}
+
+const EdgeKey& BPlusTree::Iterator::key() const {
+  return static_cast<LeafNode*>(leaf_)->keys[pos_];
+}
+
+const std::string& BPlusTree::Iterator::value() const {
+  return static_cast<LeafNode*>(leaf_)->values[pos_];
+}
+
+void BPlusTree::Iterator::Next() {
+  auto* leaf = static_cast<LeafNode*>(leaf_);
+  pos_++;
+  while (leaf != nullptr && pos_ >= leaf->count) {
+    leaf = leaf->next;  // random access at every leaf boundary
+    pos_ = 0;
+    if (leaf != nullptr && pagesim_ != nullptr) {
+      pagesim_->Touch(leaf, sizeof(LeafNode), false);
+    }
+  }
+  leaf_ = leaf;
+}
+
+}  // namespace livegraph

@@ -1,0 +1,86 @@
+// In-memory B+ tree over (src, label, dst) edge keys — the data-structure
+// stand-in for LMDB in the paper's comparisons (Table 1, Figure 1,
+// LinkBench tables). Edges live in "a single sorted collection ... whose
+// unique key is a <src,dest> vertex ID pair" (§2.1); an adjacency scan is a
+// range query that walks leaf links, paying a logarithmic random-access
+// seek and a random hop at every leaf boundary.
+#ifndef LIVEGRAPH_BASELINES_BTREE_H_
+#define LIVEGRAPH_BASELINES_BTREE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "baselines/paged_store.h"
+#include "util/types.h"
+
+namespace livegraph {
+
+struct EdgeKey {
+  vertex_t src;
+  label_t label;
+  vertex_t dst;
+
+  friend auto operator<=>(const EdgeKey&, const EdgeKey&) = default;
+};
+
+class BPlusTree {
+ public:
+  /// `pagesim` (optional) charges simulated I/O per node visited.
+  explicit BPlusTree(PageCacheSim* pagesim = nullptr);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Upsert. Returns true if the key was newly inserted.
+  bool Insert(const EdgeKey& key, std::string_view value);
+
+  /// Returns false if absent.
+  bool Erase(const EdgeKey& key);
+
+  /// Returns nullptr if absent; pointer valid until the next mutation.
+  const std::string* Find(const EdgeKey& key);
+
+  size_t size() const { return size_; }
+
+  /// Forward iterator positioned by LowerBound; walks leaf links.
+  class Iterator {
+   public:
+    bool Valid() const { return leaf_ != nullptr; }
+    const EdgeKey& key() const;
+    const std::string& value() const;
+    void Next();
+
+   private:
+    friend class BPlusTree;
+    Iterator(void* leaf, int pos, PageCacheSim* pagesim)
+        : leaf_(leaf), pos_(pos), pagesim_(pagesim) {}
+    void* leaf_;
+    int pos_;
+    PageCacheSim* pagesim_;
+  };
+
+  Iterator LowerBound(const EdgeKey& key);
+
+  /// Height of the tree (for tests / complexity verification).
+  int height() const { return height_; }
+
+ private:
+  struct Node;
+  struct LeafNode;
+  struct InternalNode;
+
+  void FreeRecursive(Node* node);
+  LeafNode* DescendToLeaf(const EdgeKey& key) const;
+
+  Node* root_;
+  int height_ = 1;
+  size_t size_ = 0;
+  PageCacheSim* pagesim_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_BASELINES_BTREE_H_

@@ -1,0 +1,59 @@
+// GraphStore over the B+ tree — LMDB's stand-in. Concurrency model mirrors
+// LMDB: one writer at a time, concurrent readers (shared/exclusive latch).
+// §7.2: "LMDB suffers due to B+ tree's higher insert complexity and its
+// single-threaded writes."
+#ifndef LIVEGRAPH_BASELINES_BTREE_STORE_H_
+#define LIVEGRAPH_BASELINES_BTREE_STORE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/btree.h"
+#include "baselines/store_interface.h"
+
+namespace livegraph {
+
+class BTreeStore : public GraphStore {
+ public:
+  explicit BTreeStore(PageCacheSim* pagesim = nullptr);
+
+  std::string Name() const override { return "BTree(LMDB)"; }
+
+  vertex_t AddNode(std::string_view data) override;
+  bool GetNode(vertex_t id, std::string* out) override;
+  bool UpdateNode(vertex_t id, std::string_view data) override;
+  bool DeleteNode(vertex_t id) override;
+
+  bool AddLink(vertex_t src, label_t label, vertex_t dst,
+               std::string_view data) override;
+  bool UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                  std::string_view data) override;
+  bool DeleteLink(vertex_t src, label_t label, vertex_t dst) override;
+  bool GetLink(vertex_t src, label_t label, vertex_t dst,
+               std::string* out) override;
+  size_t ScanLinks(vertex_t src, label_t label, const EdgeScanFn& fn) override;
+  size_t CountLinks(vertex_t src, label_t label) override;
+
+  std::unique_ptr<GraphReadView> OpenReadView() override;
+
+  int tree_height() const { return edges_.height(); }
+
+ private:
+  friend class BTreeViewImpl;
+
+  size_t ScanLocked(vertex_t src, label_t label, const EdgeScanFn& fn);
+
+  mutable std::shared_mutex mu_;
+  BPlusTree edges_;
+  // Nodes in a second tree keyed (id, 0, 0): LMDB-style separate "object
+  // table", same structure.
+  BPlusTree nodes_;
+  vertex_t next_node_ = 0;
+  PageCacheSim* pagesim_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_BASELINES_BTREE_STORE_H_

@@ -1,0 +1,77 @@
+// Compressed Sparse Rows — the immutable, read-optimal reference layout
+// used by static graph engines (paper §2.1 and the Gemini comparison in
+// §7.4). "It enables pure sequential adjacency list scans ... On the flip
+// side, it is immutable."
+#ifndef LIVEGRAPH_BASELINES_CSR_H_
+#define LIVEGRAPH_BASELINES_CSR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace livegraph {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from an unsorted edge list (counting sort by source).
+  static Csr FromEdges(vertex_t vertex_count,
+                       const std::vector<std::pair<vertex_t, vertex_t>>& edges) {
+    Csr csr;
+    csr.offsets_.assign(static_cast<size_t>(vertex_count) + 1, 0);
+    for (const auto& [src, dst] : edges) {
+      csr.offsets_[static_cast<size_t>(src) + 1]++;
+    }
+    for (size_t v = 1; v < csr.offsets_.size(); ++v) {
+      csr.offsets_[v] += csr.offsets_[v - 1];
+    }
+    csr.targets_.resize(edges.size());
+    std::vector<int64_t> cursor(csr.offsets_.begin(), csr.offsets_.end() - 1);
+    for (const auto& [src, dst] : edges) {
+      csr.targets_[static_cast<size_t>(cursor[static_cast<size_t>(src)]++)] =
+          dst;
+    }
+    return csr;
+  }
+
+  /// Adopts pre-built arrays (used by the snapshot -> CSR ETL path).
+  static Csr Adopt(std::vector<int64_t> offsets, std::vector<vertex_t> targets) {
+    Csr csr;
+    csr.offsets_ = std::move(offsets);
+    csr.targets_ = std::move(targets);
+    return csr;
+  }
+
+  vertex_t vertex_count() const {
+    return static_cast<vertex_t>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  int64_t edge_count() const { return static_cast<int64_t>(targets_.size()); }
+
+  int64_t Degree(vertex_t v) const {
+    return offsets_[static_cast<size_t>(v) + 1] - offsets_[static_cast<size_t>(v)];
+  }
+
+  /// O(1) seek ("the beginning of an adjacency list is stored in the
+  /// offset array", §2.1), purely sequential scan.
+  std::span<const vertex_t> Neighbors(vertex_t v) const {
+    return std::span<const vertex_t>(
+        targets_.data() + offsets_[static_cast<size_t>(v)],
+        static_cast<size_t>(Degree(v)));
+  }
+
+  const std::vector<int64_t>& offsets() const { return offsets_; }
+  const std::vector<vertex_t>& targets() const { return targets_; }
+
+ private:
+  std::vector<int64_t> offsets_;
+  std::vector<vertex_t> targets_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_BASELINES_CSR_H_

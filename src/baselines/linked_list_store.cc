@@ -1,0 +1,168 @@
+#include "baselines/linked_list_store.h"
+
+namespace livegraph {
+
+namespace {
+
+class LinkedListReadView;
+
+}  // namespace
+
+LinkedListStore::LinkedListStore(PageCacheSim* pagesim) : pagesim_(pagesim) {}
+
+vertex_t LinkedListStore::AddNode(std::string_view data) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  vertices_.push_back(Vertex{std::string(data), true, nullptr});
+  return static_cast<vertex_t>(vertices_.size() - 1);
+}
+
+bool LinkedListStore::GetNode(vertex_t id, std::string* out) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= vertices_.size() ||
+      !vertices_[static_cast<size_t>(id)].exists) {
+    return false;
+  }
+  out->assign(vertices_[static_cast<size_t>(id)].props);
+  return true;
+}
+
+bool LinkedListStore::UpdateNode(vertex_t id, std::string_view data) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= vertices_.size() ||
+      !vertices_[static_cast<size_t>(id)].exists) {
+    return false;
+  }
+  vertices_[static_cast<size_t>(id)].props.assign(data.data(), data.size());
+  return true;
+}
+
+bool LinkedListStore::DeleteNode(vertex_t id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (id < 0 || static_cast<size_t>(id) >= vertices_.size() ||
+      !vertices_[static_cast<size_t>(id)].exists) {
+    return false;
+  }
+  vertices_[static_cast<size_t>(id)].exists = false;
+  vertices_[static_cast<size_t>(id)].head = nullptr;
+  return true;
+}
+
+LinkedListStore::EdgeNode* LinkedListStore::FindNode(vertex_t src,
+                                                     label_t label,
+                                                     vertex_t dst) const {
+  if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) return nullptr;
+  // Pointer chase: every hop is a potential cache miss.
+  for (EdgeNode* node = vertices_[static_cast<size_t>(src)].head;
+       node != nullptr; node = node->next) {
+    if (pagesim_ != nullptr) pagesim_->Touch(node, sizeof(EdgeNode), false);
+    if (node->label == label && node->dst == dst) return node;
+  }
+  return nullptr;
+}
+
+bool LinkedListStore::AddLink(vertex_t src, label_t label, vertex_t dst,
+                              std::string_view data) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (EdgeNode* existing = FindNode(src, label, dst)) {
+    existing->props.assign(data.data(), data.size());
+    return false;
+  }
+  if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) return false;
+  pool_.push_back(EdgeNode{dst, label, std::string(data),
+                           vertices_[static_cast<size_t>(src)].head});
+  vertices_[static_cast<size_t>(src)].head = &pool_.back();
+  if (pagesim_ != nullptr) {
+    pagesim_->Touch(&pool_.back(), sizeof(EdgeNode), true);
+  }
+  return true;
+}
+
+bool LinkedListStore::UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                                 std::string_view data) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  EdgeNode* node = FindNode(src, label, dst);
+  if (node == nullptr) return false;
+  node->props.assign(data.data(), data.size());
+  return true;
+}
+
+bool LinkedListStore::DeleteLink(vertex_t src, label_t label, vertex_t dst) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) return false;
+  EdgeNode** slot = &vertices_[static_cast<size_t>(src)].head;
+  while (*slot != nullptr) {
+    if ((*slot)->label == label && (*slot)->dst == dst) {
+      *slot = (*slot)->next;  // node leaks into the pool; freed at destruct
+      return true;
+    }
+    slot = &(*slot)->next;
+  }
+  return false;
+}
+
+bool LinkedListStore::GetLink(vertex_t src, label_t label, vertex_t dst,
+                              std::string* out) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  EdgeNode* node = FindNode(src, label, dst);
+  if (node == nullptr) return false;
+  out->assign(node->props);
+  return true;
+}
+
+size_t LinkedListStore::ScanLinks(vertex_t src, label_t label,
+                                  const EdgeScanFn& fn) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) return 0;
+  size_t visited = 0;
+  for (EdgeNode* node = vertices_[static_cast<size_t>(src)].head;
+       node != nullptr; node = node->next) {
+    if (pagesim_ != nullptr) pagesim_->Touch(node, sizeof(EdgeNode), false);
+    if (node->label != label) continue;
+    visited++;
+    if (!fn(node->dst, node->props)) break;
+  }
+  return visited;
+}
+
+size_t LinkedListStore::CountLinks(vertex_t src, label_t label) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) return 0;
+  size_t count = 0;
+  for (EdgeNode* node = vertices_[static_cast<size_t>(src)].head;
+       node != nullptr; node = node->next) {
+    if (node->label == label) count++;
+  }
+  return count;
+}
+
+namespace {
+
+class LinkedListViewImpl : public GraphReadView {
+ public:
+  explicit LinkedListViewImpl(LinkedListStore* store) : store_(store) {}
+  bool GetNode(vertex_t id, std::string* out) const override {
+    return store_->GetNode(id, out);
+  }
+  bool GetLink(vertex_t src, label_t label, vertex_t dst,
+               std::string* out) const override {
+    return store_->GetLink(src, label, dst, out);
+  }
+  size_t ScanLinks(vertex_t src, label_t label,
+                   const EdgeScanFn& fn) const override {
+    return store_->ScanLinks(src, label, fn);
+  }
+  size_t CountLinks(vertex_t src, label_t label) const override {
+    return store_->CountLinks(src, label);
+  }
+
+ private:
+  LinkedListStore* store_;
+};
+
+}  // namespace
+
+std::unique_ptr<GraphReadView> LinkedListStore::OpenReadView() {
+  return std::make_unique<LinkedListViewImpl>(this);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,69 @@
+// Per-vertex linked-list adjacency storage — the paper's stand-in for
+// Neo4j ("we ... implement an efficient in-memory linked list prototype in
+// C++ rather than running Neo4j on a managed language", §2.1). Nodes for
+// different vertices interleave in the allocation pool, so traversing one
+// list chases pointers across scattered cache lines: the all-random row of
+// Table 1.
+#ifndef LIVEGRAPH_BASELINES_LINKED_LIST_STORE_H_
+#define LIVEGRAPH_BASELINES_LINKED_LIST_STORE_H_
+
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/paged_store.h"
+#include "baselines/store_interface.h"
+
+namespace livegraph {
+
+class LinkedListStore : public GraphStore {
+ public:
+  explicit LinkedListStore(PageCacheSim* pagesim = nullptr);
+
+  std::string Name() const override { return "LinkedList"; }
+
+  vertex_t AddNode(std::string_view data) override;
+  bool GetNode(vertex_t id, std::string* out) override;
+  bool UpdateNode(vertex_t id, std::string_view data) override;
+  bool DeleteNode(vertex_t id) override;
+
+  bool AddLink(vertex_t src, label_t label, vertex_t dst,
+               std::string_view data) override;
+  bool UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                  std::string_view data) override;
+  bool DeleteLink(vertex_t src, label_t label, vertex_t dst) override;
+  bool GetLink(vertex_t src, label_t label, vertex_t dst,
+               std::string* out) override;
+  size_t ScanLinks(vertex_t src, label_t label, const EdgeScanFn& fn) override;
+  size_t CountLinks(vertex_t src, label_t label) override;
+
+  std::unique_ptr<GraphReadView> OpenReadView() override;
+
+ private:
+  friend class LinkedListReadView;
+
+  struct EdgeNode {
+    vertex_t dst;
+    label_t label;
+    std::string props;
+    EdgeNode* next;
+  };
+  struct Vertex {
+    std::string props;
+    bool exists = false;
+    EdgeNode* head = nullptr;  // newest first (prepend on insert)
+  };
+
+  EdgeNode* FindNode(vertex_t src, label_t label, vertex_t dst) const;
+
+  mutable std::shared_mutex mu_;
+  std::vector<Vertex> vertices_;
+  std::deque<EdgeNode> pool_;  // interleaved allocation across vertices
+  PageCacheSim* pagesim_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_BASELINES_LINKED_LIST_STORE_H_

@@ -1,0 +1,186 @@
+#include "baselines/livegraph_store.h"
+
+namespace livegraph {
+
+LiveGraphStore::LiveGraphStore(GraphOptions options, PageCacheSim* pagesim)
+    : graph_(std::make_unique<Graph>(std::move(options))), pagesim_(pagesim) {}
+
+vertex_t LiveGraphStore::AddNode(std::string_view data) {
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    auto txn = graph_->BeginTransaction();
+    vertex_t id = txn.AddVertex(data);
+    if (id == kNullVertex) continue;
+    if (txn.Commit() == Status::kOk) return id;
+  }
+  return kNullVertex;
+}
+
+bool LiveGraphStore::GetNode(vertex_t id, std::string* out) {
+  auto txn = graph_->BeginReadOnlyTransaction();
+  auto props = txn.GetVertex(id);
+  if (!props.has_value()) return false;
+  if (pagesim_ != nullptr) {
+    pagesim_->Touch(props->data(), props->size() + sizeof(VertexHeader),
+                    false);
+  }
+  out->assign(*props);
+  return true;
+}
+
+bool LiveGraphStore::UpdateNode(vertex_t id, std::string_view data) {
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    auto txn = graph_->BeginTransaction();
+    // LinkBench UPDATE_NODE only touches live nodes: tombstoned or
+    // never-written IDs must fail rather than resurrect.
+    if (!txn.GetVertex(id).has_value()) return false;
+    Status st = txn.PutVertex(id, data);
+    if (st == Status::kNotFound) return false;
+    if (st != Status::kOk) continue;  // conflict/timeout: retry
+    if (txn.Commit() == Status::kOk) {
+      if (pagesim_ != nullptr) {
+        pagesim_->Touch(data.data(), data.size() + sizeof(VertexHeader), true);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LiveGraphStore::DeleteNode(vertex_t id) {
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    auto txn = graph_->BeginTransaction();
+    if (!txn.GetVertex(id).has_value()) return false;
+    Status st = txn.DeleteVertex(id);
+    if (st == Status::kNotFound) return false;
+    if (st != Status::kOk) continue;
+    if (txn.Commit() == Status::kOk) return true;
+  }
+  return false;
+}
+
+bool LiveGraphStore::AddLink(vertex_t src, label_t label, vertex_t dst,
+                             std::string_view data) {
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    auto txn = graph_->BeginTransaction();
+    // "Upsert" semantics: report whether this was a true insertion. The
+    // existence probe is Bloom-filter-fast for true inserts (§4).
+    bool existed = txn.GetEdge(src, label, dst).has_value();
+    Status st = txn.AddEdge(src, label, dst, data);
+    if (st == Status::kNotFound) return false;
+    if (st != Status::kOk) continue;
+    if (txn.Commit() == Status::kOk) {
+      if (pagesim_ != nullptr) {
+        pagesim_->Touch(data.data(), data.size() + sizeof(EdgeEntry), true);
+      }
+      return !existed;
+    }
+  }
+  return false;
+}
+
+bool LiveGraphStore::UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                                std::string_view data) {
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    auto txn = graph_->BeginTransaction();
+    if (!txn.GetEdge(src, label, dst).has_value()) return false;
+    Status st = txn.AddEdge(src, label, dst, data);
+    if (st != Status::kOk) continue;
+    if (txn.Commit() == Status::kOk) return true;
+  }
+  return false;
+}
+
+bool LiveGraphStore::DeleteLink(vertex_t src, label_t label, vertex_t dst) {
+  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
+    auto txn = graph_->BeginTransaction();
+    Status st = txn.DeleteEdge(src, label, dst);
+    if (st == Status::kNotFound) return false;
+    if (st != Status::kOk) continue;
+    if (txn.Commit() == Status::kOk) return true;
+  }
+  return false;
+}
+
+bool LiveGraphStore::GetLink(vertex_t src, label_t label, vertex_t dst,
+                             std::string* out) {
+  auto txn = graph_->BeginReadOnlyTransaction();
+  auto props = txn.GetEdge(src, label, dst);
+  if (!props.has_value()) return false;
+  if (pagesim_ != nullptr) {
+    pagesim_->Touch(props->data(), props->size() + sizeof(EdgeEntry), false);
+  }
+  out->assign(*props);
+  return true;
+}
+
+namespace {
+
+size_t ScanWith(const ReadTransaction& txn, PageCacheSim* pagesim,
+                vertex_t src, label_t label, const EdgeScanFn& fn) {
+  size_t visited = 0;
+  auto it = txn.GetEdges(src, label);
+  if (pagesim != nullptr && it.Valid()) {
+    auto [addr, bytes] = it.ScanSpan();
+    pagesim->Touch(addr, bytes, false);
+  }
+  for (; it.Valid(); it.Next()) {
+    visited++;
+    if (!fn(it.DstId(), it.Properties())) break;
+  }
+  return visited;
+}
+
+}  // namespace
+
+size_t LiveGraphStore::ScanLinks(vertex_t src, label_t label,
+                                 const EdgeScanFn& fn) {
+  auto txn = graph_->BeginReadOnlyTransaction();
+  return ScanWith(txn, pagesim_, src, label, fn);
+}
+
+size_t LiveGraphStore::CountLinks(vertex_t src, label_t label) {
+  auto txn = graph_->BeginReadOnlyTransaction();
+  return txn.CountEdges(src, label);
+}
+
+namespace {
+
+/// MVCC snapshot view: readers never block writers and vice versa (§5).
+class LiveGraphViewImpl : public GraphReadView {
+ public:
+  LiveGraphViewImpl(Graph* graph, PageCacheSim* pagesim)
+      : txn_(graph->BeginReadOnlyTransaction()), pagesim_(pagesim) {}
+
+  bool GetNode(vertex_t id, std::string* out) const override {
+    auto props = txn_.GetVertex(id);
+    if (!props.has_value()) return false;
+    out->assign(*props);
+    return true;
+  }
+  bool GetLink(vertex_t src, label_t label, vertex_t dst,
+               std::string* out) const override {
+    auto props = txn_.GetEdge(src, label, dst);
+    if (!props.has_value()) return false;
+    out->assign(*props);
+    return true;
+  }
+  size_t ScanLinks(vertex_t src, label_t label,
+                   const EdgeScanFn& fn) const override {
+    return ScanWith(txn_, pagesim_, src, label, fn);
+  }
+  size_t CountLinks(vertex_t src, label_t label) const override {
+    return txn_.CountEdges(src, label);
+  }
+
+ private:
+  ReadTransaction txn_;
+  PageCacheSim* pagesim_;
+};
+
+}  // namespace
+
+std::unique_ptr<GraphReadView> LiveGraphStore::OpenReadView() {
+  return std::make_unique<LiveGraphViewImpl>(graph_.get(), pagesim_);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,52 @@
+// GraphStore adapter over the LiveGraph engine: each operation is one
+// (auto-commit) transaction, with bounded retry on conflicts — the way the
+// paper's LinkBench harness drives the embedded stores (§7.1).
+#ifndef LIVEGRAPH_BASELINES_LIVEGRAPH_STORE_H_
+#define LIVEGRAPH_BASELINES_LIVEGRAPH_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/paged_store.h"
+#include "baselines/store_interface.h"
+#include "core/graph.h"
+#include "core/transaction.h"
+
+namespace livegraph {
+
+class LiveGraphStore : public GraphStore {
+ public:
+  explicit LiveGraphStore(GraphOptions options = {},
+                          PageCacheSim* pagesim = nullptr);
+
+  std::string Name() const override { return "LiveGraph"; }
+
+  vertex_t AddNode(std::string_view data) override;
+  bool GetNode(vertex_t id, std::string* out) override;
+  bool UpdateNode(vertex_t id, std::string_view data) override;
+  bool DeleteNode(vertex_t id) override;
+
+  bool AddLink(vertex_t src, label_t label, vertex_t dst,
+               std::string_view data) override;
+  bool UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                  std::string_view data) override;
+  bool DeleteLink(vertex_t src, label_t label, vertex_t dst) override;
+  bool GetLink(vertex_t src, label_t label, vertex_t dst,
+               std::string* out) override;
+  size_t ScanLinks(vertex_t src, label_t label, const EdgeScanFn& fn) override;
+  size_t CountLinks(vertex_t src, label_t label) override;
+
+  std::unique_ptr<GraphReadView> OpenReadView() override;
+
+  Graph& graph() { return *graph_; }
+
+ private:
+  static constexpr int kMaxRetries = 32;
+
+  std::unique_ptr<Graph> graph_;
+  PageCacheSim* pagesim_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_BASELINES_LIVEGRAPH_STORE_H_

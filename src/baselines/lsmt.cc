@@ -1,0 +1,307 @@
+#include "baselines/lsmt.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+namespace livegraph {
+
+namespace {
+
+// Ordering inside the LSMT: key ascending, then sequence DESCENDING so the
+// newest version of a key is encountered first in any forward walk.
+bool OrderedBefore(const EdgeKey& a, uint64_t seq_a, const EdgeKey& b,
+                   uint64_t seq_b) {
+  if (a != b) return a < b;
+  return seq_a > seq_b;
+}
+
+}  // namespace
+
+Lsmt::Lsmt() : Lsmt(Options()) {}
+
+Lsmt::Lsmt(Options options) : options_(options) {
+  head_ = NewNode(EdgeKey{INT64_MIN, 0, INT64_MIN}, ~uint64_t{0}, false, {},
+                  kMaxHeight);
+}
+
+Lsmt::~Lsmt() {
+  for (SkipNode* node : all_nodes_) {
+    node->~SkipNode();
+    ::free(node);
+  }
+}
+
+Lsmt::SkipNode* Lsmt::NewNode(const EdgeKey& key, uint64_t seq,
+                              bool tombstone, std::string_view value,
+                              int height) {
+  size_t bytes =
+      sizeof(SkipNode) + sizeof(std::atomic<SkipNode*>) * (height - 1);
+  void* mem = ::malloc(bytes);
+  auto* node = new (mem) SkipNode{key, seq, tombstone,
+                                  std::string(value), height, {}};
+  for (int i = 0; i < height; ++i) {
+    node->next[i].store(nullptr, std::memory_order_relaxed);
+  }
+  all_nodes_.push_back(node);
+  return node;
+}
+
+Lsmt::SkipNode* Lsmt::SkipLowerBound(const EdgeKey& key) const {
+  // Tower walk: the logarithmic chain of random accesses that makes LSMT
+  // seeks expensive (Figure 1a).
+  SkipNode* node = head_;
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    while (true) {
+      SkipNode* next = node->next[level].load(std::memory_order_acquire);
+      if (next == nullptr || !OrderedBefore(next->key, next->seq, key, ~uint64_t{0})) {
+        break;
+      }
+      if (options_.pagesim != nullptr) {
+        options_.pagesim->Touch(next, sizeof(SkipNode), false);
+      }
+      node = next;
+    }
+  }
+  return node->next[0].load(std::memory_order_acquire);
+}
+
+void Lsmt::InsertIntoMemtable(const EdgeKey& key, bool tombstone,
+                              std::string_view value) {
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int height = 1;
+  while (height < kMaxHeight && (height_rng_.Next() & 3) == 0) height++;
+  SkipNode* node = NewNode(key, seq, tombstone, value, height);
+  if (options_.pagesim != nullptr) {
+    options_.pagesim->Touch(node, sizeof(SkipNode), true);
+  }
+  SkipNode* prev[kMaxHeight];
+  SkipNode* cursor = head_;
+  for (int level = kMaxHeight - 1; level >= 0; --level) {
+    while (true) {
+      SkipNode* next = cursor->next[level].load(std::memory_order_acquire);
+      if (next == nullptr ||
+          !OrderedBefore(next->key, next->seq, key, seq)) {
+        break;
+      }
+      cursor = next;
+    }
+    prev[level] = cursor;
+  }
+  for (int level = 0; level < height; ++level) {
+    node->next[level].store(prev[level]->next[level].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    prev[level]->next[level].store(node, std::memory_order_release);
+  }
+  memtable_bytes_used_ += sizeof(SkipNode) + value.size();
+  memtable_count_++;
+}
+
+void Lsmt::MaybeFlushLocked() {
+  if (memtable_bytes_used_ < options_.memtable_bytes) return;
+  // Drain the memtable into a sorted immutable run ("dumping sorted blocks
+  // of data sequentially", §7.2).
+  auto run = std::make_shared<Run>();
+  run->reserve(memtable_count_);
+  for (SkipNode* node = head_->next[0].load(std::memory_order_acquire);
+       node != nullptr; node = node->next[0].load(std::memory_order_acquire)) {
+    run->push_back(RunItem{node->key, node->seq, node->tombstone, node->value});
+  }
+  if (options_.pagesim != nullptr) {
+    options_.pagesim->SequentialWrite(memtable_bytes_used_);
+  }
+  runs_.insert(runs_.begin(), std::move(run));
+  // Reset the memtable (nodes stay owned by all_nodes_ until destruction;
+  // simpler than refcounting and irrelevant to measured behaviour).
+  for (int level = 0; level < kMaxHeight; ++level) {
+    head_->next[level].store(nullptr, std::memory_order_release);
+  }
+  memtable_bytes_used_ = 0;
+  memtable_count_ = 0;
+  if (runs_.size() > options_.max_runs) CompactLocked();
+}
+
+void Lsmt::CompactLocked() {
+  // Size-tiered full merge: newest version per key survives; tombstones
+  // drop once merged to the bottom.
+  auto merged = std::make_shared<Run>();
+  std::vector<size_t> cursors(runs_.size(), 0);
+  size_t total_bytes = 0;
+  while (true) {
+    int best = -1;
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      if (cursors[r] >= runs_[r]->size()) continue;
+      const RunItem& item = (*runs_[r])[cursors[r]];
+      if (best < 0) {
+        best = static_cast<int>(r);
+        continue;
+      }
+      const RunItem& current = (*runs_[static_cast<size_t>(best)])
+          [cursors[static_cast<size_t>(best)]];
+      if (OrderedBefore(item.key, item.seq, current.key, current.seq)) {
+        best = static_cast<int>(r);
+      }
+    }
+    if (best < 0) break;
+    RunItem& item = (*runs_[static_cast<size_t>(best)])
+        [cursors[static_cast<size_t>(best)]++];
+    if (!merged->empty() && merged->back().key == item.key) continue;  // older
+    if (item.tombstone) {
+      // Remember the tombstone long enough to suppress older versions in
+      // this same merge, then drop it.
+      merged->push_back(item);
+      continue;
+    }
+    merged->push_back(std::move(item));
+    total_bytes += merged->back().value.size() + sizeof(RunItem);
+  }
+  // Strip tombstones (full merge == bottom level).
+  merged->erase(std::remove_if(merged->begin(), merged->end(),
+                               [](const RunItem& i) { return i.tombstone; }),
+                merged->end());
+  if (options_.pagesim != nullptr) {
+    options_.pagesim->SequentialWrite(total_bytes);
+  }
+  runs_.clear();
+  runs_.push_back(std::move(merged));
+}
+
+bool Lsmt::Put(const EdgeKey& key, std::string_view value) {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  std::string unused;
+  bool existed = Lookup(key, &unused) == 1;
+  InsertIntoMemtable(key, false, value);
+  MaybeFlushLocked();
+  return !existed;
+}
+
+bool Lsmt::Delete(const EdgeKey& key) {
+  std::unique_lock<std::shared_mutex> lock(rw_mu_);
+  std::string unused;
+  if (Lookup(key, &unused) != 1) return false;
+  InsertIntoMemtable(key, true, {});
+  MaybeFlushLocked();
+  return true;
+}
+
+int Lsmt::Lookup(const EdgeKey& key, std::string* out) {
+  // Memtable first (newest), then runs newest-to-oldest.
+  SkipNode* node = SkipLowerBound(key);
+  if (node != nullptr && node->key == key) {
+    if (node->tombstone) return 2;
+    out->assign(node->value);
+    return 1;
+  }
+  for (const auto& run : runs_) {
+    auto it = std::lower_bound(
+        run->begin(), run->end(), key, [](const RunItem& item, const EdgeKey& k) {
+          return item.key < k;  // first version of k is the newest (seq desc)
+        });
+    if (options_.pagesim != nullptr && !run->empty()) {
+      options_.pagesim->Touch(&(*run)[0] + (it - run->begin()),
+                              sizeof(RunItem), false);
+    }
+    if (it != run->end() && it->key == key) {
+      if (it->tombstone) return 2;
+      out->assign(it->value);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+bool Lsmt::Get(const EdgeKey& key, std::string* out) {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  return Lookup(key, out) == 1;
+}
+
+size_t Lsmt::Scan(
+    const EdgeKey& lower, const EdgeKey& upper,
+    const std::function<bool(const EdgeKey&, std::string_view)>& fn) {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  // K-way merge across memtable + all runs: "LSMTs require scanning SST
+  // tables also for scans because ... only the first component of the edge
+  // key is known" (§2.1).
+  struct Cursor {
+    const RunItem* item;  // nullptr => memtable cursor
+    SkipNode* node;
+    size_t index;
+    size_t run;
+  };
+  SkipNode* mem_cursor = SkipLowerBound(lower);
+  std::vector<std::pair<size_t, size_t>> run_cursors;  // (run, index)
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    auto it = std::lower_bound(
+        runs_[r]->begin(), runs_[r]->end(), lower,
+        [](const RunItem& item, const EdgeKey& k) { return item.key < k; });
+    run_cursors.emplace_back(r, static_cast<size_t>(it - runs_[r]->begin()));
+  }
+  size_t visited = 0;
+  EdgeKey last_emitted{INT64_MIN, 0, INT64_MIN};
+  bool emitted_any = false;
+  while (true) {
+    // Pick the smallest (key, seq desc) among memtable + runs.
+    const EdgeKey* best_key = nullptr;
+    uint64_t best_seq = 0;
+    int best_source = -1;  // -1 none, 0 memtable, 1+r run r
+    if (mem_cursor != nullptr && mem_cursor->key < upper) {
+      best_key = &mem_cursor->key;
+      best_seq = mem_cursor->seq;
+      best_source = 0;
+    }
+    for (auto& [r, idx] : run_cursors) {
+      if (idx >= runs_[r]->size()) continue;
+      const RunItem& item = (*runs_[r])[idx];
+      if (!(item.key < upper)) continue;
+      if (best_source < 0 ||
+          OrderedBefore(item.key, item.seq, *best_key, best_seq)) {
+        best_key = &item.key;
+        best_seq = item.seq;
+        best_source = static_cast<int>(r) + 1;
+      }
+    }
+    if (best_source < 0) break;
+    EdgeKey key;
+    bool tombstone;
+    std::string_view value;
+    if (best_source == 0) {
+      key = mem_cursor->key;
+      tombstone = mem_cursor->tombstone;
+      value = mem_cursor->value;
+      if (options_.pagesim != nullptr) {
+        options_.pagesim->Touch(mem_cursor, sizeof(SkipNode), false);
+      }
+      mem_cursor = mem_cursor->next[0].load(std::memory_order_acquire);
+    } else {
+      auto& [r, idx] = run_cursors[static_cast<size_t>(best_source - 1)];
+      const RunItem& item = (*runs_[r])[idx++];
+      key = item.key;
+      tombstone = item.tombstone;
+      value = item.value;
+      if (options_.pagesim != nullptr) {
+        options_.pagesim->Touch(&item, sizeof(RunItem) + item.value.size(),
+                                false);
+      }
+    }
+    if (emitted_any && key == last_emitted) continue;  // older version
+    last_emitted = key;
+    emitted_any = true;
+    if (tombstone) continue;
+    visited++;
+    if (!fn(key, value)) break;
+  }
+  return visited;
+}
+
+size_t Lsmt::run_count() const {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  return runs_.size();
+}
+
+size_t Lsmt::memtable_entries() const {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  return memtable_count_;
+}
+
+}  // namespace livegraph

@@ -1,0 +1,105 @@
+// Log-Structured Merge-Tree over (src, label, dst) edge keys — the
+// data-structure stand-in for RocksDB (§2.1, §7). A skip list serves as
+// memtable ("RocksDB's implementation of LSMTs uses a skip list as
+// memtable"); full memtables flush to immutable sorted runs; reads merge
+// memtable + runs newest-first with tombstone suppression; size-tiered
+// compaction merges runs when they pile up. Seeks pay the skip-list tower
+// walk plus a binary search per run; scans pay a k-way merge across runs —
+// the "sequential with random" row of Table 1.
+#ifndef LIVEGRAPH_BASELINES_LSMT_H_
+#define LIVEGRAPH_BASELINES_LSMT_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/btree.h"  // EdgeKey
+#include "baselines/paged_store.h"
+#include "util/random.h"
+
+namespace livegraph {
+
+class Lsmt {
+ public:
+  struct Options {
+    /// Memtable flush threshold in bytes (RocksDB default: 64 MiB; scaled
+    /// down so benchmark-scale datasets actually exercise runs).
+    size_t memtable_bytes = 4 << 20;
+    /// Size-tiered compaction trigger.
+    size_t max_runs = 8;
+    PageCacheSim* pagesim = nullptr;
+  };
+
+  Lsmt();  // default options
+  explicit Lsmt(Options options);
+  ~Lsmt();
+
+  Lsmt(const Lsmt&) = delete;
+  Lsmt& operator=(const Lsmt&) = delete;
+
+  /// Upsert. Returns true if the key was not previously present.
+  bool Put(const EdgeKey& key, std::string_view value);
+  /// Returns false if absent (checked via Get, as RocksDB's Delete+Get
+  /// upsert emulation in LinkBench does).
+  bool Delete(const EdgeKey& key);
+  bool Get(const EdgeKey& key, std::string* out);
+
+  /// Merged scan over [lower, upper): newest version per key wins,
+  /// tombstones suppress. Callback returns false to stop.
+  size_t Scan(const EdgeKey& lower, const EdgeKey& upper,
+              const std::function<bool(const EdgeKey&, std::string_view)>& fn);
+
+  size_t run_count() const;
+  size_t memtable_entries() const;
+
+ private:
+  struct SkipNode {
+    EdgeKey key;
+    uint64_t seq;  // global sequence; newest wins
+    bool tombstone;
+    std::string value;
+    int height;
+    std::atomic<SkipNode*> next[1];  // flexible towers
+  };
+
+  struct RunItem {
+    EdgeKey key;
+    uint64_t seq;
+    bool tombstone;
+    std::string value;
+  };
+  using Run = std::vector<RunItem>;
+
+  static constexpr int kMaxHeight = 16;
+
+  SkipNode* NewNode(const EdgeKey& key, uint64_t seq, bool tombstone,
+                    std::string_view value, int height);
+  /// Finds the first node with (key, seq) >= target ordering.
+  SkipNode* SkipLowerBound(const EdgeKey& key) const;
+  void InsertIntoMemtable(const EdgeKey& key, bool tombstone,
+                          std::string_view value);
+  void MaybeFlushLocked();
+  void CompactLocked();
+  /// Newest visible version of key, searching memtable then runs. Returns
+  /// 0 = absent, 1 = present (value in *out), 2 = tombstoned.
+  int Lookup(const EdgeKey& key, std::string* out);
+
+  Options options_;
+  mutable std::shared_mutex rw_mu_;  // writers exclusive, readers shared
+  SkipNode* head_;
+  std::atomic<uint64_t> seq_{0};
+  size_t memtable_bytes_used_ = 0;
+  size_t memtable_count_ = 0;
+  std::vector<std::shared_ptr<Run>> runs_;  // newest first
+  std::vector<SkipNode*> all_nodes_;        // ownership, freed on destruct
+  Xorshift height_rng_{0xC0FFEE};
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_BASELINES_LSMT_H_

@@ -1,0 +1,104 @@
+#include "baselines/lsmt_store.h"
+
+namespace livegraph {
+
+namespace {
+EdgeKey NodeKey(vertex_t id) { return EdgeKey{id, 0, 0}; }
+}  // namespace
+
+LsmtStore::LsmtStore() : LsmtStore(Lsmt::Options()) {}
+
+LsmtStore::LsmtStore(Lsmt::Options options)
+    : edges_(options), nodes_(options) {}
+
+vertex_t LsmtStore::AddNode(std::string_view data) {
+  vertex_t id = next_node_.fetch_add(1, std::memory_order_relaxed);
+  nodes_.Put(NodeKey(id), data);
+  return id;
+}
+
+bool LsmtStore::GetNode(vertex_t id, std::string* out) {
+  return nodes_.Get(NodeKey(id), out);
+}
+
+bool LsmtStore::UpdateNode(vertex_t id, std::string_view data) {
+  std::string unused;
+  if (!nodes_.Get(NodeKey(id), &unused)) return false;
+  nodes_.Put(NodeKey(id), data);
+  return true;
+}
+
+bool LsmtStore::DeleteNode(vertex_t id) { return nodes_.Delete(NodeKey(id)); }
+
+bool LsmtStore::AddLink(vertex_t src, label_t label, vertex_t dst,
+                        std::string_view data) {
+  return edges_.Put(EdgeKey{src, label, dst}, data);
+}
+
+bool LsmtStore::UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                           std::string_view data) {
+  std::string unused;
+  if (!edges_.Get(EdgeKey{src, label, dst}, &unused)) return false;
+  edges_.Put(EdgeKey{src, label, dst}, data);
+  return true;
+}
+
+bool LsmtStore::DeleteLink(vertex_t src, label_t label, vertex_t dst) {
+  return edges_.Delete(EdgeKey{src, label, dst});
+}
+
+bool LsmtStore::GetLink(vertex_t src, label_t label, vertex_t dst,
+                        std::string* out) {
+  return edges_.Get(EdgeKey{src, label, dst}, out);
+}
+
+size_t LsmtStore::ScanLinks(vertex_t src, label_t label,
+                            const EdgeScanFn& fn) {
+  EdgeKey lower{src, label, std::numeric_limits<vertex_t>::min()};
+  EdgeKey upper{src, static_cast<label_t>(label + 1),
+                std::numeric_limits<vertex_t>::min()};
+  if (label == std::numeric_limits<label_t>::max()) {
+    upper = EdgeKey{src + 1, 0, std::numeric_limits<vertex_t>::min()};
+  }
+  return edges_.Scan(lower, upper,
+                     [&fn](const EdgeKey& key, std::string_view value) {
+                       return fn(key.dst, value);
+                     });
+}
+
+size_t LsmtStore::CountLinks(vertex_t src, label_t label) {
+  return ScanLinks(src, label,
+                   [](vertex_t, std::string_view) { return true; });
+}
+
+namespace {
+
+class LsmtViewImpl : public GraphReadView {
+ public:
+  explicit LsmtViewImpl(LsmtStore* store) : store_(store) {}
+  bool GetNode(vertex_t id, std::string* out) const override {
+    return store_->GetNode(id, out);
+  }
+  bool GetLink(vertex_t src, label_t label, vertex_t dst,
+               std::string* out) const override {
+    return store_->GetLink(src, label, dst, out);
+  }
+  size_t ScanLinks(vertex_t src, label_t label,
+                   const EdgeScanFn& fn) const override {
+    return store_->ScanLinks(src, label, fn);
+  }
+  size_t CountLinks(vertex_t src, label_t label) const override {
+    return store_->CountLinks(src, label);
+  }
+
+ private:
+  LsmtStore* store_;
+};
+
+}  // namespace
+
+std::unique_ptr<GraphReadView> LsmtStore::OpenReadView() {
+  return std::make_unique<LsmtViewImpl>(this);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,50 @@
+// GraphStore over the LSM-tree — RocksDB's stand-in (§7.1: "RocksDB ...
+// as representative for ... LSMT").
+#ifndef LIVEGRAPH_BASELINES_LSMT_STORE_H_
+#define LIVEGRAPH_BASELINES_LSMT_STORE_H_
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "baselines/lsmt.h"
+#include "baselines/store_interface.h"
+
+namespace livegraph {
+
+class LsmtStore : public GraphStore {
+ public:
+  LsmtStore();
+  explicit LsmtStore(Lsmt::Options options);
+
+  std::string Name() const override { return "LSMT(RocksDB)"; }
+
+  vertex_t AddNode(std::string_view data) override;
+  bool GetNode(vertex_t id, std::string* out) override;
+  bool UpdateNode(vertex_t id, std::string_view data) override;
+  bool DeleteNode(vertex_t id) override;
+
+  bool AddLink(vertex_t src, label_t label, vertex_t dst,
+               std::string_view data) override;
+  bool UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                  std::string_view data) override;
+  bool DeleteLink(vertex_t src, label_t label, vertex_t dst) override;
+  bool GetLink(vertex_t src, label_t label, vertex_t dst,
+               std::string* out) override;
+  size_t ScanLinks(vertex_t src, label_t label, const EdgeScanFn& fn) override;
+  size_t CountLinks(vertex_t src, label_t label) override;
+
+  std::unique_ptr<GraphReadView> OpenReadView() override;
+
+  Lsmt& lsmt() { return edges_; }
+
+ private:
+  Lsmt edges_;
+  Lsmt nodes_;
+  std::atomic<vertex_t> next_node_{0};
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_BASELINES_LSMT_STORE_H_

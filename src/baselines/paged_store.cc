@@ -1,0 +1,92 @@
+#include "baselines/paged_store.h"
+
+#include <chrono>
+
+namespace livegraph {
+
+namespace {
+constexpr uint64_t kPageShift = 12;  // 4 KiB pages
+}
+
+PageCacheSim::PageCacheSim(Options options) : options_(options) {
+  if (options_.shards < 1) options_.shards = 1;
+  per_shard_capacity_ =
+      options_.capacity_pages / static_cast<size_t>(options_.shards);
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  shards_ = std::vector<Shard>(static_cast<size_t>(options_.shards));
+}
+
+void PageCacheSim::SpinFor(uint64_t ns) {
+  // Busy-wait: the issuing thread is stalled exactly as it would be on a
+  // synchronous 4 KiB device read.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+void PageCacheSim::Touch(const void* addr, size_t bytes, bool write) {
+  if (bytes == 0) return;
+  auto start = reinterpret_cast<uint64_t>(addr) >> kPageShift;
+  auto end = (reinterpret_cast<uint64_t>(addr) + bytes - 1) >> kPageShift;
+  for (uint64_t page = start; page <= end; ++page) TouchPage(page, write);
+}
+
+void PageCacheSim::TouchPage(uint64_t page, bool write) {
+  Shard& shard = shards_[page % shards_.size()];
+  uint64_t stall_ns = 0;
+  {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    auto it = shard.pages.find(page);
+    if (it != shard.pages.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.erase(it->second.lru_pos);
+      shard.lru.push_front(page);
+      it->second.lru_pos = shard.lru.begin();
+      it->second.dirty |= write;
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      stall_ns += options_.read_latency_ns;
+      if (shard.pages.size() >= per_shard_capacity_) {
+        uint64_t victim = shard.lru.back();
+        shard.lru.pop_back();
+        auto victim_it = shard.pages.find(victim);
+        if (victim_it->second.dirty) {
+          dirty_evictions_.fetch_add(1, std::memory_order_relaxed);
+          bytes_written_.fetch_add(4096, std::memory_order_relaxed);
+          stall_ns += options_.write_latency_ns;
+        }
+        shard.pages.erase(victim_it);
+      }
+      shard.lru.push_front(page);
+      shard.pages[page] = Shard::Entry{shard.lru.begin(), write};
+    }
+  }
+  if (stall_ns > 0) {
+    simulated_io_ns_.fetch_add(stall_ns, std::memory_order_relaxed);
+    SpinFor(stall_ns);
+  }
+}
+
+void PageCacheSim::SequentialWrite(size_t bytes) {
+  uint64_t pages = (bytes + 4095) / 4096;
+  uint64_t ns = pages * options_.write_latency_ns /
+                (options_.sequential_factor == 0 ? 1 : options_.sequential_factor);
+  bytes_written_.fetch_add(pages * 4096, std::memory_order_relaxed);
+  simulated_io_ns_.fetch_add(ns, std::memory_order_relaxed);
+  SpinFor(ns);
+}
+
+PageCacheSim::Stats PageCacheSim::GetStats() const {
+  return Stats{hits_.load(), misses_.load(), dirty_evictions_.load(),
+               simulated_io_ns_.load(), bytes_written_.load()};
+}
+
+void PageCacheSim::ResetStats() {
+  hits_.store(0);
+  misses_.store(0);
+  dirty_evictions_.store(0);
+  simulated_io_ns_.store(0);
+  bytes_written_.store(0);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,73 @@
+// Common storage interface all engines implement, so the LinkBench and SNB
+// drivers run unmodified against LiveGraph and every baseline (the role the
+// embedded-store adaptors play in the paper's §7.1 methodology).
+#ifndef LIVEGRAPH_BASELINES_STORE_INTERFACE_H_
+#define LIVEGRAPH_BASELINES_STORE_INTERFACE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace livegraph {
+
+/// Callback for adjacency scans: (dst, edge properties). Return false to
+/// stop early (e.g. LIMIT queries).
+using EdgeScanFn = std::function<bool(vertex_t, std::string_view)>;
+
+/// A consistent multi-operation read view. LiveGraph backs it with an MVCC
+/// snapshot (readers never block); lock-based baselines hold their read
+/// latch for the view's lifetime — exactly the contrast the paper measures
+/// on SNB complex queries (§7.3: "Virtuoso spending over 60% of its CPU
+/// time on locks").
+class GraphReadView {
+ public:
+  virtual ~GraphReadView() = default;
+  virtual bool GetNode(vertex_t id, std::string* out) const = 0;
+  virtual bool GetLink(vertex_t src, label_t label, vertex_t dst,
+                       std::string* out) const = 0;
+  /// Newest-first scan; returns edges visited.
+  virtual size_t ScanLinks(vertex_t src, label_t label,
+                           const EdgeScanFn& fn) const = 0;
+  virtual size_t CountLinks(vertex_t src, label_t label) const = 0;
+};
+
+/// LinkBench-style graph store: nodes with opaque payloads and directed,
+/// labelled links with upsert semantics.
+class GraphStore {
+ public:
+  virtual ~GraphStore() = default;
+  virtual std::string Name() const = 0;
+
+  // --- Node operations ---
+  virtual vertex_t AddNode(std::string_view data) = 0;
+  virtual bool GetNode(vertex_t id, std::string* out) = 0;
+  virtual bool UpdateNode(vertex_t id, std::string_view data) = 0;
+  virtual bool DeleteNode(vertex_t id) = 0;
+
+  // --- Link operations ---
+  /// Upsert. Returns true if the link was newly inserted (LinkBench
+  /// ADD_LINK semantics).
+  virtual bool AddLink(vertex_t src, label_t label, vertex_t dst,
+                       std::string_view data) = 0;
+  /// Returns false if the link did not exist.
+  virtual bool UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                          std::string_view data) = 0;
+  virtual bool DeleteLink(vertex_t src, label_t label, vertex_t dst) = 0;
+  virtual bool GetLink(vertex_t src, label_t label, vertex_t dst,
+                       std::string* out) = 0;
+  /// Newest-first adjacency scan (LinkBench GET_LINKS_LIST returns the most
+  /// recently added links first, §7.2 "storing edges by time order").
+  virtual size_t ScanLinks(vertex_t src, label_t label,
+                           const EdgeScanFn& fn) = 0;
+  virtual size_t CountLinks(vertex_t src, label_t label) = 0;
+
+  /// Multi-operation consistent view for analytics/SNB complex reads.
+  virtual std::unique_ptr<GraphReadView> OpenReadView() = 0;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_BASELINES_STORE_INTERFACE_H_

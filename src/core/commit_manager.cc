@@ -1,0 +1,96 @@
+#include "core/commit_manager.h"
+
+#include "core/graph.h"
+
+namespace livegraph {
+
+CommitManager::CommitManager(Graph* graph, Wal* wal, size_t max_batch)
+    : graph_(graph), wal_(wal), max_batch_(max_batch == 0 ? 1 : max_batch) {
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+CommitManager::~CommitManager() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    shutdown_ = true;
+  }
+  manager_cv_.notify_all();
+  thread_.join();
+}
+
+timestamp_t CommitManager::Persist(std::string_view wal_payload) {
+  Request request;
+  request.payload = wal_payload;
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&request);
+  manager_cv_.notify_one();
+  worker_cv_.wait(lock, [&] { return request.epoch != 0; });
+  return request.epoch;
+}
+
+void CommitManager::FinishApply(timestamp_t epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (--applies_outstanding_ == 0) {
+    // Last transaction of the group: expose the group's updates. "After
+    // all transactions in the commit group make their updates visible, the
+    // transaction manager advances the global read timestamp GRE" (§5).
+    graph_->global_read_epoch_.store(epoch, std::memory_order_seq_cst);
+    manager_cv_.notify_all();
+    worker_cv_.notify_all();
+  } else {
+    // Commit() must not return before the whole group becomes visible:
+    // otherwise this worker's next transaction could start at a read epoch
+    // below its own commit timestamp and spuriously conflict with itself.
+    worker_cv_.wait(lock, [&] {
+      return graph_->global_read_epoch_.load(std::memory_order_acquire) >=
+             epoch;
+    });
+  }
+}
+
+void CommitManager::ThreadMain() {
+  std::vector<Request*> batch;
+  std::vector<std::string_view> payloads;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      manager_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      size_t take = std::min(queue_.size(), max_batch_);
+      batch.assign(queue_.begin(), queue_.begin() + take);
+      queue_.erase(queue_.begin(), queue_.begin() + take);
+    }
+
+    // Advance GWE; every transaction in this group commits at `epoch`.
+    timestamp_t epoch =
+        graph_->global_write_epoch_.fetch_add(1, std::memory_order_acq_rel) +
+        1;
+
+    // Persist the whole group with one write + one fsync.
+    if (wal_ != nullptr) {
+      payloads.clear();
+      for (Request* r : batch) {
+        if (!r->payload.empty()) payloads.push_back(r->payload);
+      }
+      if (!payloads.empty()) wal_->AppendBatch(epoch, payloads);
+    }
+
+    // Release the group into its apply phase...
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      current_group_epoch_ = epoch;
+      applies_outstanding_ = batch.size();
+      for (Request* r : batch) r->epoch = epoch;
+    }
+    worker_cv_.notify_all();
+
+    // ...and wait for all applies before starting the next group, so GRE
+    // advances in epoch order.
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      manager_cv_.wait(lock, [&] { return applies_outstanding_ == 0; });
+    }
+  }
+}
+
+}  // namespace livegraph

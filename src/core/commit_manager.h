@@ -1,0 +1,71 @@
+// Transaction manager thread: group commit (paper §5, persist phase).
+//
+// "LiveGraph keeps a pool of transaction-serving threads ... plus one
+// transaction manager thread." The manager batches commit requests,
+// advances the global write epoch GWE once per batch, persists the batch's
+// WAL records with a single fsync, hands every transaction in the group its
+// write timestamp TWE = GWE, and — after all of them finish their apply
+// phase — advances the global read epoch GRE, exposing the updates to
+// future transactions.
+#ifndef LIVEGRAPH_CORE_COMMIT_MANAGER_H_
+#define LIVEGRAPH_CORE_COMMIT_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "storage/wal.h"
+#include "util/types.h"
+
+namespace livegraph {
+
+class Graph;
+
+class CommitManager {
+ public:
+  /// `wal` may be null (durability disabled); group sequencing still runs.
+  CommitManager(Graph* graph, Wal* wal, size_t max_batch);
+  ~CommitManager();
+
+  CommitManager(const CommitManager&) = delete;
+  CommitManager& operator=(const CommitManager&) = delete;
+
+  /// Persist phase entry point, called by the committing worker thread.
+  /// Blocks until the transaction's group is durable and returns the
+  /// assigned write epoch TWE. The caller must then run its apply phase
+  /// and call FinishApply(TWE).
+  timestamp_t Persist(std::string_view wal_payload);
+
+  /// Signals that the calling transaction completed its apply phase. The
+  /// last transaction of a group lets the manager advance GRE.
+  void FinishApply(timestamp_t epoch);
+
+ private:
+  struct Request {
+    std::string_view payload;
+    timestamp_t epoch = 0;  // 0 = not yet persisted
+  };
+
+  void ThreadMain();
+
+  Graph* graph_;
+  Wal* wal_;
+  size_t max_batch_;
+
+  std::mutex mu_;
+  std::condition_variable worker_cv_;   // wakes workers whose epoch is set
+  std::condition_variable manager_cv_;  // wakes the manager thread
+  std::vector<Request*> queue_;
+  size_t applies_outstanding_ = 0;
+  timestamp_t current_group_epoch_ = 0;
+  bool shutdown_ = false;
+
+  std::thread thread_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_CORE_COMMIT_MANAGER_H_

@@ -1,0 +1,222 @@
+// Background compaction and garbage collection (paper §6).
+//
+// "LiveGraph periodically (every 65536 transactions in our default setting)
+// launches a compaction task. Each worker thread maintains a dirty vertex
+// set ... When doing compaction, a thread scans through its local dirty set
+// and compacts or garbage-collects blocks based on version visibility."
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/transaction.h"
+#include "util/bloom_filter.h"
+
+namespace livegraph {
+
+namespace {
+// Lock acquisition budget for compaction: it must only "temporarily prevent
+// concurrent writes to that specific block" (§6), so contended vertices are
+// skipped and retried in a later pass.
+constexpr int64_t kCompactionLockTimeoutNs = 1'000'000;  // 1 ms
+}  // namespace
+
+void Graph::MaybeScheduleCompaction() {
+  if (!options_.enable_compaction) return;
+  uint64_t committed = committed_txns_.load(std::memory_order_relaxed);
+  if (committed % options_.compaction_interval != 0) return;
+  compaction_requested_.store(true, std::memory_order_release);
+  compaction_cv_.notify_one();
+}
+
+void Graph::CompactionThreadMain() {
+  std::unique_lock<std::mutex> lock(compaction_mu_);
+  while (true) {
+    compaction_cv_.wait(lock, [&] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             compaction_requested_.load(std::memory_order_acquire);
+    });
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    compaction_requested_.store(false, std::memory_order_release);
+    lock.unlock();
+    RunCompactionPass();
+    lock.lock();
+  }
+}
+
+void Graph::RunCompactionPass() {
+  std::lock_guard<std::mutex> pass_guard(compaction_pass_mu_);
+  const timestamp_t safe = SafeEpoch();
+
+  // Collect and dedup all workers' dirty sets.
+  std::vector<vertex_t> dirty;
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> guard(slot->dirty_mu);
+    dirty.insert(dirty.end(), slot->dirty_vertices.begin(),
+                 slot->dirty_vertices.end());
+    slot->dirty_vertices.clear();
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+
+  for (vertex_t v : dirty) CompactVertex(v, safe);
+
+  block_manager_->ReclaimRetired(SafeEpoch());
+}
+
+void Graph::CompactVertex(vertex_t v, timestamp_t safe) {
+  FutexLock* lock = LockFor(v);
+  if (!lock->TryLockFor(kCompactionLockTimeoutNs)) {
+    // Contended: requeue for the next pass.
+    std::lock_guard<std::mutex> guard(slots_[0]->dirty_mu);
+    slots_[0]->dirty_vertices.push_back(v);
+    return;
+  }
+  const timestamp_t retire_epoch =
+      global_read_epoch_.load(std::memory_order_acquire) + 1;
+
+  // --- Vertex version chain GC ("similar to existing MVCC
+  // implementations ... related previous pointers are cleared
+  // simultaneously", §6) ---
+  block_ptr_t head =
+      IndexEntry(v)->vertex_block.load(std::memory_order_acquire);
+  block_ptr_t keep = head;
+  while (keep != kNullBlock) {
+    auto* header =
+        reinterpret_cast<VertexHeader*>(block_manager_->Pointer(keep));
+    timestamp_t ts = header->creation_ts.load(std::memory_order_acquire);
+    if (ts > 0 && ts <= safe) {
+      // `keep` is the newest version any current/future reader can need;
+      // everything behind it is garbage.
+      block_ptr_t stale = header->prev.exchange(kNullBlock,
+                                                std::memory_order_acq_rel);
+      while (stale != kNullBlock) {
+        auto* stale_header =
+            reinterpret_cast<VertexHeader*>(block_manager_->Pointer(stale));
+        block_ptr_t next = stale_header->prev.load(std::memory_order_acquire);
+        block_manager_->Retire(stale, retire_epoch);
+        stale = next;
+      }
+      break;
+    }
+    keep = header->prev.load(std::memory_order_acquire);
+  }
+
+  // --- TEL compaction ---
+  block_ptr_t store = IndexEntry(v)->edge_store.load(std::memory_order_acquire);
+  if (store == kNullBlock) {
+    lock->Unlock();
+    return;
+  }
+  uint8_t* base = block_manager_->Pointer(store);
+  auto* label_header = reinterpret_cast<LabelIndexHeader*>(base);
+  uint32_t labels = label_header->count.load(std::memory_order_acquire);
+  LabelIndexEntry* entries = LabelEntries(base);
+
+  for (uint32_t li = 0; li < labels; ++li) {
+    block_ptr_t tel_ptr = entries[li].tel.load(std::memory_order_acquire);
+    if (tel_ptr == kNullBlock) continue;
+    TelBlock tel = Tel(tel_ptr);
+    TelHeader* header = tel.header();
+
+    // A TEL whose CT is above the safe epoch may belong to a transaction
+    // still converting its -TID timestamps (apply phase runs after lock
+    // release, §5); requeue and skip.
+    if (header->commit_ts.load(std::memory_order_acquire) > safe) {
+      std::lock_guard<std::mutex> guard(slots_[0]->dirty_mu);
+      slots_[0]->dirty_vertices.push_back(v);
+      continue;
+    }
+
+    uint32_t committed =
+        header->committed_entries.load(std::memory_order_acquire);
+    // Count survivors: an entry stays unless it was invalidated at or
+    // before the safe epoch (then no current or future snapshot sees it).
+    uint32_t survivors = 0;
+    uint32_t survivor_props = 0;
+    for (uint32_t i = 0; i < committed; ++i) {
+      timestamp_t inv =
+          tel.Entry(i)->invalidation_ts.load(std::memory_order_acquire);
+      if (inv > 0 && inv <= safe) continue;
+      survivors++;
+      survivor_props += tel.Entry(i)->prop_size;
+    }
+    bool has_history = header->prev.load(std::memory_order_acquire) !=
+                       kNullBlock;
+    if (survivors == committed && !has_history) continue;  // nothing to do
+
+    if (survivors == committed && has_history) {
+      // No dead entries, but stale upgrade chain to prune.
+      block_ptr_t stale =
+          header->prev.exchange(kNullBlock, std::memory_order_acq_rel);
+      while (stale != kNullBlock) {
+        TelHeader* stale_header = Tel(stale).header();
+        block_ptr_t next = stale_header->prev.load(std::memory_order_acquire);
+        block_manager_->Retire(stale, retire_epoch);
+        stale = next;
+      }
+      continue;
+    }
+
+    // Rewrite into a right-sized block ("sometimes the block could shrink
+    // after many edges being deleted", §6).
+    uint8_t order = BlockManager::kMinOrder;
+    TelGeometry geometry;
+    while (true) {
+      geometry = TelGeometry::For(order, options_.enable_bloom_filters);
+      if (geometry.prop_start + survivor_props +
+              survivors * sizeof(EdgeEntry) <=
+          geometry.block_size) {
+        break;
+      }
+      ++order;
+    }
+    block_ptr_t new_ptr = NewTel(v, order);
+    TelBlock fresh = Tel(new_ptr);
+    uint32_t out_index = 0;
+    uint32_t out_props = 0;
+    for (uint32_t i = 0; i < committed; ++i) {
+      EdgeEntry* entry = tel.Entry(i);
+      timestamp_t inv = entry->invalidation_ts.load(std::memory_order_acquire);
+      if (inv > 0 && inv <= safe) continue;
+      EdgeEntry* out = fresh.Entry(out_index);
+      out->dst = entry->dst;
+      out->creation_ts.store(entry->creation_ts.load(std::memory_order_acquire),
+                             std::memory_order_relaxed);
+      out->invalidation_ts.store(inv, std::memory_order_relaxed);
+      out->prop_size = entry->prop_size;
+      out->prop_offset = out_props;
+      if (entry->prop_size > 0) {
+        std::memcpy(fresh.props() + out_props, tel.props() + entry->prop_offset,
+                    entry->prop_size);
+      }
+      if (fresh.bloom_bytes() > 0) {
+        BloomFilter::Insert(fresh.bloom_bits(), fresh.bloom_bytes(),
+                            static_cast<uint64_t>(out->dst));
+      }
+      out_props += entry->prop_size;
+      out_index++;
+    }
+    TelHeader* fresh_header = fresh.header();
+    fresh_header->commit_ts.store(
+        header->commit_ts.load(std::memory_order_acquire),
+        std::memory_order_relaxed);
+    fresh_header->committed_prop_bytes.store(out_props,
+                                             std::memory_order_relaxed);
+    fresh_header->committed_entries.store(out_index,
+                                          std::memory_order_release);
+    entries[li].tel.store(new_ptr, std::memory_order_release);
+
+    // Retire the replaced chain once every current reader drains.
+    block_ptr_t stale = tel_ptr;
+    while (stale != kNullBlock) {
+      TelHeader* stale_header = Tel(stale).header();
+      block_ptr_t next = stale_header->prev.load(std::memory_order_acquire);
+      block_manager_->Retire(stale, retire_epoch);
+      stale = next;
+    }
+  }
+  lock->Unlock();
+}
+
+}  // namespace livegraph

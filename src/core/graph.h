@@ -1,0 +1,192 @@
+// The LiveGraph storage engine facade.
+#ifndef LIVEGRAPH_CORE_GRAPH_H_
+#define LIVEGRAPH_CORE_GRAPH_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/blocks.h"
+#include "core/config.h"
+#include "storage/block_manager.h"
+#include "storage/wal.h"
+#include "util/futex_lock.h"
+#include "util/mmap_region.h"
+#include "util/types.h"
+
+namespace livegraph {
+
+class CommitManager;
+class ReadTransaction;
+class Transaction;
+
+namespace internal {
+struct GraphAccess;
+}  // namespace internal
+
+/// A transactional property-graph store with purely sequential adjacency
+/// list scans (VLDB'20). One instance owns a block store (optionally
+/// file-backed), vertex/edge index arrays, a futex vertex-lock array, a
+/// group-commit WAL, and a background compaction thread.
+///
+/// Thread safety: all public methods are thread-safe. Transactions are
+/// single-threaded objects; ReadTransactions may additionally be shared by
+/// many reader threads (used for in-situ analytics, §7.4).
+class Graph {
+ public:
+  explicit Graph(GraphOptions options = {});
+  ~Graph();
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Opens a graph from durable state: loads the newest checkpoint under
+  /// `checkpoint_dir` (if any) and replays the WAL tail (§6 "Recovery").
+  static std::unique_ptr<Graph> Recover(GraphOptions options,
+                                        const std::string& checkpoint_dir);
+
+  /// Starts a read-write transaction with snapshot isolation.
+  Transaction BeginTransaction();
+
+  /// Starts a read-only snapshot transaction. Never blocks writers and is
+  /// never blocked by them (§2.2, §5).
+  ReadTransaction BeginReadOnlyTransaction();
+
+  /// Temporal extension (paper §9: "the multi-versioning nature of TELs
+  /// makes it natural to support temporal graph processing"): opens a
+  /// read-only transaction pinned at a historical epoch. The snapshot is
+  /// exact for any epoch not yet garbage-collected; entries reclaimed by
+  /// compaction before this call are no longer recoverable, so workloads
+  /// using time travel should lower compaction aggressiveness (§6 "a
+  /// user-specified level of historical data storage"). `epoch` is clamped
+  /// to [0, current GRE].
+  ReadTransaction BeginTimeTravelTransaction(timestamp_t epoch);
+
+  /// Upper bound (exclusive) on allocated vertex IDs.
+  vertex_t VertexCount() const {
+    return next_vertex_.load(std::memory_order_acquire);
+  }
+
+  /// Current global read epoch (GRE).
+  timestamp_t ReadEpoch() const {
+    return global_read_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Writes a consistent checkpoint of the latest snapshot into
+  /// `checkpoint_dir` using `threads` writer threads, then truncates the
+  /// WAL (§6 "Recovery"). Returns the checkpointed epoch.
+  timestamp_t Checkpoint(const std::string& checkpoint_dir, int threads = 1);
+
+  /// Runs one synchronous compaction pass over all dirty vertices (§6
+  /// "Compaction"). Also invoked automatically every
+  /// `options.compaction_interval` committed transactions.
+  void RunCompactionPass();
+
+  struct MemoryStats {
+    uint64_t block_store_allocated;  // bump high-water mark
+    uint64_t block_store_free;       // recycled, awaiting reuse
+    uint64_t block_store_retired;    // awaiting epoch reclamation
+    uint64_t block_store_live;       // allocated - free - retired
+    uint64_t index_bytes;            // vertex index + lock array footprint
+    uint64_t wal_bytes;              // bytes written to the WAL so far
+  };
+  MemoryStats CollectMemoryStats() const;
+
+  /// Count of live TEL blocks per block size in bytes (Figure 7b).
+  std::map<size_t, size_t> CollectTelSizeHistogram() const;
+
+  const GraphOptions& options() const { return options_; }
+
+ private:
+  friend class CommitManager;
+  friend class ReadTransaction;
+  friend class Transaction;
+  friend struct internal::GraphAccess;
+
+  /// Per-running-transaction bookkeeping slot. Slots double as the
+  /// reading-epoch table used by compaction to find the oldest active read
+  /// epoch (§6).
+  struct WorkerSlot {
+    std::atomic<timestamp_t> reading_epoch{kIdleEpoch};
+    std::atomic<bool> in_use{false};
+    /// Vertices written since the last compaction pass (paper's per-worker
+    /// dirty vertex set, §6).
+    std::mutex dirty_mu;
+    std::vector<vertex_t> dirty_vertices;
+  };
+
+  WorkerSlot* AcquireSlot();
+  void ReleaseSlot(WorkerSlot* slot);
+
+  /// Publishes `slot`'s read epoch and returns the transaction's TRE using
+  /// the store-recheck protocol that makes compaction's min-epoch scan
+  /// race-free.
+  timestamp_t PublishReadEpoch(WorkerSlot* slot);
+
+  VertexIndexEntry* IndexEntry(vertex_t v) const {
+    return reinterpret_cast<VertexIndexEntry*>(index_region_.data()) + v;
+  }
+  FutexLock* LockFor(vertex_t v) const {
+    return reinterpret_cast<FutexLock*>(lock_region_.data()) + v;
+  }
+
+  TelBlock Tel(block_ptr_t ptr) const {
+    return TelBlock(block_manager_->Pointer(ptr), BlockOrder(ptr),
+                    options_.enable_bloom_filters);
+  }
+
+  /// Finds the TEL for (v, label): packed ptr or kNullBlock.
+  block_ptr_t FindTel(vertex_t v, label_t label) const;
+
+  /// Ensures a label-index slot exists for (v, label) and returns a pointer
+  /// to its TEL slot. Caller must hold the vertex lock.
+  std::atomic<block_ptr_t>* FindOrCreateLabelSlot(vertex_t v, label_t label);
+
+  /// Allocates + initializes an empty TEL block.
+  block_ptr_t NewTel(vertex_t src, uint8_t order);
+
+  /// Minimum epoch any current or future transaction can read at.
+  timestamp_t SafeEpoch() const;
+
+  /// Compaction internals (core/compaction.cc).
+  void CompactionThreadMain();
+  void CompactVertex(vertex_t v, timestamp_t safe_epoch);
+  void MaybeScheduleCompaction();
+
+  /// Recovery internals (core/checkpoint.cc).
+  void ApplyWalRecord(std::string_view payload);
+  void LoadCheckpoint(const std::string& checkpoint_dir);
+
+  GraphOptions options_;
+  std::unique_ptr<BlockManager> block_manager_;
+  MmapRegion index_region_;  // VertexIndexEntry[max_vertices]
+  MmapRegion lock_region_;   // FutexLock[max_vertices]
+
+  std::atomic<vertex_t> next_vertex_{0};
+  std::atomic<timestamp_t> global_read_epoch_{0};   // GRE
+  std::atomic<timestamp_t> global_write_epoch_{0};  // GWE
+  std::atomic<uint64_t> next_tid_{1};
+  std::atomic<uint64_t> committed_txns_{0};
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<CommitManager> commit_manager_;
+
+  // Background compaction.
+  std::atomic<bool> shutdown_{false};
+  std::atomic<bool> compaction_requested_{false};
+  std::mutex compaction_mu_;
+  std::condition_variable compaction_cv_;
+  std::thread compaction_thread_;
+  std::mutex compaction_pass_mu_;  // serializes manual + background passes
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_CORE_GRAPH_H_

@@ -1,0 +1,43 @@
+// Internal helpers shared by read/write transaction paths and compaction.
+#ifndef LIVEGRAPH_CORE_TEL_OPS_H_
+#define LIVEGRAPH_CORE_TEL_OPS_H_
+
+#include <optional>
+#include <string_view>
+
+#include "core/blocks.h"
+#include "core/graph.h"
+#include "util/types.h"
+
+namespace livegraph::internal {
+
+/// In-library access to Graph internals for free-function helpers.
+struct GraphAccess {
+  static VertexIndexEntry* IndexEntry(const Graph& graph, vertex_t v) {
+    return graph.IndexEntry(v);
+  }
+  static BlockManager* Blocks(const Graph& graph) {
+    return graph.block_manager_.get();
+  }
+  static TelBlock Tel(const Graph& graph, block_ptr_t ptr) {
+    return graph.Tel(ptr);
+  }
+  static block_ptr_t FindTel(const Graph& graph, vertex_t v, label_t label) {
+    return graph.FindTel(v, label);
+  }
+};
+
+/// Walks a vertex version chain and returns the properties visible at
+/// `tre`, or nullopt (missing / deleted / not yet visible).
+std::optional<std::string_view> ReadVertexVersion(const Graph& graph,
+                                                  vertex_t v, timestamp_t tre);
+
+/// Tail-to-head scan for the visible entry of (src -> dst); returns the
+/// entry index or -1. `total_entries` bounds the scan (committed entries,
+/// plus transaction-private ones for the writing transaction).
+int64_t FindVisibleEdge(const TelBlock& block, uint32_t total_entries,
+                        vertex_t dst, timestamp_t tre, int64_t tid);
+
+}  // namespace livegraph::internal
+
+#endif  // LIVEGRAPH_CORE_TEL_OPS_H_

@@ -1,0 +1,155 @@
+#include "snb/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace livegraph::snb {
+
+namespace {
+
+// Monotone "event clock": every created entity gets the next date, giving
+// realistic time-ordered TELs (LinkBench/TAO-style time locality).
+class EventClock {
+ public:
+  int64_t Next() { return ++now_; }
+  int64_t now() const { return now_; }
+
+ private:
+  int64_t now_ = 1'000'000;
+};
+
+}  // namespace
+
+SnbDataset GenerateSnb(GraphStore* store, const DatagenOptions& options) {
+  SnbDataset data;
+  Xorshift rng(options.seed);
+  EventClock clock;
+  const int person_count = std::max(
+      8, static_cast<int>(options.persons_per_sf * options.scale_factor));
+
+  // --- Tags & places ---
+  for (int i = 0; i < options.tags; ++i) {
+    Tag tag;
+    tag.name = static_cast<uint32_t>(i);
+    data.tags.push_back(store->AddNode(Encode(tag)));
+  }
+  for (int i = 0; i < options.places; ++i) {
+    Place place;
+    place.name = static_cast<uint32_t>(i);
+    data.places.push_back(store->AddNode(Encode(place)));
+  }
+
+  // --- Persons ---
+  for (int i = 0; i < person_count; ++i) {
+    Person person;
+    person.first_name = static_cast<uint16_t>(rng.NextBounded(kFirstNamePool));
+    person.last_name = static_cast<uint16_t>(rng.NextBounded(kLastNamePool));
+    person.birthday = static_cast<int64_t>(rng.NextBounded(2'000'000));
+    person.creation_date = clock.Next();
+    vertex_t v = store->AddNode(Encode(person));
+    data.persons.push_back(v);
+    store->AddLink(v, kIsLocatedIn,
+                   data.places[rng.NextBounded(data.places.size())], {});
+    // 1-4 interests.
+    for (uint64_t t = 0, n = 1 + rng.NextBounded(4); t < n; ++t) {
+      store->AddLink(v, kHasInterest,
+                     data.tags[rng.NextBounded(data.tags.size())], {});
+    }
+  }
+
+  // --- Knows graph: power-law mutual friendships ---
+  // Degree-skewed partner sampling (Zipf over persons) approximates the
+  // LDBC generator's correlated, heavy-tailed friend distribution.
+  ScrambledZipf person_zipf(data.persons.size(), 0.8, options.seed * 3 + 1);
+  const auto knows_edges = static_cast<uint64_t>(
+      options.avg_knows * static_cast<double>(person_count) / 2.0);
+  for (uint64_t e = 0; e < knows_edges; ++e) {
+    vertex_t a = data.persons[person_zipf.Sample(rng)];
+    vertex_t b = data.persons[person_zipf.Sample(rng)];
+    if (a == b) continue;
+    KnowsProps props{clock.Next()};
+    std::string encoded = Encode(props);
+    store->AddLink(a, kKnows, b, encoded);  // mutual
+    store->AddLink(b, kKnows, a, encoded);
+  }
+
+  // --- Forums ---
+  const int forum_count = std::max(1, person_count / 3);
+  for (int f = 0; f < forum_count; ++f) {
+    Forum forum;
+    forum.moderator = data.persons[rng.NextBounded(data.persons.size())];
+    forum.creation_date = clock.Next();
+    vertex_t v = store->AddNode(Encode(forum));
+    data.forums.push_back(v);
+    store->AddLink(v, kHasModerator, forum.moderator, {});
+    for (uint64_t m = 0, n = 2 + rng.NextBounded(16); m < n; ++m) {
+      store->AddLink(v, kHasMember,
+                     data.persons[rng.NextBounded(data.persons.size())], {});
+    }
+  }
+
+  // --- Posts (power-law activity per author) ---
+  ScrambledZipf author_zipf(data.persons.size(), 0.9, options.seed * 5 + 1);
+  const auto post_count = static_cast<uint64_t>(
+      options.posts_per_person * static_cast<double>(person_count));
+  std::vector<vertex_t> posts;
+  for (uint64_t p = 0; p < post_count; ++p) {
+    Message post;
+    post.kind = EntityKind::kPost;
+    post.creation_date = clock.Next();
+    post.author = data.persons[author_zipf.Sample(rng)];
+    post.content_length = 20 + static_cast<uint32_t>(rng.NextBounded(2000));
+    vertex_t v = store->AddNode(Encode(post));
+    posts.push_back(v);
+    data.messages.push_back(v);
+    store->AddLink(v, kHasCreator, post.author, {});
+    store->AddLink(post.author, kCreated, v, {});
+    vertex_t forum = data.forums[rng.NextBounded(data.forums.size())];
+    store->AddLink(forum, kContainerOf, v, {});
+    for (uint64_t t = 0, n = 1 + rng.NextBounded(3); t < n; ++t) {
+      store->AddLink(v, kHasTag, data.tags[rng.NextBounded(data.tags.size())],
+                     {});
+    }
+  }
+
+  // --- Comment trees ---
+  const auto comment_count = static_cast<uint64_t>(
+      options.comments_per_post * static_cast<double>(posts.size()));
+  std::vector<vertex_t> comment_targets = posts;  // grows with comments
+  for (uint64_t c = 0; c < comment_count; ++c) {
+    Message comment;
+    comment.kind = EntityKind::kComment;
+    comment.creation_date = clock.Next();
+    comment.author = data.persons[author_zipf.Sample(rng)];
+    comment.content_length = 5 + static_cast<uint32_t>(rng.NextBounded(500));
+    vertex_t parent =
+        comment_targets[rng.NextBounded(comment_targets.size())];
+    vertex_t v = store->AddNode(Encode(comment));
+    data.messages.push_back(v);
+    comment_targets.push_back(v);
+    store->AddLink(v, kHasCreator, comment.author, {});
+    store->AddLink(comment.author, kCreated, v, {});
+    store->AddLink(v, kReplyOf, parent, {});
+    store->AddLink(parent, kReplies, v, {});
+  }
+
+  // --- Likes ---
+  const auto like_count = static_cast<uint64_t>(
+      options.likes_per_message * static_cast<double>(data.messages.size()));
+  for (uint64_t l = 0; l < like_count; ++l) {
+    vertex_t person = data.persons[person_zipf.Sample(rng)];
+    vertex_t message = data.messages[rng.NextBounded(data.messages.size())];
+    KnowsProps like{clock.Next()};
+    std::string encoded = Encode(like);
+    store->AddLink(person, kLikes, message, encoded);
+    store->AddLink(message, kLikedBy, person, encoded);
+  }
+
+  data.max_date = clock.now();
+  return data;
+}
+
+}  // namespace livegraph::snb

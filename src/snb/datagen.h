@@ -1,0 +1,46 @@
+// LDBC SNB data generator (scaled): produces a social network with the
+// schema of snb/schema.h — persons with a power-law mutual "knows" graph,
+// forums, posts, comment trees, likes and tags, with monotonically
+// increasing creation dates ("simulates the users' activities in a social
+// network for a period of time", §7.1).
+#ifndef LIVEGRAPH_SNB_DATAGEN_H_
+#define LIVEGRAPH_SNB_DATAGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/store_interface.h"
+#include "snb/schema.h"
+
+namespace livegraph::snb {
+
+struct DatagenOptions {
+  /// LDBC scale factor. The entity counts below scale linearly with it; at
+  /// the default multiplier SF10 yields ~140K vertices (the paper's SF10 is
+  /// 30M — shapes are preserved, absolute sizes trimmed; see DESIGN.md).
+  double scale_factor = 1.0;
+  int persons_per_sf = 1000;
+  double avg_knows = 18.0;       // LDBC SF10 average friend count
+  double posts_per_person = 6.0;
+  double comments_per_post = 2.0;
+  double likes_per_message = 2.0;
+  int tags = 200;
+  int places = 50;
+  uint64_t seed = 42;
+};
+
+/// IDs of everything generated, for the driver's parameter curves.
+struct SnbDataset {
+  std::vector<vertex_t> persons;
+  std::vector<vertex_t> forums;
+  std::vector<vertex_t> messages;  // posts + comments
+  std::vector<vertex_t> tags;
+  std::vector<vertex_t> places;
+  int64_t max_date = 0;  // newest creation date in the initial graph
+};
+
+SnbDataset GenerateSnb(GraphStore* store, const DatagenOptions& options);
+
+}  // namespace livegraph::snb
+
+#endif  // LIVEGRAPH_SNB_DATAGEN_H_

@@ -1,0 +1,352 @@
+#include "snb/queries.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace livegraph::snb {
+
+namespace {
+
+/// Keeps the `limit` newest messages (min-heap on creation_date).
+class TopKMessages {
+ public:
+  explicit TopKMessages(size_t limit) : limit_(limit) {}
+
+  void Offer(vertex_t message, int64_t date) {
+    if (heap_.size() < limit_) {
+      heap_.push_back({message, date});
+      std::push_heap(heap_.begin(), heap_.end(), Older);
+    } else if (date > heap_.front().creation_date) {
+      std::pop_heap(heap_.begin(), heap_.end(), Older);
+      heap_.back() = {message, date};
+      std::push_heap(heap_.begin(), heap_.end(), Older);
+    }
+  }
+
+  std::vector<RecentMessage> TakeSortedNewestFirst() {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const RecentMessage& a, const RecentMessage& b) {
+                return a.creation_date > b.creation_date;
+              });
+    return std::move(heap_);
+  }
+
+  int64_t cutoff() const {
+    return heap_.size() < limit_ ? INT64_MIN : heap_.front().creation_date;
+  }
+
+ private:
+  static bool Older(const RecentMessage& a, const RecentMessage& b) {
+    return a.creation_date > b.creation_date;  // min-heap on date
+  }
+  size_t limit_;
+  std::vector<RecentMessage> heap_;
+};
+
+bool MessageDate(const GraphReadView& view, vertex_t message, int64_t* date) {
+  std::string bytes;
+  Message decoded;
+  if (!view.GetNode(message, &bytes) || !Decode(bytes, &decoded)) return false;
+  *date = decoded.creation_date;
+  return true;
+}
+
+/// Collects messages authored by `person` into `top`, honoring max_date.
+void OfferPersonMessages(const GraphReadView& view, vertex_t person,
+                         int64_t max_date, TopKMessages* top) {
+  view.ScanLinks(person, kCreated, [&](vertex_t message, std::string_view) {
+    int64_t date;
+    if (MessageDate(view, message, &date) && date < max_date) {
+      top->Offer(message, date);
+    }
+    return true;
+  });
+}
+
+}  // namespace
+
+// --- Short reads ---
+
+bool ShortPersonProfile(const GraphReadView& view, vertex_t person,
+                        Person* out) {
+  std::string bytes;
+  return view.GetNode(person, &bytes) && KindOf(bytes) == EntityKind::kPerson &&
+         Decode(bytes, out);
+}
+
+std::vector<RecentMessage> ShortRecentMessages(const GraphReadView& view,
+                                               vertex_t person, size_t limit) {
+  // The kCreated TEL is scanned newest-first, so on LiveGraph this is a
+  // bounded backward scan — the access pattern §7.2 credits for TAO wins.
+  std::vector<RecentMessage> result;
+  view.ScanLinks(person, kCreated, [&](vertex_t message, std::string_view) {
+    int64_t date;
+    if (MessageDate(view, message, &date)) {
+      result.push_back({message, date});
+    }
+    return result.size() < limit;
+  });
+  std::sort(result.begin(), result.end(),
+            [](const RecentMessage& a, const RecentMessage& b) {
+              return a.creation_date > b.creation_date;
+            });
+  return result;
+}
+
+std::vector<Friendship> ShortFriends(const GraphReadView& view,
+                                     vertex_t person) {
+  std::vector<Friendship> result;
+  view.ScanLinks(person, kKnows, [&](vertex_t friend_id,
+                                     std::string_view props) {
+    KnowsProps decoded{0};
+    Decode(props, &decoded);
+    result.push_back({friend_id, decoded.creation_date});
+    return true;
+  });
+  return result;
+}
+
+std::vector<Reply> ShortReplies(const GraphReadView& view, vertex_t message) {
+  std::vector<Reply> result;
+  view.ScanLinks(message, kReplies, [&](vertex_t comment, std::string_view) {
+    Reply reply{comment, kNullVertex};
+    view.ScanLinks(comment, kHasCreator,
+                   [&reply](vertex_t author, std::string_view) {
+                     reply.author = author;
+                     return false;
+                   });
+    result.push_back(reply);
+    return true;
+  });
+  return result;
+}
+
+bool ShortMessageContent(const GraphReadView& view, vertex_t message,
+                         Message* out) {
+  std::string bytes;
+  if (!view.GetNode(message, &bytes)) return false;
+  EntityKind kind = KindOf(bytes);
+  if (kind != EntityKind::kPost && kind != EntityKind::kComment) return false;
+  return Decode(bytes, out);
+}
+
+vertex_t ShortMessageCreator(const GraphReadView& view, vertex_t message) {
+  vertex_t creator = kNullVertex;
+  view.ScanLinks(message, kHasCreator,
+                 [&creator](vertex_t author, std::string_view) {
+                   creator = author;
+                   return false;
+                 });
+  return creator;
+}
+
+// --- Complex reads ---
+
+std::vector<NamedPerson> ComplexFriendsByName(const GraphReadView& view,
+                                              vertex_t start,
+                                              uint16_t first_name,
+                                              size_t limit) {
+  std::vector<NamedPerson> result;
+  std::unordered_set<vertex_t> visited{start};
+  std::vector<vertex_t> frontier{start};
+  for (int hop = 1; hop <= 3 && result.size() < limit; ++hop) {
+    std::vector<vertex_t> next;
+    for (vertex_t v : frontier) {
+      view.ScanLinks(v, kKnows, [&](vertex_t friend_id, std::string_view) {
+        if (visited.insert(friend_id).second) next.push_back(friend_id);
+        return true;
+      });
+    }
+    // Distance-ordered result (LDBC sorts by distance, then name).
+    for (vertex_t candidate : next) {
+      if (result.size() >= limit) break;
+      Person person;
+      std::string bytes;
+      if (view.GetNode(candidate, &bytes) && Decode(bytes, &person) &&
+          person.kind == EntityKind::kPerson &&
+          person.first_name == first_name) {
+        result.push_back({candidate, hop});
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::vector<RecentMessage> ComplexFriendMessages(const GraphReadView& view,
+                                                 vertex_t person,
+                                                 int64_t max_date,
+                                                 size_t limit) {
+  TopKMessages top(limit);
+  view.ScanLinks(person, kKnows, [&](vertex_t friend_id, std::string_view) {
+    OfferPersonMessages(view, friend_id, max_date, &top);
+    return true;
+  });
+  return top.TakeSortedNewestFirst();
+}
+
+std::vector<RecentMessage> ComplexFofMessages(const GraphReadView& view,
+                                              vertex_t person,
+                                              int64_t max_date, size_t limit) {
+  std::unordered_set<vertex_t> sources;
+  view.ScanLinks(person, kKnows, [&](vertex_t friend_id, std::string_view) {
+    sources.insert(friend_id);
+    return true;
+  });
+  std::vector<vertex_t> first_hop(sources.begin(), sources.end());
+  for (vertex_t friend_id : first_hop) {
+    view.ScanLinks(friend_id, kKnows, [&](vertex_t fof, std::string_view) {
+      if (fof != person) sources.insert(fof);
+      return true;
+    });
+  }
+  TopKMessages top(limit);
+  for (vertex_t source : sources) {
+    OfferPersonMessages(view, source, max_date, &top);
+  }
+  return top.TakeSortedNewestFirst();
+}
+
+int ComplexShortestPath(const GraphReadView& view, vertex_t a, vertex_t b) {
+  if (a == b) return 0;
+  // Bidirectional BFS over the mutual knows graph.
+  std::unordered_set<vertex_t> forward{a}, backward{b};
+  std::vector<vertex_t> forward_frontier{a}, backward_frontier{b};
+  int depth = 0;
+  while (!forward_frontier.empty() && !backward_frontier.empty()) {
+    depth++;
+    if (depth > 32) return -1;  // pathological guard
+    // Expand the smaller side.
+    bool expand_forward = forward_frontier.size() <= backward_frontier.size();
+    auto& frontier = expand_forward ? forward_frontier : backward_frontier;
+    auto& mine = expand_forward ? forward : backward;
+    auto& other = expand_forward ? backward : forward;
+    std::vector<vertex_t> next;
+    for (vertex_t v : frontier) {
+      bool found = false;
+      view.ScanLinks(v, kKnows, [&](vertex_t n, std::string_view) {
+        if (other.count(n) > 0) {
+          found = true;
+          return false;
+        }
+        if (mine.insert(n).second) next.push_back(n);
+        return true;
+      });
+      if (found) return depth;
+    }
+    frontier = std::move(next);
+  }
+  return -1;
+}
+
+std::vector<TagCount> ComplexCooccurringTags(const GraphReadView& view,
+                                             vertex_t person, vertex_t tag,
+                                             size_t limit) {
+  // Gather friends and friends-of-friends.
+  std::unordered_set<vertex_t> sources;
+  view.ScanLinks(person, kKnows, [&](vertex_t f, std::string_view) {
+    sources.insert(f);
+    return true;
+  });
+  std::vector<vertex_t> first_hop(sources.begin(), sources.end());
+  for (vertex_t f : first_hop) {
+    view.ScanLinks(f, kKnows, [&](vertex_t fof, std::string_view) {
+      if (fof != person) sources.insert(fof);
+      return true;
+    });
+  }
+  // For every message they created that carries `tag`, tally co-tags.
+  std::unordered_map<vertex_t, int64_t> counts;
+  for (vertex_t source : sources) {
+    view.ScanLinks(source, kCreated, [&](vertex_t message, std::string_view) {
+      bool has_target = false;
+      std::vector<vertex_t> tags;
+      view.ScanLinks(message, kHasTag, [&](vertex_t t, std::string_view) {
+        if (t == tag) {
+          has_target = true;
+        } else {
+          tags.push_back(t);
+        }
+        return true;
+      });
+      if (has_target) {
+        for (vertex_t t : tags) counts[t]++;
+      }
+      return true;
+    });
+  }
+  std::vector<TagCount> result;
+  result.reserve(counts.size());
+  for (const auto& [t, c] : counts) result.push_back({t, c});
+  std::sort(result.begin(), result.end(),
+            [](const TagCount& a, const TagCount& b) {
+              return a.count != b.count ? a.count > b.count : a.tag < b.tag;
+            });
+  if (result.size() > limit) result.resize(limit);
+  return result;
+}
+
+// --- Updates ---
+
+vertex_t UpdateAddPerson(GraphStore* store, uint16_t first_name,
+                         uint16_t last_name, int64_t date, vertex_t place,
+                         const std::vector<vertex_t>& interests) {
+  Person person;
+  person.first_name = first_name;
+  person.last_name = last_name;
+  person.birthday = date % 2'000'000;
+  person.creation_date = date;
+  vertex_t v = store->AddNode(Encode(person));
+  store->AddLink(v, kIsLocatedIn, place, {});
+  for (vertex_t tag : interests) store->AddLink(v, kHasInterest, tag, {});
+  return v;
+}
+
+vertex_t UpdateAddPost(GraphStore* store, vertex_t author, vertex_t forum,
+                       int64_t date, uint32_t length) {
+  Message post;
+  post.kind = EntityKind::kPost;
+  post.creation_date = date;
+  post.author = author;
+  post.content_length = length;
+  vertex_t v = store->AddNode(Encode(post));
+  store->AddLink(v, kHasCreator, author, {});
+  store->AddLink(author, kCreated, v, {});
+  store->AddLink(forum, kContainerOf, v, {});
+  return v;
+}
+
+vertex_t UpdateAddComment(GraphStore* store, vertex_t author, vertex_t parent,
+                          int64_t date, uint32_t length) {
+  Message comment;
+  comment.kind = EntityKind::kComment;
+  comment.creation_date = date;
+  comment.author = author;
+  comment.content_length = length;
+  vertex_t v = store->AddNode(Encode(comment));
+  store->AddLink(v, kHasCreator, author, {});
+  store->AddLink(author, kCreated, v, {});
+  store->AddLink(v, kReplyOf, parent, {});
+  store->AddLink(parent, kReplies, v, {});
+  return v;
+}
+
+void UpdateAddLike(GraphStore* store, vertex_t person, vertex_t message,
+                   int64_t date) {
+  KnowsProps like{date};
+  std::string encoded = Encode(like);
+  store->AddLink(person, kLikes, message, encoded);
+  store->AddLink(message, kLikedBy, person, encoded);
+}
+
+void UpdateAddFriendship(GraphStore* store, vertex_t a, vertex_t b,
+                         int64_t date) {
+  KnowsProps props{date};
+  std::string encoded = Encode(props);
+  store->AddLink(a, kKnows, b, encoded);
+  store->AddLink(b, kKnows, a, encoded);
+}
+
+}  // namespace livegraph::snb

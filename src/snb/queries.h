@@ -1,0 +1,119 @@
+// LDBC SNB interactive queries, written once against the GraphReadView /
+// GraphStore interfaces so they run unmodified on LiveGraph and on the
+// relational-style B+ tree comparator (§7.3). Three request categories:
+// "short reads (similar to LinkBench operations), transactional updates
+// (possibly involving multiple objects), and complex reads (multi-hop
+// traversals, shortest paths, and analytical processing)".
+#ifndef LIVEGRAPH_SNB_QUERIES_H_
+#define LIVEGRAPH_SNB_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/store_interface.h"
+#include "snb/schema.h"
+
+namespace livegraph::snb {
+
+// --- Short reads ---
+
+/// IS1: a person's profile.
+bool ShortPersonProfile(const GraphReadView& view, vertex_t person,
+                        Person* out);
+
+/// IS2: a person's 10 most recent messages.
+struct RecentMessage {
+  vertex_t message;
+  int64_t creation_date;
+};
+std::vector<RecentMessage> ShortRecentMessages(const GraphReadView& view,
+                                               vertex_t person,
+                                               size_t limit = 10);
+
+/// IS3: all friends of a person with the friendship creation date.
+struct Friendship {
+  vertex_t person;
+  int64_t since;
+};
+std::vector<Friendship> ShortFriends(const GraphReadView& view,
+                                     vertex_t person);
+
+/// IS7: replies to a message, with their authors.
+struct Reply {
+  vertex_t comment;
+  vertex_t author;
+};
+std::vector<Reply> ShortReplies(const GraphReadView& view, vertex_t message);
+
+/// IS4: content metadata of a message.
+bool ShortMessageContent(const GraphReadView& view, vertex_t message,
+                         Message* out);
+
+/// IS5: the creator of a message.
+vertex_t ShortMessageCreator(const GraphReadView& view, vertex_t message);
+
+// --- Complex reads ---
+
+/// IC1: persons with a given first name within 3 knows-hops, nearest first,
+/// up to `limit` ("Complex read 1 accesses many vertices (3-hop
+/// neighbors)", §7.3).
+struct NamedPerson {
+  vertex_t person;
+  int distance;
+};
+std::vector<NamedPerson> ComplexFriendsByName(const GraphReadView& view,
+                                              vertex_t start,
+                                              uint16_t first_name,
+                                              size_t limit = 20);
+
+/// IC2: 20 most recent messages created by the person's friends, newest
+/// first.
+std::vector<RecentMessage> ComplexFriendMessages(const GraphReadView& view,
+                                                 vertex_t person,
+                                                 int64_t max_date,
+                                                 size_t limit = 20);
+
+/// IC9: 20 most recent messages by friends or friends-of-friends strictly
+/// before `max_date`.
+std::vector<RecentMessage> ComplexFofMessages(const GraphReadView& view,
+                                              vertex_t person,
+                                              int64_t max_date,
+                                              size_t limit = 20);
+
+/// IC13: length of the shortest knows-path between two persons, -1 if
+/// disconnected ("Complex read 13 performs pairwise shortest path
+/// computation", §7.3). Bidirectional BFS.
+int ComplexShortestPath(const GraphReadView& view, vertex_t a, vertex_t b);
+
+/// IC6-style: tags co-occurring with `tag` on friends' messages — for each
+/// message by a friend (1-2 hops) that carries `tag`, count its other tags.
+struct TagCount {
+  vertex_t tag;
+  int64_t count;
+};
+std::vector<TagCount> ComplexCooccurringTags(const GraphReadView& view,
+                                             vertex_t person, vertex_t tag,
+                                             size_t limit = 10);
+
+// --- Updates (run against the store, transactional) ---
+
+vertex_t UpdateAddPerson(GraphStore* store, uint16_t first_name,
+                         uint16_t last_name, int64_t date, vertex_t place,
+                         const std::vector<vertex_t>& interests);
+
+vertex_t UpdateAddPost(GraphStore* store, vertex_t author, vertex_t forum,
+                       int64_t date, uint32_t length);
+
+vertex_t UpdateAddComment(GraphStore* store, vertex_t author, vertex_t parent,
+                          int64_t date, uint32_t length);
+
+void UpdateAddLike(GraphStore* store, vertex_t person, vertex_t message,
+                   int64_t date);
+
+void UpdateAddFriendship(GraphStore* store, vertex_t a, vertex_t b,
+                         int64_t date);
+
+}  // namespace livegraph::snb
+
+#endif  // LIVEGRAPH_SNB_QUERIES_H_

@@ -1,0 +1,104 @@
+// LDBC Social Network Benchmark schema (Erling et al., SIGMOD'15) — the
+// paper's real-time analytics workload (§7.1: "Its schema has 11 entities
+// connected by 20 relations"). Entities are property-graph vertices with
+// small binary payloads; relations are labelled edges, materialized in both
+// directions where queries traverse them backwards.
+#ifndef LIVEGRAPH_SNB_SCHEMA_H_
+#define LIVEGRAPH_SNB_SCHEMA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace livegraph::snb {
+
+// --- Edge labels ---
+inline constexpr label_t kKnows = 1;        // person <-> person (mutual)
+inline constexpr label_t kHasCreator = 2;   // message -> person
+inline constexpr label_t kCreated = 3;      // person -> message (reverse)
+inline constexpr label_t kLikes = 4;        // person -> message
+inline constexpr label_t kLikedBy = 5;      // message -> person (reverse)
+inline constexpr label_t kReplyOf = 6;      // comment -> parent message
+inline constexpr label_t kReplies = 7;      // message -> comment (reverse)
+inline constexpr label_t kHasTag = 8;       // message -> tag
+inline constexpr label_t kHasInterest = 9;  // person -> tag
+inline constexpr label_t kContainerOf = 10; // forum -> post
+inline constexpr label_t kHasMember = 11;   // forum -> person
+inline constexpr label_t kIsLocatedIn = 12; // person -> place
+inline constexpr label_t kHasModerator = 13;// forum -> person
+
+// --- Vertex kinds ---
+enum class EntityKind : uint8_t {
+  kPerson = 1,
+  kPost = 2,
+  kComment = 3,
+  kForum = 4,
+  kTag = 5,
+  kPlace = 6,
+};
+
+/// Person payload. Names are indices into the fixed pools below, mirroring
+/// the LDBC generator's dictionary-based attribute generation.
+struct Person {
+  EntityKind kind = EntityKind::kPerson;
+  uint16_t first_name;
+  uint16_t last_name;
+  int64_t birthday;
+  int64_t creation_date;
+};
+
+struct Message {  // posts and comments share the layout
+  EntityKind kind;  // kPost or kComment
+  int64_t creation_date;
+  vertex_t author;
+  uint32_t content_length;
+};
+
+struct Forum {
+  EntityKind kind = EntityKind::kForum;
+  vertex_t moderator;
+  int64_t creation_date;
+};
+
+struct Tag {
+  EntityKind kind = EntityKind::kTag;
+  uint32_t name;
+};
+
+struct Place {
+  EntityKind kind = EntityKind::kPlace;
+  uint32_t name;
+};
+
+inline constexpr int kFirstNamePool = 200;
+inline constexpr int kLastNamePool = 500;
+
+/// Knows-edge payload: friendship creation date (IS3 returns it).
+struct KnowsProps {
+  int64_t creation_date;
+};
+
+template <typename T>
+std::string Encode(const T& value) {
+  return std::string(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Decodes a payload; returns false on kind/size mismatch.
+template <typename T>
+bool Decode(std::string_view bytes, T* out) {
+  if (bytes.size() < sizeof(T)) return false;
+  std::memcpy(out, bytes.data(), sizeof(T));
+  return true;
+}
+
+inline EntityKind KindOf(std::string_view bytes) {
+  return bytes.empty() ? EntityKind::kPlace
+                       : static_cast<EntityKind>(bytes[0]);
+}
+
+}  // namespace livegraph::snb
+
+#endif  // LIVEGRAPH_SNB_SCHEMA_H_

@@ -1,0 +1,167 @@
+#include "snb/snb_driver.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "snb/queries.h"
+#include "util/random.h"
+
+namespace livegraph::snb {
+
+namespace {
+
+/// Shared mutable parameter state: updates append new entities that later
+/// requests may reference.
+struct DriverState {
+  explicit DriverState(SnbDataset* dataset) : data(dataset) {
+    clock.store(dataset->max_date + 1);
+  }
+  SnbDataset* data;
+  std::mutex mu;  // guards the dataset vectors during appends
+  std::atomic<int64_t> clock;
+
+  vertex_t RandomPerson(Xorshift& rng) {
+    std::lock_guard<std::mutex> guard(mu);
+    return data->persons[rng.NextBounded(data->persons.size())];
+  }
+  vertex_t RandomMessage(Xorshift& rng) {
+    std::lock_guard<std::mutex> guard(mu);
+    return data->messages[rng.NextBounded(data->messages.size())];
+  }
+  vertex_t RandomForum(Xorshift& rng) {
+    std::lock_guard<std::mutex> guard(mu);
+    return data->forums[rng.NextBounded(data->forums.size())];
+  }
+  vertex_t RandomTag(Xorshift& rng) {
+    std::lock_guard<std::mutex> guard(mu);
+    return data->tags[rng.NextBounded(data->tags.size())];
+  }
+  vertex_t RandomPlace(Xorshift& rng) {
+    std::lock_guard<std::mutex> guard(mu);
+    return data->places[rng.NextBounded(data->places.size())];
+  }
+  void AddPerson(vertex_t v) {
+    std::lock_guard<std::mutex> guard(mu);
+    data->persons.push_back(v);
+  }
+  void AddMessage(vertex_t v) {
+    std::lock_guard<std::mutex> guard(mu);
+    data->messages.push_back(v);
+  }
+};
+
+const char* RunComplex(GraphStore* store, DriverState* state, Xorshift& rng) {
+  auto view = store->OpenReadView();
+  int64_t now = state->clock.load(std::memory_order_relaxed);
+  switch (rng.NextBounded(5)) {
+    case 0: {
+      ComplexFriendsByName(*view, state->RandomPerson(rng),
+                           static_cast<uint16_t>(rng.NextBounded(kFirstNamePool)));
+      return "IC1";
+    }
+    case 1:
+      ComplexFriendMessages(*view, state->RandomPerson(rng), now);
+      return "IC2";
+    case 2:
+      ComplexFofMessages(*view, state->RandomPerson(rng), now);
+      return "IC9";
+    case 3:
+      ComplexCooccurringTags(*view, state->RandomPerson(rng),
+                             state->RandomTag(rng));
+      return "IC6";
+    default:
+      ComplexShortestPath(*view, state->RandomPerson(rng),
+                          state->RandomPerson(rng));
+      return "IC13";
+  }
+}
+
+const char* RunShort(GraphStore* store, DriverState* state, Xorshift& rng) {
+  auto view = store->OpenReadView();
+  switch (rng.NextBounded(6)) {
+    case 0: {
+      Person person;
+      ShortPersonProfile(*view, state->RandomPerson(rng), &person);
+      return "IS1";
+    }
+    case 1:
+      ShortRecentMessages(*view, state->RandomPerson(rng));
+      return "IS2";
+    case 2:
+      ShortFriends(*view, state->RandomPerson(rng));
+      return "IS3";
+    case 3: {
+      Message message;
+      ShortMessageContent(*view, state->RandomMessage(rng), &message);
+      return "IS4";
+    }
+    case 4:
+      ShortMessageCreator(*view, state->RandomMessage(rng));
+      return "IS5";
+    default:
+      ShortReplies(*view, state->RandomMessage(rng));
+      return "IS7";
+  }
+}
+
+const char* RunUpdate(GraphStore* store, DriverState* state, Xorshift& rng) {
+  int64_t date = state->clock.fetch_add(1, std::memory_order_relaxed);
+  switch (rng.NextBounded(5)) {
+    case 0: {
+      vertex_t v = UpdateAddPerson(
+          store, static_cast<uint16_t>(rng.NextBounded(kFirstNamePool)),
+          static_cast<uint16_t>(rng.NextBounded(kLastNamePool)), date,
+          state->RandomPlace(rng), {state->RandomTag(rng)});
+      state->AddPerson(v);
+      return "U1_ADD_PERSON";
+    }
+    case 1: {
+      UpdateAddLike(store, state->RandomPerson(rng), state->RandomMessage(rng),
+                    date);
+      return "U2_ADD_LIKE";
+    }
+    case 2: {
+      vertex_t v = UpdateAddComment(store, state->RandomPerson(rng),
+                                    state->RandomMessage(rng), date,
+                                    static_cast<uint32_t>(rng.NextBounded(500)));
+      state->AddMessage(v);
+      return "U3_ADD_COMMENT";
+    }
+    case 3: {
+      vertex_t v = UpdateAddPost(store, state->RandomPerson(rng),
+                                 state->RandomForum(rng), date,
+                                 static_cast<uint32_t>(rng.NextBounded(2000)));
+      state->AddMessage(v);
+      return "U6_ADD_POST";
+    }
+    default:
+      UpdateAddFriendship(store, state->RandomPerson(rng),
+                          state->RandomPerson(rng), date);
+      return "U8_ADD_FRIENDSHIP";
+  }
+}
+
+}  // namespace
+
+DriverResult RunSnb(GraphStore* store, SnbDataset* dataset,
+                    const SnbRunOptions& options) {
+  DriverState state(dataset);
+  DriverOptions driver;
+  driver.clients = options.clients;
+  driver.ops_per_client = options.ops_per_client;
+
+  auto client_op = [&, store](int client, uint64_t) -> const char* {
+    thread_local Xorshift rng(options.seed * 31 +
+                              static_cast<uint64_t>(client) + 1);
+    if (options.mode == SnbMode::kComplexOnly) {
+      return RunComplex(store, &state, rng);
+    }
+    double r = rng.NextDouble();
+    if (r < 0.0726) return RunComplex(store, &state, rng);
+    if (r < 0.0726 + 0.6382) return RunShort(store, &state, rng);
+    return RunUpdate(store, &state, rng);
+  };
+  return RunClients(driver, client_op);
+}
+
+}  // namespace livegraph::snb

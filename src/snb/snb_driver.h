@@ -1,0 +1,34 @@
+// SNB interactive driver: runs the official request mix — 7.26% complex
+// reads, 63.82% short reads, 28.91% updates (§7.3 "The Overall workload
+// uses SNB's official mix") — or Complex-Only, against any GraphStore.
+#ifndef LIVEGRAPH_SNB_SNB_DRIVER_H_
+#define LIVEGRAPH_SNB_SNB_DRIVER_H_
+
+#include <cstdint>
+
+#include "snb/datagen.h"
+#include "workload/driver.h"
+
+namespace livegraph::snb {
+
+enum class SnbMode {
+  kOverall,      // 7.26% complex / 63.82% short / 28.91% updates
+  kComplexOnly,  // complex reads only (Table 7/8 "Complex-Only" row)
+};
+
+struct SnbRunOptions {
+  SnbMode mode = SnbMode::kOverall;
+  int clients = 8;
+  uint64_t ops_per_client = 2000;
+  uint64_t seed = 99;
+};
+
+/// Runs the mix; per-query-class latencies land in
+/// DriverResult::per_class under the LDBC names (IC1, IC2, IC9, IC13,
+/// IS1, IS2, IS3, IS7, U_*).
+DriverResult RunSnb(GraphStore* store, SnbDataset* dataset,
+                    const SnbRunOptions& options);
+
+}  // namespace livegraph::snb
+
+#endif  // LIVEGRAPH_SNB_SNB_DRIVER_H_

@@ -1,0 +1,103 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace livegraph {
+
+namespace {
+
+[[noreturn]] void Die(const char* what) {
+  std::fprintf(stderr, "Wal: %s failed: %s\n", what, std::strerror(errno));
+  std::abort();
+}
+
+void AppendRaw(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+}  // namespace
+
+Wal::Wal(Options options) : options_(std::move(options)) {
+  fd_ = open(options_.path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) Die("open");
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void Wal::AppendBatch(timestamp_t epoch,
+                      const std::vector<std::string_view>& payloads) {
+  scratch_.clear();
+  for (std::string_view payload : payloads) {
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    uint32_t crc = Crc32c(&epoch, sizeof(epoch));
+    crc = Crc32c(payload.data(), payload.size(), crc);
+    AppendRaw(&scratch_, &len, sizeof(len));
+    AppendRaw(&scratch_, &crc, sizeof(crc));
+    AppendRaw(&scratch_, &epoch, sizeof(epoch));
+    AppendRaw(&scratch_, payload.data(), payload.size());
+  }
+  if (scratch_.empty()) return;
+  const char* data = scratch_.data();
+  size_t remaining = scratch_.size();
+  while (remaining > 0) {
+    ssize_t n = write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Die("write");
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  bytes_written_ += scratch_.size();
+  if (options_.fsync && fdatasync(fd_) != 0) Die("fdatasync");
+}
+
+void Wal::Reset() {
+  if (ftruncate(fd_, 0) != 0) Die("ftruncate");
+  if (lseek(fd_, 0, SEEK_SET) < 0) Die("lseek");
+  bytes_written_ = 0;
+}
+
+Wal::Reader::Reader(const std::string& path) {
+  fd_ = open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) return;  // missing WAL == empty WAL
+  off_t size = lseek(fd_, 0, SEEK_END);
+  if (size > 0) {
+    buffer_.resize(static_cast<size_t>(size));
+    ssize_t got = pread(fd_, buffer_.data(), buffer_.size(), 0);
+    if (got != size) buffer_.clear();
+  }
+}
+
+Wal::Reader::~Reader() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool Wal::Reader::Next(timestamp_t* epoch, std::string* payload) {
+  constexpr size_t kHeader = sizeof(uint32_t) * 2 + sizeof(timestamp_t);
+  if (pos_ + kHeader > buffer_.size()) return false;
+  uint32_t len, crc;
+  std::memcpy(&len, buffer_.data() + pos_, sizeof(len));
+  std::memcpy(&crc, buffer_.data() + pos_ + 4, sizeof(crc));
+  std::memcpy(epoch, buffer_.data() + pos_ + 8, sizeof(*epoch));
+  if (pos_ + kHeader + len > buffer_.size()) return false;  // torn tail
+  const uint8_t* body = buffer_.data() + pos_ + kHeader;
+  uint32_t expect = Crc32c(epoch, sizeof(*epoch));
+  expect = Crc32c(body, len, expect);
+  if (expect != crc) return false;  // corrupt record terminates replay
+  payload->assign(reinterpret_cast<const char*>(body), len);
+  pos_ += kHeader + len;
+  return true;
+}
+
+}  // namespace livegraph

@@ -1,0 +1,73 @@
+// Sequential write-ahead log with group commit (paper §5, persist phase).
+//
+// "The transaction manager first advances the GWE counter by 1, then appends
+// a batch of log entries to a sequential write-ahead log (WAL) and uses
+// fsync to persist it to stable storage."
+//
+// Record framing: [u32 payload_len][u32 crc32c(epoch ++ payload)]
+//                 [i64 epoch][payload bytes]
+// A torn tail record (crash mid-write) fails its CRC and terminates replay.
+#ifndef LIVEGRAPH_STORAGE_WAL_H_
+#define LIVEGRAPH_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace livegraph {
+
+class Wal {
+ public:
+  struct Options {
+    std::string path;
+    /// fsync after every batch. Disable for benchmarks that isolate
+    /// non-durability costs (paper: "persistence features are enabled for
+    /// all the systems, except when specified otherwise").
+    bool fsync = true;
+  };
+
+  explicit Wal(Options options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends one group-commit batch: every payload becomes a record stamped
+  /// with `epoch`, written with a single write() and one fsync.
+  void AppendBatch(timestamp_t epoch,
+                   const std::vector<std::string_view>& payloads);
+
+  /// Truncates the log (after a durable checkpoint supersedes it, §6).
+  void Reset();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Replays records from a WAL file in order. Stops at EOF or the first
+  /// corrupt/torn record.
+  class Reader {
+   public:
+    explicit Reader(const std::string& path);
+    ~Reader();
+
+    /// Returns false at end of log.
+    bool Next(timestamp_t* epoch, std::string* payload);
+
+   private:
+    int fd_ = -1;
+    std::vector<uint8_t> buffer_;
+    size_t pos_ = 0;
+  };
+
+ private:
+  Options options_;
+  int fd_ = -1;
+  std::string scratch_;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_STORAGE_WAL_H_

@@ -1,0 +1,63 @@
+#include "util/bloom_filter.h"
+
+#include <atomic>
+
+namespace livegraph {
+namespace {
+
+// Derives (block index, per-probe bit offsets) from the key hash. The low
+// bits choose bit positions; the high bits choose the block, following the
+// standard blocked-Bloom split so the two choices stay independent.
+struct Probe {
+  size_t block;
+  uint32_t h1;
+  uint32_t h2;
+};
+
+inline Probe MakeProbe(uint64_t key, size_t num_blocks) {
+  uint64_t h = BloomFilter::Hash(key);
+  Probe p;
+  p.block = static_cast<size_t>((h >> 32) % num_blocks);
+  p.h1 = static_cast<uint32_t>(h);
+  p.h2 = static_cast<uint32_t>(h >> 17) | 1u;  // odd step for double hashing
+  return p;
+}
+
+}  // namespace
+
+void BloomFilter::Insert(uint8_t* bits, size_t size_bytes, uint64_t key) {
+  const size_t num_blocks = size_bytes / kBlockBytes;
+  if (num_blocks == 0) return;
+  Probe p = MakeProbe(key, num_blocks);
+  uint8_t* block = bits + p.block * kBlockBytes;
+  uint32_t h = p.h1;
+  for (int i = 0; i < kProbes; ++i) {
+    uint32_t bit = h % (kBlockBytes * 8);
+    // Relaxed atomic OR: single-edge readers probe the filter without the
+    // vertex lock while the (single, lock-holding) writer inserts. A reader
+    // missing a bit of an uncommitted insert is harmless — the entry is
+    // timestamp-invisible to it anyway.
+    std::atomic_ref<uint8_t>(block[bit >> 3])
+        .fetch_or(uint8_t(1u << (bit & 7)), std::memory_order_relaxed);
+    h += p.h2;
+  }
+}
+
+bool BloomFilter::MayContain(const uint8_t* bits, size_t size_bytes,
+                             uint64_t key) {
+  const size_t num_blocks = size_bytes / kBlockBytes;
+  if (num_blocks == 0) return true;  // no filter => must scan
+  Probe p = MakeProbe(key, num_blocks);
+  const uint8_t* block = bits + p.block * kBlockBytes;
+  uint32_t h = p.h1;
+  for (int i = 0; i < kProbes; ++i) {
+    uint32_t bit = h % (kBlockBytes * 8);
+    uint8_t byte = std::atomic_ref<const uint8_t>(block[bit >> 3])
+                       .load(std::memory_order_relaxed);
+    if ((byte & uint8_t(1u << (bit & 7))) == 0) return false;
+    h += p.h2;
+  }
+  return true;
+}
+
+}  // namespace livegraph

@@ -1,0 +1,43 @@
+// Blocked Bloom filter operating over caller-owned memory.
+//
+// The paper (§4) embeds a fixed-size Bloom filter in each TEL header region
+// ("1/16 of the TEL for each block larger than 256 bytes") and uses a
+// blocked implementation [Putze et al.] for cache efficiency: a key probes
+// bits inside a single cache line, so a filter lookup costs one cache miss.
+//
+// The filter does not own its bits: TELs hand it a view into their block,
+// so it is expressed as static operations over a byte span.
+#ifndef LIVEGRAPH_UTIL_BLOOM_FILTER_H_
+#define LIVEGRAPH_UTIL_BLOOM_FILTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace livegraph {
+
+class BloomFilter {
+ public:
+  /// Cache-line-sized probe block.
+  static constexpr size_t kBlockBytes = 64;
+  /// Bits set per key inside the chosen block.
+  static constexpr int kProbes = 8;
+
+  /// Insert `key` into the filter stored at [bits, bits+size_bytes).
+  /// size_bytes must be a positive multiple of kBlockBytes.
+  static void Insert(uint8_t* bits, size_t size_bytes, uint64_t key);
+
+  /// Returns false only if `key` was definitely never inserted.
+  static bool MayContain(const uint8_t* bits, size_t size_bytes, uint64_t key);
+
+  /// Mixes a raw key into a well-distributed 64-bit hash.
+  static uint64_t Hash(uint64_t key) {
+    uint64_t x = key + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_UTIL_BLOOM_FILTER_H_

@@ -1,0 +1,17 @@
+// CRC32C checksums guarding WAL records and checkpoint files.
+#ifndef LIVEGRAPH_UTIL_CRC32_H_
+#define LIVEGRAPH_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace livegraph {
+
+/// CRC32C (Castagnoli polynomial), software slice-by-1 implementation.
+/// Used for torn-write detection on WAL records (§5 persist phase) and
+/// checkpoint integrity.
+uint32_t Crc32c(const void* data, size_t length, uint32_t seed = 0);
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_UTIL_CRC32_H_

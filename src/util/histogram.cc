@@ -1,0 +1,67 @@
+#include "util/histogram.h"
+
+#include <bit>
+
+namespace livegraph {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(kBuckets, 0), count_(0), sum_(0.0) {}
+
+int LatencyHistogram::BucketFor(uint64_t nanos) {
+  if (nanos == 0) return 0;
+  int exponent = 63 - std::countl_zero(nanos);
+  int sub;
+  if (exponent <= kSubBucketBits) {
+    // Small values: identity-map into the first buckets.
+    return static_cast<int>(nanos);
+  }
+  sub = static_cast<int>((nanos >> (exponent - kSubBucketBits)) &
+                         ((1 << kSubBucketBits) - 1));
+  int bucket = (exponent << kSubBucketBits) | sub;
+  return bucket >= kBuckets ? kBuckets - 1 : bucket;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(int bucket) {
+  int exponent = bucket >> kSubBucketBits;
+  int sub = bucket & ((1 << kSubBucketBits) - 1);
+  if (exponent <= kSubBucketBits) return static_cast<uint64_t>(bucket);
+  uint64_t base = uint64_t{1} << exponent;
+  uint64_t step = base >> kSubBucketBits;
+  return base + step * (sub + 1) - 1;
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  buckets_[BucketFor(nanos)]++;
+  count_++;
+  sum_ += static_cast<double>(nanos);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::MeanNanos() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t LatencyHistogram::PercentileNanos(double q) const {
+  if (count_ == 0) return 0;
+  auto target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (target >= count_) target = count_ - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.assign(kBuckets, 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace livegraph

@@ -1,0 +1,105 @@
+#include "util/mmap_region.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace livegraph {
+
+namespace {
+
+[[noreturn]] void Die(const char* what) {
+  std::fprintf(stderr, "MmapRegion: %s failed: %s\n", what,
+               std::strerror(errno));
+  std::abort();
+}
+
+size_t RoundUpToPage(size_t bytes) {
+  static const size_t kPage = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return (bytes + kPage - 1) & ~(kPage - 1);
+}
+
+}  // namespace
+
+MmapRegion MmapRegion::CreateAnonymous(size_t reserve_bytes) {
+  MmapRegion region;
+  region.reserved_ = RoundUpToPage(reserve_bytes);
+  void* addr = mmap(nullptr, region.reserved_, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (addr == MAP_FAILED) Die("mmap(anonymous)");
+  region.base_ = static_cast<uint8_t*>(addr);
+  region.committed_ = region.reserved_;  // lazily faulted by the kernel
+  return region;
+}
+
+MmapRegion MmapRegion::CreateFileBacked(const std::string& path,
+                                        size_t reserve_bytes) {
+  MmapRegion region;
+  region.path_ = path;
+  region.reserved_ = RoundUpToPage(reserve_bytes);
+  region.fd_ = open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (region.fd_ < 0) Die("open");
+  off_t existing = lseek(region.fd_, 0, SEEK_END);
+  if (existing < 0) Die("lseek");
+  size_t initial = RoundUpToPage(
+      std::max<size_t>(static_cast<size_t>(existing), 1 << 20));
+  if (ftruncate(region.fd_, static_cast<off_t>(initial)) != 0)
+    Die("ftruncate");
+  void* addr = mmap(nullptr, region.reserved_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_NORESERVE, region.fd_, 0);
+  if (addr == MAP_FAILED) Die("mmap(file)");
+  region.base_ = static_cast<uint8_t*>(addr);
+  region.committed_ = initial;
+  return region;
+}
+
+MmapRegion::~MmapRegion() {
+  if (base_ != nullptr) munmap(base_, reserved_);
+  if (fd_ >= 0) close(fd_);
+}
+
+MmapRegion::MmapRegion(MmapRegion&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      reserved_(std::exchange(other.reserved_, 0)),
+      committed_(std::exchange(other.committed_, 0)),
+      fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)) {}
+
+MmapRegion& MmapRegion::operator=(MmapRegion&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) munmap(base_, reserved_);
+    if (fd_ >= 0) close(fd_);
+    base_ = std::exchange(other.base_, nullptr);
+    reserved_ = std::exchange(other.reserved_, 0);
+    committed_ = std::exchange(other.committed_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void MmapRegion::EnsureCommitted(size_t bytes) {
+  if (bytes <= committed_) return;
+  if (bytes > reserved_) Die("reservation exhausted; raise Options reserve");
+  if (fd_ < 0) return;  // anonymous memory faults in on demand
+  // Grow the file in large steps to amortize ftruncate calls.
+  size_t target = committed_;
+  while (target < bytes) target *= 2;
+  if (target > reserved_) target = reserved_;
+  if (ftruncate(fd_, static_cast<off_t>(target)) != 0) Die("ftruncate(grow)");
+  committed_ = target;
+}
+
+void MmapRegion::Sync(bool async) {
+  if (fd_ < 0 || base_ == nullptr) return;
+  msync(base_, committed_, async ? MS_ASYNC : MS_SYNC);
+}
+
+}  // namespace livegraph

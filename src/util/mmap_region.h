@@ -1,0 +1,62 @@
+// Growable mmap-backed memory region.
+//
+// LiveGraph stores all vertex blocks and TELs "in a single large
+// memory-mapped file managed by LiveGraph's memory allocator" (§3, §6) and
+// relies on the OS page cache for out-of-core operation. This wrapper
+// reserves a large virtual range up front (so block offsets translate to
+// stable addresses without remapping) and commits pages lazily; with a
+// backing file it extends the file as the high-water mark grows.
+#ifndef LIVEGRAPH_UTIL_MMAP_REGION_H_
+#define LIVEGRAPH_UTIL_MMAP_REGION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace livegraph {
+
+class MmapRegion {
+ public:
+  /// Creates an anonymous (purely in-memory) region reserving
+  /// `reserve_bytes` of virtual address space.
+  static MmapRegion CreateAnonymous(size_t reserve_bytes);
+
+  /// Creates (or opens) a file-backed region. The file is grown with
+  /// ftruncate as EnsureCommitted extends the high-water mark.
+  static MmapRegion CreateFileBacked(const std::string& path,
+                                     size_t reserve_bytes);
+
+  MmapRegion() = default;
+  ~MmapRegion();
+
+  MmapRegion(MmapRegion&& other) noexcept;
+  MmapRegion& operator=(MmapRegion&& other) noexcept;
+  MmapRegion(const MmapRegion&) = delete;
+  MmapRegion& operator=(const MmapRegion&) = delete;
+
+  /// Base address of the reservation; stable for the region's lifetime.
+  uint8_t* data() const { return base_; }
+  size_t reserved() const { return reserved_; }
+  /// Bytes currently committed (file length for file-backed regions).
+  size_t committed() const { return committed_; }
+  bool file_backed() const { return fd_ >= 0; }
+
+  /// Ensures [0, bytes) is usable, growing the backing file if needed.
+  /// Thread-compatible: callers must serialize growth externally (the block
+  /// manager does, under its allocation lock).
+  void EnsureCommitted(size_t bytes);
+
+  /// msync for durability of file-backed regions (no-op otherwise).
+  void Sync(bool async = false);
+
+ private:
+  uint8_t* base_ = nullptr;
+  size_t reserved_ = 0;
+  size_t committed_ = 0;
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_UTIL_MMAP_REGION_H_

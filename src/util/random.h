@@ -1,0 +1,49 @@
+// Fast deterministic PRNG used by workload generators and property tests.
+#ifndef LIVEGRAPH_UTIL_RANDOM_H_
+#define LIVEGRAPH_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace livegraph {
+
+/// xorshift128+ generator: fast, decent quality, fully deterministic for a
+/// given seed — required so benchmark runs and property tests are
+/// reproducible across machines.
+class Xorshift {
+ public:
+  explicit Xorshift(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding avoids weak all-zero-ish states.
+    uint64_t z = seed;
+    for (int i = 0; i < 2; ++i) {
+      z += 0x9E3779B97F4A7C15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      state_[i] = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t s1 = state_[0];
+    const uint64_t s0 = state_[1];
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return state_[1] + s0;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_[2];
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_UTIL_RANDOM_H_

@@ -1,0 +1,38 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace livegraph {
+
+void ParallelFor(int64_t begin, int64_t end, int threads,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t chunk) {
+  if (end <= begin) return;
+  if (threads <= 1 || end - begin <= chunk) {
+    fn(begin, end);
+    return;
+  }
+  std::atomic<int64_t> next(begin);
+  auto worker = [&] {
+    while (true) {
+      int64_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) return;
+      int64_t hi = lo + chunk < end ? lo + chunk : end;
+      fn(lo, hi);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads) - 1);
+  for (int i = 1; i < threads; ++i) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+}
+
+int DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,25 @@
+// Minimal parallel-for used by analytics (§7.4) and the checkpointer (§6,
+// "a checkpointer which can be configured to use any number of threads").
+#ifndef LIVEGRAPH_UTIL_THREAD_POOL_H_
+#define LIVEGRAPH_UTIL_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace livegraph {
+
+/// Runs fn(begin..end) partitioned over `threads` workers with dynamic
+/// chunked scheduling (power-law degree graphs make static partitioning
+/// badly imbalanced). Blocks until all iterations complete. Threads are
+/// spawned per call: analytics runs are long enough that spawn cost is
+/// noise, and it keeps the utility dependency-free.
+void ParallelFor(int64_t begin, int64_t end, int threads,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t chunk = 1024);
+
+/// Number of hardware threads, clamped to at least 1.
+int DefaultThreads();
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,78 @@
+// Core identifier and timestamp types shared by every LiveGraph module.
+#ifndef LIVEGRAPH_UTIL_TYPES_H_
+#define LIVEGRAPH_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace livegraph {
+
+/// Vertex identifier. Vertex IDs are allocated contiguously from zero by
+/// Graph::AddVertex (paper §4, "adding a new vertex first uses an atomic
+/// fetch-and-add operation to get the vertex ID").
+using vertex_t = int64_t;
+
+/// Edge label. Each edge carries exactly one label; edges incident to the
+/// same vertex are grouped into one adjacency list (TEL) per label (§3).
+using label_t = uint16_t;
+
+/// Logical timestamp / epoch. Positive values are commit epochs handed out
+/// by the transaction manager; negative values are `-TID` markers that make
+/// in-flight updates private to their writing transaction (§5).
+using timestamp_t = int64_t;
+
+/// Offset of a block inside the block store's mmap region. Offsets are
+/// stable across region growth, unlike raw pointers.
+using block_ptr_t = uint64_t;
+
+/// Sentinel for "no block". Zero, deliberately: index arrays and lock
+/// tables live in zero-filled anonymous mmap pages, so "absent" needs no
+/// initialization pass. Packed block references always carry an order
+/// >= 6 in their top byte (see block_manager.h), so no real block ever
+/// encodes to zero.
+inline constexpr block_ptr_t kNullBlock = 0;
+
+/// Sentinel for "no vertex".
+inline constexpr vertex_t kNullVertex = -1;
+
+/// Invalidation timestamp of a live edge entry ("NULL" in the paper's
+/// notation). Chosen as +inf so the visibility test `read_ts < invalidation`
+/// holds naturally for live entries.
+inline constexpr timestamp_t kNullTimestamp =
+    std::numeric_limits<timestamp_t>::max();
+
+/// Epoch published in the reading-epoch table by workers with no ongoing
+/// transaction; never blocks compaction.
+inline constexpr timestamp_t kIdleEpoch =
+    std::numeric_limits<timestamp_t>::max();
+
+/// Operation status for non-throwing write paths. The paper's prototype
+/// uses exceptions (`Timeout`, `RollbackExcept`); we surface the same
+/// conditions as values, which keeps the hot path branch-predictable.
+enum class Status {
+  kOk = 0,
+  /// Write-write conflict: the TEL/vertex was committed to by a transaction
+  /// with a timestamp above this transaction's read epoch (§5, CT check).
+  kConflict,
+  /// Vertex lock acquisition timed out (deadlock-avoidance timeout, §5).
+  kTimeout,
+  kNotFound,
+  /// The transaction was already aborted or committed.
+  kNotActive,
+};
+
+/// Human-readable status name, for logs and test failure messages.
+inline const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "Ok";
+    case Status::kConflict: return "Conflict";
+    case Status::kTimeout: return "Timeout";
+    case Status::kNotFound: return "NotFound";
+    case Status::kNotActive: return "NotActive";
+  }
+  return "Unknown";
+}
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_UTIL_TYPES_H_

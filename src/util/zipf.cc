@@ -1,0 +1,60 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+namespace livegraph {
+
+double ZipfSampler::Zeta(uint64_t n, double theta) {
+  // Exact harmonic sum for small n; for large n switch to the standard
+  // integral approximation so construction stays O(1)-ish.
+  if (n <= 1'000'000) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+    return sum;
+  }
+  double head = 0.0;
+  const uint64_t kHead = 1'000'000;
+  for (uint64_t i = 1; i <= kHead; ++i) head += 1.0 / std::pow(double(i), theta);
+  // Integral of x^-theta from kHead to n.
+  double tail = (std::pow(double(n), 1.0 - theta) -
+                 std::pow(double(kHead), 1.0 - theta)) /
+                (1.0 - theta);
+  return head + tail;
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta)
+    : n_(n < 1 ? 1 : n), theta_(theta) {
+  zetan_ = Zeta(n_, theta_);
+  double zeta2 = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / double(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfSampler::Sample(Xorshift& rng) const {
+  double u = rng.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto v = static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+ScrambledZipf::ScrambledZipf(uint64_t n, double theta, uint64_t seed)
+    : zipf_(n, theta), n_(n < 1 ? 1 : n) {
+  Xorshift rng(seed);
+  multiplier_ = rng.Next() | 1;  // odd => invertible mod 2^64
+}
+
+uint64_t ScrambledZipf::Sample(Xorshift& rng) const {
+  uint64_t rank = zipf_.Sample(rng);
+  // Fibonacci-style hash keeps the mapping a (near-)uniform spread. Using
+  // the high bits of the product avoids modulo bias clustering.
+  unsigned __int128 prod =
+      static_cast<unsigned __int128>(rank * multiplier_ + 0x9E3779B97F4A7C15ull) *
+      n_;
+  return static_cast<uint64_t>(prod >> 64);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,55 @@
+// Zipf / power-law samplers used to pick workload start vertices (§2.1:
+// "each start vertex is selected randomly under a power-law distribution").
+#ifndef LIVEGRAPH_UTIL_ZIPF_H_
+#define LIVEGRAPH_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace livegraph {
+
+/// Zipfian sampler over [0, n) with exponent theta, using the rejection
+/// method of Gray et al. (same approach as YCSB's ZipfianGenerator). O(1)
+/// per sample after O(1) setup; no O(n) tables.
+class ZipfSampler {
+ public:
+  /// @param n      domain size, must be >= 1.
+  /// @param theta  skew in (0, 1); 0.99 approximates social-graph skew.
+  ZipfSampler(uint64_t n, double theta = 0.99);
+
+  /// Draw one sample in [0, n). Hot items are the small ranks.
+  uint64_t Sample(Xorshift& rng) const;
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+};
+
+/// Maps Zipf ranks onto vertex IDs with a fixed pseudo-random permutation so
+/// hot vertices are spread across the ID space (avoids accidentally
+/// benchmarking only the lowest IDs, which some structures lay out
+/// adjacently).
+class ScrambledZipf {
+ public:
+  ScrambledZipf(uint64_t n, double theta = 0.99, uint64_t seed = 42);
+
+  uint64_t Sample(Xorshift& rng) const;
+
+ private:
+  ZipfSampler zipf_;
+  uint64_t n_;
+  uint64_t multiplier_;  // odd multiplier => bijection mod 2^64, folded to n
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_UTIL_ZIPF_H_

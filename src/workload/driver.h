@@ -1,0 +1,44 @@
+// Multi-client benchmark driver: N client threads each execute a stream of
+// operations, recording per-class latency histograms; aggregates
+// throughput. Mirrors the paper's harness ("each client sends 500K query
+// requests", optional recorded think times, §7.1/§7.2).
+#ifndef LIVEGRAPH_WORKLOAD_DRIVER_H_
+#define LIVEGRAPH_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace livegraph {
+
+struct DriverResult {
+  double seconds;
+  uint64_t operations;
+  double throughput() const {
+    return seconds > 0 ? double(operations) / seconds : 0.0;
+  }
+  LatencyHistogram overall;
+  std::map<std::string, LatencyHistogram> per_class;
+};
+
+/// One client's operation: executes op #i and returns its class name for
+/// histogram bucketing.
+using ClientOp = std::function<const char*(int client, uint64_t i)>;
+
+struct DriverOptions {
+  int clients = 8;
+  uint64_t ops_per_client = 100'000;
+  /// Fixed think time between requests in nanoseconds (0 = closed loop at
+  /// full speed, as in the paper's saturation runs).
+  uint64_t think_time_ns = 0;
+};
+
+DriverResult RunClients(const DriverOptions& options, const ClientOp& op);
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_WORKLOAD_DRIVER_H_

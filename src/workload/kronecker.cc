@@ -1,0 +1,36 @@
+#include "workload/kronecker.h"
+
+#include "util/random.h"
+
+namespace livegraph {
+
+std::vector<std::pair<vertex_t, vertex_t>> GenerateKronecker(
+    const KroneckerOptions& options) {
+  const uint64_t n = uint64_t{1} << options.scale;
+  const uint64_t m = n * static_cast<uint64_t>(options.average_degree);
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  edges.reserve(m);
+  Xorshift rng(options.seed);
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  for (uint64_t e = 0; e < m; ++e) {
+    uint64_t src = 0, dst = 0;
+    for (int bit = 0; bit < options.scale; ++bit) {
+      double r = rng.NextDouble();
+      if (r < options.a) {
+        // top-left quadrant: neither bit set
+      } else if (r < ab) {
+        dst |= uint64_t{1} << bit;
+      } else if (r < abc) {
+        src |= uint64_t{1} << bit;
+      } else {
+        src |= uint64_t{1} << bit;
+        dst |= uint64_t{1} << bit;
+      }
+    }
+    edges.emplace_back(static_cast<vertex_t>(src), static_cast<vertex_t>(dst));
+  }
+  return edges;
+}
+
+}  // namespace livegraph

@@ -1,0 +1,33 @@
+// Kronecker (R-MAT) graph generator [Leskovec et al., JMLR'10] — the
+// generator the paper uses for its §2.1 micro-benchmarks ("Graphs are
+// generated using the Kronecker generator with sizes ranging from 2^20 to
+// 2^26 vertices, and an average degree of 4").
+#ifndef LIVEGRAPH_WORKLOAD_KRONECKER_H_
+#define LIVEGRAPH_WORKLOAD_KRONECKER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace livegraph {
+
+struct KroneckerOptions {
+  int scale = 16;          // |V| = 2^scale
+  int average_degree = 4;  // |E| = |V| * average_degree
+  // Graph500 initiator probabilities (power-law degree distribution).
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  uint64_t seed = 2026;
+};
+
+/// Generates |V|*degree directed edges; multi-edges possible (stores treat
+/// repeats as upserts, matching the paper's insertion workload).
+std::vector<std::pair<vertex_t, vertex_t>> GenerateKronecker(
+    const KroneckerOptions& options);
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_WORKLOAD_KRONECKER_H_

@@ -1,0 +1,166 @@
+#include "workload/linkbench.h"
+
+#include <atomic>
+
+#include "util/random.h"
+#include "util/zipf.h"
+#include "workload/kronecker.h"
+
+namespace livegraph {
+
+namespace {
+
+constexpr label_t kLinkType = 0;
+
+// LinkBench paper's default operation mix (percent).
+constexpr double kDflt[kNumLinkBenchOps] = {
+    /*AddNode*/ 2.6,    /*UpdateNode*/ 7.4, /*DeleteNode*/ 1.0,
+    /*GetNode*/ 12.9,   /*AddLink*/ 9.0,    /*DeleteLink*/ 3.0,
+    /*UpdateLink*/ 8.0, /*CountLink*/ 4.9,  /*MultigetLink*/ 0.5,
+    /*GetLinkList*/ 50.7};
+
+// TAO: 99.8% reads split per the TAO paper; 0.2% writes split by TAO's
+// write breakdown (assoc_add dominating).
+constexpr double kTao[kNumLinkBenchOps] = {
+    /*AddNode*/ 0.033,   /*UpdateNode*/ 0.041, /*DeleteNode*/ 0.004,
+    /*GetNode*/ 28.842,  /*AddLink*/ 0.105,    /*DeleteLink*/ 0.017,
+    /*UpdateLink*/ 0.0,  /*CountLink*/ 11.677, /*MultigetLink*/ 15.669,
+    /*GetLinkList*/ 43.612};
+
+constexpr bool kIsWrite[kNumLinkBenchOps] = {true,  true,  true, false, true,
+                                             true,  true,  false, false, false};
+
+LinkBenchMix Normalize(const double (&raw)[kNumLinkBenchOps]) {
+  LinkBenchMix mix{};
+  double sum = 0;
+  for (double v : raw) sum += v;
+  for (int i = 0; i < kNumLinkBenchOps; ++i) mix[size_t(i)] = raw[i] / sum;
+  return mix;
+}
+
+}  // namespace
+
+LinkBenchMix DfltMix() { return Normalize(kDflt); }
+LinkBenchMix TaoMix() { return Normalize(kTao); }
+
+LinkBenchMix MixWithWriteRatio(double write_fraction) {
+  LinkBenchMix base = DfltMix();
+  double write_sum = 0, read_sum = 0;
+  for (int i = 0; i < kNumLinkBenchOps; ++i) {
+    (kIsWrite[i] ? write_sum : read_sum) += base[size_t(i)];
+  }
+  LinkBenchMix mix{};
+  for (int i = 0; i < kNumLinkBenchOps; ++i) {
+    mix[size_t(i)] = kIsWrite[i]
+                         ? base[size_t(i)] / write_sum * write_fraction
+                         : base[size_t(i)] / read_sum * (1.0 - write_fraction);
+  }
+  return mix;
+}
+
+const char* LinkBenchOpName(LinkBenchOp op) {
+  static const char* kNames[] = {"ADD_NODE",    "UPDATE_NODE", "DELETE_NODE",
+                                 "GET_NODE",    "ADD_LINK",    "DELETE_LINK",
+                                 "UPDATE_LINK", "COUNT_LINK",  "MULTIGET_LINK",
+                                 "GET_LINKS_LIST"};
+  return kNames[static_cast<int>(op)];
+}
+
+vertex_t LoadLinkBenchGraph(GraphStore* store,
+                            const LinkBenchConfig& config) {
+  const auto n = vertex_t{1} << config.scale;
+  std::string payload(config.payload_bytes, 'v');
+  for (vertex_t v = 0; v < n; ++v) store->AddNode(payload);
+  KroneckerOptions kron;
+  kron.scale = config.scale;
+  kron.average_degree = 4;
+  kron.seed = config.seed;
+  std::string link_payload(config.payload_bytes, 'e');
+  for (const auto& [src, dst] : GenerateKronecker(kron)) {
+    store->AddLink(src, kLinkType, dst, link_payload);
+  }
+  return n;
+}
+
+DriverResult RunLinkBench(GraphStore* store, const LinkBenchConfig& config,
+                          vertex_t vertex_count) {
+  // Cumulative distribution over ops.
+  std::array<double, kNumLinkBenchOps> cdf{};
+  double acc = 0;
+  for (int i = 0; i < kNumLinkBenchOps; ++i) {
+    acc += config.mix[size_t(i)];
+    cdf[size_t(i)] = acc;
+  }
+  ScrambledZipf zipf(static_cast<uint64_t>(vertex_count), config.zipf_theta,
+                     config.seed);
+  std::string payload(config.payload_bytes, 'w');
+  // New nodes appended during the run extend the ID space.
+  std::atomic<vertex_t> max_vertex{vertex_count};
+
+  DriverOptions driver;
+  driver.clients = config.clients;
+  driver.ops_per_client = config.ops_per_client;
+  driver.think_time_ns = config.think_time_ns;
+
+  auto client_op = [&, store](int client, uint64_t i) -> const char* {
+    thread_local Xorshift rng(config.seed * 7919 +
+                              static_cast<uint64_t>(client) + 1);
+    double r = rng.NextDouble();
+    int op_index = 0;
+    while (op_index < kNumLinkBenchOps - 1 && r > cdf[size_t(op_index)]) {
+      op_index++;
+    }
+    auto op = static_cast<LinkBenchOp>(op_index);
+    vertex_t id1 = static_cast<vertex_t>(zipf.Sample(rng));
+    vertex_t id2 = static_cast<vertex_t>(zipf.Sample(rng));
+    std::string out;
+    switch (op) {
+      case LinkBenchOp::kAddNode: {
+        vertex_t v = store->AddNode(payload);
+        vertex_t expected = max_vertex.load(std::memory_order_relaxed);
+        while (v >= expected && !max_vertex.compare_exchange_weak(
+                                    expected, v + 1,
+                                    std::memory_order_relaxed)) {
+        }
+        break;
+      }
+      case LinkBenchOp::kUpdateNode:
+        store->UpdateNode(id1, payload);
+        break;
+      case LinkBenchOp::kDeleteNode:
+        store->DeleteNode(id1);
+        break;
+      case LinkBenchOp::kGetNode:
+        store->GetNode(id1, &out);
+        break;
+      case LinkBenchOp::kAddLink:
+        store->AddLink(id1, kLinkType, id2, payload);
+        break;
+      case LinkBenchOp::kDeleteLink:
+        store->DeleteLink(id1, kLinkType, id2);
+        break;
+      case LinkBenchOp::kUpdateLink:
+        store->AddLink(id1, kLinkType, id2, payload);  // upsert
+        break;
+      case LinkBenchOp::kCountLink:
+        store->CountLinks(id1, kLinkType);
+        break;
+      case LinkBenchOp::kMultigetLink:
+        store->GetLink(id1, kLinkType, id2, &out);
+        break;
+      case LinkBenchOp::kGetLinkList:
+      default: {
+        size_t remaining = config.range_limit;
+        store->ScanLinks(id1, kLinkType,
+                         [&remaining](vertex_t, std::string_view) {
+                           return --remaining > 0;
+                         });
+        break;
+      }
+    }
+    return LinkBenchOpName(op);
+  };
+  return RunClients(driver, client_op);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,77 @@
+// LinkBench workload (Armstrong et al., SIGMOD'13) — Facebook's social
+// graph benchmark, the paper's transactional workload (§7.1/§7.2). Two
+// mixes: DFLT (69% reads / 31% writes, the benchmark default) and TAO
+// (99.8% reads, parameters from the Facebook TAO paper).
+#ifndef LIVEGRAPH_WORKLOAD_LINKBENCH_H_
+#define LIVEGRAPH_WORKLOAD_LINKBENCH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "baselines/store_interface.h"
+#include "workload/driver.h"
+
+namespace livegraph {
+
+enum class LinkBenchOp {
+  kAddNode = 0,
+  kUpdateNode,
+  kDeleteNode,
+  kGetNode,
+  kAddLink,
+  kDeleteLink,
+  kUpdateLink,
+  kCountLink,
+  kMultigetLink,
+  kGetLinkList,
+  kNumOps,
+};
+
+constexpr int kNumLinkBenchOps = static_cast<int>(LinkBenchOp::kNumOps);
+
+/// Operation mix: probabilities summing to 1.
+using LinkBenchMix = std::array<double, kNumLinkBenchOps>;
+
+/// LinkBench default mix (benchmark paper, Table 2): 69.0% reads.
+LinkBenchMix DfltMix();
+
+/// TAO read-mostly mix: 99.8% reads with the TAO paper's read breakdown
+/// (assoc_range 40.9, obj_get 28.9, assoc_get 15.7, assoc_count 11.7,
+/// assoc_time_range 2.8 — the last folded into range scans).
+LinkBenchMix TaoMix();
+
+/// Mix with an exact write fraction, interpolated from DFLT's relative
+/// write/read breakdowns (Figure 8's write-ratio sweep).
+LinkBenchMix MixWithWriteRatio(double write_fraction);
+
+struct LinkBenchConfig {
+  /// Base graph: |V| = 1<<scale vertices, |E| ~ 4.4|V| (the paper's 32M/140M
+  /// base graph has the same ratio).
+  int scale = 17;
+  uint64_t seed = 7;
+  /// Node/link payload bytes (LinkBench's median data size ~128 B).
+  size_t payload_bytes = 120;
+  double zipf_theta = 0.99;
+  /// GET_LINKS_LIST limit (LinkBench default 10'000; TAO caps at 6'000 but
+  /// most lists are short anyway).
+  size_t range_limit = 10'000;
+  LinkBenchMix mix = DfltMix();
+  int clients = 8;
+  uint64_t ops_per_client = 50'000;
+  uint64_t think_time_ns = 0;
+};
+
+/// Loads the base graph (Kronecker edges + payloads) into `store`.
+/// Returns the number of vertices created.
+vertex_t LoadLinkBenchGraph(GraphStore* store, const LinkBenchConfig& config);
+
+/// Runs the request mix against a pre-loaded store.
+DriverResult RunLinkBench(GraphStore* store, const LinkBenchConfig& config,
+                          vertex_t vertex_count);
+
+const char* LinkBenchOpName(LinkBenchOp op);
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_WORKLOAD_LINKBENCH_H_

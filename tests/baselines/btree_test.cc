@@ -1,0 +1,113 @@
+#include "baselines/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace livegraph {
+namespace {
+
+TEST(BPlusTree, InsertFindErase) {
+  BPlusTree tree;
+  EdgeKey k{1, 0, 2};
+  EXPECT_EQ(tree.Find(k), nullptr);
+  EXPECT_TRUE(tree.Insert(k, "v1"));
+  ASSERT_NE(tree.Find(k), nullptr);
+  EXPECT_EQ(*tree.Find(k), "v1");
+  EXPECT_FALSE(tree.Insert(k, "v2"));  // upsert updates in place
+  EXPECT_EQ(*tree.Find(k), "v2");
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Erase(k));
+  EXPECT_EQ(tree.Find(k), nullptr);
+  EXPECT_FALSE(tree.Erase(k));
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(BPlusTree, KeyOrderingIsSrcLabelDst) {
+  EXPECT_LT((EdgeKey{1, 0, 9}), (EdgeKey{2, 0, 0}));
+  EXPECT_LT((EdgeKey{1, 0, 9}), (EdgeKey{1, 1, 0}));
+  EXPECT_LT((EdgeKey{1, 1, 3}), (EdgeKey{1, 1, 4}));
+  EXPECT_EQ((EdgeKey{1, 1, 3}), (EdgeKey{1, 1, 3}));
+}
+
+TEST(BPlusTree, RangeScanWithinSource) {
+  BPlusTree tree;
+  for (vertex_t src = 0; src < 10; ++src) {
+    for (vertex_t dst = 0; dst < 20; ++dst) {
+      tree.Insert(EdgeKey{src, 0, dst}, "x");
+    }
+  }
+  // Scan src=5: exactly its 20 edges, in dst order.
+  std::vector<vertex_t> dsts;
+  for (auto it = tree.LowerBound(EdgeKey{5, 0, INT64_MIN}); it.Valid();
+       it.Next()) {
+    if (it.key().src != 5) break;
+    dsts.push_back(it.key().dst);
+  }
+  ASSERT_EQ(dsts.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(dsts.begin(), dsts.end()));
+}
+
+TEST(BPlusTree, LogarithmicHeightGrowth) {
+  BPlusTree tree;
+  Xorshift rng(5);
+  for (int i = 0; i < 100'000; ++i) {
+    tree.Insert(EdgeKey{static_cast<vertex_t>(rng.Next() % 1'000'000), 0,
+                        static_cast<vertex_t>(rng.Next())},
+                "v");
+  }
+  // Fanout 64: 100K keys fit within height 4 (64^3 = 262144 > 100K/32).
+  EXPECT_LE(tree.height(), 4);
+  EXPECT_GE(tree.height(), 3);
+}
+
+TEST(BPlusTree, MatchesReferenceMapUnderRandomOps) {
+  BPlusTree tree;
+  std::map<EdgeKey, std::string> reference;
+  Xorshift rng(17);
+  for (int i = 0; i < 50'000; ++i) {
+    EdgeKey key{static_cast<vertex_t>(rng.NextBounded(64)),
+                static_cast<label_t>(rng.NextBounded(2)),
+                static_cast<vertex_t>(rng.NextBounded(64))};
+    if (rng.NextBounded(4) == 0) {
+      EXPECT_EQ(tree.Erase(key), reference.erase(key) > 0) << "op " << i;
+    } else {
+      std::string value = "v" + std::to_string(i);
+      EXPECT_EQ(tree.Insert(key, value), reference.count(key) == 0);
+      reference[key] = value;
+    }
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(tree.Find(key), nullptr);
+    EXPECT_EQ(*tree.Find(key), value);
+  }
+  // Full ordered iteration matches reference order.
+  auto ref_it = reference.begin();
+  for (auto it = tree.LowerBound(EdgeKey{INT64_MIN, 0, INT64_MIN}); it.Valid();
+       it.Next(), ++ref_it) {
+    ASSERT_NE(ref_it, reference.end());
+    EXPECT_EQ(it.key(), ref_it->first);
+  }
+  EXPECT_EQ(ref_it, reference.end());
+}
+
+TEST(BPlusTree, PageSimChargesSeeks) {
+  PageCacheSim sim(PageCacheSim::Optane(2));  // tiny cache: everything misses
+  BPlusTree tree(&sim);
+  for (int i = 0; i < 10'000; ++i) {
+    tree.Insert(EdgeKey{i % 500, 0, i}, "v");
+  }
+  sim.ResetStats();
+  tree.Find(EdgeKey{250, 0, 250 + 4500});
+  auto stats = sim.GetStats();
+  EXPECT_GT(stats.misses + stats.hits, 1u)
+      << "a B+ tree seek must touch multiple nodes";
+}
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,146 @@
+#include "baselines/lsmt.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
+
+namespace livegraph {
+namespace {
+
+Lsmt::Options SmallMemtable() {
+  Lsmt::Options options;
+  options.memtable_bytes = 16 << 10;  // force frequent flushes
+  options.max_runs = 4;
+  return options;
+}
+
+TEST(Lsmt, PutGetDelete) {
+  Lsmt lsmt;
+  EdgeKey k{1, 0, 2};
+  std::string out;
+  EXPECT_FALSE(lsmt.Get(k, &out));
+  EXPECT_TRUE(lsmt.Put(k, "v1"));
+  ASSERT_TRUE(lsmt.Get(k, &out));
+  EXPECT_EQ(out, "v1");
+  EXPECT_FALSE(lsmt.Put(k, "v2"));  // overwrite
+  ASSERT_TRUE(lsmt.Get(k, &out));
+  EXPECT_EQ(out, "v2");
+  EXPECT_TRUE(lsmt.Delete(k));
+  EXPECT_FALSE(lsmt.Get(k, &out));
+  EXPECT_FALSE(lsmt.Delete(k));
+}
+
+TEST(Lsmt, FlushCreatesRunsAndPreservesData) {
+  Lsmt lsmt(SmallMemtable());
+  for (int i = 0; i < 2000; ++i) {
+    lsmt.Put(EdgeKey{i % 50, 0, i}, "value-" + std::to_string(i));
+  }
+  EXPECT_GT(lsmt.run_count(), 0u) << "small memtable must have flushed";
+  std::string out;
+  ASSERT_TRUE(lsmt.Get(EdgeKey{0, 0, 0}, &out));
+  EXPECT_EQ(out, "value-0");
+  ASSERT_TRUE(lsmt.Get(EdgeKey{1999 % 50, 0, 1999}, &out));
+  EXPECT_EQ(out, "value-1999");
+}
+
+TEST(Lsmt, CompactionBoundsRunCount) {
+  Lsmt::Options options = SmallMemtable();
+  Lsmt lsmt(options);
+  for (int i = 0; i < 20'000; ++i) {
+    lsmt.Put(EdgeKey{i, 0, i}, "xxxxxxxxxxxxxxxx");
+  }
+  EXPECT_LE(lsmt.run_count(), options.max_runs + 1);
+  std::string out;
+  ASSERT_TRUE(lsmt.Get(EdgeKey{12345, 0, 12345}, &out));
+}
+
+TEST(Lsmt, TombstonesSuppressAcrossRuns) {
+  Lsmt lsmt(SmallMemtable());
+  // Insert, force flush, delete, force more flushes + compaction.
+  lsmt.Put(EdgeKey{7, 0, 7}, "victim");
+  for (int i = 0; i < 1000; ++i) lsmt.Put(EdgeKey{100 + i, 0, i}, "padpadpad");
+  ASSERT_TRUE(lsmt.Delete(EdgeKey{7, 0, 7}));
+  for (int i = 0; i < 5000; ++i) lsmt.Put(EdgeKey{5000 + i, 0, i}, "padpadpad");
+  std::string out;
+  EXPECT_FALSE(lsmt.Get(EdgeKey{7, 0, 7}, &out))
+      << "tombstone lost across flush/compaction";
+}
+
+TEST(Lsmt, ScanMergesNewestVersions) {
+  Lsmt lsmt(SmallMemtable());
+  for (int round = 0; round < 3; ++round) {
+    for (vertex_t dst = 0; dst < 100; ++dst) {
+      lsmt.Put(EdgeKey{1, 0, dst}, "round-" + std::to_string(round));
+    }
+    // Pad to force flushes between rounds.
+    for (int i = 0; i < 500; ++i) {
+      lsmt.Put(EdgeKey{99, 0, 1000 + round * 500 + i}, "pad");
+    }
+  }
+  std::set<vertex_t> seen;
+  lsmt.Scan(EdgeKey{1, 0, INT64_MIN}, EdgeKey{1, 1, INT64_MIN},
+            [&](const EdgeKey& key, std::string_view value) {
+              EXPECT_TRUE(seen.insert(key.dst).second)
+                  << "duplicate dst " << key.dst;
+              EXPECT_EQ(value, "round-2") << "stale version surfaced";
+              return true;
+            });
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Lsmt, ScanHonorsDeletes) {
+  Lsmt lsmt(SmallMemtable());
+  for (vertex_t dst = 0; dst < 50; ++dst) lsmt.Put(EdgeKey{3, 0, dst}, "v");
+  for (vertex_t dst = 0; dst < 50; dst += 2) lsmt.Delete(EdgeKey{3, 0, dst});
+  size_t count = 0;
+  lsmt.Scan(EdgeKey{3, 0, INT64_MIN}, EdgeKey{3, 1, INT64_MIN},
+            [&](const EdgeKey& key, std::string_view) {
+              EXPECT_EQ(key.dst % 2, 1) << "deleted key surfaced";
+              count++;
+              return true;
+            });
+  EXPECT_EQ(count, 25u);
+}
+
+TEST(Lsmt, MatchesReferenceUnderRandomOps) {
+  Lsmt lsmt(SmallMemtable());
+  std::map<EdgeKey, std::string> reference;
+  Xorshift rng(23);
+  for (int i = 0; i < 30'000; ++i) {
+    EdgeKey key{static_cast<vertex_t>(rng.NextBounded(32)), 0,
+                static_cast<vertex_t>(rng.NextBounded(256))};
+    if (rng.NextBounded(4) == 0) {
+      EXPECT_EQ(lsmt.Delete(key), reference.erase(key) > 0) << "op " << i;
+    } else {
+      std::string value = "v" + std::to_string(i);
+      EXPECT_EQ(lsmt.Put(key, value), reference.count(key) == 0) << "op " << i;
+      reference[key] = value;
+    }
+  }
+  for (const auto& [key, value] : reference) {
+    std::string out;
+    ASSERT_TRUE(lsmt.Get(key, &out));
+    EXPECT_EQ(out, value);
+  }
+  // Scan per source must match the reference exactly.
+  for (vertex_t src = 0; src < 32; ++src) {
+    std::vector<vertex_t> got;
+    lsmt.Scan(EdgeKey{src, 0, INT64_MIN}, EdgeKey{src, 1, INT64_MIN},
+              [&](const EdgeKey& key, std::string_view) {
+                got.push_back(key.dst);
+                return true;
+              });
+    std::vector<vertex_t> expected;
+    for (const auto& [key, unused] : reference) {
+      if (key.src == src) expected.push_back(key.dst);
+    }
+    EXPECT_EQ(got, expected) << "src " << src;
+  }
+}
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,167 @@
+// Cross-engine conformance: every GraphStore implementation must satisfy
+// the same contract, verified behind one parameterized suite.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "baselines/btree_store.h"
+#include "baselines/linked_list_store.h"
+#include "baselines/livegraph_store.h"
+#include "baselines/lsmt_store.h"
+
+namespace livegraph {
+namespace {
+
+GraphOptions SmallGraphOptions() {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 18;
+  return options;
+}
+
+using StoreFactory = std::function<std::unique_ptr<GraphStore>()>;
+
+class StoreConformanceTest
+    : public ::testing::TestWithParam<std::pair<const char*, StoreFactory>> {
+ protected:
+  void SetUp() override { store_ = GetParam().second(); }
+  std::unique_ptr<GraphStore> store_;
+};
+
+TEST_P(StoreConformanceTest, NodeLifecycle) {
+  vertex_t id = store_->AddNode("alpha");
+  ASSERT_GE(id, 0);
+  std::string out;
+  ASSERT_TRUE(store_->GetNode(id, &out));
+  EXPECT_EQ(out, "alpha");
+  EXPECT_TRUE(store_->UpdateNode(id, "beta"));
+  ASSERT_TRUE(store_->GetNode(id, &out));
+  EXPECT_EQ(out, "beta");
+  EXPECT_TRUE(store_->DeleteNode(id));
+  EXPECT_FALSE(store_->GetNode(id, &out));
+  EXPECT_FALSE(store_->UpdateNode(id, "gamma"));
+}
+
+TEST_P(StoreConformanceTest, LinkUpsertSemantics) {
+  vertex_t a = store_->AddNode("a");
+  vertex_t b = store_->AddNode("b");
+  EXPECT_TRUE(store_->AddLink(a, 0, b, "v1")) << "first add is an insert";
+  EXPECT_FALSE(store_->AddLink(a, 0, b, "v2")) << "second add is an update";
+  std::string out;
+  ASSERT_TRUE(store_->GetLink(a, 0, b, &out));
+  EXPECT_EQ(out, "v2");
+  EXPECT_TRUE(store_->UpdateLink(a, 0, b, "v3"));
+  ASSERT_TRUE(store_->GetLink(a, 0, b, &out));
+  EXPECT_EQ(out, "v3");
+  EXPECT_FALSE(store_->UpdateLink(a, 0, a, "nope"))
+      << "update of missing link must fail";
+  EXPECT_TRUE(store_->DeleteLink(a, 0, b));
+  EXPECT_FALSE(store_->GetLink(a, 0, b, &out));
+  EXPECT_FALSE(store_->DeleteLink(a, 0, b));
+}
+
+TEST_P(StoreConformanceTest, ScanAndCount) {
+  vertex_t hub = store_->AddNode("hub");
+  std::set<vertex_t> dsts;
+  for (int i = 0; i < 50; ++i) {
+    vertex_t d = store_->AddNode("leaf");
+    store_->AddLink(hub, 0, d, "e");
+    dsts.insert(d);
+  }
+  EXPECT_EQ(store_->CountLinks(hub, 0), 50u);
+  std::set<vertex_t> seen;
+  size_t visited = store_->ScanLinks(hub, 0, [&](vertex_t dst, std::string_view) {
+    EXPECT_TRUE(seen.insert(dst).second);
+    return true;
+  });
+  EXPECT_EQ(visited, 50u);
+  EXPECT_EQ(seen, dsts);
+  // Early termination.
+  size_t limit = 10;
+  store_->ScanLinks(hub, 0, [&](vertex_t, std::string_view) {
+    return --limit > 0;
+  });
+  EXPECT_EQ(limit, 0u);
+}
+
+TEST_P(StoreConformanceTest, LabelsAreDisjoint) {
+  vertex_t a = store_->AddNode("a");
+  vertex_t b = store_->AddNode("b");
+  store_->AddLink(a, 1, b, "L1");
+  store_->AddLink(a, 2, b, "L2");
+  EXPECT_EQ(store_->CountLinks(a, 1), 1u);
+  EXPECT_EQ(store_->CountLinks(a, 2), 1u);
+  EXPECT_EQ(store_->CountLinks(a, 3), 0u);
+  std::string out;
+  ASSERT_TRUE(store_->GetLink(a, 1, b, &out));
+  EXPECT_EQ(out, "L1");
+  EXPECT_TRUE(store_->DeleteLink(a, 1, b));
+  EXPECT_EQ(store_->CountLinks(a, 1), 0u);
+  EXPECT_EQ(store_->CountLinks(a, 2), 1u);
+}
+
+TEST_P(StoreConformanceTest, ReadViewIsConsistentInterface) {
+  vertex_t a = store_->AddNode("node-a");
+  vertex_t b = store_->AddNode("node-b");
+  store_->AddLink(a, 0, b, "edge");
+  auto view = store_->OpenReadView();
+  std::string out;
+  ASSERT_TRUE(view->GetNode(a, &out));
+  EXPECT_EQ(out, "node-a");
+  ASSERT_TRUE(view->GetLink(a, 0, b, &out));
+  EXPECT_EQ(out, "edge");
+  EXPECT_EQ(view->CountLinks(a, 0), 1u);
+  size_t visited = view->ScanLinks(a, 0, [&](vertex_t dst, std::string_view) {
+    EXPECT_EQ(dst, b);
+    return true;
+  });
+  EXPECT_EQ(visited, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStores, StoreConformanceTest,
+    ::testing::Values(
+        std::make_pair("LiveGraph",
+                       StoreFactory([] {
+                         return std::unique_ptr<GraphStore>(
+                             new LiveGraphStore(SmallGraphOptions()));
+                       })),
+        std::make_pair("BTree",
+                       StoreFactory([] {
+                         return std::unique_ptr<GraphStore>(new BTreeStore());
+                       })),
+        std::make_pair("Lsmt",
+                       StoreFactory([] {
+                         return std::unique_ptr<GraphStore>(new LsmtStore());
+                       })),
+        std::make_pair("LinkedList",
+                       StoreFactory([] {
+                         return std::unique_ptr<GraphStore>(
+                             new LinkedListStore());
+                       }))),
+    [](const auto& info) { return info.param.first; });
+
+TEST(LiveGraphStoreSnapshot, ReadViewIsStableSnapshot) {
+  // Only LiveGraph's view is a true MVCC snapshot; pin that stronger
+  // guarantee separately.
+  LiveGraphStore store(SmallGraphOptions());
+  vertex_t a = store.AddNode("a");
+  vertex_t b = store.AddNode("b");
+  store.AddLink(a, 0, b, "old");
+  auto view = store.OpenReadView();
+  store.AddLink(a, 0, a, "new-edge");
+  store.UpdateNode(a, "a2");
+  std::string out;
+  ASSERT_TRUE(view->GetNode(a, &out));
+  EXPECT_EQ(out, "a");
+  EXPECT_EQ(view->CountLinks(a, 0), 1u);
+  auto fresh = store.OpenReadView();
+  ASSERT_TRUE(fresh->GetNode(a, &out));
+  EXPECT_EQ(out, "a2");
+  EXPECT_EQ(fresh->CountLinks(a, 0), 2u);
+}
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,341 @@
+// Single-threaded basic operations (paper §4): vertex CRUD, edge upserts,
+// deletions, sequential scans, single-edge reads, read-your-writes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/transaction.h"
+
+namespace livegraph {
+namespace {
+
+GraphOptions SmallOptions() {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 20;
+  options.max_workers = 64;
+  options.enable_compaction = false;
+  return options;
+}
+
+TEST(BasicOps, AddAndGetVertex) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t v = txn.AddVertex("alice");
+  EXPECT_EQ(v, 0);
+  EXPECT_EQ(txn.GetVertex(v).value(), "alice");  // read-your-writes
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetVertex(v).value(), "alice");
+  EXPECT_FALSE(read.GetVertex(v + 1).has_value());
+}
+
+TEST(BasicOps, UncommittedVertexInvisible) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t v = txn.AddVertex("hidden");
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_FALSE(read.GetVertex(v).has_value());
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  // Old snapshot still must not see it.
+  EXPECT_FALSE(read.GetVertex(v).has_value());
+  auto fresh = graph.BeginReadOnlyTransaction();
+  EXPECT_TRUE(fresh.GetVertex(v).has_value());
+}
+
+TEST(BasicOps, PutVertexVersions) {
+  Graph graph(SmallOptions());
+  vertex_t v;
+  {
+    auto txn = graph.BeginTransaction();
+    v = txn.AddVertex("v1");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto old_snapshot = graph.BeginReadOnlyTransaction();
+  {
+    auto txn = graph.BeginTransaction();
+    ASSERT_EQ(txn.PutVertex(v, "v2"), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  // Multi-versioning: the old snapshot walks back to the old version.
+  EXPECT_EQ(old_snapshot.GetVertex(v).value(), "v1");
+  auto fresh = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(fresh.GetVertex(v).value(), "v2");
+}
+
+TEST(BasicOps, DeleteVertexTombstone) {
+  Graph graph(SmallOptions());
+  vertex_t v;
+  {
+    auto txn = graph.BeginTransaction();
+    v = txn.AddVertex("v1");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto old_snapshot = graph.BeginReadOnlyTransaction();
+  {
+    auto txn = graph.BeginTransaction();
+    ASSERT_EQ(txn.DeleteVertex(v), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  EXPECT_TRUE(old_snapshot.GetVertex(v).has_value());
+  auto fresh = graph.BeginReadOnlyTransaction();
+  EXPECT_FALSE(fresh.GetVertex(v).has_value());
+}
+
+TEST(BasicOps, AddEdgeAndScan) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex("a");
+  vertex_t b = txn.AddVertex("b");
+  vertex_t c = txn.AddVertex("c");
+  ASSERT_EQ(txn.AddEdge(a, 0, b, "a->b"), Status::kOk);
+  ASSERT_EQ(txn.AddEdge(a, 0, c, "a->c"), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+
+  auto read = graph.BeginReadOnlyTransaction();
+  std::vector<vertex_t> dsts;
+  std::vector<std::string> props;
+  for (auto it = read.GetEdges(a, 0); it.Valid(); it.Next()) {
+    dsts.push_back(it.DstId());
+    props.emplace_back(it.Properties());
+  }
+  // Newest-first iteration order (Figure 3: scanned from the tail).
+  ASSERT_EQ(dsts.size(), 2u);
+  EXPECT_EQ(dsts[0], c);
+  EXPECT_EQ(dsts[1], b);
+  EXPECT_EQ(props[0], "a->c");
+  EXPECT_EQ(props[1], "a->b");
+  EXPECT_EQ(read.CountEdges(a, 0), 2u);
+  EXPECT_EQ(read.CountEdges(b, 0), 0u);
+}
+
+TEST(BasicOps, GetSingleEdge) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  vertex_t b = txn.AddVertex();
+  ASSERT_EQ(txn.AddEdge(a, 0, b, "weight=3"), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetEdge(a, 0, b).value(), "weight=3");
+  EXPECT_FALSE(read.GetEdge(a, 0, a).has_value());
+  EXPECT_FALSE(read.GetEdge(b, 0, a).has_value());
+  EXPECT_FALSE(read.GetEdge(a, 1, b).has_value());  // other label
+}
+
+TEST(BasicOps, UpsertReplacesEdge) {
+  Graph graph(SmallOptions());
+  vertex_t a, b;
+  {
+    auto txn = graph.BeginTransaction();
+    a = txn.AddVertex();
+    b = txn.AddVertex();
+    ASSERT_EQ(txn.AddEdge(a, 0, b, "old"), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  {
+    auto txn = graph.BeginTransaction();
+    ASSERT_EQ(txn.AddEdge(a, 0, b, "new"), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetEdge(a, 0, b).value(), "new");
+  // Exactly one visible version after the upsert.
+  EXPECT_EQ(read.CountEdges(a, 0), 1u);
+}
+
+TEST(BasicOps, DeleteEdge) {
+  Graph graph(SmallOptions());
+  vertex_t a, b, c;
+  {
+    auto txn = graph.BeginTransaction();
+    a = txn.AddVertex();
+    b = txn.AddVertex();
+    c = txn.AddVertex();
+    ASSERT_EQ(txn.AddEdge(a, 0, b), Status::kOk);
+    ASSERT_EQ(txn.AddEdge(a, 0, c), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto old_snapshot = graph.BeginReadOnlyTransaction();
+  {
+    auto txn = graph.BeginTransaction();
+    ASSERT_EQ(txn.DeleteEdge(a, 0, b), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  EXPECT_EQ(old_snapshot.CountEdges(a, 0), 2u);  // snapshot unaffected
+  auto fresh = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(fresh.CountEdges(a, 0), 1u);
+  EXPECT_FALSE(fresh.GetEdge(a, 0, b).has_value());
+  EXPECT_TRUE(fresh.GetEdge(a, 0, c).has_value());
+}
+
+TEST(BasicOps, DeleteMissingEdgeReturnsNotFound) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  vertex_t b = txn.AddVertex();
+  EXPECT_EQ(txn.DeleteEdge(a, 0, b), Status::kNotFound);
+  ASSERT_EQ(txn.AddEdge(a, 0, b), Status::kOk);
+  EXPECT_EQ(txn.DeleteEdge(a, 0, b), Status::kOk);  // delete own write
+  EXPECT_EQ(txn.CountEdges(a, 0), 0u);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.CountEdges(a, 0), 0u);
+}
+
+TEST(BasicOps, MultipleLabelsSeparateAdjacencyLists) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  for (label_t label = 0; label < 10; ++label) {
+    vertex_t d = txn.AddVertex();
+    ASSERT_EQ(txn.AddEdge(a, label, d), Status::kOk);
+  }
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  for (label_t label = 0; label < 10; ++label) {
+    EXPECT_EQ(read.CountEdges(a, label), 1u) << "label " << label;
+  }
+  EXPECT_EQ(read.CountEdges(a, 10), 0u);
+}
+
+TEST(BasicOps, AbortDiscardsEverything) {
+  Graph graph(SmallOptions());
+  vertex_t a, b;
+  {
+    auto txn = graph.BeginTransaction();
+    a = txn.AddVertex("a");
+    b = txn.AddVertex("b");
+    ASSERT_EQ(txn.AddEdge(a, 0, b, "x"), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  {
+    auto txn = graph.BeginTransaction();
+    ASSERT_EQ(txn.PutVertex(a, "a2"), Status::kOk);
+    ASSERT_EQ(txn.AddEdge(a, 0, a, "self"), Status::kOk);
+    ASSERT_EQ(txn.DeleteEdge(a, 0, b), Status::kOk);
+    txn.Abort();
+    EXPECT_EQ(txn.Commit(), Status::kNotActive);
+  }
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetVertex(a).value(), "a");
+  EXPECT_EQ(read.CountEdges(a, 0), 1u);
+  EXPECT_TRUE(read.GetEdge(a, 0, b).has_value());
+}
+
+TEST(BasicOps, DestructorAbortsActiveTransaction) {
+  Graph graph(SmallOptions());
+  vertex_t a;
+  {
+    auto txn = graph.BeginTransaction();
+    a = txn.AddVertex("a");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  {
+    auto txn = graph.BeginTransaction();
+    (void)txn.PutVertex(a, "dirty");
+    // falls out of scope without Commit
+  }
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetVertex(a).value(), "a");
+}
+
+TEST(BasicOps, ManyEdgesForceBlockUpgrades) {
+  Graph graph(SmallOptions());
+  constexpr int kEdges = 5000;
+  auto txn = graph.BeginTransaction();
+  vertex_t hub = txn.AddVertex("hub");
+  for (int i = 0; i < kEdges; ++i) {
+    vertex_t d = txn.AddVertex();
+    ASSERT_EQ(txn.AddEdge(hub, 0, d, "payload"), Status::kOk);
+  }
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.CountEdges(hub, 0), static_cast<size_t>(kEdges));
+  // Newest-first: first edge returned is the last inserted.
+  auto it = read.GetEdges(hub, 0);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.DstId(), static_cast<vertex_t>(kEdges));
+}
+
+TEST(BasicOps, SelfEdgesAndParallelLabels) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  ASSERT_EQ(txn.AddEdge(a, 0, a, "self0"), Status::kOk);
+  ASSERT_EQ(txn.AddEdge(a, 1, a, "self1"), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetEdge(a, 0, a).value(), "self0");
+  EXPECT_EQ(read.GetEdge(a, 1, a).value(), "self1");
+}
+
+TEST(BasicOps, EmptyProperties) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  vertex_t b = txn.AddVertex();
+  ASSERT_EQ(txn.AddEdge(a, 0, b), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_TRUE(read.GetVertex(a).has_value());
+  EXPECT_EQ(read.GetVertex(a).value(), "");
+  EXPECT_EQ(read.GetEdge(a, 0, b).value(), "");
+}
+
+TEST(BasicOps, LargeProperties) {
+  Graph graph(SmallOptions());
+  std::string big(100'000, 'x');
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex(big);
+  vertex_t b = txn.AddVertex();
+  ASSERT_EQ(txn.AddEdge(a, 0, b, big), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetVertex(a).value(), big);
+  EXPECT_EQ(read.GetEdge(a, 0, b).value(), big);
+}
+
+TEST(BasicOps, EdgeToNonexistentSourceRejected) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  EXPECT_EQ(txn.AddEdge(12345, 0, 0), Status::kNotFound);
+  EXPECT_EQ(txn.PutVertex(12345, "x"), Status::kNotFound);
+}
+
+TEST(BasicOps, MemoryStatsTrackAllocation) {
+  Graph graph(SmallOptions());
+  auto before = graph.CollectMemoryStats();
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex("payload");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(txn.AddEdge(a, 0, txn.AddVertex(), "p"), Status::kOk);
+  }
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto after = graph.CollectMemoryStats();
+  EXPECT_GT(after.block_store_allocated, before.block_store_allocated);
+  EXPECT_GT(after.block_store_live, 0u);
+}
+
+TEST(BasicOps, TelSizeHistogramPowersOfTwo) {
+  Graph graph(SmallOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t hub = txn.AddVertex();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(txn.AddEdge(hub, 0, txn.AddVertex()), Status::kOk);
+  }
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto histogram = graph.CollectTelSizeHistogram();
+  ASSERT_FALSE(histogram.empty());
+  for (const auto& [size, count] : histogram) {
+    EXPECT_EQ(size & (size - 1), 0u) << "block size must be a power of two";
+    EXPECT_GT(count, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace livegraph

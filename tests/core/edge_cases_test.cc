@@ -1,0 +1,245 @@
+// Boundary conditions and failure-injection paths not covered by the main
+// behavioural suites.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "core/graph.h"
+#include "core/transaction.h"
+
+namespace livegraph {
+namespace {
+
+GraphOptions TestOptions() {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 18;
+  options.enable_compaction = false;
+  return options;
+}
+
+TEST(EdgeCases, EmptyGraphReads) {
+  Graph graph(TestOptions());
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_FALSE(read.GetVertex(0).has_value());
+  EXPECT_FALSE(read.GetVertex(-1).has_value());
+  EXPECT_FALSE(read.GetEdge(0, 0, 0).has_value());
+  EXPECT_EQ(read.CountEdges(0, 0), 0u);
+  EXPECT_FALSE(read.GetEdges(0, 0).Valid());
+  EXPECT_EQ(graph.VertexCount(), 0);
+}
+
+TEST(EdgeCases, NegativeVertexIdsRejected) {
+  Graph graph(TestOptions());
+  auto txn = graph.BeginTransaction();
+  EXPECT_EQ(txn.PutVertex(-1, "x"), Status::kNotFound);
+  EXPECT_EQ(txn.AddEdge(-1, 0, 0), Status::kNotFound);
+  EXPECT_EQ(txn.DeleteEdge(-7, 0, 0), Status::kNotFound);
+  EXPECT_FALSE(txn.GetVertex(-3).has_value());
+}
+
+TEST(EdgeCases, MaxLabelValue) {
+  Graph graph(TestOptions());
+  constexpr label_t kMax = std::numeric_limits<label_t>::max();
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  ASSERT_EQ(txn.AddEdge(a, kMax, a, "max-label"), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetEdge(a, kMax, a).value(), "max-label");
+  EXPECT_EQ(read.CountEdges(a, kMax - 1), 0u);
+}
+
+TEST(EdgeCases, RepeatedUpsertSameTransaction) {
+  Graph graph(TestOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  vertex_t b = txn.AddVertex();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(txn.AddEdge(a, 0, b, "v" + std::to_string(i)), Status::kOk);
+  }
+  EXPECT_EQ(txn.CountEdges(a, 0), 1u);
+  EXPECT_EQ(txn.GetEdge(a, 0, b).value(), "v99");
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.CountEdges(a, 0), 1u);
+  EXPECT_EQ(read.GetEdge(a, 0, b).value(), "v99");
+}
+
+TEST(EdgeCases, AddDeleteAddSameTransaction) {
+  Graph graph(TestOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  vertex_t b = txn.AddVertex();
+  ASSERT_EQ(txn.AddEdge(a, 0, b, "1"), Status::kOk);
+  ASSERT_EQ(txn.DeleteEdge(a, 0, b), Status::kOk);
+  ASSERT_EQ(txn.AddEdge(a, 0, b, "2"), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetEdge(a, 0, b).value(), "2");
+  EXPECT_EQ(read.CountEdges(a, 0), 1u);
+}
+
+TEST(EdgeCases, CommitTwiceAndUseAfterCommit) {
+  Graph graph(TestOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex("x");
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  EXPECT_EQ(txn.Commit(), Status::kNotActive);
+  EXPECT_EQ(txn.PutVertex(a, "y"), Status::kNotActive);
+  EXPECT_EQ(txn.AddEdge(a, 0, a), Status::kNotActive);
+  EXPECT_EQ(txn.AddVertex("z"), kNullVertex);
+  txn.Abort();  // no-op after commit
+}
+
+TEST(EdgeCases, ReadOnlyTransactionOutlivesManyWrites) {
+  Graph graph(TestOptions());
+  vertex_t hub;
+  {
+    auto txn = graph.BeginTransaction();
+    hub = txn.AddVertex("hub-v0");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto ancient = graph.BeginReadOnlyTransaction();
+  for (int i = 0; i < 2000; ++i) {
+    auto txn = graph.BeginTransaction();
+    ASSERT_EQ(txn.AddEdge(hub, 0, txn.AddVertex(), "payload-payload"),
+              Status::kOk);
+    if (i % 100 == 0) {
+      ASSERT_EQ(txn.PutVertex(hub, "hub-v" + std::to_string(i)), Status::kOk);
+    }
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  // The ancient snapshot survived hundreds of TEL upgrades and vertex
+  // versions.
+  EXPECT_EQ(ancient.GetVertex(hub).value(), "hub-v0");
+  EXPECT_EQ(ancient.CountEdges(hub, 0), 0u);
+}
+
+TEST(EdgeCases, WalDisabledGraphStillTransactional) {
+  GraphOptions options = TestOptions();
+  options.wal_path.clear();
+  Graph graph(options);
+  auto t1 = graph.BeginTransaction();
+  auto t2 = graph.BeginTransaction();
+  vertex_t a = t1.AddVertex("a");
+  ASSERT_EQ(t1.Commit(), Status::kOk);
+  // t2's snapshot predates the commit.
+  EXPECT_FALSE(t2.GetVertex(a).has_value());
+}
+
+TEST(EdgeCases, InterleavedLabelsStressLabelIndexGrowth) {
+  Graph graph(TestOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  // 64 labels forces several label-index block growths in one transaction.
+  for (label_t l = 0; l < 64; ++l) {
+    ASSERT_EQ(txn.AddEdge(a, l, txn.AddVertex(), std::to_string(l)),
+              Status::kOk);
+  }
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  for (label_t l = 0; l < 64; ++l) {
+    ASSERT_EQ(read.CountEdges(a, l), 1u) << "label " << l;
+    auto it = read.GetEdges(a, l);
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(std::string(it.Properties()), std::to_string(l));
+  }
+}
+
+TEST(EdgeCases, PropertySizeSpectrum) {
+  Graph graph(TestOptions());
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex();
+  std::vector<size_t> sizes = {0, 1, 7, 8, 63, 64, 65, 1000, 4096, 100'000};
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    std::string payload(sizes[i], static_cast<char>('A' + i));
+    ASSERT_EQ(txn.AddEdge(a, 0, static_cast<vertex_t>(i + 100), payload),
+              Status::kOk);
+  }
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    auto props = read.GetEdge(a, 0, static_cast<vertex_t>(i + 100));
+    ASSERT_TRUE(props.has_value());
+    EXPECT_EQ(props->size(), sizes[i]);
+    if (!props->empty()) {
+      EXPECT_EQ(props->front(), static_cast<char>('A' + i));
+      EXPECT_EQ(props->back(), static_cast<char>('A' + i));
+    }
+  }
+}
+
+TEST(EdgeCases, BinaryPropertiesWithNulBytes) {
+  Graph graph(TestOptions());
+  std::string binary("\x00\x01\xFF\x00payload\x00", 12);
+  auto txn = graph.BeginTransaction();
+  vertex_t a = txn.AddVertex(binary);
+  vertex_t b = txn.AddVertex();
+  ASSERT_EQ(txn.AddEdge(a, 0, b, binary), Status::kOk);
+  ASSERT_EQ(txn.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetVertex(a).value(), binary);
+  EXPECT_EQ(read.GetEdge(a, 0, b).value(), binary);
+}
+
+TEST(EdgeCases, ConflictedTransactionRetrySucceeds) {
+  // The paper's abort-and-restart pattern: after a conflict, a fresh
+  // transaction (fresh snapshot) must succeed.
+  Graph graph(TestOptions());
+  vertex_t v, d;
+  {
+    auto txn = graph.BeginTransaction();
+    v = txn.AddVertex();
+    d = txn.AddVertex();
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto loser = graph.BeginTransaction();
+  {
+    auto winner = graph.BeginTransaction();
+    ASSERT_EQ(winner.AddEdge(v, 0, d, "winner"), Status::kOk);
+    ASSERT_EQ(winner.Commit(), Status::kOk);
+  }
+  ASSERT_EQ(loser.AddEdge(v, 0, d, "loser"), Status::kConflict);
+  auto retry = graph.BeginTransaction();
+  ASSERT_EQ(retry.AddEdge(v, 0, d, "retry"), Status::kOk);
+  ASSERT_EQ(retry.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetEdge(v, 0, d).value(), "retry");
+}
+
+TEST(EdgeCases, ManyShortLivedTransactionsRecycleSlots) {
+  GraphOptions options = TestOptions();
+  options.max_workers = 8;  // tiny slot pool
+  Graph graph(options);
+  // Far more transactions than slots, sequentially and in parallel.
+  for (int i = 0; i < 100; ++i) {
+    auto read = graph.BeginReadOnlyTransaction();
+    (void)read.GetVertex(0);
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        auto txn = graph.BeginTransaction();
+        txn.AddVertex("x");
+        ASSERT_EQ(txn.Commit(), Status::kOk);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(graph.VertexCount(), 2000);
+}
+
+TEST(EdgeCases, TimeoutStatusNameMapping) {
+  EXPECT_STREQ(StatusName(Status::kOk), "Ok");
+  EXPECT_STREQ(StatusName(Status::kConflict), "Conflict");
+  EXPECT_STREQ(StatusName(Status::kTimeout), "Timeout");
+  EXPECT_STREQ(StatusName(Status::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusName(Status::kNotActive), "NotActive");
+}
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,263 @@
+// Snapshot isolation anomalies the paper's §5 "Correctness" argument rules
+// out: dirty writes, dirty reads, read skew, phantom reads — plus
+// first-committer-wins conflict behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/graph.h"
+#include "core/transaction.h"
+
+namespace livegraph {
+namespace {
+
+GraphOptions TestOptions() {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 18;
+  options.enable_compaction = false;
+  options.lock_timeout_ns = 20'000'000;  // 20 ms: deadlock tests stay fast
+  return options;
+}
+
+TEST(Isolation, DirtyWritePreventedByVertexLocks) {
+  Graph graph(TestOptions());
+  vertex_t v;
+  {
+    auto txn = graph.BeginTransaction();
+    v = txn.AddVertex("base");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto t1 = graph.BeginTransaction();
+  ASSERT_EQ(t1.PutVertex(v, "t1"), Status::kOk);
+  // t2 cannot modify v while t1 holds its lock: it times out and aborts.
+  auto t2 = graph.BeginTransaction();
+  EXPECT_EQ(t2.PutVertex(v, "t2"), Status::kTimeout);
+  EXPECT_FALSE(t2.active());
+  ASSERT_EQ(t1.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetVertex(v).value(), "t1");
+}
+
+TEST(Isolation, DirtyReadPrevented) {
+  Graph graph(TestOptions());
+  vertex_t a, b;
+  {
+    auto txn = graph.BeginTransaction();
+    a = txn.AddVertex("a0");
+    b = txn.AddVertex();
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto writer = graph.BeginTransaction();
+  ASSERT_EQ(writer.PutVertex(a, "a1"), Status::kOk);
+  ASSERT_EQ(writer.AddEdge(a, 0, b, "uncommitted"), Status::kOk);
+  {
+    auto read = graph.BeginReadOnlyTransaction();
+    EXPECT_EQ(read.GetVertex(a).value(), "a0");
+    EXPECT_EQ(read.CountEdges(a, 0), 0u);
+  }
+  ASSERT_EQ(writer.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetVertex(a).value(), "a1");
+  EXPECT_EQ(read.CountEdges(a, 0), 1u);
+}
+
+TEST(Isolation, ReadSkewPrevented) {
+  // A reads x; B writes x and y and commits; A must keep seeing old y.
+  Graph graph(TestOptions());
+  vertex_t x, y;
+  {
+    auto txn = graph.BeginTransaction();
+    x = txn.AddVertex("x0");
+    y = txn.AddVertex("y0");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto a = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(a.GetVertex(x).value(), "x0");
+  {
+    auto b = graph.BeginTransaction();
+    ASSERT_EQ(b.PutVertex(x, "x1"), Status::kOk);
+    ASSERT_EQ(b.PutVertex(y, "y1"), Status::kOk);
+    ASSERT_EQ(b.Commit(), Status::kOk);
+  }
+  EXPECT_EQ(a.GetVertex(y).value(), "y0") << "read skew: saw B's write to y";
+  EXPECT_EQ(a.GetVertex(x).value(), "x0");
+}
+
+TEST(Isolation, PhantomReadPrevented) {
+  // A scans a predicate (all edges of v); B inserts a matching edge and
+  // commits; A's re-scan must return the same set.
+  Graph graph(TestOptions());
+  vertex_t v, d1, d2;
+  {
+    auto txn = graph.BeginTransaction();
+    v = txn.AddVertex();
+    d1 = txn.AddVertex();
+    d2 = txn.AddVertex();
+    ASSERT_EQ(txn.AddEdge(v, 0, d1), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto a = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(a.CountEdges(v, 0), 1u);
+  {
+    auto b = graph.BeginTransaction();
+    ASSERT_EQ(b.AddEdge(v, 0, d2), Status::kOk);
+    ASSERT_EQ(b.Commit(), Status::kOk);
+  }
+  EXPECT_EQ(a.CountEdges(v, 0), 1u) << "phantom edge appeared mid-snapshot";
+  auto fresh = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(fresh.CountEdges(v, 0), 2u);
+}
+
+TEST(Isolation, FirstCommitterWinsOnEdgeWrites) {
+  Graph graph(TestOptions());
+  vertex_t v, d;
+  {
+    auto txn = graph.BeginTransaction();
+    v = txn.AddVertex();
+    d = txn.AddVertex();
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  // Both transactions read the same snapshot; t1 commits an edge write,
+  // t2's subsequent write to the same TEL must fail the CT check.
+  auto t1 = graph.BeginTransaction();
+  auto t2 = graph.BeginTransaction();
+  ASSERT_EQ(t1.AddEdge(v, 0, d, "t1"), Status::kOk);
+  ASSERT_EQ(t1.Commit(), Status::kOk);
+  EXPECT_EQ(t2.AddEdge(v, 0, d, "t2"), Status::kConflict);
+  EXPECT_FALSE(t2.active());
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetEdge(v, 0, d).value(), "t1");
+}
+
+TEST(Isolation, FirstCommitterWinsOnVertexWrites) {
+  Graph graph(TestOptions());
+  vertex_t v;
+  {
+    auto txn = graph.BeginTransaction();
+    v = txn.AddVertex("v0");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto t1 = graph.BeginTransaction();
+  auto t2 = graph.BeginTransaction();
+  ASSERT_EQ(t1.PutVertex(v, "t1"), Status::kOk);
+  ASSERT_EQ(t1.Commit(), Status::kOk);
+  EXPECT_EQ(t2.PutVertex(v, "t2"), Status::kConflict);
+}
+
+TEST(Isolation, DisjointWritesBothCommit) {
+  Graph graph(TestOptions());
+  vertex_t v1, v2, d;
+  {
+    auto txn = graph.BeginTransaction();
+    v1 = txn.AddVertex();
+    v2 = txn.AddVertex();
+    d = txn.AddVertex();
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto t1 = graph.BeginTransaction();
+  auto t2 = graph.BeginTransaction();
+  ASSERT_EQ(t1.AddEdge(v1, 0, d), Status::kOk);
+  ASSERT_EQ(t2.AddEdge(v2, 0, d), Status::kOk);
+  EXPECT_EQ(t1.Commit(), Status::kOk);
+  EXPECT_EQ(t2.Commit(), Status::kOk);
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.CountEdges(v1, 0), 1u);
+  EXPECT_EQ(read.CountEdges(v2, 0), 1u);
+}
+
+TEST(Isolation, WriteTransactionSnapshotStable) {
+  // A read-write transaction's reads also come from its snapshot.
+  Graph graph(TestOptions());
+  vertex_t x, v, d;
+  {
+    auto txn = graph.BeginTransaction();
+    x = txn.AddVertex("x0");
+    v = txn.AddVertex();
+    d = txn.AddVertex();
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto t1 = graph.BeginTransaction();
+  EXPECT_EQ(t1.GetVertex(x).value(), "x0");
+  {
+    auto t2 = graph.BeginTransaction();
+    ASSERT_EQ(t2.PutVertex(x, "x1"), Status::kOk);
+    ASSERT_EQ(t2.AddEdge(v, 0, d), Status::kOk);
+    ASSERT_EQ(t2.Commit(), Status::kOk);
+  }
+  EXPECT_EQ(t1.GetVertex(x).value(), "x0");
+  EXPECT_EQ(t1.CountEdges(v, 0), 0u);
+}
+
+TEST(Isolation, DeadlockResolvedByTimeout) {
+  // t1 locks a then b; t2 locks b then a. The timeout mechanism must abort
+  // at least one instead of hanging (§5).
+  Graph graph(TestOptions());
+  vertex_t a, b;
+  {
+    auto txn = graph.BeginTransaction();
+    a = txn.AddVertex("a");
+    b = txn.AddVertex("b");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  std::atomic<int> commits{0}, failures{0};
+  std::thread th1([&] {
+    auto t = graph.BeginTransaction();
+    if (t.PutVertex(a, "t1") != Status::kOk) {
+      failures++;
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (t.PutVertex(b, "t1") != Status::kOk) {
+      failures++;
+      return;
+    }
+    commits += (t.Commit() == Status::kOk);
+  });
+  std::thread th2([&] {
+    auto t = graph.BeginTransaction();
+    if (t.PutVertex(b, "t2") != Status::kOk) {
+      failures++;
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    if (t.PutVertex(a, "t2") != Status::kOk) {
+      failures++;
+      return;
+    }
+    commits += (t.Commit() == Status::kOk);
+  });
+  th1.join();
+  th2.join();
+  EXPECT_GE(commits.load() + failures.load(), 2);
+  EXPECT_GE(failures.load(), 1) << "deadlock should abort at least one txn";
+}
+
+TEST(Isolation, MonotonicSnapshots) {
+  // Later snapshots never see less than earlier ones (GRE monotonicity).
+  Graph graph(TestOptions());
+  vertex_t v;
+  {
+    auto txn = graph.BeginTransaction();
+    v = txn.AddVertex();
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  size_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    {
+      auto txn = graph.BeginTransaction();
+      ASSERT_EQ(txn.AddEdge(v, 0, txn.AddVertex()), Status::kOk);
+      ASSERT_EQ(txn.Commit(), Status::kOk);
+    }
+    auto read = graph.BeginReadOnlyTransaction();
+    size_t now = read.CountEdges(v, 0);
+    EXPECT_GE(now, last);
+    EXPECT_EQ(now, static_cast<size_t>(i + 1))
+        << "committed write not visible to next snapshot";
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,165 @@
+// Randomized model test: LiveGraph vs. an in-memory reference executed at
+// commit points. Parameterized over seeds and workload shapes (TEST_P).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "core/graph.h"
+#include "core/transaction.h"
+#include "util/random.h"
+
+namespace livegraph {
+namespace {
+
+struct Model {
+  std::map<vertex_t, std::string> vertices;
+  std::map<std::tuple<vertex_t, label_t, vertex_t>, std::string> edges;
+};
+
+struct ModelParam {
+  uint64_t seed;
+  int transactions;
+  int ops_per_txn;
+  double abort_probability;
+  int domain;  // vertices created up front
+};
+
+class ModelTest : public ::testing::TestWithParam<ModelParam> {};
+
+TEST_P(ModelTest, MatchesReferenceModel) {
+  const ModelParam param = GetParam();
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 18;
+  options.enable_compaction = (param.seed % 2 == 0);  // both modes covered
+  options.compaction_interval = 97;
+  Graph graph(options);
+  Model model;
+  Xorshift rng(param.seed);
+
+  {
+    auto txn = graph.BeginTransaction();
+    for (int i = 0; i < param.domain; ++i) {
+      vertex_t v = txn.AddVertex("init");
+      model.vertices[v] = "init";
+    }
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+
+  for (int t = 0; t < param.transactions; ++t) {
+    auto txn = graph.BeginTransaction();
+    Model staged = model;  // reference copy for this transaction
+    bool doomed = rng.NextDouble() < param.abort_probability;
+    bool failed = false;
+    for (int op = 0; op < param.ops_per_txn && !failed; ++op) {
+      auto v = static_cast<vertex_t>(rng.NextBounded(param.domain));
+      auto d = static_cast<vertex_t>(rng.NextBounded(param.domain));
+      auto label = static_cast<label_t>(rng.NextBounded(3));
+      switch (rng.NextBounded(5)) {
+        case 0: {  // upsert edge
+          std::string payload = "p" + std::to_string(rng.NextBounded(1000));
+          Status st = txn.AddEdge(v, label, d, payload);
+          ASSERT_EQ(st, Status::kOk);
+          staged.edges[{v, label, d}] = payload;
+          break;
+        }
+        case 1: {  // delete edge
+          Status st = txn.DeleteEdge(v, label, d);
+          auto it = staged.edges.find({v, label, d});
+          if (it != staged.edges.end()) {
+            ASSERT_EQ(st, Status::kOk);
+            staged.edges.erase(it);
+          } else {
+            ASSERT_EQ(st, Status::kNotFound);
+          }
+          break;
+        }
+        case 2: {  // put vertex
+          std::string payload = "v" + std::to_string(rng.NextBounded(1000));
+          ASSERT_EQ(txn.PutVertex(v, payload), Status::kOk);
+          staged.vertices[v] = payload;
+          break;
+        }
+        case 3: {  // read edge within the transaction
+          auto got = txn.GetEdge(v, label, d);
+          auto it = staged.edges.find({v, label, d});
+          if (it != staged.edges.end()) {
+            ASSERT_TRUE(got.has_value());
+            ASSERT_EQ(*got, it->second);
+          } else {
+            ASSERT_FALSE(got.has_value());
+          }
+          break;
+        }
+        default: {  // scan within the transaction
+          std::set<vertex_t> seen;
+          for (auto it = txn.GetEdges(v, label); it.Valid(); it.Next()) {
+            ASSERT_TRUE(seen.insert(it.DstId()).second)
+                << "duplicate dst in scan";
+          }
+          size_t expected = 0;
+          for (const auto& [key, unused] : staged.edges) {
+            if (std::get<0>(key) == v && std::get<1>(key) == label) {
+              ASSERT_TRUE(seen.count(std::get<2>(key)) == 1);
+              expected++;
+            }
+          }
+          ASSERT_EQ(seen.size(), expected);
+          break;
+        }
+      }
+    }
+    if (doomed) {
+      txn.Abort();
+    } else {
+      ASSERT_EQ(txn.Commit(), Status::kOk);
+      model = std::move(staged);
+    }
+  }
+
+  // Final state must match the reference exactly.
+  auto read = graph.BeginReadOnlyTransaction();
+  for (const auto& [v, props] : model.vertices) {
+    auto got = read.GetVertex(v);
+    ASSERT_TRUE(got.has_value()) << "vertex " << v;
+    EXPECT_EQ(*got, props) << "vertex " << v;
+  }
+  for (const auto& [key, props] : model.edges) {
+    auto [v, label, d] = key;
+    auto got = read.GetEdge(v, label, d);
+    ASSERT_TRUE(got.has_value()) << v << "-[" << label << "]->" << d;
+    EXPECT_EQ(*got, props);
+  }
+  // Count check per (v,label) catches extra visible entries.
+  std::map<std::pair<vertex_t, label_t>, size_t> degree;
+  for (const auto& [key, unused] : model.edges) {
+    degree[{std::get<0>(key), std::get<1>(key)}]++;
+  }
+  for (vertex_t v = 0; v < param.domain; ++v) {
+    for (label_t label = 0; label < 3; ++label) {
+      size_t expected = 0;
+      if (auto it = degree.find({v, label}); it != degree.end()) {
+        expected = it->second;
+      }
+      ASSERT_EQ(read.CountEdges(v, label), expected)
+          << "degree mismatch at v=" << v << " label=" << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ModelTest,
+    ::testing::Values(ModelParam{1, 200, 5, 0.0, 8},
+                      ModelParam{2, 200, 5, 0.3, 8},
+                      ModelParam{3, 400, 3, 0.1, 4},
+                      ModelParam{4, 100, 20, 0.2, 16},
+                      ModelParam{5, 600, 2, 0.5, 2},
+                      ModelParam{6, 150, 10, 0.15, 32},
+                      ModelParam{7, 800, 1, 0.0, 1},
+                      ModelParam{8, 300, 8, 0.25, 12}));
+
+}  // namespace
+}  // namespace livegraph

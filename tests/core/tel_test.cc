@@ -1,0 +1,229 @@
+// TEL layout and block-level behaviour (paper §3, Figure 3).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/blocks.h"
+#include "core/graph.h"
+#include "core/transaction.h"
+
+namespace livegraph {
+namespace {
+
+TEST(TelLayout, EntryAndHeaderSizes) {
+  // 32-byte header + one 32-byte entry fit the minimal 64-byte block: a
+  // fresh vertex's adjacency list occupies one cache line (§3).
+  EXPECT_EQ(sizeof(TelHeader), 32u);
+  EXPECT_EQ(sizeof(EdgeEntry), 32u);
+  TelGeometry g = TelGeometry::For(6, /*enable_bloom=*/true);
+  EXPECT_EQ(g.block_size, 64u);
+  EXPECT_EQ(g.bloom_bytes, 0u);  // too small for a blocked filter
+  EXPECT_EQ(g.prop_start, 32u);
+}
+
+TEST(TelLayout, BloomSizedAtOneSixteenth) {
+  // Blocks >= 1 KiB embed a filter of block/16 bytes (§4).
+  TelGeometry g10 = TelGeometry::For(10, true);
+  EXPECT_EQ(g10.bloom_bytes, 64u);
+  TelGeometry g16 = TelGeometry::For(16, true);
+  EXPECT_EQ(g16.bloom_bytes, 4096u);
+  TelGeometry g16_off = TelGeometry::For(16, false);
+  EXPECT_EQ(g16_off.bloom_bytes, 0u);
+}
+
+TEST(TelLayout, EntriesGrowBackwardsFromBlockEnd) {
+  alignas(64) uint8_t buffer[256] = {};
+  TelBlock block(buffer, 8, false);
+  EdgeEntry* oldest = block.Entry(0);
+  EdgeEntry* newer = block.Entry(1);
+  EXPECT_EQ(reinterpret_cast<uint8_t*>(oldest) + sizeof(EdgeEntry),
+            buffer + 256);
+  EXPECT_LT(reinterpret_cast<uint8_t*>(newer),
+            reinterpret_cast<uint8_t*>(oldest));
+}
+
+TEST(TelLayout, FitsAccountsForBothRegions) {
+  TelBlock block(nullptr, 6, true);  // 64 B: header 32 + one entry 32
+  EXPECT_TRUE(block.Fits(1, 0));
+  EXPECT_FALSE(block.Fits(1, 1));  // any property overflows
+  EXPECT_FALSE(block.Fits(2, 0));
+}
+
+TEST(TelVisibility, DoubleTimestampRules) {
+  EdgeEntry entry;
+  entry.dst = 7;
+  entry.creation_ts.store(5);
+  entry.invalidation_ts.store(kNullTimestamp);
+  // Committed live entry: visible iff TRE >= creation.
+  EXPECT_FALSE(entry.VisibleTo(4, 0));
+  EXPECT_TRUE(entry.VisibleTo(5, 0));
+  EXPECT_TRUE(entry.VisibleTo(100, 0));
+
+  // Committed invalidation at 10: visible in [5, 10).
+  entry.invalidation_ts.store(10);
+  EXPECT_TRUE(entry.VisibleTo(9, 0));
+  EXPECT_FALSE(entry.VisibleTo(10, 0));
+
+  // Pending invalidation (-TID of another transaction) does not hide the
+  // entry from readers (Figure 4a, R3).
+  entry.invalidation_ts.store(-42);
+  EXPECT_TRUE(entry.VisibleTo(9, 0));
+  EXPECT_TRUE(entry.VisibleTo(100, 7));
+  // ...but hides it from the invalidating transaction itself.
+  EXPECT_FALSE(entry.VisibleTo(100, 42));
+
+  // Uncommitted entry (-TID creation) visible only to its own transaction.
+  entry.creation_ts.store(-42);
+  entry.invalidation_ts.store(kNullTimestamp);
+  EXPECT_FALSE(entry.VisibleTo(100, 0));
+  EXPECT_FALSE(entry.VisibleTo(100, 7));
+  EXPECT_TRUE(entry.VisibleTo(0, 42));
+  // Own entry already self-invalidated: invisible even to the owner.
+  entry.invalidation_ts.store(-42);
+  EXPECT_FALSE(entry.VisibleTo(0, 42));
+}
+
+TEST(TelUpgrade, PreservesHistoryAcrossResizes) {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 16;
+  options.enable_compaction = false;
+  Graph graph(options);
+
+  vertex_t hub;
+  {
+    auto txn = graph.BeginTransaction();
+    hub = txn.AddVertex();
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  // Insert in many small transactions, snapshotting along the way; each
+  // snapshot must keep seeing its own prefix even as the TEL is upgraded
+  // through several block sizes.
+  std::vector<std::pair<ReadTransaction, size_t>> snapshots;
+  for (int i = 0; i < 300; ++i) {
+    {
+      auto txn = graph.BeginTransaction();
+      vertex_t d = txn.AddVertex();
+      ASSERT_EQ(txn.AddEdge(hub, 0, d, "payload-bytes"), Status::kOk);
+      ASSERT_EQ(txn.Commit(), Status::kOk);
+    }
+    if (i % 50 == 0) {
+      auto snapshot = graph.BeginReadOnlyTransaction();
+      size_t count = snapshot.CountEdges(hub, 0);
+      snapshots.emplace_back(std::move(snapshot), count);
+    }
+  }
+  for (auto& [snapshot, expected] : snapshots) {
+    EXPECT_EQ(snapshot.CountEdges(hub, 0), expected)
+        << "snapshot drifted after TEL upgrades";
+  }
+  auto fresh = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(fresh.CountEdges(hub, 0), 300u);
+}
+
+TEST(TelUpgrade, AbortAfterUpgradeRestoresOriginalBlock) {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 16;
+  options.enable_compaction = false;
+  Graph graph(options);
+
+  vertex_t hub, first;
+  {
+    auto txn = graph.BeginTransaction();
+    hub = txn.AddVertex();
+    first = txn.AddVertex();
+    ASSERT_EQ(txn.AddEdge(hub, 0, first, "committed"), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  {
+    // Force several upgrades, then abort.
+    auto txn = graph.BeginTransaction();
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_EQ(txn.AddEdge(hub, 0, txn.AddVertex(), "bulk-payload"),
+                Status::kOk);
+    }
+    ASSERT_EQ(txn.DeleteEdge(hub, 0, first), Status::kOk);
+    txn.Abort();
+  }
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.CountEdges(hub, 0), 1u);
+  EXPECT_EQ(read.GetEdge(hub, 0, first).value(), "committed");
+}
+
+// Property sweep: random interleavings of inserts/updates/deletes against a
+// reference map, across block-size-forcing payload sizes.
+struct TelSweepParam {
+  int operations;
+  size_t payload;
+  bool bloom;
+};
+
+class TelSweepTest : public ::testing::TestWithParam<TelSweepParam> {};
+
+TEST_P(TelSweepTest, MatchesReferenceAdjacencySet) {
+  const TelSweepParam param = GetParam();
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 16;
+  options.enable_compaction = false;
+  options.enable_bloom_filters = param.bloom;
+  Graph graph(options);
+
+  vertex_t src;
+  {
+    auto txn = graph.BeginTransaction();
+    src = txn.AddVertex();
+    for (int i = 0; i < 64; ++i) txn.AddVertex();
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  std::map<vertex_t, std::string> reference;
+  uint64_t state = 88172645463325252ull ^ param.operations ^ param.payload;
+  auto next_random = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < param.operations; ++i) {
+    vertex_t dst = 1 + static_cast<vertex_t>(next_random() % 64);
+    auto txn = graph.BeginTransaction();
+    if (next_random() % 4 == 0 && !reference.empty()) {
+      Status st = txn.DeleteEdge(src, 0, dst);
+      if (reference.count(dst) > 0) {
+        EXPECT_EQ(st, Status::kOk);
+        reference.erase(dst);
+      } else {
+        EXPECT_EQ(st, Status::kNotFound);
+      }
+    } else {
+      std::string payload(param.payload, static_cast<char>('a' + i % 26));
+      ASSERT_EQ(txn.AddEdge(src, 0, dst, payload), Status::kOk);
+      reference[dst] = payload;
+    }
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  auto read = graph.BeginReadOnlyTransaction();
+  EXPECT_EQ(read.CountEdges(src, 0), reference.size());
+  for (const auto& [dst, payload] : reference) {
+    auto props = read.GetEdge(src, 0, dst);
+    ASSERT_TRUE(props.has_value()) << "missing dst " << dst;
+    EXPECT_EQ(*props, payload);
+  }
+  // And nothing extra.
+  for (auto it = read.GetEdges(src, 0); it.Valid(); it.Next()) {
+    EXPECT_EQ(reference.count(it.DstId()), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TelSweepTest,
+    ::testing::Values(TelSweepParam{50, 0, true}, TelSweepParam{50, 0, false},
+                      TelSweepParam{300, 8, true},
+                      TelSweepParam{300, 100, true},
+                      TelSweepParam{300, 100, false},
+                      TelSweepParam{1000, 24, true},
+                      TelSweepParam{2000, 3, true}));
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/btree_store.h"
+#include "baselines/livegraph_store.h"
+#include "snb/datagen.h"
+#include "snb/queries.h"
+#include "snb/snb_driver.h"
+
+namespace livegraph::snb {
+namespace {
+
+GraphOptions SmallGraphOptions() {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 31;
+  options.max_vertices = 1 << 20;
+  return options;
+}
+
+DatagenOptions TinySf() {
+  DatagenOptions options;
+  options.scale_factor = 0.1;  // 100 persons
+  return options;
+}
+
+TEST(SnbSchema, EncodeDecodeRoundTrip) {
+  Person person;
+  person.first_name = 42;
+  person.last_name = 99;
+  person.birthday = 123456;
+  person.creation_date = 777;
+  std::string bytes = Encode(person);
+  EXPECT_EQ(KindOf(bytes), EntityKind::kPerson);
+  Person decoded;
+  ASSERT_TRUE(Decode(bytes, &decoded));
+  EXPECT_EQ(decoded.first_name, 42);
+  EXPECT_EQ(decoded.last_name, 99);
+  EXPECT_EQ(decoded.creation_date, 777);
+  Message bad;
+  EXPECT_FALSE(Decode(bytes, &bad)) << "Message payload is larger than Person";
+  EXPECT_FALSE(Decode(std::string_view("x"), &decoded));
+}
+
+TEST(SnbDatagen, GeneratesConsistentSocialNetwork) {
+  LiveGraphStore store(SmallGraphOptions());
+  SnbDataset data = GenerateSnb(&store, TinySf());
+  EXPECT_EQ(data.persons.size(), 100u);
+  EXPECT_GT(data.messages.size(), 100u);
+  EXPECT_GT(data.forums.size(), 0u);
+
+  auto view = store.OpenReadView();
+  // Knows edges are mutual.
+  for (size_t i = 0; i < 20; ++i) {
+    vertex_t p = data.persons[i];
+    view->ScanLinks(p, kKnows, [&](vertex_t q, std::string_view) {
+      std::string back;
+      EXPECT_TRUE(view->GetLink(q, kKnows, p, &back))
+          << "knows must be mutual: " << p << " <-> " << q;
+      return true;
+    });
+  }
+  // Every message has a creator, and the reverse edge exists.
+  for (size_t i = 0; i < data.messages.size(); i += 37) {
+    vertex_t m = data.messages[i];
+    size_t creators =
+        view->ScanLinks(m, kHasCreator, [&](vertex_t author, std::string_view) {
+          std::string props;
+          EXPECT_TRUE(view->GetLink(author, kCreated, m, &props));
+          return true;
+        });
+    EXPECT_EQ(creators, 1u) << "message " << m;
+  }
+  // Comments have parents; replies mirror replyOf.
+  for (size_t i = 0; i < data.messages.size(); i += 11) {
+    vertex_t m = data.messages[i];
+    std::string bytes;
+    ASSERT_TRUE(view->GetNode(m, &bytes));
+    if (KindOf(bytes) == EntityKind::kComment) {
+      size_t parents =
+          view->ScanLinks(m, kReplyOf, [&](vertex_t parent, std::string_view) {
+            std::string unused;
+            EXPECT_TRUE(view->GetLink(parent, kReplies, m, &unused));
+            return true;
+          });
+      EXPECT_EQ(parents, 1u);
+    }
+  }
+}
+
+TEST(SnbQueries, ShortReadsOnHandBuiltGraph) {
+  LiveGraphStore store(SmallGraphOptions());
+  // alice -knows- bob -knows- carol; bob wrote post p1 then comment c1 on it.
+  Person alice_p{}, bob_p{}, carol_p{};
+  alice_p.first_name = 1;
+  bob_p.first_name = 2;
+  carol_p.first_name = 3;
+  alice_p.creation_date = bob_p.creation_date = carol_p.creation_date = 1;
+  vertex_t alice = store.AddNode(Encode(alice_p));
+  vertex_t bob = store.AddNode(Encode(bob_p));
+  vertex_t carol = store.AddNode(Encode(carol_p));
+  UpdateAddFriendship(&store, alice, bob, 10);
+  UpdateAddFriendship(&store, bob, carol, 20);
+  Forum forum_v{};
+  forum_v.moderator = bob;
+  vertex_t forum = store.AddNode(Encode(forum_v));
+  vertex_t p1 = UpdateAddPost(&store, bob, forum, 100, 50);
+  vertex_t c1 = UpdateAddComment(&store, carol, p1, 200, 10);
+
+  auto view = store.OpenReadView();
+  Person profile;
+  ASSERT_TRUE(ShortPersonProfile(*view, bob, &profile));
+  EXPECT_EQ(profile.first_name, 2);
+  EXPECT_FALSE(ShortPersonProfile(*view, p1, &profile))
+      << "messages are not persons";
+
+  auto friends = ShortFriends(*view, bob);
+  ASSERT_EQ(friends.size(), 2u);
+  std::set<vertex_t> friend_ids{friends[0].person, friends[1].person};
+  EXPECT_EQ(friend_ids, (std::set<vertex_t>{alice, carol}));
+
+  auto recent = ShortRecentMessages(*view, bob);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].message, p1);
+
+  auto replies = ShortReplies(*view, p1);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].comment, c1);
+  EXPECT_EQ(replies[0].author, carol);
+}
+
+TEST(SnbQueries, ComplexReadsOnHandBuiltGraph) {
+  LiveGraphStore store(SmallGraphOptions());
+  // Chain a-b-c-d-e: distances from a are 1,2,3,4.
+  std::vector<vertex_t> chain;
+  for (int i = 0; i < 5; ++i) {
+    Person person{};
+    person.first_name = 7;  // all share the target name
+    vertex_t v = store.AddNode(Encode(person));
+    chain.push_back(v);
+    if (i > 0) UpdateAddFriendship(&store, chain[size_t(i) - 1], v, i);
+  }
+  auto view = store.OpenReadView();
+  // IC13: shortest paths along the chain.
+  EXPECT_EQ(ComplexShortestPath(*view, chain[0], chain[0]), 0);
+  EXPECT_EQ(ComplexShortestPath(*view, chain[0], chain[1]), 1);
+  EXPECT_EQ(ComplexShortestPath(*view, chain[0], chain[4]), 4);
+  EXPECT_EQ(ComplexShortestPath(*view, chain[4], chain[0]), 4);
+  // Disconnected person.
+  Person loner_p{};
+  vertex_t loner = store.AddNode(Encode(loner_p));
+  auto fresh = store.OpenReadView();
+  EXPECT_EQ(ComplexShortestPath(*fresh, chain[0], loner), -1);
+
+  // IC1: 3-hop name search from chain[0] finds b,c,d (not e: 4 hops).
+  auto named = ComplexFriendsByName(*fresh, chain[0], 7);
+  std::set<vertex_t> found;
+  for (const auto& np : named) {
+    EXPECT_LE(np.distance, 3);
+    found.insert(np.person);
+  }
+  EXPECT_EQ(found, (std::set<vertex_t>{chain[1], chain[2], chain[3]}));
+
+  // IC2: messages by friends of b (= a and c), newest first.
+  Forum forum_v{};
+  vertex_t forum = store.AddNode(Encode(forum_v));
+  vertex_t m1 = UpdateAddPost(&store, chain[0], forum, 1000, 5);
+  vertex_t m2 = UpdateAddPost(&store, chain[2], forum, 2000, 5);
+  UpdateAddPost(&store, chain[4], forum, 3000, 5);  // not a friend of b
+  auto view2 = store.OpenReadView();
+  auto messages = ComplexFriendMessages(*view2, chain[1], INT64_MAX);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].message, m2);
+  EXPECT_EQ(messages[1].message, m1);
+  // Date filter excludes m2.
+  auto older = ComplexFriendMessages(*view2, chain[1], 1500);
+  ASSERT_EQ(older.size(), 1u);
+  EXPECT_EQ(older[0].message, m1);
+
+  // IC9: friends-of-friends of a include c's posts.
+  auto fof = ComplexFofMessages(*view2, chain[0], INT64_MAX);
+  std::set<vertex_t> fof_messages;
+  for (const auto& m : fof) fof_messages.insert(m.message);
+  EXPECT_TRUE(fof_messages.count(m1) == 0)  // a's own post excluded? No:
+      << "IC9 includes friends (b) and fofs (c): a's own posts excluded";
+  EXPECT_TRUE(fof_messages.count(m2) == 1);
+}
+
+class SnbDriverTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SnbDriverTest, MixRunsToCompletion) {
+  std::unique_ptr<GraphStore> store;
+  if (std::string(GetParam()) == "LiveGraph") {
+    store = std::make_unique<LiveGraphStore>(SmallGraphOptions());
+  } else {
+    store = std::make_unique<BTreeStore>();
+  }
+  SnbDataset data = GenerateSnb(store.get(), TinySf());
+  SnbRunOptions run;
+  run.clients = 4;
+  run.ops_per_client = 200;
+  auto overall = RunSnb(store.get(), &data, run);
+  EXPECT_EQ(overall.operations, 800u);
+  EXPECT_GT(overall.per_class.size(), 5u);
+  run.mode = SnbMode::kComplexOnly;
+  auto complex = RunSnb(store.get(), &data, run);
+  for (const auto& [name, histogram] : complex.per_class) {
+    EXPECT_EQ(name.substr(0, 2), "IC") << "complex-only ran " << name;
+    EXPECT_GT(histogram.count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, SnbDriverTest,
+                         ::testing::Values("LiveGraph", "BTree"));
+
+}  // namespace
+}  // namespace livegraph::snb

@@ -1,0 +1,165 @@
+#include "storage/block_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace livegraph {
+namespace {
+
+BlockManager::Options SmallOptions() {
+  BlockManager::Options options;
+  options.reserve_bytes = size_t{1} << 28;
+  return options;
+}
+
+TEST(BlockPtr, PackUnpackRoundTrip) {
+  block_ptr_t p = PackBlockPtr(0x123456789AULL, 12);
+  EXPECT_EQ(BlockOffset(p), 0x123456789AULL);
+  EXPECT_EQ(BlockOrder(p), 12);
+  EXPECT_NE(p, kNullBlock);
+}
+
+TEST(BlockManager, OrderForRoundsUp) {
+  EXPECT_EQ(BlockManager::OrderFor(1), 6);     // minimum 64 B
+  EXPECT_EQ(BlockManager::OrderFor(64), 6);
+  EXPECT_EQ(BlockManager::OrderFor(65), 7);
+  EXPECT_EQ(BlockManager::OrderFor(128), 7);
+  EXPECT_EQ(BlockManager::OrderFor(1 << 20), 20);
+  EXPECT_EQ(BlockManager::OrderFor((1 << 20) + 1), 21);
+}
+
+TEST(BlockManager, AllocationIsAligned) {
+  BlockManager manager(SmallOptions());
+  for (uint8_t order = 6; order <= 16; ++order) {
+    block_ptr_t p = manager.Allocate(order);
+    EXPECT_EQ(BlockOrder(p), order);
+    EXPECT_EQ(BlockOffset(p) % (uint64_t{1} << order), 0u)
+        << "block of order " << int(order) << " must be naturally aligned";
+  }
+}
+
+TEST(BlockManager, FreeListRecycles) {
+  BlockManager manager(SmallOptions());
+  block_ptr_t a = manager.Allocate(8);
+  manager.Free(a);
+  block_ptr_t b = manager.Allocate(8);
+  EXPECT_EQ(BlockOffset(a), BlockOffset(b)) << "freed block must be reused";
+}
+
+TEST(BlockManager, DistinctLiveBlocksDoNotOverlap) {
+  BlockManager manager(SmallOptions());
+  std::vector<block_ptr_t> blocks;
+  for (int i = 0; i < 200; ++i) {
+    blocks.push_back(manager.Allocate(static_cast<uint8_t>(6 + i % 6)));
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  for (block_ptr_t p : blocks) {
+    ranges.emplace_back(BlockOffset(p),
+                        BlockOffset(p) + (uint64_t{1} << BlockOrder(p)));
+  }
+  std::sort(ranges.begin(), ranges.end());
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_LE(ranges[i - 1].second, ranges[i].first) << "overlap at " << i;
+  }
+}
+
+TEST(BlockManager, RetireDelaysReclamation) {
+  BlockManager manager(SmallOptions());
+  block_ptr_t a = manager.Allocate(7);
+  manager.Retire(a, /*retire_epoch=*/10);
+  EXPECT_EQ(manager.ReclaimRetired(/*safe_epoch=*/5), 0u);
+  block_ptr_t b = manager.Allocate(7);
+  EXPECT_NE(BlockOffset(a), BlockOffset(b)) << "retired block reused early";
+  EXPECT_EQ(manager.ReclaimRetired(/*safe_epoch=*/10), 1u);
+  block_ptr_t c = manager.Allocate(7);
+  EXPECT_EQ(BlockOffset(a), BlockOffset(c)) << "reclaimed block not reused";
+}
+
+TEST(BlockManager, StatsAccounting) {
+  BlockManager manager(SmallOptions());
+  auto s0 = manager.GetStats();
+  EXPECT_EQ(s0.live_bytes(), 0u);
+  block_ptr_t a = manager.Allocate(10);  // 1 KiB
+  auto s1 = manager.GetStats();
+  EXPECT_EQ(s1.live_bytes(), 1024u);
+  manager.Retire(a, 1);
+  auto s2 = manager.GetStats();
+  EXPECT_EQ(s2.retired_bytes, 1024u);
+  EXPECT_EQ(s2.live_bytes(), 0u);
+  manager.ReclaimRetired(1);
+  auto s3 = manager.GetStats();
+  EXPECT_EQ(s3.free_list_bytes, 1024u);
+  EXPECT_EQ(s3.retired_bytes, 0u);
+}
+
+TEST(BlockManager, FileBackedSurvivesReopen) {
+  auto path = std::filesystem::temp_directory_path() / "lg_blocks.bin";
+  std::filesystem::remove(path);
+  uint64_t offset;
+  {
+    BlockManager::Options options;
+    options.path = path.string();
+    options.reserve_bytes = size_t{1} << 26;
+    BlockManager manager(options);
+    block_ptr_t p = manager.Allocate(12);
+    offset = BlockOffset(p);
+    std::memcpy(manager.Pointer(p), "persistent-data", 15);
+    manager.Sync();
+  }
+  {
+    BlockManager::Options options;
+    options.path = path.string();
+    options.reserve_bytes = size_t{1} << 26;
+    BlockManager manager(options);
+    EXPECT_EQ(std::memcmp(manager.Pointer(PackBlockPtr(offset, 12)),
+                          "persistent-data", 15),
+              0);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(BlockManager, ConcurrentAllocationUnique) {
+  BlockManager manager(SmallOptions());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<block_ptr_t>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        results[static_cast<size_t>(t)].push_back(
+            manager.Allocate(static_cast<uint8_t>(6 + i % 4)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::set<uint64_t> offsets;
+  for (const auto& per_thread : results) {
+    for (block_ptr_t p : per_thread) {
+      EXPECT_TRUE(offsets.insert(BlockOffset(p)).second)
+          << "duplicate allocation";
+    }
+  }
+}
+
+class OrderSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OrderSweepTest, AllocateWriteFreeAtEveryOrder) {
+  BlockManager manager(SmallOptions());
+  auto order = static_cast<uint8_t>(GetParam());
+  block_ptr_t p = manager.Allocate(order);
+  size_t size = size_t{1} << order;
+  std::memset(manager.Pointer(p), 0x5A, size);
+  EXPECT_EQ(manager.Pointer(p)[size - 1], 0x5A);
+  manager.Free(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, OrderSweepTest, ::testing::Range(6, 24));
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,36 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace livegraph {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // CRC32C ("123456789") == 0xE3069283 is the canonical check value.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string data(256, '\0');
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
+  uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t byte = 0; byte < data.size(); byte += 17) {
+    std::string corrupt = data;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ 0x10);
+    EXPECT_NE(Crc32c(corrupt.data(), corrupt.size()), clean)
+        << "flip at byte " << byte << " undetected";
+  }
+}
+
+TEST(Crc32, SeedChaining) {
+  std::string a = "hello ", b = "world";
+  uint32_t whole = Crc32c("hello world", 11);
+  uint32_t chained = Crc32c(b.data(), b.size(), Crc32c(a.data(), a.size()));
+  EXPECT_EQ(chained, whole);
+}
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,83 @@
+#include "util/futex_lock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace livegraph {
+namespace {
+
+TEST(FutexLock, BasicLockUnlock) {
+  FutexLock lock;
+  EXPECT_FALSE(lock.IsLocked());
+  EXPECT_TRUE(lock.TryLockFor(0));
+  EXPECT_TRUE(lock.IsLocked());
+  lock.Unlock();
+  EXPECT_FALSE(lock.IsLocked());
+}
+
+TEST(FutexLock, TryLockFailsWhenHeld) {
+  FutexLock lock;
+  ASSERT_TRUE(lock.TryLockFor(0));
+  EXPECT_FALSE(lock.TryLockFor(0));
+  EXPECT_FALSE(lock.TryLockFor(1'000'000));  // 1 ms timeout expires
+  lock.Unlock();
+  EXPECT_TRUE(lock.TryLockFor(0));
+  lock.Unlock();
+}
+
+TEST(FutexLock, TimeoutIsBounded) {
+  FutexLock lock;
+  ASSERT_TRUE(lock.TryLockFor(0));
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(lock.TryLockFor(20'000'000));  // 20 ms
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  lock.Unlock();
+}
+
+TEST(FutexLock, WaiterWakesOnUnlock) {
+  FutexLock lock;
+  ASSERT_TRUE(lock.TryLockFor(0));
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    if (lock.TryLockFor(2'000'000'000)) {  // generous 2 s budget
+      acquired.store(true);
+      lock.Unlock();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lock.Unlock();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+template <typename LockType>
+void MutualExclusionStress() {
+  LockType lock;
+  int64_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        while (!lock.TryLockFor(1'000'000'000)) {
+        }
+        counter++;  // data race iff mutual exclusion is broken (TSan/ASan)
+        lock.Unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, int64_t{kThreads} * kIters);
+}
+
+TEST(FutexLock, MutualExclusionStress) { MutualExclusionStress<FutexLock>(); }
+TEST(SpinLock, MutualExclusionStress) { MutualExclusionStress<SpinLock>(); }
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,91 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace livegraph {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanNanos(), 0.0);
+  EXPECT_EQ(h.PercentileNanos(0.99), 0u);
+}
+
+TEST(Histogram, SingleValue) {
+  LatencyHistogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.MeanNanos(), 1000.0);
+  // Log-bucketed: percentile within ~2% of the true value.
+  EXPECT_NEAR(double(h.PercentileNanos(0.5)), 1000.0, 1000.0 * 0.02);
+}
+
+TEST(Histogram, MeanIsExact) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_DOUBLE_EQ(h.MeanNanos(), 500.5);
+}
+
+TEST(Histogram, PercentilesOrdered) {
+  LatencyHistogram h;
+  Xorshift rng(3);
+  for (int i = 0; i < 100'000; ++i) h.Record(rng.NextBounded(10'000'000));
+  uint64_t p50 = h.PercentileNanos(0.50);
+  uint64_t p99 = h.PercentileNanos(0.99);
+  uint64_t p999 = h.PercentileNanos(0.999);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  // Uniform distribution: p50 ~ 5e6 within bucket error.
+  EXPECT_NEAR(double(p50), 5e6, 5e6 * 0.05);
+  EXPECT_NEAR(double(p99), 9.9e6, 9.9e6 * 0.05);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  Xorshift rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    uint64_t v = rng.NextBounded(1'000'000);
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.MeanNanos(), combined.MeanNanos());
+  EXPECT_EQ(a.PercentileNanos(0.99), combined.PercentileNanos(0.99));
+}
+
+TEST(Histogram, ResetClears) {
+  LatencyHistogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanNanos(), 0.0);
+}
+
+TEST(Histogram, HugeValuesClampedNotLost) {
+  LatencyHistogram h;
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.PercentileNanos(0.5), 0u);
+}
+
+class HistogramAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracyTest, RelativeErrorBounded) {
+  uint64_t value = GetParam();
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(value);
+  uint64_t p50 = h.PercentileNanos(0.5);
+  EXPECT_GE(p50, value);  // upper-bound estimate
+  EXPECT_LE(double(p50), double(value) * 1.02 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, HistogramAccuracyTest,
+                         ::testing::Values(1, 100, 5'000, 123'456, 9'999'999,
+                                           1'000'000'000, 77'000'000'000ull));
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,60 @@
+#include "util/mmap_region.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+namespace livegraph {
+namespace {
+
+TEST(MmapRegion, AnonymousReadWrite) {
+  MmapRegion region = MmapRegion::CreateAnonymous(1 << 20);
+  ASSERT_NE(region.data(), nullptr);
+  EXPECT_GE(region.reserved(), size_t{1} << 20);
+  std::memset(region.data(), 0xAB, 4096);
+  EXPECT_EQ(region.data()[0], 0xAB);
+  EXPECT_EQ(region.data()[4095], 0xAB);
+  // Anonymous pages start zeroed.
+  EXPECT_EQ(region.data()[8192], 0);
+}
+
+TEST(MmapRegion, FileBackedPersists) {
+  auto path = std::filesystem::temp_directory_path() / "lg_mmap_test.bin";
+  std::filesystem::remove(path);
+  {
+    MmapRegion region = MmapRegion::CreateFileBacked(path.string(), 1 << 22);
+    std::memcpy(region.data(), "hello", 5);
+    region.EnsureCommitted(1 << 21);
+    std::memcpy(region.data() + (1 << 20), "world", 5);
+    region.Sync();
+  }
+  {
+    MmapRegion region = MmapRegion::CreateFileBacked(path.string(), 1 << 22);
+    EXPECT_EQ(std::memcmp(region.data(), "hello", 5), 0);
+    EXPECT_EQ(std::memcmp(region.data() + (1 << 20), "world", 5), 0);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(MmapRegion, EnsureCommittedGrowsFile) {
+  auto path = std::filesystem::temp_directory_path() / "lg_mmap_grow.bin";
+  std::filesystem::remove(path);
+  MmapRegion region = MmapRegion::CreateFileBacked(path.string(), 1 << 24);
+  size_t before = region.committed();
+  region.EnsureCommitted(before + 1);
+  EXPECT_GT(region.committed(), before);
+  EXPECT_GE(std::filesystem::file_size(path), region.committed());
+  std::filesystem::remove(path);
+}
+
+TEST(MmapRegion, MoveTransfersOwnership) {
+  MmapRegion a = MmapRegion::CreateAnonymous(1 << 16);
+  uint8_t* data = a.data();
+  MmapRegion b = std::move(a);
+  EXPECT_EQ(b.data(), data);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+}  // namespace
+}  // namespace livegraph

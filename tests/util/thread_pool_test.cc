@@ -1,0 +1,59 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace livegraph {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr int64_t kN = 100'000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(0, kN, 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  std::atomic<int> calls{0};
+  ParallelFor(10, 10, 4, [&](int64_t, int64_t) { calls++; });
+  ParallelFor(10, 5, 4, [&](int64_t, int64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 1000, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
+
+TEST(ParallelFor, ImbalancedWorkCompletes) {
+  // Power-law-ish imbalance: one chunk is 1000x heavier.
+  std::atomic<int64_t> total{0};
+  ParallelFor(
+      0, 64, 8,
+      [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          int64_t work = (i == 0) ? 1'000'000 : 1'000;
+          int64_t acc = 0;
+          for (int64_t j = 0; j < work; ++j) acc += j;
+          total += acc > 0 ? 1 : 0;
+        }
+      },
+      /*chunk=*/1);
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(DefaultThreads, AtLeastOne) { EXPECT_GE(DefaultThreads(), 1); }
+
+}  // namespace
+}  // namespace livegraph

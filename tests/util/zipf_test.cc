@@ -1,0 +1,85 @@
+#include "util/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace livegraph {
+namespace {
+
+TEST(Zipf, SamplesInRange) {
+  ZipfSampler zipf(1000, 0.99);
+  Xorshift rng(1);
+  for (int i = 0; i < 100'000; ++i) {
+    uint64_t s = zipf.Sample(rng);
+    ASSERT_LT(s, 1000u);
+  }
+}
+
+TEST(Zipf, SkewFavorsLowRanks) {
+  ZipfSampler zipf(1'000'000, 0.99);
+  Xorshift rng(2);
+  int head_hits = 0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) < 100) head_hits++;
+  }
+  // Under theta=0.99 the top-100 of a million items draw >20% of accesses;
+  // uniform would give 0.01%.
+  EXPECT_GT(head_hits, kSamples / 5);
+}
+
+TEST(Zipf, RankZeroIsHottest) {
+  ZipfSampler zipf(10'000, 0.99);
+  Xorshift rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) {
+    uint64_t s = zipf.Sample(rng);
+    if (s < 10) counts[static_cast<size_t>(s)]++;
+  }
+  for (int r = 1; r < 10; ++r) {
+    EXPECT_GE(counts[0], counts[static_cast<size_t>(r)])
+        << "rank 0 must dominate rank " << r;
+  }
+}
+
+TEST(ScrambledZipf, SpreadsHotKeys) {
+  ScrambledZipf zipf(1'000'000, 0.99, /*seed=*/9);
+  Xorshift rng(4);
+  // The hottest scrambled IDs must not all cluster in the low ID range.
+  int low_ids = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) < 1000) low_ids++;
+  }
+  EXPECT_LT(low_ids, kSamples / 10);
+}
+
+TEST(ScrambledZipf, Deterministic) {
+  ScrambledZipf a(1000, 0.9, 5), b(1000, 0.9, 5);
+  Xorshift ra(6), rb(6);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Sample(ra), b.Sample(rb));
+  }
+}
+
+class ZipfDomainTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ZipfDomainTest, InBoundsAcrossDomains) {
+  uint64_t n = GetParam();
+  ZipfSampler zipf(n, 0.99);
+  ScrambledZipf scrambled(n, 0.99);
+  Xorshift rng(n);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(zipf.Sample(rng), n);
+    ASSERT_LT(scrambled.Sample(rng), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, ZipfDomainTest,
+                         ::testing::Values(1, 2, 10, 1000, 1 << 20));
+
+}  // namespace
+}  // namespace livegraph
