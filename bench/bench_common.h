@@ -60,9 +60,9 @@ inline GraphOptions BenchGraphOptions(bool wal = false) {
 /// The three transactional contenders of Tables 3-6 (§7.1: "we compare
 /// LiveGraph with three embedded implementations ... as representatives for
 /// using B+ tree, LSMT, and linked list respectively").
-inline std::unique_ptr<GraphStore> MakeStore(const std::string& name,
-                                             PageCacheSim* pagesim = nullptr,
-                                             bool wal = false) {
+inline std::unique_ptr<Store> MakeStore(const std::string& name,
+                                        PageCacheSim* pagesim = nullptr,
+                                        bool wal = false) {
   if (name == "LiveGraph") {
     return std::make_unique<LiveGraphStore>(BenchGraphOptions(wal), pagesim);
   }

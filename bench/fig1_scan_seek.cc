@@ -158,24 +158,22 @@ void Run() {
       LinkedListStore list;
       for (uint64_t v = 0; v < n; ++v) list.AddNode({});
       for (auto& [src, dst] : edges) list.AddLink(src, 0, dst, {});
+      // Walk the raw chain (single-threaded): the measurement is the
+      // pointer chase itself, not session or cursor machinery.
       Row("LinkedList", scale,
           Measure(
               n, samples, 4,
               [&](vertex_t v) {
-                int64_t first = 0;
-                list.ScanLinks(v, 0, [&first](vertex_t dst, std::string_view) {
-                  first = dst;
-                  return false;
-                });
-                return first;
+                const auto* node = list.head(v);
+                return node != nullptr ? node->dst : 0;
               },
               [&](vertex_t v) {
                 int64_t count = 0;
-                list.ScanLinks(v, 0, [&count](vertex_t dst, std::string_view) {
-                  g_sink = dst;
+                for (const auto* node = list.head(v); node != nullptr;
+                     node = node->next) {
+                  g_sink = node->dst;
                   count++;
-                  return true;
-                });
+                }
                 return count;
               }));
     }

@@ -15,7 +15,7 @@ int main() {
   std::printf("%-8s %8s %14s %14s %10s\n", "mix", "clients", "reqs/s",
               "ideal", "eff");
   LiveGraphStore* dflt_store_keepalive = nullptr;
-  std::unique_ptr<GraphStore> dflt_store;
+  std::unique_ptr<Store> dflt_store;
   for (const auto& [name, mix] :
        std::map<std::string, livegraph::LinkBenchMix>{
            {"TAO", livegraph::TaoMix()}, {"DFLT", livegraph::DfltMix()}}) {

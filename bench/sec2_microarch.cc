@@ -192,13 +192,14 @@ void Run() {
     LinkedListStore list;
     for (uint64_t v = 0; v < n; ++v) list.AddNode({});
     for (auto& [src, dst] : edges) list.AddLink(src, 0, dst, {});
+    // Raw chain walk: measures the pointer chase, not cursor machinery.
     Row("LinkedList", MeasureScans(n, samples, [&](vertex_t v) {
           int64_t count = 0;
-          list.ScanLinks(v, 0, [&count](vertex_t dst, std::string_view) {
-            g_sink = dst;
+          for (const auto* node = list.head(v); node != nullptr;
+               node = node->next) {
+            g_sink = node->dst;
             count++;
-            return true;
-          });
+          }
           return count;
         }),
         tel);

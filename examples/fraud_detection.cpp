@@ -60,7 +60,7 @@ int main() {
   Xorshift rng(42);
   int connected = 0, checked = 0;
   for (int round = 0; round < 50; ++round) {
-    auto view = store.OpenReadView();  // consistent MVCC snapshot
+    auto view = store.BeginReadTxn();  // consistent MVCC snapshot session
     vertex_t a = accounts[rng.NextBounded(accounts.size())];
     vertex_t b = accounts[rng.NextBounded(accounts.size())];
     if (a == b) continue;

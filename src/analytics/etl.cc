@@ -38,4 +38,21 @@ Csr ExportToCsr(const ReadTransaction& snapshot, label_t label, int threads) {
   return Csr::Adopt(std::move(offsets), std::move(targets));
 }
 
+Csr ExportToCsr(StoreReadTxn& txn, label_t label) {
+  // Single pass: offsets are recorded as each vertex's cursor drains, so
+  // the export stays correct even on engines whose read sessions are only
+  // read-committed (LSMT) and the degree could change between passes.
+  const vertex_t n = txn.VertexCount();
+  std::vector<int64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<vertex_t> targets;
+  for (vertex_t v = 0; v < n; ++v) {
+    offsets[static_cast<size_t>(v)] = static_cast<int64_t>(targets.size());
+    for (EdgeCursor c = txn.ScanLinks(v, label); c.Valid(); c.Next()) {
+      targets.push_back(c.dst());
+    }
+  }
+  offsets[static_cast<size_t>(n)] = static_cast<int64_t>(targets.size());
+  return Csr::Adopt(std::move(offsets), std::move(targets));
+}
+
 }  // namespace livegraph

@@ -1,10 +1,11 @@
-// ETL: export a LiveGraph snapshot to CSR — the conversion cost the paper
+// ETL: export a graph snapshot to CSR — the conversion cost the paper
 // eliminates with in-situ analytics (§7.4, Table 10: "We measured this ETL
 // overhead (converting from TEL to CSR) ... to be 1520ms, greatly
 // exceeding the PageRank/ConnComp execution time").
 #ifndef LIVEGRAPH_ANALYTICS_ETL_H_
 #define LIVEGRAPH_ANALYTICS_ETL_H_
 
+#include "api/store.h"
 #include "baselines/csr.h"
 #include "core/transaction.h"
 
@@ -13,6 +14,12 @@ namespace livegraph {
 /// Builds a CSR of (snapshot, label) using `threads` workers. This is what
 /// a dedicated engine like Gemini would need before computing anything.
 Csr ExportToCsr(const ReadTransaction& snapshot, label_t label, int threads);
+
+/// Engine-neutral export through the v2 session API: walks every vertex's
+/// adjacency cursor within one StoreReadTxn, so any engine — LiveGraph or
+/// baseline — can feed the static analytics engine. Single-threaded (the
+/// session is not shareable across threads on latch-based engines).
+Csr ExportToCsr(StoreReadTxn& txn, label_t label);
 
 }  // namespace livegraph
 

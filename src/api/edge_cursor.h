@@ -1,0 +1,141 @@
+// Concrete cursor over one (vertex, label) adjacency list — the v2 scan
+// protocol (docs/API.md).
+//
+// The seed's std::function scan callback put a type-erased indirect
+// call on the purely sequential scan path the paper exists to keep tight
+// (§4: one branch-predictable loop over a contiguous edge log). EdgeCursor
+// replaces it with a value type the caller advances: `Next()` / `dst()` /
+// `properties()` are non-virtual and inline. For LiveGraph the cursor wraps
+// the core EdgeIterator directly — scanning stays allocation-free and the
+// per-edge work is the same pointer bump as the raw TEL walk, with a single
+// always-taken mode branch. Baseline engines, which must drop their latches
+// or merge multiple components before a caller may hold positions, return
+// the same type in materialized mode: their adaptor snapshots the list into
+// the cursor once, and iteration is an index bump.
+#ifndef LIVEGRAPH_API_EDGE_CURSOR_H_
+#define LIVEGRAPH_API_EDGE_CURSOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/transaction.h"
+#include "util/types.h"
+
+namespace livegraph {
+
+class EdgeCursor {
+ public:
+  /// One materialized edge. Properties live in the cursor's arena so a
+  /// snapshot of N edges costs two allocations, not N.
+  struct Edge {
+    vertex_t dst;
+    uint32_t prop_offset;
+    uint32_t prop_size;
+    timestamp_t created;
+  };
+
+  /// Empty cursor (no adjacency list).
+  EdgeCursor() = default;
+
+  /// Live TEL mode: wraps a core EdgeIterator, yielding at most `limit`
+  /// edges. Valid while the owning transaction lives, like the iterator
+  /// itself.
+  explicit EdgeCursor(EdgeIterator it,
+                      size_t limit = std::numeric_limits<size_t>::max())
+      : mode_(Mode::kTel), it_(it), remaining_(limit) {}
+
+  /// Materialized mode: adopts a snapshot taken by a baseline adaptor.
+  EdgeCursor(std::vector<Edge> edges, std::string arena)
+      : mode_(Mode::kMaterialized),
+        edges_(std::move(edges)),
+        arena_(std::move(arena)) {}
+
+  EdgeCursor(EdgeCursor&&) = default;
+  EdgeCursor& operator=(EdgeCursor&&) = default;
+  EdgeCursor(const EdgeCursor&) = delete;
+  EdgeCursor& operator=(const EdgeCursor&) = delete;
+
+  bool Valid() const {
+    return mode_ == Mode::kTel ? remaining_ != 0 && it_.Valid()
+                               : index_ < edges_.size();
+  }
+
+  /// Advances to the next visible edge (newer-to-older on engines with
+  /// time-ordered lists; see StoreTraits::time_ordered_scans).
+  void Next() {
+    if (mode_ == Mode::kTel) {
+      it_.Next();
+      --remaining_;
+    } else {
+      ++index_;
+    }
+  }
+
+  vertex_t dst() const {
+    return mode_ == Mode::kTel ? it_.DstId() : edges_[index_].dst;
+  }
+
+  /// This edge's property bytes. A view into the TEL (live mode) or the
+  /// cursor's arena (materialized mode); stable until Next().
+  std::string_view properties() const {
+    if (mode_ == Mode::kTel) return it_.Properties();
+    const Edge& e = edges_[index_];
+    return std::string_view(arena_.data() + e.prop_offset, e.prop_size);
+  }
+
+  /// Creation timestamp (commit epoch) of the current edge; engines without
+  /// version timestamps report their insertion sequence number.
+  timestamp_t creation_timestamp() const {
+    return mode_ == Mode::kTel ? it_.CreationTimestamp()
+                               : edges_[index_].created;
+  }
+
+  /// Address range of the underlying edge-log strip, for out-of-core
+  /// page-touch accounting. {nullptr, 0} for materialized cursors (their
+  /// adaptor accounts touches while snapshotting).
+  std::pair<const void*, size_t> ScanSpan() const {
+    if (mode_ == Mode::kTel) return it_.ScanSpan();
+    return {nullptr, 0};
+  }
+
+ private:
+  enum class Mode : uint8_t { kTel, kMaterialized };
+
+  Mode mode_ = Mode::kMaterialized;  // default: empty materialized cursor
+  EdgeIterator it_;
+  size_t remaining_ = 0;  // TEL mode: yields left before the scan bound
+  size_t index_ = 0;
+  std::vector<Edge> edges_;
+  std::string arena_;
+};
+
+/// Incremental builder for materialized cursors (baseline adaptors).
+class EdgeCursorBuilder {
+ public:
+  void Reserve(size_t edges) { edges_.reserve(edges); }
+
+  void Add(vertex_t dst, std::string_view properties, timestamp_t created) {
+    edges_.push_back(EdgeCursor::Edge{
+        dst, static_cast<uint32_t>(arena_.size()),
+        static_cast<uint32_t>(properties.size()), created});
+    arena_.append(properties.data(), properties.size());
+  }
+
+  size_t size() const { return edges_.size(); }
+
+  EdgeCursor Build() && {
+    return EdgeCursor(std::move(edges_), std::move(arena_));
+  }
+
+ private:
+  std::vector<EdgeCursor::Edge> edges_;
+  std::string arena_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_API_EDGE_CURSOR_H_

@@ -1,0 +1,105 @@
+// Unified result type for the v2 storage API (docs/API.md).
+//
+// Every fallible operation across the public surface — the core
+// Transaction/ReadTransaction API and the engine-neutral StoreTxn session
+// API — reports through the one `Status` enum (util/types.h) or, when a
+// value is produced, through `StatusOr<T>`. This replaces the seed's mix of
+// `Status`, `std::optional<std::string_view>` and bare `bool` returns, so a
+// driver written once runs identically against LiveGraph and every baseline
+// (the paper's §7.1 single-harness methodology).
+#ifndef LIVEGRAPH_API_STATUS_H_
+#define LIVEGRAPH_API_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <type_traits>
+#include <utility>
+
+#include "util/types.h"
+
+namespace livegraph {
+
+/// True for outcomes a caller should retry by re-running the transaction
+/// (optimistic-concurrency losers), false for logical results (kNotFound,
+/// kOk) and programming errors (kNotActive).
+inline constexpr bool IsRetryable(Status s) {
+  return s == Status::kConflict || s == Status::kTimeout;
+}
+
+/// Either a value of `T` or the `Status` explaining its absence.
+///
+/// Deliberately mirrors the subset of std::optional the seed call sites
+/// already used (`has_value()`, `value()`, `operator*`, `operator->`), so
+/// migrating a return type from optional to StatusOr does not churn its
+/// readers — they just gain access to the precise failure code. Also
+/// comparable against a bare `Status` (`txn.Commit() == Status::kOk`),
+/// where an engaged value compares equal to kOk.
+template <typename T>
+class StatusOr {
+ public:
+  using value_type = T;
+
+  /// Error state. Constructing from kOk is a contract violation: a kOk
+  /// result must carry a value.
+  StatusOr(Status status) : status_(status) {  // NOLINT(google-explicit-*)
+    assert(status != Status::kOk && "kOk StatusOr requires a value");
+  }
+
+  /// Success state. Accepts anything T is constructible from (e.g. a
+  /// string_view initializing a StatusOr<std::string>).
+  template <typename U = T,
+            typename = std::enable_if_t<
+                std::is_constructible_v<T, U&&> &&
+                !std::is_same_v<std::decay_t<U>, StatusOr> &&
+                !std::is_same_v<std::decay_t<U>, Status>>>
+  StatusOr(U&& value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::kOk), value_(std::forward<U>(value)) {}
+
+  bool ok() const { return status_ == Status::kOk; }
+  bool has_value() const { return ok(); }
+  Status status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  friend bool operator==(const StatusOr& result, Status status) {
+    return result.status_ == status;
+  }
+  friend bool operator==(const StatusOr& a, const StatusOr& b) {
+    if (a.status_ != b.status_) return false;
+    return !a.ok() || *a.value_ == *b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const StatusOr& result) {
+    return os << "StatusOr<" << StatusName(result.status_) << ">";
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_API_STATUS_H_

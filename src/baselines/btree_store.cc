@@ -1,6 +1,7 @@
 #include "baselines/btree_store.h"
 
 #include <limits>
+#include <mutex>
 
 namespace livegraph {
 
@@ -11,123 +12,133 @@ EdgeKey NodeKey(vertex_t id) { return EdgeKey{id, 0, 0}; }
 BTreeStore::BTreeStore(PageCacheSim* pagesim)
     : edges_(pagesim), nodes_(pagesim), pagesim_(pagesim) {}
 
-vertex_t BTreeStore::AddNode(std::string_view data) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  vertex_t id = next_node_++;
-  nodes_.Insert(NodeKey(id), data);
-  return id;
-}
-
-bool BTreeStore::GetNode(vertex_t id, std::string* out) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  const std::string* value = nodes_.Find(NodeKey(id));
-  if (value == nullptr) return false;
-  out->assign(*value);
-  return true;
-}
-
-bool BTreeStore::UpdateNode(vertex_t id, std::string_view data) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (nodes_.Find(NodeKey(id)) == nullptr) return false;
-  nodes_.Insert(NodeKey(id), data);
-  return true;
-}
-
-bool BTreeStore::DeleteNode(vertex_t id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  return nodes_.Erase(NodeKey(id));
-}
-
-bool BTreeStore::AddLink(vertex_t src, label_t label, vertex_t dst,
-                         std::string_view data) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  return edges_.Insert(EdgeKey{src, label, dst}, data);
-}
-
-bool BTreeStore::UpdateLink(vertex_t src, label_t label, vertex_t dst,
-                            std::string_view data) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (edges_.Find(EdgeKey{src, label, dst}) == nullptr) return false;
-  edges_.Insert(EdgeKey{src, label, dst}, data);
-  return true;
-}
-
-bool BTreeStore::DeleteLink(vertex_t src, label_t label, vertex_t dst) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  return edges_.Erase(EdgeKey{src, label, dst});
-}
-
-bool BTreeStore::GetLink(vertex_t src, label_t label, vertex_t dst,
-                         std::string* out) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  const std::string* value = edges_.Find(EdgeKey{src, label, dst});
-  if (value == nullptr) return false;
-  out->assign(*value);
-  return true;
-}
-
-size_t BTreeStore::ScanLocked(vertex_t src, label_t label,
-                              const EdgeScanFn& fn) {
-  // Range query from (src, label, -inf): destination order, not time
-  // order — B+ trees cannot serve "most recent first" without a secondary
-  // time index, one of the costs §7.2 attributes to tree-based stores.
+EdgeCursor BTreeStore::ScanLocked(vertex_t src, label_t label, size_t limit) {
+  // Range query from (src, label, -inf); snapshot the run into the cursor
+  // so the caller iterates without holding tree positions. `limit` keeps
+  // LIMIT queries O(limit), matching the v1 callback's early exit.
   EdgeKey lower{src, label, std::numeric_limits<vertex_t>::min()};
-  size_t visited = 0;
+  EdgeCursorBuilder builder;
+  timestamp_t seq = 0;
+  for (auto it = edges_.LowerBound(lower); it.Valid() && builder.size() < limit;
+       it.Next()) {
+    if (it.key().src != src || it.key().label != label) break;
+    builder.Add(it.key().dst, it.value(), seq++);
+  }
+  return std::move(builder).Build();
+}
+
+size_t BTreeStore::CountLocked(vertex_t src, label_t label) {
+  EdgeKey lower{src, label, std::numeric_limits<vertex_t>::min()};
+  size_t count = 0;
   for (auto it = edges_.LowerBound(lower); it.Valid(); it.Next()) {
     if (it.key().src != src || it.key().label != label) break;
-    visited++;
-    if (!fn(it.key().dst, it.value())) break;
+    count++;
   }
-  return visited;
+  return count;
 }
 
-size_t BTreeStore::ScanLinks(vertex_t src, label_t label,
-                             const EdgeScanFn& fn) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return ScanLocked(src, label, fn);
-}
-
-size_t BTreeStore::CountLinks(vertex_t src, label_t label) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return ScanLocked(src, label,
-                    [](vertex_t, std::string_view) { return true; });
-}
-
-class BTreeViewImpl : public GraphReadView {
+/// Latch-holding session: the read surface shared by both session kinds,
+/// parameterized on the interface it fulfills and the latch it holds
+/// (shared for readers, exclusive for the single writer — LMDB's model).
+template <typename Base, typename Lock>
+class BTreeSession : public Base {
  public:
-  /// Holds the shared latch for the view's lifetime — the lock-based
-  /// multi-operation read the paper contrasts with MVCC snapshots (§7.3).
-  explicit BTreeViewImpl(BTreeStore* store) : store_(store), lock_(store->mu_) {}
+  explicit BTreeSession(BTreeStore* store)
+      : store_(store), lock_(store->mu_) {}
 
-  bool GetNode(vertex_t id, std::string* out) const override {
+  StatusOr<std::string> GetNode(vertex_t id) override {
     const std::string* value = store_->nodes_.Find(NodeKey(id));
-    if (value == nullptr) return false;
-    out->assign(*value);
-    return true;
-  }
-  bool GetLink(vertex_t src, label_t label, vertex_t dst,
-               std::string* out) const override {
-    const std::string* value = store_->edges_.Find(EdgeKey{src, label, dst});
-    if (value == nullptr) return false;
-    out->assign(*value);
-    return true;
-  }
-  size_t ScanLinks(vertex_t src, label_t label,
-                   const EdgeScanFn& fn) const override {
-    return store_->ScanLocked(src, label, fn);
-  }
-  size_t CountLinks(vertex_t src, label_t label) const override {
-    return store_->ScanLocked(src, label,
-                              [](vertex_t, std::string_view) { return true; });
+    if (value == nullptr) return Status::kNotFound;
+    return *value;
   }
 
- private:
+  StatusOr<std::string> GetLink(vertex_t src, label_t label,
+                                vertex_t dst) override {
+    const std::string* value = store_->edges_.Find(EdgeKey{src, label, dst});
+    if (value == nullptr) return Status::kNotFound;
+    return *value;
+  }
+
+  EdgeCursor ScanLinks(vertex_t src, label_t label, size_t limit) override {
+    return store_->ScanLocked(src, label, limit);
+  }
+
+  size_t CountLinks(vertex_t src, label_t label) override {
+    return store_->CountLocked(src, label);
+  }
+
+  vertex_t VertexCount() override { return store_->next_node_; }
+
+ protected:
   BTreeStore* store_;
-  std::shared_lock<std::shared_mutex> lock_;
+  Lock lock_;
 };
 
-std::unique_ptr<GraphReadView> BTreeStore::OpenReadView() {
-  return std::make_unique<BTreeViewImpl>(this);
+using BTreeReadTxn =
+    BTreeSession<StoreReadTxn, std::shared_lock<std::shared_mutex>>;
+
+/// Exclusive-latch write session: LMDB's single-writer model. Writes apply
+/// in place; Commit() releases the latch and stamps a commit sequence.
+class BTreeWriteTxn final
+    : public BTreeSession<StoreTxn, std::unique_lock<std::shared_mutex>> {
+ public:
+  using BTreeSession::BTreeSession;
+
+  StatusOr<vertex_t> AddNode(std::string_view data) override {
+    vertex_t id = store_->next_node_++;
+    store_->nodes_.Insert(NodeKey(id), data);
+    return id;
+  }
+
+  Status UpdateNode(vertex_t id, std::string_view data) override {
+    if (store_->nodes_.Find(NodeKey(id)) == nullptr) return Status::kNotFound;
+    store_->nodes_.Insert(NodeKey(id), data);
+    return Status::kOk;
+  }
+
+  Status DeleteNode(vertex_t id) override {
+    return store_->nodes_.Erase(NodeKey(id)) ? Status::kOk : Status::kNotFound;
+  }
+
+  StatusOr<bool> AddLink(vertex_t src, label_t label, vertex_t dst,
+                         std::string_view data) override {
+    return store_->edges_.Insert(EdgeKey{src, label, dst}, data);
+  }
+
+  Status UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                    std::string_view data) override {
+    if (store_->edges_.Find(EdgeKey{src, label, dst}) == nullptr) {
+      return Status::kNotFound;
+    }
+    store_->edges_.Insert(EdgeKey{src, label, dst}, data);
+    return Status::kOk;
+  }
+
+  Status DeleteLink(vertex_t src, label_t label, vertex_t dst) override {
+    return store_->edges_.Erase(EdgeKey{src, label, dst}) ? Status::kOk
+                                                          : Status::kNotFound;
+  }
+
+  StatusOr<timestamp_t> Commit() override {
+    if (!lock_.owns_lock()) return Status::kNotActive;
+    timestamp_t epoch =
+        store_->commit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    lock_.unlock();
+    return epoch;
+  }
+
+  void Abort() override {
+    // In-place engine: nothing to roll back, just end the session.
+    if (lock_.owns_lock()) lock_.unlock();
+  }
+};
+
+std::unique_ptr<StoreTxn> BTreeStore::BeginTxn() {
+  return std::make_unique<BTreeWriteTxn>(this);
+}
+
+std::unique_ptr<StoreReadTxn> BTreeStore::BeginReadTxn() {
+  return std::make_unique<BTreeReadTxn>(this);
 }
 
 }  // namespace livegraph

@@ -1,51 +1,10 @@
 #include "baselines/linked_list_store.h"
 
+#include <mutex>
+
 namespace livegraph {
 
-namespace {
-
-class LinkedListReadView;
-
-}  // namespace
-
 LinkedListStore::LinkedListStore(PageCacheSim* pagesim) : pagesim_(pagesim) {}
-
-vertex_t LinkedListStore::AddNode(std::string_view data) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  vertices_.push_back(Vertex{std::string(data), true, nullptr});
-  return static_cast<vertex_t>(vertices_.size() - 1);
-}
-
-bool LinkedListStore::GetNode(vertex_t id, std::string* out) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (id < 0 || static_cast<size_t>(id) >= vertices_.size() ||
-      !vertices_[static_cast<size_t>(id)].exists) {
-    return false;
-  }
-  out->assign(vertices_[static_cast<size_t>(id)].props);
-  return true;
-}
-
-bool LinkedListStore::UpdateNode(vertex_t id, std::string_view data) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (id < 0 || static_cast<size_t>(id) >= vertices_.size() ||
-      !vertices_[static_cast<size_t>(id)].exists) {
-    return false;
-  }
-  vertices_[static_cast<size_t>(id)].props.assign(data.data(), data.size());
-  return true;
-}
-
-bool LinkedListStore::DeleteNode(vertex_t id) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (id < 0 || static_cast<size_t>(id) >= vertices_.size() ||
-      !vertices_[static_cast<size_t>(id)].exists) {
-    return false;
-  }
-  vertices_[static_cast<size_t>(id)].exists = false;
-  vertices_[static_cast<size_t>(id)].head = nullptr;
-  return true;
-}
 
 LinkedListStore::EdgeNode* LinkedListStore::FindNode(vertex_t src,
                                                      label_t label,
@@ -60,72 +19,24 @@ LinkedListStore::EdgeNode* LinkedListStore::FindNode(vertex_t src,
   return nullptr;
 }
 
-bool LinkedListStore::AddLink(vertex_t src, label_t label, vertex_t dst,
-                              std::string_view data) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (EdgeNode* existing = FindNode(src, label, dst)) {
-    existing->props.assign(data.data(), data.size());
-    return false;
+EdgeCursor LinkedListStore::ScanLocked(vertex_t src, label_t label,
+                                       size_t limit) const {
+  if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) {
+    return EdgeCursor();
   }
-  if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) return false;
-  pool_.push_back(EdgeNode{dst, label, std::string(data),
-                           vertices_[static_cast<size_t>(src)].head});
-  vertices_[static_cast<size_t>(src)].head = &pool_.back();
-  if (pagesim_ != nullptr) {
-    pagesim_->Touch(&pool_.back(), sizeof(EdgeNode), true);
-  }
-  return true;
-}
-
-bool LinkedListStore::UpdateLink(vertex_t src, label_t label, vertex_t dst,
-                                 std::string_view data) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  EdgeNode* node = FindNode(src, label, dst);
-  if (node == nullptr) return false;
-  node->props.assign(data.data(), data.size());
-  return true;
-}
-
-bool LinkedListStore::DeleteLink(vertex_t src, label_t label, vertex_t dst) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) return false;
-  EdgeNode** slot = &vertices_[static_cast<size_t>(src)].head;
-  while (*slot != nullptr) {
-    if ((*slot)->label == label && (*slot)->dst == dst) {
-      *slot = (*slot)->next;  // node leaks into the pool; freed at destruct
-      return true;
-    }
-    slot = &(*slot)->next;
-  }
-  return false;
-}
-
-bool LinkedListStore::GetLink(vertex_t src, label_t label, vertex_t dst,
-                              std::string* out) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  EdgeNode* node = FindNode(src, label, dst);
-  if (node == nullptr) return false;
-  out->assign(node->props);
-  return true;
-}
-
-size_t LinkedListStore::ScanLinks(vertex_t src, label_t label,
-                                  const EdgeScanFn& fn) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) return 0;
-  size_t visited = 0;
+  EdgeCursorBuilder builder;
+  timestamp_t seq = 0;
   for (EdgeNode* node = vertices_[static_cast<size_t>(src)].head;
-       node != nullptr; node = node->next) {
+       node != nullptr && builder.size() < limit; node = node->next) {
     if (pagesim_ != nullptr) pagesim_->Touch(node, sizeof(EdgeNode), false);
     if (node->label != label) continue;
-    visited++;
-    if (!fn(node->dst, node->props)) break;
+    // Chain order is newest-first already; keep it.
+    builder.Add(node->dst, node->props, seq--);
   }
-  return visited;
+  return std::move(builder).Build();
 }
 
-size_t LinkedListStore::CountLinks(vertex_t src, label_t label) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+size_t LinkedListStore::CountLocked(vertex_t src, label_t label) const {
   if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) return 0;
   size_t count = 0;
   for (EdgeNode* node = vertices_[static_cast<size_t>(src)].head;
@@ -135,34 +46,145 @@ size_t LinkedListStore::CountLinks(vertex_t src, label_t label) {
   return count;
 }
 
-namespace {
-
-class LinkedListViewImpl : public GraphReadView {
+/// Latch-holding session: the read surface shared by both session kinds,
+/// parameterized on the interface it fulfills and the latch it holds.
+template <typename Base, typename Lock>
+class LinkedListSession : public Base {
  public:
-  explicit LinkedListViewImpl(LinkedListStore* store) : store_(store) {}
-  bool GetNode(vertex_t id, std::string* out) const override {
-    return store_->GetNode(id, out);
-  }
-  bool GetLink(vertex_t src, label_t label, vertex_t dst,
-               std::string* out) const override {
-    return store_->GetLink(src, label, dst, out);
-  }
-  size_t ScanLinks(vertex_t src, label_t label,
-                   const EdgeScanFn& fn) const override {
-    return store_->ScanLinks(src, label, fn);
-  }
-  size_t CountLinks(vertex_t src, label_t label) const override {
-    return store_->CountLinks(src, label);
+  explicit LinkedListSession(LinkedListStore* store)
+      : store_(store), lock_(store->mu_) {}
+
+  StatusOr<std::string> GetNode(vertex_t id) override {
+    if (id < 0 || static_cast<size_t>(id) >= store_->vertices_.size() ||
+        !store_->vertices_[static_cast<size_t>(id)].exists) {
+      return Status::kNotFound;
+    }
+    return store_->vertices_[static_cast<size_t>(id)].props;
   }
 
- private:
+  StatusOr<std::string> GetLink(vertex_t src, label_t label,
+                                vertex_t dst) override {
+    LinkedListStore::EdgeNode* node = store_->FindNode(src, label, dst);
+    if (node == nullptr) return Status::kNotFound;
+    return node->props;
+  }
+
+  EdgeCursor ScanLinks(vertex_t src, label_t label, size_t limit) override {
+    return store_->ScanLocked(src, label, limit);
+  }
+
+  size_t CountLinks(vertex_t src, label_t label) override {
+    return store_->CountLocked(src, label);
+  }
+
+  vertex_t VertexCount() override {
+    return static_cast<vertex_t>(store_->vertices_.size());
+  }
+
+ protected:
   LinkedListStore* store_;
+  Lock lock_;
 };
 
-}  // namespace
+using LinkedListReadTxn =
+    LinkedListSession<StoreReadTxn, std::shared_lock<std::shared_mutex>>;
 
-std::unique_ptr<GraphReadView> LinkedListStore::OpenReadView() {
-  return std::make_unique<LinkedListViewImpl>(this);
+/// Exclusive-latch write session; writes apply in place.
+class LinkedListWriteTxn final
+    : public LinkedListSession<StoreTxn, std::unique_lock<std::shared_mutex>> {
+ public:
+  using LinkedListSession::LinkedListSession;
+
+  StatusOr<vertex_t> AddNode(std::string_view data) override {
+    store_->vertices_.push_back(
+        LinkedListStore::Vertex{std::string(data), true, nullptr});
+    return static_cast<vertex_t>(store_->vertices_.size() - 1);
+  }
+
+  Status UpdateNode(vertex_t id, std::string_view data) override {
+    if (id < 0 || static_cast<size_t>(id) >= store_->vertices_.size() ||
+        !store_->vertices_[static_cast<size_t>(id)].exists) {
+      return Status::kNotFound;
+    }
+    store_->vertices_[static_cast<size_t>(id)].props.assign(data.data(),
+                                                            data.size());
+    return Status::kOk;
+  }
+
+  Status DeleteNode(vertex_t id) override {
+    if (id < 0 || static_cast<size_t>(id) >= store_->vertices_.size() ||
+        !store_->vertices_[static_cast<size_t>(id)].exists) {
+      return Status::kNotFound;
+    }
+    store_->vertices_[static_cast<size_t>(id)].exists = false;
+    store_->vertices_[static_cast<size_t>(id)].head = nullptr;
+    return Status::kOk;
+  }
+
+  StatusOr<bool> AddLink(vertex_t src, label_t label, vertex_t dst,
+                         std::string_view data) override {
+    if (LinkedListStore::EdgeNode* existing =
+            store_->FindNode(src, label, dst)) {
+      existing->props.assign(data.data(), data.size());
+      return false;
+    }
+    if (src < 0 || static_cast<size_t>(src) >= store_->vertices_.size()) {
+      return Status::kNotFound;
+    }
+    store_->pool_.push_back(LinkedListStore::EdgeNode{
+        dst, label, std::string(data),
+        store_->vertices_[static_cast<size_t>(src)].head});
+    store_->vertices_[static_cast<size_t>(src)].head = &store_->pool_.back();
+    if (store_->pagesim_ != nullptr) {
+      store_->pagesim_->Touch(&store_->pool_.back(),
+                              sizeof(LinkedListStore::EdgeNode), true);
+    }
+    return true;
+  }
+
+  Status UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                    std::string_view data) override {
+    LinkedListStore::EdgeNode* node = store_->FindNode(src, label, dst);
+    if (node == nullptr) return Status::kNotFound;
+    node->props.assign(data.data(), data.size());
+    return Status::kOk;
+  }
+
+  Status DeleteLink(vertex_t src, label_t label, vertex_t dst) override {
+    if (src < 0 || static_cast<size_t>(src) >= store_->vertices_.size()) {
+      return Status::kNotFound;
+    }
+    LinkedListStore::EdgeNode** slot =
+        &store_->vertices_[static_cast<size_t>(src)].head;
+    while (*slot != nullptr) {
+      if ((*slot)->label == label && (*slot)->dst == dst) {
+        *slot = (*slot)->next;  // node leaks into the pool; freed at destruct
+        return Status::kOk;
+      }
+      slot = &(*slot)->next;
+    }
+    return Status::kNotFound;
+  }
+
+  StatusOr<timestamp_t> Commit() override {
+    if (!lock_.owns_lock()) return Status::kNotActive;
+    timestamp_t epoch =
+        store_->commit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    lock_.unlock();
+    return epoch;
+  }
+
+  void Abort() override {
+    if (lock_.owns_lock()) lock_.unlock();
+  }
+};
+
+std::unique_ptr<StoreTxn> LinkedListStore::BeginTxn() {
+  return std::make_unique<LinkedListWriteTxn>(this);
+}
+
+std::unique_ptr<StoreReadTxn> LinkedListStore::BeginReadTxn() {
+  return std::make_unique<LinkedListReadTxn>(this);
 }
 
 }  // namespace livegraph

@@ -3,53 +3,60 @@
 // C++ rather than running Neo4j on a managed language", §2.1). Nodes for
 // different vertices interleave in the allocation pool, so traversing one
 // list chases pointers across scattered cache lines: the all-random row of
-// Table 1.
+// Table 1. Sessions hold the shared/exclusive latch for their lifetime,
+// like the B+ tree comparator.
 #ifndef LIVEGRAPH_BASELINES_LINKED_LIST_STORE_H_
 #define LIVEGRAPH_BASELINES_LINKED_LIST_STORE_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "api/store.h"
 #include "baselines/paged_store.h"
-#include "baselines/store_interface.h"
 
 namespace livegraph {
 
-class LinkedListStore : public GraphStore {
+class LinkedListStore : public Store {
  public:
-  explicit LinkedListStore(PageCacheSim* pagesim = nullptr);
-
-  std::string Name() const override { return "LinkedList"; }
-
-  vertex_t AddNode(std::string_view data) override;
-  bool GetNode(vertex_t id, std::string* out) override;
-  bool UpdateNode(vertex_t id, std::string_view data) override;
-  bool DeleteNode(vertex_t id) override;
-
-  bool AddLink(vertex_t src, label_t label, vertex_t dst,
-               std::string_view data) override;
-  bool UpdateLink(vertex_t src, label_t label, vertex_t dst,
-                  std::string_view data) override;
-  bool DeleteLink(vertex_t src, label_t label, vertex_t dst) override;
-  bool GetLink(vertex_t src, label_t label, vertex_t dst,
-               std::string* out) override;
-  size_t ScanLinks(vertex_t src, label_t label, const EdgeScanFn& fn) override;
-  size_t CountLinks(vertex_t src, label_t label) override;
-
-  std::unique_ptr<GraphReadView> OpenReadView() override;
-
- private:
-  friend class LinkedListReadView;
-
+  /// Exposed for the §2 microbenchmarks, which measure the raw pointer
+  /// chase without session or cursor machinery.
   struct EdgeNode {
     vertex_t dst;
     label_t label;
     std::string props;
     EdgeNode* next;
   };
+
+  explicit LinkedListStore(PageCacheSim* pagesim = nullptr);
+
+  std::string Name() const override { return "LinkedList"; }
+  StoreTraits Traits() const override {
+    // Prepend-on-insert gives newest-first scans; no MVCC, no rollback.
+    return StoreTraits{/*time_ordered_scans=*/true, /*snapshot_reads=*/false,
+                       /*transactional_writes=*/false};
+  }
+
+  std::unique_ptr<StoreTxn> BeginTxn() override;
+  std::unique_ptr<StoreReadTxn> BeginReadTxn() override;
+
+  /// Head of `src`'s adjacency chain (newest first), for single-threaded
+  /// microbenchmarks only: bypasses the latch.
+  const EdgeNode* head(vertex_t src) const {
+    if (src < 0 || static_cast<size_t>(src) >= vertices_.size()) {
+      return nullptr;
+    }
+    return vertices_[static_cast<size_t>(src)].head;
+  }
+
+ private:
+  template <typename Base, typename Lock>
+  friend class LinkedListSession;
+  friend class LinkedListWriteTxn;
+
   struct Vertex {
     std::string props;
     bool exists = false;
@@ -57,10 +64,13 @@ class LinkedListStore : public GraphStore {
   };
 
   EdgeNode* FindNode(vertex_t src, label_t label, vertex_t dst) const;
+  EdgeCursor ScanLocked(vertex_t src, label_t label, size_t limit) const;
+  size_t CountLocked(vertex_t src, label_t label) const;
 
   mutable std::shared_mutex mu_;
   std::vector<Vertex> vertices_;
   std::deque<EdgeNode> pool_;  // interleaved allocation across vertices
+  std::atomic<timestamp_t> commit_seq_{0};
   PageCacheSim* pagesim_;
 };
 

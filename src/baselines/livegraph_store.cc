@@ -1,186 +1,186 @@
 #include "baselines/livegraph_store.h"
 
+#include <utility>
+
 namespace livegraph {
-
-LiveGraphStore::LiveGraphStore(GraphOptions options, PageCacheSim* pagesim)
-    : graph_(std::make_unique<Graph>(std::move(options))), pagesim_(pagesim) {}
-
-vertex_t LiveGraphStore::AddNode(std::string_view data) {
-  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    auto txn = graph_->BeginTransaction();
-    vertex_t id = txn.AddVertex(data);
-    if (id == kNullVertex) continue;
-    if (txn.Commit() == Status::kOk) return id;
-  }
-  return kNullVertex;
-}
-
-bool LiveGraphStore::GetNode(vertex_t id, std::string* out) {
-  auto txn = graph_->BeginReadOnlyTransaction();
-  auto props = txn.GetVertex(id);
-  if (!props.has_value()) return false;
-  if (pagesim_ != nullptr) {
-    pagesim_->Touch(props->data(), props->size() + sizeof(VertexHeader),
-                    false);
-  }
-  out->assign(*props);
-  return true;
-}
-
-bool LiveGraphStore::UpdateNode(vertex_t id, std::string_view data) {
-  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    auto txn = graph_->BeginTransaction();
-    // LinkBench UPDATE_NODE only touches live nodes: tombstoned or
-    // never-written IDs must fail rather than resurrect.
-    if (!txn.GetVertex(id).has_value()) return false;
-    Status st = txn.PutVertex(id, data);
-    if (st == Status::kNotFound) return false;
-    if (st != Status::kOk) continue;  // conflict/timeout: retry
-    if (txn.Commit() == Status::kOk) {
-      if (pagesim_ != nullptr) {
-        pagesim_->Touch(data.data(), data.size() + sizeof(VertexHeader), true);
-      }
-      return true;
-    }
-  }
-  return false;
-}
-
-bool LiveGraphStore::DeleteNode(vertex_t id) {
-  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    auto txn = graph_->BeginTransaction();
-    if (!txn.GetVertex(id).has_value()) return false;
-    Status st = txn.DeleteVertex(id);
-    if (st == Status::kNotFound) return false;
-    if (st != Status::kOk) continue;
-    if (txn.Commit() == Status::kOk) return true;
-  }
-  return false;
-}
-
-bool LiveGraphStore::AddLink(vertex_t src, label_t label, vertex_t dst,
-                             std::string_view data) {
-  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    auto txn = graph_->BeginTransaction();
-    // "Upsert" semantics: report whether this was a true insertion. The
-    // existence probe is Bloom-filter-fast for true inserts (§4).
-    bool existed = txn.GetEdge(src, label, dst).has_value();
-    Status st = txn.AddEdge(src, label, dst, data);
-    if (st == Status::kNotFound) return false;
-    if (st != Status::kOk) continue;
-    if (txn.Commit() == Status::kOk) {
-      if (pagesim_ != nullptr) {
-        pagesim_->Touch(data.data(), data.size() + sizeof(EdgeEntry), true);
-      }
-      return !existed;
-    }
-  }
-  return false;
-}
-
-bool LiveGraphStore::UpdateLink(vertex_t src, label_t label, vertex_t dst,
-                                std::string_view data) {
-  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    auto txn = graph_->BeginTransaction();
-    if (!txn.GetEdge(src, label, dst).has_value()) return false;
-    Status st = txn.AddEdge(src, label, dst, data);
-    if (st != Status::kOk) continue;
-    if (txn.Commit() == Status::kOk) return true;
-  }
-  return false;
-}
-
-bool LiveGraphStore::DeleteLink(vertex_t src, label_t label, vertex_t dst) {
-  for (int attempt = 0; attempt < kMaxRetries; ++attempt) {
-    auto txn = graph_->BeginTransaction();
-    Status st = txn.DeleteEdge(src, label, dst);
-    if (st == Status::kNotFound) return false;
-    if (st != Status::kOk) continue;
-    if (txn.Commit() == Status::kOk) return true;
-  }
-  return false;
-}
-
-bool LiveGraphStore::GetLink(vertex_t src, label_t label, vertex_t dst,
-                             std::string* out) {
-  auto txn = graph_->BeginReadOnlyTransaction();
-  auto props = txn.GetEdge(src, label, dst);
-  if (!props.has_value()) return false;
-  if (pagesim_ != nullptr) {
-    pagesim_->Touch(props->data(), props->size() + sizeof(EdgeEntry), false);
-  }
-  out->assign(*props);
-  return true;
-}
 
 namespace {
 
-size_t ScanWith(const ReadTransaction& txn, PageCacheSim* pagesim,
-                vertex_t src, label_t label, const EdgeScanFn& fn) {
-  size_t visited = 0;
-  auto it = txn.GetEdges(src, label);
+/// Shared by both session kinds: wrap the core iterator; charge the page
+/// cache for the strip this scan will walk (one contiguous range — the
+/// point of the TEL layout).
+template <typename Txn>
+EdgeCursor ScanWith(const Txn& txn, PageCacheSim* pagesim, vertex_t src,
+                    label_t label, size_t limit) {
+  EdgeIterator it = txn.GetEdges(src, label);
   if (pagesim != nullptr && it.Valid()) {
     auto [addr, bytes] = it.ScanSpan();
     pagesim->Touch(addr, bytes, false);
   }
-  for (; it.Valid(); it.Next()) {
-    visited++;
-    if (!fn(it.DstId(), it.Properties())) break;
-  }
-  return visited;
+  return EdgeCursor(it, limit);
 }
 
-}  // namespace
-
-size_t LiveGraphStore::ScanLinks(vertex_t src, label_t label,
-                                 const EdgeScanFn& fn) {
-  auto txn = graph_->BeginReadOnlyTransaction();
-  return ScanWith(txn, pagesim_, src, label, fn);
-}
-
-size_t LiveGraphStore::CountLinks(vertex_t src, label_t label) {
-  auto txn = graph_->BeginReadOnlyTransaction();
-  return txn.CountEdges(src, label);
-}
-
-namespace {
-
-/// MVCC snapshot view: readers never block writers and vice versa (§5).
-class LiveGraphViewImpl : public GraphReadView {
+/// MVCC snapshot session: readers never block writers and vice versa (§5).
+class LiveGraphReadTxn : public StoreReadTxn {
  public:
-  LiveGraphViewImpl(Graph* graph, PageCacheSim* pagesim)
+  LiveGraphReadTxn(Graph* graph, PageCacheSim* pagesim)
       : txn_(graph->BeginReadOnlyTransaction()), pagesim_(pagesim) {}
 
-  bool GetNode(vertex_t id, std::string* out) const override {
-    auto props = txn_.GetVertex(id);
-    if (!props.has_value()) return false;
-    out->assign(*props);
-    return true;
+  StatusOr<std::string> GetNode(vertex_t id) override {
+    StatusOr<std::string_view> props = txn_.GetVertex(id);
+    if (!props.ok()) return props.status();
+    if (pagesim_ != nullptr) {
+      pagesim_->Touch(props->data(), props->size() + sizeof(VertexHeader),
+                      false);
+    }
+    return std::string(*props);
   }
-  bool GetLink(vertex_t src, label_t label, vertex_t dst,
-               std::string* out) const override {
-    auto props = txn_.GetEdge(src, label, dst);
-    if (!props.has_value()) return false;
-    out->assign(*props);
-    return true;
+
+  StatusOr<std::string> GetLink(vertex_t src, label_t label,
+                                vertex_t dst) override {
+    StatusOr<std::string_view> props = txn_.GetEdge(src, label, dst);
+    if (!props.ok()) return props.status();
+    if (pagesim_ != nullptr) {
+      pagesim_->Touch(props->data(), props->size() + sizeof(EdgeEntry), false);
+    }
+    return std::string(*props);
   }
-  size_t ScanLinks(vertex_t src, label_t label,
-                   const EdgeScanFn& fn) const override {
-    return ScanWith(txn_, pagesim_, src, label, fn);
+
+  EdgeCursor ScanLinks(vertex_t src, label_t label, size_t limit) override {
+    // Live TEL cursor: lazy; the bound is a counter on the cursor itself.
+    return ScanWith(txn_, pagesim_, src, label, limit);
   }
-  size_t CountLinks(vertex_t src, label_t label) const override {
+
+  size_t CountLinks(vertex_t src, label_t label) override {
     return txn_.CountEdges(src, label);
   }
+
+  vertex_t VertexCount() override { return txn_.VertexCount(); }
 
  private:
   ReadTransaction txn_;
   PageCacheSim* pagesim_;
 };
 
+/// Read-write session under snapshot isolation; maps 1:1 onto the core
+/// Transaction (work / persist / apply phases, §5).
+class LiveGraphWriteTxn : public StoreTxn {
+ public:
+  LiveGraphWriteTxn(Graph* graph, PageCacheSim* pagesim)
+      : graph_(graph), txn_(graph->BeginTransaction()), pagesim_(pagesim) {}
+
+  ~LiveGraphWriteTxn() override {
+    if (txn_.active()) txn_.Abort();
+  }
+
+  // --- Reads (read-your-writes) ---
+
+  StatusOr<std::string> GetNode(vertex_t id) override {
+    StatusOr<std::string_view> props = txn_.GetVertex(id);
+    if (!props.ok()) return props.status();
+    return std::string(*props);
+  }
+
+  StatusOr<std::string> GetLink(vertex_t src, label_t label,
+                                vertex_t dst) override {
+    StatusOr<std::string_view> props = txn_.GetEdge(src, label, dst);
+    if (!props.ok()) return props.status();
+    return std::string(*props);
+  }
+
+  EdgeCursor ScanLinks(vertex_t src, label_t label, size_t limit) override {
+    // Live TEL cursor: lazy; the bound is a counter on the cursor itself.
+    return ScanWith(txn_, pagesim_, src, label, limit);
+  }
+
+  size_t CountLinks(vertex_t src, label_t label) override {
+    return txn_.CountEdges(src, label);
+  }
+
+  vertex_t VertexCount() override { return graph_->VertexCount(); }
+
+  // --- Writes ---
+
+  StatusOr<vertex_t> AddNode(std::string_view data) override {
+    vertex_t id = txn_.AddVertex(data);
+    // AddVertex only fails on lock timeout (fresh IDs cannot conflict) or
+    // an already-dead transaction.
+    if (id == kNullVertex) {
+      return txn_.active() ? Status::kTimeout : Status::kNotActive;
+    }
+    return id;
+  }
+
+  Status UpdateNode(vertex_t id, std::string_view data) override {
+    // LinkBench UPDATE_NODE only touches live nodes: tombstoned or
+    // never-written IDs must fail rather than resurrect.
+    if (!txn_.GetVertex(id).ok()) return Status::kNotFound;
+    Status st = txn_.PutVertex(id, data);
+    if (st == Status::kOk && pagesim_ != nullptr) {
+      pagesim_->Touch(data.data(), data.size() + sizeof(VertexHeader), true);
+    }
+    return st;
+  }
+
+  Status DeleteNode(vertex_t id) override {
+    if (!txn_.GetVertex(id).ok()) return Status::kNotFound;
+    return txn_.DeleteVertex(id);
+  }
+
+  StatusOr<bool> AddLink(vertex_t src, label_t label, vertex_t dst,
+                         std::string_view data) override {
+    // Upsert: report whether this was a true insertion. The existence
+    // probe is Bloom-filter-fast for true inserts (§4).
+    bool existed = txn_.GetEdge(src, label, dst).ok();
+    Status st = txn_.AddEdge(src, label, dst, data);
+    if (st != Status::kOk) return st;
+    if (pagesim_ != nullptr) {
+      pagesim_->Touch(data.data(), data.size() + sizeof(EdgeEntry), true);
+    }
+    return !existed;
+  }
+
+  Status UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                    std::string_view data) override {
+    if (!txn_.GetEdge(src, label, dst).ok()) return Status::kNotFound;
+    return txn_.AddEdge(src, label, dst, data);
+  }
+
+  Status DeleteLink(vertex_t src, label_t label, vertex_t dst) override {
+    return txn_.DeleteEdge(src, label, dst);
+  }
+
+  // --- Lifecycle ---
+
+  StatusOr<timestamp_t> Commit() override { return txn_.Commit(); }
+
+  void Abort() override {
+    if (txn_.active()) txn_.Abort();
+  }
+
+ private:
+  Graph* graph_;
+  Transaction txn_;
+  PageCacheSim* pagesim_;
+};
+
 }  // namespace
 
-std::unique_ptr<GraphReadView> LiveGraphStore::OpenReadView() {
-  return std::make_unique<LiveGraphViewImpl>(graph_.get(), pagesim_);
+LiveGraphStore::LiveGraphStore(GraphOptions options, PageCacheSim* pagesim)
+    : graph_(std::make_unique<Graph>(std::move(options))), pagesim_(pagesim) {}
+
+LiveGraphStore::LiveGraphStore(GraphOptions options,
+                               PageCacheSim::Options pagesim_options)
+    : graph_(std::make_unique<Graph>(std::move(options))),
+      owned_pagesim_(std::make_unique<PageCacheSim>(pagesim_options)),
+      pagesim_(owned_pagesim_.get()) {}
+
+std::unique_ptr<StoreTxn> LiveGraphStore::BeginTxn() {
+  return std::make_unique<LiveGraphWriteTxn>(graph_.get(), pagesim_);
+}
+
+std::unique_ptr<StoreReadTxn> LiveGraphStore::BeginReadTxn() {
+  return std::make_unique<LiveGraphReadTxn>(graph_.get(), pagesim_);
 }
 
 }  // namespace livegraph

@@ -1,49 +1,48 @@
-// GraphStore adapter over the LiveGraph engine: each operation is one
-// (auto-commit) transaction, with bounded retry on conflicts — the way the
-// paper's LinkBench harness drives the embedded stores (§7.1).
+// Store adaptor over the LiveGraph engine: sessions map 1:1 onto the
+// native Transaction/ReadTransaction MVCC objects — the way the paper's
+// harness drives the embedded stores (§7.1). Scans hand back the core
+// EdgeIterator inside an EdgeCursor, so the purely sequential TEL walk
+// (§4) reaches drivers with no callback, no virtual call and no
+// allocation per edge.
 #ifndef LIVEGRAPH_BASELINES_LIVEGRAPH_STORE_H_
 #define LIVEGRAPH_BASELINES_LIVEGRAPH_STORE_H_
 
 #include <memory>
 #include <string>
 
+#include "api/store.h"
 #include "baselines/paged_store.h"
-#include "baselines/store_interface.h"
 #include "core/graph.h"
 #include "core/transaction.h"
 
 namespace livegraph {
 
-class LiveGraphStore : public GraphStore {
+class LiveGraphStore : public Store {
  public:
   explicit LiveGraphStore(GraphOptions options = {},
                           PageCacheSim* pagesim = nullptr);
 
-  std::string Name() const override { return "LiveGraph"; }
+  /// Out-of-core configuration ("Paged" engine): owns its page-cache
+  /// simulator, charging device latencies for every byte range scans and
+  /// lookups actually walk (paper Tables 5/6/8).
+  LiveGraphStore(GraphOptions options, PageCacheSim::Options pagesim_options);
 
-  vertex_t AddNode(std::string_view data) override;
-  bool GetNode(vertex_t id, std::string* out) override;
-  bool UpdateNode(vertex_t id, std::string_view data) override;
-  bool DeleteNode(vertex_t id) override;
+  std::string Name() const override {
+    return owned_pagesim_ != nullptr ? "PagedLiveGraph" : "LiveGraph";
+  }
+  StoreTraits Traits() const override {
+    return StoreTraits{/*time_ordered_scans=*/true, /*snapshot_reads=*/true,
+                       /*transactional_writes=*/true};
+  }
 
-  bool AddLink(vertex_t src, label_t label, vertex_t dst,
-               std::string_view data) override;
-  bool UpdateLink(vertex_t src, label_t label, vertex_t dst,
-                  std::string_view data) override;
-  bool DeleteLink(vertex_t src, label_t label, vertex_t dst) override;
-  bool GetLink(vertex_t src, label_t label, vertex_t dst,
-               std::string* out) override;
-  size_t ScanLinks(vertex_t src, label_t label, const EdgeScanFn& fn) override;
-  size_t CountLinks(vertex_t src, label_t label) override;
-
-  std::unique_ptr<GraphReadView> OpenReadView() override;
+  std::unique_ptr<StoreTxn> BeginTxn() override;
+  std::unique_ptr<StoreReadTxn> BeginReadTxn() override;
 
   Graph& graph() { return *graph_; }
 
  private:
-  static constexpr int kMaxRetries = 32;
-
   std::unique_ptr<Graph> graph_;
+  std::unique_ptr<PageCacheSim> owned_pagesim_;
   PageCacheSim* pagesim_;
 };
 

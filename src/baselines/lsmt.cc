@@ -3,21 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
-#include <functional>
 
 namespace livegraph {
-
-namespace {
-
-// Ordering inside the LSMT: key ascending, then sequence DESCENDING so the
-// newest version of a key is encountered first in any forward walk.
-bool OrderedBefore(const EdgeKey& a, uint64_t seq_a, const EdgeKey& b,
-                   uint64_t seq_b) {
-  if (a != b) return a < b;
-  return seq_a > seq_b;
-}
-
-}  // namespace
 
 Lsmt::Lsmt() : Lsmt(Options()) {}
 
@@ -214,84 +201,6 @@ int Lsmt::Lookup(const EdgeKey& key, std::string* out) {
 bool Lsmt::Get(const EdgeKey& key, std::string* out) {
   std::shared_lock<std::shared_mutex> lock(rw_mu_);
   return Lookup(key, out) == 1;
-}
-
-size_t Lsmt::Scan(
-    const EdgeKey& lower, const EdgeKey& upper,
-    const std::function<bool(const EdgeKey&, std::string_view)>& fn) {
-  std::shared_lock<std::shared_mutex> lock(rw_mu_);
-  // K-way merge across memtable + all runs: "LSMTs require scanning SST
-  // tables also for scans because ... only the first component of the edge
-  // key is known" (§2.1).
-  struct Cursor {
-    const RunItem* item;  // nullptr => memtable cursor
-    SkipNode* node;
-    size_t index;
-    size_t run;
-  };
-  SkipNode* mem_cursor = SkipLowerBound(lower);
-  std::vector<std::pair<size_t, size_t>> run_cursors;  // (run, index)
-  for (size_t r = 0; r < runs_.size(); ++r) {
-    auto it = std::lower_bound(
-        runs_[r]->begin(), runs_[r]->end(), lower,
-        [](const RunItem& item, const EdgeKey& k) { return item.key < k; });
-    run_cursors.emplace_back(r, static_cast<size_t>(it - runs_[r]->begin()));
-  }
-  size_t visited = 0;
-  EdgeKey last_emitted{INT64_MIN, 0, INT64_MIN};
-  bool emitted_any = false;
-  while (true) {
-    // Pick the smallest (key, seq desc) among memtable + runs.
-    const EdgeKey* best_key = nullptr;
-    uint64_t best_seq = 0;
-    int best_source = -1;  // -1 none, 0 memtable, 1+r run r
-    if (mem_cursor != nullptr && mem_cursor->key < upper) {
-      best_key = &mem_cursor->key;
-      best_seq = mem_cursor->seq;
-      best_source = 0;
-    }
-    for (auto& [r, idx] : run_cursors) {
-      if (idx >= runs_[r]->size()) continue;
-      const RunItem& item = (*runs_[r])[idx];
-      if (!(item.key < upper)) continue;
-      if (best_source < 0 ||
-          OrderedBefore(item.key, item.seq, *best_key, best_seq)) {
-        best_key = &item.key;
-        best_seq = item.seq;
-        best_source = static_cast<int>(r) + 1;
-      }
-    }
-    if (best_source < 0) break;
-    EdgeKey key;
-    bool tombstone;
-    std::string_view value;
-    if (best_source == 0) {
-      key = mem_cursor->key;
-      tombstone = mem_cursor->tombstone;
-      value = mem_cursor->value;
-      if (options_.pagesim != nullptr) {
-        options_.pagesim->Touch(mem_cursor, sizeof(SkipNode), false);
-      }
-      mem_cursor = mem_cursor->next[0].load(std::memory_order_acquire);
-    } else {
-      auto& [r, idx] = run_cursors[static_cast<size_t>(best_source - 1)];
-      const RunItem& item = (*runs_[r])[idx++];
-      key = item.key;
-      tombstone = item.tombstone;
-      value = item.value;
-      if (options_.pagesim != nullptr) {
-        options_.pagesim->Touch(&item, sizeof(RunItem) + item.value.size(),
-                                false);
-      }
-    }
-    if (emitted_any && key == last_emitted) continue;  // older version
-    last_emitted = key;
-    emitted_any = true;
-    if (tombstone) continue;
-    visited++;
-    if (!fn(key, value)) break;
-  }
-  return visited;
 }
 
 size_t Lsmt::run_count() const {

@@ -9,13 +9,14 @@
 #ifndef LIVEGRAPH_BASELINES_LSMT_H_
 #define LIVEGRAPH_BASELINES_LSMT_H_
 
+#include <algorithm>
 #include <atomic>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "baselines/btree.h"  // EdgeKey
@@ -50,9 +51,11 @@ class Lsmt {
   bool Get(const EdgeKey& key, std::string* out);
 
   /// Merged scan over [lower, upper): newest version per key wins,
-  /// tombstones suppress. Callback returns false to stop.
-  size_t Scan(const EdgeKey& lower, const EdgeKey& upper,
-              const std::function<bool(const EdgeKey&, std::string_view)>& fn);
+  /// tombstones suppress. Callback returns false to stop. Statically
+  /// dispatched (no std::function): the k-way merge itself is the cost the
+  /// paper charges LSMTs for scans, not callback indirection.
+  template <typename Fn>
+  size_t Scan(const EdgeKey& lower, const EdgeKey& upper, Fn&& fn);
 
   size_t run_count() const;
   size_t memtable_entries() const;
@@ -77,6 +80,14 @@ class Lsmt {
 
   static constexpr int kMaxHeight = 16;
 
+  // Ordering inside the LSMT: key ascending, then sequence DESCENDING so
+  // the newest version of a key is encountered first in any forward walk.
+  static bool OrderedBefore(const EdgeKey& a, uint64_t seq_a, const EdgeKey& b,
+                            uint64_t seq_b) {
+    if (a != b) return a < b;
+    return seq_a > seq_b;
+  }
+
   SkipNode* NewNode(const EdgeKey& key, uint64_t seq, bool tombstone,
                     std::string_view value, int height);
   /// Finds the first node with (key, seq) >= target ordering.
@@ -99,6 +110,77 @@ class Lsmt {
   std::vector<SkipNode*> all_nodes_;        // ownership, freed on destruct
   Xorshift height_rng_{0xC0FFEE};
 };
+
+template <typename Fn>
+size_t Lsmt::Scan(const EdgeKey& lower, const EdgeKey& upper, Fn&& fn) {
+  std::shared_lock<std::shared_mutex> lock(rw_mu_);
+  // K-way merge across memtable + all runs: "LSMTs require scanning SST
+  // tables also for scans because ... only the first component of the edge
+  // key is known" (§2.1).
+  SkipNode* mem_cursor = SkipLowerBound(lower);
+  std::vector<std::pair<size_t, size_t>> run_cursors;  // (run, index)
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    auto it = std::lower_bound(
+        runs_[r]->begin(), runs_[r]->end(), lower,
+        [](const RunItem& item, const EdgeKey& k) { return item.key < k; });
+    run_cursors.emplace_back(r, static_cast<size_t>(it - runs_[r]->begin()));
+  }
+  size_t visited = 0;
+  EdgeKey last_emitted{INT64_MIN, 0, INT64_MIN};
+  bool emitted_any = false;
+  while (true) {
+    // Pick the smallest (key, seq desc) among memtable + runs.
+    const EdgeKey* best_key = nullptr;
+    uint64_t best_seq = 0;
+    int best_source = -1;  // -1 none, 0 memtable, 1+r run r
+    if (mem_cursor != nullptr && mem_cursor->key < upper) {
+      best_key = &mem_cursor->key;
+      best_seq = mem_cursor->seq;
+      best_source = 0;
+    }
+    for (auto& [r, idx] : run_cursors) {
+      if (idx >= runs_[r]->size()) continue;
+      const RunItem& item = (*runs_[r])[idx];
+      if (!(item.key < upper)) continue;
+      if (best_source < 0 ||
+          OrderedBefore(item.key, item.seq, *best_key, best_seq)) {
+        best_key = &item.key;
+        best_seq = item.seq;
+        best_source = static_cast<int>(r) + 1;
+      }
+    }
+    if (best_source < 0) break;
+    EdgeKey key;
+    bool tombstone;
+    std::string_view value;
+    if (best_source == 0) {
+      key = mem_cursor->key;
+      tombstone = mem_cursor->tombstone;
+      value = mem_cursor->value;
+      if (options_.pagesim != nullptr) {
+        options_.pagesim->Touch(mem_cursor, sizeof(SkipNode), false);
+      }
+      mem_cursor = mem_cursor->next[0].load(std::memory_order_acquire);
+    } else {
+      auto& [r, idx] = run_cursors[static_cast<size_t>(best_source - 1)];
+      const RunItem& item = (*runs_[r])[idx++];
+      key = item.key;
+      tombstone = item.tombstone;
+      value = item.value;
+      if (options_.pagesim != nullptr) {
+        options_.pagesim->Touch(&item, sizeof(RunItem) + item.value.size(),
+                                false);
+      }
+    }
+    if (emitted_any && key == last_emitted) continue;  // older version
+    last_emitted = key;
+    emitted_any = true;
+    if (tombstone) continue;
+    visited++;
+    if (!fn(key, value)) break;
+  }
+  return visited;
+}
 
 }  // namespace livegraph
 

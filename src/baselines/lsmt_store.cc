@@ -1,5 +1,7 @@
 #include "baselines/lsmt_store.h"
 
+#include <limits>
+
 namespace livegraph {
 
 namespace {
@@ -11,94 +13,118 @@ LsmtStore::LsmtStore() : LsmtStore(Lsmt::Options()) {}
 LsmtStore::LsmtStore(Lsmt::Options options)
     : edges_(options), nodes_(options) {}
 
-vertex_t LsmtStore::AddNode(std::string_view data) {
-  vertex_t id = next_node_.fetch_add(1, std::memory_order_relaxed);
-  nodes_.Put(NodeKey(id), data);
-  return id;
-}
-
-bool LsmtStore::GetNode(vertex_t id, std::string* out) {
-  return nodes_.Get(NodeKey(id), out);
-}
-
-bool LsmtStore::UpdateNode(vertex_t id, std::string_view data) {
-  std::string unused;
-  if (!nodes_.Get(NodeKey(id), &unused)) return false;
-  nodes_.Put(NodeKey(id), data);
-  return true;
-}
-
-bool LsmtStore::DeleteNode(vertex_t id) { return nodes_.Delete(NodeKey(id)); }
-
-bool LsmtStore::AddLink(vertex_t src, label_t label, vertex_t dst,
-                        std::string_view data) {
-  return edges_.Put(EdgeKey{src, label, dst}, data);
-}
-
-bool LsmtStore::UpdateLink(vertex_t src, label_t label, vertex_t dst,
-                           std::string_view data) {
-  std::string unused;
-  if (!edges_.Get(EdgeKey{src, label, dst}, &unused)) return false;
-  edges_.Put(EdgeKey{src, label, dst}, data);
-  return true;
-}
-
-bool LsmtStore::DeleteLink(vertex_t src, label_t label, vertex_t dst) {
-  return edges_.Delete(EdgeKey{src, label, dst});
-}
-
-bool LsmtStore::GetLink(vertex_t src, label_t label, vertex_t dst,
-                        std::string* out) {
-  return edges_.Get(EdgeKey{src, label, dst}, out);
-}
-
-size_t LsmtStore::ScanLinks(vertex_t src, label_t label,
-                            const EdgeScanFn& fn) {
-  EdgeKey lower{src, label, std::numeric_limits<vertex_t>::min()};
-  EdgeKey upper{src, static_cast<label_t>(label + 1),
-                std::numeric_limits<vertex_t>::min()};
-  if (label == std::numeric_limits<label_t>::max()) {
-    upper = EdgeKey{src + 1, 0, std::numeric_limits<vertex_t>::min()};
-  }
-  return edges_.Scan(lower, upper,
-                     [&fn](const EdgeKey& key, std::string_view value) {
-                       return fn(key.dst, value);
-                     });
-}
-
-size_t LsmtStore::CountLinks(vertex_t src, label_t label) {
-  return ScanLinks(src, label,
-                   [](vertex_t, std::string_view) { return true; });
-}
-
-namespace {
-
-class LsmtViewImpl : public GraphReadView {
+/// One session class serves both roles: the Lsmt locks per operation, so a
+/// read session adds no state and a write session only tracks liveness.
+class LsmtTxn : public StoreTxn {
  public:
-  explicit LsmtViewImpl(LsmtStore* store) : store_(store) {}
-  bool GetNode(vertex_t id, std::string* out) const override {
-    return store_->GetNode(id, out);
+  explicit LsmtTxn(LsmtStore* store) : store_(store) {}
+
+  StatusOr<std::string> GetNode(vertex_t id) override {
+    std::string out;
+    if (!store_->nodes_.Get(NodeKey(id), &out)) return Status::kNotFound;
+    return out;
   }
-  bool GetLink(vertex_t src, label_t label, vertex_t dst,
-               std::string* out) const override {
-    return store_->GetLink(src, label, dst, out);
+
+  StatusOr<std::string> GetLink(vertex_t src, label_t label,
+                                vertex_t dst) override {
+    std::string out;
+    if (!store_->edges_.Get(EdgeKey{src, label, dst}, &out)) {
+      return Status::kNotFound;
+    }
+    return out;
   }
-  size_t ScanLinks(vertex_t src, label_t label,
-                   const EdgeScanFn& fn) const override {
-    return store_->ScanLinks(src, label, fn);
+
+  EdgeCursor ScanLinks(vertex_t src, label_t label, size_t limit) override {
+    EdgeKey lower{src, label, std::numeric_limits<vertex_t>::min()};
+    EdgeKey upper{src, static_cast<label_t>(label + 1),
+                  std::numeric_limits<vertex_t>::min()};
+    if (label == std::numeric_limits<label_t>::max()) {
+      upper = EdgeKey{src + 1, 0, std::numeric_limits<vertex_t>::min()};
+    }
+    EdgeCursorBuilder builder;
+    timestamp_t seq = 0;
+    store_->edges_.Scan(lower, upper,
+                        [&](const EdgeKey& key, std::string_view value) {
+                          if (builder.size() >= limit) return false;
+                          builder.Add(key.dst, value, seq++);
+                          return builder.size() < limit;
+                        });
+    return std::move(builder).Build();
   }
-  size_t CountLinks(vertex_t src, label_t label) const override {
-    return store_->CountLinks(src, label);
+
+  size_t CountLinks(vertex_t src, label_t label) override {
+    EdgeKey lower{src, label, std::numeric_limits<vertex_t>::min()};
+    EdgeKey upper{src, static_cast<label_t>(label + 1),
+                  std::numeric_limits<vertex_t>::min()};
+    if (label == std::numeric_limits<label_t>::max()) {
+      upper = EdgeKey{src + 1, 0, std::numeric_limits<vertex_t>::min()};
+    }
+    return store_->edges_.Scan(
+        lower, upper, [](const EdgeKey&, std::string_view) { return true; });
   }
+
+  vertex_t VertexCount() override {
+    return store_->next_node_.load(std::memory_order_acquire);
+  }
+
+  StatusOr<vertex_t> AddNode(std::string_view data) override {
+    vertex_t id = store_->next_node_.fetch_add(1, std::memory_order_acq_rel);
+    store_->nodes_.Put(NodeKey(id), data);
+    return id;
+  }
+
+  Status UpdateNode(vertex_t id, std::string_view data) override {
+    std::string unused;
+    if (!store_->nodes_.Get(NodeKey(id), &unused)) return Status::kNotFound;
+    store_->nodes_.Put(NodeKey(id), data);
+    return Status::kOk;
+  }
+
+  Status DeleteNode(vertex_t id) override {
+    return store_->nodes_.Delete(NodeKey(id)) ? Status::kOk
+                                              : Status::kNotFound;
+  }
+
+  StatusOr<bool> AddLink(vertex_t src, label_t label, vertex_t dst,
+                         std::string_view data) override {
+    return store_->edges_.Put(EdgeKey{src, label, dst}, data);
+  }
+
+  Status UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                    std::string_view data) override {
+    std::string unused;
+    if (!store_->edges_.Get(EdgeKey{src, label, dst}, &unused)) {
+      return Status::kNotFound;
+    }
+    store_->edges_.Put(EdgeKey{src, label, dst}, data);
+    return Status::kOk;
+  }
+
+  Status DeleteLink(vertex_t src, label_t label, vertex_t dst) override {
+    return store_->edges_.Delete(EdgeKey{src, label, dst})
+               ? Status::kOk
+               : Status::kNotFound;
+  }
+
+  StatusOr<timestamp_t> Commit() override {
+    if (!active_) return Status::kNotActive;
+    active_ = false;
+    return store_->commit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  void Abort() override { active_ = false; }
 
  private:
   LsmtStore* store_;
+  bool active_ = true;
 };
 
-}  // namespace
+std::unique_ptr<StoreTxn> LsmtStore::BeginTxn() {
+  return std::make_unique<LsmtTxn>(this);
+}
 
-std::unique_ptr<GraphReadView> LsmtStore::OpenReadView() {
-  return std::make_unique<LsmtViewImpl>(this);
+std::unique_ptr<StoreReadTxn> LsmtStore::BeginReadTxn() {
+  return std::make_unique<LsmtTxn>(this);
 }
 
 }  // namespace livegraph

@@ -1,48 +1,44 @@
-// GraphStore over the LSM-tree — RocksDB's stand-in (§7.1: "RocksDB ...
-// as representative for ... LSMT").
+// Store over the LSM-tree — RocksDB's stand-in (§7.1: "RocksDB ... as
+// representative for ... LSMT"). The Lsmt is internally synchronized
+// (writers exclusive, readers shared, per operation), so sessions carry no
+// latch: reads are read-committed, like driving RocksDB without explicit
+// snapshots — the weakest consistency of the contenders.
 #ifndef LIVEGRAPH_BASELINES_LSMT_STORE_H_
 #define LIVEGRAPH_BASELINES_LSMT_STORE_H_
 
 #include <atomic>
-#include <limits>
 #include <memory>
 #include <string>
 
+#include "api/store.h"
 #include "baselines/lsmt.h"
-#include "baselines/store_interface.h"
 
 namespace livegraph {
 
-class LsmtStore : public GraphStore {
+class LsmtStore : public Store {
  public:
   LsmtStore();
   explicit LsmtStore(Lsmt::Options options);
 
   std::string Name() const override { return "LSMT(RocksDB)"; }
+  StoreTraits Traits() const override {
+    // Scans k-way-merge in (src, label, dst) key order, not time order;
+    // reads are per-operation consistent only.
+    return StoreTraits{};
+  }
 
-  vertex_t AddNode(std::string_view data) override;
-  bool GetNode(vertex_t id, std::string* out) override;
-  bool UpdateNode(vertex_t id, std::string_view data) override;
-  bool DeleteNode(vertex_t id) override;
-
-  bool AddLink(vertex_t src, label_t label, vertex_t dst,
-               std::string_view data) override;
-  bool UpdateLink(vertex_t src, label_t label, vertex_t dst,
-                  std::string_view data) override;
-  bool DeleteLink(vertex_t src, label_t label, vertex_t dst) override;
-  bool GetLink(vertex_t src, label_t label, vertex_t dst,
-               std::string* out) override;
-  size_t ScanLinks(vertex_t src, label_t label, const EdgeScanFn& fn) override;
-  size_t CountLinks(vertex_t src, label_t label) override;
-
-  std::unique_ptr<GraphReadView> OpenReadView() override;
+  std::unique_ptr<StoreTxn> BeginTxn() override;
+  std::unique_ptr<StoreReadTxn> BeginReadTxn() override;
 
   Lsmt& lsmt() { return edges_; }
 
  private:
+  friend class LsmtTxn;
+
   Lsmt edges_;
   Lsmt nodes_;
   std::atomic<vertex_t> next_node_{0};
+  std::atomic<timestamp_t> commit_seq_{0};
 };
 
 }  // namespace livegraph

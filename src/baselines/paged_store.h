@@ -9,6 +9,11 @@
 // dirty page charges its write latency (LiveGraph's random 4 KiB dirty-page
 // write-back vs. the LSMT's sequential flushes is exactly the effect §7.2
 // discusses). See DESIGN.md §1.3 substitution 3.
+//
+// In the v2 API the paged configuration is itself an engine: construct
+// LiveGraphStore with a PageCacheSim::Options ("PagedLiveGraph") and every
+// session's scans/lookups charge simulated device I/O, while the baseline
+// stores accept a shared PageCacheSim* as before.
 #ifndef LIVEGRAPH_BASELINES_PAGED_STORE_H_
 #define LIVEGRAPH_BASELINES_PAGED_STORE_H_
 

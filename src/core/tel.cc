@@ -88,8 +88,10 @@ ReadTransaction::ReadTransaction(ReadTransaction&& other) noexcept
   other.slot_ = nullptr;
 }
 
-std::optional<std::string_view> ReadTransaction::GetVertex(vertex_t v) const {
-  return internal::ReadVertexVersion(*graph_, v, tre_);
+StatusOr<std::string_view> ReadTransaction::GetVertex(vertex_t v) const {
+  auto committed = internal::ReadVertexVersion(*graph_, v, tre_);
+  if (!committed.has_value()) return Status::kNotFound;
+  return *committed;
 }
 
 EdgeIterator ReadTransaction::GetEdges(vertex_t v, label_t label) const {
@@ -101,24 +103,23 @@ EdgeIterator ReadTransaction::GetEdges(vertex_t v, label_t label) const {
   return EdgeIterator(block, committed, tre_, /*tid=*/0);
 }
 
-std::optional<std::string_view> ReadTransaction::GetEdge(vertex_t v,
-                                                         label_t label,
-                                                         vertex_t dst) const {
+StatusOr<std::string_view> ReadTransaction::GetEdge(vertex_t v, label_t label,
+                                                    vertex_t dst) const {
   block_ptr_t tel = graph_->FindTel(v, label);
-  if (tel == kNullBlock) return std::nullopt;
+  if (tel == kNullBlock) return Status::kNotFound;
   TelBlock block = graph_->Tel(tel);
   // "Reading a single edge involves checking if the edge is present using
   // the Bloom filter. If so, the edge is located with a scan" (§4).
   if (block.bloom_bytes() > 0 &&
       !BloomFilter::MayContain(block.bloom_bits(), block.bloom_bytes(),
                                static_cast<uint64_t>(dst))) {
-    return std::nullopt;
+    return Status::kNotFound;
   }
   uint32_t committed =
       block.header()->committed_entries.load(std::memory_order_acquire);
   int64_t index =
       internal::FindVisibleEdge(block, committed, dst, tre_, /*tid=*/0);
-  if (index < 0) return std::nullopt;
+  if (index < 0) return Status::kNotFound;
   const EdgeEntry* entry = block.Entry(static_cast<uint32_t>(index));
   return std::string_view(
       reinterpret_cast<const char*>(block.props() + entry->prop_offset),

@@ -196,18 +196,20 @@ Status Transaction::DeleteVertex(vertex_t v) {
   return Status::kOk;
 }
 
-std::optional<std::string_view> Transaction::GetVertex(vertex_t v) const {
+StatusOr<std::string_view> Transaction::GetVertex(vertex_t v) const {
   // Read-your-writes: staged version first.
   for (const VertexWrite& w : vertex_writes_) {
     if (w.v == v) {
       auto* header = reinterpret_cast<const VertexHeader*>(
           graph_->block_manager_->Pointer(w.new_block));
-      if (header->tombstone) return std::nullopt;
+      if (header->tombstone) return Status::kNotFound;
       return std::string_view(reinterpret_cast<const char*>(header + 1),
                               header->prop_size);
     }
   }
-  return internal::ReadVertexVersion(*graph_, v, tre_);
+  auto committed = internal::ReadVertexVersion(*graph_, v, tre_);
+  if (!committed.has_value()) return Status::kNotFound;
+  return *committed;
 }
 
 // --- Edge write path ---
@@ -409,8 +411,8 @@ EdgeIterator Transaction::GetEdges(vertex_t v, label_t label) const {
   return EdgeIterator(block, committed, tre_, tid_);
 }
 
-std::optional<std::string_view> Transaction::GetEdge(vertex_t v, label_t label,
-                                                     vertex_t dst) const {
+StatusOr<std::string_view> Transaction::GetEdge(vertex_t v, label_t label,
+                                                vertex_t dst) const {
   auto* self = const_cast<Transaction*>(this);
   TelBlock block;
   uint32_t total = 0;
@@ -419,17 +421,17 @@ std::optional<std::string_view> Transaction::GetEdge(vertex_t v, label_t label,
     total = w->committed_entries + w->private_entries;
   } else {
     block_ptr_t tel = graph_->FindTel(v, label);
-    if (tel == kNullBlock) return std::nullopt;
+    if (tel == kNullBlock) return Status::kNotFound;
     block = graph_->Tel(tel);
     total = block.header()->committed_entries.load(std::memory_order_acquire);
   }
   if (block.bloom_bytes() > 0 &&
       !BloomFilter::MayContain(block.bloom_bits(), block.bloom_bytes(),
                                static_cast<uint64_t>(dst))) {
-    return std::nullopt;
+    return Status::kNotFound;
   }
   int64_t index = internal::FindVisibleEdge(block, total, dst, tre_, tid_);
-  if (index < 0) return std::nullopt;
+  if (index < 0) return Status::kNotFound;
   const EdgeEntry* entry = block.Entry(static_cast<uint32_t>(index));
   return std::string_view(
       reinterpret_cast<const char*>(block.props() + entry->prop_offset),
@@ -444,13 +446,14 @@ size_t Transaction::CountEdges(vertex_t v, label_t label) const {
 
 // --- Commit / abort ---
 
-Status Transaction::Commit() {
+StatusOr<timestamp_t> Transaction::Commit() {
   if (state_ != State::kActive) return Status::kNotActive;
   if (tel_writes_.empty() && vertex_writes_.empty()) {
-    // Nothing written: no persist phase needed.
+    // Nothing written: no persist phase needed; the snapshot epoch is the
+    // commit epoch.
     state_ = State::kCommitted;
     ReleaseLocksAndSlot();
-    return Status::kOk;
+    return tre_;
   }
   // Persist phase: group commit through the transaction manager (§5).
   std::string_view payload = replay_mode_ ? std::string_view{} : wal_payload_;
@@ -462,7 +465,7 @@ Status Transaction::Commit() {
   state_ = State::kCommitted;
   graph_->committed_txns_.fetch_add(1, std::memory_order_relaxed);
   graph_->MaybeScheduleCompaction();
-  return Status::kOk;
+  return write_epoch_;
 }
 
 void Transaction::ApplyCommit(timestamp_t twe) {

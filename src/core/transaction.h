@@ -2,7 +2,6 @@
 #ifndef LIVEGRAPH_CORE_TRANSACTION_H_
 #define LIVEGRAPH_CORE_TRANSACTION_H_
 
-#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -10,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/status.h"
 #include "core/blocks.h"
 #include "core/graph.h"
 #include "util/types.h"
@@ -78,16 +78,16 @@ class ReadTransaction {
   timestamp_t read_epoch() const { return tre_; }
 
   /// Latest committed properties of `v` visible in this snapshot, or
-  /// nullopt if the vertex does not exist (never created, not yet
+  /// kNotFound if the vertex does not exist (never created, not yet
   /// committed, or deleted).
-  std::optional<std::string_view> GetVertex(vertex_t v) const;
+  StatusOr<std::string_view> GetVertex(vertex_t v) const;
 
   /// Sequential scan of (v, label)'s adjacency list, newest edges first.
   EdgeIterator GetEdges(vertex_t v, label_t label) const;
 
   /// Single-edge lookup, Bloom-filter assisted (§4 "Reading a single edge").
-  std::optional<std::string_view> GetEdge(vertex_t v, label_t label,
-                                          vertex_t dst) const;
+  StatusOr<std::string_view> GetEdge(vertex_t v, label_t label,
+                                     vertex_t dst) const;
 
   /// Number of visible edges in (v, label)'s list.
   size_t CountEdges(vertex_t v, label_t label) const;
@@ -131,7 +131,9 @@ class Transaction {
   /// Stages a tombstone version of v.
   Status DeleteVertex(vertex_t v);
 
-  std::optional<std::string_view> GetVertex(vertex_t v) const;
+  /// Visible properties of `v`, including this transaction's own staged
+  /// writes; kNotFound if absent or deleted.
+  StatusOr<std::string_view> GetVertex(vertex_t v) const;
 
   // --- Edge operations (§4) ---
 
@@ -144,8 +146,8 @@ class Transaction {
   /// edge is not visible.
   Status DeleteEdge(vertex_t v, label_t label, vertex_t dst);
 
-  std::optional<std::string_view> GetEdge(vertex_t v, label_t label,
-                                          vertex_t dst) const;
+  StatusOr<std::string_view> GetEdge(vertex_t v, label_t label,
+                                     vertex_t dst) const;
 
   EdgeIterator GetEdges(vertex_t v, label_t label) const;
 
@@ -155,10 +157,12 @@ class Transaction {
 
   /// Runs the persist phase through the transaction manager (group commit
   /// + WAL fsync) and the apply phase (publish LS/CT, convert -TID
-  /// timestamps to the write epoch). Returns the commit epoch.
-  /// On conflict/timeout the transaction is already aborted and this
+  /// timestamps to the write epoch). Returns the commit epoch: the write
+  /// epoch (TWE) assigned by the commit manager, or the read epoch for a
+  /// transaction that staged no writes. On conflict/timeout the
+  /// transaction was already aborted at the failing operation and this
   /// returns kNotActive.
-  Status Commit();
+  StatusOr<timestamp_t> Commit();
 
   /// Reverts all staged changes (§5: restore invalidation timestamps,
   /// release locks, return new blocks to the memory manager).

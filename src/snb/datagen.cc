@@ -23,7 +23,7 @@ class EventClock {
 
 }  // namespace
 
-SnbDataset GenerateSnb(GraphStore* store, const DatagenOptions& options) {
+SnbDataset GenerateSnb(Store* store, const DatagenOptions& options) {
   SnbDataset data;
   Xorshift rng(options.seed);
   EventClock clock;

@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "baselines/store_interface.h"
+#include "api/store.h"
 #include "snb/schema.h"
 
 namespace livegraph::snb {
@@ -39,7 +39,7 @@ struct SnbDataset {
   int64_t max_date = 0;  // newest creation date in the initial graph
 };
 
-SnbDataset GenerateSnb(GraphStore* store, const DatagenOptions& options);
+SnbDataset GenerateSnb(Store* store, const DatagenOptions& options);
 
 }  // namespace livegraph::snb
 

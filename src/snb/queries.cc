@@ -1,7 +1,6 @@
 #include "snb/queries.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -45,49 +44,67 @@ class TopKMessages {
   std::vector<RecentMessage> heap_;
 };
 
-bool MessageDate(const GraphReadView& view, vertex_t message, int64_t* date) {
-  std::string bytes;
+bool MessageDate(StoreReadTxn& txn, vertex_t message, int64_t* date) {
+  StatusOr<std::string> bytes = txn.GetNode(message);
   Message decoded;
-  if (!view.GetNode(message, &bytes) || !Decode(bytes, &decoded)) return false;
+  if (!bytes.ok() || !Decode(*bytes, &decoded)) return false;
   *date = decoded.creation_date;
   return true;
 }
 
 /// Collects messages authored by `person` into `top`, honoring max_date.
-void OfferPersonMessages(const GraphReadView& view, vertex_t person,
-                         int64_t max_date, TopKMessages* top) {
-  view.ScanLinks(person, kCreated, [&](vertex_t message, std::string_view) {
+void OfferPersonMessages(StoreReadTxn& txn, vertex_t person, int64_t max_date,
+                         TopKMessages* top) {
+  for (EdgeCursor c = txn.ScanLinks(person, kCreated); c.Valid(); c.Next()) {
     int64_t date;
-    if (MessageDate(view, message, &date) && date < max_date) {
-      top->Offer(message, date);
+    if (MessageDate(txn, c.dst(), &date) && date < max_date) {
+      top->Offer(c.dst(), date);
     }
-    return true;
-  });
+  }
+}
+
+/// Friends, plus friends-of-friends when `two_hops` (excluding `person`).
+std::unordered_set<vertex_t> KnowsNeighborhood(StoreReadTxn& txn,
+                                               vertex_t person,
+                                               bool two_hops) {
+  std::unordered_set<vertex_t> sources;
+  for (EdgeCursor c = txn.ScanLinks(person, kKnows); c.Valid(); c.Next()) {
+    sources.insert(c.dst());
+  }
+  if (two_hops) {
+    std::vector<vertex_t> first_hop(sources.begin(), sources.end());
+    for (vertex_t friend_id : first_hop) {
+      for (EdgeCursor c = txn.ScanLinks(friend_id, kKnows); c.Valid();
+           c.Next()) {
+        if (c.dst() != person) sources.insert(c.dst());
+      }
+    }
+  }
+  return sources;
 }
 
 }  // namespace
 
 // --- Short reads ---
 
-bool ShortPersonProfile(const GraphReadView& view, vertex_t person,
-                        Person* out) {
-  std::string bytes;
-  return view.GetNode(person, &bytes) && KindOf(bytes) == EntityKind::kPerson &&
-         Decode(bytes, out);
+bool ShortPersonProfile(StoreReadTxn& txn, vertex_t person, Person* out) {
+  StatusOr<std::string> bytes = txn.GetNode(person);
+  return bytes.ok() && KindOf(*bytes) == EntityKind::kPerson &&
+         Decode(*bytes, out);
 }
 
-std::vector<RecentMessage> ShortRecentMessages(const GraphReadView& view,
+std::vector<RecentMessage> ShortRecentMessages(StoreReadTxn& txn,
                                                vertex_t person, size_t limit) {
   // The kCreated TEL is scanned newest-first, so on LiveGraph this is a
   // bounded backward scan — the access pattern §7.2 credits for TAO wins.
   std::vector<RecentMessage> result;
-  view.ScanLinks(person, kCreated, [&](vertex_t message, std::string_view) {
+  for (EdgeCursor c = txn.ScanLinks(person, kCreated, limit);
+       c.Valid() && result.size() < limit; c.Next()) {
     int64_t date;
-    if (MessageDate(view, message, &date)) {
-      result.push_back({message, date});
+    if (MessageDate(txn, c.dst(), &date)) {
+      result.push_back({c.dst(), date});
     }
-    return result.size() < limit;
-  });
+  }
   std::sort(result.begin(), result.end(),
             [](const RecentMessage& a, const RecentMessage& b) {
               return a.creation_date > b.creation_date;
@@ -95,56 +112,43 @@ std::vector<RecentMessage> ShortRecentMessages(const GraphReadView& view,
   return result;
 }
 
-std::vector<Friendship> ShortFriends(const GraphReadView& view,
-                                     vertex_t person) {
+std::vector<Friendship> ShortFriends(StoreReadTxn& txn, vertex_t person) {
   std::vector<Friendship> result;
-  view.ScanLinks(person, kKnows, [&](vertex_t friend_id,
-                                     std::string_view props) {
+  for (EdgeCursor c = txn.ScanLinks(person, kKnows); c.Valid(); c.Next()) {
     KnowsProps decoded{0};
-    Decode(props, &decoded);
-    result.push_back({friend_id, decoded.creation_date});
-    return true;
-  });
+    Decode(c.properties(), &decoded);
+    result.push_back({c.dst(), decoded.creation_date});
+  }
   return result;
 }
 
-std::vector<Reply> ShortReplies(const GraphReadView& view, vertex_t message) {
+std::vector<Reply> ShortReplies(StoreReadTxn& txn, vertex_t message) {
   std::vector<Reply> result;
-  view.ScanLinks(message, kReplies, [&](vertex_t comment, std::string_view) {
-    Reply reply{comment, kNullVertex};
-    view.ScanLinks(comment, kHasCreator,
-                   [&reply](vertex_t author, std::string_view) {
-                     reply.author = author;
-                     return false;
-                   });
+  for (EdgeCursor c = txn.ScanLinks(message, kReplies); c.Valid(); c.Next()) {
+    Reply reply{c.dst(), kNullVertex};
+    EdgeCursor creator = txn.ScanLinks(c.dst(), kHasCreator);
+    if (creator.Valid()) reply.author = creator.dst();
     result.push_back(reply);
-    return true;
-  });
+  }
   return result;
 }
 
-bool ShortMessageContent(const GraphReadView& view, vertex_t message,
-                         Message* out) {
-  std::string bytes;
-  if (!view.GetNode(message, &bytes)) return false;
-  EntityKind kind = KindOf(bytes);
+bool ShortMessageContent(StoreReadTxn& txn, vertex_t message, Message* out) {
+  StatusOr<std::string> bytes = txn.GetNode(message);
+  if (!bytes.ok()) return false;
+  EntityKind kind = KindOf(*bytes);
   if (kind != EntityKind::kPost && kind != EntityKind::kComment) return false;
-  return Decode(bytes, out);
+  return Decode(*bytes, out);
 }
 
-vertex_t ShortMessageCreator(const GraphReadView& view, vertex_t message) {
-  vertex_t creator = kNullVertex;
-  view.ScanLinks(message, kHasCreator,
-                 [&creator](vertex_t author, std::string_view) {
-                   creator = author;
-                   return false;
-                 });
-  return creator;
+vertex_t ShortMessageCreator(StoreReadTxn& txn, vertex_t message) {
+  EdgeCursor c = txn.ScanLinks(message, kHasCreator);
+  return c.Valid() ? c.dst() : kNullVertex;
 }
 
 // --- Complex reads ---
 
-std::vector<NamedPerson> ComplexFriendsByName(const GraphReadView& view,
+std::vector<NamedPerson> ComplexFriendsByName(StoreReadTxn& txn,
                                               vertex_t start,
                                               uint16_t first_name,
                                               size_t limit) {
@@ -154,17 +158,16 @@ std::vector<NamedPerson> ComplexFriendsByName(const GraphReadView& view,
   for (int hop = 1; hop <= 3 && result.size() < limit; ++hop) {
     std::vector<vertex_t> next;
     for (vertex_t v : frontier) {
-      view.ScanLinks(v, kKnows, [&](vertex_t friend_id, std::string_view) {
-        if (visited.insert(friend_id).second) next.push_back(friend_id);
-        return true;
-      });
+      for (EdgeCursor c = txn.ScanLinks(v, kKnows); c.Valid(); c.Next()) {
+        if (visited.insert(c.dst()).second) next.push_back(c.dst());
+      }
     }
     // Distance-ordered result (LDBC sorts by distance, then name).
     for (vertex_t candidate : next) {
       if (result.size() >= limit) break;
       Person person;
-      std::string bytes;
-      if (view.GetNode(candidate, &bytes) && Decode(bytes, &person) &&
+      StatusOr<std::string> bytes = txn.GetNode(candidate);
+      if (bytes.ok() && Decode(*bytes, &person) &&
           person.kind == EntityKind::kPerson &&
           person.first_name == first_name) {
         result.push_back({candidate, hop});
@@ -175,41 +178,30 @@ std::vector<NamedPerson> ComplexFriendsByName(const GraphReadView& view,
   return result;
 }
 
-std::vector<RecentMessage> ComplexFriendMessages(const GraphReadView& view,
+std::vector<RecentMessage> ComplexFriendMessages(StoreReadTxn& txn,
                                                  vertex_t person,
                                                  int64_t max_date,
                                                  size_t limit) {
   TopKMessages top(limit);
-  view.ScanLinks(person, kKnows, [&](vertex_t friend_id, std::string_view) {
-    OfferPersonMessages(view, friend_id, max_date, &top);
-    return true;
-  });
+  for (EdgeCursor c = txn.ScanLinks(person, kKnows); c.Valid(); c.Next()) {
+    OfferPersonMessages(txn, c.dst(), max_date, &top);
+  }
   return top.TakeSortedNewestFirst();
 }
 
-std::vector<RecentMessage> ComplexFofMessages(const GraphReadView& view,
+std::vector<RecentMessage> ComplexFofMessages(StoreReadTxn& txn,
                                               vertex_t person,
                                               int64_t max_date, size_t limit) {
-  std::unordered_set<vertex_t> sources;
-  view.ScanLinks(person, kKnows, [&](vertex_t friend_id, std::string_view) {
-    sources.insert(friend_id);
-    return true;
-  });
-  std::vector<vertex_t> first_hop(sources.begin(), sources.end());
-  for (vertex_t friend_id : first_hop) {
-    view.ScanLinks(friend_id, kKnows, [&](vertex_t fof, std::string_view) {
-      if (fof != person) sources.insert(fof);
-      return true;
-    });
-  }
+  std::unordered_set<vertex_t> sources =
+      KnowsNeighborhood(txn, person, /*two_hops=*/true);
   TopKMessages top(limit);
   for (vertex_t source : sources) {
-    OfferPersonMessages(view, source, max_date, &top);
+    OfferPersonMessages(txn, source, max_date, &top);
   }
   return top.TakeSortedNewestFirst();
 }
 
-int ComplexShortestPath(const GraphReadView& view, vertex_t a, vertex_t b) {
+int ComplexShortestPath(StoreReadTxn& txn, vertex_t a, vertex_t b) {
   if (a == b) return 0;
   // Bidirectional BFS over the mutual knows graph.
   std::unordered_set<vertex_t> forward{a}, backward{b};
@@ -225,57 +217,41 @@ int ComplexShortestPath(const GraphReadView& view, vertex_t a, vertex_t b) {
     auto& other = expand_forward ? backward : forward;
     std::vector<vertex_t> next;
     for (vertex_t v : frontier) {
-      bool found = false;
-      view.ScanLinks(v, kKnows, [&](vertex_t n, std::string_view) {
-        if (other.count(n) > 0) {
-          found = true;
-          return false;
-        }
-        if (mine.insert(n).second) next.push_back(n);
-        return true;
-      });
-      if (found) return depth;
+      for (EdgeCursor c = txn.ScanLinks(v, kKnows); c.Valid(); c.Next()) {
+        if (other.count(c.dst()) > 0) return depth;
+        if (mine.insert(c.dst()).second) next.push_back(c.dst());
+      }
     }
     frontier = std::move(next);
   }
   return -1;
 }
 
-std::vector<TagCount> ComplexCooccurringTags(const GraphReadView& view,
+std::vector<TagCount> ComplexCooccurringTags(StoreReadTxn& txn,
                                              vertex_t person, vertex_t tag,
                                              size_t limit) {
   // Gather friends and friends-of-friends.
-  std::unordered_set<vertex_t> sources;
-  view.ScanLinks(person, kKnows, [&](vertex_t f, std::string_view) {
-    sources.insert(f);
-    return true;
-  });
-  std::vector<vertex_t> first_hop(sources.begin(), sources.end());
-  for (vertex_t f : first_hop) {
-    view.ScanLinks(f, kKnows, [&](vertex_t fof, std::string_view) {
-      if (fof != person) sources.insert(fof);
-      return true;
-    });
-  }
+  std::unordered_set<vertex_t> sources =
+      KnowsNeighborhood(txn, person, /*two_hops=*/true);
   // For every message they created that carries `tag`, tally co-tags.
   std::unordered_map<vertex_t, int64_t> counts;
   for (vertex_t source : sources) {
-    view.ScanLinks(source, kCreated, [&](vertex_t message, std::string_view) {
+    for (EdgeCursor m = txn.ScanLinks(source, kCreated); m.Valid();
+         m.Next()) {
       bool has_target = false;
       std::vector<vertex_t> tags;
-      view.ScanLinks(message, kHasTag, [&](vertex_t t, std::string_view) {
-        if (t == tag) {
+      for (EdgeCursor t = txn.ScanLinks(m.dst(), kHasTag); t.Valid();
+           t.Next()) {
+        if (t.dst() == tag) {
           has_target = true;
         } else {
-          tags.push_back(t);
+          tags.push_back(t.dst());
         }
-        return true;
-      });
+      }
       if (has_target) {
         for (vertex_t t : tags) counts[t]++;
       }
-      return true;
-    });
+    }
   }
   std::vector<TagCount> result;
   result.reserve(counts.size());
@@ -289,8 +265,10 @@ std::vector<TagCount> ComplexCooccurringTags(const GraphReadView& view,
 }
 
 // --- Updates ---
+// Each update is one multi-object write session: all of its nodes and links
+// commit (or retry) together, unlike the seed's per-operation auto-commits.
 
-vertex_t UpdateAddPerson(GraphStore* store, uint16_t first_name,
+vertex_t UpdateAddPerson(Store* store, uint16_t first_name,
                          uint16_t last_name, int64_t date, vertex_t place,
                          const std::vector<vertex_t>& interests) {
   Person person;
@@ -298,55 +276,89 @@ vertex_t UpdateAddPerson(GraphStore* store, uint16_t first_name,
   person.last_name = last_name;
   person.birthday = date % 2'000'000;
   person.creation_date = date;
-  vertex_t v = store->AddNode(Encode(person));
-  store->AddLink(v, kIsLocatedIn, place, {});
-  for (vertex_t tag : interests) store->AddLink(v, kHasInterest, tag, {});
-  return v;
+  std::string encoded = Encode(person);
+  vertex_t v = kNullVertex;
+  Status st = RunWrite(*store, [&](StoreTxn& txn) -> Status {
+    StatusOr<vertex_t> added = txn.AddNode(encoded);
+    if (!added.ok()) return added.status();
+    v = *added;
+    Status st = txn.AddLink(v, kIsLocatedIn, place, {}).status();
+    if (st != Status::kOk) return st;
+    for (vertex_t tag : interests) {
+      st = txn.AddLink(v, kHasInterest, tag, {}).status();
+      if (st != Status::kOk) return st;
+    }
+    return Status::kOk;
+  });
+  // A rolled-back session must not leak its staged vertex id.
+  return st == Status::kOk ? v : kNullVertex;
 }
 
-vertex_t UpdateAddPost(GraphStore* store, vertex_t author, vertex_t forum,
+vertex_t UpdateAddPost(Store* store, vertex_t author, vertex_t forum,
                        int64_t date, uint32_t length) {
   Message post;
   post.kind = EntityKind::kPost;
   post.creation_date = date;
   post.author = author;
   post.content_length = length;
-  vertex_t v = store->AddNode(Encode(post));
-  store->AddLink(v, kHasCreator, author, {});
-  store->AddLink(author, kCreated, v, {});
-  store->AddLink(forum, kContainerOf, v, {});
-  return v;
+  std::string encoded = Encode(post);
+  vertex_t v = kNullVertex;
+  Status st = RunWrite(*store, [&](StoreTxn& txn) -> Status {
+    StatusOr<vertex_t> added = txn.AddNode(encoded);
+    if (!added.ok()) return added.status();
+    v = *added;
+    Status st = txn.AddLink(v, kHasCreator, author, {}).status();
+    if (st != Status::kOk) return st;
+    st = txn.AddLink(author, kCreated, v, {}).status();
+    if (st != Status::kOk) return st;
+    return txn.AddLink(forum, kContainerOf, v, {}).status();
+  });
+  return st == Status::kOk ? v : kNullVertex;
 }
 
-vertex_t UpdateAddComment(GraphStore* store, vertex_t author, vertex_t parent,
+vertex_t UpdateAddComment(Store* store, vertex_t author, vertex_t parent,
                           int64_t date, uint32_t length) {
   Message comment;
   comment.kind = EntityKind::kComment;
   comment.creation_date = date;
   comment.author = author;
   comment.content_length = length;
-  vertex_t v = store->AddNode(Encode(comment));
-  store->AddLink(v, kHasCreator, author, {});
-  store->AddLink(author, kCreated, v, {});
-  store->AddLink(v, kReplyOf, parent, {});
-  store->AddLink(parent, kReplies, v, {});
-  return v;
+  std::string encoded = Encode(comment);
+  vertex_t v = kNullVertex;
+  Status st = RunWrite(*store, [&](StoreTxn& txn) -> Status {
+    StatusOr<vertex_t> added = txn.AddNode(encoded);
+    if (!added.ok()) return added.status();
+    v = *added;
+    Status st = txn.AddLink(v, kHasCreator, author, {}).status();
+    if (st != Status::kOk) return st;
+    st = txn.AddLink(author, kCreated, v, {}).status();
+    if (st != Status::kOk) return st;
+    st = txn.AddLink(v, kReplyOf, parent, {}).status();
+    if (st != Status::kOk) return st;
+    return txn.AddLink(parent, kReplies, v, {}).status();
+  });
+  return st == Status::kOk ? v : kNullVertex;
 }
 
-void UpdateAddLike(GraphStore* store, vertex_t person, vertex_t message,
+void UpdateAddLike(Store* store, vertex_t person, vertex_t message,
                    int64_t date) {
   KnowsProps like{date};
   std::string encoded = Encode(like);
-  store->AddLink(person, kLikes, message, encoded);
-  store->AddLink(message, kLikedBy, person, encoded);
+  RunWrite(*store, [&](StoreTxn& txn) -> Status {
+    Status st = txn.AddLink(person, kLikes, message, encoded).status();
+    if (st != Status::kOk) return st;
+    return txn.AddLink(message, kLikedBy, person, encoded).status();
+  });
 }
 
-void UpdateAddFriendship(GraphStore* store, vertex_t a, vertex_t b,
-                         int64_t date) {
+void UpdateAddFriendship(Store* store, vertex_t a, vertex_t b, int64_t date) {
   KnowsProps props{date};
   std::string encoded = Encode(props);
-  store->AddLink(a, kKnows, b, encoded);
-  store->AddLink(b, kKnows, a, encoded);
+  RunWrite(*store, [&](StoreTxn& txn) -> Status {
+    Status st = txn.AddLink(a, kKnows, b, encoded).status();
+    if (st != Status::kOk) return st;
+    return txn.AddLink(b, kKnows, a, encoded).status();
+  });
 }
 
 }  // namespace livegraph::snb

@@ -1,9 +1,11 @@
-// LDBC SNB interactive queries, written once against the GraphReadView /
-// GraphStore interfaces so they run unmodified on LiveGraph and on the
+// LDBC SNB interactive queries, written once against the v2 StoreReadTxn /
+// Store session interfaces so they run unmodified on LiveGraph and on the
 // relational-style B+ tree comparator (§7.3). Three request categories:
 // "short reads (similar to LinkBench operations), transactional updates
 // (possibly involving multiple objects), and complex reads (multi-hop
-// traversals, shortest paths, and analytical processing)".
+// traversals, shortest paths, and analytical processing)". Reads scan
+// through EdgeCursor; each update runs as ONE write session covering all
+// of its objects (the multi-object transactionality §7.3 calls out).
 #ifndef LIVEGRAPH_SNB_QUERIES_H_
 #define LIVEGRAPH_SNB_QUERIES_H_
 
@@ -11,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/store_interface.h"
+#include "api/store.h"
 #include "snb/schema.h"
 
 namespace livegraph::snb {
@@ -19,15 +21,14 @@ namespace livegraph::snb {
 // --- Short reads ---
 
 /// IS1: a person's profile.
-bool ShortPersonProfile(const GraphReadView& view, vertex_t person,
-                        Person* out);
+bool ShortPersonProfile(StoreReadTxn& txn, vertex_t person, Person* out);
 
 /// IS2: a person's 10 most recent messages.
 struct RecentMessage {
   vertex_t message;
   int64_t creation_date;
 };
-std::vector<RecentMessage> ShortRecentMessages(const GraphReadView& view,
+std::vector<RecentMessage> ShortRecentMessages(StoreReadTxn& txn,
                                                vertex_t person,
                                                size_t limit = 10);
 
@@ -36,22 +37,20 @@ struct Friendship {
   vertex_t person;
   int64_t since;
 };
-std::vector<Friendship> ShortFriends(const GraphReadView& view,
-                                     vertex_t person);
+std::vector<Friendship> ShortFriends(StoreReadTxn& txn, vertex_t person);
 
 /// IS7: replies to a message, with their authors.
 struct Reply {
   vertex_t comment;
   vertex_t author;
 };
-std::vector<Reply> ShortReplies(const GraphReadView& view, vertex_t message);
+std::vector<Reply> ShortReplies(StoreReadTxn& txn, vertex_t message);
 
 /// IS4: content metadata of a message.
-bool ShortMessageContent(const GraphReadView& view, vertex_t message,
-                         Message* out);
+bool ShortMessageContent(StoreReadTxn& txn, vertex_t message, Message* out);
 
 /// IS5: the creator of a message.
-vertex_t ShortMessageCreator(const GraphReadView& view, vertex_t message);
+vertex_t ShortMessageCreator(StoreReadTxn& txn, vertex_t message);
 
 // --- Complex reads ---
 
@@ -62,21 +61,21 @@ struct NamedPerson {
   vertex_t person;
   int distance;
 };
-std::vector<NamedPerson> ComplexFriendsByName(const GraphReadView& view,
+std::vector<NamedPerson> ComplexFriendsByName(StoreReadTxn& txn,
                                               vertex_t start,
                                               uint16_t first_name,
                                               size_t limit = 20);
 
 /// IC2: 20 most recent messages created by the person's friends, newest
 /// first.
-std::vector<RecentMessage> ComplexFriendMessages(const GraphReadView& view,
+std::vector<RecentMessage> ComplexFriendMessages(StoreReadTxn& txn,
                                                  vertex_t person,
                                                  int64_t max_date,
                                                  size_t limit = 20);
 
 /// IC9: 20 most recent messages by friends or friends-of-friends strictly
 /// before `max_date`.
-std::vector<RecentMessage> ComplexFofMessages(const GraphReadView& view,
+std::vector<RecentMessage> ComplexFofMessages(StoreReadTxn& txn,
                                               vertex_t person,
                                               int64_t max_date,
                                               size_t limit = 20);
@@ -84,7 +83,7 @@ std::vector<RecentMessage> ComplexFofMessages(const GraphReadView& view,
 /// IC13: length of the shortest knows-path between two persons, -1 if
 /// disconnected ("Complex read 13 performs pairwise shortest path
 /// computation", §7.3). Bidirectional BFS.
-int ComplexShortestPath(const GraphReadView& view, vertex_t a, vertex_t b);
+int ComplexShortestPath(StoreReadTxn& txn, vertex_t a, vertex_t b);
 
 /// IC6-style: tags co-occurring with `tag` on friends' messages — for each
 /// message by a friend (1-2 hops) that carries `tag`, count its other tags.
@@ -92,27 +91,26 @@ struct TagCount {
   vertex_t tag;
   int64_t count;
 };
-std::vector<TagCount> ComplexCooccurringTags(const GraphReadView& view,
+std::vector<TagCount> ComplexCooccurringTags(StoreReadTxn& txn,
                                              vertex_t person, vertex_t tag,
                                              size_t limit = 10);
 
-// --- Updates (run against the store, transactional) ---
+// --- Updates (each one write session, committed with conflict retry) ---
 
-vertex_t UpdateAddPerson(GraphStore* store, uint16_t first_name,
+vertex_t UpdateAddPerson(Store* store, uint16_t first_name,
                          uint16_t last_name, int64_t date, vertex_t place,
                          const std::vector<vertex_t>& interests);
 
-vertex_t UpdateAddPost(GraphStore* store, vertex_t author, vertex_t forum,
+vertex_t UpdateAddPost(Store* store, vertex_t author, vertex_t forum,
                        int64_t date, uint32_t length);
 
-vertex_t UpdateAddComment(GraphStore* store, vertex_t author, vertex_t parent,
+vertex_t UpdateAddComment(Store* store, vertex_t author, vertex_t parent,
                           int64_t date, uint32_t length);
 
-void UpdateAddLike(GraphStore* store, vertex_t person, vertex_t message,
+void UpdateAddLike(Store* store, vertex_t person, vertex_t message,
                    int64_t date);
 
-void UpdateAddFriendship(GraphStore* store, vertex_t a, vertex_t b,
-                         int64_t date);
+void UpdateAddFriendship(Store* store, vertex_t a, vertex_t b, int64_t date);
 
 }  // namespace livegraph::snb
 

@@ -50,8 +50,8 @@ struct DriverState {
   }
 };
 
-const char* RunComplex(GraphStore* store, DriverState* state, Xorshift& rng) {
-  auto view = store->OpenReadView();
+const char* RunComplex(Store* store, DriverState* state, Xorshift& rng) {
+  auto view = store->BeginReadTxn();
   int64_t now = state->clock.load(std::memory_order_relaxed);
   switch (rng.NextBounded(5)) {
     case 0: {
@@ -76,8 +76,8 @@ const char* RunComplex(GraphStore* store, DriverState* state, Xorshift& rng) {
   }
 }
 
-const char* RunShort(GraphStore* store, DriverState* state, Xorshift& rng) {
-  auto view = store->OpenReadView();
+const char* RunShort(Store* store, DriverState* state, Xorshift& rng) {
+  auto view = store->BeginReadTxn();
   switch (rng.NextBounded(6)) {
     case 0: {
       Person person;
@@ -104,7 +104,7 @@ const char* RunShort(GraphStore* store, DriverState* state, Xorshift& rng) {
   }
 }
 
-const char* RunUpdate(GraphStore* store, DriverState* state, Xorshift& rng) {
+const char* RunUpdate(Store* store, DriverState* state, Xorshift& rng) {
   int64_t date = state->clock.fetch_add(1, std::memory_order_relaxed);
   switch (rng.NextBounded(5)) {
     case 0: {
@@ -143,7 +143,7 @@ const char* RunUpdate(GraphStore* store, DriverState* state, Xorshift& rng) {
 
 }  // namespace
 
-DriverResult RunSnb(GraphStore* store, SnbDataset* dataset,
+DriverResult RunSnb(Store* store, SnbDataset* dataset,
                     const SnbRunOptions& options) {
   DriverState state(dataset);
   DriverOptions driver;

@@ -1,6 +1,8 @@
 // SNB interactive driver: runs the official request mix — 7.26% complex
 // reads, 63.82% short reads, 28.91% updates (§7.3 "The Overall workload
-// uses SNB's official mix") — or Complex-Only, against any GraphStore.
+// uses SNB's official mix") — or Complex-Only, against any Store. Reads
+// run inside one StoreReadTxn session per request; updates are one write
+// session each.
 #ifndef LIVEGRAPH_SNB_SNB_DRIVER_H_
 #define LIVEGRAPH_SNB_SNB_DRIVER_H_
 
@@ -26,7 +28,7 @@ struct SnbRunOptions {
 /// Runs the mix; per-query-class latencies land in
 /// DriverResult::per_class under the LDBC names (IC1, IC2, IC9, IC13,
 /// IS1, IS2, IS3, IS7, U_*).
-DriverResult RunSnb(GraphStore* store, SnbDataset* dataset,
+DriverResult RunSnb(Store* store, SnbDataset* dataset,
                     const SnbRunOptions& options);
 
 }  // namespace livegraph::snb

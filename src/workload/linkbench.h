@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <string>
 
-#include "baselines/store_interface.h"
+#include "api/store.h"
 #include "workload/driver.h"
 
 namespace livegraph {
@@ -62,12 +62,14 @@ struct LinkBenchConfig {
   uint64_t think_time_ns = 0;
 };
 
-/// Loads the base graph (Kronecker edges + payloads) into `store`.
-/// Returns the number of vertices created.
-vertex_t LoadLinkBenchGraph(GraphStore* store, const LinkBenchConfig& config);
+/// Loads the base graph (Kronecker edges + payloads) into `store` through
+/// batched write sessions. Returns the number of vertices created.
+vertex_t LoadLinkBenchGraph(Store* store, const LinkBenchConfig& config);
 
-/// Runs the request mix against a pre-loaded store.
-DriverResult RunLinkBench(GraphStore* store, const LinkBenchConfig& config,
+/// Runs the request mix against a pre-loaded store. Each request is one
+/// explicit session: reads open a StoreReadTxn, writes a StoreTxn with
+/// bounded conflict retry (§7.1's embedded-store harness discipline).
+DriverResult RunLinkBench(Store* store, const LinkBenchConfig& config,
                           vertex_t vertex_count);
 
 const char* LinkBenchOpName(LinkBenchOp op);

@@ -1,0 +1,314 @@
+// Cross-engine conformance for the v2 transaction-first API: every engine
+// — LiveGraph, its paged (out-of-core) configuration, and the three
+// baselines — must satisfy the same StoreTxn/StoreReadTxn contract behind
+// one parameterized suite, so the LinkBench/SNB harnesses run unmodified
+// against all of them (the paper's §7.1 methodology). Engine-specific
+// strengths (newest-first order, MVCC snapshots, rollback) are asserted
+// exactly where StoreTraits declares them.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analytics/etl.h"
+#include "api/store.h"
+#include "baselines/btree_store.h"
+#include "baselines/linked_list_store.h"
+#include "baselines/livegraph_store.h"
+#include "baselines/lsmt_store.h"
+
+namespace livegraph {
+namespace {
+
+GraphOptions SmallGraphOptions() {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 18;
+  return options;
+}
+
+using StoreFactory = std::function<std::unique_ptr<Store>()>;
+
+class StoreConformanceTest
+    : public ::testing::TestWithParam<std::pair<const char*, StoreFactory>> {
+ protected:
+  void SetUp() override { store_ = GetParam().second(); }
+  std::unique_ptr<Store> store_;
+};
+
+TEST_P(StoreConformanceTest, NodeLifecycleThroughOneSession) {
+  auto txn = store_->BeginTxn();
+  StatusOr<vertex_t> added = txn->AddNode("alpha");
+  ASSERT_TRUE(added.ok());
+  vertex_t id = *added;
+  // Read-your-writes inside the session.
+  StatusOr<std::string> props = txn->GetNode(id);
+  ASSERT_TRUE(props.ok());
+  EXPECT_EQ(*props, "alpha");
+  EXPECT_EQ(txn->UpdateNode(id, "beta"), Status::kOk);
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto read = store_->BeginReadTxn();
+  props = read->GetNode(id);
+  ASSERT_TRUE(props.ok());
+  EXPECT_EQ(*props, "beta");
+  EXPECT_GT(read->VertexCount(), id);
+  read.reset();  // latch-based engines: release before writing
+
+  EXPECT_EQ(store_->DeleteNode(id), Status::kOk);
+  EXPECT_EQ(store_->GetNode(id).status(), Status::kNotFound);
+  EXPECT_EQ(store_->UpdateNode(id, "gamma"), Status::kNotFound)
+      << "UPDATE_NODE must not resurrect deleted nodes";
+}
+
+TEST_P(StoreConformanceTest, LinkUpsertSemantics) {
+  vertex_t a = store_->AddNode("a");
+  vertex_t b = store_->AddNode("b");
+  StatusOr<bool> first = store_->AddLink(a, 0, b, "v1");
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first) << "first add is an insert";
+  StatusOr<bool> second = store_->AddLink(a, 0, b, "v2");
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(*second) << "second add is an update";
+  StatusOr<std::string> out = store_->GetLink(a, 0, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "v2");
+  EXPECT_EQ(store_->UpdateLink(a, 0, b, "v3"), Status::kOk);
+  out = store_->GetLink(a, 0, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "v3");
+  EXPECT_EQ(store_->UpdateLink(a, 0, a, "nope"), Status::kNotFound)
+      << "update of missing link must fail";
+  EXPECT_EQ(store_->DeleteLink(a, 0, b), Status::kOk);
+  EXPECT_EQ(store_->GetLink(a, 0, b).status(), Status::kNotFound);
+  EXPECT_EQ(store_->DeleteLink(a, 0, b), Status::kNotFound);
+}
+
+TEST_P(StoreConformanceTest, ScanVisitsAllAndNewestFirstWhereDeclared) {
+  vertex_t hub = store_->AddNode("hub");
+  std::vector<vertex_t> dsts;  // insertion order
+  for (int i = 0; i < 50; ++i) {
+    vertex_t d = store_->AddNode("leaf");
+    ASSERT_TRUE(store_->AddLink(hub, 0, d, "e" + std::to_string(i)).ok());
+    dsts.push_back(d);
+  }
+  auto read = store_->BeginReadTxn();
+  EXPECT_EQ(read->CountLinks(hub, 0), 50u);
+  std::vector<vertex_t> scanned;
+  for (EdgeCursor c = read->ScanLinks(hub, 0); c.Valid(); c.Next()) {
+    scanned.push_back(c.dst());
+  }
+  ASSERT_EQ(scanned.size(), 50u);
+  EXPECT_EQ(std::set<vertex_t>(scanned.begin(), scanned.end()),
+            std::set<vertex_t>(dsts.begin(), dsts.end()));
+  if (store_->Traits().time_ordered_scans) {
+    // LinkBench GET_LINKS_LIST contract: most recently added first
+    // (§7.2 "storing edges by time order").
+    std::vector<vertex_t> newest_first(dsts.rbegin(), dsts.rend());
+    EXPECT_EQ(scanned, newest_first);
+  }
+}
+
+TEST_P(StoreConformanceTest, CursorEarlyExitAndProperties) {
+  vertex_t hub = store_->AddNode("hub");
+  for (int i = 0; i < 20; ++i) {
+    vertex_t d = store_->AddNode("leaf");
+    ASSERT_TRUE(store_->AddLink(hub, 0, d, "payload").ok());
+  }
+  auto read = store_->BeginReadTxn();
+  // LIMIT-style consumption: stop after 5 — no callback to thread a stop
+  // condition through, the caller just leaves the loop.
+  size_t visited = 0;
+  for (EdgeCursor c = read->ScanLinks(hub, 0); c.Valid(); c.Next()) {
+    EXPECT_EQ(c.properties(), "payload");
+    if (++visited == 5) break;
+  }
+  EXPECT_EQ(visited, 5u);
+  // An exhausted cursor goes invalid.
+  EdgeCursor c = read->ScanLinks(hub, 0);
+  while (c.Valid()) c.Next();
+  EXPECT_FALSE(c.Valid());
+  // Scanning a vertex with no adjacency yields an empty cursor.
+  EXPECT_FALSE(read->ScanLinks(hub, 77).Valid());
+}
+
+TEST_P(StoreConformanceTest, ScanLimitBoundsCursorUniformly) {
+  vertex_t hub = store_->AddNode("hub");
+  for (int i = 0; i < 20; ++i) {
+    vertex_t d = store_->AddNode("leaf");
+    ASSERT_TRUE(store_->AddLink(hub, 0, d, "e").ok());
+  }
+  auto read = store_->BeginReadTxn();
+  // GET_LINKS_LIST-style bound: every engine yields exactly min(limit,
+  // degree) even if the caller keeps iterating.
+  size_t yielded = 0;
+  for (EdgeCursor c = read->ScanLinks(hub, 0, 5); c.Valid(); c.Next()) {
+    yielded++;
+  }
+  EXPECT_EQ(yielded, 5u);
+  yielded = 0;
+  for (EdgeCursor c = read->ScanLinks(hub, 0, 100); c.Valid(); c.Next()) {
+    yielded++;
+  }
+  EXPECT_EQ(yielded, 20u);
+  EXPECT_FALSE(read->ScanLinks(hub, 0, 0).Valid());
+}
+
+TEST_P(StoreConformanceTest, LabelsAreDisjoint) {
+  vertex_t a = store_->AddNode("a");
+  vertex_t b = store_->AddNode("b");
+  ASSERT_TRUE(store_->AddLink(a, 1, b, "L1").ok());
+  ASSERT_TRUE(store_->AddLink(a, 2, b, "L2").ok());
+  auto read = store_->BeginReadTxn();
+  EXPECT_EQ(read->CountLinks(a, 1), 1u);
+  EXPECT_EQ(read->CountLinks(a, 2), 1u);
+  EXPECT_EQ(read->CountLinks(a, 3), 0u);
+  StatusOr<std::string> out = read->GetLink(a, 1, b);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "L1");
+  read.reset();
+  EXPECT_EQ(store_->DeleteLink(a, 1, b), Status::kOk);
+  read = store_->BeginReadTxn();
+  EXPECT_EQ(read->CountLinks(a, 1), 0u);
+  EXPECT_EQ(read->CountLinks(a, 2), 1u);
+}
+
+TEST_P(StoreConformanceTest, ReadTxnIsConsistentSession) {
+  vertex_t a = store_->AddNode("node-a");
+  vertex_t b = store_->AddNode("node-b");
+  ASSERT_TRUE(store_->AddLink(a, 0, b, "edge").ok());
+  auto read = store_->BeginReadTxn();
+  // Multi-operation reads inside one session agree with each other.
+  StatusOr<std::string> node = read->GetNode(a);
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ(*node, "node-a");
+  StatusOr<std::string> link = read->GetLink(a, 0, b);
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(*link, "edge");
+  EXPECT_EQ(read->CountLinks(a, 0), 1u);
+  EdgeCursor c = read->ScanLinks(a, 0);
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.dst(), b);
+  // Repeated reads of the same key within the session are stable.
+  EXPECT_EQ(*read->GetNode(a), *node);
+}
+
+TEST_P(StoreConformanceTest, SnapshotIsolationWhereDeclared) {
+  if (!store_->Traits().snapshot_reads) {
+    GTEST_SKIP() << "latch-based engine: writers block instead";
+  }
+  vertex_t a = store_->AddNode("a");
+  vertex_t b = store_->AddNode("b");
+  ASSERT_TRUE(store_->AddLink(a, 0, b, "old").ok());
+  auto snapshot = store_->BeginReadTxn();
+  // Concurrent commits after the snapshot began must stay invisible —
+  // and must not block (MVCC: "readers never block writers").
+  ASSERT_TRUE(store_->AddLink(a, 0, a, "new-edge").ok());
+  ASSERT_EQ(store_->UpdateNode(a, "a2"), Status::kOk);
+  EXPECT_EQ(*snapshot->GetNode(a), "a");
+  EXPECT_EQ(snapshot->CountLinks(a, 0), 1u);
+  auto fresh = store_->BeginReadTxn();
+  EXPECT_EQ(*fresh->GetNode(a), "a2");
+  EXPECT_EQ(fresh->CountLinks(a, 0), 2u);
+}
+
+TEST_P(StoreConformanceTest, AbortRollsBackWhereDeclared) {
+  if (!store_->Traits().transactional_writes) {
+    GTEST_SKIP() << "in-place engine: Abort only ends the session";
+  }
+  vertex_t a = store_->AddNode("a");
+  {
+    auto txn = store_->BeginTxn();
+    ASSERT_TRUE(txn->AddLink(a, 0, a, "staged").ok());
+    ASSERT_EQ(txn->UpdateNode(a, "mutated"), Status::kOk);
+    txn->Abort();
+  }
+  EXPECT_EQ(*store_->GetNode(a), "a");
+  EXPECT_EQ(store_->GetLink(a, 0, a).status(), Status::kNotFound);
+  {
+    // Destroying an open session must abort, not leak the writes.
+    auto txn = store_->BeginTxn();
+    ASSERT_TRUE(txn->AddLink(a, 0, a, "dropped").ok());
+  }
+  EXPECT_EQ(store_->GetLink(a, 0, a).status(), Status::kNotFound);
+}
+
+TEST_P(StoreConformanceTest, CommitEpochsAreMonotonic) {
+  timestamp_t last = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto txn = store_->BeginTxn();
+    ASSERT_TRUE(txn->AddNode("n").ok());
+    StatusOr<timestamp_t> epoch = txn->Commit();
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_GT(*epoch, last) << "commit " << i;
+    last = *epoch;
+  }
+}
+
+TEST_P(StoreConformanceTest, MultiObjectSessionCommitsAtomically) {
+  // SNB-style update: several objects in one write session.
+  vertex_t author = store_->AddNode("author");
+  auto txn = store_->BeginTxn();
+  StatusOr<vertex_t> post = txn->AddNode("post");
+  ASSERT_TRUE(post.ok());
+  ASSERT_TRUE(txn->AddLink(author, 1, *post, "created").ok());
+  ASSERT_TRUE(txn->AddLink(*post, 2, author, "creator").ok());
+  ASSERT_TRUE(txn->Commit().ok());
+
+  auto read = store_->BeginReadTxn();
+  EXPECT_TRUE(read->GetNode(*post).ok());
+  EXPECT_EQ(read->CountLinks(author, 1), 1u);
+  EXPECT_EQ(read->CountLinks(*post, 2), 1u);
+}
+
+TEST_P(StoreConformanceTest, ExportToCsrThroughSessionApi) {
+  // The analytics ETL path must work on any engine via cursors.
+  vertex_t v0 = store_->AddNode("v0");
+  vertex_t v1 = store_->AddNode("v1");
+  vertex_t v2 = store_->AddNode("v2");
+  ASSERT_TRUE(store_->AddLink(v0, 0, v1, {}).ok());
+  ASSERT_TRUE(store_->AddLink(v0, 0, v2, {}).ok());
+  ASSERT_TRUE(store_->AddLink(v2, 0, v0, {}).ok());
+  auto read = store_->BeginReadTxn();
+  Csr csr = ExportToCsr(*read, 0);
+  EXPECT_EQ(csr.edge_count(), 3);
+  EXPECT_EQ(csr.Degree(v0), 2);
+  EXPECT_EQ(csr.Degree(v1), 0);
+  EXPECT_EQ(csr.Degree(v2), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, StoreConformanceTest,
+    ::testing::Values(
+        std::make_pair("LiveGraph",
+                       StoreFactory([] {
+                         return std::unique_ptr<Store>(
+                             new LiveGraphStore(SmallGraphOptions()));
+                       })),
+        std::make_pair("PagedLiveGraph",
+                       StoreFactory([] {
+                         return std::unique_ptr<Store>(new LiveGraphStore(
+                             SmallGraphOptions(),
+                             PageCacheSim::Optane(/*capacity_pages=*/256)));
+                       })),
+        std::make_pair("BTree",
+                       StoreFactory([] {
+                         return std::unique_ptr<Store>(new BTreeStore());
+                       })),
+        std::make_pair("Lsmt",
+                       StoreFactory([] {
+                         return std::unique_ptr<Store>(new LsmtStore());
+                       })),
+        std::make_pair("LinkedList",
+                       StoreFactory([] {
+                         return std::unique_ptr<Store>(
+                             new LinkedListStore());
+                       }))),
+    [](const auto& info) { return info.param.first; });
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,66 @@
+// StatusOr<T> semantics: the single result type of the v2 API.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "api/status.h"
+
+namespace livegraph {
+namespace {
+
+TEST(StatusOr, CarriesValueOnSuccess) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.has_value());
+  EXPECT_EQ(result.status(), Status::kOk);
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+}
+
+TEST(StatusOr, CarriesStatusOnFailure) {
+  StatusOr<int> result = Status::kNotFound;
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(result.status(), Status::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(StatusOr, ComparableAgainstBareStatus) {
+  StatusOr<int> good = 7;
+  StatusOr<int> bad = Status::kConflict;
+  EXPECT_TRUE(good == Status::kOk);
+  EXPECT_TRUE(good != Status::kConflict);
+  EXPECT_TRUE(bad == Status::kConflict);
+  EXPECT_TRUE(bad != Status::kOk);
+}
+
+TEST(StatusOr, ConvertingConstruction) {
+  // A string_view return initializes a StatusOr<std::string> (the store
+  // adaptors copy engine-owned bytes out through exactly this path).
+  std::string_view view = "payload";
+  StatusOr<std::string> owned = view;
+  ASSERT_TRUE(owned.ok());
+  EXPECT_EQ(*owned, "payload");
+  EXPECT_EQ(owned->size(), 7u);
+}
+
+TEST(StatusOr, EqualityComparesValues) {
+  EXPECT_EQ(StatusOr<int>(1), StatusOr<int>(1));
+  EXPECT_NE(StatusOr<int>(1), StatusOr<int>(2));
+  EXPECT_NE(StatusOr<int>(1), StatusOr<int>(Status::kNotFound));
+  EXPECT_EQ(StatusOr<int>(Status::kNotFound),
+            StatusOr<int>(Status::kNotFound));
+}
+
+TEST(StatusOr, RetryabilityClassification) {
+  EXPECT_TRUE(IsRetryable(Status::kConflict));
+  EXPECT_TRUE(IsRetryable(Status::kTimeout));
+  EXPECT_FALSE(IsRetryable(Status::kOk));
+  EXPECT_FALSE(IsRetryable(Status::kNotFound));
+  EXPECT_FALSE(IsRetryable(Status::kNotActive));
+}
+
+}  // namespace
+}  // namespace livegraph

@@ -49,40 +49,37 @@ TEST(SnbDatagen, GeneratesConsistentSocialNetwork) {
   EXPECT_GT(data.messages.size(), 100u);
   EXPECT_GT(data.forums.size(), 0u);
 
-  auto view = store.OpenReadView();
+  auto view = store.BeginReadTxn();
   // Knows edges are mutual.
   for (size_t i = 0; i < 20; ++i) {
     vertex_t p = data.persons[i];
-    view->ScanLinks(p, kKnows, [&](vertex_t q, std::string_view) {
-      std::string back;
-      EXPECT_TRUE(view->GetLink(q, kKnows, p, &back))
-          << "knows must be mutual: " << p << " <-> " << q;
-      return true;
-    });
+    for (EdgeCursor c = view->ScanLinks(p, kKnows); c.Valid(); c.Next()) {
+      EXPECT_TRUE(view->GetLink(c.dst(), kKnows, p).ok())
+          << "knows must be mutual: " << p << " <-> " << c.dst();
+    }
   }
   // Every message has a creator, and the reverse edge exists.
   for (size_t i = 0; i < data.messages.size(); i += 37) {
     vertex_t m = data.messages[i];
-    size_t creators =
-        view->ScanLinks(m, kHasCreator, [&](vertex_t author, std::string_view) {
-          std::string props;
-          EXPECT_TRUE(view->GetLink(author, kCreated, m, &props));
-          return true;
-        });
+    size_t creators = 0;
+    for (EdgeCursor c = view->ScanLinks(m, kHasCreator); c.Valid();
+         c.Next()) {
+      EXPECT_TRUE(view->GetLink(c.dst(), kCreated, m).ok());
+      creators++;
+    }
     EXPECT_EQ(creators, 1u) << "message " << m;
   }
   // Comments have parents; replies mirror replyOf.
   for (size_t i = 0; i < data.messages.size(); i += 11) {
     vertex_t m = data.messages[i];
-    std::string bytes;
-    ASSERT_TRUE(view->GetNode(m, &bytes));
-    if (KindOf(bytes) == EntityKind::kComment) {
-      size_t parents =
-          view->ScanLinks(m, kReplyOf, [&](vertex_t parent, std::string_view) {
-            std::string unused;
-            EXPECT_TRUE(view->GetLink(parent, kReplies, m, &unused));
-            return true;
-          });
+    StatusOr<std::string> bytes = view->GetNode(m);
+    ASSERT_TRUE(bytes.ok());
+    if (KindOf(*bytes) == EntityKind::kComment) {
+      size_t parents = 0;
+      for (EdgeCursor c = view->ScanLinks(m, kReplyOf); c.Valid(); c.Next()) {
+        EXPECT_TRUE(view->GetLink(c.dst(), kReplies, m).ok());
+        parents++;
+      }
       EXPECT_EQ(parents, 1u);
     }
   }
@@ -107,7 +104,7 @@ TEST(SnbQueries, ShortReadsOnHandBuiltGraph) {
   vertex_t p1 = UpdateAddPost(&store, bob, forum, 100, 50);
   vertex_t c1 = UpdateAddComment(&store, carol, p1, 200, 10);
 
-  auto view = store.OpenReadView();
+  auto view = store.BeginReadTxn();
   Person profile;
   ASSERT_TRUE(ShortPersonProfile(*view, bob, &profile));
   EXPECT_EQ(profile.first_name, 2);
@@ -140,7 +137,7 @@ TEST(SnbQueries, ComplexReadsOnHandBuiltGraph) {
     chain.push_back(v);
     if (i > 0) UpdateAddFriendship(&store, chain[size_t(i) - 1], v, i);
   }
-  auto view = store.OpenReadView();
+  auto view = store.BeginReadTxn();
   // IC13: shortest paths along the chain.
   EXPECT_EQ(ComplexShortestPath(*view, chain[0], chain[0]), 0);
   EXPECT_EQ(ComplexShortestPath(*view, chain[0], chain[1]), 1);
@@ -149,7 +146,7 @@ TEST(SnbQueries, ComplexReadsOnHandBuiltGraph) {
   // Disconnected person.
   Person loner_p{};
   vertex_t loner = store.AddNode(Encode(loner_p));
-  auto fresh = store.OpenReadView();
+  auto fresh = store.BeginReadTxn();
   EXPECT_EQ(ComplexShortestPath(*fresh, chain[0], loner), -1);
 
   // IC1: 3-hop name search from chain[0] finds b,c,d (not e: 4 hops).
@@ -167,7 +164,7 @@ TEST(SnbQueries, ComplexReadsOnHandBuiltGraph) {
   vertex_t m1 = UpdateAddPost(&store, chain[0], forum, 1000, 5);
   vertex_t m2 = UpdateAddPost(&store, chain[2], forum, 2000, 5);
   UpdateAddPost(&store, chain[4], forum, 3000, 5);  // not a friend of b
-  auto view2 = store.OpenReadView();
+  auto view2 = store.BeginReadTxn();
   auto messages = ComplexFriendMessages(*view2, chain[1], INT64_MAX);
   ASSERT_EQ(messages.size(), 2u);
   EXPECT_EQ(messages[0].message, m2);
@@ -189,7 +186,7 @@ TEST(SnbQueries, ComplexReadsOnHandBuiltGraph) {
 class SnbDriverTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(SnbDriverTest, MixRunsToCompletion) {
-  std::unique_ptr<GraphStore> store;
+  std::unique_ptr<Store> store;
   if (std::string(GetParam()) == "LiveGraph") {
     store = std::make_unique<LiveGraphStore>(SmallGraphOptions());
   } else {
