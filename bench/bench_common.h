@@ -78,10 +78,16 @@ inline std::unique_ptr<Store> MakeStore(const std::string& name,
 }
 
 inline void PrintLatencyRow(const char* system, const DriverResult& result) {
-  std::printf("%-12s %10.4f %10.4f %10.4f %14.0f\n", system,
+  std::printf("%-12s %10.4f %10.4f %10.4f %14.0f", system,
               result.overall.MeanMillis(),
               result.overall.PercentileMillis(0.99),
               result.overall.PercentileMillis(0.999), result.throughput());
+  if (result.failures > 0) {
+    std::printf("  (%llu failed, %.2f%%)",
+                static_cast<unsigned long long>(result.failures),
+                100.0 * result.failure_rate());
+  }
+  std::printf("\n");
 }
 
 inline void PrintLatencyHeader(const char* title) {

@@ -1,0 +1,126 @@
+// Remote LinkBench: N client threads drive the LinkBench request mix
+// against a graph server over localhost TCP, through the same
+// workload/driver.h harness the embedded benches use — the only change is
+// that the Store handed to RunLinkBench is a RemoteStore. Reports
+// throughput, p50/p99 (plus mean/p999) and the failed-request count, for
+// the server stack against the embedded baseline it wraps.
+//
+// Env knobs:
+//   LG_ENGINE   LiveGraph | LSMT | BTree | LinkedList   (default LiveGraph)
+//   LG_CLIENTS  client threads                          (default 8)
+//   LG_OPS      requests per client                     (default 20000)
+//   LG_SCALE    log2 vertices of the base graph         (default 15)
+//   LG_MIX      dflt | tao                              (default dflt)
+//   LG_CONNECT  host:port of an already-running livegraph_server; when
+//               unset the bench starts an in-process loopback server.
+#include <cstring>
+#include <string>
+
+#include "bench/linkbench_tables.h"
+#include "server/graph_server.h"
+#include "server/remote_store.h"
+
+namespace livegraph::bench {
+namespace {
+
+const char* EnvString(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : fallback;
+}
+
+void PrintRemoteRow(const char* label, const DriverResult& result) {
+  std::printf("%-22s %12.0f %10.4f %10.4f %10.4f %10.4f", label,
+              result.throughput(), result.overall.MeanMillis(),
+              result.overall.PercentileMillis(0.50),
+              result.overall.PercentileMillis(0.99),
+              result.overall.PercentileMillis(0.999));
+  if (result.failures > 0) {
+    std::printf("  (%llu failed)",
+                static_cast<unsigned long long>(result.failures));
+  }
+  std::printf("\n");
+}
+
+int Run() {
+  LinkBenchConfig config = DefaultLinkBenchConfig();
+  const std::string engine = EnvString("LG_ENGINE", "LiveGraph");
+  if (std::string(EnvString("LG_MIX", "dflt")) == "tao") {
+    config.mix = TaoMix();
+  }
+
+  std::printf("=== Remote LinkBench over the graph server ===\n");
+  std::printf("engine=%s clients=%d ops/client=%llu scale=%d\n",
+              engine.c_str(), config.clients,
+              static_cast<unsigned long long>(config.ops_per_client),
+              config.scale);
+  std::printf("%-22s %12s %10s %10s %10s %10s\n", "store", "reqs/s",
+              "mean(ms)", "P50(ms)", "P99(ms)", "P999(ms)");
+
+  // The serving engine. With LG_CONNECT the server lives in another
+  // process and this engine is unused for serving (still used to report
+  // the embedded baseline).
+  std::unique_ptr<Store> store = MakeStore(engine);
+  vertex_t n = LoadLinkBenchGraph(store.get(), config);
+
+  // Embedded baseline: same harness, in-process store. The gap to the
+  // remote rows is the cost of the network layer.
+  DriverResult embedded = RunLinkBench(store.get(), config, n);
+  PrintRemoteRow(("embedded/" + engine).c_str(), embedded);
+
+  std::unique_ptr<GraphServer> server;
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  const char* connect = std::getenv("LG_CONNECT");
+  if (connect != nullptr) {
+    const char* colon = std::strrchr(connect, ':');
+    if (colon == nullptr) {
+      std::fprintf(stderr, "LG_CONNECT must be host:port\n");
+      return 1;
+    }
+    host.assign(connect, static_cast<size_t>(colon - connect));
+    port = static_cast<uint16_t>(std::atoi(colon + 1));
+    std::printf("(connecting to external server %s:%u — base graph must "
+                "already be loaded there)\n",
+                host.c_str(), unsigned{port});
+  } else {
+    server = std::make_unique<GraphServer>(*store, GraphServer::Options{});
+    if (!server->Start()) {
+      std::fprintf(stderr, "failed to start loopback server\n");
+      return 1;
+    }
+    port = server->port();
+  }
+
+  std::unique_ptr<RemoteStore> remote = RemoteStore::Connect(host, port);
+  if (remote == nullptr) {
+    std::fprintf(stderr, "failed to connect to %s:%u\n", host.c_str(),
+                 unsigned{port});
+    return 1;
+  }
+  // Warm the connection pool so dials don't land inside the timed run:
+  // the driver runs `clients` concurrent sessions.
+  {
+    std::vector<std::unique_ptr<StoreReadTxn>> warm;
+    warm.reserve(static_cast<size_t>(config.clients));
+    for (int i = 0; i < config.clients; ++i) {
+      warm.push_back(remote->BeginReadTxn());
+    }
+  }
+
+  DriverResult result = RunLinkBench(remote.get(), config, n);
+  PrintRemoteRow(remote->Name().c_str(), result);
+  std::printf(
+      "network overhead: %.1f%% of embedded throughput retained\n",
+      embedded.throughput() > 0
+          ? 100.0 * result.throughput() / embedded.throughput()
+          : 0.0);
+
+  remote.reset();
+  if (server != nullptr) server->Stop();
+  return 0;
+}
+
+}  // namespace
+}  // namespace livegraph::bench
+
+int main() { return livegraph::bench::Run(); }

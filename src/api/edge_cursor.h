@@ -11,7 +11,10 @@
 // always-taken mode branch. Baseline engines, which must drop their latches
 // or merge multiple components before a caller may hold positions, return
 // the same type in materialized mode: their adaptor snapshots the list into
-// the cursor once, and iteration is an index bump.
+// the cursor once, and iteration is an index bump. A third, chunked mode
+// backs remote scans (docs/SERVER.md): the cursor pulls fixed-size edge
+// batches from a BatchSource as the caller advances, so streamed adjacency
+// lists are bounded by one batch of client memory.
 #ifndef LIVEGRAPH_API_EDGE_CURSOR_H_
 #define LIVEGRAPH_API_EDGE_CURSOR_H_
 
@@ -54,6 +57,27 @@ class EdgeCursor {
         edges_(std::move(edges)),
         arena_(std::move(arena)) {}
 
+  /// Incremental supplier of edge batches for chunked cursors. Used by the
+  /// network client (server/remote_store.h): the server streams a scan as
+  /// a sequence of frames, and the cursor pulls them one batch at a time,
+  /// so a remote adjacency list is never fully resident on either side.
+  class BatchSource {
+   public:
+    virtual ~BatchSource() = default;
+    /// Replaces `edges`/`arena` with the next non-empty batch. Returns
+    /// false when the stream is exhausted (or torn down), after which it
+    /// is not called again.
+    virtual bool Fill(std::vector<Edge>* edges, std::string* arena) = 0;
+  };
+
+  /// Chunked mode: pulls batches from `source` on demand. The source is
+  /// queried for the first batch immediately, so Valid() is meaningful
+  /// without a priming Next().
+  explicit EdgeCursor(std::unique_ptr<BatchSource> source)
+      : mode_(Mode::kChunked), source_(std::move(source)) {
+    Refill();
+  }
+
   EdgeCursor(EdgeCursor&&) = default;
   EdgeCursor& operator=(EdgeCursor&&) = default;
   EdgeCursor(const EdgeCursor&) = delete;
@@ -72,6 +96,7 @@ class EdgeCursor {
       --remaining_;
     } else {
       ++index_;
+      if (mode_ == Mode::kChunked && index_ >= edges_.size()) Refill();
     }
   }
 
@@ -103,7 +128,15 @@ class EdgeCursor {
   }
 
  private:
-  enum class Mode : uint8_t { kTel, kMaterialized };
+  enum class Mode : uint8_t { kTel, kMaterialized, kChunked };
+
+  void Refill() {
+    index_ = 0;
+    if (source_ == nullptr || !source_->Fill(&edges_, &arena_)) {
+      edges_.clear();  // Valid() goes false
+      source_.reset();
+    }
+  }
 
   Mode mode_ = Mode::kMaterialized;  // default: empty materialized cursor
   EdgeIterator it_;
@@ -111,6 +144,7 @@ class EdgeCursor {
   size_t index_ = 0;
   std::vector<Edge> edges_;
   std::string arena_;
+  std::unique_ptr<BatchSource> source_;  // chunked mode only
 };
 
 /// Incremental builder for materialized cursors (baseline adaptors).

@@ -20,9 +20,13 @@
 
 namespace livegraph {
 
-/// True for outcomes a caller should retry by re-running the transaction
+/// True for outcomes a caller may retry by re-running the transaction
 /// (optimistic-concurrency losers), false for logical results (kNotFound,
-/// kOk) and programming errors (kNotActive).
+/// kOk), programming errors (kNotActive), and I/O failures (kUnavailable).
+/// Note that RunWrite auto-retries only kConflict: a kTimeout caller may
+/// itself be holding the lock the other side wants, so blind replay can
+/// livelock — rerunning after a timeout is a policy decision left to the
+/// driver.
 inline constexpr bool IsRetryable(Status s) {
   return s == Status::kConflict || s == Status::kTimeout;
 }

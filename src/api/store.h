@@ -21,10 +21,13 @@
 #ifndef LIVEGRAPH_API_STORE_H_
 #define LIVEGRAPH_API_STORE_H_
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 #include "api/edge_cursor.h"
@@ -76,6 +79,13 @@ class StoreReadTxn {
   virtual size_t CountLinks(vertex_t src, label_t label) = 0;
   /// Upper bound (exclusive) on node IDs visible to this session.
   virtual vertex_t VertexCount() = 0;
+
+  /// Health of the session itself, for operations without a status
+  /// channel (CountLinks, ScanLinks): kOk for embedded engines; a remote
+  /// session reports kUnavailable once its connection is gone, so a
+  /// driver can tell "empty adjacency list" from "the store stopped
+  /// answering" (docs/SERVER.md).
+  virtual Status SessionStatus() const { return Status::kOk; }
 };
 
 /// A read-write session. Supports every read (with read-your-writes) plus
@@ -139,25 +149,38 @@ class Store {
 };
 
 /// Runs `fn(StoreTxn&)` in a fresh session and commits, retrying the whole
-/// body on optimistic-concurrency losses (kConflict/kTimeout) up to
-/// `max_retries` times — the retry discipline the paper's LinkBench harness
-/// applies to embedded stores (§7.1). `fn` returning a non-retryable error
-/// aborts the session and reports that error without retrying.
+/// body on write-write conflicts (kConflict) up to `max_retries` times with
+/// capped exponential backoff — the retry discipline the paper's LinkBench
+/// harness applies to embedded stores (§7.1). Only kConflict is replayed:
+/// it is the one outcome where the losing session was rolled back purely
+/// because another writer won the race, so an immediate rerun is both safe
+/// and likely to succeed. Every other status — logical results (kNotFound),
+/// lock timeouts (kTimeout, the caller may be part of the deadlock), and
+/// remote I/O failures (kUnavailable, the connection is gone) — surfaces
+/// immediately instead of burning the retry budget against a store that
+/// cannot answer.
 template <typename Fn>
 Status RunWrite(Store& store, Fn&& fn, int max_retries = 32) {
+  constexpr auto kBackoffBase = std::chrono::microseconds(2);
+  constexpr auto kBackoffCap = std::chrono::microseconds(512);
   Status last = Status::kConflict;
   for (int attempt = 0; attempt < max_retries; ++attempt) {
+    if (attempt > 0) {
+      auto backoff = attempt < 16 ? kBackoffBase * (1 << (attempt - 1))
+                                  : kBackoffCap;
+      std::this_thread::sleep_for(std::min(backoff, kBackoffCap));
+    }
     std::unique_ptr<StoreTxn> txn = store.BeginTxn();
     Status st = fn(*txn);
     if (st != Status::kOk) {
       txn->Abort();
-      if (!IsRetryable(st)) return st;
+      if (st != Status::kConflict) return st;
       last = st;
       continue;
     }
     StatusOr<timestamp_t> committed = txn->Commit();
     if (committed.ok()) return Status::kOk;
-    if (!IsRetryable(committed.status())) return committed.status();
+    if (committed.status() != Status::kConflict) return committed.status();
     last = committed.status();
   }
   return last;

@@ -1,0 +1,455 @@
+#include "server/graph_server.h"
+
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "server/wire.h"
+
+namespace livegraph {
+
+// One protocol session: a connection thread that owns its socket, its open
+// transactions, and three reused buffers (parse is in-place over the
+// receive frame; replies and scan batches build into per-connection
+// strings whose capacity survives across requests).
+class GraphServer::Connection {
+ public:
+  Connection(GraphServer* server, Socket socket)
+      : server_(server), socket_(std::move(socket)) {}
+
+  void Start() {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  void ShutdownSocket() { socket_.Shutdown(); }
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ private:
+  // A slot in the session's transaction table. Write sessions serve reads
+  // too (read-your-writes); read sessions reject mutations.
+  struct OpenTxn {
+    std::unique_ptr<StoreTxn> write;
+    std::unique_ptr<StoreReadTxn> read;
+    StoreReadTxn* AsRead() const {
+      return write != nullptr ? write.get() : read.get();
+    }
+  };
+
+  void Run() {
+    server_->active_connections_.fetch_add(1, std::memory_order_relaxed);
+    Frame request;
+    while (socket_.ReadFrame(&request)) {
+      if (!Dispatch(request)) break;
+    }
+    // Destroying the table aborts open write sessions and releases read
+    // sessions (latches, snapshots) — a vanished client holds nothing.
+    txns_.clear();
+    // Shutdown only — never Close() here: GraphServer::Stop() may call
+    // ShutdownSocket() concurrently, and closing would both race on fd_
+    // and free the descriptor number for reuse while Stop still holds it.
+    // The fd is released by the Socket destructor, after Join().
+    socket_.Shutdown();
+    server_->active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    done_.store(true, std::memory_order_release);
+  }
+
+  /// Handles one request frame. False tears the connection down (protocol
+  /// violation or dead socket).
+  bool Dispatch(const Frame& request) {
+    WireReader reader(request.body);
+    switch (request.type) {
+      case MsgType::kHello: return HandleHello(reader);
+      case MsgType::kBeginTxn: return HandleBegin(reader, /*write=*/true);
+      case MsgType::kBeginReadTxn:
+        return HandleBegin(reader, /*write=*/false);
+      case MsgType::kCommit: return HandleCommit(reader);
+      case MsgType::kAbort: return HandleAbort(reader);
+      case MsgType::kEndRead: return HandleEndRead(reader);
+      case MsgType::kGetNode: return HandleGetNode(reader);
+      case MsgType::kGetLink: return HandleGetLink(reader);
+      case MsgType::kScanLinks: return HandleScanLinks(reader);
+      case MsgType::kCountLinks: return HandleCountLinks(reader);
+      case MsgType::kVertexCount: return HandleVertexCount(reader);
+      case MsgType::kAddNode: return HandleAddNode(reader);
+      case MsgType::kUpdateNode: return HandleUpdateNode(reader);
+      case MsgType::kDeleteNode: return HandleDeleteNode(reader);
+      case MsgType::kAddLink: return HandleAddLink(reader, /*upsert=*/true);
+      case MsgType::kUpdateLink:
+        return HandleAddLink(reader, /*upsert=*/false);
+      case MsgType::kDeleteLink: return HandleDeleteLink(reader);
+      case MsgType::kReply:
+      case MsgType::kScanBatch:
+        return false;  // response types are not requests
+    }
+    return false;
+  }
+
+  // --- Reply plumbing -----------------------------------------------------
+
+  /// Starts a reply body with its status byte; append the payload through
+  /// the returned writer, then SendReply().
+  WireWriter BeginReply(Status status) {
+    reply_body_.clear();
+    WireWriter writer(&reply_body_);
+    writer.PutU8(StatusToWire(status));
+    return writer;
+  }
+
+  bool SendReply(uint8_t flags = kFlagNone) {
+    return socket_.WriteFrame(MsgType::kReply, flags, reply_body_,
+                              &send_scratch_);
+  }
+
+  bool ReplyStatus(Status status, uint8_t flags = kFlagNone) {
+    BeginReply(status);
+    return SendReply(flags);
+  }
+
+  // --- Handshake ----------------------------------------------------------
+
+  bool HandleHello(WireReader& reader) {
+    uint32_t version;
+    if (!reader.GetU32(&version) || !reader.Exhausted()) return false;
+    if (version != kProtocolVersion) {
+      ReplyStatus(Status::kUnavailable);
+      return false;  // incompatible dialect: refuse loudly, then hang up
+    }
+    StoreTraits traits = server_->store_.Traits();
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutU32(kProtocolVersion);
+    writer.PutBytes(server_->store_.Name());
+    writer.PutU8(traits.time_ordered_scans ? 1 : 0);
+    writer.PutU8(traits.snapshot_reads ? 1 : 0);
+    writer.PutU8(traits.transactional_writes ? 1 : 0);
+    return SendReply();
+  }
+
+  // --- Session lifecycle --------------------------------------------------
+
+  bool HandleBegin(WireReader& reader, bool write) {
+    if (!reader.Exhausted()) return false;
+    uint64_t id = next_txn_id_++;
+    OpenTxn& slot = txns_[id];
+    if (write) {
+      slot.write = server_->store_.BeginTxn();
+    } else {
+      slot.read = server_->store_.BeginReadTxn();
+    }
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutU64(id);
+    return SendReply();
+  }
+
+  bool HandleCommit(WireReader& reader) {
+    uint64_t id;
+    if (!reader.GetU64(&id) || !reader.Exhausted()) return false;
+    auto it = txns_.find(id);
+    if (it == txns_.end() || it->second.write == nullptr) {
+      return ReplyStatus(Status::kNotActive);
+    }
+    StatusOr<timestamp_t> committed = it->second.write->Commit();
+    txns_.erase(it);
+    if (!committed.ok()) return ReplyStatus(committed.status());
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutI64(*committed);
+    return SendReply();
+  }
+
+  bool HandleAbort(WireReader& reader) {
+    uint64_t id;
+    if (!reader.GetU64(&id) || !reader.Exhausted()) return false;
+    auto it = txns_.find(id);
+    if (it == txns_.end() || it->second.write == nullptr) {
+      return ReplyStatus(Status::kNotActive);
+    }
+    it->second.write->Abort();
+    txns_.erase(it);
+    return ReplyStatus(Status::kOk);
+  }
+
+  bool HandleEndRead(WireReader& reader) {
+    uint64_t id;
+    if (!reader.GetU64(&id) || !reader.Exhausted()) return false;
+    auto it = txns_.find(id);
+    if (it == txns_.end() || it->second.read == nullptr) {
+      return ReplyStatus(Status::kNotActive);
+    }
+    txns_.erase(it);  // releases the engine read session (latch, snapshot)
+    return ReplyStatus(Status::kOk);
+  }
+
+  // --- Reads --------------------------------------------------------------
+
+  StoreReadTxn* FindRead(uint64_t id) {
+    auto it = txns_.find(id);
+    return it != txns_.end() ? it->second.AsRead() : nullptr;
+  }
+
+  StoreTxn* FindWrite(uint64_t id) {
+    auto it = txns_.find(id);
+    return it != txns_.end() ? it->second.write.get() : nullptr;
+  }
+
+  bool HandleGetNode(WireReader& reader) {
+    uint64_t id;
+    int64_t vertex;
+    if (!reader.GetU64(&id) || !reader.GetI64(&vertex) ||
+        !reader.Exhausted()) {
+      return false;
+    }
+    StoreReadTxn* read = FindRead(id);
+    if (read == nullptr) return ReplyStatus(Status::kNotActive);
+    StatusOr<std::string> props = read->GetNode(vertex);
+    if (!props.ok()) return ReplyStatus(props.status());
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutBytes(*props);
+    return SendReply();
+  }
+
+  bool HandleGetLink(WireReader& reader) {
+    uint64_t id;
+    int64_t src, dst;
+    uint16_t label;
+    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
+        !reader.GetU16(&label) || !reader.GetI64(&dst) ||
+        !reader.Exhausted()) {
+      return false;
+    }
+    StoreReadTxn* read = FindRead(id);
+    if (read == nullptr) return ReplyStatus(Status::kNotActive);
+    StatusOr<std::string> props = read->GetLink(src, label, dst);
+    if (!props.ok()) return ReplyStatus(props.status());
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutBytes(*props);
+    return SendReply();
+  }
+
+  bool HandleCountLinks(WireReader& reader) {
+    uint64_t id;
+    int64_t src;
+    uint16_t label;
+    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
+        !reader.GetU16(&label) || !reader.Exhausted()) {
+      return false;
+    }
+    StoreReadTxn* read = FindRead(id);
+    if (read == nullptr) return ReplyStatus(Status::kNotActive);
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutU64(read->CountLinks(src, label));
+    return SendReply();
+  }
+
+  bool HandleVertexCount(WireReader& reader) {
+    uint64_t id;
+    if (!reader.GetU64(&id) || !reader.Exhausted()) return false;
+    StoreReadTxn* read = FindRead(id);
+    if (read == nullptr) return ReplyStatus(Status::kNotActive);
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutI64(read->VertexCount());
+    return SendReply();
+  }
+
+  // The streaming scan: walk the engine cursor once, flushing a reused
+  // batch buffer whenever either budget (edges or bytes) fills. The last
+  // frame carries kFlagEndOfStream; an error reply does too, so the client
+  // drain rule is uniform.
+  bool HandleScanLinks(WireReader& reader) {
+    uint64_t id, limit;
+    int64_t src;
+    uint16_t label;
+    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
+        !reader.GetU16(&label) || !reader.GetU64(&limit) ||
+        !reader.Exhausted()) {
+      return false;
+    }
+    StoreReadTxn* read = FindRead(id);
+    if (read == nullptr) {
+      return ReplyStatus(Status::kNotActive, kFlagEndOfStream);
+    }
+    const Options& options = server_->options_;
+    uint32_t batch_count = 0;
+    batch_body_.clear();
+    WireWriter writer(&batch_body_);
+    writer.PutU32(0);  // count placeholder, patched at flush
+    auto flush = [&](bool end_of_stream) {
+      uint8_t count_le[4] = {
+          static_cast<uint8_t>(batch_count),
+          static_cast<uint8_t>(batch_count >> 8),
+          static_cast<uint8_t>(batch_count >> 16),
+          static_cast<uint8_t>(batch_count >> 24)};
+      std::memcpy(batch_body_.data(), count_le, sizeof(count_le));
+      bool sent = socket_.WriteFrame(
+          MsgType::kScanBatch,
+          end_of_stream ? kFlagEndOfStream : kFlagNone, batch_body_,
+          &send_scratch_);
+      batch_count = 0;
+      batch_body_.clear();
+      writer.PutU32(0);
+      return sent;
+    };
+    for (EdgeCursor cursor = read->ScanLinks(src, label, limit);
+         cursor.Valid(); cursor.Next()) {
+      // Flush early if this edge would push the frame past the protocol
+      // cap (possible with outsized property blobs loaded embedded); a
+      // single edge that alone exceeds the cap is unrepresentable and
+      // fails the WriteFrame below, closing the connection.
+      size_t edge_bytes = 8 + 8 + 4 + cursor.properties().size();
+      if (batch_count > 0 && batch_body_.size() + edge_bytes > kMaxFrameBody) {
+        if (!flush(/*end_of_stream=*/false)) return false;
+      }
+      writer.PutI64(cursor.dst());
+      writer.PutI64(cursor.creation_timestamp());
+      writer.PutBytes(cursor.properties());
+      if (++batch_count >= options.scan_batch_edges ||
+          batch_body_.size() >= options.scan_batch_bytes) {
+        if (!flush(/*end_of_stream=*/false)) return false;
+      }
+    }
+    return flush(/*end_of_stream=*/true);
+  }
+
+  // --- Writes -------------------------------------------------------------
+
+  bool HandleAddNode(WireReader& reader) {
+    uint64_t id;
+    std::string_view data;
+    if (!reader.GetU64(&id) || !reader.GetBytes(&data) ||
+        !reader.Exhausted()) {
+      return false;
+    }
+    StoreTxn* txn = FindWrite(id);
+    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
+    StatusOr<vertex_t> added = txn->AddNode(data);
+    if (!added.ok()) return ReplyStatus(added.status());
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutI64(*added);
+    return SendReply();
+  }
+
+  bool HandleUpdateNode(WireReader& reader) {
+    uint64_t id;
+    int64_t vertex;
+    std::string_view data;
+    if (!reader.GetU64(&id) || !reader.GetI64(&vertex) ||
+        !reader.GetBytes(&data) || !reader.Exhausted()) {
+      return false;
+    }
+    StoreTxn* txn = FindWrite(id);
+    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
+    return ReplyStatus(txn->UpdateNode(vertex, data));
+  }
+
+  bool HandleDeleteNode(WireReader& reader) {
+    uint64_t id;
+    int64_t vertex;
+    if (!reader.GetU64(&id) || !reader.GetI64(&vertex) ||
+        !reader.Exhausted()) {
+      return false;
+    }
+    StoreTxn* txn = FindWrite(id);
+    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
+    return ReplyStatus(txn->DeleteNode(vertex));
+  }
+
+  bool HandleAddLink(WireReader& reader, bool upsert) {
+    uint64_t id;
+    int64_t src, dst;
+    uint16_t label;
+    std::string_view data;
+    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
+        !reader.GetU16(&label) || !reader.GetI64(&dst) ||
+        !reader.GetBytes(&data) || !reader.Exhausted()) {
+      return false;
+    }
+    StoreTxn* txn = FindWrite(id);
+    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
+    if (!upsert) return ReplyStatus(txn->UpdateLink(src, label, dst, data));
+    StatusOr<bool> inserted = txn->AddLink(src, label, dst, data);
+    if (!inserted.ok()) return ReplyStatus(inserted.status());
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutU8(*inserted ? 1 : 0);
+    return SendReply();
+  }
+
+  bool HandleDeleteLink(WireReader& reader) {
+    uint64_t id;
+    int64_t src, dst;
+    uint16_t label;
+    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
+        !reader.GetU16(&label) || !reader.GetI64(&dst) ||
+        !reader.Exhausted()) {
+      return false;
+    }
+    StoreTxn* txn = FindWrite(id);
+    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
+    return ReplyStatus(txn->DeleteLink(src, label, dst));
+  }
+
+  GraphServer* server_;
+  Socket socket_;
+  std::thread thread_;
+  std::atomic<bool> done_{false};
+
+  uint64_t next_txn_id_ = 1;
+  std::map<uint64_t, OpenTxn> txns_;
+
+  // Reused per-connection buffers: steady state sends allocate nothing.
+  std::string reply_body_;
+  std::string batch_body_;
+  std::string send_scratch_;
+};
+
+GraphServer::GraphServer(Store& store, Options options)
+    : store_(store), options_(std::move(options)) {}
+
+GraphServer::~GraphServer() { Stop(); }
+
+bool GraphServer::Start() {
+  listener_ = ListenTcp(options_.host, options_.port, &port_);
+  if (!listener_.valid()) return false;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void GraphServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    Socket conn = AcceptTcp(listener_);
+    if (!conn.valid()) break;  // listener shut down (or fatal error)
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    // Reap finished connections so a long-lived server with connection
+    // churn doesn't accumulate dead session objects.
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->done()) {
+        connections_[i]->Join();
+        connections_.erase(connections_.begin() +
+                           static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    connections_.push_back(
+        std::make_unique<Connection>(this, std::move(conn)));
+    connections_.back()->Start();
+  }
+}
+
+void GraphServer::Stop() {
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (!was_running) return;
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) connection->ShutdownSocket();
+  for (auto& connection : connections) connection->Join();
+}
+
+}  // namespace livegraph

@@ -1,0 +1,85 @@
+// GraphServer: the network front end over any v2 Store engine
+// (docs/SERVER.md).
+//
+// One accept thread plus one thread per connection, each speaking the
+// framed protocol (server/protocol.h). A connection is a protocol session:
+// it owns a table of open transactions (ids handed out by Begin{,Read}Txn)
+// mapped onto real StoreTxn/StoreReadTxn sessions, so remote sessions keep
+// exactly the engine's semantics — MVCC snapshots stay snapshots, latch
+// engines hold their latch for the remote session's lifetime, and a
+// dropped connection aborts whatever it left open.
+//
+// Scans stream: ScanLinks walks the engine cursor once, packing edges into
+// reused batch buffers and writing each batch as soon as it fills — the
+// purely sequential adjacency walk the paper optimizes (§4) goes straight
+// from the TEL into the socket without materializing the list, and the
+// steady state allocates nothing.
+#ifndef LIVEGRAPH_SERVER_GRAPH_SERVER_H_
+#define LIVEGRAPH_SERVER_GRAPH_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/store.h"
+#include "server/net.h"
+
+namespace livegraph {
+
+class GraphServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = ephemeral; the bound port is available from port() after
+    /// Start().
+    uint16_t port = 0;
+    /// Scan batches flush at whichever budget fills first. Defaults sized
+    /// so a batch rides in a few TCP segments while short adjacency lists
+    /// (the LinkBench common case) still fit in one frame.
+    size_t scan_batch_edges = 512;
+    size_t scan_batch_bytes = 60 * 1024;
+  };
+
+  /// Serves `store`; does not own it. The store must outlive Stop().
+  GraphServer(Store& store, Options options);
+  ~GraphServer();
+
+  /// Binds and starts accepting. False if the address cannot be bound.
+  bool Start();
+  /// Stops accepting, tears down live connections (aborting their open
+  /// transactions), and joins every thread. Idempotent.
+  void Stop();
+
+  /// Port actually bound (resolves port 0 requests). Valid after Start().
+  uint16_t port() const { return port_; }
+  const Options& options() const { return options_; }
+
+  /// Connections currently attached (observability, tests).
+  size_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class Connection;
+
+  void AcceptLoop();
+
+  Store& store_;
+  Options options_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> active_connections_{0};
+
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_SERVER_GRAPH_SERVER_H_

@@ -1,0 +1,57 @@
+#include "server/loopback.h"
+
+#include <utility>
+
+namespace livegraph {
+
+namespace {
+
+// Owns the whole loopback sandwich. Declaration order is destruction
+// order in reverse: the client disconnects first, then the server stops,
+// then the engine dies.
+class LoopbackStore : public Store {
+ public:
+  LoopbackStore(std::unique_ptr<Store> engine,
+                std::unique_ptr<GraphServer> server,
+                std::unique_ptr<RemoteStore> client)
+      : engine_(std::move(engine)),
+        server_(std::move(server)),
+        client_(std::move(client)) {}
+
+  ~LoopbackStore() override {
+    client_.reset();  // hang up before the server goes away
+    server_->Stop();
+  }
+
+  std::string Name() const override { return client_->Name(); }
+  StoreTraits Traits() const override { return client_->Traits(); }
+  std::unique_ptr<StoreTxn> BeginTxn() override {
+    return client_->BeginTxn();
+  }
+  std::unique_ptr<StoreReadTxn> BeginReadTxn() override {
+    return client_->BeginReadTxn();
+  }
+
+ private:
+  std::unique_ptr<Store> engine_;
+  std::unique_ptr<GraphServer> server_;
+  std::unique_ptr<RemoteStore> client_;
+};
+
+}  // namespace
+
+std::unique_ptr<Store> MakeLoopbackStore(
+    std::unique_ptr<Store> engine, GraphServer::Options server_options) {
+  if (engine == nullptr) return nullptr;
+  auto server = std::make_unique<GraphServer>(*engine, server_options);
+  if (!server->Start()) return nullptr;
+  auto client = RemoteStore::Connect(server_options.host, server->port());
+  if (client == nullptr) {
+    server->Stop();
+    return nullptr;
+  }
+  return std::make_unique<LoopbackStore>(
+      std::move(engine), std::move(server), std::move(client));
+}
+
+}  // namespace livegraph

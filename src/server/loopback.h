@@ -1,0 +1,27 @@
+// Loopback deployment: an engine, a GraphServer bound to an ephemeral
+// localhost port, and a RemoteStore dialed back into it, packaged as one
+// Store. This is how the conformance suite and the server bench exercise
+// the full network stack in-process — every request really crosses the
+// TCP loopback, frames, CRCs and all.
+#ifndef LIVEGRAPH_SERVER_LOOPBACK_H_
+#define LIVEGRAPH_SERVER_LOOPBACK_H_
+
+#include <memory>
+
+#include "api/store.h"
+#include "server/graph_server.h"
+#include "server/remote_store.h"
+
+namespace livegraph {
+
+/// Wraps `engine` behind a loopback GraphServer + RemoteStore. All Store
+/// calls go through the wire. Null if the server cannot bind or the
+/// client cannot connect. `server_options.port` is overridden to 0
+/// (ephemeral) unless explicitly set.
+std::unique_ptr<Store> MakeLoopbackStore(
+    std::unique_ptr<Store> engine,
+    GraphServer::Options server_options = {});
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_SERVER_LOOPBACK_H_

@@ -1,0 +1,143 @@
+// livegraph_server: stand-alone graph server binary (docs/SERVER.md).
+//
+//   livegraph_server [--engine=LiveGraph|BTree|LSMT|LinkedList]
+//                    [--host=127.0.0.1] [--port=9271]
+//                    [--durability=none|wal|wal-fsync] [--wal-path=FILE]
+//                    [--storage-path=FILE] [--max-vertices=N]
+//                    [--scan-batch-edges=N]
+//
+// Serves the chosen engine over the binary wire protocol until SIGINT or
+// SIGTERM. Durability flags apply to the LiveGraph engine only (the
+// baselines are volatile comparators, as in the paper's §7.1 setup).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <string>
+
+#include "baselines/btree_store.h"
+#include "baselines/linked_list_store.h"
+#include "baselines/livegraph_store.h"
+#include "baselines/lsmt_store.h"
+#include "server/graph_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+struct Flags {
+  std::string engine = "LiveGraph";
+  std::string host = "127.0.0.1";
+  uint16_t port = 9271;
+  std::string durability = "none";  // none | wal | wal-fsync
+  std::string wal_path = "/tmp/livegraph_server_wal.log";
+  std::string storage_path;
+  size_t max_vertices = size_t{1} << 24;
+  size_t scan_batch_edges = 512;
+};
+
+bool TakeValue(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--engine=LiveGraph|BTree|LSMT|LinkedList]\n"
+      "          [--host=ADDR] [--port=N]\n"
+      "          [--durability=none|wal|wal-fsync] [--wal-path=FILE]\n"
+      "          [--storage-path=FILE] [--max-vertices=N]\n"
+      "          [--scan-batch-edges=N]\n",
+      argv0);
+  return 2;
+}
+
+std::unique_ptr<livegraph::Store> MakeEngine(const Flags& flags) {
+  using namespace livegraph;
+  if (flags.engine == "LiveGraph") {
+    GraphOptions options;
+    options.max_vertices = flags.max_vertices;
+    options.storage_path = flags.storage_path;
+    if (flags.durability != "none") {
+      options.wal_path = flags.wal_path;
+      options.fsync_wal = flags.durability == "wal-fsync";
+    }
+    return std::make_unique<LiveGraphStore>(options);
+  }
+  if (flags.engine == "BTree") return std::make_unique<BTreeStore>();
+  if (flags.engine == "LSMT") return std::make_unique<LsmtStore>();
+  if (flags.engine == "LinkedList") {
+    return std::make_unique<LinkedListStore>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (TakeValue(argv[i], "--engine", &flags.engine) ||
+        TakeValue(argv[i], "--host", &flags.host) ||
+        TakeValue(argv[i], "--durability", &flags.durability) ||
+        TakeValue(argv[i], "--wal-path", &flags.wal_path) ||
+        TakeValue(argv[i], "--storage-path", &flags.storage_path)) {
+      continue;
+    }
+    if (TakeValue(argv[i], "--port", &value)) {
+      flags.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (TakeValue(argv[i], "--max-vertices", &value)) {
+      flags.max_vertices = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (TakeValue(argv[i], "--scan-batch-edges", &value)) {
+      flags.scan_batch_edges =
+          static_cast<size_t>(std::atoll(value.c_str()));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (flags.durability != "none" && flags.durability != "wal" &&
+      flags.durability != "wal-fsync") {
+    return Usage(argv[0]);
+  }
+
+  std::unique_ptr<livegraph::Store> engine = MakeEngine(flags);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "unknown engine '%s'\n", flags.engine.c_str());
+    return Usage(argv[0]);
+  }
+
+  livegraph::GraphServer::Options options;
+  options.host = flags.host;
+  options.port = flags.port;
+  options.scan_batch_edges = flags.scan_batch_edges;
+  livegraph::GraphServer server(*engine, options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "failed to bind %s:%u\n", flags.host.c_str(),
+                 unsigned{flags.port});
+    return 1;
+  }
+  std::printf("livegraph_server: engine=%s durability=%s listening on %s:%u\n",
+              engine->Name().c_str(), flags.durability.c_str(),
+              flags.host.c_str(), unsigned{server.port()});
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    // sleep in 200 ms ticks; signals interrupt promptly enough for a CLI
+    struct timespec tick = {0, 200'000'000};
+    nanosleep(&tick, nullptr);
+  }
+  std::printf("livegraph_server: shutting down (%zu connections)\n",
+              server.active_connections());
+  server.Stop();
+  return 0;
+}

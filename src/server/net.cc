@@ -1,0 +1,167 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+namespace livegraph {
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::ReadFull(void* data, size_t size) {
+  char* at = static_cast<char*>(data);
+  while (size > 0) {
+    ssize_t n = ::recv(fd_, at, size, 0);
+    if (n == 0) return false;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    at += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::WriteFull(const void* data, size_t size) {
+  const char* at = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = ::send(fd_, at, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    at += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool Socket::WriteFrame(MsgType type, uint8_t flags, std::string_view body,
+                        std::string* scratch) {
+  // A body over the protocol cap would be rejected by the receiver's
+  // header check anyway (and one over 4 GiB would truncate the u32 length
+  // and desync framing); refuse locally so the failure is immediate and
+  // the bytes never hit the wire.
+  if (body.size() > kMaxFrameBody) return false;
+  scratch->clear();
+  EncodeFrame(type, flags, body, scratch);
+  return WriteFull(scratch->data(), scratch->size());
+}
+
+bool Socket::ReadFrame(Frame* frame) {
+  char header[kFrameHeaderSize];
+  if (!ReadFull(header, sizeof(header))) return false;
+  uint32_t body_size;
+  if (!DecodeFrameHeader(header, &frame->type, &frame->flags, &body_size)) {
+    return false;
+  }
+  frame->body.resize(body_size);
+  if (body_size > 0 && !ReadFull(frame->body.data(), body_size)) {
+    return false;
+  }
+  return ValidateFrame(header, frame->body);
+}
+
+namespace {
+
+bool FillAddress(const std::string& host, uint16_t port,
+                 sockaddr_in* address) {
+  std::memset(address, 0, sizeof(*address));
+  address->sin_family = AF_INET;
+  address->sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &address->sin_addr) == 1;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket ListenTcp(const std::string& host, uint16_t port,
+                 uint16_t* bound_port) {
+  sockaddr_in address;
+  if (!FillAddress(host, port, &address)) return Socket();
+  Socket listener(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!listener.valid()) return Socket();
+  int one = 1;
+  ::setsockopt(listener.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listener.fd(), reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listener.fd(), SOMAXCONN) != 0) {
+    return Socket();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t bound_size = sizeof(bound);
+    if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&bound),
+                      &bound_size) != 0) {
+      return Socket();
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return listener;
+}
+
+Socket AcceptTcp(const Socket& listener) {
+  while (true) {
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return Socket(fd);
+    }
+    // Transient failures must not kill the accept loop: a queued client
+    // resetting before accept() returns (ECONNABORTED) or momentary
+    // fd/buffer exhaustion is recoverable. Only genuine listener
+    // teardown (EBADF/EINVAL after shutdown) ends the loop.
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      timespec backoff = {0, 10'000'000};  // 10 ms for fds to free up
+      ::nanosleep(&backoff, nullptr);
+      continue;
+    }
+    return Socket();
+  }
+}
+
+Socket ConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in address;
+  if (!FillAddress(host, port, &address)) return Socket();
+  Socket conn(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!conn.valid()) return Socket();
+  if (::connect(conn.fd(), reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    return Socket();
+  }
+  SetNoDelay(conn.fd());
+  return conn;
+}
+
+}  // namespace livegraph

@@ -1,0 +1,69 @@
+// Thin POSIX TCP helpers shared by GraphServer and RemoteStore: RAII fds,
+// full-buffer read/write loops, and frame-granularity send/receive built
+// on the protocol framing (server/protocol.h). No event loop — both sides
+// use blocking sockets with one thread per connection, which keeps the
+// scan-streaming path a straight write() loop.
+#ifndef LIVEGRAPH_SERVER_NET_H_
+#define LIVEGRAPH_SERVER_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "server/protocol.h"
+
+namespace livegraph {
+
+/// Owning socket fd. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// shutdown(SHUT_RDWR): unblocks any thread sitting in recv/send on this
+  /// socket without racing the fd's lifetime (close alone would not).
+  void Shutdown();
+  void Close();
+
+  /// Reads exactly `size` bytes. False on EOF, error, or shutdown.
+  bool ReadFull(void* data, size_t size);
+  /// Writes exactly `size` bytes (MSG_NOSIGNAL: a dead peer surfaces as an
+  /// error return, not SIGPIPE).
+  bool WriteFull(const void* data, size_t size);
+
+  /// Frames `body` and writes it in one buffer. `scratch` is caller-owned
+  /// so steady-state sends reuse its capacity.
+  bool WriteFrame(MsgType type, uint8_t flags, std::string_view body,
+                  std::string* scratch);
+  /// Reads one frame, validating header structure and CRC. False means the
+  /// stream is unusable (EOF, I/O error, corrupt frame) — the caller must
+  /// close.
+  bool ReadFrame(Frame* frame);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (port 0 = ephemeral). On success fills
+/// `bound_port` with the actual port. Invalid socket on failure.
+Socket ListenTcp(const std::string& host, uint16_t port,
+                 uint16_t* bound_port);
+
+/// Accepts one connection (blocking); invalid socket once the listener is
+/// shut down.
+Socket AcceptTcp(const Socket& listener);
+
+/// Connects to host:port with TCP_NODELAY. Invalid socket on failure.
+Socket ConnectTcp(const std::string& host, uint16_t port);
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_SERVER_NET_H_

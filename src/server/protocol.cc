@@ -1,0 +1,95 @@
+#include "server/protocol.h"
+
+#include "server/wire.h"
+#include "util/crc32.h"
+
+namespace livegraph {
+
+namespace {
+
+/// CRC over the first 12 header bytes, extended over the body — one value
+/// guards both, and the header can still be validated (provisionally)
+/// before the body arrives because its own bytes are covered.
+uint32_t FrameCrc(const char* header12, std::string_view body) {
+  uint32_t crc = Crc32c(header12, 12);
+  return Crc32c(body.data(), body.size(), crc);
+}
+
+bool KnownMsgType(uint8_t type) {
+  return (type >= static_cast<uint8_t>(MsgType::kHello) &&
+          type <= static_cast<uint8_t>(MsgType::kDeleteLink)) ||
+         type == static_cast<uint8_t>(MsgType::kReply) ||
+         type == static_cast<uint8_t>(MsgType::kScanBatch);
+}
+
+}  // namespace
+
+void EncodeFrame(MsgType type, uint8_t flags, std::string_view body,
+                 std::string* out) {
+  size_t header_at = out->size();
+  WireWriter writer(out);
+  writer.PutU32(kFrameMagic);
+  writer.PutU8(static_cast<uint8_t>(type));
+  writer.PutU8(flags);
+  writer.PutU16(0);  // reserved
+  writer.PutU32(static_cast<uint32_t>(body.size()));
+  writer.PutU32(FrameCrc(out->data() + header_at, body));
+  out->append(body.data(), body.size());
+}
+
+bool DecodeFrameHeader(const char (&header)[kFrameHeaderSize],
+                       MsgType* type, uint8_t* flags, uint32_t* body_size) {
+  WireReader reader(std::string_view(header, kFrameHeaderSize));
+  uint32_t magic, crc;
+  uint8_t raw_type;
+  uint16_t reserved;
+  if (!reader.GetU32(&magic) || !reader.GetU8(&raw_type) ||
+      !reader.GetU8(flags) || !reader.GetU16(&reserved) ||
+      !reader.GetU32(body_size) || !reader.GetU32(&crc)) {
+    return false;
+  }
+  if (magic != kFrameMagic || reserved != 0 || !KnownMsgType(raw_type) ||
+      *body_size > kMaxFrameBody) {
+    return false;
+  }
+  *type = static_cast<MsgType>(raw_type);
+  return true;
+}
+
+bool ValidateFrame(const char (&header)[kFrameHeaderSize],
+                   std::string_view body) {
+  WireReader reader(std::string_view(header + 12, 4));
+  uint32_t stored_crc;
+  if (!reader.GetU32(&stored_crc)) return false;
+  return FrameCrc(header, body) == stored_crc;
+}
+
+// Fixed wire constants, deliberately NOT the enum ordinals: reordering or
+// inserting a Status value in util/types.h must not silently change what
+// old peers decode. Both directions are explicit switches over the same
+// constants.
+uint8_t StatusToWire(Status status) {
+  switch (status) {
+    case Status::kOk: return 0;
+    case Status::kConflict: return 1;
+    case Status::kTimeout: return 2;
+    case Status::kNotFound: return 3;
+    case Status::kNotActive: return 4;
+    case Status::kUnavailable: return 5;
+  }
+  return 5;  // unknown statuses degrade to kUnavailable
+}
+
+Status StatusFromWire(uint8_t wire) {
+  switch (wire) {
+    case 0: return Status::kOk;
+    case 1: return Status::kConflict;
+    case 2: return Status::kTimeout;
+    case 3: return Status::kNotFound;
+    case 4: return Status::kNotActive;
+    case 5: return Status::kUnavailable;
+    default: return Status::kUnavailable;
+  }
+}
+
+}  // namespace livegraph

@@ -1,0 +1,582 @@
+#include "server/remote_store.h"
+
+#include <deque>
+#include <utility>
+
+#include "server/net.h"
+#include "server/wire.h"
+
+namespace livegraph {
+
+// One client connection. All methods serialize on mu_: a connection is
+// normally owned by one session at a time, but a chunked scan cursor can
+// outlive its scan (early exit) or even its session, and must observe a
+// consistent answer rather than racing the next owner's frames.
+//
+// Interleaving rule: the socket carries at most one live scan stream. When
+// a new request (including a nested scan — SNB traversals open cursors
+// inside cursor loops) arrives while a stream is live, the stream's
+// remaining frames are PARKED: read off the socket into the stream's own
+// buffer, where its cursor keeps consuming them. Pure sequential scans —
+// the hot path — never park and hold one batch at a time; only genuinely
+// interleaved access pays memory proportional to what it left unconsumed,
+// which is exactly what an embedded materialized cursor would have paid up
+// front.
+class RemoteStore::Connection {
+ public:
+  static std::shared_ptr<Connection> Dial(const Options& options,
+                                          std::string* name,
+                                          StoreTraits* traits) {
+    Socket socket = ConnectTcp(options.host, options.port);
+    if (!socket.valid()) return nullptr;
+    auto connection = std::make_shared<Connection>(std::move(socket));
+    std::string body;
+    WireWriter writer(&body);
+    writer.PutU32(kProtocolVersion);
+    Frame reply;
+    if (!connection->Call(MsgType::kHello, body, &reply)) return nullptr;
+    WireReader reader(reply.body);
+    uint8_t status;
+    uint32_t version;
+    std::string_view remote_name;
+    uint8_t time_ordered, snapshot, transactional;
+    if (!reader.GetU8(&status) ||
+        StatusFromWire(status) != Status::kOk ||
+        !reader.GetU32(&version) || !reader.GetBytes(&remote_name) ||
+        !reader.GetU8(&time_ordered) || !reader.GetU8(&snapshot) ||
+        !reader.GetU8(&transactional) || !reader.Exhausted()) {
+      return nullptr;
+    }
+    if (name != nullptr) *name = std::string(remote_name);
+    if (traits != nullptr) {
+      *traits = StoreTraits{time_ordered != 0, snapshot != 0,
+                            transactional != 0};
+    }
+    return connection;
+  }
+
+  explicit Connection(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Per-stream state, shared between the connection (which appends parked
+  /// frames) and the cursor's batch source (which consumes). `live` means
+  /// the server still owes this stream frames on the socket; once false,
+  /// everything the stream will ever yield sits in `parked`.
+  struct StreamState {
+    std::deque<std::string> parked;  // unconsumed batch bodies
+    bool live = false;
+  };
+
+  bool healthy() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !broken_;
+  }
+
+  /// One request/reply exchange. Parks any live scan stream first so the
+  /// reply read below cannot swallow its batch frames.
+  bool Call(MsgType type, std::string_view body, Frame* reply) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_) return false;
+    ParkActiveStreamLocked();
+    if (broken_) return false;
+    if (!socket_.WriteFrame(type, kFlagNone, body, &send_scratch_) ||
+        !socket_.ReadFrame(reply) || reply->type != MsgType::kReply) {
+      MarkBrokenLocked();
+      return false;
+    }
+    return true;
+  }
+
+  /// Opens a scan stream, parking the previous one if still live. Null on
+  /// I/O failure.
+  std::shared_ptr<StreamState> StartScan(std::string_view body) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_) return nullptr;
+    ParkActiveStreamLocked();
+    if (broken_) return nullptr;
+    if (!socket_.WriteFrame(MsgType::kScanLinks, kFlagNone, body,
+                            &send_scratch_)) {
+      MarkBrokenLocked();
+      return nullptr;
+    }
+    active_ = std::make_shared<StreamState>();
+    active_->live = true;
+    return active_;
+  }
+
+  /// Pulls the next batch of `stream` into edges/arena (replacing their
+  /// contents): from its parked buffer if interleaving already moved the
+  /// frames there, else straight off the socket. Returns false when the
+  /// stream is exhausted (end marker, error reply, or dead connection).
+  bool ReadScanBatch(StreamState& stream,
+                     std::vector<EdgeCursor::Edge>* edges,
+                     std::string* arena) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (true) {
+      if (!stream.parked.empty()) {
+        std::string body = std::move(stream.parked.front());
+        stream.parked.pop_front();
+        if (!ParseBatch(body, edges, arena)) {
+          MarkBrokenLocked();
+          return false;
+        }
+        if (!edges->empty()) return true;
+        continue;  // empty filler/final frame
+      }
+      if (!stream.live || broken_) return false;
+      Frame frame;
+      if (!socket_.ReadFrame(&frame)) {
+        MarkBrokenLocked();
+        return false;
+      }
+      bool end = (frame.flags & kFlagEndOfStream) != 0;
+      if (end) {
+        stream.live = false;
+        active_.reset();
+      }
+      if (frame.type != MsgType::kScanBatch) {
+        // Error reply aborting the scan (it carries kFlagEndOfStream).
+        if (!end) MarkBrokenLocked();  // protocol violation
+        return false;
+      }
+      if (!ParseBatch(frame.body, edges, arena)) {
+        MarkBrokenLocked();
+        return false;
+      }
+      if (!edges->empty()) return true;
+      if (!stream.live) return false;  // empty final frame
+    }
+  }
+
+ private:
+  void MarkBrokenLocked() {
+    broken_ = true;
+    if (active_ != nullptr) {
+      active_->live = false;
+      active_.reset();
+    }
+    socket_.Shutdown();
+  }
+
+  /// Moves the live stream's remaining frames off the socket into its
+  /// parked buffer, freeing the socket for the next request while the
+  /// stream's cursor keeps its position and data.
+  void ParkActiveStreamLocked() {
+    // If no cursor holds the stream anymore (early-exit scan whose cursor
+    // is gone), the frames can be discarded instead of buffered.
+    bool abandoned = active_ != nullptr && active_.use_count() == 1;
+    while (active_ != nullptr && active_->live) {
+      Frame frame;
+      if (!socket_.ReadFrame(&frame)) {
+        MarkBrokenLocked();
+        return;
+      }
+      bool end = (frame.flags & kFlagEndOfStream) != 0;
+      if (frame.type == MsgType::kScanBatch) {
+        if (!abandoned) active_->parked.push_back(std::move(frame.body));
+      } else if (!end) {
+        MarkBrokenLocked();  // protocol violation
+        return;
+      }
+      if (end) {
+        active_->live = false;
+        active_.reset();
+      }
+    }
+  }
+
+  static bool ParseBatch(std::string_view body,
+                         std::vector<EdgeCursor::Edge>* edges,
+                         std::string* arena) {
+    edges->clear();
+    arena->clear();
+    WireReader reader(body);
+    uint32_t count;
+    if (!reader.GetU32(&count)) return false;
+    edges->reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      int64_t dst, created;
+      std::string_view props;
+      if (!reader.GetI64(&dst) || !reader.GetI64(&created) ||
+          !reader.GetBytes(&props)) {
+        return false;
+      }
+      edges->push_back(EdgeCursor::Edge{
+          dst, static_cast<uint32_t>(arena->size()),
+          static_cast<uint32_t>(props.size()), created});
+      arena->append(props.data(), props.size());
+    }
+    return reader.Exhausted();
+  }
+
+  mutable std::mutex mu_;
+  Socket socket_;
+  bool broken_ = false;
+  std::shared_ptr<StreamState> active_;  // stream with frames on the socket
+  std::string send_scratch_;
+};
+
+namespace {
+
+/// Chunked-cursor source over a scan stream. Holds both the connection
+/// and its stream state alive; whether the remaining batches arrive
+/// straight off the socket or out of the parked buffer (after an
+/// interleaved request) is invisible here.
+class RemoteBatchSource : public EdgeCursor::BatchSource {
+ public:
+  RemoteBatchSource(
+      std::shared_ptr<RemoteStore::Connection> connection,
+      std::shared_ptr<RemoteStore::Connection::StreamState> stream)
+      : connection_(std::move(connection)), stream_(std::move(stream)) {}
+
+  bool Fill(std::vector<EdgeCursor::Edge>* edges,
+            std::string* arena) override {
+    return connection_->ReadScanBatch(*stream_, edges, arena);
+  }
+
+ private:
+  std::shared_ptr<RemoteStore::Connection> connection_;
+  std::shared_ptr<RemoteStore::Connection::StreamState> stream_;
+};
+
+}  // namespace
+
+// A remote session: one checked-out connection plus the server-side txn
+// id. Serves as both StoreTxn and StoreReadTxn; mutations on a read-only
+// session fail client-side with kNotActive (matching what the server
+// would answer).
+class RemoteTxn : public StoreTxn {
+ public:
+  RemoteTxn(RemoteStore* store,
+            std::shared_ptr<RemoteStore::Connection> connection,
+            uint64_t txn_id, bool writable)
+      : store_(store),
+        connection_(std::move(connection)),
+        txn_id_(txn_id),
+        writable_(writable),
+        dead_(connection_ == nullptr),
+        open_(connection_ != nullptr) {}
+
+  ~RemoteTxn() override {
+    // Destroying an open session aborts it (write) or releases it (read)
+    // — synchronously, so engine latches are free once the destructor
+    // returns. Release() is a no-op if Abort already returned the
+    // connection.
+    Abort();
+    Release();
+  }
+
+  // --- Reads ---
+
+  StatusOr<std::string> GetNode(vertex_t id) override {
+    std::string body = BodyI64(id);
+    Frame reply;
+    Status status = RoundTrip(MsgType::kGetNode, body, &reply);
+    if (status != Status::kOk) return status;
+    return TakeBytesPayload(reply);
+  }
+
+  StatusOr<std::string> GetLink(vertex_t src, label_t label,
+                                vertex_t dst) override {
+    std::string body = BodyLink(src, label, dst);
+    Frame reply;
+    Status status = RoundTrip(MsgType::kGetLink, body, &reply);
+    if (status != Status::kOk) return status;
+    return TakeBytesPayload(reply);
+  }
+
+  EdgeCursor ScanLinks(vertex_t src, label_t label, size_t limit) override {
+    if (!open_) return EdgeCursor();
+    std::string body;
+    WireWriter writer(&body);
+    writer.PutU64(txn_id_);
+    writer.PutI64(src);
+    writer.PutU16(label);
+    writer.PutU64(limit);
+    auto stream = connection_->StartScan(body);
+    if (stream == nullptr) return EdgeCursor();
+    return EdgeCursor(std::make_unique<RemoteBatchSource>(
+        connection_, std::move(stream)));
+  }
+
+  size_t CountLinks(vertex_t src, label_t label) override {
+    std::string body;
+    WireWriter writer(&body);
+    writer.PutU64(txn_id_);
+    writer.PutI64(src);
+    writer.PutU16(label);
+    Frame reply;
+    if (RoundTrip(MsgType::kCountLinks, body, &reply) != Status::kOk) {
+      return 0;
+    }
+    WireReader reader(PayloadAfterStatus(reply));
+    uint64_t count = 0;
+    reader.GetU64(&count);
+    return count;
+  }
+
+  vertex_t VertexCount() override {
+    Frame reply;
+    if (RoundTrip(MsgType::kVertexCount, {}, &reply) != Status::kOk) {
+      return 0;
+    }
+    WireReader reader(PayloadAfterStatus(reply));
+    int64_t count = 0;
+    reader.GetI64(&count);
+    return count;
+  }
+
+  Status SessionStatus() const override {
+    Status guard = Guard();
+    if (guard != Status::kOk) return guard;
+    return connection_->healthy() ? Status::kOk : Status::kUnavailable;
+  }
+
+  // --- Writes ---
+
+  StatusOr<vertex_t> AddNode(std::string_view data) override {
+    if (!writable_) return Status::kNotActive;
+    std::string body;
+    WireWriter writer(&body);
+    writer.PutU64(txn_id_);
+    writer.PutBytes(data);
+    Frame reply;
+    Status status = RoundTrip(MsgType::kAddNode, body, &reply);
+    if (status != Status::kOk) return status;
+    WireReader reader(PayloadAfterStatus(reply));
+    int64_t id;
+    if (!reader.GetI64(&id)) return Status::kUnavailable;
+    return id;
+  }
+
+  Status UpdateNode(vertex_t id, std::string_view data) override {
+    if (!writable_) return Status::kNotActive;
+    std::string body;
+    WireWriter writer(&body);
+    writer.PutU64(txn_id_);
+    writer.PutI64(id);
+    writer.PutBytes(data);
+    Frame reply;
+    return RoundTrip(MsgType::kUpdateNode, body, &reply);
+  }
+
+  Status DeleteNode(vertex_t id) override {
+    if (!writable_) return Status::kNotActive;
+    std::string body = BodyI64(id);
+    Frame reply;
+    return RoundTrip(MsgType::kDeleteNode, body, &reply);
+  }
+
+  StatusOr<bool> AddLink(vertex_t src, label_t label, vertex_t dst,
+                         std::string_view data) override {
+    if (!writable_) return Status::kNotActive;
+    std::string body = BodyLink(src, label, dst, data);
+    Frame reply;
+    Status status = RoundTrip(MsgType::kAddLink, body, &reply);
+    if (status != Status::kOk) return status;
+    WireReader reader(PayloadAfterStatus(reply));
+    uint8_t inserted;
+    if (!reader.GetU8(&inserted)) return Status::kUnavailable;
+    return inserted != 0;
+  }
+
+  Status UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                    std::string_view data) override {
+    if (!writable_) return Status::kNotActive;
+    std::string body = BodyLink(src, label, dst, data);
+    Frame reply;
+    return RoundTrip(MsgType::kUpdateLink, body, &reply);
+  }
+
+  Status DeleteLink(vertex_t src, label_t label, vertex_t dst) override {
+    if (!writable_) return Status::kNotActive;
+    std::string body = BodyLink(src, label, dst);
+    Frame reply;
+    return RoundTrip(MsgType::kDeleteLink, body, &reply);
+  }
+
+  // --- Lifecycle ---
+
+  StatusOr<timestamp_t> Commit() override {
+    if (!writable_) return Status::kNotActive;
+    Status guard = Guard();
+    if (guard != Status::kOk) return guard;
+    Frame reply;
+    Status status = CallWithTxn(MsgType::kCommit, {}, &reply);
+    open_ = false;
+    Release();
+    if (status != Status::kOk) return status;
+    WireReader reader(PayloadAfterStatus(reply));
+    int64_t epoch;
+    if (!reader.GetI64(&epoch)) return Status::kUnavailable;
+    return epoch;
+  }
+
+  void Abort() override {
+    if (!open_) return;
+    Frame reply;
+    CallWithTxn(writable_ ? MsgType::kAbort : MsgType::kEndRead, {}, &reply);
+    open_ = false;
+    Release();
+  }
+
+ private:
+  /// txn-id-prefixed request with status-checked reply. Payload-free
+  /// `extra` for lifecycle messages; reads/writes build their own bodies.
+  Status CallWithTxn(MsgType type, std::string_view extra, Frame* reply) {
+    if (connection_ == nullptr) return Status::kUnavailable;
+    std::string body;
+    WireWriter writer(&body);
+    writer.PutU64(txn_id_);
+    body.append(extra.data(), extra.size());
+    if (!connection_->Call(type, body, reply)) return Status::kUnavailable;
+    WireReader reader(reply->body);
+    uint8_t status;
+    if (!reader.GetU8(&status)) return Status::kUnavailable;
+    return StatusFromWire(status);
+  }
+
+  /// Distinguishes "the network is gone" (kUnavailable) from "this session
+  /// already ended" (kNotActive, matching embedded engines).
+  Status Guard() const {
+    if (dead_) return Status::kUnavailable;
+    if (!open_ || connection_ == nullptr) return Status::kNotActive;
+    return Status::kOk;
+  }
+
+  /// Sends a fully built body (already txn-id-prefixed).
+  Status RoundTrip(MsgType type, std::string_view body, Frame* reply) {
+    Status guard = Guard();
+    if (guard != Status::kOk) return guard;
+    if (body.empty()) return CallWithTxn(type, {}, reply);
+    if (!connection_->Call(type, body, reply)) return Status::kUnavailable;
+    WireReader reader(reply->body);
+    uint8_t status;
+    if (!reader.GetU8(&status)) return Status::kUnavailable;
+    return StatusFromWire(status);
+  }
+
+  std::string BodyI64(int64_t value) const {
+    std::string body;
+    WireWriter writer(&body);
+    writer.PutU64(txn_id_);
+    writer.PutI64(value);
+    return body;
+  }
+
+  std::string BodyLink(vertex_t src, label_t label, vertex_t dst) const {
+    std::string body;
+    WireWriter writer(&body);
+    writer.PutU64(txn_id_);
+    writer.PutI64(src);
+    writer.PutU16(label);
+    writer.PutI64(dst);
+    return body;
+  }
+
+  std::string BodyLink(vertex_t src, label_t label, vertex_t dst,
+                       std::string_view data) const {
+    std::string body = BodyLink(src, label, dst);
+    WireWriter writer(&body);
+    writer.PutBytes(data);
+    return body;
+  }
+
+  static std::string_view PayloadAfterStatus(const Frame& reply) {
+    return std::string_view(reply.body).substr(1);
+  }
+
+  static StatusOr<std::string> TakeBytesPayload(const Frame& reply) {
+    WireReader reader(PayloadAfterStatus(reply));
+    std::string_view bytes;
+    if (!reader.GetBytes(&bytes)) return Status::kUnavailable;
+    return std::string(bytes);
+  }
+
+  void Release() {
+    if (connection_ != nullptr) {
+      store_->ReleaseConnection(std::move(connection_));
+      connection_ = nullptr;
+    }
+  }
+
+  RemoteStore* store_;
+  std::shared_ptr<RemoteStore::Connection> connection_;
+  uint64_t txn_id_;
+  bool writable_;
+  bool dead_;  // never had a connection: kUnavailable, not kNotActive
+  bool open_;
+};
+
+std::unique_ptr<RemoteStore> RemoteStore::Connect(const Options& options) {
+  std::string name;
+  StoreTraits traits;
+  auto connection = Connection::Dial(options, &name, &traits);
+  if (connection == nullptr) return nullptr;
+  std::unique_ptr<RemoteStore> store(new RemoteStore(options));
+  store->remote_name_ = std::move(name);
+  store->traits_ = traits;
+  store->pool_.push_back(std::move(connection));
+  return store;
+}
+
+RemoteStore::~RemoteStore() = default;
+
+std::shared_ptr<RemoteStore::Connection> RemoteStore::AcquireConnection() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    while (!pool_.empty()) {
+      std::shared_ptr<Connection> connection = std::move(pool_.back());
+      pool_.pop_back();
+      if (connection->healthy()) return connection;
+    }
+  }
+  return Connection::Dial(options_, nullptr, nullptr);
+}
+
+void RemoteStore::ReleaseConnection(
+    std::shared_ptr<Connection> connection) {
+  if (connection == nullptr || !connection->healthy()) return;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_.push_back(std::move(connection));
+}
+
+size_t RemoteStore::idle_connections() const {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return pool_.size();
+}
+
+std::unique_ptr<StoreTxn> RemoteStore::BeginSession(bool writable) {
+  std::shared_ptr<Connection> connection = AcquireConnection();
+  uint64_t txn_id = 0;
+  if (connection != nullptr) {
+    Frame reply;
+    std::string empty;
+    if (connection->Call(
+            writable ? MsgType::kBeginTxn : MsgType::kBeginReadTxn, empty,
+            &reply)) {
+      WireReader reader(reply.body);
+      uint8_t status;
+      if (!reader.GetU8(&status) ||
+          StatusFromWire(status) != Status::kOk ||
+          !reader.GetU64(&txn_id)) {
+        connection = nullptr;
+      }
+    } else {
+      connection = nullptr;
+    }
+  }
+  // A null connection yields a dead session: every operation reports
+  // kUnavailable, which RunWrite surfaces without retrying.
+  return std::make_unique<RemoteTxn>(this, std::move(connection), txn_id,
+                                     writable);
+}
+
+std::unique_ptr<StoreTxn> RemoteStore::BeginTxn() {
+  return BeginSession(/*writable=*/true);
+}
+
+std::unique_ptr<StoreReadTxn> RemoteStore::BeginReadTxn() {
+  return BeginSession(/*writable=*/false);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,90 @@
+// RemoteStore: the client side of the graph-server protocol, implementing
+// the same Store/StoreTxn/StoreReadTxn surface as the embedded engines —
+// so every driver, bench, example, and the conformance suite runs
+// unmodified against a LiveGraph across the network (docs/SERVER.md).
+//
+// Model: a RemoteStore owns a pool of TCP connections. Each session
+// (BeginTxn / BeginReadTxn) checks a connection out of the pool for its
+// lifetime — requests within a session are strictly ordered, which is what
+// gives remote sessions the same semantics as local ones — and returns it
+// on Commit/Abort/EndRead. Scans arrive as the server's pipelined batch
+// stream; the cursor handed to the caller is EdgeCursor in chunked mode,
+// pulling one batch at a time, so neither side ever materializes a long
+// adjacency list. Interleaved access — a nested scan or point read issued
+// while a cursor is mid-stream, as SNB traversals do — parks the live
+// stream's remaining frames into a client-side buffer so the outer cursor
+// keeps its position; an abandoned stream (LIMIT-style early exit, cursor
+// destroyed) is drained and discarded before the connection carries the
+// next request.
+//
+// Failures degrade to Status::kUnavailable: a dead connection fails the
+// session's remaining operations immediately (RunWrite deliberately does
+// not retry kUnavailable) and is dropped from the pool instead of being
+// returned.
+#ifndef LIVEGRAPH_SERVER_REMOTE_STORE_H_
+#define LIVEGRAPH_SERVER_REMOTE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/store.h"
+
+namespace livegraph {
+
+class RemoteStore : public Store {
+ public:
+  /// One pooled protocol connection (defined in remote_store.cc; public
+  /// only so the chunked-cursor batch source can hold one).
+  class Connection;
+
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+  };
+
+  /// Dials the server and performs the version/traits handshake. Null if
+  /// the server is unreachable or speaks an incompatible protocol.
+  static std::unique_ptr<RemoteStore> Connect(const Options& options);
+  static std::unique_ptr<RemoteStore> Connect(const std::string& host,
+                                              uint16_t port) {
+    return Connect(Options{host, port});
+  }
+
+  ~RemoteStore() override;
+
+  /// "remote/" + the server engine's name.
+  std::string Name() const override { return "remote/" + remote_name_; }
+  /// The server engine's traits, learned at handshake: a remote MVCC
+  /// snapshot is still a snapshot, so conformance asserts the same
+  /// strengths over the wire.
+  StoreTraits Traits() const override { return traits_; }
+
+  std::unique_ptr<StoreTxn> BeginTxn() override;
+  std::unique_ptr<StoreReadTxn> BeginReadTxn() override;
+
+  /// Pooled idle connections (observability, tests).
+  size_t idle_connections() const;
+
+ private:
+  friend class RemoteTxn;
+
+  explicit RemoteStore(Options options) : options_(std::move(options)) {}
+
+  std::shared_ptr<Connection> AcquireConnection();
+  void ReleaseConnection(std::shared_ptr<Connection> connection);
+  std::unique_ptr<StoreTxn> BeginSession(bool writable);
+
+  Options options_;
+  std::string remote_name_;
+  StoreTraits traits_;
+
+  mutable std::mutex pool_mu_;
+  std::vector<std::shared_ptr<Connection>> pool_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_SERVER_REMOTE_STORE_H_

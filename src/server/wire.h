@@ -1,0 +1,105 @@
+// Bounds-checked little-endian encode/decode primitives for the wire
+// protocol (docs/SERVER.md). Fixed-width fields only: every message on the
+// graph-server protocol is a flat struct of integers plus length-prefixed
+// byte strings, so a varint layer would buy nothing but branches on the
+// scan-streaming hot path.
+#ifndef LIVEGRAPH_SERVER_WIRE_H_
+#define LIVEGRAPH_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace livegraph {
+
+/// Appends fixed-width little-endian values to a caller-owned buffer. The
+/// buffer is a plain std::string so connections can reuse one allocation
+/// across frames (clear() keeps capacity).
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutLittleEndian(v); }
+  void PutU32(uint32_t v) { PutLittleEndian(v); }
+  void PutU64(uint64_t v) { PutLittleEndian(v); }
+  void PutI64(int64_t v) { PutLittleEndian(static_cast<uint64_t>(v)); }
+
+  /// Length-prefixed byte string (u32 length + raw bytes).
+  void PutBytes(std::string_view bytes) {
+    PutU32(static_cast<uint32_t>(bytes.size()));
+    out_->append(bytes.data(), bytes.size());
+  }
+
+ private:
+  template <typename T>
+  void PutLittleEndian(T v) {
+    char bytes[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<char>(v >> (8 * i));
+    }
+    out_->append(bytes, sizeof(T));
+  }
+
+  std::string* out_;
+};
+
+/// Consumes fixed-width little-endian values from a buffer. Every getter
+/// reports truncation through its return value instead of trapping, so a
+/// corrupt or maliciously short frame is rejected, never read past.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (data_.size() < 1) return false;
+    *v = static_cast<uint8_t>(data_[0]);
+    data_.remove_prefix(1);
+    return true;
+  }
+  bool GetU16(uint16_t* v) { return GetLittleEndian(v); }
+  bool GetU32(uint32_t* v) { return GetLittleEndian(v); }
+  bool GetU64(uint64_t* v) { return GetLittleEndian(v); }
+  bool GetI64(int64_t* v) {
+    uint64_t u;
+    if (!GetLittleEndian(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  /// Length-prefixed byte string; the view aliases the frame buffer.
+  bool GetBytes(std::string_view* bytes) {
+    uint32_t size;
+    if (!GetU32(&size) || data_.size() < size) return false;
+    *bytes = data_.substr(0, size);
+    data_.remove_prefix(size);
+    return true;
+  }
+
+  /// True when the whole body was consumed — trailing garbage means the
+  /// peer speaks a different dialect, and the frame is rejected.
+  bool Exhausted() const { return data_.empty(); }
+  size_t remaining() const { return data_.size(); }
+
+ private:
+  template <typename T>
+  bool GetLittleEndian(T* v) {
+    if (data_.size() < sizeof(T)) return false;
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out = static_cast<T>(out |
+                           (static_cast<T>(static_cast<uint8_t>(data_[i]))
+                            << (8 * i)));
+    }
+    *v = out;
+    data_.remove_prefix(sizeof(T));
+    return true;
+  }
+
+  std::string_view data_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_SERVER_WIRE_H_

@@ -59,6 +59,10 @@ enum class Status {
   kNotFound,
   /// The transaction was already aborted or committed.
   kNotActive,
+  /// The store is unreachable (remote connection refused, reset, or torn
+  /// down mid-operation). Not retryable within the same session: the
+  /// caller must reconnect or fail over before re-running the transaction.
+  kUnavailable,
 };
 
 /// Human-readable status name, for logs and test failure messages.
@@ -69,6 +73,7 @@ inline const char* StatusName(Status s) {
     case Status::kTimeout: return "Timeout";
     case Status::kNotFound: return "NotFound";
     case Status::kNotActive: return "NotActive";
+    case Status::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -10,6 +10,7 @@ DriverResult RunClients(const DriverOptions& options, const ClientOp& op) {
   struct ClientState {
     LatencyHistogram overall;
     std::map<std::string, LatencyHistogram> per_class;
+    uint64_t failures = 0;
   };
   std::vector<ClientState> states(static_cast<size_t>(options.clients));
   std::vector<std::thread> threads;
@@ -19,13 +20,14 @@ DriverResult RunClients(const DriverOptions& options, const ClientOp& op) {
       ClientState& state = states[static_cast<size_t>(c)];
       for (uint64_t i = 0; i < options.ops_per_client; ++i) {
         auto start = std::chrono::steady_clock::now();
-        const char* op_class = op(c, i);
+        OpResult outcome = op(c, i);
         auto end = std::chrono::steady_clock::now();
         auto nanos = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
                 .count());
         state.overall.Record(nanos);
-        state.per_class[op_class].Record(nanos);
+        state.per_class[outcome.op_class].Record(nanos);
+        if (!outcome.ok) state.failures++;
         if (options.think_time_ns > 0) {
           std::this_thread::sleep_for(
               std::chrono::nanoseconds(options.think_time_ns));
@@ -39,14 +41,16 @@ DriverResult RunClients(const DriverOptions& options, const ClientOp& op) {
   DriverResult result;
   result.seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
-  result.operations = static_cast<uint64_t>(options.clients) *
-                      options.ops_per_client;
   for (ClientState& state : states) {
     result.overall.Merge(state.overall);
+    result.failures += state.failures;
     for (auto& [name, histogram] : state.per_class) {
       result.per_class[name].Merge(histogram);
     }
   }
+  result.operations = static_cast<uint64_t>(options.clients) *
+                          options.ops_per_client -
+                      result.failures;
   return result;
 }
 

@@ -17,17 +17,45 @@ namespace livegraph {
 
 struct DriverResult {
   double seconds;
-  uint64_t operations;
+  /// Operations that completed successfully. Only these count toward
+  /// throughput(): a saturated run where half the requests die (conflict
+  /// budgets exhausted, remote store unreachable) must not report the
+  /// failure rate as serving capacity.
+  uint64_t operations = 0;
+  /// Operations whose OpResult reported failure. Their latencies are still
+  /// recorded in the histograms (the client paid them), but they are
+  /// excluded from throughput.
+  uint64_t failures = 0;
   double throughput() const {
     return seconds > 0 ? double(operations) / seconds : 0.0;
+  }
+  double failure_rate() const {
+    uint64_t attempts = operations + failures;
+    return attempts > 0 ? double(failures) / double(attempts) : 0.0;
   }
   LatencyHistogram overall;
   std::map<std::string, LatencyHistogram> per_class;
 };
 
-/// One client's operation: executes op #i and returns its class name for
-/// histogram bucketing.
-using ClientOp = std::function<const char*(int client, uint64_t i)>;
+/// Outcome of one client operation: its class name (histogram bucket) and
+/// whether it succeeded. Implicitly constructible from a bare class name
+/// so read-only ops that cannot fail stay one `return "GET_NODE";`.
+struct OpResult {
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  OpResult(const char* op_class) : op_class(op_class), ok(true) {}
+  OpResult(const char* op_class, bool ok) : op_class(op_class), ok(ok) {}
+
+  const char* op_class;
+  bool ok;
+};
+
+/// Marks an operation failed while keeping its class label.
+inline OpResult FailedOp(const char* op_class) {
+  return OpResult(op_class, false);
+}
+
+/// One client's operation: executes op #i and reports its outcome.
+using ClientOp = std::function<OpResult(int client, uint64_t i)>;
 
 struct DriverOptions {
   int clients = 8;

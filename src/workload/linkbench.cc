@@ -136,7 +136,7 @@ DriverResult RunLinkBench(Store* store, const LinkBenchConfig& config,
   driver.ops_per_client = config.ops_per_client;
   driver.think_time_ns = config.think_time_ns;
 
-  auto client_op = [&, store](int client, uint64_t /*op_index*/) -> const char* {
+  auto client_op = [&, store](int client, uint64_t /*op_index*/) -> OpResult {
     thread_local Xorshift rng(config.seed * 7919 +
                               static_cast<uint64_t>(client) + 1);
     double r = rng.NextDouble();
@@ -145,55 +145,63 @@ DriverResult RunLinkBench(Store* store, const LinkBenchConfig& config,
       op_index++;
     }
     auto op = static_cast<LinkBenchOp>(op_index);
+    const char* name = LinkBenchOpName(op);
+    // kNotFound is a logical outcome on zipf-sampled ids (updating a
+    // deleted node, reading a missing link); everything else non-OK —
+    // exhausted conflict retries, lock timeouts, an unreachable remote
+    // store — is a failed request and must not count as served load.
+    auto outcome = [name](Status st) {
+      return OpResult(name, st == Status::kOk || st == Status::kNotFound);
+    };
     vertex_t id1 = static_cast<vertex_t>(zipf.Sample(rng));
     vertex_t id2 = static_cast<vertex_t>(zipf.Sample(rng));
     switch (op) {
       case LinkBenchOp::kAddNode: {
         vertex_t v = kNullVertex;
-        RunWrite(*store, [&](StoreTxn& txn) -> Status {
+        Status st = RunWrite(*store, [&](StoreTxn& txn) -> Status {
           StatusOr<vertex_t> added = txn.AddNode(payload);
           if (!added.ok()) return added.status();
           v = *added;
           return Status::kOk;
         });
+        if (st != Status::kOk) return FailedOp(name);
         vertex_t expected = max_vertex.load(std::memory_order_relaxed);
         while (v >= expected && !max_vertex.compare_exchange_weak(
                                     expected, v + 1,
                                     std::memory_order_relaxed)) {
         }
-        break;
+        return name;
       }
       case LinkBenchOp::kUpdateNode:
-        RunWrite(*store,
-                 [&](StoreTxn& txn) { return txn.UpdateNode(id1, payload); });
-        break;
+        return outcome(RunWrite(
+            *store, [&](StoreTxn& txn) { return txn.UpdateNode(id1, payload); }));
       case LinkBenchOp::kDeleteNode:
-        RunWrite(*store, [&](StoreTxn& txn) { return txn.DeleteNode(id1); });
-        break;
+        return outcome(RunWrite(
+            *store, [&](StoreTxn& txn) { return txn.DeleteNode(id1); }));
       case LinkBenchOp::kGetNode:
-        store->BeginReadTxn()->GetNode(id1);
-        break;
+        return outcome(store->BeginReadTxn()->GetNode(id1).status());
       case LinkBenchOp::kAddLink:
-        RunWrite(*store, [&](StoreTxn& txn) {
+        return outcome(RunWrite(*store, [&](StoreTxn& txn) {
           return txn.AddLink(id1, kLinkType, id2, payload).status();
-        });
-        break;
+        }));
       case LinkBenchOp::kDeleteLink:
-        RunWrite(*store, [&](StoreTxn& txn) {
+        return outcome(RunWrite(*store, [&](StoreTxn& txn) {
           return txn.DeleteLink(id1, kLinkType, id2);
-        });
-        break;
+        }));
       case LinkBenchOp::kUpdateLink:
-        RunWrite(*store, [&](StoreTxn& txn) {  // upsert
+        return outcome(RunWrite(*store, [&](StoreTxn& txn) {  // upsert
           return txn.AddLink(id1, kLinkType, id2, payload).status();
-        });
-        break;
-      case LinkBenchOp::kCountLink:
-        store->BeginReadTxn()->CountLinks(id1, kLinkType);
-        break;
+        }));
+      case LinkBenchOp::kCountLink: {
+        // CountLinks has no status channel; the session's health says
+        // whether the count was real or a dead connection's zero.
+        auto read = store->BeginReadTxn();
+        read->CountLinks(id1, kLinkType);
+        return outcome(read->SessionStatus());
+      }
       case LinkBenchOp::kMultigetLink:
-        store->BeginReadTxn()->GetLink(id1, kLinkType, id2);
-        break;
+        return outcome(
+            store->BeginReadTxn()->GetLink(id1, kLinkType, id2).status());
       case LinkBenchOp::kGetLinkList:
       default: {
         // GET_LINKS_LIST: bounded newest-first range scan. Passing the
@@ -206,10 +214,9 @@ DriverResult RunLinkBench(Store* store, const LinkBenchConfig& config,
              cursor.Valid() && remaining > 0; cursor.Next()) {
           --remaining;
         }
-        break;
+        return outcome(read->SessionStatus());
       }
     }
-    return LinkBenchOpName(op);
   };
   return RunClients(driver, client_op);
 }

@@ -20,6 +20,7 @@
 #include "baselines/linked_list_store.h"
 #include "baselines/livegraph_store.h"
 #include "baselines/lsmt_store.h"
+#include "server/loopback.h"
 
 namespace livegraph {
 namespace {
@@ -307,6 +308,15 @@ INSTANTIATE_TEST_SUITE_P(
                        StoreFactory([] {
                          return std::unique_ptr<Store>(
                              new LinkedListStore());
+                       })),
+        // The network subsystem behind the same contract: a LiveGraph
+        // engine served by GraphServer over loopback TCP, driven through
+        // RemoteStore. Same 12 contracts, every request on the wire.
+        std::make_pair("RemoteLiveGraph",
+                       StoreFactory([] {
+                         return MakeLoopbackStore(
+                             std::make_unique<LiveGraphStore>(
+                                 SmallGraphOptions()));
                        }))),
     [](const auto& info) { return info.param.first; });
 

@@ -94,6 +94,21 @@ TEST(LinkBenchMixes, WriteRatioInterpolation) {
   }
 }
 
+TEST(Driver, CountsFailuresSeparatelyFromThroughput) {
+  DriverOptions options;
+  options.clients = 4;
+  options.ops_per_client = 100;
+  DriverResult result =
+      RunClients(options, [](int /*client*/, uint64_t i) -> OpResult {
+        return i % 4 == 0 ? FailedOp("flaky") : OpResult("flaky");
+      });
+  EXPECT_EQ(result.failures, 100u);
+  EXPECT_EQ(result.operations, 300u);
+  EXPECT_NEAR(result.failure_rate(), 0.25, 1e-9);
+  // Latency is recorded for failed attempts too — the client paid it.
+  EXPECT_EQ(result.overall.count(), 400u);
+}
+
 TEST(LinkBench, EndToEndSmokeOnLiveGraph) {
   GraphOptions graph_options;
   graph_options.region_reserve = size_t{1} << 31;
@@ -106,7 +121,9 @@ TEST(LinkBench, EndToEndSmokeOnLiveGraph) {
   vertex_t n = LoadLinkBenchGraph(&store, config);
   EXPECT_EQ(n, vertex_t{1} << 10);
   DriverResult result = RunLinkBench(&store, config, n);
-  EXPECT_EQ(result.operations, 8000u);
+  EXPECT_EQ(result.operations + result.failures, 8000u);
+  EXPECT_LE(result.failure_rate(), 0.01)
+      << "an embedded store at this scale should serve nearly every request";
   EXPECT_GT(result.throughput(), 0.0);
   EXPECT_GT(result.overall.count(), 0u);
   // All ten op classes should appear at this op count.
