@@ -3,17 +3,44 @@
 // Figure 7b: TEL block-size distribution after the run — the power-law
 // degree distribution mapped onto power-of-2 blocks ("validating TEL's
 // buddy-system design").
+//
+// `--json` switches stdout to a single machine-readable JSON document
+// (used by the CI perf smoke and the BENCH_commit.json before/after
+// recordings); the human tables are suppressed.
+#include <cstring>
 #include <map>
+#include <vector>
 
 #include "bench/linkbench_tables.h"
 
-int main() {
+namespace {
+
+struct Row {
+  std::string mix;
+  int clients;
+  double throughput;
+  uint64_t failures;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace livegraph;
   using namespace livegraph::bench;
 
-  std::printf("=== Figure 7a: LiveGraph scalability ===\n");
-  std::printf("%-8s %8s %14s %14s %10s\n", "mix", "clients", "reqs/s",
-              "ideal", "eff");
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  std::vector<Row> rows;
+  uint64_t ops_per_client = static_cast<uint64_t>(EnvInt("LG_OPS", 20'000));
+
+  if (!json) {
+    std::printf("=== Figure 7a: LiveGraph scalability ===\n");
+    std::printf("%-8s %8s %14s %14s %10s\n", "mix", "clients", "reqs/s",
+                "ideal", "eff");
+  }
   LiveGraphStore* dflt_store_keepalive = nullptr;
   std::unique_ptr<Store> dflt_store;
   for (const auto& [name, mix] :
@@ -21,7 +48,7 @@ int main() {
            {"TAO", livegraph::TaoMix()}, {"DFLT", livegraph::DfltMix()}}) {
     LinkBenchConfig config = DefaultLinkBenchConfig();
     config.mix = mix;
-    config.ops_per_client = static_cast<uint64_t>(EnvInt("LG_OPS", 20'000));
+    config.ops_per_client = ops_per_client;
     auto store = MakeStore("LiveGraph", nullptr, /*wal=*/true);
     vertex_t n = LoadLinkBenchGraph(store.get(), config);
     double base_throughput = 0;
@@ -31,15 +58,34 @@ int main() {
       DriverResult result = RunLinkBench(store.get(), config, n);
       if (clients == 1) base_throughput = result.throughput();
       double ideal = base_throughput * clients;
-      std::printf("%-8s %8d %14.0f %14.0f %9.0f%%\n", name.c_str(), clients,
-                  result.throughput(), ideal,
-                  ideal > 0 ? 100.0 * result.throughput() / ideal : 0.0);
+      rows.push_back(Row{name, clients, result.throughput(), result.failures});
+      if (!json) {
+        std::printf("%-8s %8d %14.0f %14.0f %9.0f%%\n", name.c_str(), clients,
+                    result.throughput(), ideal,
+                    ideal > 0 ? 100.0 * result.throughput() / ideal : 0.0);
+      }
     }
     if (name == "DFLT") {
       dflt_store = std::move(store);
       dflt_store_keepalive =
           static_cast<LiveGraphStore*>(dflt_store.get());
     }
+  }
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"fig7_scalability\",\n");
+    std::printf("  \"ops_per_client\": %llu,\n",
+                static_cast<unsigned long long>(ops_per_client));
+    std::printf("  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::printf("    {\"mix\": \"%s\", \"clients\": %d, "
+                  "\"throughput\": %.0f, \"failures\": %llu}%s\n",
+                  rows[i].mix.c_str(), rows[i].clients, rows[i].throughput,
+                  static_cast<unsigned long long>(rows[i].failures),
+                  i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
   }
 
   std::printf("\n=== Figure 7b: TEL block size distribution ===\n");

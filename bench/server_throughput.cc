@@ -28,6 +28,18 @@ const char* EnvString(const char* name, const char* fallback) {
   return value != nullptr ? value : fallback;
 }
 
+void PrintJsonResult(const char* key, const DriverResult& result,
+                     const char* trailer) {
+  std::printf("  \"%s\": {\"throughput\": %.0f, \"mean_ms\": %.4f, "
+              "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"p999_ms\": %.4f, "
+              "\"failures\": %llu}%s\n",
+              key, result.throughput(), result.overall.MeanMillis(),
+              result.overall.PercentileMillis(0.50),
+              result.overall.PercentileMillis(0.99),
+              result.overall.PercentileMillis(0.999),
+              static_cast<unsigned long long>(result.failures), trailer);
+}
+
 void PrintRemoteRow(const char* label, const DriverResult& result) {
   std::printf("%-22s %12.0f %10.4f %10.4f %10.4f %10.4f", label,
               result.throughput(), result.overall.MeanMillis(),
@@ -41,20 +53,22 @@ void PrintRemoteRow(const char* label, const DriverResult& result) {
   std::printf("\n");
 }
 
-int Run() {
+int Run(bool json) {
   LinkBenchConfig config = DefaultLinkBenchConfig();
   const std::string engine = EnvString("LG_ENGINE", "LiveGraph");
   if (std::string(EnvString("LG_MIX", "dflt")) == "tao") {
     config.mix = TaoMix();
   }
 
-  std::printf("=== Remote LinkBench over the graph server ===\n");
-  std::printf("engine=%s clients=%d ops/client=%llu scale=%d\n",
-              engine.c_str(), config.clients,
-              static_cast<unsigned long long>(config.ops_per_client),
-              config.scale);
-  std::printf("%-22s %12s %10s %10s %10s %10s\n", "store", "reqs/s",
-              "mean(ms)", "P50(ms)", "P99(ms)", "P999(ms)");
+  if (!json) {
+    std::printf("=== Remote LinkBench over the graph server ===\n");
+    std::printf("engine=%s clients=%d ops/client=%llu scale=%d\n",
+                engine.c_str(), config.clients,
+                static_cast<unsigned long long>(config.ops_per_client),
+                config.scale);
+    std::printf("%-22s %12s %10s %10s %10s %10s\n", "store", "reqs/s",
+                "mean(ms)", "P50(ms)", "P99(ms)", "P999(ms)");
+  }
 
   // The serving engine. With LG_CONNECT the server lives in another
   // process and this engine is unused for serving (still used to report
@@ -65,7 +79,7 @@ int Run() {
   // Embedded baseline: same harness, in-process store. The gap to the
   // remote rows is the cost of the network layer.
   DriverResult embedded = RunLinkBench(store.get(), config, n);
-  PrintRemoteRow(("embedded/" + engine).c_str(), embedded);
+  if (!json) PrintRemoteRow(("embedded/" + engine).c_str(), embedded);
 
   std::unique_ptr<GraphServer> server;
   std::string host = "127.0.0.1";
@@ -108,12 +122,23 @@ int Run() {
   }
 
   DriverResult result = RunLinkBench(remote.get(), config, n);
-  PrintRemoteRow(remote->Name().c_str(), result);
-  std::printf(
-      "network overhead: %.1f%% of embedded throughput retained\n",
-      embedded.throughput() > 0
-          ? 100.0 * result.throughput() / embedded.throughput()
-          : 0.0);
+  double retained = embedded.throughput() > 0
+                        ? 100.0 * result.throughput() / embedded.throughput()
+                        : 0.0;
+  if (json) {
+    std::printf("{\n  \"bench\": \"server_throughput\",\n");
+    std::printf("  \"engine\": \"%s\",\n  \"clients\": %d,\n"
+                "  \"ops_per_client\": %llu,\n",
+                engine.c_str(), config.clients,
+                static_cast<unsigned long long>(config.ops_per_client));
+    PrintJsonResult("embedded", embedded, ",");
+    PrintJsonResult("remote", result, ",");
+    std::printf("  \"retained_pct\": %.1f\n}\n", retained);
+  } else {
+    PrintRemoteRow(remote->Name().c_str(), result);
+    std::printf("network overhead: %.1f%% of embedded throughput retained\n",
+                retained);
+  }
 
   remote.reset();
   if (server != nullptr) server->Stop();
@@ -123,4 +148,10 @@ int Run() {
 }  // namespace
 }  // namespace livegraph::bench
 
-int main() { return livegraph::bench::Run(); }
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  return livegraph::bench::Run(json);
+}

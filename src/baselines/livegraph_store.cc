@@ -102,11 +102,13 @@ class LiveGraphWriteTxn : public StoreTxn {
   // --- Writes ---
 
   StatusOr<vertex_t> AddNode(std::string_view data) override {
+    if (!txn_.active()) return Status::kNotActive;
     vertex_t id = txn_.AddVertex(data);
-    // AddVertex only fails on lock timeout (fresh IDs cannot conflict) or
-    // an already-dead transaction.
     if (id == kNullVertex) {
-      return txn_.active() ? Status::kTimeout : Status::kNotActive;
+      // Capacity exhaustion leaves the transaction active and usable;
+      // a lock timeout (fresh IDs cannot conflict, so effectively never)
+      // already aborted it.
+      return txn_.active() ? Status::kOutOfRange : Status::kTimeout;
     }
     return id;
   }

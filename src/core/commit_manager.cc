@@ -1,95 +1,275 @@
 #include "core/commit_manager.h"
 
+#include <thread>
+
 #include "core/graph.h"
+#include "util/futex_lock.h"
 
 namespace livegraph {
 
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 CommitManager::CommitManager(Graph* graph, Wal* wal, size_t max_batch)
-    : graph_(graph), wal_(wal), max_batch_(max_batch == 0 ? 1 : max_batch) {
+    : graph_(graph),
+      wal_(wal),
+      max_batch_(max_batch == 0 ? 1 : max_batch),
+      spin_iters_(std::thread::hardware_concurrency() > 1 ? 256 : 0) {
+  // Every concurrent committer holds a Graph worker slot, so max_workers
+  // bounds the requests in flight; doubling that means a producer never
+  // waits for the consumer to free its ring slot.
+  size_t ring_size =
+      NextPow2(static_cast<size_t>(graph->options().max_workers) * 2);
+  if (ring_size < 64) ring_size = 64;
+  ring_mask_ = ring_size - 1;
+  ring_ = std::vector<RingSlot>(ring_size);
+  for (size_t i = 0; i < ring_size; ++i) {
+    ring_[i].seq.store(i, std::memory_order_relaxed);
+  }
   thread_ = std::thread([this] { ThreadMain(); });
 }
 
 CommitManager::~CommitManager() {
-  {
-    std::lock_guard<std::mutex> guard(mu_);
-    shutdown_ = true;
-  }
-  manager_cv_.notify_all();
+  shutdown_.store(true, std::memory_order_release);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  doorbell_.fetch_add(1, std::memory_order_relaxed);
+  FutexWakeAll(&doorbell_);
   thread_.join();
+}
+
+void CommitManager::Enqueue(Request* req) {
+  uint64_t pos = ring_tail_.fetch_add(1, std::memory_order_acq_rel);
+  RingSlot& slot = ring_[pos & ring_mask_];
+  // The ring is sized past the worker-slot table, so the slot is free in
+  // the common case; a short stall here means the manager is a full lap
+  // behind, which backpressure-throttles producers exactly then.
+  while (slot.seq.load(std::memory_order_acquire) != pos) CpuRelax();
+  slot.req = req;
+  slot.seq.store(pos + 1, std::memory_order_release);
+  // Doorbell eventcount: the fence orders the slot publication against the
+  // parked-flag read (the manager mirrors it before its empty re-check),
+  // so either we see it parked or it sees our slot.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  doorbell_.fetch_add(1, std::memory_order_relaxed);
+  if (manager_parked_.load(std::memory_order_relaxed) != 0 &&
+      manager_parked_.exchange(0, std::memory_order_relaxed) != 0) {
+    FutexWakeOne(&doorbell_);
+  }
+}
+
+size_t CommitManager::DrainRing(std::vector<Request*>* batch) {
+  size_t taken = 0;
+  while (batch->size() < max_batch_) {
+    RingSlot& slot = ring_[ring_head_ & ring_mask_];
+    if (slot.seq.load(std::memory_order_acquire) != ring_head_ + 1) break;
+    batch->push_back(slot.req);
+    slot.seq.store(ring_head_ + ring_.size(), std::memory_order_release);
+    ++ring_head_;
+    ++taken;
+  }
+  return taken;
+}
+
+bool CommitManager::AnyGroupApplying() const {
+  for (const Group& group : groups_) {
+    if (!group.free.load(std::memory_order_relaxed) &&
+        group.durable.load(std::memory_order_relaxed) &&
+        !group.applied.load(std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CommitManager::DequeueBatch(std::vector<Request*>* batch) {
+  // Block until at least one request is queued.
+  while (true) {
+    RingSlot& head = ring_[ring_head_ & ring_mask_];
+    if (head.seq.load(std::memory_order_acquire) == ring_head_ + 1) break;
+    uint32_t ticket = doorbell_.load(std::memory_order_relaxed);
+    manager_parked_.store(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (head.seq.load(std::memory_order_acquire) == ring_head_ + 1) {
+      manager_parked_.store(0, std::memory_order_relaxed);
+      break;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      manager_parked_.store(0, std::memory_order_relaxed);
+      return false;
+    }
+    FutexWait(&doorbell_, ticket);
+    manager_parked_.store(0, std::memory_order_relaxed);
+  }
+  DrainRing(batch);
+  // Group-commit window: while the previous group is still applying, its
+  // committers are about to re-enter with new transactions. Yield them the
+  // CPU and re-drain so the batch does not collapse to whatever happened
+  // to be queued the instant the manager came around — that keeps batches
+  // near the number of active writers (the old apply-barrier design got
+  // this for free, at the cost of stalling the pipeline).
+  int window = 8;
+  while (batch->size() < max_batch_ && window-- > 0 && AnyGroupApplying()) {
+    std::this_thread::yield();
+    DrainRing(batch);
+  }
+  return true;
+}
+
+CommitManager::Group* CommitManager::ClaimGroup(timestamp_t epoch) {
+  Group* group = &groups_[static_cast<size_t>(epoch) & (kPipelineDepth - 1)];
+  // Pipeline backpressure: the slot frees once epoch - kPipelineDepth
+  // became visible. Applies usually finish well before the next lap.
+  while (!group->free.load(std::memory_order_acquire)) {
+    uint32_t word = group->word.load(std::memory_order_acquire);
+    if (group->free.load(std::memory_order_acquire)) break;
+    FutexWait(&group->word, word);
+  }
+  // Reset the lap state *before* publishing the new epoch: AdvanceGre
+  // keys on epoch (acquire), so a stale applied=true from the previous
+  // lap can never be paired with the new epoch.
+  group->durable.store(false, std::memory_order_relaxed);
+  group->applied.store(false, std::memory_order_relaxed);
+  group->free.store(false, std::memory_order_relaxed);
+  group->epoch.store(epoch, std::memory_order_seq_cst);
+  return group;
 }
 
 timestamp_t CommitManager::Persist(std::string_view wal_payload) {
   Request request;
   request.payload = wal_payload;
-  std::unique_lock<std::mutex> lock(mu_);
-  queue_.push_back(&request);
-  manager_cv_.notify_one();
-  worker_cv_.wait(lock, [&] { return request.epoch != 0; });
-  return request.epoch;
+  Enqueue(&request);
+
+  // Stage 1: learn which group we landed in. The manager assigns groups
+  // right after batch formation, so spin briefly, then sleep on the global
+  // formation counter (one wake per formed group).
+  Group* group = request.group.load(std::memory_order_acquire);
+  for (int spin = 0; group == nullptr && spin < spin_iters_; ++spin) {
+    CpuRelax();
+    group = request.group.load(std::memory_order_acquire);
+  }
+  while (group == nullptr) {
+    uint32_t formed = formed_.load(std::memory_order_acquire);
+    group = request.group.load(std::memory_order_acquire);
+    if (group != nullptr) break;
+    FutexWait(&formed_, formed);
+    group = request.group.load(std::memory_order_acquire);
+  }
+
+  // Stage 2: wait for the group to become durable (per-group futex word;
+  // the manager wakes the whole group with one syscall after the fsync).
+  while (!group->durable.load(std::memory_order_acquire)) {
+    uint32_t word = group->word.load(std::memory_order_acquire);
+    if (group->durable.load(std::memory_order_acquire)) break;
+    FutexWait(&group->word, word);
+  }
+  return group->epoch.load(std::memory_order_relaxed);
 }
 
 void CommitManager::FinishApply(timestamp_t epoch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (--applies_outstanding_ == 0) {
+  Group* group = &groups_[static_cast<size_t>(epoch) & (kPipelineDepth - 1)];
+  if (group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Last transaction of the group: expose the group's updates. "After
     // all transactions in the commit group make their updates visible, the
-    // transaction manager advances the global read timestamp GRE" (§5).
-    graph_->global_read_epoch_.store(epoch, std::memory_order_seq_cst);
-    manager_cv_.notify_all();
-    worker_cv_.notify_all();
-  } else {
-    // Commit() must not return before the whole group becomes visible:
-    // otherwise this worker's next transaction could start at a read epoch
-    // below its own commit timestamp and spuriously conflict with itself.
-    worker_cv_.wait(lock, [&] {
-      return graph_->global_read_epoch_.load(std::memory_order_acquire) >=
-             epoch;
-    });
+    // transaction manager advances the global read timestamp GRE" (§5) —
+    // here the last applier advances it so the manager can keep persisting
+    // the next group meanwhile. The store must be seq_cst: AdvanceGre is a
+    // store-buffer litmus between concurrent last-appliers (each stores
+    // its applied flag, then loads the other group's state); with weaker
+    // orders both can read stale and the cascade stalls with no one left
+    // to run it.
+    group->applied.store(true, std::memory_order_seq_cst);
+    AdvanceGre();
+  }
+  // Commit() must not return before the whole group becomes visible:
+  // otherwise this worker's next transaction could start at a read epoch
+  // below its own commit timestamp and spuriously conflict with itself.
+  while (graph_->global_read_epoch_.load(std::memory_order_seq_cst) < epoch) {
+    uint32_t word = group->word.load(std::memory_order_acquire);
+    if (graph_->global_read_epoch_.load(std::memory_order_seq_cst) >= epoch) {
+      break;
+    }
+    FutexWait(&group->word, word);
+  }
+}
+
+void CommitManager::AdvanceGre() {
+  // Advance GRE over every consecutive epoch whose group fully applied.
+  // Strict epoch order falls out of the chain: epoch e only becomes
+  // visible when GRE == e - 1, and whoever finishes a group retries the
+  // cascade, so an early-finishing higher group waits for its predecessor.
+  // Everything here is seq_cst: paired with the seq_cst applied-flag
+  // store in FinishApply, the single total order guarantees that when two
+  // last-appliers race, at least one of them observes the other's flag
+  // and completes the cascade (see the litmus note there).
+  while (true) {
+    timestamp_t current =
+        graph_->global_read_epoch_.load(std::memory_order_seq_cst);
+    Group* next =
+        &groups_[static_cast<size_t>(current + 1) & (kPipelineDepth - 1)];
+    if (next->epoch.load(std::memory_order_seq_cst) != current + 1) return;
+    if (!next->applied.load(std::memory_order_seq_cst)) return;
+    if (!graph_->global_read_epoch_.compare_exchange_strong(
+            current, current + 1, std::memory_order_seq_cst)) {
+      continue;  // another applier advanced concurrently; re-examine
+    }
+    // Group current+1 is now visible: recycle its slot for the manager and
+    // wake everyone parked on it (FinishApply waiters re-check GRE, the
+    // manager re-checks free).
+    next->free.store(true, std::memory_order_release);
+    next->word.fetch_add(1, std::memory_order_release);
+    FutexWakeAll(&next->word);
   }
 }
 
 void CommitManager::ThreadMain() {
   std::vector<Request*> batch;
   std::vector<std::string_view> payloads;
+  batch.reserve(max_batch_);
+  payloads.reserve(max_batch_);
   while (true) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      manager_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
-      if (shutdown_ && queue_.empty()) return;
-      size_t take = std::min(queue_.size(), max_batch_);
-      batch.assign(queue_.begin(), queue_.begin() + take);
-      queue_.erase(queue_.begin(), queue_.begin() + take);
-    }
+    batch.clear();
+    if (!DequeueBatch(&batch)) return;
 
     // Advance GWE; every transaction in this group commits at `epoch`.
     timestamp_t epoch =
         graph_->global_write_epoch_.fetch_add(1, std::memory_order_acq_rel) +
         1;
+    Group* group = ClaimGroup(epoch);
+    group->pending.store(static_cast<uint32_t>(batch.size()),
+                         std::memory_order_relaxed);
 
-    // Persist the whole group with one write + one fsync.
+    // Hand every member its group so stage-1 waiters can move to the
+    // group's own futex word.
+    for (Request* request : batch) {
+      request->group.store(group, std::memory_order_release);
+    }
+    formed_.fetch_add(1, std::memory_order_release);
+    FutexWakeAll(&formed_);
+
+    // Persist the whole group: writev gathered straight from the workers'
+    // payload buffers, one fsync. Workers stay parked on the group word.
     if (wal_ != nullptr) {
       payloads.clear();
-      for (Request* r : batch) {
-        if (!r->payload.empty()) payloads.push_back(r->payload);
+      for (Request* request : batch) {
+        if (!request->payload.empty()) payloads.push_back(request->payload);
       }
       if (!payloads.empty()) wal_->AppendBatch(epoch, payloads);
     }
 
-    // Release the group into its apply phase...
-    {
-      std::lock_guard<std::mutex> guard(mu_);
-      current_group_epoch_ = epoch;
-      applies_outstanding_ = batch.size();
-      for (Request* r : batch) r->epoch = epoch;
-    }
-    worker_cv_.notify_all();
-
-    // ...and wait for all applies before starting the next group, so GRE
-    // advances in epoch order.
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      manager_cv_.wait(lock, [&] { return applies_outstanding_ == 0; });
-    }
+    // Release the group into its apply phase with one wake, then loop
+    // straight into assembling the next batch — group N+1's WAL write
+    // overlaps group N's apply phase; GRE order is enforced by the
+    // appliers' cascade in AdvanceGre().
+    group->durable.store(true, std::memory_order_release);
+    group->word.fetch_add(1, std::memory_order_release);
+    FutexWakeAll(&group->word);
   }
 }
 

@@ -1,18 +1,32 @@
-// Transaction manager thread: group commit (paper §5, persist phase).
+// Transaction manager thread: pipelined group commit (paper §5, persist
+// phase).
 //
 // "LiveGraph keeps a pool of transaction-serving threads ... plus one
 // transaction manager thread." The manager batches commit requests,
 // advances the global write epoch GWE once per batch, persists the batch's
-// WAL records with a single fsync, hands every transaction in the group its
-// write timestamp TWE = GWE, and — after all of them finish their apply
-// phase — advances the global read epoch GRE, exposing the updates to
-// future transactions.
+// WAL records with a single writev + fsync, hands every transaction in the
+// group its write timestamp TWE = GWE, and — once all of them finish their
+// apply phase — the global read epoch GRE advances, exposing the updates
+// to future transactions.
+//
+// Unlike the classic single-mutex design, the pipeline never funnels
+// committers through a lock and never barriers between groups:
+//
+//   * Workers hand their WAL payload to the manager through a lock-free
+//     MPSC ring (Vyukov-style sequence numbers) and sleep on futex words —
+//     first a global group-formation counter, then their group's own word —
+//     so a wake targets exactly the committers it frees, instead of a
+//     condvar broadcast over every waiter of every group.
+//   * The manager assembles and fsyncs group N+1's batch while group N is
+//     still in its apply phase. Groups live in a small ring; GRE still
+//     advances strictly in epoch order because the last applier of a group
+//     only publishes it when every lower epoch is already visible, and
+//     cascades over any higher groups that finished early.
 #ifndef LIVEGRAPH_CORE_COMMIT_MANAGER_H_
 #define LIVEGRAPH_CORE_COMMIT_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
+#include <cstdint>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -36,33 +50,91 @@ class CommitManager {
   /// Persist phase entry point, called by the committing worker thread.
   /// Blocks until the transaction's group is durable and returns the
   /// assigned write epoch TWE. The caller must then run its apply phase
-  /// and call FinishApply(TWE).
+  /// and call FinishApply(TWE). The payload is borrowed until return.
   timestamp_t Persist(std::string_view wal_payload);
 
-  /// Signals that the calling transaction completed its apply phase. The
-  /// last transaction of a group lets the manager advance GRE.
+  /// Signals that the calling transaction completed its apply phase, then
+  /// blocks until the whole group is visible (GRE >= TWE), so a worker's
+  /// next transaction always reads its own commit. The last applier of the
+  /// group advances GRE itself (in strict epoch order) — the manager
+  /// thread is by then already persisting the next group.
   void FinishApply(timestamp_t epoch);
 
  private:
+  /// Commit groups in flight (one persisting, the rest applying/draining).
+  /// Power of two; group for epoch e lives at groups_[e % kPipelineDepth]
+  /// and is recycled only after GRE >= e, which makes the epoch -> slot
+  /// mapping stable for everyone still touching the group.
+  static constexpr size_t kPipelineDepth = 4;
+
+  struct Group;
+
+  /// One committing worker's hand-off cell; lives on the worker's stack
+  /// for the duration of Persist().
   struct Request {
     std::string_view payload;
-    timestamp_t epoch = 0;  // 0 = not yet persisted
+    std::atomic<Group*> group{nullptr};  // set by the manager
   };
 
+  struct alignas(64) Group {
+    /// Futex word for every wait tied to this group (durability in
+    /// Persist, visibility in FinishApply, slot reuse by the manager).
+    /// Monotonic — never reset — so sleepers can always detect a missed
+    /// transition; all predicates are re-checked against the fields below.
+    std::atomic<uint32_t> word{0};
+    std::atomic<uint32_t> pending{0};  // applies outstanding
+    std::atomic<timestamp_t> epoch{0};
+    std::atomic<bool> durable{false};
+    std::atomic<bool> applied{false};
+    std::atomic<bool> free{true};
+  };
+
+  struct alignas(64) RingSlot {
+    std::atomic<uint64_t> seq{0};
+    Request* req = nullptr;
+  };
+
+  void Enqueue(Request* req);
+  /// Pops 1..max_batch_ requests, sleeping on the doorbell while the ring
+  /// is empty. Returns false on shutdown with a drained ring.
+  bool DequeueBatch(std::vector<Request*>* batch);
+  /// Drains whatever is immediately available into `batch` (up to
+  /// max_batch_); returns the number of requests taken.
+  size_t DrainRing(std::vector<Request*>* batch);
+  /// True while a durable group still has appliers in flight — its
+  /// committers are about to re-enter with fresh transactions, so the
+  /// batch window stays open for them.
+  bool AnyGroupApplying() const;
+  Group* ClaimGroup(timestamp_t epoch);
+  /// Advances GRE over every consecutive fully-applied group, waking each
+  /// group's waiters and recycling its slot.
+  void AdvanceGre();
   void ThreadMain();
 
   Graph* graph_;
   Wal* wal_;
   size_t max_batch_;
+  /// Worker-side spin budget before a futex sleep; zero on a single
+  /// hardware thread, where spinning can only delay the manager.
+  int spin_iters_;
 
-  std::mutex mu_;
-  std::condition_variable worker_cv_;   // wakes workers whose epoch is set
-  std::condition_variable manager_cv_;  // wakes the manager thread
-  std::vector<Request*> queue_;
-  size_t applies_outstanding_ = 0;
-  timestamp_t current_group_epoch_ = 0;
-  bool shutdown_ = false;
+  // MPSC ring: many committing workers produce, the manager consumes.
+  size_t ring_mask_;
+  std::vector<RingSlot> ring_;
+  alignas(64) std::atomic<uint64_t> ring_tail_{0};  // producers claim slots
+  alignas(64) uint64_t ring_head_ = 0;              // manager only
 
+  // Eventcount parking the manager while the ring is empty.
+  alignas(64) std::atomic<uint32_t> doorbell_{0};
+  std::atomic<uint32_t> manager_parked_{0};
+
+  /// Bumped once per formed group; the futex word workers sleep on while
+  /// waiting to learn which group they landed in.
+  alignas(64) std::atomic<uint32_t> formed_{0};
+
+  Group groups_[kPipelineDepth];
+
+  std::atomic<bool> shutdown_{false};
   std::thread thread_;
 };
 

@@ -23,8 +23,18 @@ constexpr int64_t kCompactionLockTimeoutNs = 1'000'000;  // 1 ms
 
 void Graph::MaybeScheduleCompaction() {
   if (!options_.enable_compaction) return;
+  // Threshold compare-exchange rather than `committed % interval == 0`:
+  // concurrent commits can jump the counter across a boundary so that no
+  // single committer ever observes an exact multiple, which would skip the
+  // trigger entirely. Exactly one committer wins the CAS per crossing.
   uint64_t committed = committed_txns_.load(std::memory_order_relaxed);
-  if (committed % options_.compaction_interval != 0) return;
+  uint64_t next = next_compaction_at_.load(std::memory_order_relaxed);
+  if (committed < next) return;
+  if (!next_compaction_at_.compare_exchange_strong(
+          next, committed + options_.compaction_interval,
+          std::memory_order_acq_rel, std::memory_order_relaxed)) {
+    return;  // another committer claimed this crossing
+  }
   compaction_requested_.store(true, std::memory_order_release);
   compaction_cv_.notify_one();
 }

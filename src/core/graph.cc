@@ -26,6 +26,9 @@ Graph::Graph(GraphOptions options) : options_(std::move(options)) {
     slots_.push_back(std::make_unique<WorkerSlot>());
   }
 
+  next_compaction_at_.store(options_.compaction_interval,
+                            std::memory_order_relaxed);
+
   if (!options_.wal_path.empty()) {
     Wal::Options wal_options;
     wal_options.path = options_.wal_path;

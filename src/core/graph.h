@@ -13,6 +13,7 @@
 
 #include "core/blocks.h"
 #include "core/config.h"
+#include "core/txn_scratch.h"
 #include "storage/block_manager.h"
 #include "storage/wal.h"
 #include "util/futex_lock.h"
@@ -118,6 +119,10 @@ class Graph {
     /// dirty vertex set, §6).
     std::mutex dirty_mu;
     std::vector<vertex_t> dirty_vertices;
+    /// Pooled write-phase arenas: the slot's current transaction stages
+    /// into these and resets them (capacity-preserving) on commit/abort,
+    /// so repeated transactions on a session allocate nothing.
+    TxnScratch scratch;
   };
 
   WorkerSlot* AcquireSlot();
@@ -172,6 +177,11 @@ class Graph {
   std::atomic<timestamp_t> global_write_epoch_{0};  // GWE
   std::atomic<uint64_t> next_tid_{1};
   std::atomic<uint64_t> committed_txns_{0};
+  /// Committed-transaction count at which the next compaction pass fires;
+  /// compare-exchanged forward by the committer that crosses it, so
+  /// concurrent commits jumping the counter across the boundary cannot
+  /// skip a trigger (an exact `% interval == 0` observation can be missed).
+  std::atomic<uint64_t> next_compaction_at_{0};
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
 

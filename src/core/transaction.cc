@@ -35,7 +35,11 @@ void PutBytes(std::string* out, std::string_view bytes) {
 
 Transaction::Transaction(Graph* graph, Graph::WorkerSlot* slot,
                          timestamp_t tre, int64_t tid)
-    : graph_(graph), slot_(slot), tre_(tre), tid_(tid) {}
+    : graph_(graph),
+      slot_(slot),
+      tre_(tre),
+      tid_(tid),
+      scratch_(&slot->scratch) {}
 
 Transaction::Transaction(Transaction&& other) noexcept
     : graph_(other.graph_),
@@ -44,12 +48,7 @@ Transaction::Transaction(Transaction&& other) noexcept
       tid_(other.tid_),
       state_(other.state_),
       write_epoch_(other.write_epoch_),
-      tel_writes_(std::move(other.tel_writes_)),
-      tel_write_index_(std::move(other.tel_write_index_)),
-      vertex_writes_(std::move(other.vertex_writes_)),
-      locked_(std::move(other.locked_)),
-      locked_set_(std::move(other.locked_set_)),
-      wal_payload_(std::move(other.wal_payload_)),
+      scratch_(other.scratch_),  // the arenas travel with the slot
       replay_mode_(other.replay_mode_) {
   other.slot_ = nullptr;
   other.state_ = State::kCommitted;  // moved-from shell: nothing to do
@@ -67,29 +66,37 @@ Transaction::~Transaction() {
 // --- Locking ---
 
 Status Transaction::LockVertex(vertex_t v) {
-  if (locked_set_.count(v) > 0) return Status::kOk;
+  if (scratch_->locked_set.count(v) > 0) return Status::kOk;
   if (!graph_->LockFor(v)->TryLockFor(graph_->options_.lock_timeout_ns)) {
     return Status::kTimeout;
   }
-  locked_.push_back(v);
-  locked_set_.insert(v);
+  scratch_->locked.push_back(v);
+  scratch_->locked_set.insert(v);
   return Status::kOk;
 }
 
 void Transaction::ReleaseLocksAndSlot() {
-  for (vertex_t v : locked_) graph_->LockFor(v)->Unlock();
-  locked_.clear();
-  locked_set_.clear();
+  for (vertex_t v : scratch_->locked) graph_->LockFor(v)->Unlock();
+  scratch_->locked.clear();
+  scratch_->locked_set.clear();
 }
 
 // --- Vertex operations ---
 
 vertex_t Transaction::AddVertex(std::string_view properties) {
   if (state_ != State::kActive) return kNullVertex;
-  vertex_t id = graph_->next_vertex_.fetch_add(1, std::memory_order_acq_rel);
-  if (static_cast<size_t>(id) >= graph_->options_.max_vertices) {
-    std::abort();  // raise GraphOptions::max_vertices
-  }
+  // Bounded claim: a CAS loop instead of a blind fetch-and-add so the
+  // counter never overshoots max_vertices (the index and lock regions are
+  // sized by it — an ID past the end would address unmapped pages).
+  // Capacity exhaustion is not a conflict: the transaction stays active
+  // and the caller decides (the v2 Store surfaces it as kOutOfRange).
+  vertex_t id = graph_->next_vertex_.load(std::memory_order_relaxed);
+  do {
+    if (static_cast<size_t>(id) >= graph_->options_.max_vertices) {
+      return kNullVertex;
+    }
+  } while (!graph_->next_vertex_.compare_exchange_weak(
+      id, id + 1, std::memory_order_acq_rel, std::memory_order_relaxed));
   // Fresh ID: the lock trivially succeeds; holding it keeps commit/abort
   // uniform with other vertex writes.
   if (LockVertex(id) != Status::kOk) {
@@ -107,7 +114,7 @@ vertex_t Transaction::AddVertex(std::string_view properties) {
     std::memcpy(static_cast<void*>(header + 1), properties.data(),
                 properties.size());
   }
-  vertex_writes_.push_back(VertexWrite{id, block, true});
+  scratch_->vertex_writes.push_back(VertexWrite{id, block, true});
   LogAddVertex(id, properties);
   return id;
 }
@@ -144,7 +151,7 @@ Status Transaction::PutVertex(vertex_t v, std::string_view properties) {
                 properties.size());
   }
   // Re-staging the same vertex replaces the previous staged version.
-  for (VertexWrite& w : vertex_writes_) {
+  for (VertexWrite& w : scratch_->vertex_writes) {
     if (w.v == v) {
       graph_->block_manager_->Free(w.new_block);  // never published
       w.new_block = block;
@@ -152,7 +159,7 @@ Status Transaction::PutVertex(vertex_t v, std::string_view properties) {
       return Status::kOk;
     }
   }
-  vertex_writes_.push_back(VertexWrite{v, block, false});
+  scratch_->vertex_writes.push_back(VertexWrite{v, block, false});
   LogPutVertex(v, properties);
   return Status::kOk;
 }
@@ -183,7 +190,7 @@ Status Transaction::DeleteVertex(vertex_t v) {
   header->creation_ts.store(-tid_, std::memory_order_relaxed);
   header->prop_size = 0;
   header->tombstone = 1;
-  for (VertexWrite& w : vertex_writes_) {
+  for (VertexWrite& w : scratch_->vertex_writes) {
     if (w.v == v) {
       graph_->block_manager_->Free(w.new_block);
       w.new_block = block;
@@ -191,14 +198,14 @@ Status Transaction::DeleteVertex(vertex_t v) {
       return Status::kOk;
     }
   }
-  vertex_writes_.push_back(VertexWrite{v, block, false});
+  scratch_->vertex_writes.push_back(VertexWrite{v, block, false});
   LogDeleteVertex(v);
   return Status::kOk;
 }
 
 StatusOr<std::string_view> Transaction::GetVertex(vertex_t v) const {
   // Read-your-writes: staged version first.
-  for (const VertexWrite& w : vertex_writes_) {
+  for (const VertexWrite& w : scratch_->vertex_writes) {
     if (w.v == v) {
       auto* header = reinterpret_cast<const VertexHeader*>(
           graph_->block_manager_->Pointer(w.new_block));
@@ -220,9 +227,9 @@ inline uint64_t TelWriteKey(vertex_t v, label_t label) {
 }
 }  // namespace
 
-Transaction::TelWrite* Transaction::FindTelWrite(vertex_t v, label_t label) {
-  auto it = tel_write_index_.find(TelWriteKey(v, label));
-  return it == tel_write_index_.end() ? nullptr : &tel_writes_[it->second];
+TelWrite* Transaction::FindTelWrite(vertex_t v, label_t label) {
+  auto it = scratch_->tel_write_index.find(TelWriteKey(v, label));
+  return it == scratch_->tel_write_index.end() ? nullptr : &scratch_->tel_writes[it->second];
 }
 
 Status Transaction::PrepareTelWrite(vertex_t v, label_t label,
@@ -259,9 +266,9 @@ Status Transaction::PrepareTelWrite(vertex_t v, label_t label,
       header->committed_entries.load(std::memory_order_acquire);
   w.committed_prop_bytes =
       header->committed_prop_bytes.load(std::memory_order_acquire);
-  tel_writes_.push_back(std::move(w));
-  tel_write_index_[TelWriteKey(v, label)] = tel_writes_.size() - 1;
-  *out = &tel_writes_.back();
+  scratch_->tel_writes.push_back(std::move(w));
+  scratch_->tel_write_index[TelWriteKey(v, label)] = scratch_->tel_writes.size() - 1;
+  *out = &scratch_->tel_writes.back();
   return Status::kOk;
 }
 
@@ -398,7 +405,7 @@ Status Transaction::DeleteEdge(vertex_t v, label_t label, vertex_t dst) {
 
 EdgeIterator Transaction::GetEdges(vertex_t v, label_t label) const {
   auto* self = const_cast<Transaction*>(this);
-  if (Transaction::TelWrite* w = self->FindTelWrite(v, label)) {
+  if (TelWrite* w = self->FindTelWrite(v, label)) {
     TelBlock block = graph_->Tel(w->block);
     return EdgeIterator(block, w->committed_entries + w->private_entries,
                         tre_, tid_);
@@ -416,7 +423,7 @@ StatusOr<std::string_view> Transaction::GetEdge(vertex_t v, label_t label,
   auto* self = const_cast<Transaction*>(this);
   TelBlock block;
   uint32_t total = 0;
-  if (Transaction::TelWrite* w = self->FindTelWrite(v, label)) {
+  if (TelWrite* w = self->FindTelWrite(v, label)) {
     block = graph_->Tel(w->block);
     total = w->committed_entries + w->private_entries;
   } else {
@@ -448,21 +455,23 @@ size_t Transaction::CountEdges(vertex_t v, label_t label) const {
 
 StatusOr<timestamp_t> Transaction::Commit() {
   if (state_ != State::kActive) return Status::kNotActive;
-  if (tel_writes_.empty() && vertex_writes_.empty()) {
+  if (scratch_->tel_writes.empty() && scratch_->vertex_writes.empty()) {
     // Nothing written: no persist phase needed; the snapshot epoch is the
     // commit epoch.
     state_ = State::kCommitted;
     ReleaseLocksAndSlot();
+    scratch_->Reset();
     return tre_;
   }
   // Persist phase: group commit through the transaction manager (§5).
-  std::string_view payload = replay_mode_ ? std::string_view{} : wal_payload_;
+  std::string_view payload = replay_mode_ ? std::string_view{} : scratch_->wal_payload;
   write_epoch_ = graph_->commit_manager_->Persist(payload);
   // Apply phase.
   ApplyCommit(write_epoch_);
   graph_->commit_manager_->FinishApply(write_epoch_);
   MarkDirty();
   state_ = State::kCommitted;
+  scratch_->Reset();
   graph_->committed_txns_.fetch_add(1, std::memory_order_relaxed);
   graph_->MaybeScheduleCompaction();
   return write_epoch_;
@@ -471,7 +480,7 @@ StatusOr<timestamp_t> Transaction::Commit() {
 void Transaction::ApplyCommit(timestamp_t twe) {
   // 1. Publish per-TEL commit metadata: CT, property size, then LS with
   //    release ordering so readers that see the new LS see the entries.
-  for (TelWrite& w : tel_writes_) {
+  for (TelWrite& w : scratch_->tel_writes) {
     TelHeader* header = graph_->Tel(w.block).header();
     header->commit_ts.store(twe, std::memory_order_relaxed);
     header->committed_prop_bytes.store(
@@ -481,7 +490,7 @@ void Transaction::ApplyCommit(timestamp_t twe) {
                                     std::memory_order_release);
   }
   // 2. Publish vertex versions through the index.
-  for (VertexWrite& w : vertex_writes_) {
+  for (VertexWrite& w : scratch_->vertex_writes) {
     auto* header = reinterpret_cast<VertexHeader*>(
         graph_->block_manager_->Pointer(w.new_block));
     header->creation_ts.store(twe, std::memory_order_release);
@@ -494,7 +503,7 @@ void Transaction::ApplyCommit(timestamp_t twe) {
   //    these TELs fails the CT check until GRE catches up with TWE.
   ReleaseLocksAndSlot();
   // 4. Convert -TID timestamps to TWE.
-  for (TelWrite& w : tel_writes_) {
+  for (TelWrite& w : scratch_->tel_writes) {
     TelBlock block = graph_->Tel(w.block);
     for (uint32_t i = 0; i < w.private_entries; ++i) {
       block.Entry(w.committed_entries + i)
@@ -511,13 +520,14 @@ void Transaction::Abort() {
   if (state_ != State::kActive) return;
   UndoWrites();
   ReleaseLocksAndSlot();
+  scratch_->Reset();
   state_ = State::kAborted;
 }
 
 void Transaction::UndoWrites() {
   timestamp_t retire_epoch =
       graph_->global_read_epoch_.load(std::memory_order_acquire) + 1;
-  for (TelWrite& w : tel_writes_) {
+  for (TelWrite& w : scratch_->tel_writes) {
     if (w.original_block == kNullBlock) {
       // We created this TEL (and possibly upgraded it): unpublish, then
       // retire every version we allocated. Readers may hold the pointers,
@@ -561,22 +571,22 @@ void Transaction::UndoWrites() {
     // its new entries will be ignored by future reads and overwritten by
     // future writes" (§5).
   }
-  for (VertexWrite& w : vertex_writes_) {
+  for (VertexWrite& w : scratch_->vertex_writes) {
     // Staged vertex versions were never published: plain free.
     graph_->block_manager_->Free(w.new_block);
   }
-  tel_writes_.clear();
-  tel_write_index_.clear();
-  vertex_writes_.clear();
+  scratch_->tel_writes.clear();
+  scratch_->tel_write_index.clear();
+  scratch_->vertex_writes.clear();
 }
 
 void Transaction::MarkDirty() {
-  if (tel_writes_.empty() && vertex_writes_.empty()) return;
+  if (scratch_->tel_writes.empty() && scratch_->vertex_writes.empty()) return;
   std::lock_guard<std::mutex> guard(slot_->dirty_mu);
-  for (const TelWrite& w : tel_writes_) {
+  for (const TelWrite& w : scratch_->tel_writes) {
     slot_->dirty_vertices.push_back(w.src);
   }
-  for (const VertexWrite& w : vertex_writes_) {
+  for (const VertexWrite& w : scratch_->vertex_writes) {
     slot_->dirty_vertices.push_back(w.v);
   }
 }
@@ -585,40 +595,40 @@ void Transaction::MarkDirty() {
 
 void Transaction::LogAddVertex(vertex_t v, std::string_view props) {
   if (replay_mode_ || graph_->wal_ == nullptr) return;
-  PutRaw(&wal_payload_, kOpAddVertex);
-  PutRaw(&wal_payload_, v);
-  PutBytes(&wal_payload_, props);
+  PutRaw(&scratch_->wal_payload, kOpAddVertex);
+  PutRaw(&scratch_->wal_payload, v);
+  PutBytes(&scratch_->wal_payload, props);
 }
 
 void Transaction::LogPutVertex(vertex_t v, std::string_view props) {
   if (replay_mode_ || graph_->wal_ == nullptr) return;
-  PutRaw(&wal_payload_, kOpPutVertex);
-  PutRaw(&wal_payload_, v);
-  PutBytes(&wal_payload_, props);
+  PutRaw(&scratch_->wal_payload, kOpPutVertex);
+  PutRaw(&scratch_->wal_payload, v);
+  PutBytes(&scratch_->wal_payload, props);
 }
 
 void Transaction::LogDeleteVertex(vertex_t v) {
   if (replay_mode_ || graph_->wal_ == nullptr) return;
-  PutRaw(&wal_payload_, kOpDeleteVertex);
-  PutRaw(&wal_payload_, v);
+  PutRaw(&scratch_->wal_payload, kOpDeleteVertex);
+  PutRaw(&scratch_->wal_payload, v);
 }
 
 void Transaction::LogAddEdge(vertex_t v, label_t label, vertex_t dst,
                              std::string_view props) {
   if (replay_mode_ || graph_->wal_ == nullptr) return;
-  PutRaw(&wal_payload_, kOpAddEdge);
-  PutRaw(&wal_payload_, v);
-  PutRaw(&wal_payload_, label);
-  PutRaw(&wal_payload_, dst);
-  PutBytes(&wal_payload_, props);
+  PutRaw(&scratch_->wal_payload, kOpAddEdge);
+  PutRaw(&scratch_->wal_payload, v);
+  PutRaw(&scratch_->wal_payload, label);
+  PutRaw(&scratch_->wal_payload, dst);
+  PutBytes(&scratch_->wal_payload, props);
 }
 
 void Transaction::LogDeleteEdge(vertex_t v, label_t label, vertex_t dst) {
   if (replay_mode_ || graph_->wal_ == nullptr) return;
-  PutRaw(&wal_payload_, kOpDeleteEdge);
-  PutRaw(&wal_payload_, v);
-  PutRaw(&wal_payload_, label);
-  PutRaw(&wal_payload_, dst);
+  PutRaw(&scratch_->wal_payload, kOpDeleteEdge);
+  PutRaw(&scratch_->wal_payload, v);
+  PutRaw(&scratch_->wal_payload, label);
+  PutRaw(&scratch_->wal_payload, dst);
 }
 
 }  // namespace livegraph

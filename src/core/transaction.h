@@ -4,14 +4,13 @@
 
 #include <string>
 #include <string_view>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "api/status.h"
 #include "core/blocks.h"
 #include "core/graph.h"
+#include "core/txn_scratch.h"
 #include "util/types.h"
 
 namespace livegraph {
@@ -121,8 +120,10 @@ class Transaction {
   // --- Vertex operations (§4) ---
 
   /// Allocates a fresh vertex ID and stages its first version. The ID is
-  /// assigned eagerly via fetch-and-add; the vertex payload becomes visible
-  /// at commit.
+  /// assigned eagerly; the vertex payload becomes visible at commit.
+  /// Returns kNullVertex when `GraphOptions::max_vertices` is exhausted —
+  /// the transaction stays active (capacity is not a conflict) — or when
+  /// the transaction aborted (lock timeout / already dead).
   vertex_t AddVertex(std::string_view properties = {});
 
   /// Stages a new version of v's properties (copy-on-write, §3).
@@ -174,26 +175,6 @@ class Transaction {
 
   enum class State { kActive, kCommitted, kAborted };
 
-  /// Per-TEL staging state.
-  struct TelWrite {
-    vertex_t src;
-    label_t label;
-    std::atomic<block_ptr_t>* slot;  // label-index slot holding the TEL ptr
-    block_ptr_t block;               // current (possibly upgraded) block
-    block_ptr_t original_block;      // pre-upgrade block or kNullBlock
-    uint32_t committed_entries;      // LS when first touched
-    uint32_t committed_prop_bytes;
-    uint32_t private_entries = 0;    // appended, creation == -TID
-    uint32_t private_prop_bytes = 0;
-    std::vector<uint32_t> invalidated;  // entry indices set to -TID
-  };
-
-  struct VertexWrite {
-    vertex_t v;
-    block_ptr_t new_block;  // staged version, creation == -TID
-    bool is_new_vertex;
-  };
-
   Transaction(Graph* graph, Graph::WorkerSlot* slot, timestamp_t tre,
               int64_t tid);
 
@@ -234,14 +215,10 @@ class Transaction {
   State state_ = State::kActive;
   timestamp_t write_epoch_ = 0;  // TWE, assigned by the commit manager
 
-  std::vector<TelWrite> tel_writes_;
-  // (vertex, label) -> index into tel_writes_; keeps bulk-load
-  // transactions (hundreds of thousands of distinct TELs) linear.
-  std::unordered_map<uint64_t, size_t> tel_write_index_;
-  std::vector<VertexWrite> vertex_writes_;
-  std::vector<vertex_t> locked_;
-  std::unordered_set<vertex_t> locked_set_;
-  std::string wal_payload_;
+  /// The slot's pooled write-set arenas (core/txn_scratch.h). Exclusive to
+  /// this transaction while it is active; reset — capacity preserved — on
+  /// commit/abort so the next transaction on the slot reuses the memory.
+  TxnScratch* scratch_;
   bool replay_mode_ = false;  // recovery: skip WAL logging
 };
 

@@ -76,6 +76,7 @@ uint8_t StatusToWire(Status status) {
     case Status::kNotFound: return 3;
     case Status::kNotActive: return 4;
     case Status::kUnavailable: return 5;
+    case Status::kOutOfRange: return 6;
   }
   return 5;  // unknown statuses degrade to kUnavailable
 }
@@ -88,6 +89,7 @@ Status StatusFromWire(uint8_t wire) {
     case 3: return Status::kNotFound;
     case 4: return Status::kNotActive;
     case 5: return Status::kUnavailable;
+    case 6: return Status::kOutOfRange;
     default: return Status::kUnavailable;
   }
 }

@@ -1,8 +1,10 @@
 #include "storage/wal.h"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -19,10 +21,6 @@ namespace {
   std::abort();
 }
 
-void AppendRaw(std::string* out, const void* data, size_t n) {
-  out->append(static_cast<const char*>(data), n);
-}
-
 }  // namespace
 
 Wal::Wal(Options options) : options_(std::move(options)) {
@@ -36,30 +34,60 @@ Wal::~Wal() {
 
 void Wal::AppendBatch(timestamp_t epoch,
                       const std::vector<std::string_view>& payloads) {
-  scratch_.clear();
+  if (payloads.empty()) return;
+  // Headers into a reusable array first (the iovecs point into it, so it
+  // must not reallocate while they are built), then gather headers and the
+  // workers' payload buffers directly — no per-batch payload copy.
+  headers_.clear();
+  headers_.reserve(payloads.size());
+  iov_.clear();
+  iov_.reserve(payloads.size() * 2);
+  size_t total = 0;
   for (std::string_view payload : payloads) {
-    uint32_t len = static_cast<uint32_t>(payload.size());
-    uint32_t crc = Crc32c(&epoch, sizeof(epoch));
-    crc = Crc32c(payload.data(), payload.size(), crc);
-    AppendRaw(&scratch_, &len, sizeof(len));
-    AppendRaw(&scratch_, &crc, sizeof(crc));
-    AppendRaw(&scratch_, &epoch, sizeof(epoch));
-    AppendRaw(&scratch_, payload.data(), payload.size());
+    RecordHeader header;
+    header.len = static_cast<uint32_t>(payload.size());
+    header.crc = Crc32c(&epoch, sizeof(epoch));
+    header.crc = Crc32c(payload.data(), payload.size(), header.crc);
+    header.epoch = epoch;
+    headers_.push_back(header);
+    total += sizeof(RecordHeader) + payload.size();
   }
-  if (scratch_.empty()) return;
-  const char* data = scratch_.data();
-  size_t remaining = scratch_.size();
-  while (remaining > 0) {
-    ssize_t n = write(fd_, data, remaining);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      Die("write");
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    iov_.push_back({&headers_[i], sizeof(RecordHeader)});
+    if (!payloads[i].empty()) {
+      iov_.push_back({const_cast<char*>(payloads[i].data()),
+                      payloads[i].size()});
     }
-    data += n;
-    remaining -= static_cast<size_t>(n);
   }
-  bytes_written_ += scratch_.size();
+  WritevAll(iov_.data(), iov_.size());
+  bytes_written_ += total;
   if (options_.fsync && fdatasync(fd_) != 0) Die("fdatasync");
+}
+
+void Wal::WritevAll(struct iovec* iov, size_t count) {
+  size_t idx = 0;
+  while (idx < count) {
+    int batch = static_cast<int>(std::min(count - idx, size_t{IOV_MAX}));
+    ssize_t written = writev(fd_, iov + idx, batch);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      Die("writev");
+    }
+    // Resume after a partial write: consume whole iovecs, then trim the
+    // first partially written one in place.
+    auto remaining = static_cast<size_t>(written);
+    while (remaining > 0) {
+      if (remaining >= iov[idx].iov_len) {
+        remaining -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + remaining;
+        iov[idx].iov_len -= remaining;
+        remaining = 0;
+      }
+    }
+    while (idx < count && iov[idx].iov_len == 0) ++idx;
+  }
 }
 
 void Wal::Reset() {

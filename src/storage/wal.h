@@ -7,8 +7,16 @@
 // Record framing: [u32 payload_len][u32 crc32c(epoch ++ payload)]
 //                 [i64 epoch][payload bytes]
 // A torn tail record (crash mid-write) fails its CRC and terminates replay.
+//
+// The batch append gathers every record with writev straight from the
+// committing workers' (pooled) payload buffers: headers live in a reusable
+// array, payload bytes are never copied into the log's address space. The
+// workers block inside the commit pipeline until the batch is durable, so
+// the borrowed payload memory cannot be reused mid-write.
 #ifndef LIVEGRAPH_STORAGE_WAL_H_
 #define LIVEGRAPH_STORAGE_WAL_H_
+
+#include <sys/uio.h>
 
 #include <cstdint>
 #include <string>
@@ -36,7 +44,8 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Appends one group-commit batch: every payload becomes a record stamped
-  /// with `epoch`, written with a single write() and one fsync.
+  /// with `epoch`, gathered with writev (zero payload copies) and made
+  /// durable with one fsync.
   void AppendBatch(timestamp_t epoch,
                    const std::vector<std::string_view>& payloads);
 
@@ -62,9 +71,21 @@ class Wal {
   };
 
  private:
+  /// Matches the record framing byte-for-byte: 4+4 bytes then an 8-aligned
+  /// epoch, so one iovec covers the whole header.
+  struct RecordHeader {
+    uint32_t len;
+    uint32_t crc;
+    timestamp_t epoch;
+  };
+  static_assert(sizeof(RecordHeader) == 16, "framing layout");
+
+  void WritevAll(struct iovec* iov, size_t count);
+
   Options options_;
   int fd_ = -1;
-  std::string scratch_;
+  std::vector<RecordHeader> headers_;  // reused across batches
+  std::vector<struct iovec> iov_;      // reused across batches
   uint64_t bytes_written_ = 0;
 };
 

@@ -24,6 +24,41 @@
 
 namespace livegraph {
 
+// --- Raw futex plumbing (used by the commit pipeline; FutexLock keeps
+// its own timed FUTEX_WAIT because its deadline semantics differ) ---
+
+/// Pause instruction for spin loops (keeps the sibling hyperthread and the
+/// store buffer happy while we poll a flag another thread will flip).
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Sleeps while `*addr == expected`. Returns on wake, value change, or the
+/// safety timeout — callers always re-check their real predicate in a loop,
+/// so the bounded wait only puts a ceiling on the cost of a lost wake, it
+/// is never load-bearing for correctness.
+inline void FutexWait(std::atomic<uint32_t>* addr, uint32_t expected) {
+  timespec timeout{0, 50'000'000};  // 50 ms safety net
+  syscall(SYS_futex, reinterpret_cast<uint32_t*>(addr), FUTEX_WAIT_PRIVATE,
+          expected, &timeout, nullptr, 0);
+}
+
+inline void FutexWakeOne(std::atomic<uint32_t>* addr) {
+  syscall(SYS_futex, reinterpret_cast<uint32_t*>(addr), FUTEX_WAKE_PRIVATE, 1,
+          nullptr, nullptr, 0);
+}
+
+inline void FutexWakeAll(std::atomic<uint32_t>* addr) {
+  syscall(SYS_futex, reinterpret_cast<uint32_t*>(addr), FUTEX_WAKE_PRIVATE,
+          INT32_MAX, nullptr, nullptr, 0);
+}
+
 class FutexLock {
  public:
   FutexLock() : state_(0) {}
@@ -64,8 +99,7 @@ class FutexLock {
 
   void Unlock() {
     if (state_.exchange(0, std::memory_order_release) == 2) {
-      syscall(SYS_futex, reinterpret_cast<uint32_t*>(&state_),
-              FUTEX_WAKE_PRIVATE, 1, nullptr, nullptr, 0);
+      FutexWakeOne(&state_);
     }
   }
 

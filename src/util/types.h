@@ -63,6 +63,10 @@ enum class Status {
   /// down mid-operation). Not retryable within the same session: the
   /// caller must reconnect or fail over before re-running the transaction.
   kUnavailable,
+  /// A configured capacity bound was exhausted (e.g. AddNode past
+  /// GraphOptions::max_vertices). The session stays usable; retrying
+  /// cannot succeed until the store is reconfigured.
+  kOutOfRange,
 };
 
 /// Human-readable status name, for logs and test failure messages.
@@ -74,6 +78,7 @@ inline const char* StatusName(Status s) {
     case Status::kNotFound: return "NotFound";
     case Status::kNotActive: return "NotActive";
     case Status::kUnavailable: return "Unavailable";
+    case Status::kOutOfRange: return "OutOfRange";
   }
   return "Unknown";
 }

@@ -1,0 +1,298 @@
+// Stress tests for the pipelined group-commit path: GRE monotonicity,
+// all-or-nothing group visibility under concurrent snapshots, total epoch
+// order across writers, WAL durability of overlapped groups, and the
+// graceful max_vertices capacity failure.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/livegraph_store.h"
+#include "core/graph.h"
+#include "core/transaction.h"
+
+namespace livegraph {
+namespace {
+
+GraphOptions StressOptions() {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 31;
+  options.max_vertices = 1 << 20;
+  options.enable_compaction = false;
+  return options;
+}
+
+std::string TempWalPath(const char* tag) {
+  return "/tmp/livegraph_commit_pipeline_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".wal";
+}
+
+// N writers commit continuously while readers assert that the global read
+// epoch never moves backwards and that every commit epoch a writer gets
+// back is already visible when Commit() returns.
+TEST(CommitPipeline, GreAdvancesMonotonicallyUnderLoad) {
+  GraphOptions options = StressOptions();
+  options.wal_path = TempWalPath("gre");
+  options.fsync_wal = false;
+  constexpr int kWriters = 8;
+  constexpr int kTxnsPerWriter = 300;
+  {
+    Graph graph(options);
+    std::vector<vertex_t> bases(kWriters);
+    {
+      auto txn = graph.BeginTransaction();
+      for (auto& b : bases) b = txn.AddVertex("base");
+      ASSERT_EQ(txn.Commit(), Status::kOk);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> violation{false};
+    std::thread monitor([&] {
+      timestamp_t last = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        timestamp_t now = graph.ReadEpoch();
+        if (now < last) violation.store(true, std::memory_order_release);
+        last = now;
+        std::this_thread::yield();
+      }
+    });
+
+    std::vector<std::vector<timestamp_t>> epochs(kWriters);
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (int i = 0; i < kTxnsPerWriter; ++i) {
+          auto txn = graph.BeginTransaction();
+          ASSERT_EQ(txn.AddEdge(bases[static_cast<size_t>(w)], 0,
+                                1000 + i, "e"),
+                    Status::kOk);
+          StatusOr<timestamp_t> committed = txn.Commit();
+          ASSERT_EQ(committed, Status::kOk);
+          // Commit() must not return before its whole group is visible.
+          EXPECT_GE(graph.ReadEpoch(), *committed);
+          epochs[static_cast<size_t>(w)].push_back(*committed);
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+    stop.store(true, std::memory_order_release);
+    monitor.join();
+    EXPECT_FALSE(violation.load());
+
+    // Per-writer commit epochs are non-decreasing (each transaction began
+    // after the previous one's group was visible), and the final GRE
+    // covers the maximum epoch handed out.
+    timestamp_t max_epoch = 0;
+    for (const auto& per_writer : epochs) {
+      for (size_t i = 1; i < per_writer.size(); ++i) {
+        EXPECT_GT(per_writer[i], per_writer[i - 1]);
+      }
+      if (!per_writer.empty()) {
+        max_epoch = std::max(max_epoch, per_writer.back());
+      }
+    }
+    EXPECT_EQ(graph.ReadEpoch(), max_epoch);
+  }
+  std::remove(options.wal_path.c_str());
+}
+
+// Every transaction writes the same value to TWO vertices; snapshot
+// readers must never observe the pair out of sync (a half-visible commit
+// group) no matter how the pipeline overlaps persist and apply phases.
+TEST(CommitPipeline, SnapshotsNeverSeePartialCommitGroup) {
+  GraphOptions options = StressOptions();
+  options.wal_path = TempWalPath("atomic");
+  options.fsync_wal = false;
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 3;
+  constexpr int kTxnsPerWriter = 250;
+  {
+    Graph graph(options);
+    std::vector<std::pair<vertex_t, vertex_t>> pairs(kWriters);
+    {
+      auto txn = graph.BeginTransaction();
+      for (auto& [a, b] : pairs) {
+        a = txn.AddVertex("0");
+        b = txn.AddVertex("0");
+      }
+      ASSERT_EQ(txn.Commit(), Status::kOk);
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn_reads{0};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < kReaders; ++r) {
+      readers.emplace_back([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          auto read = graph.BeginReadOnlyTransaction();
+          for (const auto& [a, b] : pairs) {
+            StatusOr<std::string_view> va = read.GetVertex(a);
+            StatusOr<std::string_view> vb = read.GetVertex(b);
+            ASSERT_TRUE(va.ok());
+            ASSERT_TRUE(vb.ok());
+            if (*va != *vb) torn_reads.fetch_add(1);
+          }
+        }
+      });
+    }
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (int i = 1; i <= kTxnsPerWriter; ++i) {
+          auto txn = graph.BeginTransaction();
+          std::string value = std::to_string(i);
+          ASSERT_EQ(txn.PutVertex(pairs[static_cast<size_t>(w)].first, value),
+                    Status::kOk);
+          ASSERT_EQ(txn.PutVertex(pairs[static_cast<size_t>(w)].second, value),
+                    Status::kOk);
+          ASSERT_EQ(txn.Commit(), Status::kOk);
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+    stop.store(true, std::memory_order_release);
+    for (auto& t : readers) t.join();
+    EXPECT_EQ(torn_reads.load(), 0);
+
+    auto read = graph.BeginReadOnlyTransaction();
+    for (const auto& [a, b] : pairs) {
+      EXPECT_EQ(*read.GetVertex(a), std::to_string(kTxnsPerWriter));
+      EXPECT_EQ(*read.GetVertex(b), std::to_string(kTxnsPerWriter));
+    }
+  }
+  std::remove(options.wal_path.c_str());
+}
+
+// Commit epochs form one total order: collecting every epoch from every
+// writer and sorting must yield a dense range (each group advances GWE by
+// exactly one and GRE follows in the same order).
+TEST(CommitPipeline, CommitEpochsAreTotalisedInOrder) {
+  GraphOptions options = StressOptions();
+  constexpr int kWriters = 6;
+  constexpr int kTxnsPerWriter = 200;
+  Graph graph(options);
+  std::vector<vertex_t> bases(kWriters);
+  {
+    auto txn = graph.BeginTransaction();
+    for (auto& b : bases) b = txn.AddVertex();
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  std::vector<std::vector<timestamp_t>> epochs(kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kTxnsPerWriter; ++i) {
+        auto txn = graph.BeginTransaction();
+        ASSERT_EQ(
+            txn.AddEdge(bases[static_cast<size_t>(w)], 0, 5000 + i, {}),
+            Status::kOk);
+        StatusOr<timestamp_t> committed = txn.Commit();
+        ASSERT_EQ(committed, Status::kOk);
+        epochs[static_cast<size_t>(w)].push_back(*committed);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  std::vector<timestamp_t> all;
+  for (const auto& per_writer : epochs) {
+    all.insert(all.end(), per_writer.begin(), per_writer.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_FALSE(all.empty());
+  // Dense: every epoch between the first group's and the last group's was
+  // produced by some group (groups may hold many transactions, so
+  // duplicates are expected — gaps are not).
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i] - all[i - 1], 1) << "gap in commit epoch sequence";
+  }
+  EXPECT_EQ(graph.ReadEpoch(), all.back());
+}
+
+// Concurrent committers' WAL batches (gathered with writev from pooled
+// per-worker buffers) must replay to the same graph after a restart.
+TEST(CommitPipeline, OverlappedGroupsRecoverFromWal) {
+  GraphOptions options = StressOptions();
+  options.wal_path = TempWalPath("recover");
+  options.fsync_wal = false;
+  constexpr int kWriters = 6;
+  constexpr int kTxnsPerWriter = 120;
+  std::vector<vertex_t> bases(kWriters);
+  {
+    Graph graph(options);
+    {
+      auto txn = graph.BeginTransaction();
+      for (auto& b : bases) b = txn.AddVertex("hub");
+      ASSERT_EQ(txn.Commit(), Status::kOk);
+    }
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+      writers.emplace_back([&, w] {
+        for (int i = 0; i < kTxnsPerWriter; ++i) {
+          auto txn = graph.BeginTransaction();
+          std::string props = "w" + std::to_string(w) + "#" +
+                              std::to_string(i);
+          ASSERT_EQ(txn.AddEdge(bases[static_cast<size_t>(w)], 0,
+                                10000 + i, props),
+                    Status::kOk);
+          ASSERT_EQ(txn.Commit(), Status::kOk);
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+  }
+
+  auto recovered = Graph::Recover(options, /*checkpoint_dir=*/"");
+  ASSERT_NE(recovered, nullptr);
+  auto read = recovered->BeginReadOnlyTransaction();
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(read.CountEdges(bases[static_cast<size_t>(w)], 0),
+              static_cast<size_t>(kTxnsPerWriter));
+    StatusOr<std::string_view> props = read.GetEdge(
+        bases[static_cast<size_t>(w)], 0, 10000 + kTxnsPerWriter - 1);
+    ASSERT_TRUE(props.ok());
+    EXPECT_EQ(*props, "w" + std::to_string(w) + "#" +
+                          std::to_string(kTxnsPerWriter - 1));
+  }
+  std::remove(options.wal_path.c_str());
+}
+
+// Exhausting max_vertices fails the operation, not the process, and the
+// transaction stays usable; the v2 Store surface reports kOutOfRange.
+TEST(CommitPipeline, AddVertexPastCapacityFailsGracefully) {
+  GraphOptions options = StressOptions();
+  options.max_vertices = 4;
+  {
+    Graph graph(options);
+    auto txn = graph.BeginTransaction();
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_NE(txn.AddVertex("v"), kNullVertex);
+    }
+    EXPECT_EQ(txn.AddVertex("overflow"), kNullVertex);
+    EXPECT_TRUE(txn.active());  // capacity is not a conflict
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+    auto read = graph.BeginReadOnlyTransaction();
+    EXPECT_EQ(read.VertexCount(), 4);
+  }
+
+  LiveGraphStore store(options);
+  auto txn = store.BeginTxn();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(txn->AddNode("n").ok());
+  }
+  StatusOr<vertex_t> overflow = txn->AddNode("overflow");
+  EXPECT_EQ(overflow.status(), Status::kOutOfRange);
+  // The session survives the capacity failure.
+  EXPECT_EQ(txn->UpdateNode(0, "updated"), Status::kOk);
+  EXPECT_EQ(txn->Commit(), Status::kOk);
+}
+
+}  // namespace
+}  // namespace livegraph
