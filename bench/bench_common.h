@@ -17,6 +17,7 @@
 #include "baselines/linked_list_store.h"
 #include "baselines/livegraph_store.h"
 #include "baselines/lsmt_store.h"
+#include "shard/sharded_store.h"
 #include "workload/linkbench.h"
 
 namespace livegraph::bench {
@@ -59,11 +60,19 @@ inline GraphOptions BenchGraphOptions(bool wal = false) {
 
 /// The three transactional contenders of Tables 3-6 (§7.1: "we compare
 /// LiveGraph with three embedded implementations ... as representatives for
-/// using B+ tree, LSMT, and linked list respectively").
+/// using B+ tree, LSMT, and linked list respectively"). `shards > 1` swaps
+/// the LiveGraph engine for the hash-partitioned ShardedLiveGraph
+/// (docs/SHARDING.md); page-cache instrumentation stays single-engine.
 inline std::unique_ptr<Store> MakeStore(const std::string& name,
                                         PageCacheSim* pagesim = nullptr,
-                                        bool wal = false) {
+                                        bool wal = false, int shards = 1) {
   if (name == "LiveGraph") {
+    if (shards > 1) {
+      ShardOptions options;
+      options.shards = shards;
+      options.graph = BenchGraphOptions(wal);
+      return std::make_unique<ShardedStore>(options);
+    }
     return std::make_unique<LiveGraphStore>(BenchGraphOptions(wal), pagesim);
   }
   if (name == "LSMT") {

@@ -3,6 +3,10 @@
 // Paper shape: LiveGraph's peak throughput far above both baselines in
 // memory (8.77M vs 3.24M reqs/s for TAO); out of core the gap narrows and
 // RocksDB overtakes LMDB.
+//
+// `--json` emits one machine-readable document (the BENCH_shard.json
+// record shape: one row per system/clients point) instead of the tables.
+#include <cstring>
 #include <vector>
 
 #include "bench/linkbench_tables.h"
@@ -10,11 +14,22 @@
 namespace livegraph::bench {
 namespace {
 
+struct Row {
+  const char* figure;
+  const char* panel;
+  const char* system;
+  int clients;
+  double throughput;
+  double mean_ms;
+};
+
 void Series(const char* figure, const char* panel, const LinkBenchMix& mix,
-            bool out_of_core) {
-  std::printf("\n=== %s (%s) ===\n", figure, panel);
-  std::printf("%-12s %8s %14s %12s\n", "system", "clients", "reqs/s",
-              "mean(ms)");
+            bool out_of_core, bool json, std::vector<Row>* rows) {
+  if (!json) {
+    std::printf("\n=== %s (%s) ===\n", figure, panel);
+    std::printf("%-12s %8s %14s %12s\n", "system", "clients", "reqs/s",
+                "mean(ms)");
+  }
   std::vector<int> client_counts;
   for (int64_t c : {2, 4, 8, 16, 24}) {
     if (c <= EnvInt("LG_MAX_CLIENTS", 16)) {
@@ -39,8 +54,13 @@ void Series(const char* figure, const char* panel, const LinkBenchMix& mix,
     for (int clients : client_counts) {
       config.clients = clients;
       DriverResult result = RunLinkBench(store.get(), config, n);
-      std::printf("%-12s %8d %14.0f %12.4f\n", system, clients,
-                  result.throughput(), result.overall.MeanMillis());
+      rows->push_back(Row{figure, panel, system, clients,
+                          result.throughput(),
+                          result.overall.MeanMillis()});
+      if (!json) {
+        std::printf("%-12s %8d %14.0f %12.4f\n", system, clients,
+                    result.throughput(), result.overall.MeanMillis());
+      }
     }
   }
 }
@@ -48,15 +68,32 @@ void Series(const char* figure, const char* panel, const LinkBenchMix& mix,
 }  // namespace
 }  // namespace livegraph::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace livegraph::bench;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  std::vector<Row> rows;
   Series("Figure 5: TAO throughput vs latency", "a: in memory",
-         livegraph::TaoMix(), false);
+         livegraph::TaoMix(), false, json, &rows);
   Series("Figure 5: TAO throughput vs latency", "c: out of core (Optane sim)",
-         livegraph::TaoMix(), true);
+         livegraph::TaoMix(), true, json, &rows);
   Series("Figure 6: DFLT throughput vs latency", "a: in memory",
-         livegraph::DfltMix(), false);
+         livegraph::DfltMix(), false, json, &rows);
   Series("Figure 6: DFLT throughput vs latency", "c: out of core (Optane sim)",
-         livegraph::DfltMix(), true);
+         livegraph::DfltMix(), true, json, &rows);
+  if (json) {
+    std::printf("{\n  \"bench\": \"fig5_fig6_throughput\",\n  \"rows\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::printf("    {\"figure\": \"%s\", \"panel\": \"%s\", "
+                  "\"system\": \"%s\", \"clients\": %d, "
+                  "\"throughput\": %.0f, \"mean_ms\": %.4f}%s\n",
+                  rows[i].figure, rows[i].panel, rows[i].system,
+                  rows[i].clients, rows[i].throughput, rows[i].mean_ms,
+                  i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  }
   return 0;
 }

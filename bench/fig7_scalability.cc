@@ -5,8 +5,12 @@
 // buddy-system design").
 //
 // `--json` switches stdout to a single machine-readable JSON document
-// (used by the CI perf smoke and the BENCH_commit.json before/after
-// recordings); the human tables are suppressed.
+// (used by the CI perf smoke and the BENCH_commit.json / BENCH_shard.json
+// before/after recordings); the human tables are suppressed.
+//
+// `--shards=N` runs the same sweep over the hash-partitioned
+// ShardedLiveGraph engine (docs/SHARDING.md) — N commit pipelines, N lock
+// arrays — which is how BENCH_shard.json's 1-vs-4-shard rows are recorded.
 #include <cstring>
 #include <map>
 #include <vector>
@@ -29,15 +33,20 @@ int main(int argc, char** argv) {
   using namespace livegraph::bench;
 
   bool json = false;
+  int shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+    }
   }
 
   std::vector<Row> rows;
   uint64_t ops_per_client = static_cast<uint64_t>(EnvInt("LG_OPS", 20'000));
 
   if (!json) {
-    std::printf("=== Figure 7a: LiveGraph scalability ===\n");
+    std::printf("=== Figure 7a: %s scalability ===\n",
+                shards > 1 ? "ShardedLiveGraph" : "LiveGraph");
     std::printf("%-8s %8s %14s %14s %10s\n", "mix", "clients", "reqs/s",
                 "ideal", "eff");
   }
@@ -49,7 +58,7 @@ int main(int argc, char** argv) {
     LinkBenchConfig config = DefaultLinkBenchConfig();
     config.mix = mix;
     config.ops_per_client = ops_per_client;
-    auto store = MakeStore("LiveGraph", nullptr, /*wal=*/true);
+    auto store = MakeStore("LiveGraph", nullptr, /*wal=*/true, shards);
     vertex_t n = LoadLinkBenchGraph(store.get(), config);
     double base_throughput = 0;
     for (int clients : {1, 2, 4, 8, 16}) {
@@ -65,7 +74,7 @@ int main(int argc, char** argv) {
                     ideal > 0 ? 100.0 * result.throughput() / ideal : 0.0);
       }
     }
-    if (name == "DFLT") {
+    if (name == "DFLT" && shards == 1) {
       dflt_store = std::move(store);
       dflt_store_keepalive =
           static_cast<LiveGraphStore*>(dflt_store.get());
@@ -74,6 +83,7 @@ int main(int argc, char** argv) {
 
   if (json) {
     std::printf("{\n  \"bench\": \"fig7_scalability\",\n");
+    std::printf("  \"shards\": %d,\n", shards);
     std::printf("  \"ops_per_client\": %llu,\n",
                 static_cast<unsigned long long>(ops_per_client));
     std::printf("  \"rows\": [\n");
@@ -88,11 +98,13 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("\n=== Figure 7b: TEL block size distribution ===\n");
-  std::printf("%-12s %12s\n", "bytes", "blocks");
-  for (const auto& [size, count] :
-       dflt_store_keepalive->graph().CollectTelSizeHistogram()) {
-    std::printf("%-12zu %12zu\n", size, count);
+  if (dflt_store_keepalive != nullptr) {
+    std::printf("\n=== Figure 7b: TEL block size distribution ===\n");
+    std::printf("%-12s %12s\n", "bytes", "blocks");
+    for (const auto& [size, count] :
+         dflt_store_keepalive->graph().CollectTelSizeHistogram()) {
+      std::printf("%-12zu %12zu\n", size, count);
+    }
   }
   return 0;
 }

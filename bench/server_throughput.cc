@@ -7,6 +7,7 @@
 //
 // Env knobs:
 //   LG_ENGINE   LiveGraph | LSMT | BTree | LinkedList   (default LiveGraph)
+//   LG_SHARDS   shard count; > 1 serves ShardedLiveGraph (LiveGraph only)
 //   LG_CLIENTS  client threads                          (default 8)
 //   LG_OPS      requests per client                     (default 20000)
 //   LG_SCALE    log2 vertices of the base graph         (default 15)
@@ -56,6 +57,7 @@ void PrintRemoteRow(const char* label, const DriverResult& result) {
 int Run(bool json) {
   LinkBenchConfig config = DefaultLinkBenchConfig();
   const std::string engine = EnvString("LG_ENGINE", "LiveGraph");
+  const int shards = static_cast<int>(EnvInt("LG_SHARDS", 1));
   if (std::string(EnvString("LG_MIX", "dflt")) == "tao") {
     config.mix = TaoMix();
   }
@@ -73,7 +75,8 @@ int Run(bool json) {
   // The serving engine. With LG_CONNECT the server lives in another
   // process and this engine is unused for serving (still used to report
   // the embedded baseline).
-  std::unique_ptr<Store> store = MakeStore(engine);
+  std::unique_ptr<Store> store = MakeStore(engine, nullptr,
+                                           /*wal=*/false, shards);
   vertex_t n = LoadLinkBenchGraph(store.get(), config);
 
   // Embedded baseline: same harness, in-process store. The gap to the

@@ -4,14 +4,24 @@
 // ETL export it requires. Paper: LiveGraph reaches 58.6% / 24.6% of
 // Gemini's PageRank/ConnComp speed, but ETL alone (1520ms) dwarfs both
 // kernel times — end-to-end, in-situ wins.
+//
+// `--shards=N` loads the same dataset into the hash-partitioned
+// ShardedLiveGraph and fans the in-situ kernels out across the shards: one
+// pinned snapshot per shard, one shared frontier (docs/SHARDING.md). The
+// CSR engine rows then include the cross-shard export in their ETL cost.
+// `--json` emits one machine-readable document (BENCH_shard.json-style
+// records) instead of the human table.
+#include <cstring>
+
 #include "analytics/conncomp.h"
 #include "analytics/etl.h"
 #include "analytics/pagerank.h"
 #include "analytics/static_engine.h"
 #include "bench/bench_common.h"
+#include "shard/sharded_store.h"
 #include "snb/datagen.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace livegraph;
   using namespace livegraph::bench;
   using namespace livegraph::snb;
@@ -19,54 +29,116 @@ int main() {
   using livegraph::ExportToCsr;
   using livegraph::PageRankOptions;
 
+  bool json = false;
+  int shards = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::atoi(argv[i] + 9);
+    }
+  }
+
   DatagenOptions datagen;
   datagen.scale_factor = EnvDouble("LG_SF", 8.0);
-  LiveGraphStore store(BenchGraphOptions());
-  SnbDataset data = GenerateSnb(&store, datagen);
   const int threads = static_cast<int>(EnvInt("LG_THREADS", 8));
-
-  auto snapshot = store.graph().BeginReadOnlyTransaction();
-
   PageRankOptions pr;
   pr.threads = threads;
 
-  // In-situ on the latest snapshot: zero ETL.
-  Timer t1;
-  auto ranks = livegraph::PageRankOnSnapshot(snapshot, kKnows, pr);
-  double livegraph_pr_ms = t1.Millis();
-  Timer t2;
-  auto comps = livegraph::ConnCompOnSnapshot(snapshot, kKnows, threads);
-  double livegraph_cc_ms = t2.Millis();
+  std::unique_ptr<Store> store = MakeStore("LiveGraph", nullptr,
+                                           /*wal=*/false, shards);
+  SnbDataset data = GenerateSnb(store.get(), datagen);
 
-  // Dedicated engine: pay the export first.
-  Timer t3;
-  Csr csr = ExportToCsr(snapshot, kKnows, threads);
-  double etl_ms = t3.Millis();
-  livegraph::StaticGraphEngine engine(std::move(csr));
-  Timer t4;
-  auto engine_ranks = engine.PageRank(pr);
-  double engine_pr_ms = t4.Millis();
-  Timer t5;
-  auto engine_comps = engine.ConnComp(threads);
-  double engine_cc_ms = t5.Millis();
+  // In-situ on the latest snapshot: zero ETL. Sharded runs pin one
+  // snapshot per shard (a consistent epoch vector) and share the frontier.
+  double livegraph_pr_ms = 0, livegraph_cc_ms = 0;
+  double etl_ms = 0, engine_pr_ms = 0, engine_cc_ms = 0;
+  size_t ranks_size = 0, comps_size = 0;
+  int64_t edge_count = 0;
+  size_t engine_ranks_size = 0, engine_comps_size = 0;
 
-  std::printf("=== Table 10: ETL and execution times (ms) ===\n");
-  std::printf("(knows subgraph: %zu persons, %lld edges)\n",
-              data.persons.size(),
-              static_cast<long long>(engine.csr().edge_count()));
-  std::printf("%-12s %12s %14s\n", "task", "LiveGraph", "StaticEngine");
-  std::printf("%-12s %12s %14.1f\n", "ETL", "-", etl_ms);
-  std::printf("%-12s %12.1f %14.1f\n", "PageRank", livegraph_pr_ms,
-              engine_pr_ms);
-  std::printf("%-12s %12.1f %14.1f\n", "ConnComp", livegraph_cc_ms,
-              engine_cc_ms);
-  std::printf("\nend-to-end: LiveGraph %.1f ms vs StaticEngine %.1f ms "
-              "(incl. ETL)\n", livegraph_pr_ms + livegraph_cc_ms,
-              etl_ms + engine_pr_ms + engine_cc_ms);
-  std::printf("paper shape: engine kernels faster, but ETL dominates "
-              "end-to-end\n");
-  // Keep results alive so the compiler cannot elide the computations.
-  if (ranks.size() != engine_ranks.size() || comps.size() != engine_comps.size()) {
+  auto run_static = [&](Csr csr) {
+    livegraph::StaticGraphEngine engine(std::move(csr));
+    edge_count = engine.csr().edge_count();
+    Timer t_pr;
+    engine_ranks_size = engine.PageRank(pr).size();
+    engine_pr_ms = t_pr.Millis();
+    Timer t_cc;
+    engine_comps_size = engine.ConnComp(threads).size();
+    engine_cc_ms = t_cc.Millis();
+  };
+
+  if (shards > 1) {
+    auto* sharded = static_cast<ShardedStore*>(store.get());
+    std::vector<ReadTransaction> snapshots = sharded->PinShardSnapshots();
+    Timer t1;
+    ranks_size = PageRankOnShardSnapshots(snapshots, kKnows, pr).size();
+    livegraph_pr_ms = t1.Millis();
+    Timer t2;
+    comps_size =
+        ConnCompOnShardSnapshots(snapshots, kKnows, threads).size();
+    livegraph_cc_ms = t2.Millis();
+    // Dedicated engine: the same threads-way two-pass export as the
+    // single-engine run, with each vertex's scan routed to its owner shard
+    // — the ETL rows compare apples to apples across shard counts.
+    Timer t3;
+    Csr csr = ExportToCsr(snapshots, kKnows, threads);
+    etl_ms = t3.Millis();
+    run_static(std::move(csr));
+  } else {
+    auto& graph = static_cast<LiveGraphStore*>(store.get())->graph();
+    auto snapshot = graph.BeginReadOnlyTransaction();
+    Timer t1;
+    ranks_size = livegraph::PageRankOnSnapshot(snapshot, kKnows, pr).size();
+    livegraph_pr_ms = t1.Millis();
+    Timer t2;
+    comps_size =
+        livegraph::ConnCompOnSnapshot(snapshot, kKnows, threads).size();
+    livegraph_cc_ms = t2.Millis();
+    Timer t3;
+    Csr csr = ExportToCsr(snapshot, kKnows, threads);
+    etl_ms = t3.Millis();
+    run_static(std::move(csr));
+  }
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"table10_analytics\",\n");
+    std::printf("  \"shards\": %d,\n  \"threads\": %d,\n", shards, threads);
+    std::printf("  \"persons\": %zu,\n  \"knows_edges\": %lld,\n",
+                data.persons.size(), static_cast<long long>(edge_count));
+    std::printf("  \"rows\": [\n");
+    std::printf("    {\"task\": \"ETL\", \"livegraph_ms\": 0, "
+                "\"static_ms\": %.1f},\n", etl_ms);
+    std::printf("    {\"task\": \"PageRank\", \"livegraph_ms\": %.1f, "
+                "\"static_ms\": %.1f},\n", livegraph_pr_ms, engine_pr_ms);
+    std::printf("    {\"task\": \"ConnComp\", \"livegraph_ms\": %.1f, "
+                "\"static_ms\": %.1f}\n", livegraph_cc_ms, engine_cc_ms);
+    std::printf("  ],\n");
+    std::printf("  \"end_to_end\": {\"livegraph_ms\": %.1f, "
+                "\"static_ms\": %.1f}\n}\n",
+                livegraph_pr_ms + livegraph_cc_ms,
+                etl_ms + engine_pr_ms + engine_cc_ms);
+  } else {
+    std::printf("=== Table 10: ETL and execution times (ms) ===\n");
+    std::printf("(knows subgraph: %zu persons, %lld edges, engine %s)\n",
+                data.persons.size(), static_cast<long long>(edge_count),
+                store->Name().c_str());
+    std::printf("%-12s %12s %14s\n", "task", store->Name().c_str(),
+                "StaticEngine");
+    std::printf("%-12s %12s %14.1f\n", "ETL", "-", etl_ms);
+    std::printf("%-12s %12.1f %14.1f\n", "PageRank", livegraph_pr_ms,
+                engine_pr_ms);
+    std::printf("%-12s %12.1f %14.1f\n", "ConnComp", livegraph_cc_ms,
+                engine_cc_ms);
+    std::printf("\nend-to-end: %s %.1f ms vs StaticEngine %.1f ms "
+                "(incl. ETL)\n", store->Name().c_str(),
+                livegraph_pr_ms + livegraph_cc_ms,
+                etl_ms + engine_pr_ms + engine_cc_ms);
+    std::printf("paper shape: engine kernels faster, but ETL dominates "
+                "end-to-end\n");
+  }
+  // The sharded frontier spans global IDs (round-robin interleave), so its
+  // arrays are exactly as long as the single-engine run's.
+  if (ranks_size != engine_ranks_size || comps_size != engine_comps_size) {
     std::printf("WARNING: result size mismatch\n");
     return 1;
   }

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "analytics/shard_view.h"
 #include "util/thread_pool.h"
 
 namespace livegraph {
@@ -70,6 +71,20 @@ std::vector<vertex_t> ConnCompOnSnapshot(const ReadTransaction& snapshot,
   return ConnCompKernel(snapshot.VertexCount(), threads,
                         [&](vertex_t v, const auto& emit) {
                           for (auto it = snapshot.GetEdges(v, label);
+                               it.Valid(); it.Next()) {
+                            emit(it.DstId());
+                          }
+                        });
+}
+
+std::vector<vertex_t> ConnCompOnShardSnapshots(
+    const std::vector<ReadTransaction>& snapshots, label_t label,
+    int threads) {
+  // One shared component frontier over global IDs; per-shard TEL scans
+  // relax across it in parallel (see PageRankOnShardSnapshots).
+  return ConnCompKernel(GlobalVertexBound(snapshots), threads,
+                        [&](vertex_t v, const auto& emit) {
+                          for (auto it = ShardEdges(snapshots, v, label);
                                it.Valid(); it.Next()) {
                             emit(it.DstId());
                           }

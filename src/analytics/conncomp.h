@@ -14,6 +14,13 @@ namespace livegraph {
 std::vector<vertex_t> ConnCompOnSnapshot(const ReadTransaction& snapshot,
                                          label_t label, int threads);
 
+/// In-situ over a sharded engine: per-shard pinned snapshots, one shared
+/// component frontier over global vertex IDs (see PageRankOnShardSnapshots
+/// for the routing scheme).
+std::vector<vertex_t> ConnCompOnShardSnapshots(
+    const std::vector<ReadTransaction>& snapshots, label_t label,
+    int threads);
+
 std::vector<vertex_t> ConnCompOnCsr(const Csr& csr, int threads);
 
 }  // namespace livegraph

@@ -3,18 +3,24 @@
 #include <atomic>
 #include <vector>
 
+#include "analytics/shard_view.h"
 #include "util/thread_pool.h"
 
 namespace livegraph {
 
-Csr ExportToCsr(const ReadTransaction& snapshot, label_t label, int threads) {
-  const vertex_t n = snapshot.VertexCount();
+namespace {
+
+/// Shared two-pass parallel export: `count(v)` is v's out-degree,
+/// `edges(v)` its EdgeIterator.
+template <typename CountFn, typename EdgesFn>
+Csr ParallelExport(vertex_t n, int threads, const CountFn& count,
+                   const EdgesFn& edges) {
   // Pass 1: degrees.
   std::vector<std::atomic<int64_t>> degrees(static_cast<size_t>(n));
   ParallelFor(0, n, threads, [&](int64_t lo, int64_t hi) {
     for (int64_t v = lo; v < hi; ++v) {
       degrees[static_cast<size_t>(v)].store(
-          static_cast<int64_t>(snapshot.CountEdges(v, label)),
+          static_cast<int64_t>(count(static_cast<vertex_t>(v))),
           std::memory_order_relaxed);
     }
   });
@@ -30,12 +36,30 @@ Csr ExportToCsr(const ReadTransaction& snapshot, label_t label, int threads) {
   ParallelFor(0, n, threads, [&](int64_t lo, int64_t hi) {
     for (int64_t v = lo; v < hi; ++v) {
       int64_t cursor = offsets[static_cast<size_t>(v)];
-      for (auto it = snapshot.GetEdges(v, label); it.Valid(); it.Next()) {
+      for (auto it = edges(static_cast<vertex_t>(v)); it.Valid();
+           it.Next()) {
         targets[static_cast<size_t>(cursor++)] = it.DstId();
       }
     }
   });
   return Csr::Adopt(std::move(offsets), std::move(targets));
+}
+
+}  // namespace
+
+Csr ExportToCsr(const ReadTransaction& snapshot, label_t label, int threads) {
+  return ParallelExport(
+      snapshot.VertexCount(), threads,
+      [&](vertex_t v) { return snapshot.CountEdges(v, label); },
+      [&](vertex_t v) { return snapshot.GetEdges(v, label); });
+}
+
+Csr ExportToCsr(const std::vector<ReadTransaction>& snapshots, label_t label,
+                int threads) {
+  return ParallelExport(
+      GlobalVertexBound(snapshots), threads,
+      [&](vertex_t v) { return ShardCountEdges(snapshots, v, label); },
+      [&](vertex_t v) { return ShardEdges(snapshots, v, label); });
 }
 
 Csr ExportToCsr(StoreReadTxn& txn, label_t label) {

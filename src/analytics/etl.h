@@ -15,6 +15,14 @@ namespace livegraph {
 /// a dedicated engine like Gemini would need before computing anything.
 Csr ExportToCsr(const ReadTransaction& snapshot, label_t label, int threads);
 
+/// Same parallel export over a sharded engine's pinned per-shard snapshots
+/// (ShardedStore::PinShardSnapshots, docs/SHARDING.md): identical two-pass
+/// structure and thread count to the single-snapshot export — apples to
+/// apples for Table 10's ETL row — with every vertex's scan routed to its
+/// owner shard and CSR rows indexed by global ID.
+Csr ExportToCsr(const std::vector<ReadTransaction>& snapshots, label_t label,
+                int threads);
+
 /// Engine-neutral export through the v2 session API: walks every vertex's
 /// adjacency cursor within one StoreReadTxn, so any engine — LiveGraph or
 /// baseline — can feed the static analytics engine. Single-threaded (the

@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "analytics/shard_view.h"
 #include "util/thread_pool.h"
 
 namespace livegraph {
@@ -73,6 +74,29 @@ std::vector<double> PageRankOnSnapshot(const ReadTransaction& snapshot,
   return PageRankKernel(
       n, degrees, options, [&](vertex_t v, const auto& emit) {
         for (auto it = snapshot.GetEdges(v, label); it.Valid(); it.Next()) {
+          emit(it.DstId());
+        }
+      });
+}
+
+std::vector<double> PageRankOnShardSnapshots(
+    const std::vector<ReadTransaction>& snapshots, label_t label,
+    const PageRankOptions& options) {
+  // Shared frontier: the rank/next/degree arrays span global vertex IDs;
+  // each worker's slice of [0, n) interleaves across every shard, so all N
+  // engines are scanned in parallel against the one frontier.
+  const vertex_t n = GlobalVertexBound(snapshots);
+  std::vector<int64_t> degrees(static_cast<size_t>(n), 0);
+  ParallelFor(0, n, options.threads, [&](int64_t lo, int64_t hi) {
+    for (int64_t v = lo; v < hi; ++v) {
+      degrees[static_cast<size_t>(v)] =
+          static_cast<int64_t>(ShardCountEdges(snapshots, v, label));
+    }
+  });
+  return PageRankKernel(
+      n, degrees, options, [&](vertex_t v, const auto& emit) {
+        for (auto it = ShardEdges(snapshots, v, label); it.Valid();
+             it.Next()) {
           emit(it.DstId());
         }
       });

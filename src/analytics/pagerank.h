@@ -23,6 +23,17 @@ std::vector<double> PageRankOnSnapshot(const ReadTransaction& snapshot,
                                        label_t label,
                                        const PageRankOptions& options);
 
+/// In-situ over a sharded engine (docs/SHARDING.md): one pinned snapshot
+/// per shard (ShardedStore::PinShardSnapshots — index s is shard s), a
+/// shared rank frontier over global vertex IDs. Every worker thread scans
+/// the TELs of the shard owning its vertices; edges carry global
+/// destination IDs, so contributions land directly in the shared arrays.
+/// Result is indexed by global vertex ID, identical to the single-graph
+/// kernel on the same logical graph.
+std::vector<double> PageRankOnShardSnapshots(
+    const std::vector<ReadTransaction>& snapshots, label_t label,
+    const PageRankOptions& options);
+
 /// Static engine (CSR) version — identical math, read-optimal layout.
 std::vector<double> PageRankOnCsr(const Csr& csr,
                                   const PageRankOptions& options);

@@ -1,0 +1,48 @@
+// Shared routing helpers for analytics kernels fanned out over a sharded
+// engine's per-shard snapshots (docs/SHARDING.md). The ID scheme is the
+// sharded store's interleaved encoding (shard/id_partition.h), cheap
+// enough to sit inside the per-vertex scan loop.
+#ifndef LIVEGRAPH_ANALYTICS_SHARD_VIEW_H_
+#define LIVEGRAPH_ANALYTICS_SHARD_VIEW_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/transaction.h"
+#include "shard/id_partition.h"
+#include "util/types.h"
+
+namespace livegraph {
+
+/// Exclusive upper bound on global vertex IDs across the shard snapshots.
+inline vertex_t GlobalVertexBound(
+    const std::vector<ReadTransaction>& snapshots) {
+  const auto n = static_cast<int>(snapshots.size());
+  vertex_t bound = 0;
+  for (int s = 0; s < n; ++s) {
+    bound = std::max(
+        bound, shard_id::GlobalBoundOf(
+                   s, snapshots[static_cast<size_t>(s)].VertexCount(), n));
+  }
+  return bound;
+}
+
+/// The edge scan of global vertex `v`: a purely sequential TEL walk inside
+/// v's owner shard. Destinations in the TEL are global IDs already.
+inline EdgeIterator ShardEdges(const std::vector<ReadTransaction>& snapshots,
+                               vertex_t v, label_t label) {
+  const auto n = static_cast<int>(snapshots.size());
+  return snapshots[static_cast<size_t>(shard_id::ShardOf(v, n))].GetEdges(
+      shard_id::LocalOf(v, n), label);
+}
+
+inline size_t ShardCountEdges(const std::vector<ReadTransaction>& snapshots,
+                              vertex_t v, label_t label) {
+  const auto n = static_cast<int>(snapshots.size());
+  return snapshots[static_cast<size_t>(shard_id::ShardOf(v, n))].CountEdges(
+      shard_id::LocalOf(v, n), label);
+}
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_ANALYTICS_SHARD_VIEW_H_

@@ -14,12 +14,20 @@
 // the cursor once, and iteration is an index bump. A third, chunked mode
 // backs remote scans (docs/SERVER.md): the cursor pulls fixed-size edge
 // batches from a BatchSource as the caller advances, so streamed adjacency
-// lists are bounded by one batch of client memory.
+// lists are bounded by one batch of client memory. A fourth, merged mode
+// fans several child cursors into one stream (docs/SHARDING.md): the
+// sharded engine uses it to gather per-shard adjacency cursors — each child
+// still a purely sequential scan inside its own shard — picking the child
+// with the newest head entry first, so multi-source queries ("latest posts
+// of my friends", whose friends hash to different shards) keep the
+// newest-first consumption shape without materializing the union.
 #ifndef LIVEGRAPH_API_EDGE_CURSOR_H_
 #define LIVEGRAPH_API_EDGE_CURSOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -78,14 +86,51 @@ class EdgeCursor {
     Refill();
   }
 
+  /// Merged (shard fan-in) mode: yields from `children`, at most `limit`
+  /// edges total. When `newest_first` is set the cursor always yields the
+  /// child head with the greatest creation timestamp (ties break toward the
+  /// lower child index), preserving exact newest-first order per child;
+  /// across children the interleave is exact when the children share one
+  /// epoch domain and best-effort otherwise (per-shard engines stamp
+  /// per-shard epochs — docs/SHARDING.md). With `newest_first` false the
+  /// children are drained in order (concatenation).
+  static EdgeCursor Merge(std::vector<EdgeCursor> children,
+                          size_t limit = std::numeric_limits<size_t>::max(),
+                          bool newest_first = true) {
+    EdgeCursor c;
+    c.mode_ = Mode::kMerged;
+    c.remaining_ = limit;
+    c.merge_ = std::make_unique<MergeState>();
+    c.merge_->children = std::move(children);
+    c.merge_->newest_first = newest_first;
+    if (newest_first) {
+      // Seed the head heap: O(K) for K children; each subsequent yield
+      // costs one sift instead of a rescan of every child.
+      auto& m = *c.merge_;
+      m.heap.reserve(m.children.size());
+      for (size_t i = 0; i < m.children.size(); ++i) {
+        if (m.children[i].Valid()) {
+          m.heap.push_back(
+              HeapEntry{m.children[i].creation_timestamp(), i});
+        }
+      }
+      std::make_heap(m.heap.begin(), m.heap.end(), HeapLess{});
+    }
+    c.SelectChild();
+    return c;
+  }
+
   EdgeCursor(EdgeCursor&&) = default;
   EdgeCursor& operator=(EdgeCursor&&) = default;
   EdgeCursor(const EdgeCursor&) = delete;
   EdgeCursor& operator=(const EdgeCursor&) = delete;
 
   bool Valid() const {
-    return mode_ == Mode::kTel ? remaining_ != 0 && it_.Valid()
-                               : index_ < edges_.size();
+    if (mode_ == Mode::kTel) return remaining_ != 0 && it_.Valid();
+    if (mode_ == Mode::kMerged) {
+      return remaining_ != 0 && merge_->current != kNoChild;
+    }
+    return index_ < edges_.size();
   }
 
   /// Advances to the next visible edge (newer-to-older on engines with
@@ -94,6 +139,16 @@ class EdgeCursor {
     if (mode_ == Mode::kTel) {
       it_.Next();
       --remaining_;
+    } else if (mode_ == Mode::kMerged) {
+      MergeState& m = *merge_;
+      EdgeCursor& child = m.children[m.current];
+      child.Next();
+      --remaining_;
+      if (m.newest_first && child.Valid()) {
+        m.heap.push_back(HeapEntry{child.creation_timestamp(), m.current});
+        std::push_heap(m.heap.begin(), m.heap.end(), HeapLess{});
+      }
+      SelectChild();
     } else {
       ++index_;
       if (mode_ == Mode::kChunked && index_ >= edges_.size()) Refill();
@@ -101,13 +156,18 @@ class EdgeCursor {
   }
 
   vertex_t dst() const {
-    return mode_ == Mode::kTel ? it_.DstId() : edges_[index_].dst;
+    if (mode_ == Mode::kTel) return it_.DstId();
+    if (mode_ == Mode::kMerged) return merge_->children[merge_->current].dst();
+    return edges_[index_].dst;
   }
 
   /// This edge's property bytes. A view into the TEL (live mode) or the
   /// cursor's arena (materialized mode); stable until Next().
   std::string_view properties() const {
     if (mode_ == Mode::kTel) return it_.Properties();
+    if (mode_ == Mode::kMerged) {
+      return merge_->children[merge_->current].properties();
+    }
     const Edge& e = edges_[index_];
     return std::string_view(arena_.data() + e.prop_offset, e.prop_size);
   }
@@ -115,8 +175,18 @@ class EdgeCursor {
   /// Creation timestamp (commit epoch) of the current edge; engines without
   /// version timestamps report their insertion sequence number.
   timestamp_t creation_timestamp() const {
-    return mode_ == Mode::kTel ? it_.CreationTimestamp()
-                               : edges_[index_].created;
+    if (mode_ == Mode::kTel) return it_.CreationTimestamp();
+    if (mode_ == Mode::kMerged) {
+      return merge_->children[merge_->current].creation_timestamp();
+    }
+    return edges_[index_].created;
+  }
+
+  /// The child cursor the current edge came from (merged mode: the shard /
+  /// source index); 0 elsewhere. Lets fan-in consumers attribute an edge to
+  /// the source vertex whose list it was merged from.
+  size_t merge_source() const {
+    return mode_ == Mode::kMerged ? merge_->current : 0;
   }
 
   /// Address range of the underlying edge-log strip, for out-of-core
@@ -124,11 +194,39 @@ class EdgeCursor {
   /// adaptor accounts touches while snapshotting).
   std::pair<const void*, size_t> ScanSpan() const {
     if (mode_ == Mode::kTel) return it_.ScanSpan();
+    if (mode_ == Mode::kMerged && merge_->current != kNoChild) {
+      return merge_->children[merge_->current].ScanSpan();
+    }
     return {nullptr, 0};
   }
 
  private:
-  enum class Mode : uint8_t { kTel, kMaterialized, kChunked };
+  enum class Mode : uint8_t { kTel, kMaterialized, kChunked, kMerged };
+
+  static constexpr size_t kNoChild = std::numeric_limits<size_t>::max();
+
+  /// Head-of-child entry in the merge heap: max timestamp wins, ties break
+  /// toward the lower child index.
+  struct HeapEntry {
+    timestamp_t ts;
+    size_t child;
+  };
+  struct HeapLess {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.ts != b.ts ? a.ts < b.ts : a.child > b.child;
+    }
+  };
+
+  /// All merged-mode state, heap-allocated as one unit so the common
+  /// single-list cursor pays exactly one null pointer for the mode's
+  /// existence. `heap` holds the heads of every valid non-current child
+  /// (newest-first merge), so advancing is O(log K) in the child count.
+  struct MergeState {
+    std::vector<EdgeCursor> children;
+    std::vector<HeapEntry> heap;
+    size_t current = kNoChild;
+    bool newest_first = true;
+  };
 
   void Refill() {
     index_ = 0;
@@ -138,13 +236,40 @@ class EdgeCursor {
     }
   }
 
+  /// Merged mode: picks the child to yield from next. Newest-first pops
+  /// the child with the newest head off the heap (the previous current
+  /// child, if still valid, is pushed back first by Next()); concatenation
+  /// takes the first valid child.
+  void SelectChild() {
+    MergeState& m = *merge_;
+    if (m.newest_first) {
+      if (m.heap.empty()) {
+        m.current = kNoChild;
+        return;
+      }
+      std::pop_heap(m.heap.begin(), m.heap.end(), HeapLess{});
+      m.current = m.heap.back().child;
+      m.heap.pop_back();
+      return;
+    }
+    for (size_t i = m.current == kNoChild ? 0 : m.current;
+         i < m.children.size(); ++i) {
+      if (m.children[i].Valid()) {
+        m.current = i;
+        return;
+      }
+    }
+    m.current = kNoChild;
+  }
+
   Mode mode_ = Mode::kMaterialized;  // default: empty materialized cursor
   EdgeIterator it_;
-  size_t remaining_ = 0;  // TEL mode: yields left before the scan bound
+  size_t remaining_ = 0;  // TEL/merged mode: yields left before the bound
   size_t index_ = 0;
   std::vector<Edge> edges_;
   std::string arena_;
   std::unique_ptr<BatchSource> source_;  // chunked mode only
+  std::unique_ptr<MergeState> merge_;  // merged mode only
 };
 
 /// Incremental builder for materialized cursors (baseline adaptors).

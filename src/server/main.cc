@@ -1,14 +1,19 @@
 // livegraph_server: stand-alone graph server binary (docs/SERVER.md).
 //
-//   livegraph_server [--engine=LiveGraph|BTree|LSMT|LinkedList]
-//                    [--host=127.0.0.1] [--port=9271]
+//   livegraph_server [--engine=LiveGraph|PagedLiveGraph|BTree|LSMT|LinkedList]
+//                    [--shards=N] [--host=127.0.0.1] [--port=9271]
 //                    [--durability=none|wal|wal-fsync] [--wal-path=FILE]
 //                    [--storage-path=FILE] [--max-vertices=N]
-//                    [--scan-batch-edges=N]
+//                    [--page-cache-pages=N] [--scan-batch-edges=N]
 //
 // Serves the chosen engine over the binary wire protocol until SIGINT or
-// SIGTERM. Durability flags apply to the LiveGraph engine only (the
-// baselines are volatile comparators, as in the paper's §7.1 setup).
+// SIGTERM. --shards=N (LiveGraph engine only) serves a hash-partitioned
+// ShardedLiveGraph instead — N independent commit pipelines, lock arrays
+// and compaction threads behind the same wire protocol, remote sessions
+// pinning cross-shard snapshot vectors transparently (docs/SHARDING.md).
+// Durability flags apply to the LiveGraph engines only (the baselines are
+// volatile comparators, as in the paper's §7.1 setup); a sharded server
+// writes one WAL per shard (`--wal-path` plus a ".shard<i>" suffix).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +27,7 @@
 #include "baselines/livegraph_store.h"
 #include "baselines/lsmt_store.h"
 #include "server/graph_server.h"
+#include "shard/sharded_store.h"
 
 namespace {
 
@@ -31,12 +37,14 @@ void HandleSignal(int) { g_stop = 1; }
 
 struct Flags {
   std::string engine = "LiveGraph";
+  int shards = 1;
   std::string host = "127.0.0.1";
   uint16_t port = 9271;
   std::string durability = "none";  // none | wal | wal-fsync
   std::string wal_path = "/tmp/livegraph_server_wal.log";
   std::string storage_path;
   size_t max_vertices = size_t{1} << 24;
+  size_t page_cache_pages = size_t{1} << 16;  // PagedLiveGraph: 256 MiB
   size_t scan_batch_edges = 512;
 };
 
@@ -50,24 +58,38 @@ bool TakeValue(const char* arg, const char* name, std::string* out) {
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--engine=LiveGraph|BTree|LSMT|LinkedList]\n"
-      "          [--host=ADDR] [--port=N]\n"
+      "usage: %s [--engine=LiveGraph|PagedLiveGraph|BTree|LSMT|LinkedList]\n"
+      "          [--shards=N] [--host=ADDR] [--port=N]\n"
       "          [--durability=none|wal|wal-fsync] [--wal-path=FILE]\n"
       "          [--storage-path=FILE] [--max-vertices=N]\n"
-      "          [--scan-batch-edges=N]\n",
+      "          [--page-cache-pages=N] [--scan-batch-edges=N]\n"
+      "  --shards=N (N > 1) serves a hash-partitioned ShardedLiveGraph;\n"
+      "  LiveGraph engine only.\n",
       argv0);
   return 2;
 }
 
 std::unique_ptr<livegraph::Store> MakeEngine(const Flags& flags) {
   using namespace livegraph;
-  if (flags.engine == "LiveGraph") {
+  if (flags.engine == "LiveGraph" || flags.engine == "PagedLiveGraph") {
     GraphOptions options;
     options.max_vertices = flags.max_vertices;
     options.storage_path = flags.storage_path;
     if (flags.durability != "none") {
       options.wal_path = flags.wal_path;
       options.fsync_wal = flags.durability == "wal-fsync";
+    }
+    if (flags.engine == "PagedLiveGraph") {
+      // Out-of-core configuration: the engine owns a page-cache simulator
+      // charging device latencies for the byte ranges scans really walk.
+      return std::make_unique<LiveGraphStore>(
+          options, PageCacheSim::Optane(flags.page_cache_pages));
+    }
+    if (flags.shards > 1) {
+      ShardOptions sharded;
+      sharded.shards = flags.shards;
+      sharded.graph = options;
+      return std::make_unique<ShardedStore>(sharded);
     }
     return std::make_unique<LiveGraphStore>(options);
   }
@@ -94,8 +116,12 @@ int main(int argc, char** argv) {
     }
     if (TakeValue(argv[i], "--port", &value)) {
       flags.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (TakeValue(argv[i], "--shards", &value)) {
+      flags.shards = std::atoi(value.c_str());
     } else if (TakeValue(argv[i], "--max-vertices", &value)) {
       flags.max_vertices = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (TakeValue(argv[i], "--page-cache-pages", &value)) {
+      flags.page_cache_pages = static_cast<size_t>(std::atoll(value.c_str()));
     } else if (TakeValue(argv[i], "--scan-batch-edges", &value)) {
       flags.scan_batch_edges =
           static_cast<size_t>(std::atoll(value.c_str()));
@@ -105,6 +131,11 @@ int main(int argc, char** argv) {
   }
   if (flags.durability != "none" && flags.durability != "wal" &&
       flags.durability != "wal-fsync") {
+    return Usage(argv[0]);
+  }
+  if (flags.shards < 1 ||
+      (flags.shards > 1 && flags.engine != "LiveGraph")) {
+    std::fprintf(stderr, "--shards=N requires N >= 1 and --engine=LiveGraph\n");
     return Usage(argv[0]);
   }
 

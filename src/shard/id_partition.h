@@ -1,0 +1,36 @@
+// The sharded store's ID partitioning scheme, in one place
+// (docs/SHARDING.md): vertices hash-partition by ID with an interleaved
+// encoding, global = local * N + shard, so the owner shard and the
+// shard-local ID are one mod/div each. Everything that routes global IDs —
+// the store itself, its read sessions, the analytics fan-out — goes
+// through these helpers, so a future encoding change (e.g. consistent-hash
+// ranges for rebalancing) has exactly one home.
+#ifndef LIVEGRAPH_SHARD_ID_PARTITION_H_
+#define LIVEGRAPH_SHARD_ID_PARTITION_H_
+
+#include "util/types.h"
+
+namespace livegraph::shard_id {
+
+/// Owner shard of global vertex `v` (v >= 0).
+inline int ShardOf(vertex_t v, int shards) {
+  return static_cast<int>(v % shards);
+}
+
+/// `v`'s ID inside its owner shard.
+inline vertex_t LocalOf(vertex_t v, int shards) { return v / shards; }
+
+/// Global ID of shard-local vertex `local` in `shard`.
+inline vertex_t GlobalOf(int shard, vertex_t local, int shards) {
+  return local * shards + shard;
+}
+
+/// Exclusive global-ID upper bound contributed by `shard` holding
+/// `local_count` vertices (0 when empty).
+inline vertex_t GlobalBoundOf(int shard, vertex_t local_count, int shards) {
+  return local_count > 0 ? (local_count - 1) * shards + shard + 1 : 0;
+}
+
+}  // namespace livegraph::shard_id
+
+#endif  // LIVEGRAPH_SHARD_ID_PARTITION_H_

@@ -1,0 +1,384 @@
+#include "shard/sharded_store.h"
+
+#include <algorithm>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace livegraph {
+
+/// Befriended by ShardedStore: the coordinator internals the write session
+/// needs, kept off the public surface.
+struct ShardedStoreAccess {
+  static timestamp_t TickEpoch(ShardedStore& store) {
+    return store.TickEpoch();
+  }
+  static int PickShard(ShardedStore& store) { return store.PickShard(); }
+  static std::shared_mutex& CoordinatorMu(ShardedStore& store) {
+    return store.coordinator_mu_;
+  }
+};
+
+namespace {
+
+/// Shard s's engine options: an equal slice of the global vertex budget,
+/// and per-shard durable files so N WALs / N backing files never collide.
+GraphOptions ShardGraphOptions(const ShardOptions& options, int shards,
+                               int s) {
+  GraphOptions g = options.graph;
+  g.max_vertices =
+      (options.graph.max_vertices + static_cast<size_t>(shards) - 1) /
+      static_cast<size_t>(shards);
+  const std::string suffix = ".shard" + std::to_string(s);
+  if (!g.wal_path.empty()) g.wal_path += suffix;
+  if (!g.storage_path.empty()) g.storage_path += suffix;
+  return g;
+}
+
+/// A read-write session over the shards. Native per-shard transactions
+/// open lazily on first touch, so a transaction that only ever addresses
+/// one shard is exactly a native LiveGraph transaction plus one array
+/// index — the single-shard fast path. Cross-shard atomicity mirrors the
+/// native eager-abort discipline: the moment any shard reports
+/// kConflict/kTimeout (its native transaction has already rolled back),
+/// every other open shard is rolled back too and the session dies.
+class ShardedWriteTxn : public StoreTxn {
+ public:
+  explicit ShardedWriteTxn(ShardedStore* store)
+      : store_(store),
+        txns_(static_cast<size_t>(store->num_shards())),
+        wrote_(static_cast<size_t>(store->num_shards()), false) {}
+
+  ~ShardedWriteTxn() override {
+    if (active_) AbortAll();
+  }
+
+  // --- Reads (read-your-writes via the owning shard's native txn) ---
+
+  StatusOr<std::string> GetNode(vertex_t id) override {
+    if (!active_) return Status::kNotActive;
+    if (id < 0) return Status::kNotFound;
+    StatusOr<std::string_view> props =
+        Shard(store_->ShardOf(id)).GetVertex(store_->LocalId(id));
+    if (!props.ok()) return props.status();
+    return std::string(*props);
+  }
+
+  StatusOr<std::string> GetLink(vertex_t src, label_t label,
+                                vertex_t dst) override {
+    if (!active_) return Status::kNotActive;
+    if (src < 0) return Status::kNotFound;
+    StatusOr<std::string_view> props =
+        Shard(store_->ShardOf(src))
+            .GetEdge(store_->LocalId(src), label, dst);
+    if (!props.ok()) return props.status();
+    return std::string(*props);
+  }
+
+  EdgeCursor ScanLinks(vertex_t src, label_t label, size_t limit) override {
+    if (!active_ || src < 0) return EdgeCursor();
+    return EdgeCursor(
+        Shard(store_->ShardOf(src)).GetEdges(store_->LocalId(src), label),
+        limit);
+  }
+
+  size_t CountLinks(vertex_t src, label_t label) override {
+    if (!active_ || src < 0) return 0;
+    return Shard(store_->ShardOf(src))
+        .CountEdges(store_->LocalId(src), label);
+  }
+
+  vertex_t VertexCount() override { return store_->VertexCount(); }
+
+  // --- Writes ---
+
+  StatusOr<vertex_t> AddNode(std::string_view data) override {
+    if (!active_) return Status::kNotActive;
+    int s = ShardedStoreAccess::PickShard(*store_);
+    Transaction& txn = Shard(s);
+    vertex_t local = txn.AddVertex(data);
+    if (local == kNullVertex) {
+      // Capacity exhaustion keeps the shard transaction active (and this
+      // session usable); a lock timeout killed it — take the rest down too.
+      if (txn.active()) return Status::kOutOfRange;
+      AbortAll();
+      return Status::kTimeout;
+    }
+    wrote_[static_cast<size_t>(s)] = true;
+    return store_->GlobalId(s, local);
+  }
+
+  Status UpdateNode(vertex_t id, std::string_view data) override {
+    if (!active_) return Status::kNotActive;
+    if (id < 0) return Status::kNotFound;
+    int s = store_->ShardOf(id);
+    Transaction& txn = Shard(s);
+    vertex_t local = store_->LocalId(id);
+    // LinkBench UPDATE_NODE: tombstoned / never-written IDs must not
+    // resurrect.
+    if (!txn.GetVertex(local).ok()) return Status::kNotFound;
+    return Wrote(s, Filter(txn.PutVertex(local, data)));
+  }
+
+  Status DeleteNode(vertex_t id) override {
+    if (!active_) return Status::kNotActive;
+    if (id < 0) return Status::kNotFound;
+    int s = store_->ShardOf(id);
+    Transaction& txn = Shard(s);
+    vertex_t local = store_->LocalId(id);
+    if (!txn.GetVertex(local).ok()) return Status::kNotFound;
+    return Wrote(s, Filter(txn.DeleteVertex(local)));
+  }
+
+  StatusOr<bool> AddLink(vertex_t src, label_t label, vertex_t dst,
+                         std::string_view data) override {
+    if (!active_) return Status::kNotActive;
+    if (src < 0) return Status::kNotFound;
+    int s = store_->ShardOf(src);
+    Transaction& txn = Shard(s);
+    vertex_t local = store_->LocalId(src);
+    // Upsert: report whether this was a true insertion (Bloom-fast, §4).
+    bool existed = txn.GetEdge(local, label, dst).ok();
+    Status st = Wrote(s, Filter(txn.AddEdge(local, label, dst, data)));
+    if (st != Status::kOk) return st;
+    return !existed;
+  }
+
+  Status UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                    std::string_view data) override {
+    if (!active_) return Status::kNotActive;
+    if (src < 0) return Status::kNotFound;
+    int s = store_->ShardOf(src);
+    Transaction& txn = Shard(s);
+    vertex_t local = store_->LocalId(src);
+    if (!txn.GetEdge(local, label, dst).ok()) return Status::kNotFound;
+    return Wrote(s, Filter(txn.AddEdge(local, label, dst, data)));
+  }
+
+  Status DeleteLink(vertex_t src, label_t label, vertex_t dst) override {
+    if (!active_) return Status::kNotActive;
+    if (src < 0) return Status::kNotFound;
+    int s = store_->ShardOf(src);
+    Transaction& txn = Shard(s);
+    return Wrote(s, Filter(txn.DeleteEdge(store_->LocalId(src), label, dst)));
+  }
+
+  // --- Lifecycle ---
+
+  StatusOr<timestamp_t> Commit() override {
+    if (!active_) return Status::kNotActive;
+    active_ = false;
+
+    // Shards without a landed mutation publish no visible data (at most an
+    // empty staged TEL write from a missed delete): their native commits
+    // cannot tear a snapshot. Run them outside any coordination.
+    int writers = 0;
+    for (size_t s = 0; s < txns_.size(); ++s) {
+      if (!txns_[s].has_value()) continue;
+      if (wrote_[s]) {
+        ++writers;
+      } else {
+        txns_[s]->Commit();
+        txns_[s].reset();
+      }
+    }
+
+    if (writers <= 1) {
+      // Single-shard fast path: straight through that shard's commit
+      // pipeline, no coordinator involvement.
+      for (auto& txn : txns_) {
+        if (!txn.has_value()) continue;
+        StatusOr<timestamp_t> committed = txn->Commit();
+        txn.reset();
+        if (!committed.ok()) return committed.status();
+      }
+      return ShardedStoreAccess::TickEpoch(*store_);
+    }
+
+    // Multi-shard commit: one coordinator epoch, applied per-shard in
+    // shard order while holding the coordinator lock exclusively. Each
+    // native Commit() returns only once its shard's GRE covers it, so on
+    // release the transaction is visible everywhere at once — and no epoch
+    // vector can be pinned in between (readers hold the shared side).
+    std::unique_lock<std::shared_mutex> coordinator(
+        ShardedStoreAccess::CoordinatorMu(*store_));
+    timestamp_t epoch = ShardedStoreAccess::TickEpoch(*store_);
+    Status failure = Status::kOk;
+    for (auto& txn : txns_) {
+      if (!txn.has_value()) continue;
+      // Cannot fail by construction: every conflict/timeout already
+      // surfaced (and aborted the session) during the work phase. Committing
+      // the remaining shards even after an unexpected error keeps locks
+      // from leaking.
+      StatusOr<timestamp_t> committed = txn->Commit();
+      txn.reset();
+      if (!committed.ok() && failure == Status::kOk) {
+        failure = committed.status();
+      }
+    }
+    if (failure != Status::kOk) return failure;
+    return epoch;
+  }
+
+  void Abort() override {
+    if (active_) AbortAll();
+  }
+
+ private:
+  /// The shard's native transaction, opened on first touch. Each shard's
+  /// read epoch pins when that shard is first addressed (docs/SHARDING.md
+  /// on the multi-shard write-session read view).
+  Transaction& Shard(int s) {
+    auto& slot = txns_[static_cast<size_t>(s)];
+    if (!slot.has_value()) {
+      slot.emplace(store_->shard(s).BeginTransaction());
+    }
+    return *slot;
+  }
+
+  /// Native write ops abort their own transaction on conflict/timeout;
+  /// propagate that to every other open shard so the session stays
+  /// all-or-nothing.
+  Status Filter(Status st) {
+    if (st == Status::kConflict || st == Status::kTimeout) AbortAll();
+    return st;
+  }
+
+  /// Marks shard `s` as a writer only when the mutation actually landed.
+  /// A miss (kNotFound — e.g. a routine LinkBench DELETE_LINK of a
+  /// non-existent edge) stages no visible change, so leaving wrote_ unset
+  /// keeps an otherwise single-shard commit off the exclusive coordinator
+  /// path. (A missed DeleteEdge can still leave an empty staged TEL write
+  /// behind; its native commit publishes no data, so committing it outside
+  /// the coordinator cannot tear a snapshot.)
+  Status Wrote(int s, Status st) {
+    if (st == Status::kOk) wrote_[static_cast<size_t>(s)] = true;
+    return st;
+  }
+
+  void AbortAll() {
+    active_ = false;
+    for (auto& txn : txns_) {
+      if (!txn.has_value()) continue;
+      if (txn->active()) txn->Abort();
+      txn.reset();
+    }
+  }
+
+  ShardedStore* store_;
+  std::vector<std::optional<Transaction>> txns_;  // index = shard
+  std::vector<bool> wrote_;  // mutation reached this shard's native txn
+  bool active_ = true;
+};
+
+}  // namespace
+
+// --- ShardedReadTxn ---
+
+/// The pinned snapshot owning global vertex `v` (shard/id_partition.h).
+const ReadTransaction& ShardedReadTxn::Owner(vertex_t v) const {
+  const int n = static_cast<int>(snapshots_.size());
+  return snapshots_[static_cast<size_t>(shard_id::ShardOf(v, n))];
+}
+
+vertex_t ShardedReadTxn::Local(vertex_t v) const {
+  return shard_id::LocalOf(v, static_cast<int>(snapshots_.size()));
+}
+
+StatusOr<std::string> ShardedReadTxn::GetNode(vertex_t id) {
+  if (id < 0) return Status::kNotFound;
+  StatusOr<std::string_view> props = Owner(id).GetVertex(Local(id));
+  if (!props.ok()) return props.status();
+  return std::string(*props);
+}
+
+StatusOr<std::string> ShardedReadTxn::GetLink(vertex_t src, label_t label,
+                                              vertex_t dst) {
+  if (src < 0) return Status::kNotFound;
+  StatusOr<std::string_view> props =
+      Owner(src).GetEdge(Local(src), label, dst);
+  if (!props.ok()) return props.status();
+  return std::string(*props);
+}
+
+EdgeCursor ShardedReadTxn::ScanLinks(vertex_t src, label_t label,
+                                     size_t limit) {
+  if (src < 0) return EdgeCursor();
+  // Co-location: the whole (src, label) list lives in src's shard — the
+  // scan is one sequential TEL walk there, no merging.
+  return EdgeCursor(Owner(src).GetEdges(Local(src), label), limit);
+}
+
+size_t ShardedReadTxn::CountLinks(vertex_t src, label_t label) {
+  if (src < 0) return 0;
+  return Owner(src).CountEdges(Local(src), label);
+}
+
+EdgeCursor ShardedReadTxn::FanInScan(const std::vector<vertex_t>& srcs,
+                                     label_t label, size_t limit) {
+  std::vector<EdgeCursor> children;
+  children.reserve(srcs.size());
+  for (vertex_t src : srcs) {
+    if (src < 0) {
+      children.emplace_back();  // keeps merge_source() aligned with srcs
+      continue;
+    }
+    children.emplace_back(Owner(src).GetEdges(Local(src), label));
+  }
+  return EdgeCursor::Merge(std::move(children), limit, /*newest_first=*/true);
+}
+
+// --- ShardedStore ---
+
+ShardedStore::ShardedStore(ShardOptions options)
+    : options_(std::move(options)) {
+  const int n = std::max(1, options_.shards);
+  options_.shards = n;
+  shards_.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    shards_.push_back(
+        std::make_unique<Graph>(ShardGraphOptions(options_, n, s)));
+  }
+}
+
+ShardedStore::~ShardedStore() = default;
+
+vertex_t ShardedStore::VertexCount() const {
+  const int n = static_cast<int>(shards_.size());
+  vertex_t bound = 0;
+  for (int s = 0; s < n; ++s) {
+    bound = std::max(
+        bound, shard_id::GlobalBoundOf(
+                   s, shards_[static_cast<size_t>(s)]->VertexCount(), n));
+  }
+  return bound;
+}
+
+std::vector<ReadTransaction> ShardedStore::PinShardSnapshots() {
+  std::vector<ReadTransaction> snapshots;
+  snapshots.reserve(shards_.size());
+  // Shared side of the coordinator: a multi-shard commit (exclusive side)
+  // can never land between two of these begins, so the epoch vector is
+  // all-or-nothing with respect to every cross-shard transaction.
+  std::shared_lock<std::shared_mutex> coordinator(coordinator_mu_);
+  for (auto& shard : shards_) {
+    snapshots.push_back(shard->BeginReadOnlyTransaction());
+  }
+  return snapshots;
+}
+
+std::unique_ptr<ShardedReadTxn> ShardedStore::BeginShardedReadTxn() {
+  std::vector<ReadTransaction> snapshots = PinShardSnapshots();
+  return std::unique_ptr<ShardedReadTxn>(
+      new ShardedReadTxn(std::move(snapshots), VertexCount()));
+}
+
+std::unique_ptr<StoreReadTxn> ShardedStore::BeginReadTxn() {
+  return BeginShardedReadTxn();
+}
+
+std::unique_ptr<StoreTxn> ShardedStore::BeginTxn() {
+  return std::make_unique<ShardedWriteTxn>(this);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,175 @@
+// Sharded store: a hash-partitioned multi-graph engine behind the v2
+// Store surface (docs/SHARDING.md).
+//
+// One ShardedStore owns N fully independent LiveGraph engines — N commit
+// pipelines, N vertex-lock arrays, N compaction threads, N WALs — and maps
+// the single-store API onto them. Vertices are hash-partitioned by ID
+// (shard = v mod N with the interleaved ID encoding below), and every edge
+// lives with its source vertex, so an adjacency scan is still one purely
+// sequential TEL walk inside one shard — the paper's §4 property survives
+// partitioning untouched.
+//
+// Cross-shard snapshot isolation is preserved by a small coordinator:
+//
+//   * Read sessions pin an epoch vector: one native MVCC snapshot per
+//     shard, all begun while holding the coordinator lock in shared mode.
+//   * Single-shard write transactions take the existing fast path — they
+//     commit straight through their shard's group-commit pipeline and
+//     never touch the coordinator lock.
+//   * Multi-shard write transactions hold the coordinator lock exclusively
+//     across their per-shard commits, which are applied in shard order
+//     under one coordinator-assigned epoch. A native Commit() only returns
+//     once its shard's GRE covers the commit, so when the exclusive
+//     section ends the transaction is visible in every shard — and no
+//     epoch vector can be pinned in between. All-or-nothing, by
+//     construction.
+//
+// IDs: global = local * N + shard. The inverse maps are single
+// div/mod operations on the hot path, new vertices round-robin across
+// shards (uniform occupancy regardless of insertion pattern), and edge
+// destinations are stored as global IDs inside shard-local TELs, so scans
+// yield global IDs with zero translation.
+#ifndef LIVEGRAPH_SHARD_SHARDED_STORE_H_
+#define LIVEGRAPH_SHARD_SHARDED_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "api/store.h"
+#include "core/graph.h"
+#include "core/transaction.h"
+#include "shard/id_partition.h"
+
+namespace livegraph {
+
+struct ShardOptions {
+  /// Number of independent LiveGraph shards.
+  int shards = 4;
+  /// Template options for every shard. `max_vertices` is the GLOBAL bound
+  /// and is divided across shards; `wal_path`/`storage_path`, when set, get
+  /// a ".shard<i>" suffix per shard so the files never collide.
+  GraphOptions graph;
+};
+
+/// A consistent cross-shard read session: one native MVCC snapshot per
+/// shard, pinned atomically with respect to multi-shard commits (the epoch
+/// vector can never straddle one).
+class ShardedReadTxn : public StoreReadTxn {
+ public:
+  StatusOr<std::string> GetNode(vertex_t id) override;
+  StatusOr<std::string> GetLink(vertex_t src, label_t label,
+                                vertex_t dst) override;
+  EdgeCursor ScanLinks(vertex_t src, label_t label, size_t limit) override;
+  size_t CountLinks(vertex_t src, label_t label) override;
+  vertex_t VertexCount() override { return vertex_bound_; }
+
+  /// Shard fan-in scan (EdgeCursor merged mode): one cursor over the
+  /// adjacency lists of several source vertices — each list a purely
+  /// sequential scan inside its own shard — consumed newest-head-first.
+  /// `merge_source()` on the cursor reports which of `srcs` the current
+  /// edge belongs to. The cross-shard interleave is best-effort (per-shard
+  /// epochs; see docs/SHARDING.md), the per-source order exact.
+  EdgeCursor FanInScan(const std::vector<vertex_t>& srcs, label_t label,
+                       size_t limit = kScanAll);
+
+  /// The pinned per-shard snapshots (shard s at index s) — shareable across
+  /// threads for analytics fan-out (PageRankOnShardSnapshots).
+  const std::vector<ReadTransaction>& shard_snapshots() const {
+    return snapshots_;
+  }
+
+ private:
+  friend class ShardedStore;
+  ShardedReadTxn(std::vector<ReadTransaction> snapshots,
+                 vertex_t vertex_bound)
+      : snapshots_(std::move(snapshots)), vertex_bound_(vertex_bound) {}
+
+  const ReadTransaction& Owner(vertex_t v) const;
+  vertex_t Local(vertex_t v) const;
+
+  std::vector<ReadTransaction> snapshots_;
+  vertex_t vertex_bound_;
+};
+
+/// The full v2 Store surface over N LiveGraph shards.
+class ShardedStore : public Store {
+ public:
+  explicit ShardedStore(ShardOptions options = {});
+  ~ShardedStore() override;
+
+  std::string Name() const override { return "ShardedLiveGraph"; }
+  StoreTraits Traits() const override {
+    return StoreTraits{/*time_ordered_scans=*/true, /*snapshot_reads=*/true,
+                       /*transactional_writes=*/true};
+  }
+
+  std::unique_ptr<StoreTxn> BeginTxn() override;
+  std::unique_ptr<StoreReadTxn> BeginReadTxn() override;
+
+  /// Typed BeginReadTxn, for callers that want the per-shard snapshots or
+  /// fan-in scans without a downcast.
+  std::unique_ptr<ShardedReadTxn> BeginShardedReadTxn();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Graph& shard(int s) { return *shards_[static_cast<size_t>(s)]; }
+
+  // --- ID partitioning (shard/id_partition.h) ---
+  int ShardOf(vertex_t v) const {
+    return shard_id::ShardOf(v, num_shards());
+  }
+  vertex_t LocalId(vertex_t v) const {
+    return shard_id::LocalOf(v, num_shards());
+  }
+  vertex_t GlobalId(int shard, vertex_t local) const {
+    return shard_id::GlobalOf(shard, local, num_shards());
+  }
+
+  /// Upper bound (exclusive) on global vertex IDs across all shards.
+  vertex_t VertexCount() const;
+
+  /// Pins one read snapshot per shard under the coordinator lock — the
+  /// consistent epoch vector used by read sessions and the analytics
+  /// fan-out. Index s is shard s's snapshot.
+  std::vector<ReadTransaction> PinShardSnapshots();
+
+ private:
+  /// In-library access for the write-session implementation
+  /// (sharded_store.cc), which lives outside the class.
+  friend struct ShardedStoreAccess;
+
+  /// Next coordinator epoch: the store-level commit sequence returned by
+  /// Commit() (monotonic across shards, unlike per-shard GWEs) and the
+  /// order in which multi-shard commits apply relative to EACH OTHER.
+  /// It is not a visibility order across commit paths: a single-shard
+  /// commit ticks after its native commit without the coordinator lock, so
+  /// its (higher) epoch can become visible while a concurrent multi-shard
+  /// commit's (lower) epoch is still applying. See docs/SHARDING.md
+  /// "Known limits".
+  timestamp_t TickEpoch() {
+    return 1 + coordinator_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Round-robin placement for new vertices.
+  int PickShard() {
+    return static_cast<int>(next_shard_.fetch_add(
+                                1, std::memory_order_relaxed) %
+                            static_cast<uint64_t>(num_shards()));
+  }
+
+  ShardOptions options_;
+  std::vector<std::unique_ptr<Graph>> shards_;
+
+  /// Coordinator lock: shared while pinning an epoch vector, exclusive
+  /// across a multi-shard commit's per-shard applies. Single-shard commits
+  /// never touch it.
+  std::shared_mutex coordinator_mu_;
+  std::atomic<timestamp_t> coordinator_epoch_{0};
+  std::atomic<uint64_t> next_shard_{0};
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_SHARD_SHARDED_STORE_H_

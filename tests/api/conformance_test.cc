@@ -1,12 +1,15 @@
 // Cross-engine conformance for the v2 transaction-first API: every engine
-// — LiveGraph, its paged (out-of-core) configuration, and the three
-// baselines — must satisfy the same StoreTxn/StoreReadTxn contract behind
-// one parameterized suite, so the LinkBench/SNB harnesses run unmodified
-// against all of them (the paper's §7.1 methodology). Engine-specific
+// — LiveGraph, its paged (out-of-core) configuration, the three baselines,
+// the hash-partitioned sharded engine, and the remote deployments of both
+// LiveGraph and ShardedLiveGraph over loopback TCP — must satisfy the same
+// StoreTxn/StoreReadTxn contract behind one parameterized suite, so the
+// LinkBench/SNB harnesses run unmodified against all of them (the paper's
+// §7.1 methodology). Engine-specific
 // strengths (newest-first order, MVCC snapshots, rollback) are asserted
 // exactly where StoreTraits declares them.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <set>
@@ -21,6 +24,7 @@
 #include "baselines/livegraph_store.h"
 #include "baselines/lsmt_store.h"
 #include "server/loopback.h"
+#include "shard/sharded_store.h"
 
 namespace livegraph {
 namespace {
@@ -29,6 +33,18 @@ GraphOptions SmallGraphOptions() {
   GraphOptions options;
   options.region_reserve = size_t{1} << 30;
   options.max_vertices = 1 << 18;
+  return options;
+}
+
+ShardOptions SmallShardOptions() {
+  ShardOptions options;
+  // Default 4; LG_CONFORMANCE_SHARDS overrides so CI can sweep other
+  // shard counts through the identical contract suite.
+  if (const char* env = std::getenv("LG_CONFORMANCE_SHARDS")) {
+    int n = std::atoi(env);
+    if (n > 0) options.shards = n;
+  }
+  options.graph = SmallGraphOptions();
   return options;
 }
 
@@ -309,6 +325,15 @@ INSTANTIATE_TEST_SUITE_P(
                          return std::unique_ptr<Store>(
                              new LinkedListStore());
                        })),
+        // The sharded engine behind the same contract: N independent
+        // LiveGraph shards, cross-shard snapshot transactions
+        // (docs/SHARDING.md). Shard count defaults to 4;
+        // LG_CONFORMANCE_SHARDS overrides.
+        std::make_pair("ShardedLiveGraph",
+                       StoreFactory([] {
+                         return std::unique_ptr<Store>(
+                             new ShardedStore(SmallShardOptions()));
+                       })),
         // The network subsystem behind the same contract: a LiveGraph
         // engine served by GraphServer over loopback TCP, driven through
         // RemoteStore. Same 12 contracts, every request on the wire.
@@ -317,6 +342,14 @@ INSTANTIATE_TEST_SUITE_P(
                          return MakeLoopbackStore(
                              std::make_unique<LiveGraphStore>(
                                  SmallGraphOptions()));
+                       })),
+        // Both at once: the sharded engine served over loopback TCP —
+        // every contract crosses the wire AND the shard coordinator.
+        std::make_pair("RemoteShardedLiveGraph",
+                       StoreFactory([] {
+                         return MakeLoopbackStore(
+                             std::make_unique<ShardedStore>(
+                                 SmallShardOptions()));
                        }))),
     [](const auto& info) { return info.param.first; });
 
