@@ -15,7 +15,8 @@ namespace livegraph {
 /// a dedicated engine like Gemini would need before computing anything.
 Csr ExportToCsr(const ReadTransaction& snapshot, label_t label, int threads);
 
-/// Same parallel export over a sharded engine's pinned per-shard snapshots
+/// Same parallel export over a sharded engine's per-shard snapshots, all
+/// pinned at one global epoch
 /// (ShardedStore::PinShardSnapshots, docs/SHARDING.md): identical two-pass
 /// structure and thread count to the single-snapshot export — apples to
 /// apples for Table 10's ETL row — with every vertex's scan routed to its

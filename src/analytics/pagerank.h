@@ -23,8 +23,9 @@ std::vector<double> PageRankOnSnapshot(const ReadTransaction& snapshot,
                                        label_t label,
                                        const PageRankOptions& options);
 
-/// In-situ over a sharded engine (docs/SHARDING.md): one pinned snapshot
-/// per shard (ShardedStore::PinShardSnapshots — index s is shard s), a
+/// In-situ over a sharded engine (docs/SHARDING.md): one snapshot per
+/// shard, all pinned at ONE global epoch
+/// (ShardedStore::PinShardSnapshots — index s is shard s), a
 /// shared rank frontier over global vertex IDs. Every worker thread scans
 /// the TELs of the shard owning its vertices; edges carry global
 /// destination IDs, so contributions land directly in the shared arrays.

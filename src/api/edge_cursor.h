@@ -91,8 +91,9 @@ class EdgeCursor {
   /// child head with the greatest creation timestamp (ties break toward the
   /// lower child index), preserving exact newest-first order per child;
   /// across children the interleave is exact when the children share one
-  /// epoch domain and best-effort otherwise (per-shard engines stamp
-  /// per-shard epochs — docs/SHARDING.md). With `newest_first` false the
+  /// epoch domain — which the sharded engine's shards do since the
+  /// unified EpochDomain (docs/SHARDING.md "Epoch domain") — and
+  /// best-effort otherwise. With `newest_first` false the
   /// children are drained in order (concatenation).
   static EdgeCursor Merge(std::vector<EdgeCursor> children,
                           size_t limit = std::numeric_limits<size_t>::max(),

@@ -177,6 +177,15 @@ LiveGraphStore::LiveGraphStore(GraphOptions options,
       owned_pagesim_(std::make_unique<PageCacheSim>(pagesim_options)),
       pagesim_(owned_pagesim_.get()) {}
 
+LiveGraphStore::LiveGraphStore(std::unique_ptr<Graph> graph)
+    : graph_(std::move(graph)), pagesim_(nullptr) {}
+
+LiveGraphStore::LiveGraphStore(std::unique_ptr<Graph> graph,
+                               PageCacheSim::Options pagesim_options)
+    : graph_(std::move(graph)),
+      owned_pagesim_(std::make_unique<PageCacheSim>(pagesim_options)),
+      pagesim_(owned_pagesim_.get()) {}
+
 std::unique_ptr<StoreTxn> LiveGraphStore::BeginTxn() {
   return std::make_unique<LiveGraphWriteTxn>(graph_.get(), pagesim_);
 }

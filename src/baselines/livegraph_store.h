@@ -27,6 +27,15 @@ class LiveGraphStore : public Store {
   /// lookups actually walk (paper Tables 5/6/8).
   LiveGraphStore(GraphOptions options, PageCacheSim::Options pagesim_options);
 
+  /// Adopts an already-built engine — the restart path: wrap the graph
+  /// returned by Graph::Recover (§6) behind the Store surface.
+  explicit LiveGraphStore(std::unique_ptr<Graph> graph);
+
+  /// Restart path for the out-of-core configuration: a recovered engine
+  /// plus an owned page-cache simulator.
+  LiveGraphStore(std::unique_ptr<Graph> graph,
+                 PageCacheSim::Options pagesim_options);
+
   std::string Name() const override {
     return owned_pagesim_ != nullptr ? "PagedLiveGraph" : "LiveGraph";
   }

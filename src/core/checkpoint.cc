@@ -10,6 +10,8 @@
 // consistent snapshot. The WAL is kept append-only; recovery replays only
 // records with epoch > checkpoint epoch, so checkpoints taken concurrently
 // with a live workload never lose later commits.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -17,6 +19,7 @@
 
 #include "core/graph.h"
 #include "core/transaction.h"
+#include "util/raw_io.h"
 #include "util/thread_pool.h"
 
 namespace livegraph {
@@ -30,22 +33,18 @@ std::string ShardPath(const std::string& dir, int shard) {
   return dir + "/shard_" + std::to_string(shard) + ".ckpt";
 }
 
-template <typename T>
-void WriteRaw(std::FILE* f, const T& value) {
-  std::fwrite(&value, sizeof(value), 1, f);
-}
-
-template <typename T>
-bool ReadRaw(std::FILE* f, T* value) {
-  return std::fread(value, sizeof(*value), 1, f) == 1;
-}
-
 }  // namespace
 
 timestamp_t Graph::Checkpoint(const std::string& checkpoint_dir,
                               int threads) {
-  if (threads < 1) threads = 1;
   ReadTransaction snapshot = BeginReadOnlyTransaction();
+  return CheckpointSnapshot(snapshot, checkpoint_dir, threads);
+}
+
+timestamp_t Graph::CheckpointSnapshot(const ReadTransaction& snapshot,
+                                      const std::string& checkpoint_dir,
+                                      int threads) {
+  if (threads < 1) threads = 1;
   const timestamp_t epoch = snapshot.read_epoch();
   const vertex_t vertex_count = VertexCount();
 
@@ -109,10 +108,13 @@ timestamp_t Graph::Checkpoint(const std::string& checkpoint_dir,
 
   for (std::FILE* f : shards) {
     std::fflush(f);
+    ::fsync(::fileno(f));  // shard contents durable before the manifest
     std::fclose(f);
   }
 
-  // Manifest last: its presence marks the checkpoint complete.
+  // Manifest last: its presence marks the checkpoint complete. fsync the
+  // file, rename it into place, then fsync the directory so the rename
+  // itself survives a crash.
   std::string tmp = ManifestPath(checkpoint_dir) + ".tmp";
   std::FILE* manifest = std::fopen(tmp.c_str(), "wb");
   WriteRaw(manifest, epoch);
@@ -120,8 +122,9 @@ timestamp_t Graph::Checkpoint(const std::string& checkpoint_dir,
   vertex_t next = VertexCount();
   WriteRaw(manifest, next);
   std::fflush(manifest);
+  ::fsync(::fileno(manifest));
   std::fclose(manifest);
-  std::rename(tmp.c_str(), ManifestPath(checkpoint_dir).c_str());
+  Wal::CommitRename(tmp, ManifestPath(checkpoint_dir));
   return epoch;
 }
 
@@ -278,16 +281,36 @@ std::unique_ptr<Graph> Graph::Recover(GraphOptions options,
       ReadRaw(manifest, &checkpoint_epoch);
       std::fclose(manifest);
     }
-    graph->LoadCheckpoint(checkpoint_dir);
   }
+  // Resume the durable epoch sequence past everything already stamped
+  // into the checkpoint or the WAL, so replayed state commits at fresh
+  // epochs and a later checkpoint's manifest epoch supersedes every
+  // surviving WAL record.
+  timestamp_t max_epoch = checkpoint_epoch;
   if (!options.wal_path.empty()) {
     Wal::Reader reader(options.wal_path);
     timestamp_t epoch = 0;
     std::string payload;
     while (reader.Next(&epoch, &payload)) {
+      if (epoch > max_epoch) max_epoch = epoch;
+    }
+    // Cut off a torn/corrupt tail (crash mid-append). The graph's own Wal
+    // keeps appending to this file; without the truncation every
+    // post-recovery record would sit behind unreadable bytes and the NEXT
+    // replay would stop before reaching it — losing fsync-acknowledged
+    // commits on the second crash.
+    reader.TruncateTornTail(options.wal_path);
+    graph->epoch_domain()->FastForward(max_epoch);
+    if (!checkpoint_dir.empty()) graph->LoadCheckpoint(checkpoint_dir);
+    // Replay pass over the same in-memory buffer (no second file read).
+    reader.Rewind();
+    while (reader.Next(&epoch, &payload)) {
       if (epoch <= checkpoint_epoch) continue;  // superseded by checkpoint
       graph->ApplyWalRecord(payload);
     }
+  } else {
+    graph->epoch_domain()->FastForward(max_epoch);
+    if (!checkpoint_dir.empty()) graph->LoadCheckpoint(checkpoint_dir);
   }
   return graph;
 }

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "core/epoch_domain.h"
 #include "core/graph.h"
 #include "util/futex_lock.h"
 
@@ -77,17 +78,6 @@ size_t CommitManager::DrainRing(std::vector<Request*>* batch) {
   return taken;
 }
 
-bool CommitManager::AnyGroupApplying() const {
-  for (const Group& group : groups_) {
-    if (!group.free.load(std::memory_order_relaxed) &&
-        group.durable.load(std::memory_order_relaxed) &&
-        !group.applied.load(std::memory_order_relaxed)) {
-      return true;
-    }
-  }
-  return false;
-}
-
 bool CommitManager::DequeueBatch(std::vector<Request*>* batch) {
   // Block until at least one request is queued.
   while (true) {
@@ -108,168 +98,109 @@ bool CommitManager::DequeueBatch(std::vector<Request*>* batch) {
     manager_parked_.store(0, std::memory_order_relaxed);
   }
   DrainRing(batch);
-  // Group-commit window: while the previous group is still applying, its
-  // committers are about to re-enter with new transactions. Yield them the
-  // CPU and re-drain so the batch does not collapse to whatever happened
-  // to be queued the instant the manager came around — that keeps batches
-  // near the number of active writers (the old apply-barrier design got
-  // this for free, at the cost of stalling the pipeline).
+  // Group-commit window: while this pipeline's previous epochs are still
+  // below the visible frontier, their committers are in (or about to
+  // finish) their apply phase and will re-enter with new transactions.
+  // Yield them the CPU and re-drain so the batch does not collapse to
+  // whatever happened to be queued the instant the manager came around —
+  // that keeps batches near the number of active writers (the old
+  // apply-barrier design got this for free, at the cost of stalling the
+  // pipeline).
+  EpochDomain* domain = graph_->epoch_domain();
   int window = 8;
-  while (batch->size() < max_batch_ && window-- > 0 && AnyGroupApplying()) {
+  while (batch->size() < max_batch_ && window-- > 0 &&
+         domain->visible() < last_issued_) {
     std::this_thread::yield();
     DrainRing(batch);
   }
   return true;
 }
 
-CommitManager::Group* CommitManager::ClaimGroup(timestamp_t epoch) {
-  Group* group = &groups_[static_cast<size_t>(epoch) & (kPipelineDepth - 1)];
-  // Pipeline backpressure: the slot frees once epoch - kPipelineDepth
-  // became visible. Applies usually finish well before the next lap.
-  while (!group->free.load(std::memory_order_acquire)) {
-    uint32_t word = group->word.load(std::memory_order_acquire);
-    if (group->free.load(std::memory_order_acquire)) break;
-    FutexWait(&group->word, word);
-  }
-  // Reset the lap state *before* publishing the new epoch: AdvanceGre
-  // keys on epoch (acquire), so a stale applied=true from the previous
-  // lap can never be paired with the new epoch.
-  group->durable.store(false, std::memory_order_relaxed);
-  group->applied.store(false, std::memory_order_relaxed);
-  group->free.store(false, std::memory_order_relaxed);
-  group->epoch.store(epoch, std::memory_order_seq_cst);
-  return group;
-}
-
-timestamp_t CommitManager::Persist(std::string_view wal_payload) {
+timestamp_t CommitManager::Persist(std::string_view wal_payload,
+                                   timestamp_t external_epoch,
+                                   uint32_t participants) {
   Request request;
   request.payload = wal_payload;
+  request.external_epoch = external_epoch;
+  request.participants = participants;
   Enqueue(&request);
 
-  // Stage 1: learn which group we landed in. The manager assigns groups
-  // right after batch formation, so spin briefly, then sleep on the global
-  // formation counter (one wake per formed group).
-  Group* group = request.group.load(std::memory_order_acquire);
-  for (int spin = 0; group == nullptr && spin < spin_iters_; ++spin) {
+  // Wait for the batch's writev + fsync. Spin briefly (the manager turns
+  // batches around quickly), then sleep on the global durability word —
+  // one wake syscall releases the whole batch; members of other in-flight
+  // batches re-check their own flag and go back to sleep.
+  for (int spin = 0; spin < spin_iters_; ++spin) {
+    if (request.durable.load(std::memory_order_acquire) != 0) {
+      return request.epoch;
+    }
     CpuRelax();
-    group = request.group.load(std::memory_order_acquire);
   }
-  while (group == nullptr) {
-    uint32_t formed = formed_.load(std::memory_order_acquire);
-    group = request.group.load(std::memory_order_acquire);
-    if (group != nullptr) break;
-    FutexWait(&formed_, formed);
-    group = request.group.load(std::memory_order_acquire);
+  while (request.durable.load(std::memory_order_acquire) == 0) {
+    uint32_t word = durable_word_.load(std::memory_order_acquire);
+    if (request.durable.load(std::memory_order_acquire) != 0) break;
+    FutexWait(&durable_word_, word);
   }
-
-  // Stage 2: wait for the group to become durable (per-group futex word;
-  // the manager wakes the whole group with one syscall after the fsync).
-  while (!group->durable.load(std::memory_order_acquire)) {
-    uint32_t word = group->word.load(std::memory_order_acquire);
-    if (group->durable.load(std::memory_order_acquire)) break;
-    FutexWait(&group->word, word);
-  }
-  return group->epoch.load(std::memory_order_relaxed);
+  return request.epoch;
 }
 
-void CommitManager::FinishApply(timestamp_t epoch) {
-  Group* group = &groups_[static_cast<size_t>(epoch) & (kPipelineDepth - 1)];
-  if (group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Last transaction of the group: expose the group's updates. "After
-    // all transactions in the commit group make their updates visible, the
-    // transaction manager advances the global read timestamp GRE" (§5) —
-    // here the last applier advances it so the manager can keep persisting
-    // the next group meanwhile. The store must be seq_cst: AdvanceGre is a
-    // store-buffer litmus between concurrent last-appliers (each stores
-    // its applied flag, then loads the other group's state); with weaker
-    // orders both can read stale and the cascade stalls with no one left
-    // to run it.
-    group->applied.store(true, std::memory_order_seq_cst);
-    AdvanceGre();
-  }
-  // Commit() must not return before the whole group becomes visible:
-  // otherwise this worker's next transaction could start at a read epoch
-  // below its own commit timestamp and spuriously conflict with itself.
-  while (graph_->global_read_epoch_.load(std::memory_order_seq_cst) < epoch) {
-    uint32_t word = group->word.load(std::memory_order_acquire);
-    if (graph_->global_read_epoch_.load(std::memory_order_seq_cst) >= epoch) {
-      break;
-    }
-    FutexWait(&group->word, word);
-  }
-}
-
-void CommitManager::AdvanceGre() {
-  // Advance GRE over every consecutive epoch whose group fully applied.
-  // Strict epoch order falls out of the chain: epoch e only becomes
-  // visible when GRE == e - 1, and whoever finishes a group retries the
-  // cascade, so an early-finishing higher group waits for its predecessor.
-  // Everything here is seq_cst: paired with the seq_cst applied-flag
-  // store in FinishApply, the single total order guarantees that when two
-  // last-appliers race, at least one of them observes the other's flag
-  // and completes the cascade (see the litmus note there).
-  while (true) {
-    timestamp_t current =
-        graph_->global_read_epoch_.load(std::memory_order_seq_cst);
-    Group* next =
-        &groups_[static_cast<size_t>(current + 1) & (kPipelineDepth - 1)];
-    if (next->epoch.load(std::memory_order_seq_cst) != current + 1) return;
-    if (!next->applied.load(std::memory_order_seq_cst)) return;
-    if (!graph_->global_read_epoch_.compare_exchange_strong(
-            current, current + 1, std::memory_order_seq_cst)) {
-      continue;  // another applier advanced concurrently; re-examine
-    }
-    // Group current+1 is now visible: recycle its slot for the manager and
-    // wake everyone parked on it (FinishApply waiters re-check GRE, the
-    // manager re-checks free).
-    next->free.store(true, std::memory_order_release);
-    next->word.fetch_add(1, std::memory_order_release);
-    FutexWakeAll(&next->word);
-  }
+void CommitManager::FinishApply(timestamp_t epoch, bool wait_visible) {
+  EpochDomain* domain = graph_->epoch_domain();
+  // "After all transactions in the commit group make their updates
+  // visible, the transaction manager advances the global read timestamp"
+  // (§5) — here the domain's cascade advances the frontier the moment the
+  // last participant of each consecutive epoch reports in, while the
+  // manager keeps persisting the next batch.
+  domain->MarkApplied(epoch);
+  // Commit() must not return before the epoch becomes visible: otherwise
+  // this worker's next transaction could start at a read epoch below its
+  // own commit timestamp and spuriously conflict with itself. A
+  // multi-shard coordinator instead waits once, after its last piece.
+  if (wait_visible) domain->WaitVisible(epoch);
 }
 
 void CommitManager::ThreadMain() {
   std::vector<Request*> batch;
-  std::vector<std::string_view> payloads;
+  std::vector<Wal::Record> records;
   batch.reserve(max_batch_);
-  payloads.reserve(max_batch_);
+  records.reserve(max_batch_);
+  EpochDomain* domain = graph_->epoch_domain();
   while (true) {
     batch.clear();
     if (!DequeueBatch(&batch)) return;
 
-    // Advance GWE; every transaction in this group commits at `epoch`.
-    timestamp_t epoch =
-        graph_->global_write_epoch_.fetch_add(1, std::memory_order_acq_rel) +
-        1;
-    Group* group = ClaimGroup(epoch);
-    group->pending.store(static_cast<uint32_t>(batch.size()),
-                         std::memory_order_relaxed);
-
-    // Hand every member its group so stage-1 waiters can move to the
-    // group's own futex word.
+    // One fresh epoch for every request that does not carry a
+    // coordinator-stamped one; its MarkApplied countdown is the number of
+    // fresh transactions in the batch.
+    uint32_t fresh = 0;
     for (Request* request : batch) {
-      request->group.store(group, std::memory_order_release);
+      if (request->external_epoch == 0) ++fresh;
     }
-    formed_.fetch_add(1, std::memory_order_release);
-    FutexWakeAll(&formed_);
-
-    // Persist the whole group: writev gathered straight from the workers'
-    // payload buffers, one fsync. Workers stay parked on the group word.
-    if (wal_ != nullptr) {
-      payloads.clear();
-      for (Request* request : batch) {
-        if (!request->payload.empty()) payloads.push_back(request->payload);
+    timestamp_t fresh_epoch = fresh > 0 ? domain->Acquire(fresh) : 0;
+    records.clear();
+    for (Request* request : batch) {
+      request->epoch = request->external_epoch != 0 ? request->external_epoch
+                                                    : fresh_epoch;
+      if (request->epoch > last_issued_) last_issued_ = request->epoch;
+      if (!request->payload.empty()) {
+        records.push_back(Wal::Record{request->epoch, request->participants,
+                                      request->payload});
       }
-      if (!payloads.empty()) wal_->AppendBatch(epoch, payloads);
     }
 
-    // Release the group into its apply phase with one wake, then loop
-    // straight into assembling the next batch — group N+1's WAL write
-    // overlaps group N's apply phase; GRE order is enforced by the
-    // appliers' cascade in AdvanceGre().
-    group->durable.store(true, std::memory_order_release);
-    group->word.fetch_add(1, std::memory_order_release);
-    FutexWakeAll(&group->word);
+    // Persist the whole batch: writev gathered straight from the workers'
+    // payload buffers, one fsync. Workers stay parked on the durability
+    // word.
+    if (wal_ != nullptr && !records.empty()) wal_->AppendBatch(records);
+
+    // Release the batch into its apply phase with one wake, then loop
+    // straight into assembling the next one — batch N+1's WAL write
+    // overlaps batch N's apply phase; visibility order is enforced by the
+    // domain's cascade, not by this thread.
+    for (Request* request : batch) {
+      request->durable.store(1, std::memory_order_release);
+    }
+    durable_word_.fetch_add(1, std::memory_order_release);
+    FutexWakeAll(&durable_word_);
   }
 }
 

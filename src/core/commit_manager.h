@@ -1,27 +1,32 @@
 // Transaction manager thread: pipelined group commit (paper §5, persist
-// phase).
+// phase) over the unified EpochDomain.
 //
 // "LiveGraph keeps a pool of transaction-serving threads ... plus one
 // transaction manager thread." The manager batches commit requests,
-// advances the global write epoch GWE once per batch, persists the batch's
-// WAL records with a single writev + fsync, hands every transaction in the
-// group its write timestamp TWE = GWE, and — once all of them finish their
-// apply phase — the global read epoch GRE advances, exposing the updates
-// to future transactions.
+// persists the batch's WAL records with a single writev + fsync, and hands
+// every transaction its write epoch TWE. Epochs come from the engine's
+// EpochDomain — private to a standalone Graph, shared across every shard
+// of a ShardedStore — and visibility is the domain's business: a commit
+// epoch becomes readable only after every lower epoch (on every attached
+// engine) finished its apply phase. The old per-graph GRE cascade lives in
+// EpochDomain::MarkApplied now; the manager's only synchronization duty is
+// durability.
 //
-// Unlike the classic single-mutex design, the pipeline never funnels
-// committers through a lock and never barriers between groups:
+// Two kinds of commit requests flow through the same ring:
 //
-//   * Workers hand their WAL payload to the manager through a lock-free
-//     MPSC ring (Vyukov-style sequence numbers) and sleep on futex words —
-//     first a global group-formation counter, then their group's own word —
-//     so a wake targets exactly the committers it frees, instead of a
-//     condvar broadcast over every waiter of every group.
-//   * The manager assembles and fsyncs group N+1's batch while group N is
-//     still in its apply phase. Groups live in a small ring; GRE still
-//     advances strictly in epoch order because the last applier of a group
-//     only publishes it when every lower epoch is already visible, and
-//     cascades over any higher groups that finished early.
+//   * Fresh commits (the default): the manager acquires ONE fresh epoch
+//     per batch and every fresh request in the batch commits at it — the
+//     classic group commit, epochs dense per attached engine set.
+//   * Externally-stamped commits: a multi-shard coordinator already
+//     acquired one epoch for the whole transaction; each shard's piece
+//     carries that epoch through its own shard's pipeline untouched, so
+//     all pieces surface at a single point of the global visibility order.
+//
+// The pipeline never funnels committers through a lock and never barriers
+// between batches: workers hand their payload to the manager through a
+// lock-free MPSC ring (Vyukov-style sequence numbers), sleep on a global
+// durability futex word, and run their apply phase concurrently with the
+// manager's next WAL batch.
 #ifndef LIVEGRAPH_CORE_COMMIT_MANAGER_H_
 #define LIVEGRAPH_CORE_COMMIT_MANAGER_H_
 
@@ -40,7 +45,7 @@ class Graph;
 
 class CommitManager {
  public:
-  /// `wal` may be null (durability disabled); group sequencing still runs.
+  /// `wal` may be null (durability disabled); epoch sequencing still runs.
   CommitManager(Graph* graph, Wal* wal, size_t max_batch);
   ~CommitManager();
 
@@ -48,45 +53,32 @@ class CommitManager {
   CommitManager& operator=(const CommitManager&) = delete;
 
   /// Persist phase entry point, called by the committing worker thread.
-  /// Blocks until the transaction's group is durable and returns the
-  /// assigned write epoch TWE. The caller must then run its apply phase
-  /// and call FinishApply(TWE). The payload is borrowed until return.
-  timestamp_t Persist(std::string_view wal_payload);
+  /// Blocks until the transaction's WAL record is durable and returns the
+  /// assigned write epoch TWE. With `external_epoch` != 0 the record is
+  /// stamped with that coordinator-acquired epoch (and `participants`
+  /// counts the shard WALs holding a piece of it); otherwise the batch's
+  /// fresh epoch is assigned. The caller must then run its apply phase and
+  /// call FinishApply(TWE). The payload is borrowed until return.
+  timestamp_t Persist(std::string_view wal_payload,
+                      timestamp_t external_epoch = 0,
+                      uint32_t participants = 1);
 
-  /// Signals that the calling transaction completed its apply phase, then
-  /// blocks until the whole group is visible (GRE >= TWE), so a worker's
-  /// next transaction always reads its own commit. The last applier of the
-  /// group advances GRE itself (in strict epoch order) — the manager
-  /// thread is by then already persisting the next group.
-  void FinishApply(timestamp_t epoch);
+  /// Signals the domain that the calling transaction completed its apply
+  /// phase. With `wait_visible` (every fresh commit) it then blocks until
+  /// the epoch is visible, so a worker's next transaction always reads its
+  /// own commit; a multi-shard coordinator passes false per piece and
+  /// waits once itself after the last shard.
+  void FinishApply(timestamp_t epoch, bool wait_visible = true);
 
  private:
-  /// Commit groups in flight (one persisting, the rest applying/draining).
-  /// Power of two; group for epoch e lives at groups_[e % kPipelineDepth]
-  /// and is recycled only after GRE >= e, which makes the epoch -> slot
-  /// mapping stable for everyone still touching the group.
-  static constexpr size_t kPipelineDepth = 4;
-
-  struct Group;
-
   /// One committing worker's hand-off cell; lives on the worker's stack
   /// for the duration of Persist().
   struct Request {
     std::string_view payload;
-    std::atomic<Group*> group{nullptr};  // set by the manager
-  };
-
-  struct alignas(64) Group {
-    /// Futex word for every wait tied to this group (durability in
-    /// Persist, visibility in FinishApply, slot reuse by the manager).
-    /// Monotonic — never reset — so sleepers can always detect a missed
-    /// transition; all predicates are re-checked against the fields below.
-    std::atomic<uint32_t> word{0};
-    std::atomic<uint32_t> pending{0};  // applies outstanding
-    std::atomic<timestamp_t> epoch{0};
-    std::atomic<bool> durable{false};
-    std::atomic<bool> applied{false};
-    std::atomic<bool> free{true};
+    timestamp_t external_epoch = 0;
+    uint32_t participants = 1;
+    timestamp_t epoch = 0;                // result, set by the manager
+    std::atomic<uint32_t> durable{0};
   };
 
   struct alignas(64) RingSlot {
@@ -101,14 +93,6 @@ class CommitManager {
   /// Drains whatever is immediately available into `batch` (up to
   /// max_batch_); returns the number of requests taken.
   size_t DrainRing(std::vector<Request*>* batch);
-  /// True while a durable group still has appliers in flight — its
-  /// committers are about to re-enter with fresh transactions, so the
-  /// batch window stays open for them.
-  bool AnyGroupApplying() const;
-  Group* ClaimGroup(timestamp_t epoch);
-  /// Advances GRE over every consecutive fully-applied group, waking each
-  /// group's waiters and recycling its slot.
-  void AdvanceGre();
   void ThreadMain();
 
   Graph* graph_;
@@ -123,16 +107,18 @@ class CommitManager {
   std::vector<RingSlot> ring_;
   alignas(64) std::atomic<uint64_t> ring_tail_{0};  // producers claim slots
   alignas(64) uint64_t ring_head_ = 0;              // manager only
+  /// Highest epoch this manager issued or forwarded (manager thread only);
+  /// visible() below it means appliers are still in flight, which keeps
+  /// the batch-formation window open for their next transactions.
+  timestamp_t last_issued_ = 0;
 
   // Eventcount parking the manager while the ring is empty.
   alignas(64) std::atomic<uint32_t> doorbell_{0};
   std::atomic<uint32_t> manager_parked_{0};
 
-  /// Bumped once per formed group; the futex word workers sleep on while
-  /// waiting to learn which group they landed in.
-  alignas(64) std::atomic<uint32_t> formed_{0};
-
-  Group groups_[kPipelineDepth];
+  /// Bumped once per durable batch; the futex word workers sleep on while
+  /// waiting for their request's durable flag.
+  alignas(64) std::atomic<uint32_t> durable_word_{0};
 
   std::atomic<bool> shutdown_{false};
   std::thread thread_;

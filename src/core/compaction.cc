@@ -82,8 +82,7 @@ void Graph::CompactVertex(vertex_t v, timestamp_t safe) {
     slots_[0]->dirty_vertices.push_back(v);
     return;
   }
-  const timestamp_t retire_epoch =
-      global_read_epoch_.load(std::memory_order_acquire) + 1;
+  const timestamp_t retire_epoch = domain_->visible() + 1;
 
   // --- Vertex version chain GC ("similar to existing MVCC
   // implementations ... related previous pointers are cleared

@@ -4,11 +4,21 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace livegraph {
 
+class EpochDomain;
+
 struct GraphOptions {
+  /// Visibility-epoch domain this engine commits into. Null (the default)
+  /// gives the graph a private domain — the standalone configuration. A
+  /// ShardedStore passes one shared domain to every shard so commit
+  /// epochs from all N pipelines form a single monotone visibility order
+  /// (docs/SHARDING.md "Epoch domain").
+  std::shared_ptr<EpochDomain> epoch_domain;
+
   /// Backing file for the block store; empty keeps all graph data in
   /// anonymous memory (the paper's in-memory configuration).
   std::string storage_path;

@@ -1,0 +1,160 @@
+#include "core/epoch_domain.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "util/futex_lock.h"
+
+namespace livegraph {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EpochDomain::EpochDomain(size_t window)
+    : spin_iters_(std::thread::hardware_concurrency() > 1 ? 128 : 0),
+      pins_(kPinSlots) {
+  size_t size = NextPow2(window < 64 ? 64 : window);
+  mask_ = size - 1;
+  slots_ = std::vector<Slot>(size);
+  for (auto& pin : pins_) pin.store(kFreePin, std::memory_order_relaxed);
+}
+
+timestamp_t EpochDomain::Acquire(uint32_t participants) {
+  timestamp_t epoch = next_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Slot reuse guard: the previous tenant of this slot is epoch - size;
+  // once it is visible its countdown is spent and the slot is ours. In
+  // flight epochs are bounded by attached engines' worker tables, far
+  // below the window, so this wait never fires in practice — it is the
+  // backstop that makes the ring formally safe at any scale.
+  timestamp_t previous_lap = epoch - static_cast<timestamp_t>(mask_ + 1);
+  if (previous_lap > 0) WaitVisible(previous_lap);
+  Slot& slot = slots_[static_cast<size_t>(epoch) & mask_];
+  slot.pending.store(participants == 0 ? 1 : participants,
+                     std::memory_order_release);
+  return epoch;
+}
+
+void EpochDomain::MarkApplied(timestamp_t epoch) {
+  Slot& slot = slots_[static_cast<size_t>(epoch) & mask_];
+  if (slot.pending.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Last participant: publish, then cascade the frontier over every
+  // consecutive fully-applied epoch. Everything here is seq_cst for the
+  // same store-buffer litmus as the old per-graph cascade: when two last
+  // participants of adjacent epochs race, the single total order makes at
+  // least one of them observe the other's applied store and finish the
+  // cascade — otherwise both could read stale and the frontier would
+  // stall with nobody left to move it.
+  slot.applied.store(epoch, std::memory_order_seq_cst);
+  while (true) {
+    timestamp_t current = visible_.load(std::memory_order_seq_cst);
+    Slot& next = slots_[static_cast<size_t>(current + 1) & mask_];
+    if (next.applied.load(std::memory_order_seq_cst) != current + 1) return;
+    if (!visible_.compare_exchange_strong(current, current + 1,
+                                          std::memory_order_seq_cst)) {
+      continue;  // another participant advanced concurrently; re-examine
+    }
+    visible_word_.fetch_add(1, std::memory_order_release);
+    FutexWakeAll(&visible_word_);
+  }
+}
+
+void EpochDomain::WaitVisible(timestamp_t epoch) {
+  if (visible_.load(std::memory_order_seq_cst) >= epoch) return;
+  for (int spin = 0; spin < spin_iters_; ++spin) {
+    CpuRelax();
+    if (visible_.load(std::memory_order_seq_cst) >= epoch) return;
+  }
+  while (visible_.load(std::memory_order_seq_cst) < epoch) {
+    uint32_t word = visible_word_.load(std::memory_order_acquire);
+    if (visible_.load(std::memory_order_seq_cst) >= epoch) return;
+    FutexWait(&visible_word_, word);
+  }
+}
+
+void EpochDomain::FastForward(timestamp_t epoch) {
+  timestamp_t next = next_.load(std::memory_order_acquire);
+  timestamp_t visible = visible_.load(std::memory_order_seq_cst);
+  if (next != visible) {
+    std::fprintf(stderr,
+                 "EpochDomain::FastForward with epochs in flight "
+                 "(issued=%lld visible=%lld)\n",
+                 static_cast<long long>(next),
+                 static_cast<long long>(visible));
+    std::abort();
+  }
+  if (epoch <= visible) return;
+  next_.store(epoch, std::memory_order_release);
+  visible_.store(epoch, std::memory_order_seq_cst);
+  visible_word_.fetch_add(1, std::memory_order_release);
+  FutexWakeAll(&visible_word_);
+}
+
+uint32_t EpochDomain::ClaimPinSlot() {
+  static thread_local uint32_t hint = 0;
+  for (uint32_t attempt = 0; attempt < kPinSlots * 4; ++attempt) {
+    uint32_t i = (hint + attempt) % kPinSlots;
+    timestamp_t expected = kFreePin;
+    // Claim conservatively at epoch 0; the caller publishes the real pin
+    // (and rechecks) before relying on it, and a momentary 0 pin can only
+    // make a concurrent SafeEpoch scan more conservative.
+    if (pins_[i].load(std::memory_order_relaxed) == kFreePin &&
+        pins_[i].compare_exchange_strong(expected, 0,
+                                         std::memory_order_acq_rel)) {
+      hint = i;
+      return i;
+    }
+  }
+  std::fprintf(stderr,
+               "EpochDomain: more concurrent read pins than %u slots\n",
+               kPinSlots);
+  std::abort();
+}
+
+EpochDomain::ReadPin EpochDomain::PinRead() {
+  uint32_t slot = ClaimPinSlot();
+  // Store-recheck (mirrors Graph::PublishReadEpoch): after publishing we
+  // verify the frontier did not move. If it did not, any SafeEpoch scan
+  // ordered after our store sees our pin; any scan ordered before used a
+  // frontier <= ours, whose floor already covers us.
+  while (true) {
+    timestamp_t epoch = visible_.load(std::memory_order_seq_cst);
+    pins_[slot].store(epoch, std::memory_order_seq_cst);
+    if (visible_.load(std::memory_order_seq_cst) == epoch) {
+      return ReadPin{epoch, slot};
+    }
+  }
+}
+
+EpochDomain::ReadPin EpochDomain::PinReadAt(timestamp_t epoch) {
+  ReadPin pin = PinRead();
+  if (epoch < 0) epoch = 0;
+  if (epoch < pin.epoch) {
+    // Publishing a value below the frontier is always safe — the floor
+    // only ever shrinks from it.
+    pins_[pin.slot].store(epoch, std::memory_order_seq_cst);
+    pin.epoch = epoch;
+  }
+  return pin;
+}
+
+void EpochDomain::Unpin(const ReadPin& pin) {
+  pins_[pin.slot].store(kFreePin, std::memory_order_seq_cst);
+}
+
+timestamp_t EpochDomain::OldestPin(timestamp_t bound) const {
+  for (const auto& pin : pins_) {
+    timestamp_t e = pin.load(std::memory_order_seq_cst);
+    if (e < bound) bound = e;
+  }
+  return bound;
+}
+
+}  // namespace livegraph

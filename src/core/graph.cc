@@ -10,6 +10,15 @@
 namespace livegraph {
 
 Graph::Graph(GraphOptions options) : options_(std::move(options)) {
+  // Attach to the supplied visibility domain (sharded configuration) or
+  // own a private one. The window only needs to exceed this engine's
+  // concurrent-transaction bound; a shared domain was sized by its owner.
+  domain_ = options_.epoch_domain;
+  if (domain_ == nullptr) {
+    domain_ = std::make_shared<EpochDomain>(
+        static_cast<size_t>(options_.max_workers) * 8);
+  }
+
   BlockManager::Options bm;
   bm.path = options_.storage_path;
   bm.reserve_bytes = options_.region_reserve;
@@ -73,21 +82,24 @@ void Graph::ReleaseSlot(WorkerSlot* slot) {
 }
 
 timestamp_t Graph::PublishReadEpoch(WorkerSlot* slot) {
-  // Store-recheck protocol: after publishing we verify GRE did not move.
-  // If it did not, any compaction scan ordered after our store sees our
-  // epoch; any scan ordered before used a GRE <= ours, so its safe bound
-  // already covers us (see SafeEpoch).
+  // Store-recheck protocol: after publishing we verify the visible
+  // frontier did not move. If it did not, any compaction scan ordered
+  // after our store sees our epoch; any scan ordered before used a
+  // frontier <= ours, so its safe bound already covers us (see SafeEpoch).
   while (true) {
-    timestamp_t epoch = global_read_epoch_.load(std::memory_order_seq_cst);
+    timestamp_t epoch = domain_->visible();
     slot->reading_epoch.store(epoch, std::memory_order_seq_cst);
-    if (global_read_epoch_.load(std::memory_order_seq_cst) == epoch) {
+    if (domain_->visible() == epoch) {
       return epoch;
     }
   }
 }
 
 timestamp_t Graph::SafeEpoch() const {
-  timestamp_t safe = global_read_epoch_.load(std::memory_order_seq_cst);
+  // Floor over the frontier, this engine's active transactions, and every
+  // domain-level read pin (cross-shard snapshots pin the domain once
+  // instead of a slot on each shard).
+  timestamp_t safe = domain_->OldestPin(domain_->visible());
   for (const auto& slot : slots_) {
     timestamp_t e = slot->reading_epoch.load(std::memory_order_seq_cst);
     if (e < safe) safe = e;
@@ -178,8 +190,7 @@ std::atomic<block_ptr_t>* Graph::FindOrCreateLabelSlot(vertex_t v,
     }
     new_header->count.store(count, std::memory_order_release);
     index->edge_store.store(bigger, std::memory_order_release);
-    block_manager_->Retire(store,
-                           global_read_epoch_.load(std::memory_order_acquire) + 1);
+    block_manager_->Retire(store, domain_->visible() + 1);
     base = new_base;
     header = new_header;
     entries = new_entries;
@@ -203,6 +214,10 @@ block_ptr_t Graph::NewTel(vertex_t src, uint8_t order) {
     std::memset(block.bloom_bits(), 0, block.bloom_bytes());
   }
   return ptr;
+}
+
+void Graph::ResetWal() {
+  if (wal_ != nullptr) wal_->Reset();
 }
 
 Graph::MemoryStats Graph::CollectMemoryStats() const {

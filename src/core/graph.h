@@ -13,6 +13,7 @@
 
 #include "core/blocks.h"
 #include "core/config.h"
+#include "core/epoch_domain.h"
 #include "core/txn_scratch.h"
 #include "storage/block_manager.h"
 #include "storage/wal.h"
@@ -73,15 +74,31 @@ class Graph {
     return next_vertex_.load(std::memory_order_acquire);
   }
 
-  /// Current global read epoch (GRE).
-  timestamp_t ReadEpoch() const {
-    return global_read_epoch_.load(std::memory_order_acquire);
-  }
+  /// Current visible epoch (the paper's GRE) — the frontier of the
+  /// engine's EpochDomain.
+  timestamp_t ReadEpoch() const { return domain_->visible(); }
+
+  /// The visibility-epoch domain this engine commits into (private by
+  /// default, shared across shards under a ShardedStore).
+  EpochDomain* epoch_domain() const { return domain_.get(); }
 
   /// Writes a consistent checkpoint of the latest snapshot into
-  /// `checkpoint_dir` using `threads` writer threads, then truncates the
-  /// WAL (§6 "Recovery"). Returns the checkpointed epoch.
+  /// `checkpoint_dir` using `threads` writer threads (§6 "Recovery"; the
+  /// WAL stays append-only — recovery filters by epoch). Returns the
+  /// checkpointed epoch.
   timestamp_t Checkpoint(const std::string& checkpoint_dir, int threads = 1);
+
+  /// Writes a checkpoint of `snapshot` (its pinned epoch, exact) into
+  /// `checkpoint_dir`. Used by the sharded cross-shard checkpoint, which
+  /// pins ONE domain epoch and checkpoints every shard at it.
+  timestamp_t CheckpointSnapshot(const ReadTransaction& snapshot,
+                                 const std::string& checkpoint_dir,
+                                 int threads = 1);
+
+  /// Truncates the WAL after a durable checkpoint made its contents
+  /// redundant (sharded recovery: the replayed tail is re-checkpointed and
+  /// the logs reset so a torn cross-shard suffix can never resurface).
+  void ResetWal();
 
   /// Runs one synchronous compaction pass over all dirty vertices (§6
   /// "Compaction"). Also invoked automatically every
@@ -107,6 +124,7 @@ class Graph {
   friend class CommitManager;
   friend class ReadTransaction;
   friend class Transaction;
+  friend class ShardedStore;  // per-shard recovery plumbing (src/shard/)
   friend struct internal::GraphAccess;
 
   /// Per-running-transaction bookkeeping slot. Slots double as the
@@ -168,13 +186,14 @@ class Graph {
   void LoadCheckpoint(const std::string& checkpoint_dir);
 
   GraphOptions options_;
+  /// Visibility domain (owns GWE/GRE; see epoch_domain.h). Private unless
+  /// options supplied a shared one.
+  std::shared_ptr<EpochDomain> domain_;
   std::unique_ptr<BlockManager> block_manager_;
   MmapRegion index_region_;  // VertexIndexEntry[max_vertices]
   MmapRegion lock_region_;   // FutexLock[max_vertices]
 
   std::atomic<vertex_t> next_vertex_{0};
-  std::atomic<timestamp_t> global_read_epoch_{0};   // GRE
-  std::atomic<timestamp_t> global_write_epoch_{0};  // GWE
   std::atomic<uint64_t> next_tid_{1};
   std::atomic<uint64_t> committed_txns_{0};
   /// Committed-transaction count at which the next compaction pass fires;

@@ -477,6 +477,40 @@ StatusOr<timestamp_t> Transaction::Commit() {
   return write_epoch_;
 }
 
+StatusOr<timestamp_t> Transaction::CommitAt(timestamp_t epoch,
+                                            uint32_t participants) {
+  // Whatever happens below, the coordinator declared this shard a
+  // participant of `epoch` when it acquired the epoch — exactly one
+  // MarkApplied must reach the domain on every path or the visibility
+  // frontier (and with it every later commit) stalls forever.
+  if (state_ != State::kActive) {
+    graph_->epoch_domain()->MarkApplied(epoch);
+    return Status::kNotActive;
+  }
+  if (scratch_->tel_writes.empty() && scratch_->vertex_writes.empty()) {
+    // Coordinators only stamp shards that landed a mutation, so this is
+    // defensive: an empty piece publishes nothing and needs no WAL record
+    // (a record here would make recovery's piece count miss forever).
+    graph_->epoch_domain()->MarkApplied(epoch);
+    state_ = State::kCommitted;
+    ReleaseLocksAndSlot();
+    scratch_->Reset();
+    return epoch;
+  }
+  std::string_view payload =
+      replay_mode_ ? std::string_view{} : scratch_->wal_payload;
+  write_epoch_ =
+      graph_->commit_manager_->Persist(payload, epoch, participants);
+  ApplyCommit(write_epoch_);
+  graph_->commit_manager_->FinishApply(write_epoch_, /*wait_visible=*/false);
+  MarkDirty();
+  state_ = State::kCommitted;
+  scratch_->Reset();
+  graph_->committed_txns_.fetch_add(1, std::memory_order_relaxed);
+  graph_->MaybeScheduleCompaction();
+  return write_epoch_;
+}
+
 void Transaction::ApplyCommit(timestamp_t twe) {
   // 1. Publish per-TEL commit metadata: CT, property size, then LS with
   //    release ordering so readers that see the new LS see the entries.
@@ -525,8 +559,7 @@ void Transaction::Abort() {
 }
 
 void Transaction::UndoWrites() {
-  timestamp_t retire_epoch =
-      graph_->global_read_epoch_.load(std::memory_order_acquire) + 1;
+  timestamp_t retire_epoch = graph_->domain_->visible() + 1;
   for (TelWrite& w : scratch_->tel_writes) {
     if (w.original_block == kNullBlock) {
       // We created this TEL (and possibly upgraded it): unpublish, then

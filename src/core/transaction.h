@@ -165,6 +165,17 @@ class Transaction {
   /// returns kNotActive.
   StatusOr<timestamp_t> Commit();
 
+  /// Commit one piece of a multi-shard transaction at a coordinator-
+  /// acquired epoch from the shared EpochDomain. `participants` is the
+  /// number of shards committing a piece at `epoch` (recorded in the WAL
+  /// so recovery can detect a half-durable cross-shard transaction).
+  /// Unlike Commit(), CommitAt does NOT wait for the epoch to become
+  /// visible — the coordinator waits once after its last piece — and it
+  /// ALWAYS reports the piece's MarkApplied to the domain, even on the
+  /// failure paths, so the visibility frontier can never wedge on a dead
+  /// piece.
+  StatusOr<timestamp_t> CommitAt(timestamp_t epoch, uint32_t participants);
+
   /// Reverts all staged changes (§5: restore invalidation timestamps,
   /// release locks, return new blocks to the memory manager).
   void Abort();

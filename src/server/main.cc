@@ -2,18 +2,27 @@
 //
 //   livegraph_server [--engine=LiveGraph|PagedLiveGraph|BTree|LSMT|LinkedList]
 //                    [--shards=N] [--host=127.0.0.1] [--port=9271]
-//                    [--durability=none|wal|wal-fsync] [--wal-path=FILE]
-//                    [--storage-path=FILE] [--max-vertices=N]
-//                    [--page-cache-pages=N] [--scan-batch-edges=N]
+//                    [--durability=none|wal|wal-fsync] [--wal-path=PATH]
+//                    [--checkpoint-dir=DIR] [--storage-path=FILE]
+//                    [--max-vertices=N] [--page-cache-pages=N]
+//                    [--scan-batch-edges=N]
 //
 // Serves the chosen engine over the binary wire protocol until SIGINT or
 // SIGTERM. --shards=N (LiveGraph engine only) serves a hash-partitioned
 // ShardedLiveGraph instead — N independent commit pipelines, lock arrays
-// and compaction threads behind the same wire protocol, remote sessions
-// pinning cross-shard snapshot vectors transparently (docs/SHARDING.md).
+// and compaction threads behind the same wire protocol, one shared
+// visibility-epoch domain, remote read sessions pinning a single global
+// epoch transparently (docs/SHARDING.md).
+//
 // Durability flags apply to the LiveGraph engines only (the baselines are
-// volatile comparators, as in the paper's §7.1 setup); a sharded server
-// writes one WAL per shard (`--wal-path` plus a ".shard<i>" suffix).
+// volatile comparators, as in the paper's §7.1 setup). With durability
+// enabled the server RECOVERS on start: a single-engine server replays
+// --checkpoint-dir (if given) plus the --wal-path tail (§6); a sharded
+// server treats --wal-path as its durable DIRECTORY (<dir>/MANIFEST,
+// <dir>/shard<i>/wal, <dir>/shard<i>/checkpoint/) and runs
+// ShardedStore::Recover — so restarting against a populated directory
+// resumes exactly the committed state, never half of a cross-shard
+// transaction.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +51,7 @@ struct Flags {
   uint16_t port = 9271;
   std::string durability = "none";  // none | wal | wal-fsync
   std::string wal_path = "/tmp/livegraph_server_wal.log";
+  std::string checkpoint_dir;  // single-engine recovery source (optional)
   std::string storage_path;
   size_t max_vertices = size_t{1} << 24;
   size_t page_cache_pages = size_t{1} << 16;  // PagedLiveGraph: 256 MiB
@@ -60,11 +70,14 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [--engine=LiveGraph|PagedLiveGraph|BTree|LSMT|LinkedList]\n"
       "          [--shards=N] [--host=ADDR] [--port=N]\n"
-      "          [--durability=none|wal|wal-fsync] [--wal-path=FILE]\n"
-      "          [--storage-path=FILE] [--max-vertices=N]\n"
-      "          [--page-cache-pages=N] [--scan-batch-edges=N]\n"
+      "          [--durability=none|wal|wal-fsync] [--wal-path=PATH]\n"
+      "          [--checkpoint-dir=DIR] [--storage-path=FILE]\n"
+      "          [--max-vertices=N] [--page-cache-pages=N]\n"
+      "          [--scan-batch-edges=N]\n"
       "  --shards=N (N > 1) serves a hash-partitioned ShardedLiveGraph;\n"
-      "  LiveGraph engine only.\n",
+      "  LiveGraph engine only. With durability the server recovers its\n"
+      "  durable state on start; a sharded server uses --wal-path as its\n"
+      "  per-shard WAL/checkpoint directory.\n",
       argv0);
   return 2;
 }
@@ -75,13 +88,20 @@ std::unique_ptr<livegraph::Store> MakeEngine(const Flags& flags) {
     GraphOptions options;
     options.max_vertices = flags.max_vertices;
     options.storage_path = flags.storage_path;
-    if (flags.durability != "none") {
+    const bool durable = flags.durability != "none";
+    if (durable) {
       options.wal_path = flags.wal_path;
       options.fsync_wal = flags.durability == "wal-fsync";
     }
     if (flags.engine == "PagedLiveGraph") {
       // Out-of-core configuration: the engine owns a page-cache simulator
       // charging device latencies for the byte ranges scans really walk.
+      // Durable restarts recover exactly like the plain engine.
+      if (durable) {
+        return std::make_unique<LiveGraphStore>(
+            Graph::Recover(options, flags.checkpoint_dir),
+            PageCacheSim::Optane(flags.page_cache_pages));
+      }
       return std::make_unique<LiveGraphStore>(
           options, PageCacheSim::Optane(flags.page_cache_pages));
     }
@@ -89,7 +109,19 @@ std::unique_ptr<livegraph::Store> MakeEngine(const Flags& flags) {
       ShardOptions sharded;
       sharded.shards = flags.shards;
       sharded.graph = options;
+      sharded.graph.wal_path.clear();
+      if (durable) {
+        // --wal-path is the sharded durable DIRECTORY; restart == recover
+        // (a fresh directory recovers to an empty store).
+        sharded.dir = flags.wal_path;
+        return ShardedStore::Recover(std::move(sharded));
+      }
       return std::make_unique<ShardedStore>(sharded);
+    }
+    if (durable) {
+      // Restart path (§6): checkpoint (if any) + WAL tail replay.
+      return std::make_unique<LiveGraphStore>(
+          Graph::Recover(options, flags.checkpoint_dir));
     }
     return std::make_unique<LiveGraphStore>(options);
   }
@@ -111,6 +143,7 @@ int main(int argc, char** argv) {
         TakeValue(argv[i], "--host", &flags.host) ||
         TakeValue(argv[i], "--durability", &flags.durability) ||
         TakeValue(argv[i], "--wal-path", &flags.wal_path) ||
+        TakeValue(argv[i], "--checkpoint-dir", &flags.checkpoint_dir) ||
         TakeValue(argv[i], "--storage-path", &flags.storage_path)) {
       continue;
     }

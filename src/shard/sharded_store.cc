@@ -1,37 +1,56 @@
 #include "shard/sharded_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
-#include <mutex>
+#include <cstdio>
+#include <filesystem>
 #include <optional>
+#include <unordered_map>
 #include <utility>
+
+#include "storage/wal.h"
+#include "util/raw_io.h"
 
 namespace livegraph {
 
 /// Befriended by ShardedStore: the coordinator internals the write session
 /// needs, kept off the public surface.
 struct ShardedStoreAccess {
-  static timestamp_t TickEpoch(ShardedStore& store) {
-    return store.TickEpoch();
-  }
   static int PickShard(ShardedStore& store) { return store.PickShard(); }
-  static std::shared_mutex& CoordinatorMu(ShardedStore& store) {
-    return store.coordinator_mu_;
+  static EpochDomain* Domain(ShardedStore& store) {
+    return store.domain_.get();
   }
 };
 
 namespace {
 
+constexpr uint64_t kManifestMagic = 0x4C4753484D414E31ull;  // "LGSHMAN1"
+constexpr uint32_t kManifestVersion = 1;
+
+/// The effective durable directory: ShardOptions::dir, with the template's
+/// wal_path accepted as a fallback spelling of the same thing.
+std::string EffectiveDir(const ShardOptions& options) {
+  if (!options.dir.empty()) return options.dir;
+  return options.graph.wal_path;
+}
+
 /// Shard s's engine options: an equal slice of the global vertex budget,
-/// and per-shard durable files so N WALs / N backing files never collide.
-GraphOptions ShardGraphOptions(const ShardOptions& options, int shards,
+/// the shared epoch domain, and this shard's slot of the durable
+/// directory layout.
+GraphOptions ShardGraphOptions(const ShardOptions& options,
+                               std::shared_ptr<EpochDomain> domain,
+                               const std::string& wal_path, int shards,
                                int s) {
   GraphOptions g = options.graph;
+  g.epoch_domain = std::move(domain);
   g.max_vertices =
       (options.graph.max_vertices + static_cast<size_t>(shards) - 1) /
       static_cast<size_t>(shards);
-  const std::string suffix = ".shard" + std::to_string(s);
-  if (!g.wal_path.empty()) g.wal_path += suffix;
-  if (!g.storage_path.empty()) g.storage_path += suffix;
+  g.wal_path = wal_path;
+  if (!g.storage_path.empty()) {
+    g.storage_path += ".shard" + std::to_string(s);
+  }
   return g;
 }
 
@@ -94,18 +113,30 @@ class ShardedWriteTxn : public StoreTxn {
 
   StatusOr<vertex_t> AddNode(std::string_view data) override {
     if (!active_) return Status::kNotActive;
-    int s = ShardedStoreAccess::PickShard(*store_);
-    Transaction& txn = Shard(s);
-    vertex_t local = txn.AddVertex(data);
-    if (local == kNullVertex) {
-      // Capacity exhaustion keeps the shard transaction active (and this
-      // session usable); a lock timeout killed it — take the rest down too.
-      if (txn.active()) return Status::kOutOfRange;
-      AbortAll();
-      return Status::kTimeout;
+    // Round-robin placement with a capacity-fallback probe (the first step
+    // of ROADMAP "Shard rebalancing"): when the home shard is full the ID
+    // moves to the next shard with room instead of failing the store while
+    // capacity remains elsewhere. Capacity is not a conflict — probed-full
+    // shards keep their native transaction active (and committable empty).
+    const int n = store_->num_shards();
+    const int home = ShardedStoreAccess::PickShard(*store_);
+    for (int probe = 0; probe < n; ++probe) {
+      const int s = (home + probe) % n;
+      Transaction& txn = Shard(s);
+      vertex_t local = txn.AddVertex(data);
+      if (local == kNullVertex) {
+        // A lock timeout killed the native transaction — take the rest of
+        // the session down too. Plain exhaustion: probe the next shard.
+        if (!txn.active()) {
+          AbortAll();
+          return Status::kTimeout;
+        }
+        continue;
+      }
+      wrote_[static_cast<size_t>(s)] = true;
+      return store_->GlobalId(s, local);
     }
-    wrote_[static_cast<size_t>(s)] = true;
-    return store_->GlobalId(s, local);
+    return Status::kOutOfRange;  // every shard is at capacity
   }
 
   Status UpdateNode(vertex_t id, std::string_view data) override {
@@ -171,7 +202,7 @@ class ShardedWriteTxn : public StoreTxn {
 
     // Shards without a landed mutation publish no visible data (at most an
     // empty staged TEL write from a missed delete): their native commits
-    // cannot tear a snapshot. Run them outside any coordination.
+    // cannot tear anything. Run them outside any coordination.
     int writers = 0;
     for (size_t s = 0; s < txns_.size(); ++s) {
       if (!txns_[s].has_value()) continue;
@@ -183,39 +214,43 @@ class ShardedWriteTxn : public StoreTxn {
       }
     }
 
-    if (writers <= 1) {
+    EpochDomain* domain = ShardedStoreAccess::Domain(*store_);
+    if (writers == 0) return domain->visible();
+
+    if (writers == 1) {
       // Single-shard fast path: straight through that shard's commit
-      // pipeline, no coordinator involvement.
+      // pipeline. Its fresh epoch comes from the shared domain, so it IS
+      // a global epoch — no extra coordination to make it comparable.
       for (auto& txn : txns_) {
         if (!txn.has_value()) continue;
         StatusOr<timestamp_t> committed = txn->Commit();
         txn.reset();
-        if (!committed.ok()) return committed.status();
+        return committed;
       }
-      return ShardedStoreAccess::TickEpoch(*store_);
     }
 
-    // Multi-shard commit: one coordinator epoch, applied per-shard in
-    // shard order while holding the coordinator lock exclusively. Each
-    // native Commit() returns only once its shard's GRE covers it, so on
-    // release the transaction is visible everywhere at once — and no epoch
-    // vector can be pinned in between (readers hold the shared side).
-    std::unique_lock<std::shared_mutex> coordinator(
-        ShardedStoreAccess::CoordinatorMu(*store_));
-    timestamp_t epoch = ShardedStoreAccess::TickEpoch(*store_);
+    // Multi-shard commit: ONE domain epoch for the whole transaction, each
+    // shard's piece committed at it (CommitAt) through its own pipeline.
+    // The epoch becomes visible only when the last piece applies — and no
+    // reader can pin an epoch at or above it before then — so the commit
+    // is all-or-nothing without any coordinator lock. Pieces that fail
+    // unexpectedly still report their MarkApplied inside CommitAt, so the
+    // frontier cannot wedge; committing the remaining shards keeps locks
+    // from leaking.
+    timestamp_t epoch = domain->Acquire(static_cast<uint32_t>(writers));
     Status failure = Status::kOk;
     for (auto& txn : txns_) {
       if (!txn.has_value()) continue;
-      // Cannot fail by construction: every conflict/timeout already
-      // surfaced (and aborted the session) during the work phase. Committing
-      // the remaining shards even after an unexpected error keeps locks
-      // from leaking.
-      StatusOr<timestamp_t> committed = txn->Commit();
+      StatusOr<timestamp_t> committed =
+          txn->CommitAt(epoch, static_cast<uint32_t>(writers));
       txn.reset();
       if (!committed.ok() && failure == Status::kOk) {
         failure = committed.status();
       }
     }
+    // Read-your-commit across the whole store: return only once the epoch
+    // is visible everywhere (the per-piece commits skipped this wait).
+    domain->WaitVisible(epoch);
     if (failure != Status::kOk) return failure;
     return epoch;
   }
@@ -247,10 +282,7 @@ class ShardedWriteTxn : public StoreTxn {
   /// Marks shard `s` as a writer only when the mutation actually landed.
   /// A miss (kNotFound — e.g. a routine LinkBench DELETE_LINK of a
   /// non-existent edge) stages no visible change, so leaving wrote_ unset
-  /// keeps an otherwise single-shard commit off the exclusive coordinator
-  /// path. (A missed DeleteEdge can still leave an empty staged TEL write
-  /// behind; its native commit publishes no data, so committing it outside
-  /// the coordinator cannot tear a snapshot.)
+  /// keeps an otherwise single-shard commit off the coordinated path.
   Status Wrote(int s, Status st) {
     if (st == Status::kOk) wrote_[static_cast<size_t>(s)] = true;
     return st;
@@ -275,14 +307,33 @@ class ShardedWriteTxn : public StoreTxn {
 
 // --- ShardedReadTxn ---
 
-/// The pinned snapshot owning global vertex `v` (shard/id_partition.h).
-const ReadTransaction& ShardedReadTxn::Owner(vertex_t v) const {
-  const int n = static_cast<int>(snapshots_.size());
-  return snapshots_[static_cast<size_t>(shard_id::ShardOf(v, n))];
+ShardedReadTxn::ShardedReadTxn(ShardedStore* store, EpochDomain::ReadPin pin,
+                               vertex_t vertex_bound)
+    : store_(store),
+      pin_(pin),
+      snapshots_(static_cast<size_t>(store->num_shards())),
+      vertex_bound_(vertex_bound) {}
+
+ShardedReadTxn::~ShardedReadTxn() {
+  // Drop the per-shard snapshots (worker slots) before releasing the
+  // domain pin that guards their epoch.
+  snapshots_.clear();
+  store_->epoch_domain()->Unpin(pin_);
+}
+
+/// The snapshot owning global vertex `v`, opened at the session's pinned
+/// epoch on first touch (single-shard read fast path).
+const ReadTransaction& ShardedReadTxn::Owner(vertex_t v) {
+  int s = store_->ShardOf(v);
+  auto& slot = snapshots_[static_cast<size_t>(s)];
+  if (!slot.has_value()) {
+    slot.emplace(store_->shard(s).BeginTimeTravelTransaction(pin_.epoch));
+  }
+  return *slot;
 }
 
 vertex_t ShardedReadTxn::Local(vertex_t v) const {
-  return shard_id::LocalOf(v, static_cast<int>(snapshots_.size()));
+  return store_->LocalId(v);
 }
 
 StatusOr<std::string> ShardedReadTxn::GetNode(vertex_t id) {
@@ -334,14 +385,75 @@ ShardedStore::ShardedStore(ShardOptions options)
     : options_(std::move(options)) {
   const int n = std::max(1, options_.shards);
   options_.shards = n;
+  options_.dir = EffectiveDir(options_);
+  options_.graph.wal_path.clear();
+
+  // One visibility domain for all shards, its in-flight window sized past
+  // the worst case of every shard's worker table committing at once.
+  domain_ = std::make_shared<EpochDomain>(
+      static_cast<size_t>(n) *
+      static_cast<size_t>(options_.graph.max_workers) * 4);
+
+  if (!options_.dir.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    for (int s = 0; s < n; ++s) {
+      fs::create_directories(ShardDirPath(s), ec);
+      fs::create_directories(ShardDirPath(s) + "/checkpoint", ec);
+      // Make the fresh directory ENTRIES durable too (a file fsync does
+      // not persist its parent's entry): shard<i> in <dir>, and
+      // checkpoint/ in shard<i>.
+      Wal::FsyncParentDir(ShardDirPath(s));
+      Wal::FsyncParentDir(ShardDirPath(s) + "/checkpoint");
+    }
+    Wal::FsyncParentDir(options_.dir);
+  }
+
   shards_.reserve(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) {
-    shards_.push_back(
-        std::make_unique<Graph>(ShardGraphOptions(options_, n, s)));
+    shards_.push_back(std::make_unique<Graph>(ShardGraphOptions(
+        options_, domain_,
+        options_.dir.empty() ? std::string() : ShardWalPath(s), n, s)));
   }
 }
 
 ShardedStore::~ShardedStore() = default;
+
+std::string ShardedStore::ShardDirPath(int s) const {
+  return options_.dir + "/shard" + std::to_string(s);
+}
+
+std::string ShardedStore::ShardWalPath(int s) const {
+  return ShardDirPath(s) + "/wal";
+}
+
+std::string ShardedStore::ShardCheckpointPath(int s,
+                                              timestamp_t epoch) const {
+  return ShardDirPath(s) + "/checkpoint/" + std::to_string(epoch);
+}
+
+std::string ShardedStore::ManifestPath() const {
+  return options_.dir + "/MANIFEST";
+}
+
+bool ShardedStore::ReadManifest(const std::string& dir, int* shards,
+                                timestamp_t* epoch) {
+  std::FILE* f = std::fopen((dir + "/MANIFEST").c_str(), "rb");
+  if (f == nullptr) return false;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t shard_count = 0;
+  timestamp_t manifest_epoch = 0;
+  bool ok = ReadRaw(f, &magic) && magic == kManifestMagic &&
+            ReadRaw(f, &version) && version == kManifestVersion &&
+            ReadRaw(f, &shard_count) && shard_count > 0 &&
+            ReadRaw(f, &manifest_epoch);
+  std::fclose(f);
+  if (!ok) return false;
+  *shards = static_cast<int>(shard_count);
+  *epoch = manifest_epoch;
+  return true;
+}
 
 vertex_t ShardedStore::VertexCount() const {
   const int n = static_cast<int>(shards_.size());
@@ -355,22 +467,31 @@ vertex_t ShardedStore::VertexCount() const {
 }
 
 std::vector<ReadTransaction> ShardedStore::PinShardSnapshots() {
+  // Pin ONE global epoch, open every shard's snapshot at exactly it, then
+  // release the domain pin — each snapshot's own reading-epoch slot keeps
+  // protecting the epoch on its shard. No commit path is blocked: the
+  // domain's visibility order makes the cut consistent, not a lock.
+  EpochDomain::ReadPin pin = domain_->PinRead();
   std::vector<ReadTransaction> snapshots;
   snapshots.reserve(shards_.size());
-  // Shared side of the coordinator: a multi-shard commit (exclusive side)
-  // can never land between two of these begins, so the epoch vector is
-  // all-or-nothing with respect to every cross-shard transaction.
-  std::shared_lock<std::shared_mutex> coordinator(coordinator_mu_);
   for (auto& shard : shards_) {
-    snapshots.push_back(shard->BeginReadOnlyTransaction());
+    snapshots.push_back(shard->BeginTimeTravelTransaction(pin.epoch));
   }
+  domain_->Unpin(pin);
   return snapshots;
 }
 
 std::unique_ptr<ShardedReadTxn> ShardedStore::BeginShardedReadTxn() {
-  std::vector<ReadTransaction> snapshots = PinShardSnapshots();
+  EpochDomain::ReadPin pin = domain_->PinRead();
   return std::unique_ptr<ShardedReadTxn>(
-      new ShardedReadTxn(std::move(snapshots), VertexCount()));
+      new ShardedReadTxn(this, pin, VertexCount()));
+}
+
+std::unique_ptr<ShardedReadTxn> ShardedStore::BeginTimeTravelReadTxn(
+    timestamp_t epoch) {
+  EpochDomain::ReadPin pin = domain_->PinReadAt(epoch);
+  return std::unique_ptr<ShardedReadTxn>(
+      new ShardedReadTxn(this, pin, VertexCount()));
 }
 
 std::unique_ptr<StoreReadTxn> ShardedStore::BeginReadTxn() {
@@ -379,6 +500,190 @@ std::unique_ptr<StoreReadTxn> ShardedStore::BeginReadTxn() {
 
 std::unique_ptr<StoreTxn> ShardedStore::BeginTxn() {
   return std::make_unique<ShardedWriteTxn>(this);
+}
+
+timestamp_t ShardedStore::Checkpoint(int threads) {
+  if (options_.dir.empty()) return 0;
+  namespace fs = std::filesystem;
+
+  // One pinned global epoch; every shard checkpointed at exactly it. The
+  // snapshots are taken together under one pin, then written without
+  // blocking any commit path.
+  std::vector<ReadTransaction> snapshots = PinShardSnapshots();
+  const timestamp_t epoch = snapshots.empty() ? 0 : snapshots[0].read_epoch();
+
+  // A checkpoint's content is a pure function of its epoch, so if the
+  // durable manifest already records this exact epoch the on-disk state
+  // IS this checkpoint — return without touching it. (Rewriting would
+  // remove_all the very directories the live manifest points at, opening
+  // a crash window that loses the store; this is the idempotent-reseal
+  // path recovery takes when the WAL tail was empty.)
+  {
+    int manifest_shards = 0;
+    timestamp_t manifest_epoch = -1;
+    if (ReadManifest(options_.dir, &manifest_shards, &manifest_epoch) &&
+        manifest_shards == num_shards() && manifest_epoch == epoch) {
+      return epoch;
+    }
+  }
+
+  std::error_code ec;
+  for (int s = 0; s < num_shards(); ++s) {
+    const std::string dir = ShardCheckpointPath(s, epoch);
+    fs::remove_all(dir, ec);  // re-checkpoint of the same epoch: start clean
+    fs::create_directories(dir, ec);
+    shards_[static_cast<size_t>(s)]->CheckpointSnapshot(
+        snapshots[static_cast<size_t>(s)], dir, threads);
+    // The epoch directory's own entry must be durable before the global
+    // manifest names it: fsync its parent (shard<i>/checkpoint/). The
+    // files inside were fsynced by CheckpointSnapshot, and that also
+    // synced the epoch directory itself on its manifest rename.
+    Wal::FsyncParentDir(dir);
+  }
+
+  // Manifest last, atomically renamed: its epoch is the single global cut
+  // recovery restores. Until the rename lands, the previous checkpoint
+  // (if any) stays authoritative — per-shard files are written into
+  // per-epoch directories precisely so an interrupted checkpoint can
+  // never clobber the one the manifest still points at.
+  const std::string tmp = ManifestPath() + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return 0;
+  WriteRaw(f, kManifestMagic);
+  WriteRaw(f, kManifestVersion);
+  WriteRaw(f, static_cast<uint32_t>(num_shards()));
+  WriteRaw(f, epoch);
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  std::fclose(f);
+  Wal::CommitRename(tmp, ManifestPath());
+
+  // GC superseded per-epoch checkpoint directories.
+  for (int s = 0; s < num_shards(); ++s) {
+    const fs::path root = ShardDirPath(s) + "/checkpoint";
+    for (const auto& entry : fs::directory_iterator(root, ec)) {
+      if (entry.path().filename() != std::to_string(epoch)) {
+        fs::remove_all(entry.path(), ec);
+      }
+    }
+  }
+  return epoch;
+}
+
+std::unique_ptr<ShardedStore> ShardedStore::Recover(ShardOptions options) {
+  options.dir = EffectiveDir(options);
+  timestamp_t checkpoint_epoch = 0;
+  if (!options.dir.empty()) {
+    int manifest_shards = 0;
+    if (ReadManifest(options.dir, &manifest_shards, &checkpoint_epoch)) {
+      if (manifest_shards != options.shards) {
+        std::fprintf(stderr,
+                     "ShardedStore::Recover: manifest has %d shards, "
+                     "options asked for %d — using the manifest (the data "
+                     "layout is keyed on it)\n",
+                     manifest_shards, options.shards);
+        options.shards = manifest_shards;
+      }
+    }
+  }
+
+  auto store = std::make_unique<ShardedStore>(std::move(options));
+  if (store->options_.dir.empty()) return store;
+  const int n = store->num_shards();
+
+  // Pass 1 over every shard's WAL: find the highest durable epoch, and for
+  // each multi-shard epoch past the checkpoint count the pieces actually
+  // on disk. A piece is one WAL record; a transaction whose coordinator
+  // crashed between two shards' fsyncs is exactly an epoch with fewer
+  // pieces found than its records' participant count — such an epoch was
+  // never visible to anyone (the visibility frontier requires every piece
+  // applied, and applying follows durability), so dropping ALL its pieces
+  // recovers the strongest state that contains no torn transaction.
+  struct PieceCount {
+    uint32_t expected = 0;
+    uint32_t found = 0;
+  };
+  std::unordered_map<timestamp_t, PieceCount> pieces;
+  timestamp_t max_epoch = checkpoint_epoch;
+  for (int s = 0; s < n; ++s) {
+    Wal::Reader scan(store->ShardWalPath(s));
+    timestamp_t epoch = 0;
+    uint32_t participants = 0;
+    std::string payload;
+    while (scan.Next(&epoch, &participants, &payload)) {
+      if (epoch > max_epoch) max_epoch = epoch;
+      if (participants > 1 && epoch > checkpoint_epoch) {
+        PieceCount& count = pieces[epoch];
+        count.expected = participants;
+        ++count.found;
+      }
+    }
+    // Cut off this shard's torn/corrupt tail (crash mid-append) right
+    // away: even if the sealing checkpoint below fails and the WALs are
+    // kept, post-recovery appends must not land behind unreadable bytes.
+    // (Pass 2 re-reads each file rather than holding all N readers — one
+    // WAL-sized buffer at a time bounds recovery memory at any shard
+    // count.)
+    scan.TruncateTornTail(store->ShardWalPath(s));
+  }
+
+  // Resume the durable epoch sequence past everything stamped on disk so
+  // replayed state commits at fresh epochs and the post-recovery manifest
+  // supersedes every surviving record.
+  store->domain_->FastForward(max_epoch);
+
+  // Load the manifest checkpoint (every shard at the same pinned epoch).
+  if (checkpoint_epoch > 0) {
+    for (int s = 0; s < n; ++s) {
+      store->shards_[static_cast<size_t>(s)]->LoadCheckpoint(
+          store->ShardCheckpointPath(s, checkpoint_epoch));
+    }
+  }
+
+  // Pass 2: replay each shard's WAL tail in log order, skipping records
+  // the checkpoint already contains and every incomplete multi-shard
+  // epoch.
+  for (int s = 0; s < n; ++s) {
+    Graph& graph = *store->shards_[static_cast<size_t>(s)];
+    Wal::Reader reader(store->ShardWalPath(s));
+    timestamp_t epoch = 0;
+    uint32_t participants = 0;
+    std::string payload;
+    while (reader.Next(&epoch, &participants, &payload)) {
+      if (epoch <= checkpoint_epoch) continue;
+      if (participants > 1) {
+        auto it = pieces.find(epoch);
+        if (it == pieces.end() || it->second.found < it->second.expected) {
+          continue;  // half-durable cross-shard transaction: drop atomically
+        }
+      }
+      graph.ApplyWalRecord(payload);
+    }
+  }
+
+  // Resume round-robin placement roughly where the recovered occupancy
+  // left off.
+  store->next_shard_.store(static_cast<uint64_t>(store->VertexCount()),
+                           std::memory_order_relaxed);
+
+  // Seal the recovered state: checkpoint it under a fresh manifest, then
+  // truncate every WAL. After this, no surviving byte of the old logs —
+  // including any dropped torn suffix — can influence a later recovery;
+  // the manifest IS the consistent prefix. The WALs are destroyed ONLY if
+  // the checkpoint actually published at the recovered frontier — on
+  // failure (e.g. ENOSPC) the old manifest + intact logs still recover
+  // the same state next time.
+  timestamp_t sealed = store->Checkpoint();
+  if (sealed == store->domain_->visible()) {
+    for (int s = 0; s < n; ++s) {
+      store->shards_[static_cast<size_t>(s)]->ResetWal();
+    }
+  } else {
+    std::fprintf(stderr,
+                 "ShardedStore::Recover: sealing checkpoint failed; "
+                 "keeping WALs for the next recovery\n");
+  }
+  return store;
 }
 
 }  // namespace livegraph

@@ -9,20 +9,37 @@
 // sequential TEL walk inside one shard — the paper's §4 property survives
 // partitioning untouched.
 //
-// Cross-shard snapshot isolation is preserved by a small coordinator:
+// Cross-shard snapshot isolation comes from the unified EpochDomain
+// (core/epoch_domain.h) shared by every shard:
 //
-//   * Read sessions pin an epoch vector: one native MVCC snapshot per
-//     shard, all begun while holding the coordinator lock in shared mode.
-//   * Single-shard write transactions take the existing fast path — they
-//     commit straight through their shard's group-commit pipeline and
-//     never touch the coordinator lock.
-//   * Multi-shard write transactions hold the coordinator lock exclusively
-//     across their per-shard commits, which are applied in shard order
-//     under one coordinator-assigned epoch. A native Commit() only returns
-//     once its shard's GRE covers the commit, so when the exclusive
-//     section ends the transaction is visible in every shard — and no
-//     epoch vector can be pinned in between. All-or-nothing, by
-//     construction.
+//   * Every commit — single-shard fast path and coordinator multi-shard —
+//     draws its epoch from the one shared domain, and an epoch becomes
+//     visible only after every lower epoch finished applying on every
+//     shard. Commit epochs ARE the global visibility order.
+//   * Read sessions pin ONE domain epoch (an O(1) pin, not an O(N)
+//     snapshot vector) and open per-shard snapshots lazily at that epoch,
+//     only for the shards they actually touch — a point read costs one
+//     shard's worker slot, like the single engine.
+//   * Multi-shard write transactions acquire one epoch for the whole
+//     transaction and commit each shard's piece at it (CommitAt), so all
+//     pieces surface at a single point of the visibility order:
+//     all-or-nothing for every reader and for time travel, with no
+//     coordinator lock anywhere.
+//
+// Durability (docs/SHARDING.md "Recovery"): with ShardOptions::dir set the
+// store owns a directory
+//
+//   <dir>/MANIFEST              cross-shard checkpoint manifest (atomic
+//                               rename; records THE pinned global epoch)
+//   <dir>/shard<i>/wal          per-shard write-ahead log
+//   <dir>/shard<i>/checkpoint/<epoch>/   per-shard checkpoint files
+//
+// Checkpoint() pins one global epoch and checkpoints every shard at it;
+// Recover() loads the manifest's checkpoint, replays each shard's WAL tail
+// — skipping any multi-shard epoch whose pieces are not ALL durable, so a
+// crash between two shards' fsyncs can never resurrect half a transaction
+// — then re-checkpoints and truncates the WALs to seal the recovered
+// state.
 //
 // IDs: global = local * N + shard. The inverse maps are single
 // div/mod operations on the hot path, new vertices round-robin across
@@ -34,11 +51,12 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "api/store.h"
+#include "core/epoch_domain.h"
 #include "core/graph.h"
 #include "core/transaction.h"
 #include "shard/id_partition.h"
@@ -48,17 +66,29 @@ namespace livegraph {
 struct ShardOptions {
   /// Number of independent LiveGraph shards.
   int shards = 4;
+  /// Durable directory (WAL + checkpoint layout above); empty disables
+  /// durability. When empty and `graph.wal_path` is set, that path is used
+  /// as the directory (the pre-directory file-suffix scheme is gone).
+  std::string dir;
   /// Template options for every shard. `max_vertices` is the GLOBAL bound
-  /// and is divided across shards; `wal_path`/`storage_path`, when set, get
-  /// a ".shard<i>" suffix per shard so the files never collide.
+  /// and is divided across shards; `wal_path` is superseded by `dir` (see
+  /// above); `storage_path`, when set, gets a ".shard<i>" suffix per shard
+  /// so the block-store backing files never collide.
   GraphOptions graph;
 };
 
-/// A consistent cross-shard read session: one native MVCC snapshot per
-/// shard, pinned atomically with respect to multi-shard commits (the epoch
-/// vector can never straddle one).
+class ShardedStore;
+
+/// A consistent cross-shard read session: one pinned global epoch, exact
+/// on every shard. Per-shard MVCC snapshots open lazily at that epoch on
+/// first touch, so a session that only ever reads one shard costs one
+/// domain pin plus one worker slot — the single-shard read fast path.
+/// Sessions are single-threaded; use ShardedStore::PinShardSnapshots for
+/// the multi-threaded analytics fan-out.
 class ShardedReadTxn : public StoreReadTxn {
  public:
+  ~ShardedReadTxn() override;
+
   StatusOr<std::string> GetNode(vertex_t id) override;
   StatusOr<std::string> GetLink(vertex_t src, label_t label,
                                 vertex_t dst) override;
@@ -66,31 +96,31 @@ class ShardedReadTxn : public StoreReadTxn {
   size_t CountLinks(vertex_t src, label_t label) override;
   vertex_t VertexCount() override { return vertex_bound_; }
 
+  /// The session's global read epoch: every commit <= it is visible (on
+  /// every shard), every commit above it invisible.
+  timestamp_t read_epoch() const { return pin_.epoch; }
+
   /// Shard fan-in scan (EdgeCursor merged mode): one cursor over the
   /// adjacency lists of several source vertices — each list a purely
   /// sequential scan inside its own shard — consumed newest-head-first.
   /// `merge_source()` on the cursor reports which of `srcs` the current
-  /// edge belongs to. The cross-shard interleave is best-effort (per-shard
-  /// epochs; see docs/SHARDING.md), the per-source order exact.
+  /// edge belongs to. Epochs share one domain, so the cross-shard
+  /// interleave is exact, like the per-source order.
   EdgeCursor FanInScan(const std::vector<vertex_t>& srcs, label_t label,
                        size_t limit = kScanAll);
 
-  /// The pinned per-shard snapshots (shard s at index s) — shareable across
-  /// threads for analytics fan-out (PageRankOnShardSnapshots).
-  const std::vector<ReadTransaction>& shard_snapshots() const {
-    return snapshots_;
-  }
-
  private:
   friend class ShardedStore;
-  ShardedReadTxn(std::vector<ReadTransaction> snapshots,
-                 vertex_t vertex_bound)
-      : snapshots_(std::move(snapshots)), vertex_bound_(vertex_bound) {}
+  ShardedReadTxn(ShardedStore* store, EpochDomain::ReadPin pin,
+                 vertex_t vertex_bound);
 
-  const ReadTransaction& Owner(vertex_t v) const;
+  const ReadTransaction& Owner(vertex_t v);
   vertex_t Local(vertex_t v) const;
 
-  std::vector<ReadTransaction> snapshots_;
+  ShardedStore* store_;
+  EpochDomain::ReadPin pin_;
+  /// Lazily opened per-shard snapshots, all at pin_.epoch (index = shard).
+  std::vector<std::optional<ReadTransaction>> snapshots_;
   vertex_t vertex_bound_;
 };
 
@@ -99,6 +129,15 @@ class ShardedStore : public Store {
  public:
   explicit ShardedStore(ShardOptions options = {});
   ~ShardedStore() override;
+
+  /// Opens a sharded store from its durable directory: loads the manifest
+  /// checkpoint, replays every shard's WAL tail (dropping half-durable
+  /// multi-shard transactions atomically), fast-forwards the epoch domain
+  /// past every durable epoch, then re-checkpoints and truncates the WALs.
+  /// A missing/empty directory recovers to an empty store. If the manifest
+  /// disagrees with `options.shards`, the manifest wins (the data layout
+  /// is keyed on it).
+  static std::unique_ptr<ShardedStore> Recover(ShardOptions options);
 
   std::string Name() const override { return "ShardedLiveGraph"; }
   StoreTraits Traits() const override {
@@ -109,12 +148,29 @@ class ShardedStore : public Store {
   std::unique_ptr<StoreTxn> BeginTxn() override;
   std::unique_ptr<StoreReadTxn> BeginReadTxn() override;
 
-  /// Typed BeginReadTxn, for callers that want the per-shard snapshots or
-  /// fan-in scans without a downcast.
+  /// Typed BeginReadTxn, for callers that want fan-in scans or the read
+  /// epoch without a downcast.
   std::unique_ptr<ShardedReadTxn> BeginShardedReadTxn();
+
+  /// Cross-shard time travel: a read session pinned at a historical global
+  /// epoch (clamped to [0, visible]). Exact on every shard — one epoch
+  /// domain means one timeline (subject to compaction retention, as in
+  /// Graph::BeginTimeTravelTransaction).
+  std::unique_ptr<ShardedReadTxn> BeginTimeTravelReadTxn(timestamp_t epoch);
+
+  /// Cross-shard checkpoint: pins ONE global epoch, checkpoints every
+  /// shard at exactly that epoch (no quiescing of writers — the epoch
+  /// domain makes the cut consistent by construction), then atomically
+  /// renames <dir>/MANIFEST recording it. Returns the pinned epoch, or 0
+  /// when the store has no durable directory. `threads` is the per-shard
+  /// checkpoint writer count.
+  timestamp_t Checkpoint(int threads = 1);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   Graph& shard(int s) { return *shards_[static_cast<size_t>(s)]; }
+
+  /// The shared visibility-epoch domain spanning all shards.
+  EpochDomain* epoch_domain() const { return domain_.get(); }
 
   // --- ID partitioning (shard/id_partition.h) ---
   int ShardOf(vertex_t v) const {
@@ -130,27 +186,15 @@ class ShardedStore : public Store {
   /// Upper bound (exclusive) on global vertex IDs across all shards.
   vertex_t VertexCount() const;
 
-  /// Pins one read snapshot per shard under the coordinator lock — the
-  /// consistent epoch vector used by read sessions and the analytics
-  /// fan-out. Index s is shard s's snapshot.
+  /// One read snapshot per shard, all at ONE pinned global epoch (index s
+  /// is shard s's snapshot) — the consistent view used by the analytics
+  /// fan-out (PageRankOnShardSnapshots), shareable across threads.
   std::vector<ReadTransaction> PinShardSnapshots();
 
  private:
   /// In-library access for the write-session implementation
   /// (sharded_store.cc), which lives outside the class.
   friend struct ShardedStoreAccess;
-
-  /// Next coordinator epoch: the store-level commit sequence returned by
-  /// Commit() (monotonic across shards, unlike per-shard GWEs) and the
-  /// order in which multi-shard commits apply relative to EACH OTHER.
-  /// It is not a visibility order across commit paths: a single-shard
-  /// commit ticks after its native commit without the coordinator lock, so
-  /// its (higher) epoch can become visible while a concurrent multi-shard
-  /// commit's (lower) epoch is still applying. See docs/SHARDING.md
-  /// "Known limits".
-  timestamp_t TickEpoch() {
-    return 1 + coordinator_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  }
 
   /// Round-robin placement for new vertices.
   int PickShard() {
@@ -159,14 +203,17 @@ class ShardedStore : public Store {
                             static_cast<uint64_t>(num_shards()));
   }
 
-  ShardOptions options_;
-  std::vector<std::unique_ptr<Graph>> shards_;
+  std::string ShardDirPath(int s) const;
+  std::string ShardWalPath(int s) const;
+  std::string ShardCheckpointPath(int s, timestamp_t epoch) const;
+  std::string ManifestPath() const;
+  /// Reads <dir>/MANIFEST; returns false when absent/corrupt.
+  static bool ReadManifest(const std::string& dir, int* shards,
+                           timestamp_t* epoch);
 
-  /// Coordinator lock: shared while pinning an epoch vector, exclusive
-  /// across a multi-shard commit's per-shard applies. Single-shard commits
-  /// never touch it.
-  std::shared_mutex coordinator_mu_;
-  std::atomic<timestamp_t> coordinator_epoch_{0};
+  ShardOptions options_;
+  std::shared_ptr<EpochDomain> domain_;
+  std::vector<std::unique_ptr<Graph>> shards_;
   std::atomic<uint64_t> next_shard_{0};
 };
 

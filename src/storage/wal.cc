@@ -23,45 +23,84 @@ namespace {
 
 }  // namespace
 
+void Wal::FsyncParentDir(const std::string& path) {
+  std::string dir;
+  size_t slash = path.find_last_of('/');
+  dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: an unreachable parent fails the
+                       // file operation itself long before this point
+  if (fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+    close(fd);
+    Die("fsync(dir)");
+  }
+  close(fd);
+}
+
+void Wal::CommitRename(const std::string& tmp,
+                       const std::string& final_path) {
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) Die("rename");
+  FsyncParentDir(final_path);
+}
+
 Wal::Wal(Options options) : options_(std::move(options)) {
   fd_ = open(options_.path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) Die("open");
+  // Persist the directory entry too: without this a crash right after
+  // creation can lose the (empty but expected) log file even though the
+  // fd was valid — every later record fsync would then sync an orphan.
+  if (options_.fsync) FsyncParentDir(options_.path);
 }
 
 Wal::~Wal() {
   if (fd_ >= 0) close(fd_);
 }
 
-void Wal::AppendBatch(timestamp_t epoch,
-                      const std::vector<std::string_view>& payloads) {
-  if (payloads.empty()) return;
+void Wal::AppendBatch(const std::vector<Record>& records) {
+  if (records.empty()) return;
   // Headers into a reusable array first (the iovecs point into it, so it
   // must not reallocate while they are built), then gather headers and the
   // workers' payload buffers directly — no per-batch payload copy.
   headers_.clear();
-  headers_.reserve(payloads.size());
+  headers_.reserve(records.size());
   iov_.clear();
-  iov_.reserve(payloads.size() * 2);
+  iov_.reserve(records.size() * 2);
   size_t total = 0;
-  for (std::string_view payload : payloads) {
+  for (const Record& record : records) {
     RecordHeader header;
-    header.len = static_cast<uint32_t>(payload.size());
-    header.crc = Crc32c(&epoch, sizeof(epoch));
-    header.crc = Crc32c(payload.data(), payload.size(), header.crc);
-    header.epoch = epoch;
+    header.len = static_cast<uint32_t>(record.payload.size());
+    header.epoch = record.epoch;
+    header.participants = record.participants;
+    header.reserved = 0;
+    header.crc = Crc32c(&header.epoch, sizeof(header.epoch));
+    header.crc =
+        Crc32c(&header.participants, sizeof(header.participants), header.crc);
+    header.crc =
+        Crc32c(record.payload.data(), record.payload.size(), header.crc);
     headers_.push_back(header);
-    total += sizeof(RecordHeader) + payload.size();
+    total += sizeof(RecordHeader) + record.payload.size();
   }
-  for (size_t i = 0; i < payloads.size(); ++i) {
+  for (size_t i = 0; i < records.size(); ++i) {
     iov_.push_back({&headers_[i], sizeof(RecordHeader)});
-    if (!payloads[i].empty()) {
-      iov_.push_back({const_cast<char*>(payloads[i].data()),
-                      payloads[i].size()});
+    if (!records[i].payload.empty()) {
+      iov_.push_back({const_cast<char*>(records[i].payload.data()),
+                      records[i].payload.size()});
     }
   }
   WritevAll(iov_.data(), iov_.size());
   bytes_written_ += total;
   if (options_.fsync && fdatasync(fd_) != 0) Die("fdatasync");
+}
+
+void Wal::AppendBatch(timestamp_t epoch,
+                      const std::vector<std::string_view>& payloads) {
+  std::vector<Record> records;
+  records.reserve(payloads.size());
+  for (std::string_view payload : payloads) {
+    records.push_back(Record{epoch, 1, payload});
+  }
+  AppendBatch(records);
 }
 
 void Wal::WritevAll(struct iovec* iov, size_t count) {
@@ -93,6 +132,7 @@ void Wal::WritevAll(struct iovec* iov, size_t count) {
 void Wal::Reset() {
   if (ftruncate(fd_, 0) != 0) Die("ftruncate");
   if (lseek(fd_, 0, SEEK_SET) < 0) Die("lseek");
+  if (options_.fsync && fdatasync(fd_) != 0) Die("fdatasync");
   bytes_written_ = 0;
 }
 
@@ -111,18 +151,43 @@ Wal::Reader::~Reader() {
   if (fd_ >= 0) close(fd_);
 }
 
-bool Wal::Reader::Next(timestamp_t* epoch, std::string* payload) {
-  constexpr size_t kHeader = sizeof(uint32_t) * 2 + sizeof(timestamp_t);
+void Wal::Reader::TruncateTornTail(const std::string& path) const {
+  if (pos_ >= buffer_.size()) return;  // whole file parsed: nothing torn
+  if (truncate(path.c_str(), static_cast<off_t>(pos_)) != 0) {
+    std::fprintf(stderr, "Wal: torn-tail truncation of %s failed: %s\n",
+                 path.c_str(), std::strerror(errno));
+  }
+}
+
+bool Wal::Reader::Next(timestamp_t* epoch, uint32_t* participants,
+                       std::string* payload) {
+  constexpr size_t kHeader = sizeof(RecordHeader);
   if (pos_ + kHeader > buffer_.size()) return false;
   uint32_t len, crc;
   std::memcpy(&len, buffer_.data() + pos_, sizeof(len));
   std::memcpy(&crc, buffer_.data() + pos_ + 4, sizeof(crc));
   std::memcpy(epoch, buffer_.data() + pos_ + 8, sizeof(*epoch));
+  std::memcpy(participants, buffer_.data() + pos_ + 16,
+              sizeof(*participants));
   if (pos_ + kHeader + len > buffer_.size()) return false;  // torn tail
   const uint8_t* body = buffer_.data() + pos_ + kHeader;
   uint32_t expect = Crc32c(epoch, sizeof(*epoch));
+  expect = Crc32c(participants, sizeof(*participants), expect);
   expect = Crc32c(body, len, expect);
-  if (expect != crc) return false;  // corrupt record terminates replay
+  if (expect != crc) {
+    // Corrupt record terminates replay. Failing on the very FIRST record
+    // of a non-empty log is indistinguishable from "empty log" to the
+    // caller, and the usual cause is a file written with a different
+    // record framing — say so instead of silently replaying nothing.
+    if (pos_ == 0) {
+      std::fprintf(stderr,
+                   "Wal: first record fails its CRC (%zu bytes on disk) — "
+                   "corrupt log or incompatible record framing; replaying "
+                   "nothing\n",
+                   buffer_.size());
+    }
+    return false;
+  }
   payload->assign(reinterpret_cast<const char*>(body), len);
   pos_ += kHeader + len;
   return true;

@@ -4,9 +4,18 @@
 // a batch of log entries to a sequential write-ahead log (WAL) and uses
 // fsync to persist it to stable storage."
 //
-// Record framing: [u32 payload_len][u32 crc32c(epoch ++ payload)]
-//                 [i64 epoch][payload bytes]
+// Record framing: [u32 payload_len][u32 crc32c(epoch ++ participants ++
+//                 payload)][i64 epoch][u32 participants][u32 reserved]
+//                 [payload bytes]
 // A torn tail record (crash mid-write) fails its CRC and terminates replay.
+// Epochs come from the unified EpochDomain, so records of one group-commit
+// batch may carry distinct epochs: fresh commits share the batch's epoch
+// while coordinator-stamped multi-shard pieces keep the epoch the
+// coordinator acquired for the whole transaction. `participants` records
+// how many shard WALs hold a piece of that epoch (1 for single-shard
+// commits) — sharded recovery replays a multi-shard epoch only when every
+// piece is present, so a crash between two shards' fsyncs can never
+// resurrect half a transaction.
 //
 // The batch append gathers every record with writev straight from the
 // committing workers' (pooled) payload buffers: headers live in a reusable
@@ -37,15 +46,27 @@ class Wal {
     bool fsync = true;
   };
 
+  /// One logical record of a batch append.
+  struct Record {
+    timestamp_t epoch = 0;
+    /// Shard WALs holding a piece of this epoch (cross-shard atomicity
+    /// metadata; 1 for everything but multi-shard transaction pieces).
+    uint32_t participants = 1;
+    std::string_view payload;
+  };
+
   explicit Wal(Options options);
   ~Wal();
 
   Wal(const Wal&) = delete;
   Wal& operator=(const Wal&) = delete;
 
-  /// Appends one group-commit batch: every payload becomes a record stamped
-  /// with `epoch`, gathered with writev (zero payload copies) and made
-  /// durable with one fsync.
+  /// Appends one group-commit batch, gathered with writev (zero payload
+  /// copies) and made durable with one fsync.
+  void AppendBatch(const std::vector<Record>& records);
+
+  /// Single-epoch convenience (tests, tools): every payload becomes a
+  /// record stamped with `epoch`, participants = 1.
   void AppendBatch(timestamp_t epoch,
                    const std::vector<std::string_view>& payloads);
 
@@ -53,6 +74,19 @@ class Wal {
   void Reset();
 
   uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return options_.path; }
+
+  /// fsyncs the directory containing `path` so a just-created or
+  /// just-renamed entry survives a crash (file-content fsync alone does
+  /// not persist the directory entry). Used after WAL creation and after
+  /// checkpoint-manifest renames.
+  static void FsyncParentDir(const std::string& path);
+
+  /// The atomic-publish tail shared by every manifest writer: rename
+  /// `tmp` over `final_path`, then fsync the directory so the rename
+  /// itself survives a crash. The caller fsynced the file contents.
+  static void CommitRename(const std::string& tmp,
+                           const std::string& final_path);
 
   /// Replays records from a WAL file in order. Stops at EOF or the first
   /// corrupt/torn record.
@@ -62,7 +96,30 @@ class Wal {
     ~Reader();
 
     /// Returns false at end of log.
-    bool Next(timestamp_t* epoch, std::string* payload);
+    bool Next(timestamp_t* epoch, uint32_t* participants,
+              std::string* payload);
+    bool Next(timestamp_t* epoch, std::string* payload) {
+      uint32_t participants = 0;
+      return Next(epoch, &participants, payload);
+    }
+
+    /// Byte length of the valid record prefix consumed so far. After a
+    /// scan to the end, everything past this offset is a torn/corrupt
+    /// tail — recovery truncates to it so post-recovery appends stay
+    /// reachable by the next replay.
+    size_t valid_bytes() const { return pos_; }
+    size_t file_bytes() const { return buffer_.size(); }
+
+    /// Restarts iteration over the already-loaded buffer (recovery scans
+    /// the log twice — epoch bounds, then replay — without re-reading the
+    /// file).
+    void Rewind() { pos_ = 0; }
+
+    /// After a scan to the end: truncates the on-disk file at `path` to
+    /// the valid record prefix, cutting off a torn/corrupt tail left by a
+    /// crash mid-append so post-recovery appends land behind readable
+    /// bytes. No-op when the whole file parsed.
+    void TruncateTornTail(const std::string& path) const;
 
    private:
     int fd_ = -1;
@@ -71,14 +128,17 @@ class Wal {
   };
 
  private:
-  /// Matches the record framing byte-for-byte: 4+4 bytes then an 8-aligned
-  /// epoch, so one iovec covers the whole header.
+  /// Matches the record framing byte-for-byte: 4+4 bytes, an 8-aligned
+  /// epoch, then participants + padding, so one iovec covers the whole
+  /// header.
   struct RecordHeader {
     uint32_t len;
     uint32_t crc;
     timestamp_t epoch;
+    uint32_t participants;
+    uint32_t reserved;
   };
-  static_assert(sizeof(RecordHeader) == 16, "framing layout");
+  static_assert(sizeof(RecordHeader) == 24, "framing layout");
 
   void WritevAll(struct iovec* iov, size_t count);
 

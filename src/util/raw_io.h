@@ -1,0 +1,23 @@
+// Tiny raw-value stdio helpers shared by the checkpoint writers
+// (core/checkpoint.cc, shard/sharded_store.cc) so the two manifest
+// formats cannot drift on serialization mechanics.
+#ifndef LIVEGRAPH_UTIL_RAW_IO_H_
+#define LIVEGRAPH_UTIL_RAW_IO_H_
+
+#include <cstdio>
+
+namespace livegraph {
+
+template <typename T>
+inline void WriteRaw(std::FILE* f, const T& value) {
+  std::fwrite(&value, sizeof(value), 1, f);
+}
+
+template <typename T>
+inline bool ReadRaw(std::FILE* f, T* value) {
+  return std::fread(value, sizeof(*value), 1, f) == 1;
+}
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_UTIL_RAW_IO_H_

@@ -9,7 +9,10 @@
 // exactly where StoreTraits declares them.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <set>
@@ -49,6 +52,29 @@ ShardOptions SmallShardOptions() {
 }
 
 using StoreFactory = std::function<std::unique_ptr<Store>()>;
+
+/// Wraps a store whose durable state lives under `dir`; removes the
+/// directory when the store is destroyed so per-test recovery backends
+/// leave nothing in /tmp.
+class ScopedDirStore : public Store {
+ public:
+  ScopedDirStore(std::unique_ptr<Store> inner, std::string dir)
+      : inner_(std::move(inner)), dir_(std::move(dir)) {}
+  ~ScopedDirStore() override {
+    inner_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string Name() const override { return inner_->Name(); }
+  StoreTraits Traits() const override { return inner_->Traits(); }
+  std::unique_ptr<StoreTxn> BeginTxn() override { return inner_->BeginTxn(); }
+  std::unique_ptr<StoreReadTxn> BeginReadTxn() override {
+    return inner_->BeginReadTxn();
+  }
+
+ private:
+  std::unique_ptr<Store> inner_;
+  std::string dir_;
+};
 
 class StoreConformanceTest
     : public ::testing::TestWithParam<std::pair<const char*, StoreFactory>> {
@@ -333,6 +359,24 @@ INSTANTIATE_TEST_SUITE_P(
                        StoreFactory([] {
                          return std::unique_ptr<Store>(
                              new ShardedStore(SmallShardOptions()));
+                       })),
+        // The sharded engine opened through ShardedStore::Recover with a
+        // live per-shard WAL directory: every contract runs on a store
+        // that went through the recovery path and logs durably while the
+        // contracts execute (docs/SHARDING.md "Recovery").
+        std::make_pair("RecoveredShardedLiveGraph",
+                       StoreFactory([] {
+                         static int counter = 0;
+                         std::string dir =
+                             "/tmp/lg_conformance_recover_" +
+                             std::to_string(::getpid()) + "_" +
+                             std::to_string(counter++);
+                         std::filesystem::remove_all(dir);
+                         ShardOptions options = SmallShardOptions();
+                         options.dir = dir;
+                         options.graph.fsync_wal = false;
+                         return std::unique_ptr<Store>(new ScopedDirStore(
+                             ShardedStore::Recover(options), dir));
                        })),
         // The network subsystem behind the same contract: a LiveGraph
         // engine served by GraphServer over loopback TCP, driven through

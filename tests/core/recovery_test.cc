@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "core/graph.h"
@@ -105,6 +106,46 @@ TEST_F(RecoveryTest, CheckpointPlusWalTail) {
   EXPECT_EQ(read.GetVertex(b).value(), "b-post");
   EXPECT_EQ(read.GetEdge(a, 0, b).value(), "pre-ckpt");
   EXPECT_EQ(read.GetEdge(b, 0, a).value(), "post-ckpt");
+}
+
+TEST_F(RecoveryTest, TornTailTruncatedSoPostRecoveryCommitsSurvive) {
+  // Crash mid-append leaves unreadable bytes at the WAL tail. Recovery
+  // must truncate them: the recovered graph keeps appending to the same
+  // log, and without the cut every post-recovery commit would sit behind
+  // the torn record and be silently dropped by the NEXT recovery.
+  vertex_t a;
+  {
+    Graph graph(DurableOptions());
+    auto txn = graph.BeginTransaction();
+    a = txn.AddVertex("pre-crash");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  {
+    // The torn tail: a header promising more bytes than exist.
+    std::ofstream f(DurableOptions().wal_path,
+                    std::ios::binary | std::ios::app);
+    uint32_t len = 5000, crc = 0xdeadbeef, participants = 1, reserved = 0;
+    timestamp_t epoch = 99;
+    f.write(reinterpret_cast<char*>(&len), 4);
+    f.write(reinterpret_cast<char*>(&crc), 4);
+    f.write(reinterpret_cast<char*>(&epoch), 8);
+    f.write(reinterpret_cast<char*>(&participants), 4);
+    f.write(reinterpret_cast<char*>(&reserved), 4);
+    f.write("torn", 4);
+  }
+  {
+    auto graph = Graph::Recover(DurableOptions(), "");
+    auto read = graph->BeginReadOnlyTransaction();
+    EXPECT_EQ(read.GetVertex(a).value(), "pre-crash");
+    // Durable work after the first crash's recovery.
+    auto txn = graph->BeginTransaction();
+    ASSERT_EQ(txn.PutVertex(a, "post-crash"), Status::kOk);
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+  // Second crash + recovery: the post-crash commit must be there.
+  auto graph = Graph::Recover(DurableOptions(), "");
+  auto read = graph->BeginReadOnlyTransaction();
+  EXPECT_EQ(read.GetVertex(a).value(), "post-crash");
 }
 
 TEST_F(RecoveryTest, RecoverEmptyStateIsEmptyGraph) {

@@ -288,13 +288,14 @@ TEST(ShardedStoreTest, ShardedAnalyticsMatchSingleEngine) {
   EXPECT_EQ(sharded_cc, single_cc);
 }
 
-TEST(ShardedStoreTest, PerShardWalFilesAreDisjoint) {
+TEST(ShardedStoreTest, DurableDirHoldsOneWalPerShard) {
   namespace fs = std::filesystem;
-  const std::string base = "/tmp/livegraph_shard_wal_test_" +
-                           std::to_string(::getpid());
+  const std::string dir = "/tmp/livegraph_shard_dir_test_" +
+                          std::to_string(::getpid());
+  fs::remove_all(dir);
   {
     ShardOptions options = SmallShardOptions();
-    options.graph.wal_path = base;
+    options.dir = dir;
     options.graph.fsync_wal = false;
     ShardedStore store(options);
     vertex_t a = store.AddNode("a");
@@ -304,13 +305,97 @@ TEST(ShardedStoreTest, PerShardWalFilesAreDisjoint) {
     ASSERT_TRUE(txn->AddLink(b, 0, a, "y").ok());
     ASSERT_TRUE(txn->Commit().ok());
     for (int s = 0; s < kShards; ++s) {
-      EXPECT_TRUE(fs::exists(base + ".shard" + std::to_string(s)))
+      EXPECT_TRUE(fs::exists(dir + "/shard" + std::to_string(s) + "/wal"))
           << "shard " << s;
     }
   }
-  for (int s = 0; s < kShards; ++s) {
-    fs::remove(base + ".shard" + std::to_string(s));
+  fs::remove_all(dir);
+}
+
+// Read sessions pin ONE global epoch (no per-shard vector): the session's
+// read_epoch covers every shard, a commit's epoch is immediately visible
+// to the next session, and the epoch is exact under time travel.
+TEST(ShardedStoreTest, ReadSessionsPinASingleGlobalEpoch) {
+  ShardedStore store(SmallShardOptions());
+  vertex_t a = store.AddNode("a");
+  vertex_t b = store.AddNode("b");
+  ASSERT_NE(store.ShardOf(a), store.ShardOf(b));
+
+  // State 1: multi-shard commit at epoch e1.
+  timestamp_t e1;
+  {
+    auto txn = store.BeginTxn();
+    ASSERT_EQ(txn->UpdateNode(a, "a1"), Status::kOk);
+    ASSERT_EQ(txn->UpdateNode(b, "b1"), Status::kOk);
+    StatusOr<timestamp_t> epoch = txn->Commit();
+    ASSERT_TRUE(epoch.ok());
+    e1 = *epoch;
   }
+  // State 2: single-shard fast-path commit at epoch e2 > e1.
+  timestamp_t e2;
+  {
+    auto txn = store.BeginTxn();
+    ASSERT_EQ(txn->UpdateNode(a, "a2"), Status::kOk);
+    StatusOr<timestamp_t> epoch = txn->Commit();
+    ASSERT_TRUE(epoch.ok());
+    e2 = *epoch;
+  }
+  ASSERT_GT(e2, e1);
+
+  // A fresh session pins one epoch >= e2 and sees the latest state on
+  // both shards.
+  auto now = store.BeginShardedReadTxn();
+  EXPECT_GE(now->read_epoch(), e2);
+  EXPECT_EQ(*now->GetNode(a), "a2");
+  EXPECT_EQ(*now->GetNode(b), "b1");
+
+  // Cross-shard time travel is exact: at e1 the multi-shard write is
+  // visible on BOTH shards and the later fast-path write on neither.
+  auto past = store.BeginTimeTravelReadTxn(e1);
+  EXPECT_EQ(past->read_epoch(), e1);
+  EXPECT_EQ(*past->GetNode(a), "a1");
+  EXPECT_EQ(*past->GetNode(b), "b1");
+  auto before = store.BeginTimeTravelReadTxn(e1 - 1);
+  EXPECT_EQ(*before->GetNode(a), "a");
+  EXPECT_EQ(*before->GetNode(b), "b");
+}
+
+// Satellite: AddNode falls back to the next shard with room (round-robin
+// probe) instead of failing kOutOfRange while other shards have capacity.
+TEST(ShardedStoreTest, AddNodeProbesPastFullShards) {
+  ShardOptions options = SmallShardOptions(2);
+  options.graph.max_vertices = 6;  // 3 local IDs per shard
+  ShardedStore store(options);
+
+  // Burn shard capacity unevenly: aborted AddNodes consume local IDs (IDs
+  // are claimed eagerly and never returned) and advance the round-robin
+  // cursor, so one shard fills while the other still has room.
+  {
+    auto doomed = store.BeginTxn();
+    ASSERT_TRUE(doomed->AddNode("burn0").ok());
+    ASSERT_TRUE(doomed->AddNode("burn1").ok());
+    ASSERT_TRUE(doomed->AddNode("burn2").ok());
+    doomed->Abort();
+  }
+  // 6 local IDs total, 3 burned. The remaining 3 must all be reachable
+  // even when the round-robin cursor lands on a full shard.
+  std::vector<vertex_t> added;
+  for (int i = 0; i < 3; ++i) {
+    auto txn = store.BeginTxn();
+    StatusOr<vertex_t> id = txn->AddNode("keep" + std::to_string(i));
+    ASSERT_TRUE(id.ok()) << "node " << i << ": " << StatusName(id.status());
+    ASSERT_TRUE(txn->Commit().ok());
+    added.push_back(*id);
+  }
+  // Now every shard is at capacity: kOutOfRange, and the session survives.
+  auto txn = store.BeginTxn();
+  StatusOr<vertex_t> overflow = txn->AddNode("overflow");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status(), Status::kOutOfRange);
+  // The session is still usable after the capacity failure.
+  ASSERT_EQ(txn->UpdateNode(added[0], "still-usable"), Status::kOk);
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(*store.GetNode(added[0]), "still-usable");
 }
 
 }  // namespace

@@ -41,6 +41,54 @@ TEST_F(WalTest, AppendAndReplay) {
   EXPECT_FALSE(reader.Next(&epoch, &payload));
 }
 
+TEST_F(WalTest, PerRecordEpochsAndParticipantsRoundTrip) {
+  // One physical batch can mix epochs: fresh group-commit records share
+  // the batch's epoch while coordinator-stamped multi-shard pieces keep
+  // their own, with the piece count in `participants` (sharded recovery's
+  // torn-transaction filter keys on it).
+  {
+    Wal wal({path_, /*fsync=*/false});
+    wal.AppendBatch({Wal::Record{7, 1, "fresh-a"},
+                     Wal::Record{5, 3, "piece"},
+                     Wal::Record{7, 1, "fresh-b"}});
+  }
+  Wal::Reader reader(path_);
+  timestamp_t epoch;
+  uint32_t participants;
+  std::string payload;
+  ASSERT_TRUE(reader.Next(&epoch, &participants, &payload));
+  EXPECT_EQ(epoch, 7);
+  EXPECT_EQ(participants, 1u);
+  EXPECT_EQ(payload, "fresh-a");
+  ASSERT_TRUE(reader.Next(&epoch, &participants, &payload));
+  EXPECT_EQ(epoch, 5);
+  EXPECT_EQ(participants, 3u);
+  EXPECT_EQ(payload, "piece");
+  ASSERT_TRUE(reader.Next(&epoch, &participants, &payload));
+  EXPECT_EQ(epoch, 7);
+  EXPECT_EQ(participants, 1u);
+  EXPECT_EQ(payload, "fresh-b");
+  EXPECT_FALSE(reader.Next(&epoch, &participants, &payload));
+}
+
+TEST_F(WalTest, CorruptParticipantsFailsCrc) {
+  {
+    Wal wal({path_, false});
+    wal.AppendBatch({Wal::Record{3, 2, "guarded"}});
+  }
+  // Flip a byte inside the participants field (offset 16 in the header):
+  // the CRC covers it, so replay must reject the record.
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(16, std::ios::beg);
+    f.put('\x7');
+  }
+  Wal::Reader reader(path_);
+  timestamp_t epoch;
+  std::string payload;
+  EXPECT_FALSE(reader.Next(&epoch, &payload));
+}
+
 TEST_F(WalTest, EmptyBatchWritesNothing) {
   {
     Wal wal({path_, false});
