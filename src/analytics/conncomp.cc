@@ -10,6 +10,10 @@ namespace livegraph {
 namespace {
 
 /// Relaxes components across an edge until fixpoint.
+/// All `comp` accesses are relaxed by design: label propagation is a
+/// monotone (min-relaxation) algorithm — a stale read can only delay
+/// convergence, never produce a wrong fixpoint, and the outer loop's
+/// ParallelFor joins are the synchronization between sweeps.
 bool RelaxMin(std::vector<std::atomic<vertex_t>>& comp, vertex_t a,
               vertex_t b) {
   vertex_t ca = comp[static_cast<size_t>(a)].load(std::memory_order_relaxed);
@@ -39,6 +43,8 @@ std::vector<vertex_t> ConnCompKernel(vertex_t n, int threads,
   for (vertex_t v = 0; v < n; ++v) {
     comp[static_cast<size_t>(v)].store(v, std::memory_order_relaxed);
   }
+  // relaxed on `changed`: written before and read after ParallelFor's
+  // thread joins, which already order it.
   std::atomic<bool> changed{true};
   while (changed.load(std::memory_order_relaxed)) {
     changed.store(false, std::memory_order_relaxed);

@@ -15,7 +15,8 @@ namespace {
 template <typename CountFn, typename EdgesFn>
 Csr ParallelExport(vertex_t n, int threads, const CountFn& count,
                    const EdgesFn& edges) {
-  // Pass 1: degrees.
+  // Pass 1: degrees. relaxed stores/loads: each slot has exactly one
+  // writer per pass and the passes are separated by ParallelFor's joins.
   std::vector<std::atomic<int64_t>> degrees(static_cast<size_t>(n));
   ParallelFor(0, n, threads, [&](int64_t lo, int64_t hi) {
     for (int64_t v = lo; v < hi; ++v) {

@@ -9,6 +9,10 @@ namespace livegraph {
 
 namespace {
 
+// relaxed throughout this kernel: rank contributions are commutative sums
+// with no cross-thread data dependencies inside a sweep, and each sweep is
+// bracketed by ParallelFor thread joins that order the arrays between
+// phases.
 void AtomicAdd(std::atomic<double>& target, double delta) {
   double current = target.load(std::memory_order_relaxed);
   while (!target.compare_exchange_weak(current, current + delta,

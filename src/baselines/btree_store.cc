@@ -121,6 +121,8 @@ class BTreeWriteTxn final
 
   StatusOr<timestamp_t> Commit() override {
     if (!lock_.owns_lock()) return Status::kNotActive;
+    // relaxed: the sequence only mints distinct epochs; the writer lock
+    // we still hold orders the writes themselves.
     timestamp_t epoch =
         store_->commit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     lock_.unlock();

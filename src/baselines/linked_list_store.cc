@@ -168,6 +168,8 @@ class LinkedListWriteTxn final
 
   StatusOr<timestamp_t> Commit() override {
     if (!lock_.owns_lock()) return Status::kNotActive;
+    // relaxed: distinct-epoch minting only; the held writer lock orders
+    // the writes.
     timestamp_t epoch =
         store_->commit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     lock_.unlock();

@@ -28,6 +28,8 @@ Lsmt::SkipNode* Lsmt::NewNode(const EdgeKey& key, uint64_t seq,
   void* mem = ::malloc(bytes);
   auto* node = new (mem) SkipNode{key, seq, tombstone,
                                   std::string(value), height, {}};
+  // relaxed: the node is private until InsertIntoMemtable's release store
+  // links it into the list.
   for (int i = 0; i < height; ++i) {
     node->next[i].store(nullptr, std::memory_order_relaxed);
   }
@@ -56,6 +58,10 @@ Lsmt::SkipNode* Lsmt::SkipLowerBound(const EdgeKey& key) const {
 
 void Lsmt::InsertIntoMemtable(const EdgeKey& key, bool tombstone,
                               std::string_view value) {
+  // relaxed throughout the insert: writers hold rw_mu_ exclusively, so the
+  // skiplist has one mutator at a time; concurrent shared-lock readers are
+  // admitted only through the release store of prev->next below, which
+  // publishes the fully initialized node.
   uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   int height = 1;
   while (height < kMaxHeight && (height_rng_.Next() & 3) == 0) height++;

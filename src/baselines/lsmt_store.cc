@@ -109,6 +109,8 @@ class LsmtTxn : public StoreTxn {
   StatusOr<timestamp_t> Commit() override {
     if (!active_) return Status::kNotActive;
     active_ = false;
+    // relaxed: distinct-epoch minting only; Lsmt's rw_mu_ orders the
+    // writes themselves.
     return store_->commit_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 

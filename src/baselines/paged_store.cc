@@ -31,6 +31,9 @@ void PageCacheSim::Touch(const void* addr, size_t bytes, bool write) {
   for (uint64_t page = start; page <= end; ++page) TouchPage(page, write);
 }
 
+// All counter updates below are relaxed: hits_/misses_/bytes_written_/
+// dirty_evictions_/simulated_io_ns_ are simulation statistics read only by
+// GetStats; the cache state itself is guarded by the shard mutex.
 void PageCacheSim::TouchPage(uint64_t page, bool write) {
   Shard& shard = shards_[page % shards_.size()];
   uint64_t stall_ns = 0;

@@ -5,6 +5,8 @@
 #include "core/epoch_domain.h"
 #include "core/graph.h"
 #include "util/futex_lock.h"
+#include "util/invariant.h"
+#include "util/sync_annotations.h"
 
 namespace livegraph {
 
@@ -52,13 +54,28 @@ void CommitManager::Enqueue(Request* req) {
   // the common case; a short stall here means the manager is a full lap
   // behind, which backpressure-throttles producers exactly then.
   while (slot.seq.load(std::memory_order_acquire) != pos) CpuRelax();
+  // Single-writer discipline: the seq handshake above means the manager
+  // finished with this slot (and nulled it in DrainRing); a non-null req
+  // here is two producers inside one slot — ring corruption.
+  LIVEGRAPH_DCHECK(slot.req == nullptr,
+                   "commit ring slot %llu claimed while still occupied "
+                   "(two producers in one slot)",
+                   static_cast<unsigned long long>(pos & ring_mask_));
   slot.req = req;
+  // Slot handoff edge: the request's fields (payload view, epoch inputs)
+  // happen-before the manager's read of them — carried by the seq
+  // release/acquire pair; annotated so TSan keeps the pair checkable.
+  LIVEGRAPH_TSAN_RELEASE(&slot.seq);
   slot.seq.store(pos + 1, std::memory_order_release);
   // Doorbell eventcount: the fence orders the slot publication against the
   // parked-flag read (the manager mirrors it before its empty re-check),
   // so either we see it parked or it sees our slot.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  // relaxed: the doorbell value is only a wake ticket (FutexWait compares
+  // it for equality); all ordering comes from the seq_cst fences around it.
   doorbell_.fetch_add(1, std::memory_order_relaxed);
+  // relaxed: parked is a hint to skip the wake syscall; the fence pairing
+  // above guarantees we cannot miss a parked manager that missed our slot.
   if (manager_parked_.load(std::memory_order_relaxed) != 0 &&
       manager_parked_.exchange(0, std::memory_order_relaxed) != 0) {
     FutexWakeOne(&doorbell_);
@@ -70,7 +87,15 @@ size_t CommitManager::DrainRing(std::vector<Request*>* batch) {
   while (batch->size() < max_batch_) {
     RingSlot& slot = ring_[ring_head_ & ring_mask_];
     if (slot.seq.load(std::memory_order_acquire) != ring_head_ + 1) break;
+    LIVEGRAPH_TSAN_ACQUIRE(&slot.seq);  // pairs with Enqueue's RELEASE
+    LIVEGRAPH_DCHECK(slot.req != nullptr,
+                     "commit ring slot %llu published empty",
+                     static_cast<unsigned long long>(ring_head_ & ring_mask_));
     batch->push_back(slot.req);
+    // Null before recycling the slot: the Request lives on the producer's
+    // stack and dies when Persist returns; this also arms the
+    // two-producers DCHECK in Enqueue.
+    slot.req = nullptr;
     slot.seq.store(ring_head_ + ring_.size(), std::memory_order_release);
     ++ring_head_;
     ++taken;
@@ -83,6 +108,11 @@ bool CommitManager::DequeueBatch(std::vector<Request*>* batch) {
   while (true) {
     RingSlot& head = ring_[ring_head_ & ring_mask_];
     if (head.seq.load(std::memory_order_acquire) == ring_head_ + 1) break;
+    // relaxed: the ticket is only compared for equality by FutexWait; a
+    // stale read causes at most one spurious wake-and-recheck. The
+    // parked-flag store needs no ordering of its own — the seq_cst fence
+    // below pairs with Enqueue's fence so a producer that missed our
+    // parked flag published its slot before our re-check.
     uint32_t ticket = doorbell_.load(std::memory_order_relaxed);
     manager_parked_.store(1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);

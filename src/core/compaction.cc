@@ -11,6 +11,7 @@
 #include "core/graph.h"
 #include "core/transaction.h"
 #include "util/bloom_filter.h"
+#include "util/lock_rank.h"
 
 namespace livegraph {
 
@@ -27,6 +28,8 @@ void Graph::MaybeScheduleCompaction() {
   // concurrent commits can jump the counter across a boundary so that no
   // single committer ever observes an exact multiple, which would skip the
   // trigger entirely. Exactly one committer wins the CAS per crossing.
+  // relaxed loads: both are trigger heuristics — stale values delay a pass
+  // by at most a few commits; the CAS arbitrates the actual crossing.
   uint64_t committed = committed_txns_.load(std::memory_order_relaxed);
   uint64_t next = next_compaction_at_.load(std::memory_order_relaxed);
   if (committed < next) return;
@@ -55,12 +58,15 @@ void Graph::CompactionThreadMain() {
 }
 
 void Graph::RunCompactionPass() {
+  // Outermost rank: the pass takes vertex locks and dirty sets below it.
+  LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kCompactionPass);
   std::lock_guard<std::mutex> pass_guard(compaction_pass_mu_);
   const timestamp_t safe = SafeEpoch();
 
   // Collect and dedup all workers' dirty sets.
   std::vector<vertex_t> dirty;
   for (auto& slot : slots_) {
+    LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kDirtySet);
     std::lock_guard<std::mutex> guard(slot->dirty_mu);
     dirty.insert(dirty.end(), slot->dirty_vertices.begin(),
                  slot->dirty_vertices.end());
@@ -78,10 +84,12 @@ void Graph::CompactVertex(vertex_t v, timestamp_t safe) {
   FutexLock* lock = LockFor(v);
   if (!lock->TryLockFor(kCompactionLockTimeoutNs)) {
     // Contended: requeue for the next pass.
+    LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kDirtySet);
     std::lock_guard<std::mutex> guard(slots_[0]->dirty_mu);
     slots_[0]->dirty_vertices.push_back(v);
     return;
   }
+  LIVEGRAPH_LOCK_RANK_ACQUIRE(LockRank::kVertexLock);
   const timestamp_t retire_epoch = domain_->visible() + 1;
 
   // --- Vertex version chain GC ("similar to existing MVCC
@@ -115,6 +123,7 @@ void Graph::CompactVertex(vertex_t v, timestamp_t safe) {
   block_ptr_t store = IndexEntry(v)->edge_store.load(std::memory_order_acquire);
   if (store == kNullBlock) {
     lock->Unlock();
+    LIVEGRAPH_LOCK_RANK_RELEASE(LockRank::kVertexLock);
     return;
   }
   uint8_t* base = block_manager_->Pointer(store);
@@ -132,6 +141,9 @@ void Graph::CompactVertex(vertex_t v, timestamp_t safe) {
     // still converting its -TID timestamps (apply phase runs after lock
     // release, §5); requeue and skip.
     if (header->commit_ts.load(std::memory_order_acquire) > safe) {
+      // Taken with the vertex lock held — kDirtySet ranks above
+      // kVertexLock, so this nesting is legal by the table.
+      LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kDirtySet);
       std::lock_guard<std::mutex> guard(slots_[0]->dirty_mu);
       slots_[0]->dirty_vertices.push_back(v);
       continue;
@@ -180,6 +192,9 @@ void Graph::CompactVertex(vertex_t v, timestamp_t safe) {
       }
       ++order;
     }
+    // relaxed stores into `fresh` below: the rewritten block is private to
+    // this thread until the committed_entries release + tel release swap
+    // publish it.
     block_ptr_t new_ptr = NewTel(v, order);
     TelBlock fresh = Tel(new_ptr);
     uint32_t out_index = 0;
@@ -226,6 +241,7 @@ void Graph::CompactVertex(vertex_t v, timestamp_t safe) {
     }
   }
   lock->Unlock();
+  LIVEGRAPH_LOCK_RANK_RELEASE(LockRank::kVertexLock);
 }
 
 }  // namespace livegraph

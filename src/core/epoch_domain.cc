@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "util/futex_lock.h"
+#include "util/invariant.h"
+#include "util/sync_annotations.h"
 
 namespace livegraph {
 
@@ -29,6 +31,14 @@ EpochDomain::EpochDomain(size_t window)
 
 timestamp_t EpochDomain::Acquire(uint32_t participants) {
   timestamp_t epoch = next_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // GRE <= GWE at issue time: the epoch we just minted cannot already be
+  // visible — only its own MarkApplied countdown may publish it.
+  LIVEGRAPH_DCHECK(visible_.load(std::memory_order_seq_cst) < epoch,
+                   "visible frontier %lld is at/past freshly issued epoch "
+                   "%lld (GRE overran GWE)",
+                   static_cast<long long>(
+                       visible_.load(std::memory_order_seq_cst)),
+                   static_cast<long long>(epoch));
   // Slot reuse guard: the previous tenant of this slot is epoch - size;
   // once it is visible its countdown is spent and the slot is ours. In
   // flight epochs are bounded by attached engines' worker tables, far
@@ -43,8 +53,25 @@ timestamp_t EpochDomain::Acquire(uint32_t participants) {
 }
 
 void EpochDomain::MarkApplied(timestamp_t epoch) {
+  // Epochs apply in issue order and at most `participants` times. Both
+  // checks read state BEFORE our decrement: while our participation is
+  // outstanding the countdown is >= 1, so the cascade cannot have
+  // published `epoch` yet — seeing it visible means a double MarkApplied
+  // (or a MarkApplied for a never-issued epoch).
+  LIVEGRAPH_DCHECK(epoch >= 1 &&
+                       epoch <= next_.load(std::memory_order_acquire),
+                   "MarkApplied(%lld) for an epoch this domain never issued",
+                   static_cast<long long>(epoch));
+  LIVEGRAPH_DCHECK(visible_.load(std::memory_order_seq_cst) < epoch,
+                   "MarkApplied(%lld) after the epoch became visible — "
+                   "double apply would corrupt the visibility order",
+                   static_cast<long long>(epoch));
   Slot& slot = slots_[static_cast<size_t>(epoch) & mask_];
-  if (slot.pending.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  uint32_t prev = slot.pending.fetch_sub(1, std::memory_order_acq_rel);
+  LIVEGRAPH_DCHECK(prev != 0,
+                   "MarkApplied(%lld) underflowed the participant countdown",
+                   static_cast<long long>(epoch));
+  if (prev != 1) return;
   // Last participant: publish, then cascade the frontier over every
   // consecutive fully-applied epoch. Everything here is seq_cst for the
   // same store-buffer litmus as the old per-graph cascade: when two last
@@ -52,6 +79,13 @@ void EpochDomain::MarkApplied(timestamp_t epoch) {
   // least one of them observe the other's applied store and finish the
   // cascade — otherwise both could read stale and the frontier would
   // stall with nobody left to move it.
+  //
+  // Publish edge: everything this group's transactions wrote
+  // happens-before any thread that observes visible() >= epoch (the
+  // matching ACQUIRE is in WaitVisible / PinRead). The edge exists in the
+  // C++ model through the seq_cst stores below; the annotation keeps the
+  // futex-mediated pair explicit for TSan.
+  LIVEGRAPH_TSAN_RELEASE(&visible_);
   slot.applied.store(epoch, std::memory_order_seq_cst);
   while (true) {
     timestamp_t current = visible_.load(std::memory_order_seq_cst);
@@ -67,16 +101,31 @@ void EpochDomain::MarkApplied(timestamp_t epoch) {
 }
 
 void EpochDomain::WaitVisible(timestamp_t epoch) {
-  if (visible_.load(std::memory_order_seq_cst) >= epoch) return;
+  // Waiting on an epoch the domain never issued would sleep forever —
+  // nobody's MarkApplied can advance the frontier past next_.
+  LIVEGRAPH_DCHECK(epoch <= next_.load(std::memory_order_acquire),
+                   "WaitVisible(%lld) beyond the issued frontier %lld would "
+                   "hang",
+                   static_cast<long long>(epoch),
+                   static_cast<long long>(
+                       next_.load(std::memory_order_acquire)));
+  if (visible_.load(std::memory_order_seq_cst) >= epoch) {
+    LIVEGRAPH_TSAN_ACQUIRE(&visible_);  // pairs with MarkApplied's RELEASE
+    return;
+  }
   for (int spin = 0; spin < spin_iters_; ++spin) {
     CpuRelax();
-    if (visible_.load(std::memory_order_seq_cst) >= epoch) return;
+    if (visible_.load(std::memory_order_seq_cst) >= epoch) {
+      LIVEGRAPH_TSAN_ACQUIRE(&visible_);
+      return;
+    }
   }
   while (visible_.load(std::memory_order_seq_cst) < epoch) {
     uint32_t word = visible_word_.load(std::memory_order_acquire);
-    if (visible_.load(std::memory_order_seq_cst) >= epoch) return;
+    if (visible_.load(std::memory_order_seq_cst) >= epoch) break;
     FutexWait(&visible_word_, word);
   }
+  LIVEGRAPH_TSAN_ACQUIRE(&visible_);  // pairs with MarkApplied's RELEASE
 }
 
 void EpochDomain::FastForward(timestamp_t epoch) {
@@ -105,6 +154,8 @@ uint32_t EpochDomain::ClaimPinSlot() {
     // Claim conservatively at epoch 0; the caller publishes the real pin
     // (and rechecks) before relying on it, and a momentary 0 pin can only
     // make a concurrent SafeEpoch scan more conservative.
+    // relaxed pre-check: an availability hint — ownership comes from the
+    // CAS alone; a stale read just moves the probe to the next slot.
     if (pins_[i].load(std::memory_order_relaxed) == kFreePin &&
         pins_[i].compare_exchange_strong(expected, 0,
                                          std::memory_order_acq_rel)) {
@@ -128,6 +179,10 @@ EpochDomain::ReadPin EpochDomain::PinRead() {
     timestamp_t epoch = visible_.load(std::memory_order_seq_cst);
     pins_[slot].store(epoch, std::memory_order_seq_cst);
     if (visible_.load(std::memory_order_seq_cst) == epoch) {
+      // Observe edge: the snapshot we pinned is fully applied; pair with
+      // MarkApplied's RELEASE so TSan sees the commit's writes as ordered
+      // before this reader.
+      LIVEGRAPH_TSAN_ACQUIRE(&visible_);
       return ReadPin{epoch, slot};
     }
   }
@@ -146,6 +201,9 @@ EpochDomain::ReadPin EpochDomain::PinReadAt(timestamp_t epoch) {
 }
 
 void EpochDomain::Unpin(const ReadPin& pin) {
+  LIVEGRAPH_DCHECK(
+      pins_[pin.slot].load(std::memory_order_seq_cst) != kFreePin,
+      "Unpin of slot %u that is already free (double unpin)", pin.slot);
   pins_[pin.slot].store(kFreePin, std::memory_order_seq_cst);
 }
 

@@ -35,6 +35,8 @@ Graph::Graph(GraphOptions options) : options_(std::move(options)) {
     slots_.push_back(std::make_unique<WorkerSlot>());
   }
 
+  // relaxed: constructor runs before any worker thread exists; the threads
+  // spawned below synchronize with it through std::thread creation.
   next_compaction_at_.store(options_.compaction_interval,
                             std::memory_order_relaxed);
 
@@ -64,6 +66,9 @@ Graph::WorkerSlot* Graph::AcquireSlot() {
   const size_t n = slots_.size();
   for (size_t attempt = 0; attempt < n * 4; ++attempt) {
     WorkerSlot* slot = slots_[(hint + attempt) % n].get();
+    // relaxed pre-check: a pure contention hint — ownership (and the HB
+    // edge to the previous tenant's release) comes from the acquire
+    // exchange alone.
     if (!slot->in_use.load(std::memory_order_relaxed) &&
         !slot->in_use.exchange(true, std::memory_order_acquire)) {
       hint = (hint + attempt) % n;
@@ -110,9 +115,27 @@ timestamp_t Graph::SafeEpoch() const {
 Transaction Graph::BeginTransaction() {
   WorkerSlot* slot = AcquireSlot();
   timestamp_t tre = PublishReadEpoch(slot);
+  // relaxed: TIDs only need to be unique (they stamp -TID staging marks);
+  // nothing is ordered by the counter itself.
   int64_t tid =
       static_cast<int64_t>(next_tid_.fetch_add(1, std::memory_order_relaxed));
   return Transaction(this, slot, tre, tid);
+}
+
+Transaction Graph::BeginTransactionAt(timestamp_t epoch) {
+  WorkerSlot* slot = AcquireSlot();
+  // Same protocol as BeginTimeTravelTransaction: publish the current
+  // frontier first (store-recheck), then lower the slot to the pinned
+  // epoch — publishing a value below GRE is always safe, SafeEpoch only
+  // ever shrinks from it. The caller's domain-level read pin held `epoch`
+  // alive up to this point; from here this slot protects it on this shard.
+  timestamp_t now = PublishReadEpoch(slot);
+  if (epoch < 0) epoch = 0;
+  if (epoch > now) epoch = now;
+  slot->reading_epoch.store(epoch, std::memory_order_seq_cst);
+  int64_t tid =
+      static_cast<int64_t>(next_tid_.fetch_add(1, std::memory_order_relaxed));
+  return Transaction(this, slot, epoch, tid);
 }
 
 ReadTransaction Graph::BeginReadOnlyTransaction() {
@@ -185,6 +208,8 @@ std::atomic<block_ptr_t>* Graph::FindOrCreateLabelSlot(vertex_t v,
     LabelIndexEntry* new_entries = LabelEntries(new_base);
     for (uint32_t i = 0; i < count; ++i) {
       new_entries[i].label = entries[i].label;
+      // relaxed store: the new block is private until the two release
+      // stores below publish it (count, then edge_store).
       new_entries[i].tel.store(entries[i].tel.load(std::memory_order_acquire),
                                std::memory_order_relaxed);
     }
@@ -196,6 +221,7 @@ std::atomic<block_ptr_t>* Graph::FindOrCreateLabelSlot(vertex_t v,
     entries = new_entries;
   }
   entries[count].label = label;
+  // relaxed: the entry is invisible until the count release-store below.
   entries[count].tel.store(kNullBlock, std::memory_order_relaxed);
   header->count.store(count + 1, std::memory_order_release);
   return &entries[count].tel;
@@ -205,6 +231,8 @@ block_ptr_t Graph::NewTel(vertex_t src, uint8_t order) {
   block_ptr_t ptr = block_manager_->Allocate(order);
   TelBlock block = Tel(ptr);
   auto* header = new (block.header()) TelHeader();
+  // relaxed init stores throughout: the block is private to this thread
+  // until the caller publishes its pointer with a release store.
   header->prev.store(kNullBlock, std::memory_order_relaxed);
   header->commit_ts.store(0, std::memory_order_relaxed);
   header->committed_entries.store(0, std::memory_order_relaxed);

@@ -55,6 +55,16 @@ class Graph {
   /// Starts a read-write transaction with snapshot isolation.
   Transaction BeginTransaction();
 
+  /// Starts a read-write transaction whose snapshot is pinned at `epoch`
+  /// (clamped to [0, current GRE]) instead of the engine's own frontier.
+  /// Used by multi-shard write sessions: the coordinator pins ONE global
+  /// epoch up front and opens every shard's native transaction at it, so
+  /// the session reads one cross-shard-consistent view no matter when each
+  /// shard is first touched. Conflict checks (CT/creation-ts against TRE)
+  /// are unchanged — an older snapshot can only see MORE conflicts, never
+  /// miss one.
+  Transaction BeginTransactionAt(timestamp_t epoch);
+
   /// Starts a read-only snapshot transaction. Never blocks writers and is
   /// never blocked by them (§2.2, §5).
   ReadTransaction BeginReadOnlyTransaction();

@@ -8,6 +8,7 @@
 #include "core/commit_manager.h"
 #include "core/tel_ops.h"
 #include "util/bloom_filter.h"
+#include "util/lock_rank.h"
 
 namespace livegraph {
 
@@ -70,13 +71,20 @@ Status Transaction::LockVertex(vertex_t v) {
   if (!graph_->LockFor(v)->TryLockFor(graph_->options_.lock_timeout_ns)) {
     return Status::kTimeout;
   }
+  // Same-rank reacquisition is legal for vertex locks (arbitrary-order
+  // locking with timeout rollback, §5); the rank table only forbids taking
+  // one after a higher-ranked section started.
+  LIVEGRAPH_LOCK_RANK_ACQUIRE(LockRank::kVertexLock);
   scratch_->locked.push_back(v);
   scratch_->locked_set.insert(v);
   return Status::kOk;
 }
 
 void Transaction::ReleaseLocksAndSlot() {
-  for (vertex_t v : scratch_->locked) graph_->LockFor(v)->Unlock();
+  for (vertex_t v : scratch_->locked) {
+    graph_->LockFor(v)->Unlock();
+    LIVEGRAPH_LOCK_RANK_RELEASE(LockRank::kVertexLock);
+  }
   scratch_->locked.clear();
   scratch_->locked_set.clear();
 }
@@ -105,6 +113,8 @@ vertex_t Transaction::AddVertex(std::string_view properties) {
   }
   block_ptr_t block = graph_->block_manager_->Allocate(
       BlockManager::OrderFor(sizeof(VertexHeader) + properties.size()));
+  // relaxed init stores: the staged version block stays private to this
+  // transaction until ApplyCommit publishes it with release stores.
   auto* header = new (graph_->block_manager_->Pointer(block)) VertexHeader();
   header->prev.store(kNullBlock, std::memory_order_relaxed);
   header->creation_ts.store(-tid_, std::memory_order_relaxed);
@@ -141,6 +151,7 @@ Status Transaction::PutVertex(vertex_t v, std::string_view properties) {
   }
   block_ptr_t block = graph_->block_manager_->Allocate(
       BlockManager::OrderFor(sizeof(VertexHeader) + properties.size()));
+  // relaxed init stores: private until ApplyCommit's release publication.
   auto* header = new (graph_->block_manager_->Pointer(block)) VertexHeader();
   header->prev.store(current, std::memory_order_relaxed);
   header->creation_ts.store(-tid_, std::memory_order_relaxed);
@@ -185,6 +196,7 @@ Status Transaction::DeleteVertex(vertex_t v) {
   block_ptr_t block =
       graph_->block_manager_->Allocate(BlockManager::OrderFor(
           sizeof(VertexHeader)));
+  // relaxed init stores: private until ApplyCommit's release publication.
   auto* header = new (graph_->block_manager_->Pointer(block)) VertexHeader();
   header->prev.store(current, std::memory_order_relaxed);
   header->creation_ts.store(-tid_, std::memory_order_relaxed);
@@ -303,6 +315,9 @@ void Transaction::UpgradeTel(TelWrite* w, uint32_t needed_bytes) {
   if (total_props > 0) {
     std::memcpy(new_block.props(), old_block.props(), total_props);
   }
+  // relaxed stores into the upgrade copy: it is unreachable until the
+  // slot-pointer release swap below; committed_entries keeps its release
+  // store so readers that race the swap still pair LS with the entries.
   new_header->commit_ts.store(
       old_header->commit_ts.load(std::memory_order_acquire),
       std::memory_order_relaxed);
@@ -378,6 +393,9 @@ Status Transaction::WriteEdge(vertex_t v, label_t label, vertex_t dst,
   entry->dst = dst;
   entry->prop_size = static_cast<uint32_t>(properties.size());
   entry->prop_offset = prop_offset;
+  // relaxed: the entry sits beyond every reader's LS snapshot until commit
+  // publishes the new committed_entries; the creation_ts release below
+  // orders the fields for the staged-read path (our own GetEdges).
   entry->invalidation_ts.store(kNullTimestamp, std::memory_order_relaxed);
   entry->creation_ts.store(-tid_, std::memory_order_release);
   w->private_entries++;
@@ -472,6 +490,8 @@ StatusOr<timestamp_t> Transaction::Commit() {
   MarkDirty();
   state_ = State::kCommitted;
   scratch_->Reset();
+  // relaxed: a statistics/trigger counter — MaybeScheduleCompaction's
+  // threshold CAS tolerates any interleaving of these increments.
   graph_->committed_txns_.fetch_add(1, std::memory_order_relaxed);
   graph_->MaybeScheduleCompaction();
   return write_epoch_;
@@ -516,6 +536,9 @@ void Transaction::ApplyCommit(timestamp_t twe) {
   //    release ordering so readers that see the new LS see the entries.
   for (TelWrite& w : scratch_->tel_writes) {
     TelHeader* header = graph_->Tel(w.block).header();
+    // relaxed CT/prop stores: both ride the committed_entries release
+    // below — a reader that acquires the new LS sees them; a reader on the
+    // old LS never dereferences past its snapshot.
     header->commit_ts.store(twe, std::memory_order_relaxed);
     header->committed_prop_bytes.store(
         w.committed_prop_bytes + w.private_prop_bytes,
@@ -615,6 +638,7 @@ void Transaction::UndoWrites() {
 
 void Transaction::MarkDirty() {
   if (scratch_->tel_writes.empty() && scratch_->vertex_writes.empty()) return;
+  LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kDirtySet);
   std::lock_guard<std::mutex> guard(slot_->dirty_mu);
   for (const TelWrite& w : scratch_->tel_writes) {
     slot_->dirty_vertices.push_back(w.src);

@@ -31,6 +31,10 @@ class EdgeIterator {
   std::string_view Properties() const;
   /// Creation timestamp of the visible entry (useful for time-ordered
   /// queries; LinkBench/TAO read "most recently added" edges first).
+  /// relaxed: SkipInvisible already acquire-loaded this entry's timestamps
+  /// to admit it, so the value here is pinned — either our own snapshot's
+  /// committed TWE or our own -TID staging mark, never mid-conversion
+  /// (conversion happens strictly above a reader's LS snapshot).
   timestamp_t CreationTimestamp() const {
     return entry_->creation_ts.load(std::memory_order_relaxed);
   }

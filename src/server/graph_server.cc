@@ -39,6 +39,8 @@ class GraphServer::Connection {
   };
 
   void Run() {
+    // relaxed (both edges): active_connections_ is an observability gauge;
+    // connection lifetime is ordered by done_/Join, not this counter.
     server_->active_connections_.fetch_add(1, std::memory_order_relaxed);
     Frame request;
     while (socket_.ReadFrame(&request)) {

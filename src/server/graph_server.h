@@ -59,6 +59,7 @@ class GraphServer {
   const Options& options() const { return options_; }
 
   /// Connections currently attached (observability, tests).
+  /// relaxed: a monitoring gauge; nothing is synchronized through it.
   size_t active_connections() const {
     return active_connections_.load(std::memory_order_relaxed);
   }

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "storage/wal.h"
+#include "util/lock_rank.h"
 #include "util/raw_io.h"
 
 namespace livegraph {
@@ -54,22 +55,29 @@ GraphOptions ShardGraphOptions(const ShardOptions& options,
   return g;
 }
 
-/// A read-write session over the shards. Native per-shard transactions
-/// open lazily on first touch, so a transaction that only ever addresses
-/// one shard is exactly a native LiveGraph transaction plus one array
-/// index — the single-shard fast path. Cross-shard atomicity mirrors the
-/// native eager-abort discipline: the moment any shard reports
-/// kConflict/kTimeout (its native transaction has already rolled back),
-/// every other open shard is rolled back too and the session dies.
+/// A read-write session over the shards. The session pins ONE global
+/// read epoch up front (an O(1) domain pin); native per-shard transactions
+/// still open lazily on first touch — at that pinned epoch — so a
+/// transaction that only ever addresses one shard is exactly a native
+/// LiveGraph transaction plus one array index and one pin. The up-front
+/// pin means every shard reads the SAME cross-shard-consistent snapshot no
+/// matter when it is first touched (lazy first-touch pinning could see a
+/// commit on shard B but miss its sibling piece on later-touched shard A).
+/// Cross-shard atomicity mirrors the native eager-abort discipline: the
+/// moment any shard reports kConflict/kTimeout (its native transaction has
+/// already rolled back), every other open shard is rolled back too and the
+/// session dies.
 class ShardedWriteTxn : public StoreTxn {
  public:
   explicit ShardedWriteTxn(ShardedStore* store)
       : store_(store),
         txns_(static_cast<size_t>(store->num_shards())),
-        wrote_(static_cast<size_t>(store->num_shards()), false) {}
+        wrote_(static_cast<size_t>(store->num_shards()), false),
+        pin_(store->epoch_domain()->PinRead()) {}
 
   ~ShardedWriteTxn() override {
     if (active_) AbortAll();
+    ReleasePin();
   }
 
   // --- Reads (read-your-writes via the owning shard's native txn) ---
@@ -199,6 +207,10 @@ class ShardedWriteTxn : public StoreTxn {
   StatusOr<timestamp_t> Commit() override {
     if (!active_) return Status::kNotActive;
     active_ = false;
+    // The domain pin only has to outlive lazy first-touches: every open
+    // shard's worker slot published the pinned epoch itself, and Commit
+    // touches no new shards, so the pin's job is done.
+    ReleasePin();
 
     // Shards without a landed mutation publish no visible data (at most an
     // empty staged TEL write from a missed delete): their native commits
@@ -237,6 +249,12 @@ class ShardedWriteTxn : public StoreTxn {
     // unexpectedly still report their MarkApplied inside CommitAt, so the
     // frontier cannot wedge; committing the remaining shards keeps locks
     // from leaking.
+    // Coordinator section (rank kCommitCoordinator): entered while this
+    // session's vertex locks are still held by the pieces below; it must
+    // never acquire NEW vertex locks — a write after the epoch is stamped
+    // would escape its WAL record. The rank table turns that rule into an
+    // abort at the violation site.
+    LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kCommitCoordinator);
     timestamp_t epoch = domain->Acquire(static_cast<uint32_t>(writers));
     Status failure = Status::kOk;
     for (auto& txn : txns_) {
@@ -260,13 +278,13 @@ class ShardedWriteTxn : public StoreTxn {
   }
 
  private:
-  /// The shard's native transaction, opened on first touch. Each shard's
-  /// read epoch pins when that shard is first addressed (docs/SHARDING.md
-  /// on the multi-shard write-session read view).
+  /// The shard's native transaction, opened on first touch AT the
+  /// session's up-front pinned epoch — one consistent read view across
+  /// every shard regardless of touch order.
   Transaction& Shard(int s) {
     auto& slot = txns_[static_cast<size_t>(s)];
     if (!slot.has_value()) {
-      slot.emplace(store_->shard(s).BeginTransaction());
+      slot.emplace(store_->shard(s).BeginTransactionAt(pin_.epoch));
     }
     return *slot;
   }
@@ -295,11 +313,23 @@ class ShardedWriteTxn : public StoreTxn {
       if (txn->active()) txn->Abort();
       txn.reset();
     }
+    ReleasePin();
+  }
+
+  /// Releases the session's global read pin exactly once (Commit entry,
+  /// AbortAll, or the destructor as backstop).
+  void ReleasePin() {
+    if (!pinned_) return;
+    pinned_ = false;
+    store_->epoch_domain()->Unpin(pin_);
   }
 
   ShardedStore* store_;
   std::vector<std::optional<Transaction>> txns_;  // index = shard
   std::vector<bool> wrote_;  // mutation reached this shard's native txn
+  /// The session's one global read epoch, pinned at construction.
+  EpochDomain::ReadPin pin_;
+  bool pinned_ = true;
   bool active_ = true;
 };
 
@@ -662,7 +692,8 @@ std::unique_ptr<ShardedStore> ShardedStore::Recover(ShardOptions options) {
   }
 
   // Resume round-robin placement roughly where the recovered occupancy
-  // left off.
+  // left off. relaxed: recovery is single-threaded; the store is published
+  // to other threads by the unique_ptr hand-off to the caller.
   store->next_shard_.store(static_cast<uint64_t>(store->VertexCount()),
                            std::memory_order_relaxed);
 

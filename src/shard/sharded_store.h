@@ -197,6 +197,8 @@ class ShardedStore : public Store {
   friend struct ShardedStoreAccess;
 
   /// Round-robin placement for new vertices.
+  /// relaxed: the counter only spreads placement; any interleaving of
+  /// increments yields a valid (and still near-uniform) assignment.
   int PickShard() {
     return static_cast<int>(next_shard_.fetch_add(
                                 1, std::memory_order_relaxed) %

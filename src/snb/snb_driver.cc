@@ -52,6 +52,8 @@ struct DriverState {
 
 const char* RunComplex(Store* store, DriverState* state, Xorshift& rng) {
   auto view = store->BeginReadTxn();
+  // relaxed (also the fetch_add in RunUpdate): the logical clock only
+  // shapes query recency windows; any monotone value is equally valid.
   int64_t now = state->clock.load(std::memory_order_relaxed);
   switch (rng.NextBounded(5)) {
     case 0: {

@@ -12,6 +12,8 @@ namespace {
 // Cheap stable stripe id for the calling thread.
 size_t ThreadStripe() {
   static std::atomic<size_t> next{0};
+  // relaxed: the id only needs to be distinct per thread; nothing is
+  // ordered through the counter.
   thread_local size_t stripe = next.fetch_add(1, std::memory_order_relaxed);
   return stripe;
 }
@@ -56,6 +58,9 @@ block_ptr_t BlockManager::Allocate(uint8_t order) {
     if (!list.blocks.empty()) {
       block_ptr_t ptr = list.blocks.back();
       list.blocks.pop_back();
+      // relaxed (here and on every *_bytes_ counter below): pure memory
+      // statistics, read only by GetStats; the block hand-off itself is
+      // ordered by the free-list mutex.
       free_bytes_.fetch_sub(size, std::memory_order_relaxed);
       return ptr;
     }
@@ -64,6 +69,10 @@ block_ptr_t BlockManager::Allocate(uint8_t order) {
   // blocks from the tail of the block store only when that list is empty",
   // §6). Natural alignment to the block size keeps entries cache-aligned.
   uint64_t offset;
+  // relaxed CAS loop: the bump pointer only parcels out disjoint offset
+  // ranges — no data is transferred through it (fresh block bytes reach
+  // other threads via the caller's release publication of the pointer),
+  // and the committed() check below carries its own acquire.
   while (true) {
     uint64_t cur = bump_.load(std::memory_order_relaxed);
     uint64_t aligned = (cur + size - 1) & ~(size - 1);

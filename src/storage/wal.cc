@@ -11,6 +11,8 @@
 #include <cstring>
 
 #include "util/crc32.h"
+#include "util/invariant.h"
+#include "util/lock_rank.h"
 
 namespace livegraph {
 
@@ -59,6 +61,13 @@ Wal::~Wal() {
 
 void Wal::AppendBatch(const std::vector<Record>& records) {
   if (records.empty()) return;
+  // Single-writer section: the commit-manager thread is the only appender,
+  // and it must hold no engine locks here (WAL is the bottom of the rank
+  // table — see util/lock_rank.h). Both facts are checked, not assumed.
+  LIVEGRAPH_DCHECK(appending_.exchange(1, std::memory_order_acquire) == 0,
+                   "concurrent Wal::AppendBatch — the WAL has exactly one "
+                   "appender (the commit-manager thread)");
+  LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kWalAppend);
   // Headers into a reusable array first (the iovecs point into it, so it
   // must not reallocate while they are built), then gather headers and the
   // workers' payload buffers directly — no per-batch payload copy.
@@ -91,6 +100,7 @@ void Wal::AppendBatch(const std::vector<Record>& records) {
   WritevAll(iov_.data(), iov_.size());
   bytes_written_ += total;
   if (options_.fsync && fdatasync(fd_) != 0) Die("fdatasync");
+  appending_.store(0, std::memory_order_release);
 }
 
 void Wal::AppendBatch(timestamp_t epoch,

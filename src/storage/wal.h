@@ -27,6 +27,7 @@
 
 #include <sys/uio.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -146,7 +147,14 @@ class Wal {
   int fd_ = -1;
   std::vector<RecordHeader> headers_;  // reused across batches
   std::vector<struct iovec> iov_;      // reused across batches
+  /// Plain (non-atomic) on purpose: AppendBatch is a single-writer section
+  /// owned by the commit-manager thread, enforced by `appending_` below in
+  /// DCHECK builds.
   uint64_t bytes_written_ = 0;
+  /// Single-appender guard (LIVEGRAPH_DCHECK builds): set for the duration
+  /// of AppendBatch; a second concurrent appender aborts loudly instead of
+  /// interleaving torn records.
+  std::atomic<uint32_t> appending_{0};
 };
 
 }  // namespace livegraph

@@ -22,6 +22,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "util/sync_annotations.h"
+
 namespace livegraph {
 
 // --- Raw futex plumbing (used by the commit pipeline; FutexLock keeps
@@ -47,14 +49,22 @@ inline void FutexWait(std::atomic<uint32_t>* addr, uint32_t expected) {
   timespec timeout{0, 50'000'000};  // 50 ms safety net
   syscall(SYS_futex, reinterpret_cast<uint32_t*>(addr), FUTEX_WAIT_PRIVATE,
           expected, &timeout, nullptr, 0);
+  // HB edge for TSan (sync_annotations.h): the waker published its state
+  // with an atomic release/seq_cst store on (or ordered before a bump of)
+  // this word, so the edge exists in the C++ model too — the annotation
+  // documents the futex pairing and keeps the pair checkable if a backing
+  // order is ever weakened.
+  LIVEGRAPH_TSAN_ACQUIRE(addr);
 }
 
 inline void FutexWakeOne(std::atomic<uint32_t>* addr) {
+  LIVEGRAPH_TSAN_RELEASE(addr);  // pairs with the ACQUIRE in FutexWait
   syscall(SYS_futex, reinterpret_cast<uint32_t*>(addr), FUTEX_WAKE_PRIVATE, 1,
           nullptr, nullptr, 0);
 }
 
 inline void FutexWakeAll(std::atomic<uint32_t>* addr) {
+  LIVEGRAPH_TSAN_RELEASE(addr);  // pairs with the ACQUIRE in FutexWait
   syscall(SYS_futex, reinterpret_cast<uint32_t*>(addr), FUTEX_WAKE_PRIVATE,
           INT32_MAX, nullptr, nullptr, 0);
 }
@@ -69,16 +79,20 @@ class FutexLock {
     uint32_t expected = 0;
     if (state_.compare_exchange_strong(expected, 1,
                                        std::memory_order_acquire)) {
+      LIVEGRAPH_TSAN_ACQUIRE(&state_);  // pairs with Unlock's RELEASE
       return true;
     }
     if (timeout_ns <= 0) return false;
     timespec deadline = DeadlineAfter(timeout_ns);
     // Announce contention, then sleep until woken or timed out.
     while (true) {
+      // relaxed: a pure hint — acquisition ordering comes solely from the
+      // acquire CAS below; a stale read here only costs one loop turn.
       expected = state_.load(std::memory_order_relaxed);
       if (expected == 0) {
         if (state_.compare_exchange_weak(expected, 2,
                                          std::memory_order_acquire)) {
+          LIVEGRAPH_TSAN_ACQUIRE(&state_);  // pairs with Unlock's RELEASE
           return true;
         }
         continue;
@@ -93,17 +107,25 @@ class FutexLock {
       long rc = syscall(SYS_futex, reinterpret_cast<uint32_t*>(&state_),
                         FUTEX_WAIT_PRIVATE, 2, &remaining, nullptr, 0);
       if (rc != 0 && errno == ETIMEDOUT) return false;
-      // EAGAIN (value changed) or spurious wake: retry the CAS loop.
+      // EAGAIN (value changed) or spurious wake: retry the CAS loop. No
+      // acquire annotation here — waking does not mean owning; the HB edge
+      // into the critical section is the acquire CAS above.
     }
   }
 
   void Unlock() {
+    // The release exchange is the critical-section-exit HB edge; annotate
+    // it for TSan so the futex hand-off below stays paired even if the
+    // backing order is ever weakened.
+    LIVEGRAPH_TSAN_RELEASE(&state_);
     if (state_.exchange(0, std::memory_order_release) == 2) {
       FutexWakeOne(&state_);
     }
   }
 
   bool IsLocked() const {
+    // relaxed: diagnostics only (tests, stats) — never used to order
+    // access to data the lock protects.
     return state_.load(std::memory_order_relaxed) != 0;
   }
 

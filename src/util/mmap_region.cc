@@ -68,7 +68,9 @@ MmapRegion::~MmapRegion() {
 MmapRegion::MmapRegion(MmapRegion&& other) noexcept
     : base_(std::exchange(other.base_, nullptr)),
       reserved_(std::exchange(other.reserved_, 0)),
-      committed_(std::exchange(other.committed_, 0)),
+      // relaxed: moves happen during single-threaded setup, before any
+      // allocator thread can touch either region.
+      committed_(other.committed_.exchange(0, std::memory_order_relaxed)),
       fd_(std::exchange(other.fd_, -1)),
       path_(std::move(other.path_)) {}
 
@@ -78,7 +80,8 @@ MmapRegion& MmapRegion::operator=(MmapRegion&& other) noexcept {
     if (fd_ >= 0) close(fd_);
     base_ = std::exchange(other.base_, nullptr);
     reserved_ = std::exchange(other.reserved_, 0);
-    committed_ = std::exchange(other.committed_, 0);
+    committed_.store(other.committed_.exchange(0, std::memory_order_relaxed),
+                     std::memory_order_relaxed);
     fd_ = std::exchange(other.fd_, -1);
     path_ = std::move(other.path_);
   }
@@ -86,20 +89,25 @@ MmapRegion& MmapRegion::operator=(MmapRegion&& other) noexcept {
 }
 
 void MmapRegion::EnsureCommitted(size_t bytes) {
-  if (bytes <= committed_) return;
+  // Callers serialize growth (BlockManager's grow_mu_), so plain reads of
+  // the current value are single-writer here; the release store below
+  // pairs with the unlocked acquire in committed() — whoever sees the new
+  // mark sees the file already grown.
+  size_t current = committed_.load(std::memory_order_relaxed);
+  if (bytes <= current) return;
   if (bytes > reserved_) Die("reservation exhausted; raise Options reserve");
   if (fd_ < 0) return;  // anonymous memory faults in on demand
   // Grow the file in large steps to amortize ftruncate calls.
-  size_t target = committed_;
+  size_t target = current;
   while (target < bytes) target *= 2;
   if (target > reserved_) target = reserved_;
   if (ftruncate(fd_, static_cast<off_t>(target)) != 0) Die("ftruncate(grow)");
-  committed_ = target;
+  committed_.store(target, std::memory_order_release);
 }
 
 void MmapRegion::Sync(bool async) {
   if (fd_ < 0 || base_ == nullptr) return;
-  msync(base_, committed_, async ? MS_ASYNC : MS_SYNC);
+  msync(base_, committed(), async ? MS_ASYNC : MS_SYNC);
 }
 
 }  // namespace livegraph

@@ -9,6 +9,7 @@
 #ifndef LIVEGRAPH_UTIL_MMAP_REGION_H_
 #define LIVEGRAPH_UTIL_MMAP_REGION_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -38,7 +39,14 @@ class MmapRegion {
   uint8_t* data() const { return base_; }
   size_t reserved() const { return reserved_; }
   /// Bytes currently committed (file length for file-backed regions).
-  size_t committed() const { return committed_; }
+  /// Atomic because allocators read it as an unlocked fast-path check
+  /// while another thread grows the region under its growth lock; acquire
+  /// pairs with EnsureCommitted's release so a reader that sees the new
+  /// high-water mark also sees the file grown past it. A stale (smaller)
+  /// read is harmless — the caller takes the growth lock and re-checks.
+  size_t committed() const {
+    return committed_.load(std::memory_order_acquire);
+  }
   bool file_backed() const { return fd_ >= 0; }
 
   /// Ensures [0, bytes) is usable, growing the backing file if needed.
@@ -52,7 +60,7 @@ class MmapRegion {
  private:
   uint8_t* base_ = nullptr;
   size_t reserved_ = 0;
-  size_t committed_ = 0;
+  std::atomic<size_t> committed_{0};
   int fd_ = -1;
   std::string path_;
 };

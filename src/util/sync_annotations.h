@@ -1,0 +1,61 @@
+// ThreadSanitizer happens-before annotations for futex-mediated edges.
+//
+// TSan models the C++ memory model through std::atomic operations, which
+// covers almost all synchronization in this codebase. What it cannot see is
+// a happens-before edge carried by a raw futex syscall: FUTEX_WAKE in one
+// thread releasing a FUTEX_WAIT sleeper in another (util/futex_lock.h, the
+// commit ring's durability/doorbell words, the epoch domain's visibility
+// word). Today every such edge is *also* established by an atomic
+// release/acquire or seq_cst pair on the same word — the futex is strictly
+// a sleep/wake mechanism, never load-bearing for ordering — so TSan needs
+// no help. These annotations pin that contract down explicitly:
+//
+//   * LIVEGRAPH_TSAN_RELEASE(addr) marks "everything this thread did so
+//     far happens-before whoever acquires addr" — placed where a waker
+//     publishes state and rings a futex word.
+//   * LIVEGRAPH_TSAN_ACQUIRE(addr) marks the matching observation edge —
+//     placed where a sleeper returns from a futex wait (or a spin loop) and
+//     is about to rely on the waker's writes.
+//
+// If a future refactor ever weakens one of the backing atomics to relaxed,
+// the annotation keeps the TSan suite green *only* along the annotated
+// pairs — any unannotated path through the weakened atomic surfaces as a
+// report, which is exactly the alarm we want.
+//
+// Under non-TSan builds everything compiles to nothing.
+#ifndef LIVEGRAPH_UTIL_SYNC_ANNOTATIONS_H_
+#define LIVEGRAPH_UTIL_SYNC_ANNOTATIONS_H_
+
+#if defined(__SANITIZE_THREAD__)
+// GCC defines __SANITIZE_THREAD__ under -fsanitize=thread.
+#define LIVEGRAPH_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+// Clang spells the same thing via __has_feature.
+#define LIVEGRAPH_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef LIVEGRAPH_TSAN_ENABLED
+
+#include <sanitizer/tsan_interface.h>
+
+/// Statement-level escape hatch: LIVEGRAPH_TSAN_ANNOTATE(stmt) compiles
+/// `stmt` only under TSan (for annotation code that does not fit the two
+/// edge macros below).
+#define LIVEGRAPH_TSAN_ANNOTATE(stmt) stmt
+
+#define LIVEGRAPH_TSAN_RELEASE(addr) \
+  __tsan_release(const_cast<void*>(static_cast<const volatile void*>(addr)))
+#define LIVEGRAPH_TSAN_ACQUIRE(addr) \
+  __tsan_acquire(const_cast<void*>(static_cast<const volatile void*>(addr)))
+
+#else  // !LIVEGRAPH_TSAN_ENABLED
+
+#define LIVEGRAPH_TSAN_ANNOTATE(stmt)
+#define LIVEGRAPH_TSAN_RELEASE(addr) ((void)0)
+#define LIVEGRAPH_TSAN_ACQUIRE(addr) ((void)0)
+
+#endif  // LIVEGRAPH_TSAN_ENABLED
+
+#endif  // LIVEGRAPH_UTIL_SYNC_ANNOTATIONS_H_

@@ -17,6 +17,8 @@ void ParallelFor(int64_t begin, int64_t end, int threads,
   std::atomic<int64_t> next(begin);
   auto worker = [&] {
     while (true) {
+      // relaxed: the counter only parcels out disjoint [lo, hi) ranges.
+      // Work done inside fn is published to the caller by thread join.
       int64_t lo = next.fetch_add(chunk, std::memory_order_relaxed);
       if (lo >= end) return;
       int64_t hi = lo + chunk < end ? lo + chunk : end;

@@ -165,6 +165,9 @@ DriverResult RunLinkBench(Store* store, const LinkBenchConfig& config,
           return Status::kOk;
         });
         if (st != Status::kOk) return FailedOp(name);
+        // relaxed monotone-max CAS: max_vertex only seeds the ID picker —
+        // a stale bound just re-targets recent vertices; no data rides on
+        // it.
         vertex_t expected = max_vertex.load(std::memory_order_relaxed);
         while (v >= expected && !max_vertex.compare_exchange_weak(
                                     expected, v + 1,

@@ -1,0 +1,134 @@
+// The debug invariant checker (util/invariant.h, util/lock_rank.h) must
+// abort loudly — in DCHECK builds — on exactly the misuse classes it
+// guards: visibility-order violations in the epoch domain, read-pin
+// lifetime bugs, and lock-rank inversions. Every death test here drives a
+// thread-free object straight into the guarded state; a build with the
+// checker compiled out (Release) skips them.
+#include <gtest/gtest.h>
+
+#include "core/epoch_domain.h"
+#include "util/invariant.h"
+#include "util/lock_rank.h"
+
+namespace livegraph {
+namespace {
+
+#if !defined(LIVEGRAPH_DCHECK_ENABLED)
+
+TEST(InvariantChecker, DisabledInThisBuild) {
+  GTEST_SKIP() << "LIVEGRAPH_DCHECK disabled; invariant checker compiled out";
+}
+
+#else
+
+using InvariantCheckerDeathTest = ::testing::Test;
+
+// The happy path: a full issue -> apply -> wait -> pin -> unpin cycle runs
+// with the checker armed and no aborts.
+TEST(InvariantChecker, CleanLifecyclePassesAllChecks) {
+  EpochDomain domain(64);
+  timestamp_t e1 = domain.Acquire(2);
+  timestamp_t e2 = domain.Acquire(1);
+  EXPECT_EQ(e2, e1 + 1);
+  domain.MarkApplied(e1);
+  domain.MarkApplied(e1);  // second participant publishes
+  domain.MarkApplied(e2);
+  domain.WaitVisible(e2);
+  EXPECT_EQ(domain.visible(), e2);
+  EpochDomain::ReadPin pin = domain.PinRead();
+  EXPECT_EQ(pin.epoch, e2);
+  domain.Unpin(pin);
+
+  LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kCompactionPass);
+  LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kVertexLock);
+  LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kWalAppend);
+  SUCCEED();
+}
+
+// Applying an epoch a second time after it became visible would let the
+// frontier publish a group twice (corrupting the visibility order).
+TEST(InvariantCheckerDeathTest, DoubleMarkAppliedAborts) {
+  ASSERT_DEATH(
+      {
+        EpochDomain domain(64);
+        timestamp_t e = domain.Acquire(1);
+        domain.MarkApplied(e);
+        domain.MarkApplied(e);  // already visible
+      },
+      "double apply");
+}
+
+// MarkApplied for an epoch the domain never issued: the countdown being
+// decremented belongs to nobody.
+TEST(InvariantCheckerDeathTest, MarkAppliedForUnissuedEpochAborts) {
+  ASSERT_DEATH(
+      {
+        EpochDomain domain(64);
+        domain.MarkApplied(7);  // nothing issued yet
+      },
+      "never issued");
+}
+
+// Waiting past the issued frontier would sleep forever — no participant
+// exists to advance the frontier that far.
+TEST(InvariantCheckerDeathTest, WaitVisibleBeyondIssuedAborts) {
+  ASSERT_DEATH(
+      {
+        EpochDomain domain(64);
+        timestamp_t e = domain.Acquire(1);
+        domain.MarkApplied(e);
+        domain.WaitVisible(e + 1);  // never issued
+      },
+      "would hang");
+}
+
+// Unpinning twice frees a slot another session may already have claimed.
+TEST(InvariantCheckerDeathTest, DoubleUnpinAborts) {
+  ASSERT_DEATH(
+      {
+        EpochDomain domain(64);
+        EpochDomain::ReadPin pin = domain.PinRead();
+        domain.Unpin(pin);
+        domain.Unpin(pin);
+      },
+      "double unpin");
+}
+
+// Acquiring a LOWER rank while holding a higher one is the inversion the
+// table exists to catch (e.g. taking a vertex lock inside the WAL append).
+TEST(InvariantCheckerDeathTest, LockRankInversionAborts) {
+  ASSERT_DEATH(
+      {
+        LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kWalAppend);
+        LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kVertexLock);
+      },
+      "lock-order inversion");
+}
+
+// Same-rank reacquisition is allowed only for kVertexLock (transactions
+// hold several vertex locks at once by design); any other rank is a
+// self-deadlock pattern.
+TEST(InvariantCheckerDeathTest, SameRankReacquireAbortsExceptVertexLock) {
+  {
+    LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kVertexLock);
+    LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kVertexLock);  // legal
+  }
+  ASSERT_DEATH(
+      {
+        LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kWalAppend);
+        LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kWalAppend);
+      },
+      "lock-order inversion");
+}
+
+// Releasing a rank that is not held means acquire/release bookkeeping got
+// out of sync somewhere.
+TEST(InvariantCheckerDeathTest, ReleaseOfUnheldRankAborts) {
+  ASSERT_DEATH({ LIVEGRAPH_LOCK_RANK_RELEASE(LockRank::kDirtySet); },
+               "does not hold");
+}
+
+#endif  // LIVEGRAPH_DCHECK_ENABLED
+
+}  // namespace
+}  // namespace livegraph

@@ -1,0 +1,190 @@
+// Race-detection stress shaped for ThreadSanitizer (docs/TESTING.md).
+//
+// These are reduced-repetition versions of the commit-pipeline and
+// sharded-store stress tests: iteration counts are sized so the whole
+// binary stays fast under TSan's ~5-15x slowdown while still driving every
+// cross-thread edge the annotations in util/sync_annotations.h document —
+// futex lock hand-off, commit-ring slot recycling, epoch publish/observe,
+// compaction against live writers, and the multi-shard coordinator path.
+// The binary also runs (quickly) in normal builds, where it doubles as a
+// smoke test for the same interleavings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/transaction.h"
+#include "shard/sharded_store.h"
+
+namespace livegraph {
+namespace {
+
+// Under TSan everything is instrumented and slow; keep wall-clock bounded.
+#if defined(__SANITIZE_THREAD__)
+constexpr int kTxnsPerWriter = 60;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr int kTxnsPerWriter = 60;
+#else
+constexpr int kTxnsPerWriter = 200;
+#endif
+#else
+constexpr int kTxnsPerWriter = 200;
+#endif
+
+// Writers hammer a SMALL shared vertex set (maximum futex-lock contention
+// and TEL reuse) while snapshot readers scan concurrently and compaction
+// runs at an aggressive interval, so lock hand-off, epoch publication, and
+// block retire/reclaim all interleave with live traffic.
+TEST(TsanStress, CommitPipelineWithCompactionAndReaders) {
+  GraphOptions options;
+  options.region_reserve = size_t{1} << 30;
+  options.max_vertices = 1 << 16;
+  options.enable_compaction = true;
+  options.compaction_interval = 32;  // many passes during the run
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kSharedVertices = 4;
+
+  Graph graph(options);
+  std::vector<vertex_t> hubs(kSharedVertices);
+  {
+    auto txn = graph.BeginTransaction();
+    for (auto& h : hubs) h = txn.AddVertex("0");
+    ASSERT_EQ(txn.Commit(), Status::kOk);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto read = graph.BeginReadOnlyTransaction();
+        for (vertex_t h : hubs) {
+          StatusOr<std::string_view> props = read.GetVertex(h);
+          ASSERT_TRUE(props.ok());
+          // Walk the adjacency list to race scans against writers and
+          // compaction rewrites; every admitted entry must be coherent.
+          size_t n = 0;
+          for (auto it = read.GetEdges(h, 0); it.Valid(); it.Next()) {
+            ASSERT_GE(it.DstId(), 1000);
+            n++;
+          }
+          ASSERT_EQ(n, read.CountEdges(h, 0));
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 1; i <= kTxnsPerWriter; ++i) {
+        // Writers share hubs, so vertex-lock conflicts (the paper's
+        // timeout-and-rollback, §5) are expected — abort and retry; the
+        // interleaving, not the success rate, is what this test drives.
+        while (true) {
+          auto txn = graph.BeginTransaction();
+          vertex_t hub =
+              hubs[static_cast<size_t>((w + i) % kSharedVertices)];
+          // Churn: add one edge, delete an older one, rewrite the vertex
+          // — feeds compaction dead entries and version chains.
+          Status st = txn.AddEdge(hub, 0, 1000 + w * kTxnsPerWriter + i,
+                                  "e");
+          if (st == Status::kOk && i > 1) {
+            txn.DeleteEdge(hub, 0, 1000 + w * kTxnsPerWriter + i - 1);
+            if (!txn.active()) st = Status::kConflict;
+          }
+          if (st == Status::kOk) {
+            st = txn.PutVertex(hub, std::to_string(i));
+          }
+          if (st != Status::kOk) {
+            if (txn.active()) txn.Abort();
+            continue;
+          }
+          StatusOr<timestamp_t> committed = txn.Commit();
+          if (!committed.ok()) continue;  // commit-time conflict
+          EXPECT_GE(graph.ReadEpoch(), *committed);
+          break;
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+// Multi-shard transactions write a value pair spanning two shards while
+// readers assert both-or-neither visibility. This drives the coordinator
+// path: one EpochDomain epoch acquired for several shards, CommitAt fan
+// out, WaitVisible, and the up-front read-pin of write sessions.
+TEST(TsanStress, ShardedMultiShardCommitAtomicity) {
+  ShardOptions options;
+  options.shards = 3;
+  options.graph.region_reserve = size_t{1} << 29;
+  options.graph.max_vertices = 1 << 15;
+  constexpr int kWriters = 3;
+  constexpr int kReaders = 2;
+
+  ShardedStore store(options);
+  // One cross-shard pair per writer.
+  std::vector<std::pair<vertex_t, vertex_t>> pairs(kWriters);
+  for (auto& [a, b] : pairs) {
+    a = store.AddNode("0");
+    do {
+      b = store.AddNode("0");
+    } while (store.ShardOf(b) == store.ShardOf(a));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto read = store.BeginReadTxn();
+        for (const auto& [a, b] : pairs) {
+          StatusOr<std::string> va = read->GetNode(a);
+          StatusOr<std::string> vb = read->GetNode(b);
+          ASSERT_TRUE(va.ok());
+          ASSERT_TRUE(vb.ok());
+          if (*va != *vb) torn.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 1; i <= kTxnsPerWriter; ++i) {
+        auto txn = store.BeginTxn();
+        std::string value = std::to_string(i);
+        ASSERT_EQ(txn->UpdateNode(pairs[static_cast<size_t>(w)].first, value),
+                  Status::kOk);
+        ASSERT_EQ(txn->UpdateNode(pairs[static_cast<size_t>(w)].second, value),
+                  Status::kOk);
+        ASSERT_TRUE(txn->Commit().ok());
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0);
+
+  auto read = store.BeginReadTxn();
+  for (const auto& [a, b] : pairs) {
+    EXPECT_EQ(*read->GetNode(a), std::to_string(kTxnsPerWriter));
+    EXPECT_EQ(*read->GetNode(b), std::to_string(kTxnsPerWriter));
+  }
+}
+
+}  // namespace
+}  // namespace livegraph
