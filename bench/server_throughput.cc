@@ -11,15 +11,27 @@
 //   LG_CLIENTS  client threads                          (default 8)
 //   LG_OPS      requests per client                     (default 20000)
 //   LG_SCALE    log2 vertices of the base graph         (default 15)
-//   LG_MIX      dflt | tao                              (default dflt)
+//   LG_MIX      dflt | tao | ro                         (default dflt)
 //   LG_CONNECT  host:port of an already-running livegraph_server; when
 //               unset the bench starts an in-process loopback server.
+//
+// --replica runs the read-scaling experiment instead
+// (docs/REPLICATION.md): a durable sharded primary with WAL shipping
+// attached and one follower, then the TAO-style read-only mix against
+// ONE read target (primary) vs TWO read targets (primary + follower,
+// driven concurrently). Emit with --json as BENCH_replication.json.
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <thread>
 
 #include "bench/linkbench_tables.h"
+#include "replication/epoch_frontier.h"
+#include "replication/replica.h"
+#include "replication/replication_hub.h"
 #include "server/graph_server.h"
 #include "server/remote_store.h"
+#include "shard/sharded_store.h"
 
 namespace livegraph::bench {
 namespace {
@@ -58,8 +70,12 @@ int Run(bool json) {
   LinkBenchConfig config = DefaultLinkBenchConfig();
   const std::string engine = EnvString("LG_ENGINE", "LiveGraph");
   const int shards = static_cast<int>(EnvInt("LG_SHARDS", 1));
-  if (std::string(EnvString("LG_MIX", "dflt")) == "tao") {
+  const std::string mix = EnvString("LG_MIX", "dflt");
+  if (mix == "tao") {
     config.mix = TaoMix();
+  } else if (mix == "ro") {
+    // Read-only: the mix a follower can serve (CI points this at one).
+    config.mix = MixWithWriteRatio(0.0);
   }
 
   if (!json) {
@@ -148,13 +164,144 @@ int Run(bool json) {
   return 0;
 }
 
+// Read scale-out: identical read-only rounds against one read target
+// (the primary) and against two (primary + follower driven concurrently,
+// each by its own client fleet). The follower applies the replication
+// stream; reads through it carry the read-your-epoch bound, so this is
+// the served contract, not a dirty-read shortcut.
+int RunReplica(bool json) {
+  LinkBenchConfig config = DefaultLinkBenchConfig();
+  config.mix = MixWithWriteRatio(0.0);  // followers serve reads only
+  const int shards = static_cast<int>(EnvInt("LG_SHARDS", 2));
+
+  const std::string root =
+      "/tmp/lg_bench_replica_" + std::to_string(::getpid());
+  std::filesystem::remove_all(root);
+  ShardOptions shard_options;
+  shard_options.shards = shards;
+  shard_options.dir = root + "/primary";
+  shard_options.graph.region_reserve = size_t{1} << 34;
+  shard_options.graph.max_vertices = size_t{1} << 24;
+  shard_options.graph.fsync_wal = false;
+  std::unique_ptr<ShardedStore> primary = ShardedStore::Recover(shard_options);
+  if (primary == nullptr) {
+    std::fprintf(stderr, "failed to open primary at %s\n",
+                 shard_options.dir.c_str());
+    return 1;
+  }
+  vertex_t n = LoadLinkBenchGraph(primary.get(), config);
+
+  ReplicationHub hub;
+  if (!hub.Attach(*primary)) {
+    std::fprintf(stderr, "replication hub failed to attach\n");
+    return 1;
+  }
+  DomainFrontier primary_frontier(hub.domain());
+  GraphServer::Options primary_options;
+  primary_options.replication = &hub;
+  primary_options.frontier = &primary_frontier;
+  GraphServer primary_server(*primary, primary_options);
+  if (!primary_server.Start()) {
+    std::fprintf(stderr, "failed to start primary server\n");
+    return 1;
+  }
+
+  Replica::Options replica_options;
+  replica_options.primary_port = primary_server.port();
+  replica_options.graph = shard_options.graph;
+  Replica replica(replica_options);
+  replica.Start();
+  if (!replica.WaitReady(60'000)) {
+    std::fprintf(stderr, "follower never bootstrapped\n");
+    return 1;
+  }
+  GraphServer::Options follower_options;
+  follower_options.frontier = &replica.frontier();
+  GraphServer follower_server(replica.store(), follower_options);
+  if (!follower_server.Start()) {
+    std::fprintf(stderr, "failed to start follower server\n");
+    return 1;
+  }
+
+  auto connect = [&](bool to_follower) {
+    RemoteStore::Options options;
+    options.port = primary_server.port();
+    if (to_follower) {
+      options.replica_port = follower_server.port();
+      options.read_your_epoch_timeout_ms = 10'000;
+    }
+    return RemoteStore::Connect(options);
+  };
+  std::unique_ptr<RemoteStore> primary_client = connect(false);
+  std::unique_ptr<RemoteStore> follower_client = connect(true);
+  if (primary_client == nullptr || follower_client == nullptr) {
+    std::fprintf(stderr, "client connect failed\n");
+    return 1;
+  }
+
+  if (!json) {
+    std::printf("=== Replicated read scaling (read-only mix) ===\n");
+    std::printf("shards=%d clients/target=%d ops/client=%llu scale=%d\n",
+                shards, config.clients,
+                static_cast<unsigned long long>(config.ops_per_client),
+                config.scale);
+    std::printf("%-22s %12s %10s %10s %10s %10s\n", "targets", "reqs/s",
+                "mean(ms)", "P50(ms)", "P99(ms)", "P999(ms)");
+  }
+
+  // Round 1: one read target, all clients on the primary.
+  DriverResult one = RunLinkBench(primary_client.get(), config, n);
+  if (!json) PrintRemoteRow("1 (primary)", one);
+
+  // Round 2: two read targets, a full client fleet per target running
+  // concurrently. Aggregate throughput is the read-scaling headline.
+  DriverResult two_primary, two_follower;
+  std::thread follower_fleet([&] {
+    two_follower = RunLinkBench(follower_client.get(), config, n);
+  });
+  two_primary = RunLinkBench(primary_client.get(), config, n);
+  follower_fleet.join();
+  double combined = two_primary.throughput() + two_follower.throughput();
+  double scaling = one.throughput() > 0 ? combined / one.throughput() : 0.0;
+  if (json) {
+    std::printf("{\n  \"bench\": \"replication_read_scaling\",\n");
+    std::printf("  \"shards\": %d,\n  \"clients_per_target\": %d,\n"
+                "  \"ops_per_client\": %llu,\n",
+                shards, config.clients,
+                static_cast<unsigned long long>(config.ops_per_client));
+    PrintJsonResult("one_target", one, ",");
+    PrintJsonResult("two_targets_primary", two_primary, ",");
+    PrintJsonResult("two_targets_follower", two_follower, ",");
+    std::printf("  \"combined_throughput\": %.0f,\n  \"scaling_x\": %.2f\n}\n",
+                combined, scaling);
+  } else {
+    PrintRemoteRow("2 (primary share)", two_primary);
+    PrintRemoteRow("2 (follower share)", two_follower);
+    std::printf("combined %.0f reqs/s — %.2fx one target\n", combined,
+                scaling);
+  }
+
+  primary_client.reset();
+  follower_client.reset();
+  follower_server.Stop();
+  replica.Stop();
+  primary_server.Stop();
+  hub.Detach();
+  primary.reset();
+  std::filesystem::remove_all(root);
+  return 0;
+}
+
 }  // namespace
 }  // namespace livegraph::bench
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool replica = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--replica") == 0) replica = true;
   }
-  return livegraph::bench::Run(json);
+  return replica ? livegraph::bench::RunReplica(json)
+                 : livegraph::bench::Run(json);
 }

@@ -28,9 +28,27 @@ namespace {
 
 constexpr uint64_t kShardMagic = 0x4C47434B50543031ull;  // "LGCKPT01"
 
+// WAL payload opcodes — the format ApplyWalRecord replays and
+// ExportSnapshot synthesizes (and CommitManager emits on the write path).
+constexpr uint8_t kOpAddVertex = 1;
+constexpr uint8_t kOpPutVertex = 2;
+constexpr uint8_t kOpDeleteVertex = 3;
+constexpr uint8_t kOpAddEdge = 4;
+constexpr uint8_t kOpDeleteEdge = 5;
+
 std::string ManifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
 std::string ShardPath(const std::string& dir, int shard) {
   return dir + "/shard_" + std::to_string(shard) + ".ckpt";
+}
+
+void AppendRaw(std::string* out, const void* data, size_t size) {
+  out->append(static_cast<const char*>(data), size);
+}
+
+void AppendBytes(std::string* out, std::string_view bytes) {
+  auto len = static_cast<uint32_t>(bytes.size());
+  AppendRaw(out, &len, sizeof(len));
+  out->append(bytes.data(), bytes.size());
 }
 
 }  // namespace
@@ -128,6 +146,64 @@ timestamp_t Graph::CheckpointSnapshot(const ReadTransaction& snapshot,
   return epoch;
 }
 
+void Graph::ExportSnapshot(
+    const ReadTransaction& snapshot,
+    const std::function<void(std::string_view)>& emit,
+    size_t chunk_bytes) const {
+  if (chunk_bytes < 4096) chunk_bytes = 4096;
+  const vertex_t vertex_count = VertexCount();
+  std::string chunk;
+  chunk.reserve(chunk_bytes + 4096);
+  auto flush = [&] {
+    if (!chunk.empty()) {
+      emit(chunk);
+      chunk.clear();
+    }
+  };
+  std::vector<std::pair<vertex_t, std::string_view>> edges;
+  for (vertex_t v = 0; v < vertex_count; ++v) {
+    auto props = snapshot.GetVertex(v);
+    if (!props.has_value()) continue;  // never committed or deleted
+    chunk.push_back(static_cast<char>(kOpPutVertex));
+    AppendRaw(&chunk, &v, sizeof(v));
+    AppendBytes(&chunk, *props);
+    // Labels via the index, edges via the snapshot — the same enumeration
+    // CheckpointSnapshot uses, serialized as replayable WAL ops instead of
+    // checkpoint shard records.
+    block_ptr_t store =
+        IndexEntry(v)->edge_store.load(std::memory_order_acquire);
+    uint32_t labels = 0;
+    LabelIndexEntry* label_entries = nullptr;
+    if (store != kNullBlock) {
+      uint8_t* base = block_manager_->Pointer(store);
+      labels = reinterpret_cast<LabelIndexHeader*>(base)->count.load(
+          std::memory_order_acquire);
+      label_entries = LabelEntries(base);
+    }
+    for (uint32_t li = 0; li < labels; ++li) {
+      label_t label = label_entries[li].label;
+      edges.clear();
+      for (EdgeIterator it = snapshot.GetEdges(v, label); it.Valid();
+           it.Next()) {
+        edges.emplace_back(it.DstId(), it.Properties());
+      }
+      // Newest-first iterator, oldest-first replay: restores log order.
+      for (auto rit = edges.rbegin(); rit != edges.rend(); ++rit) {
+        chunk.push_back(static_cast<char>(kOpAddEdge));
+        AppendRaw(&chunk, &v, sizeof(v));
+        AppendRaw(&chunk, &label, sizeof(label));
+        AppendRaw(&chunk, &rit->first, sizeof(rit->first));
+        AppendBytes(&chunk, rit->second);
+      }
+    }
+    // Chunk boundaries only between vertices: a payload replays as ONE
+    // transaction, and splitting a vertex's ops across payloads is legal
+    // (replay is per-op) but keeps the common case tidy.
+    if (chunk.size() >= chunk_bytes) flush();
+  }
+  flush();
+}
+
 void Graph::LoadCheckpoint(const std::string& checkpoint_dir) {
   std::FILE* manifest = std::fopen(ManifestPath(checkpoint_dir).c_str(), "rb");
   if (manifest == nullptr) return;  // no checkpoint: WAL-only recovery
@@ -194,12 +270,6 @@ void Graph::LoadCheckpoint(const std::string& checkpoint_dir) {
 }
 
 void Graph::ApplyWalRecord(std::string_view payload) {
-  constexpr uint8_t kOpAddVertex = 1;
-  constexpr uint8_t kOpPutVertex = 2;
-  constexpr uint8_t kOpDeleteVertex = 3;
-  constexpr uint8_t kOpAddEdge = 4;
-  constexpr uint8_t kOpDeleteEdge = 5;
-
   Transaction txn = BeginTransaction();
   txn.replay_mode_ = true;
   const char* p = payload.data();

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -109,6 +110,22 @@ class Graph {
   /// redundant (sharded recovery: the replayed tail is re-checkpointed and
   /// the logs reset so a torn cross-shard suffix can never resurface).
   void ResetWal();
+
+  /// Installs (nullptr clears) the durable-batch tee on this engine's WAL —
+  /// the replication hub's hook (docs/REPLICATION.md). No-op without a WAL.
+  void SetWalSink(Wal::DurableSink* sink) {
+    if (wal_ != nullptr) wal_->SetDurableSink(sink);
+  }
+
+  /// Streams `snapshot`'s full state as synthetic WAL-record payloads
+  /// (kOpPutVertex + kOpAddEdge, edges oldest-first), chunked so each call
+  /// to `emit` carries at most ~chunk_bytes. Replaying every emitted
+  /// payload through the WAL apply path on an empty engine reconstructs the
+  /// snapshot exactly — the replication bootstrap for followers too far
+  /// behind the primary's log (docs/REPLICATION.md).
+  void ExportSnapshot(const ReadTransaction& snapshot,
+                      const std::function<void(std::string_view)>& emit,
+                      size_t chunk_bytes = 256 * 1024) const;
 
   /// Runs one synchronous compaction pass over all dirty vertices (§6
   /// "Compaction"). Also invoked automatically every

@@ -1,0 +1,36 @@
+#include "replication/epoch_frontier.h"
+
+#include <chrono>
+
+#include "util/futex_lock.h"
+
+namespace livegraph {
+
+bool ReplicaFrontier::WaitCovered(timestamp_t epoch, int64_t timeout_ms) {
+  if (frontier_.load(std::memory_order_acquire) >= epoch) return true;
+  if (timeout_ms <= 0) return false;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  // FutexWait carries its own 50 ms safety timeout, so re-checking the
+  // deadline on every wakeup bounds the wait without a timed futex call.
+  while (frontier_.load(std::memory_order_acquire) < epoch) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    uint32_t word = word_.load(std::memory_order_acquire);
+    if (frontier_.load(std::memory_order_acquire) >= epoch) break;
+    FutexWait(&word_, word);
+  }
+  return true;
+}
+
+void ReplicaFrontier::Advance(timestamp_t epoch) {
+  timestamp_t current = frontier_.load(std::memory_order_acquire);
+  while (current < epoch &&
+         !frontier_.compare_exchange_weak(current, epoch,
+                                          std::memory_order_acq_rel)) {
+  }
+  if (current >= epoch) return;  // someone else got there first
+  word_.fetch_add(1, std::memory_order_release);
+  FutexWakeAll(&word_);
+}
+
+}  // namespace livegraph

@@ -1,0 +1,155 @@
+// ReplicaStore: the Store facade a follower serves (docs/REPLICATION.md).
+//
+// Reads delegate to an inner ShardedStore that the replica apply loop owns
+// and may swap wholesale (snapshot re-bootstrap after lapping the primary's
+// replication buffer). Read sessions grab the shared_ptr once at begin, so
+// a session opened against the old state keeps its MVCC snapshot alive and
+// consistent across a swap; new sessions land on the new state.
+//
+// Writes are rejected: every mutation and Commit() returns kUnavailable,
+// the same status a RemoteStore client sees from a dead connection — which
+// is exactly what lets the client fail a write over to the primary without
+// a special "I am a follower" channel.
+#ifndef LIVEGRAPH_REPLICATION_REPLICA_STORE_H_
+#define LIVEGRAPH_REPLICATION_REPLICA_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "api/store.h"
+#include "shard/sharded_store.h"
+
+namespace livegraph {
+
+class ReplicaStore : public Store {
+ public:
+  std::string Name() const override { return "ReplicaLiveGraph"; }
+  StoreTraits Traits() const override {
+    // Reads carry the inner engine's guarantees; `transactional_writes`
+    // is vacuously true (no write ever applies, let alone non-atomically).
+    return StoreTraits{/*time_ordered_scans=*/true, /*snapshot_reads=*/true,
+                       /*transactional_writes=*/true};
+  }
+
+  std::unique_ptr<StoreTxn> BeginTxn() override {
+    return std::make_unique<RejectTxn>();
+  }
+
+  std::unique_ptr<StoreReadTxn> BeginReadTxn() override {
+    std::shared_ptr<ShardedStore> store = inner();
+    if (store == nullptr) return std::make_unique<DeadReadTxn>();
+    std::unique_ptr<StoreReadTxn> txn = store->BeginReadTxn();
+    return std::make_unique<ReadTxn>(std::move(store), std::move(txn));
+  }
+
+  /// The serving state. Null before the first bootstrap completes; read
+  /// sessions then report kUnavailable instead of fabricating emptiness.
+  std::shared_ptr<ShardedStore> inner() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_;
+  }
+
+  /// Swaps the serving state (replica apply loop only). Open read sessions
+  /// keep the old store alive via their shared_ptr.
+  void SetInner(std::shared_ptr<ShardedStore> store) {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_ = std::move(store);
+  }
+
+ private:
+  /// Read session pinned to one inner store generation.
+  class ReadTxn : public StoreReadTxn {
+   public:
+    ReadTxn(std::shared_ptr<ShardedStore> keepalive,
+            std::unique_ptr<StoreReadTxn> txn)
+        : keepalive_(std::move(keepalive)), txn_(std::move(txn)) {}
+
+    StatusOr<std::string> GetNode(vertex_t id) override {
+      return txn_->GetNode(id);
+    }
+    StatusOr<std::string> GetLink(vertex_t src, label_t label,
+                                  vertex_t dst) override {
+      return txn_->GetLink(src, label, dst);
+    }
+    EdgeCursor ScanLinks(vertex_t src, label_t label,
+                         size_t limit) override {
+      return txn_->ScanLinks(src, label, limit);
+    }
+    size_t CountLinks(vertex_t src, label_t label) override {
+      return txn_->CountLinks(src, label);
+    }
+    vertex_t VertexCount() override { return txn_->VertexCount(); }
+    Status SessionStatus() const override { return txn_->SessionStatus(); }
+
+   private:
+    std::shared_ptr<ShardedStore> keepalive_;  // destroyed after txn_
+    std::unique_ptr<StoreReadTxn> txn_;
+  };
+
+  /// Read session begun before bootstrap: no state to serve yet.
+  class DeadReadTxn : public StoreReadTxn {
+   public:
+    StatusOr<std::string> GetNode(vertex_t) override {
+      return Status::kUnavailable;
+    }
+    StatusOr<std::string> GetLink(vertex_t, label_t, vertex_t) override {
+      return Status::kUnavailable;
+    }
+    EdgeCursor ScanLinks(vertex_t, label_t, size_t) override {
+      return EdgeCursor();
+    }
+    size_t CountLinks(vertex_t, label_t) override { return 0; }
+    vertex_t VertexCount() override { return 0; }
+    Status SessionStatus() const override { return Status::kUnavailable; }
+  };
+
+  /// Write session on a read-only node: everything is kUnavailable. The
+  /// reads inside it answer too (read-your-writes is vacuous — there are
+  /// never any writes), so a mixed session still sees consistent state.
+  class RejectTxn : public StoreTxn {
+   public:
+    StatusOr<std::string> GetNode(vertex_t) override {
+      return Status::kUnavailable;
+    }
+    StatusOr<std::string> GetLink(vertex_t, label_t, vertex_t) override {
+      return Status::kUnavailable;
+    }
+    EdgeCursor ScanLinks(vertex_t, label_t, size_t) override {
+      return EdgeCursor();
+    }
+    size_t CountLinks(vertex_t, label_t) override { return 0; }
+    vertex_t VertexCount() override { return 0; }
+    Status SessionStatus() const override { return Status::kUnavailable; }
+
+    StatusOr<vertex_t> AddNode(std::string_view) override {
+      return Status::kUnavailable;
+    }
+    Status UpdateNode(vertex_t, std::string_view) override {
+      return Status::kUnavailable;
+    }
+    Status DeleteNode(vertex_t) override { return Status::kUnavailable; }
+    StatusOr<bool> AddLink(vertex_t, label_t, vertex_t,
+                           std::string_view) override {
+      return Status::kUnavailable;
+    }
+    Status UpdateLink(vertex_t, label_t, vertex_t,
+                      std::string_view) override {
+      return Status::kUnavailable;
+    }
+    Status DeleteLink(vertex_t, label_t, vertex_t) override {
+      return Status::kUnavailable;
+    }
+    StatusOr<timestamp_t> Commit() override { return Status::kUnavailable; }
+    void Abort() override {}
+  };
+
+  mutable std::mutex mu_;
+  std::shared_ptr<ShardedStore> inner_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_REPLICATION_REPLICA_STORE_H_

@@ -1,0 +1,111 @@
+#include "replication/replication_hub.h"
+
+#include "baselines/livegraph_store.h"
+#include "shard/sharded_store.h"
+
+namespace livegraph {
+
+ReplicationHub::ReplicationHub(ReplicationLog::Options log_options)
+    : log_(log_options) {}
+
+ReplicationHub::~ReplicationHub() {
+  Detach();
+  log_.Close();
+}
+
+bool ReplicationHub::Attach(Store& store) {
+  Detach();
+  if (auto* sharded = dynamic_cast<ShardedStore*>(&store)) {
+    if (sharded->dir().empty()) return false;  // no WALs to tee
+    for (int s = 0; s < sharded->num_shards(); ++s) {
+      graphs_.push_back(&sharded->shard(s));
+      wal_paths_.push_back(sharded->wal_path(s));
+    }
+    domain_ = sharded->epoch_domain();
+    wal_floor_ = sharded->recovered_epoch();
+  } else if (auto* single = dynamic_cast<LiveGraphStore*>(&store)) {
+    Graph& graph = single->graph();
+    if (graph.options().wal_path.empty()) return false;
+    graphs_.push_back(&graph);
+    wal_paths_.push_back(graph.options().wal_path);
+    domain_ = graph.epoch_domain();
+    // A standalone durable Graph never truncates its WAL (checkpoints are
+    // filters, not seals), so the full epoch history is on disk.
+    wal_floor_ = 0;
+  } else {
+    return false;
+  }
+  for (size_t s = 0; s < graphs_.size(); ++s) {
+    sinks_.push_back(
+        std::make_unique<ShardSink>(&log_, static_cast<uint32_t>(s)));
+    graphs_[s]->SetWalSink(sinks_[s].get());
+  }
+  return true;
+}
+
+void ReplicationHub::Detach() {
+  for (Graph* graph : graphs_) graph->SetWalSink(nullptr);
+  graphs_.clear();
+  wal_paths_.clear();
+  sinks_.clear();
+  domain_ = nullptr;
+  wal_floor_ = 0;
+}
+
+bool ReplicationHub::Subscribe(timestamp_t from_epoch,
+                               uint32_t follower_shards, Subscription* sub) {
+  if (!attached()) return false;
+  if (from_epoch < 0) from_epoch = 0;
+  // Register the cursor FIRST: from here on, every record of any epoch
+  // above what the catch-up phase covers is at or past the cursor.
+  timestamp_t trim = 0;
+  sub->cursor = log_.OpenCursor(&trim);
+  // Extreme corner: hard-cap eviction can outrun visibility. Wait the
+  // trim epoch visible so the F0 we sample below is >= trim and the
+  // disk/snapshot phases (which serve epochs <= F0) cover the evicted gap.
+  if (trim > domain_->visible()) domain_->WaitVisible(trim);
+
+  // A follower whose local layout cannot absorb per-shard payloads must
+  // bootstrap from scratch, whatever epoch it claims.
+  const bool layout_ok =
+      follower_shards == 0 ||
+      follower_shards == static_cast<uint32_t>(num_shards());
+
+  if (layout_ok && from_epoch >= trim) {
+    // Tier A: pure live. The buffer holds every record above from_epoch.
+    sub->filter = from_epoch;
+    sub->need_disk = false;
+    sub->need_snapshot = false;
+    return true;
+  }
+  if (layout_ok && from_epoch >= wal_floor_) {
+    // Tier B: disk catch-up over (from_epoch, F0], then live from F0.
+    // F0 sampled after cursor registration: higher epochs are buffered.
+    sub->filter = domain_->visible();
+    sub->need_disk = true;
+    sub->disk_from = from_epoch;
+    sub->need_snapshot = false;
+    return true;
+  }
+  // Tier C: snapshot bootstrap. Pin every shard at ONE epoch F0 (the pin
+  // is the sample, taken after cursor registration), export, live from F0.
+  EpochDomain::ReadPin pin = domain_->PinRead();
+  sub->filter = pin.epoch;
+  sub->need_disk = false;
+  sub->need_snapshot = true;
+  sub->snapshots.reserve(graphs_.size());
+  for (Graph* graph : graphs_) {
+    sub->snapshots.push_back(graph->BeginTimeTravelTransaction(pin.epoch));
+  }
+  // The snapshots' own reading-epoch slots keep protecting F0 per shard.
+  domain_->Unpin(pin);
+  return true;
+}
+
+void ReplicationHub::Unsubscribe(Subscription* sub) {
+  sub->snapshots.clear();
+  if (sub->cursor != 0) log_.CloseCursor(sub->cursor);
+  sub->cursor = 0;
+}
+
+}  // namespace livegraph

@@ -1,0 +1,132 @@
+#include "replication/replication_log.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/lock_rank.h"
+
+namespace livegraph {
+
+ReplicationLog::ReplicationLog(Options options) : options_(options) {
+  if (options_.hard_bytes < options_.soft_bytes) {
+    options_.hard_bytes = options_.soft_bytes;
+  }
+}
+
+void ReplicationLog::Append(uint32_t shard, timestamp_t epoch,
+                            uint32_t participants,
+                            std::string_view payload) {
+  {
+    // Rank note: taken inside the WAL single-appender section
+    // (kReplicationLog > kWalAppend); leaf — nothing acquired under it.
+    LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kReplicationLog);
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry entry;
+    entry.seq = next_seq_++;
+    entry.epoch = epoch;
+    entry.participants = participants;
+    entry.shard = shard;
+    entry.payload.assign(payload.data(), payload.size());
+    bytes_ += entry.payload.size();
+    entries_.push_back(std::move(entry));
+    EvictLocked();
+  }
+  cv_.notify_all();
+}
+
+uint64_t ReplicationLog::OpenCursor(timestamp_t* trim_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_cursor_id_++;
+  cursors_[id] = floor_seq_;
+  // Sampled under the same lock as the registration: from here on nothing
+  // below floor_seq_ can evict past soft policy without this cursor, and
+  // trim_epoch_ is exactly the bound the registration point guarantees.
+  *trim_epoch = trim_epoch_;
+  return id;
+}
+
+void ReplicationLog::CloseCursor(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cursors_.erase(id);
+}
+
+ReplicationLog::FetchStatus ReplicationLog::Fetch(
+    uint64_t id, timestamp_t filter_epoch, size_t max_bytes,
+    int64_t timeout_ms, std::vector<Entry>* out, bool* more) {
+  out->clear();
+  *more = false;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (closed_) return FetchStatus::kClosed;
+    auto it = cursors_.find(id);
+    if (it == cursors_.end()) return FetchStatus::kClosed;
+    if (it->second < floor_seq_) return FetchStatus::kLapped;
+
+    // Walk from the cursor: consume skipped entries, copy matching ones.
+    uint64_t at = it->second;
+    size_t copied_bytes = 0;
+    while (at < next_seq_) {
+      const Entry& entry = entries_[static_cast<size_t>(at - floor_seq_)];
+      if (entry.epoch > filter_epoch) {
+        if (!out->empty() && copied_bytes + entry.payload.size() > max_bytes) {
+          *more = true;
+          break;
+        }
+        copied_bytes += entry.payload.size();
+        out->push_back(entry);
+      }
+      ++at;
+    }
+    it->second = at;
+    if (!out->empty()) return FetchStatus::kOk;
+    // Everything pending was filtered out (or the buffer is drained):
+    // wait for appends. The consumed skips were still progress, so the
+    // cursor no longer blocks their eviction.
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return FetchStatus::kTimeout;
+    }
+  }
+}
+
+timestamp_t ReplicationLog::trim_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trim_epoch_;
+}
+
+void ReplicationLog::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t ReplicationLog::buffered_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+uint64_t ReplicationLog::MinCursorLocked() const {
+  uint64_t min = UINT64_MAX;
+  for (const auto& [id, seq] : cursors_) min = std::min(min, seq);
+  return min;
+}
+
+void ReplicationLog::EvictLocked() {
+  if (bytes_ <= options_.soft_bytes) return;
+  const uint64_t min_cursor = MinCursorLocked();
+  while (!entries_.empty() && bytes_ > options_.soft_bytes) {
+    const Entry& front = entries_.front();
+    // Soft region: stop at the slowest cursor. Hard overrun: evict anyway
+    // (the lapped cursor finds out at its next Fetch).
+    if (front.seq >= min_cursor && bytes_ <= options_.hard_bytes) break;
+    bytes_ -= front.payload.size();
+    trim_epoch_ = std::max(trim_epoch_, front.epoch);
+    entries_.pop_front();
+    ++floor_seq_;
+  }
+}
+
+}  // namespace livegraph

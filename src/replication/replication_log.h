@@ -1,0 +1,121 @@
+// ReplicationLog: the primary-side in-memory buffer of durable WAL
+// records, teed out of every shard's Wal::AppendBatch (post-fsync) and
+// fanned out to subscriber push loops (docs/REPLICATION.md).
+//
+// Entries carry a dense sequence number in APPEND order — which is NOT
+// epoch order: N shard commit pipelines tee concurrently, so a lower epoch
+// may land at a higher seq. Two invariants make the buffer a correct live
+// feed anyway:
+//
+//   * Tee-before-visible: a record of epoch e is appended here before e's
+//     MarkApplied, hence strictly before visible() reaches e. A reader
+//     that samples F = visible() and then drains the buffer holds every
+//     record of every epoch <= F.
+//   * Trim bound: trim_epoch() is the max epoch over all evicted entries,
+//     so every record with epoch > trim_epoch() is still in the buffer.
+//     A subscriber resuming from an epoch >= trim_epoch() needs no disk
+//     or snapshot phase.
+//
+// Retention: eviction from the front respects open cursors up to the soft
+// byte cap; past the hard cap it evicts regardless and the overrun cursor
+// reports kLapped on its next Fetch — the subscriber's connection drops
+// and the follower resubscribes (possibly into the snapshot path). A slow
+// follower can therefore never wedge the primary's memory.
+#ifndef LIVEGRAPH_REPLICATION_REPLICATION_LOG_H_
+#define LIVEGRAPH_REPLICATION_REPLICATION_LOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace livegraph {
+
+class ReplicationLog {
+ public:
+  struct Options {
+    /// Eviction starts here but never overruns an open cursor.
+    size_t soft_bytes = 64u << 20;
+    /// Eviction proceeds regardless here; overrun cursors lap.
+    size_t hard_bytes = 256u << 20;
+  };
+
+  struct Entry {
+    uint64_t seq = 0;
+    timestamp_t epoch = 0;
+    uint32_t participants = 1;
+    uint32_t shard = 0;
+    std::string payload;
+  };
+
+  ReplicationLog() : ReplicationLog(Options()) {}
+  explicit ReplicationLog(Options options);
+
+  /// Appends one durable record (called from shard WAL sinks, inside the
+  /// single-appender section — rank kReplicationLog sits above kWalAppend).
+  void Append(uint32_t shard, timestamp_t epoch, uint32_t participants,
+              std::string_view payload);
+
+  /// Registers a subscriber cursor at the buffer floor (the oldest
+  /// retained entry) and atomically samples the trim epoch, so the caller
+  /// can pick its catch-up tier with no eviction race. Returns the cursor
+  /// id; ids are never reused.
+  uint64_t OpenCursor(timestamp_t* trim_epoch);
+  void CloseCursor(uint64_t id);
+
+  enum class FetchStatus {
+    kOk,       // at least one entry copied out
+    kTimeout,  // nothing new within the deadline (heartbeat opportunity)
+    kLapped,   // hard-cap eviction overran this cursor: resubscribe
+    kClosed,   // log shut down (server stopping)
+  };
+
+  /// Drains entries past the cursor: entries with epoch > `filter_epoch`
+  /// are copied to `out` (the rest are consumed silently — they reached
+  /// the subscriber through its catch-up phase) until `max_bytes` of
+  /// payload accumulate. Always makes progress: the first matching entry
+  /// is included whatever its size. Blocks up to `timeout_ms` when the
+  /// cursor is at the tail. `*more` reports whether matching entries
+  /// remain past what was copied — while true, the push loop must NOT
+  /// advance its shipped frontier (epochs <= the sampled frontier may
+  /// still be in the remainder).
+  FetchStatus Fetch(uint64_t id, timestamp_t filter_epoch, size_t max_bytes,
+                    int64_t timeout_ms, std::vector<Entry>* out, bool* more);
+
+  /// Max epoch over evicted entries (everything above it is retained).
+  timestamp_t trim_epoch() const;
+
+  /// Wakes every Fetch with kClosed and makes future ones fail fast.
+  void Close();
+
+  /// Buffered payload bytes (observability, tests).
+  size_t buffered_bytes() const;
+
+ private:
+  /// Evicts from the front per the retention policy. Caller holds mu_.
+  void EvictLocked();
+  /// Smallest next_seq over open cursors, or UINT64_MAX. Caller holds mu_.
+  uint64_t MinCursorLocked() const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> entries_;  // seqs are contiguous: floor_seq_ .. next_seq_-1
+  uint64_t next_seq_ = 0;      // seq of the next appended entry
+  uint64_t floor_seq_ = 0;     // seq of entries_.front() (== next_seq_ if empty)
+  size_t bytes_ = 0;           // payload bytes currently buffered
+  timestamp_t trim_epoch_ = 0;
+  bool closed_ = false;
+  uint64_t next_cursor_id_ = 1;
+  std::unordered_map<uint64_t, uint64_t> cursors_;  // id -> next unread seq
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_REPLICATION_REPLICATION_LOG_H_

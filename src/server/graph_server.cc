@@ -1,10 +1,15 @@
 #include "server/graph_server.h"
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <utility>
+#include <vector>
 
+#include "replication/epoch_frontier.h"
+#include "replication/replication_hub.h"
 #include "server/wire.h"
+#include "storage/wal_reader.h"
 
 namespace livegraph {
 
@@ -82,8 +87,14 @@ class GraphServer::Connection {
       case MsgType::kUpdateLink:
         return HandleAddLink(reader, /*upsert=*/false);
       case MsgType::kDeleteLink: return HandleDeleteLink(reader);
+      case MsgType::kSubscribe: return HandleSubscribe(reader);
+      case MsgType::kBeginReadTxnAt: return HandleBeginReadTxnAt(reader);
+      case MsgType::kFrontierAck:
+        return false;  // only valid inside an established push stream
       case MsgType::kReply:
       case MsgType::kScanBatch:
+      case MsgType::kSnapshotBatch:
+      case MsgType::kLogBatch:
         return false;  // response types are not requests
     }
     return false;
@@ -311,6 +322,223 @@ class GraphServer::Connection {
       }
     }
     return flush(/*end_of_stream=*/true);
+  }
+
+  // --- Replication (docs/REPLICATION.md) ----------------------------------
+
+  /// Epoch-gated read session: wait until this node's frontier covers the
+  /// client's epoch, then open a plain read snapshot (which therefore
+  /// includes every commit at or below it). kTimeout when the frontier
+  /// does not catch up in time — the client may fail over.
+  bool HandleBeginReadTxnAt(WireReader& reader) {
+    int64_t min_epoch;
+    uint32_t timeout_ms;
+    if (!reader.GetI64(&min_epoch) || !reader.GetU32(&timeout_ms) ||
+        !reader.Exhausted()) {
+      return false;
+    }
+    EpochFrontier* frontier = server_->options_.frontier;
+    if (min_epoch > 0) {
+      if (frontier == nullptr) return ReplyStatus(Status::kUnavailable);
+      if (!frontier->WaitCovered(min_epoch,
+                                 static_cast<int64_t>(timeout_ms))) {
+        return ReplyStatus(Status::kTimeout);
+      }
+    }
+    uint64_t id = next_txn_id_++;
+    txns_[id].read = server_->store_.BeginReadTxn();
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutU64(id);
+    return SendReply();
+  }
+
+  /// Converts the connection into a follower push stream: catch-up phase
+  /// (snapshot or WAL-file range, per the hub's tier), then live batches
+  /// until either side goes away. Always returns false — a subscription
+  /// connection never reverts to request/response.
+  bool HandleSubscribe(WireReader& reader) {
+    int64_t from_epoch;
+    uint32_t follower_shards;
+    if (!reader.GetI64(&from_epoch) || !reader.GetU32(&follower_shards) ||
+        !reader.Exhausted()) {
+      return false;
+    }
+    ReplicationHub* hub = server_->options_.replication;
+    if (hub == nullptr || !hub->attached()) {
+      ReplyStatus(Status::kUnavailable);
+      return false;
+    }
+    ReplicationHub::Subscription sub;
+    if (!hub->Subscribe(from_epoch, follower_shards, &sub)) {
+      ReplyStatus(Status::kUnavailable);
+      return false;
+    }
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutU32(static_cast<uint32_t>(hub->num_shards()));
+    writer.PutU8(sub.need_snapshot ? 1 : 0);
+    writer.PutI64(sub.need_snapshot ? sub.filter : 0);
+    bool ok = SendReply();
+    if (ok && sub.need_snapshot) ok = StreamSnapshot(hub, &sub);
+    if (ok && sub.need_disk) ok = StreamWalRange(hub, sub);
+    if (ok) PushLoop(hub, sub);
+    hub->Unsubscribe(&sub);
+    return false;
+  }
+
+  /// Tier C: exports every shard's pinned snapshot as synthetic WAL
+  /// payload chunks, one kSnapshotBatch frame per chunk, then an empty
+  /// end-of-stream frame. Releases the pins as it goes.
+  bool StreamSnapshot(ReplicationHub* hub,
+                      ReplicationHub::Subscription* sub) {
+    for (int s = 0; s < hub->num_shards(); ++s) {
+      bool ok = true;
+      hub->shard_graph(s)->ExportSnapshot(
+          sub->snapshots[static_cast<size_t>(s)],
+          [&](std::string_view payload) {
+            if (!ok) return;
+            batch_body_.clear();
+            WireWriter writer(&batch_body_);
+            writer.PutU32(static_cast<uint32_t>(s));
+            writer.PutBytes(payload);
+            ok = socket_.WriteFrame(MsgType::kSnapshotBatch, kFlagNone,
+                                    batch_body_, &send_scratch_);
+          });
+      if (!ok) return false;
+    }
+    sub->snapshots.clear();  // release the pins before going live
+    batch_body_.clear();
+    WireWriter writer(&batch_body_);
+    writer.PutU32(0);
+    writer.PutBytes(std::string_view());
+    return socket_.WriteFrame(MsgType::kSnapshotBatch, kFlagEndOfStream,
+                              batch_body_, &send_scratch_);
+  }
+
+  /// Tier B: ships WAL-file records with epoch in (disk_from, filter],
+  /// gathered across shards and sorted by epoch so batch frontiers can
+  /// advance incrementally (a frontier only ever covers fully-shipped
+  /// epochs).
+  bool StreamWalRange(ReplicationHub* hub,
+                      const ReplicationHub::Subscription& sub) {
+    struct DiskRecord {
+      timestamp_t epoch;
+      uint32_t participants;
+      uint32_t shard;
+      std::string payload;
+    };
+    std::vector<DiskRecord> records;
+    for (int s = 0; s < hub->num_shards(); ++s) {
+      WalReader wal(hub->wal_path(s));
+      WalRecordView view;
+      while (wal.Next(&view)) {
+        if (view.epoch > sub.disk_from && view.epoch <= sub.filter) {
+          records.push_back(DiskRecord{
+              view.epoch, view.participants, static_cast<uint32_t>(s),
+              std::string(reinterpret_cast<const char*>(view.payload),
+                          view.payload_len)});
+        }
+      }
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const DiskRecord& a, const DiskRecord& b) {
+                       return a.epoch < b.epoch;
+                     });
+    constexpr size_t kDiskBatchBytes = 256u << 10;
+    size_t at = 0;
+    do {
+      const size_t begin = at;
+      size_t bytes = 0;
+      uint32_t count = 0;
+      while (at < records.size() &&
+             (count == 0 || bytes + records[at].payload.size() <=
+                                kDiskBatchBytes)) {
+        bytes += records[at].payload.size();
+        ++count;
+        ++at;
+      }
+      // Every epoch strictly below the next unshipped record is complete;
+      // once everything shipped, the whole (disk_from, filter] range is.
+      const timestamp_t frontier =
+          at < records.size() ? records[at].epoch - 1 : sub.filter;
+      batch_body_.clear();
+      WireWriter writer(&batch_body_);
+      writer.PutI64(frontier);
+      writer.PutU32(count);
+      for (size_t i = begin; i < at; ++i) {
+        writer.PutI64(records[i].epoch);
+        writer.PutU32(records[i].participants);
+        writer.PutU32(records[i].shard);
+        writer.PutBytes(records[i].payload);
+      }
+      if (!socket_.WriteFrame(MsgType::kLogBatch, kFlagNone, batch_body_,
+                              &send_scratch_)) {
+        return false;
+      }
+    } while (at < records.size());
+    return true;
+  }
+
+  /// The live phase: drain follower acks (poll, no second thread), sample
+  /// the visibility frontier, fetch buffered records past the filter, and
+  /// push one kLogBatch. The frontier is sampled BEFORE the fetch
+  /// (tee-before-visible: every record of an epoch <= it is in the buffer
+  /// at that point), and while a fetch is truncated (`more`) the shipped
+  /// frontier holds — epochs at or below the sample may still be in the
+  /// remainder. On kTimeout the batch degrades to a frontier heartbeat,
+  /// safe for the same reason: a pending record of a covered epoch would
+  /// have been returned.
+  void PushLoop(ReplicationHub* hub,
+                const ReplicationHub::Subscription& sub) {
+    timestamp_t last_sent = sub.filter;
+    std::vector<ReplicationLog::Entry> entries;
+    int idle_rounds = 0;
+    while (server_->running_.load(std::memory_order_acquire)) {
+      while (socket_.Readable(0)) {
+        Frame ack;
+        if (!socket_.ReadFrame(&ack)) return;
+        if (ack.type != MsgType::kFrontierAck) return;
+        WireReader ack_reader(ack.body);
+        int64_t acked;
+        if (!ack_reader.GetI64(&acked) || !ack_reader.Exhausted()) return;
+        hub->NoteFollowerAck(acked);
+      }
+      const timestamp_t sampled = hub->domain()->visible();
+      bool more = false;
+      ReplicationLog::FetchStatus status =
+          hub->log().Fetch(sub.cursor, sub.filter, /*max_bytes=*/2u << 20,
+                           /*timeout_ms=*/500, &entries, &more);
+      if (status == ReplicationLog::FetchStatus::kLapped ||
+          status == ReplicationLog::FetchStatus::kClosed) {
+        return;  // dropped; the follower resubscribes (snapshot tier)
+      }
+      const timestamp_t frontier =
+          (status == ReplicationLog::FetchStatus::kOk && more)
+              ? last_sent
+              : std::max(sampled, last_sent);
+      if (entries.empty() && frontier == last_sent) {
+        // Quiet stream: every few idle fetch rounds, send an empty
+        // LOG_BATCH heartbeat anyway. The follower's blocking read is
+        // then bounded — it can always tell "idle primary" from "dead
+        // primary", and its Stop() never waits on a silent socket.
+        if (++idle_rounds < 4) continue;
+      }
+      idle_rounds = 0;
+      batch_body_.clear();
+      WireWriter writer(&batch_body_);
+      writer.PutI64(frontier);
+      writer.PutU32(static_cast<uint32_t>(entries.size()));
+      for (const ReplicationLog::Entry& entry : entries) {
+        writer.PutI64(entry.epoch);
+        writer.PutU32(entry.participants);
+        writer.PutU32(entry.shard);
+        writer.PutBytes(entry.payload);
+      }
+      if (!socket_.WriteFrame(MsgType::kLogBatch, kFlagNone, batch_body_,
+                              &send_scratch_)) {
+        return;
+      }
+      last_sent = frontier;
+    }
   }
 
   // --- Writes -------------------------------------------------------------

@@ -30,6 +30,9 @@
 
 namespace livegraph {
 
+class ReplicationHub;
+class EpochFrontier;
+
 class GraphServer {
  public:
   struct Options {
@@ -42,6 +45,15 @@ class GraphServer {
     /// (the LinkBench common case) still fit in one frame.
     size_t scan_batch_edges = 512;
     size_t scan_batch_bytes = 60 * 1024;
+    /// Primary-side replication: when set (and attached), kSubscribe turns
+    /// the connection into a follower push stream (docs/REPLICATION.md).
+    /// Not owned; must outlive Stop().
+    ReplicationHub* replication = nullptr;
+    /// Epoch-gated reads: kBeginReadTxnAt waits on this frontier (the
+    /// domain's visibility on a primary, the applied-primary-epoch
+    /// frontier on a follower). Null rejects epoch-gated requests with a
+    /// positive bound. Not owned; must outlive Stop().
+    EpochFrontier* frontier = nullptr;
   };
 
   /// Serves `store`; does not own it. The store must outlive Stop().

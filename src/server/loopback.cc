@@ -2,6 +2,11 @@
 
 #include <utility>
 
+#include "replication/epoch_frontier.h"
+#include "replication/replica.h"
+#include "replication/replication_hub.h"
+#include "shard/sharded_store.h"
+
 namespace livegraph {
 
 namespace {
@@ -38,6 +43,53 @@ class LoopbackStore : public Store {
   std::unique_ptr<RemoteStore> client_;
 };
 
+// The replication topology packaged as one Store. Declaration order is
+// destruction order in reverse: client hangs up, follower server stops,
+// replica stops (closing its subscription), primary server stops, hub
+// detaches its WAL sinks, engine dies.
+class ReplicatedLoopbackStore : public Store {
+ public:
+  ReplicatedLoopbackStore(std::unique_ptr<ShardedStore> engine,
+                          std::unique_ptr<ReplicationHub> hub,
+                          std::unique_ptr<DomainFrontier> primary_frontier,
+                          std::unique_ptr<GraphServer> primary_server,
+                          std::unique_ptr<Replica> replica,
+                          std::unique_ptr<GraphServer> follower_server,
+                          std::unique_ptr<RemoteStore> client)
+      : engine_(std::move(engine)),
+        hub_(std::move(hub)),
+        primary_frontier_(std::move(primary_frontier)),
+        primary_server_(std::move(primary_server)),
+        replica_(std::move(replica)),
+        follower_server_(std::move(follower_server)),
+        client_(std::move(client)) {}
+
+  ~ReplicatedLoopbackStore() override {
+    client_.reset();
+    follower_server_->Stop();
+    replica_->Stop();
+    primary_server_->Stop();
+  }
+
+  std::string Name() const override { return client_->Name(); }
+  StoreTraits Traits() const override { return client_->Traits(); }
+  std::unique_ptr<StoreTxn> BeginTxn() override {
+    return client_->BeginTxn();
+  }
+  std::unique_ptr<StoreReadTxn> BeginReadTxn() override {
+    return client_->BeginReadTxn();
+  }
+
+ private:
+  std::unique_ptr<ShardedStore> engine_;
+  std::unique_ptr<ReplicationHub> hub_;
+  std::unique_ptr<DomainFrontier> primary_frontier_;
+  std::unique_ptr<GraphServer> primary_server_;
+  std::unique_ptr<Replica> replica_;
+  std::unique_ptr<GraphServer> follower_server_;
+  std::unique_ptr<RemoteStore> client_;
+};
+
 }  // namespace
 
 std::unique_ptr<Store> MakeLoopbackStore(
@@ -52,6 +104,63 @@ std::unique_ptr<Store> MakeLoopbackStore(
   }
   return std::make_unique<LoopbackStore>(
       std::move(engine), std::move(server), std::move(client));
+}
+
+std::unique_ptr<Store> MakeReplicatedLoopbackStore(
+    const ShardOptions& primary_options, const std::string& replica_dir) {
+  if (primary_options.dir.empty()) return nullptr;  // hub needs real WALs
+  std::unique_ptr<ShardedStore> engine = ShardedStore::Recover(primary_options);
+  if (engine == nullptr) return nullptr;
+
+  auto hub = std::make_unique<ReplicationHub>();
+  if (!hub->Attach(*engine)) return nullptr;
+  auto primary_frontier = std::make_unique<DomainFrontier>(hub->domain());
+
+  GraphServer::Options primary_opts;
+  primary_opts.replication = hub.get();
+  primary_opts.frontier = primary_frontier.get();
+  auto primary_server = std::make_unique<GraphServer>(*engine, primary_opts);
+  if (!primary_server->Start()) return nullptr;
+
+  Replica::Options replica_opts;
+  replica_opts.primary_host = primary_opts.host;
+  replica_opts.primary_port = primary_server->port();
+  replica_opts.dir = replica_dir;
+  replica_opts.graph = primary_options.graph;
+  auto replica = std::make_unique<Replica>(replica_opts);
+  replica->Start();
+  if (!replica->WaitReady(/*timeout_ms=*/10000)) {
+    replica->Stop();
+    primary_server->Stop();
+    return nullptr;
+  }
+
+  GraphServer::Options follower_opts;
+  follower_opts.frontier = &replica->frontier();
+  auto follower_server =
+      std::make_unique<GraphServer>(replica->store(), follower_opts);
+  if (!follower_server->Start()) {
+    replica->Stop();
+    primary_server->Stop();
+    return nullptr;
+  }
+
+  RemoteStore::Options client_opts;
+  client_opts.host = primary_opts.host;
+  client_opts.port = primary_server->port();
+  client_opts.replica_host = follower_opts.host;
+  client_opts.replica_port = follower_server->port();
+  auto client = RemoteStore::Connect(client_opts);
+  if (client == nullptr) {
+    follower_server->Stop();
+    replica->Stop();
+    primary_server->Stop();
+    return nullptr;
+  }
+  return std::make_unique<ReplicatedLoopbackStore>(
+      std::move(engine), std::move(hub), std::move(primary_frontier),
+      std::move(primary_server), std::move(replica),
+      std::move(follower_server), std::move(client));
 }
 
 }  // namespace livegraph

@@ -14,6 +14,8 @@
 
 namespace livegraph {
 
+struct ShardOptions;
+
 /// Wraps `engine` behind a loopback GraphServer + RemoteStore. All Store
 /// calls go through the wire. Null if the server cannot bind or the
 /// client cannot connect. `server_options.port` is overridden to 0
@@ -21,6 +23,18 @@ namespace livegraph {
 std::unique_ptr<Store> MakeLoopbackStore(
     std::unique_ptr<Store> engine,
     GraphServer::Options server_options = {});
+
+/// The full replication topology over loopback TCP, packaged as one Store
+/// (docs/REPLICATION.md): a durable sharded PRIMARY (recovered from
+/// `primary_options.dir`, which must be set) serving writes with a
+/// replication hub attached, a FOLLOWER subscribed to it (durable under
+/// `replica_dir` when non-empty), and a RemoteStore client that sends
+/// writes to the primary and read sessions to the follower carrying the
+/// read-your-epoch bound. Blocks until the follower has bootstrapped.
+/// Null on any bind/connect/bootstrap failure. Caller owns both
+/// directories' cleanup.
+std::unique_ptr<Store> MakeReplicatedLoopbackStore(
+    const ShardOptions& primary_options, const std::string& replica_dir);
 
 }  // namespace livegraph
 

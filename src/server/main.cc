@@ -6,6 +6,8 @@
 //                    [--checkpoint-dir=DIR] [--storage-path=FILE]
 //                    [--max-vertices=N] [--page-cache-pages=N]
 //                    [--scan-batch-edges=N]
+//                    [--replica-of=HOST:PORT] [--replica-dir=DIR]
+//                    [--replica-checkpoint-epochs=N]
 //
 // Serves the chosen engine over the binary wire protocol until SIGINT or
 // SIGTERM. --shards=N (LiveGraph engine only) serves a hash-partitioned
@@ -13,6 +15,14 @@
 // and compaction threads behind the same wire protocol, one shared
 // visibility-epoch domain, remote read sessions pinning a single global
 // epoch transparently (docs/SHARDING.md).
+//
+// --replica-of=HOST:PORT runs a read-only FOLLOWER instead of a primary
+// (docs/REPLICATION.md): the server subscribes to that primary's WAL
+// stream, applies it continuously, rejects writes with kUnavailable, and
+// serves reads/scans/analytics — epoch-gated read sessions wait until the
+// follower's applied frontier covers the client's epoch. A durable primary
+// (LiveGraph engines with --durability != none) automatically accepts
+// follower subscriptions on its own port.
 //
 // Durability flags apply to the LiveGraph engines only (the baselines are
 // volatile comparators, as in the paper's §7.1 setup). With durability
@@ -35,6 +45,9 @@
 #include "baselines/linked_list_store.h"
 #include "baselines/livegraph_store.h"
 #include "baselines/lsmt_store.h"
+#include "replication/epoch_frontier.h"
+#include "replication/replica.h"
+#include "replication/replication_hub.h"
 #include "server/graph_server.h"
 #include "shard/sharded_store.h"
 
@@ -56,7 +69,25 @@ struct Flags {
   size_t max_vertices = size_t{1} << 24;
   size_t page_cache_pages = size_t{1} << 16;  // PagedLiveGraph: 256 MiB
   size_t scan_batch_edges = 512;
+  std::string replica_of;   // "host:port" of the primary (follower mode)
+  std::string replica_dir;  // follower durable dir (empty = in-memory)
+  int64_t replica_checkpoint_epochs = 65536;
 };
+
+/// Splits "host:port"; false on a missing/invalid port.
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  int parsed = std::atoi(spec.c_str() + colon + 1);
+  if (parsed <= 0 || parsed > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
 
 bool TakeValue(const char* arg, const char* name, std::string* out) {
   size_t len = std::strlen(name);
@@ -74,10 +105,14 @@ int Usage(const char* argv0) {
       "          [--checkpoint-dir=DIR] [--storage-path=FILE]\n"
       "          [--max-vertices=N] [--page-cache-pages=N]\n"
       "          [--scan-batch-edges=N]\n"
+      "          [--replica-of=HOST:PORT] [--replica-dir=DIR]\n"
+      "          [--replica-checkpoint-epochs=N]\n"
       "  --shards=N (N > 1) serves a hash-partitioned ShardedLiveGraph;\n"
       "  LiveGraph engine only. With durability the server recovers its\n"
       "  durable state on start; a sharded server uses --wal-path as its\n"
-      "  per-shard WAL/checkpoint directory.\n",
+      "  per-shard WAL/checkpoint directory.\n"
+      "  --replica-of runs a read-only follower of that primary\n"
+      "  (docs/REPLICATION.md); --replica-dir makes its state durable.\n",
       argv0);
   return 2;
 }
@@ -144,7 +179,9 @@ int main(int argc, char** argv) {
         TakeValue(argv[i], "--durability", &flags.durability) ||
         TakeValue(argv[i], "--wal-path", &flags.wal_path) ||
         TakeValue(argv[i], "--checkpoint-dir", &flags.checkpoint_dir) ||
-        TakeValue(argv[i], "--storage-path", &flags.storage_path)) {
+        TakeValue(argv[i], "--storage-path", &flags.storage_path) ||
+        TakeValue(argv[i], "--replica-of", &flags.replica_of) ||
+        TakeValue(argv[i], "--replica-dir", &flags.replica_dir)) {
       continue;
     }
     if (TakeValue(argv[i], "--port", &value)) {
@@ -158,6 +195,8 @@ int main(int argc, char** argv) {
     } else if (TakeValue(argv[i], "--scan-batch-edges", &value)) {
       flags.scan_batch_edges =
           static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (TakeValue(argv[i], "--replica-checkpoint-epochs", &value)) {
+      flags.replica_checkpoint_epochs = std::atoll(value.c_str());
     } else {
       return Usage(argv[0]);
     }
@@ -172,6 +211,51 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);
   }
 
+  // --- Follower mode: subscribe to a primary, serve reads only ---
+  if (!flags.replica_of.empty()) {
+    livegraph::Replica::Options replica_options;
+    if (!ParseHostPort(flags.replica_of, &replica_options.primary_host,
+                       &replica_options.primary_port)) {
+      std::fprintf(stderr, "--replica-of wants HOST:PORT\n");
+      return Usage(argv[0]);
+    }
+    replica_options.dir = flags.replica_dir;
+    replica_options.graph.max_vertices = flags.max_vertices;
+    replica_options.checkpoint_every_epochs =
+        flags.replica_checkpoint_epochs;
+    livegraph::Replica replica(replica_options);
+    replica.Start();
+
+    livegraph::GraphServer::Options options;
+    options.host = flags.host;
+    options.port = flags.port;
+    options.scan_batch_edges = flags.scan_batch_edges;
+    options.frontier = &replica.frontier();
+    livegraph::GraphServer server(replica.store(), options);
+    if (!server.Start()) {
+      std::fprintf(stderr, "failed to bind %s:%u\n", flags.host.c_str(),
+                   unsigned{flags.port});
+      return 1;
+    }
+    std::printf(
+        "livegraph_server: follower of %s listening on %s:%u\n",
+        flags.replica_of.c_str(), flags.host.c_str(),
+        unsigned{server.port()});
+    std::fflush(stdout);
+
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    while (g_stop == 0) {
+      struct timespec tick = {0, 200'000'000};
+      nanosleep(&tick, nullptr);
+    }
+    std::printf("livegraph_server: follower shutting down (frontier %lld)\n",
+                static_cast<long long>(replica.frontier().Frontier()));
+    server.Stop();
+    replica.Stop();
+    return 0;
+  }
+
   std::unique_ptr<livegraph::Store> engine = MakeEngine(flags);
   if (engine == nullptr) {
     std::fprintf(stderr, "unknown engine '%s'\n", flags.engine.c_str());
@@ -182,15 +266,28 @@ int main(int argc, char** argv) {
   options.host = flags.host;
   options.port = flags.port;
   options.scan_batch_edges = flags.scan_batch_edges;
+  // A durable LiveGraph primary accepts follower subscriptions; the hub
+  // stays inert (and kSubscribe answers kUnavailable) for volatile or
+  // baseline engines.
+  livegraph::ReplicationHub hub;
+  std::unique_ptr<livegraph::DomainFrontier> frontier;
+  if (hub.Attach(*engine)) {
+    options.replication = &hub;
+    frontier = std::make_unique<livegraph::DomainFrontier>(hub.domain());
+    options.frontier = frontier.get();
+  }
   livegraph::GraphServer server(*engine, options);
   if (!server.Start()) {
     std::fprintf(stderr, "failed to bind %s:%u\n", flags.host.c_str(),
                  unsigned{flags.port});
     return 1;
   }
-  std::printf("livegraph_server: engine=%s durability=%s listening on %s:%u\n",
-              engine->Name().c_str(), flags.durability.c_str(),
-              flags.host.c_str(), unsigned{server.port()});
+  std::printf(
+      "livegraph_server: engine=%s durability=%s replication=%s "
+      "listening on %s:%u\n",
+      engine->Name().c_str(), flags.durability.c_str(),
+      hub.attached() ? "on" : "off", flags.host.c_str(),
+      unsigned{server.port()});
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -59,6 +60,18 @@ bool Socket::WriteFull(const void* data, size_t size) {
     size -= static_cast<size_t>(n);
   }
   return true;
+}
+
+bool Socket::Readable(int timeout_ms) const {
+  if (fd_ < 0) return false;
+  pollfd pfd = {fd_, POLLIN, 0};
+  while (true) {
+    int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0 && errno == EINTR) continue;
+    // POLLHUP/POLLERR also report readable: the next ReadFrame surfaces
+    // the EOF/error, which is how the caller learns the peer is gone.
+    return n > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+  }
 }
 
 bool Socket::WriteFrame(MsgType type, uint8_t flags, std::string_view body,

@@ -39,6 +39,13 @@ class Socket {
   /// error return, not SIGPIPE).
   bool WriteFull(const void* data, size_t size);
 
+  /// True when at least one byte is readable within `timeout_ms`
+  /// (0 = pure poll). Used by the replication push loop to drain
+  /// follower acks from a socket it otherwise only writes to, without a
+  /// second thread. False on timeout, error, or invalid socket — callers
+  /// that need to distinguish follow up with ReadFrame.
+  bool Readable(int timeout_ms) const;
+
   /// Frames `body` and writes it in one buffer. `scratch` is caller-owned
   /// so steady-state sends reuse its capacity.
   bool WriteFrame(MsgType type, uint8_t flags, std::string_view body,

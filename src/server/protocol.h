@@ -33,8 +33,10 @@
 namespace livegraph {
 
 /// Bumped on any incompatible frame/body layout change; checked during the
-/// Hello handshake.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// Hello handshake. v2 added the replication frames (kSubscribe,
+/// kLogBatch, kSnapshotBatch, kFrontierAck) and epoch-gated reads
+/// (kBeginReadTxnAt) — docs/REPLICATION.md.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// "LGW1" — rejects non-protocol peers (and byte-shifted streams) before
 /// the CRC even runs.
@@ -65,9 +67,26 @@ enum class MsgType : uint8_t {
   kUpdateLink = 16,   // i64 src, u16 label, i64 dst, bytes data
   kDeleteLink = 17,   // i64 src, u16 label, i64 dst
 
+  // Replication (docs/REPLICATION.md). A follower sends kSubscribe once;
+  // on kOk the connection becomes a push stream of kSnapshotBatch (when
+  // the reply offered a snapshot) and then kLogBatch frames, with the
+  // follower sending only kFrontierAck back.
+  kSubscribe = 18,      // i64 from_epoch, u32 follower_shards (0 = fresh)
+                        //   -> kReply{status; on kOk: u32 shards,
+                        //      u8 snapshot_follows, i64 snapshot_epoch}
+  kBeginReadTxnAt = 19, // i64 min_epoch, u32 timeout_ms (no txn id)
+                        //   -> kReply{status, u64 txn_id}; kTimeout when
+                        //      the frontier does not cover min_epoch in time
+  kFrontierAck = 20,    // i64 epoch — follower->primary, no reply
+
   // Responses.
   kReply = 64,      // u8 status, then on kOk an op-specific payload
   kScanBatch = 65,  // u32 count, count * (i64 dst, i64 created, bytes props)
+  kSnapshotBatch = 66,  // u32 shard, bytes payload (WAL-record format);
+                        // the last frame carries kFlagEndOfStream
+  kLogBatch = 67,       // i64 frontier, u32 count, count * (i64 epoch,
+                        // u32 participants, u32 shard, bytes payload);
+                        // count = 0 is a frontier heartbeat
 };
 
 enum FrameFlags : uint8_t {

@@ -1,5 +1,7 @@
 #include "server/remote_store.h"
 
+#include <algorithm>
+#include <chrono>
 #include <deque>
 #include <utility>
 
@@ -248,11 +250,12 @@ class RemoteTxn : public StoreTxn {
  public:
   RemoteTxn(RemoteStore* store,
             std::shared_ptr<RemoteStore::Connection> connection,
-            uint64_t txn_id, bool writable)
+            uint64_t txn_id, bool writable, bool replica = false)
       : store_(store),
         connection_(std::move(connection)),
         txn_id_(txn_id),
         writable_(writable),
+        replica_(replica),
         dead_(connection_ == nullptr),
         open_(connection_ != nullptr) {}
 
@@ -408,6 +411,9 @@ class RemoteTxn : public StoreTxn {
     WireReader reader(PayloadAfterStatus(reply));
     int64_t epoch;
     if (!reader.GetI64(&epoch)) return Status::kUnavailable;
+    // Commit epochs feed the client's read-your-epoch bound: a later read
+    // session routed to a follower waits until this epoch is applied.
+    store_->NoteCommitEpoch(epoch);
     return epoch;
   }
 
@@ -494,7 +500,7 @@ class RemoteTxn : public StoreTxn {
 
   void Release() {
     if (connection_ != nullptr) {
-      store_->ReleaseConnection(std::move(connection_));
+      store_->ReleaseConnection(std::move(connection_), replica_);
       connection_ = nullptr;
     }
   }
@@ -503,6 +509,7 @@ class RemoteTxn : public StoreTxn {
   std::shared_ptr<RemoteStore::Connection> connection_;
   uint64_t txn_id_;
   bool writable_;
+  bool replica_;  // checked out of the follower pool, returns there
   bool dead_;  // never had a connection: kUnavailable, not kNotActive
   bool open_;
 };
@@ -521,23 +528,97 @@ std::unique_ptr<RemoteStore> RemoteStore::Connect(const Options& options) {
 
 RemoteStore::~RemoteStore() = default;
 
-std::shared_ptr<RemoteStore::Connection> RemoteStore::AcquireConnection() {
+std::shared_ptr<RemoteStore::Connection> RemoteStore::AcquireConnection(
+    bool replica) {
   {
     std::lock_guard<std::mutex> lock(pool_mu_);
-    while (!pool_.empty()) {
-      std::shared_ptr<Connection> connection = std::move(pool_.back());
-      pool_.pop_back();
+    std::vector<std::shared_ptr<Connection>>& pool =
+        replica ? replica_pool_ : pool_;
+    while (!pool.empty()) {
+      std::shared_ptr<Connection> connection = std::move(pool.back());
+      pool.pop_back();
       if (connection->healthy()) return connection;
     }
   }
-  return Connection::Dial(options_, nullptr, nullptr);
+  Options dial = options_;
+  if (replica) {
+    dial.host = options_.replica_host;
+    dial.port = options_.replica_port;
+  }
+  return Connection::Dial(dial, nullptr, nullptr);
 }
 
-void RemoteStore::ReleaseConnection(
-    std::shared_ptr<Connection> connection) {
+void RemoteStore::ReleaseConnection(std::shared_ptr<Connection> connection,
+                                    bool replica) {
   if (connection == nullptr || !connection->healthy()) return;
   std::lock_guard<std::mutex> lock(pool_mu_);
-  pool_.push_back(std::move(connection));
+  (replica ? replica_pool_ : pool_).push_back(std::move(connection));
+}
+
+void RemoteStore::NoteCommitEpoch(timestamp_t epoch) {
+  timestamp_t current = last_commit_epoch_.load(std::memory_order_relaxed);
+  while (current < epoch &&
+         !last_commit_epoch_.compare_exchange_weak(
+             current, epoch, std::memory_order_relaxed)) {
+  }
+}
+
+bool RemoteStore::ReplicaBackedOff() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  return replica_backoff_ms_ > 0 &&
+         std::chrono::steady_clock::now() < replica_retry_at_;
+}
+
+void RemoteStore::NoteReplicaFailure() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  replica_backoff_ms_ =
+      replica_backoff_ms_ == 0
+          ? options_.replica_backoff_ms
+          : std::min(replica_backoff_ms_ * 2,
+                     options_.replica_backoff_cap_ms);
+  replica_retry_at_ = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(replica_backoff_ms_);
+}
+
+// Follower-first read session: kBeginReadTxnAt carrying the client's
+// read-your-epoch bound. Null on any failure — dead follower, lagging
+// frontier (kTimeout), protocol mismatch — and the caller retries once
+// against the primary; the follower goes into a capped backoff so a dead
+// one is not re-dialed on every read.
+std::unique_ptr<StoreTxn> RemoteStore::BeginReplicaReadSession() {
+  if (ReplicaBackedOff()) return nullptr;
+  std::shared_ptr<Connection> connection =
+      AcquireConnection(/*replica=*/true);
+  if (connection == nullptr) {
+    NoteReplicaFailure();
+    return nullptr;
+  }
+  std::string body;
+  WireWriter writer(&body);
+  writer.PutI64(last_commit_epoch_.load(std::memory_order_relaxed));
+  writer.PutU32(options_.read_your_epoch_timeout_ms);
+  Frame reply;
+  uint64_t txn_id = 0;
+  uint8_t status = 0;
+  if (!connection->Call(MsgType::kBeginReadTxnAt, body, &reply)) {
+    NoteReplicaFailure();
+    return nullptr;
+  }
+  WireReader reader(reply.body);
+  if (!reader.GetU8(&status) || StatusFromWire(status) != Status::kOk ||
+      !reader.GetU64(&txn_id)) {
+    // The follower answered but cannot serve the epoch (or rejected the
+    // request): return its healthy connection and fail over this session.
+    ReleaseConnection(std::move(connection), /*replica=*/true);
+    NoteReplicaFailure();
+    return nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    replica_backoff_ms_ = 0;  // a served session clears the penalty box
+  }
+  return std::make_unique<RemoteTxn>(this, std::move(connection), txn_id,
+                                     /*writable=*/false, /*replica=*/true);
 }
 
 size_t RemoteStore::idle_connections() const {
@@ -546,7 +627,8 @@ size_t RemoteStore::idle_connections() const {
 }
 
 std::unique_ptr<StoreTxn> RemoteStore::BeginSession(bool writable) {
-  std::shared_ptr<Connection> connection = AcquireConnection();
+  std::shared_ptr<Connection> connection =
+      AcquireConnection(/*replica=*/false);
   uint64_t txn_id = 0;
   if (connection != nullptr) {
     Frame reply;
@@ -576,6 +658,14 @@ std::unique_ptr<StoreTxn> RemoteStore::BeginTxn() {
 }
 
 std::unique_ptr<StoreReadTxn> RemoteStore::BeginReadTxn() {
+  if (options_.replica_port != 0) {
+    std::unique_ptr<StoreTxn> session = BeginReplicaReadSession();
+    if (session != nullptr) return session;
+    // One retry, against the primary. The epoch bound needs no wait
+    // there: the primary's visibility already covers every commit it
+    // acknowledged.
+    read_failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
   return BeginSession(/*writable=*/false);
 }
 

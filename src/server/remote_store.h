@@ -24,6 +24,8 @@
 #ifndef LIVEGRAPH_SERVER_REMOTE_STORE_H_
 #define LIVEGRAPH_SERVER_REMOTE_STORE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -43,6 +45,21 @@ class RemoteStore : public Store {
   struct Options {
     std::string host = "127.0.0.1";
     uint16_t port = 0;
+    /// Read scale-out (docs/REPLICATION.md): when `replica_port` is set,
+    /// read sessions dial this follower with kBeginReadTxnAt, carrying the
+    /// session's last observed commit epoch — read-your-epoch: the
+    /// follower blocks (bounded) until its applied frontier covers that
+    /// epoch, so this client's own writes are always visible. Writes
+    /// always go to `host:port`. A dead or lagging follower fails the
+    /// read session over to the primary transparently (one retry, capped
+    /// backoff before the follower is dialed again).
+    std::string replica_host = "127.0.0.1";
+    uint16_t replica_port = 0;
+    /// Bound on the follower-side frontier wait before failing over.
+    uint32_t read_your_epoch_timeout_ms = 2000;
+    /// First follower-redial backoff after a failover; doubles, capped.
+    int64_t replica_backoff_ms = 100;
+    int64_t replica_backoff_cap_ms = 5000;
   };
 
   /// Dials the server and performs the version/traits handshake. Null if
@@ -68,21 +85,45 @@ class RemoteStore : public Store {
   /// Pooled idle connections (observability, tests).
   size_t idle_connections() const;
 
+  /// Read sessions that fell over from the follower to the primary
+  /// (observability, tests).
+  uint64_t read_failovers() const {
+    return read_failovers_.load(std::memory_order_relaxed);
+  }
+  /// Highest commit epoch observed by this client's write sessions — the
+  /// read-your-epoch bound carried to the follower.
+  timestamp_t last_commit_epoch() const {
+    return last_commit_epoch_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class RemoteTxn;
 
   explicit RemoteStore(Options options) : options_(std::move(options)) {}
 
-  std::shared_ptr<Connection> AcquireConnection();
-  void ReleaseConnection(std::shared_ptr<Connection> connection);
+  std::shared_ptr<Connection> AcquireConnection(bool replica);
+  void ReleaseConnection(std::shared_ptr<Connection> connection,
+                         bool replica);
   std::unique_ptr<StoreTxn> BeginSession(bool writable);
+  /// Follower-first read session; null means "use the primary".
+  std::unique_ptr<StoreTxn> BeginReplicaReadSession();
+  void NoteCommitEpoch(timestamp_t epoch);
+  /// True while the follower is in its post-failover penalty box.
+  bool ReplicaBackedOff();
+  void NoteReplicaFailure();
 
   Options options_;
   std::string remote_name_;
   StoreTraits traits_;
 
+  std::atomic<timestamp_t> last_commit_epoch_{0};
+  std::atomic<uint64_t> read_failovers_{0};
+
   mutable std::mutex pool_mu_;
   std::vector<std::shared_ptr<Connection>> pool_;
+  std::vector<std::shared_ptr<Connection>> replica_pool_;
+  std::chrono::steady_clock::time_point replica_retry_at_{};
+  int64_t replica_backoff_ms_ = 0;
 };
 
 }  // namespace livegraph

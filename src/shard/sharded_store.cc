@@ -496,6 +496,11 @@ vertex_t ShardedStore::VertexCount() const {
   return bound;
 }
 
+void ShardedStore::ApplyReplicated(int s, std::string_view payload) {
+  if (s < 0 || s >= num_shards()) return;
+  shards_[static_cast<size_t>(s)]->ApplyWalRecord(payload);
+}
+
 std::vector<ReadTransaction> ShardedStore::PinShardSnapshots() {
   // Pin ONE global epoch, open every shard's snapshot at exactly it, then
   // release the domain pin — each snapshot's own reading-epoch slot keeps
@@ -709,6 +714,9 @@ std::unique_ptr<ShardedStore> ShardedStore::Recover(ShardOptions options) {
     for (int s = 0; s < n; ++s) {
       store->shards_[static_cast<size_t>(s)]->ResetWal();
     }
+    // Replication: no log byte below the seal survives, so subscribers
+    // older than this epoch need the snapshot bootstrap.
+    store->recovered_epoch_ = sealed;
   } else {
     std::fprintf(stderr,
                  "ShardedStore::Recover: sealing checkpoint failed; "

@@ -191,6 +191,30 @@ class ShardedStore : public Store {
   /// fan-out (PageRankOnShardSnapshots), shareable across threads.
   std::vector<ReadTransaction> PinShardSnapshots();
 
+  // --- Replication plumbing (docs/REPLICATION.md) ---
+
+  /// Applies one replicated WAL payload to shard `s` through the recovery
+  /// apply path (replay-mode transaction: upsert semantics, no local WAL
+  /// record). Follower-side only — the payload commits at a fresh LOCAL
+  /// epoch; the primary's epoch is tracked separately by the replica's
+  /// frontier. Out-of-range shards are ignored.
+  void ApplyReplicated(int s, std::string_view payload);
+
+  /// Shard `s`'s WAL file path (empty when the store is not durable) —
+  /// the replication hub's disk catch-up phase reads these directly.
+  std::string wal_path(int s) const {
+    return options_.dir.empty() ? std::string() : ShardWalPath(s);
+  }
+
+  /// The durable directory ("" when in-memory).
+  const std::string& dir() const { return options_.dir; }
+
+  /// The epoch the store's durable state was sealed at by Recover (0 for a
+  /// store that never went through Recover). Every WAL byte predating it
+  /// was truncated by the recovery seal, so a replication subscriber can
+  /// only be served from the log for epochs ABOVE this floor.
+  timestamp_t recovered_epoch() const { return recovered_epoch_; }
+
  private:
   /// In-library access for the write-session implementation
   /// (sharded_store.cc), which lives outside the class.
@@ -217,6 +241,7 @@ class ShardedStore : public Store {
   std::shared_ptr<EpochDomain> domain_;
   std::vector<std::unique_ptr<Graph>> shards_;
   std::atomic<uint64_t> next_shard_{0};
+  timestamp_t recovered_epoch_ = 0;
 };
 
 }  // namespace livegraph

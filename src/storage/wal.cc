@@ -100,6 +100,12 @@ void Wal::AppendBatch(const std::vector<Record>& records) {
   WritevAll(iov_.data(), iov_.size());
   bytes_written_ += total;
   if (options_.fsync && fdatasync(fd_) != 0) Die("fdatasync");
+  // Tee the now-durable batch to replication (post-fsync: a subscriber can
+  // never observe a record the primary could still lose). Still inside the
+  // single-appender section, so the sink sees batches in exact log order.
+  if (DurableSink* sink = sink_.load(std::memory_order_acquire)) {
+    sink->OnDurableBatch(records);
+  }
   appending_.store(0, std::memory_order_release);
 }
 
@@ -144,63 +150,6 @@ void Wal::Reset() {
   if (lseek(fd_, 0, SEEK_SET) < 0) Die("lseek");
   if (options_.fsync && fdatasync(fd_) != 0) Die("fdatasync");
   bytes_written_ = 0;
-}
-
-Wal::Reader::Reader(const std::string& path) {
-  fd_ = open(path.c_str(), O_RDONLY);
-  if (fd_ < 0) return;  // missing WAL == empty WAL
-  off_t size = lseek(fd_, 0, SEEK_END);
-  if (size > 0) {
-    buffer_.resize(static_cast<size_t>(size));
-    ssize_t got = pread(fd_, buffer_.data(), buffer_.size(), 0);
-    if (got != size) buffer_.clear();
-  }
-}
-
-Wal::Reader::~Reader() {
-  if (fd_ >= 0) close(fd_);
-}
-
-void Wal::Reader::TruncateTornTail(const std::string& path) const {
-  if (pos_ >= buffer_.size()) return;  // whole file parsed: nothing torn
-  if (truncate(path.c_str(), static_cast<off_t>(pos_)) != 0) {
-    std::fprintf(stderr, "Wal: torn-tail truncation of %s failed: %s\n",
-                 path.c_str(), std::strerror(errno));
-  }
-}
-
-bool Wal::Reader::Next(timestamp_t* epoch, uint32_t* participants,
-                       std::string* payload) {
-  constexpr size_t kHeader = sizeof(RecordHeader);
-  if (pos_ + kHeader > buffer_.size()) return false;
-  uint32_t len, crc;
-  std::memcpy(&len, buffer_.data() + pos_, sizeof(len));
-  std::memcpy(&crc, buffer_.data() + pos_ + 4, sizeof(crc));
-  std::memcpy(epoch, buffer_.data() + pos_ + 8, sizeof(*epoch));
-  std::memcpy(participants, buffer_.data() + pos_ + 16,
-              sizeof(*participants));
-  if (pos_ + kHeader + len > buffer_.size()) return false;  // torn tail
-  const uint8_t* body = buffer_.data() + pos_ + kHeader;
-  uint32_t expect = Crc32c(epoch, sizeof(*epoch));
-  expect = Crc32c(participants, sizeof(*participants), expect);
-  expect = Crc32c(body, len, expect);
-  if (expect != crc) {
-    // Corrupt record terminates replay. Failing on the very FIRST record
-    // of a non-empty log is indistinguishable from "empty log" to the
-    // caller, and the usual cause is a file written with a different
-    // record framing — say so instead of silently replaying nothing.
-    if (pos_ == 0) {
-      std::fprintf(stderr,
-                   "Wal: first record fails its CRC (%zu bytes on disk) — "
-                   "corrupt log or incompatible record framing; replaying "
-                   "nothing\n",
-                   buffer_.size());
-    }
-    return false;
-  }
-  payload->assign(reinterpret_cast<const char*>(body), len);
-  pos_ += kHeader + len;
-  return true;
 }
 
 }  // namespace livegraph

@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "storage/wal_reader.h"
 #include "util/types.h"
 
 namespace livegraph {
@@ -56,6 +57,18 @@ class Wal {
     std::string_view payload;
   };
 
+  /// Observer of durable batches — the replication tee (docs/REPLICATION.md).
+  /// OnDurableBatch runs inside the single-appender section immediately
+  /// after the batch's fdatasync returns, so every record it sees is on
+  /// stable storage and notifications arrive in exact log order. The callee
+  /// must not call back into this Wal and should only copy the records out
+  /// (the payload views borrow the committing workers' buffers).
+  class DurableSink {
+   public:
+    virtual ~DurableSink() = default;
+    virtual void OnDurableBatch(const std::vector<Record>& records) = 0;
+  };
+
   explicit Wal(Options options);
   ~Wal();
 
@@ -74,6 +87,15 @@ class Wal {
   /// Truncates the log (after a durable checkpoint supersedes it, §6).
   void Reset();
 
+  /// Installs (nullptr clears) the durable-batch tee. The pointer is read
+  /// with acquire semantics on every append, so installing before the
+  /// first append (the replication hub does it at attach time, before the
+  /// server accepts traffic) needs no further synchronization. The sink
+  /// must outlive the Wal or be cleared first.
+  void SetDurableSink(DurableSink* sink) {
+    sink_.store(sink, std::memory_order_release);
+  }
+
   uint64_t bytes_written() const { return bytes_written_; }
   const std::string& path() const { return options_.path; }
 
@@ -90,56 +112,13 @@ class Wal {
                            const std::string& final_path);
 
   /// Replays records from a WAL file in order. Stops at EOF or the first
-  /// corrupt/torn record.
-  class Reader {
-   public:
-    explicit Reader(const std::string& path);
-    ~Reader();
-
-    /// Returns false at end of log.
-    bool Next(timestamp_t* epoch, uint32_t* participants,
-              std::string* payload);
-    bool Next(timestamp_t* epoch, std::string* payload) {
-      uint32_t participants = 0;
-      return Next(epoch, &participants, payload);
-    }
-
-    /// Byte length of the valid record prefix consumed so far. After a
-    /// scan to the end, everything past this offset is a torn/corrupt
-    /// tail — recovery truncates to it so post-recovery appends stay
-    /// reachable by the next replay.
-    size_t valid_bytes() const { return pos_; }
-    size_t file_bytes() const { return buffer_.size(); }
-
-    /// Restarts iteration over the already-loaded buffer (recovery scans
-    /// the log twice — epoch bounds, then replay — without re-reading the
-    /// file).
-    void Rewind() { pos_ = 0; }
-
-    /// After a scan to the end: truncates the on-disk file at `path` to
-    /// the valid record prefix, cutting off a torn/corrupt tail left by a
-    /// crash mid-append so post-recovery appends land behind readable
-    /// bytes. No-op when the whole file parsed.
-    void TruncateTornTail(const std::string& path) const;
-
-   private:
-    int fd_ = -1;
-    std::vector<uint8_t> buffer_;
-    size_t pos_ = 0;
-  };
+  /// corrupt/torn record. The parse loop itself lives in
+  /// storage/wal_reader.h, shared with the replication tail-reader.
+  using Reader = WalReader;
 
  private:
-  /// Matches the record framing byte-for-byte: 4+4 bytes, an 8-aligned
-  /// epoch, then participants + padding, so one iovec covers the whole
-  /// header.
-  struct RecordHeader {
-    uint32_t len;
-    uint32_t crc;
-    timestamp_t epoch;
-    uint32_t participants;
-    uint32_t reserved;
-  };
-  static_assert(sizeof(RecordHeader) == 24, "framing layout");
+  /// The on-disk framing, shared with the reader side.
+  using RecordHeader = WalRecordHeader;
 
   void WritevAll(struct iovec* iov, size_t count);
 
@@ -155,6 +134,9 @@ class Wal {
   /// of AppendBatch; a second concurrent appender aborts loudly instead of
   /// interleaving torn records.
   std::atomic<uint32_t> appending_{0};
+  /// Durable-batch tee (replication). Atomic so installation from the
+  /// serving thread is safe against a concurrent commit-manager append.
+  std::atomic<DurableSink*> sink_{nullptr};
 };
 
 }  // namespace livegraph

@@ -1,0 +1,108 @@
+#include "storage/wal_reader.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace livegraph {
+
+bool ParseWalRecord(const uint8_t* data, size_t size, size_t pos,
+                    WalRecordView* out) {
+  constexpr size_t kHeader = sizeof(WalRecordHeader);
+  if (pos > size || size - pos < kHeader) return false;
+  uint32_t len, crc;
+  std::memcpy(&len, data + pos, sizeof(len));
+  std::memcpy(&crc, data + pos + 4, sizeof(crc));
+  std::memcpy(&out->epoch, data + pos + 8, sizeof(out->epoch));
+  std::memcpy(&out->participants, data + pos + 16,
+              sizeof(out->participants));
+  if (size - pos - kHeader < len) return false;  // torn tail
+  const uint8_t* body = data + pos + kHeader;
+  uint32_t expect = Crc32c(&out->epoch, sizeof(out->epoch));
+  expect = Crc32c(&out->participants, sizeof(out->participants), expect);
+  expect = Crc32c(body, len, expect);
+  if (expect != crc) {
+    // Corrupt record terminates replay. Failing on the very FIRST record
+    // of a non-empty log is indistinguishable from "empty log" to the
+    // caller, and the usual cause is a file written with a different
+    // record framing — say so instead of silently replaying nothing.
+    if (pos == 0) {
+      std::fprintf(stderr,
+                   "Wal: first record fails its CRC (%zu bytes on disk) — "
+                   "corrupt log or incompatible record framing; replaying "
+                   "nothing\n",
+                   size);
+    }
+    return false;
+  }
+  out->payload = body;
+  out->payload_len = len;
+  return true;
+}
+
+WalReader::WalReader(const std::string& path) {
+  fd_ = open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) return;  // missing WAL == empty WAL
+  off_t size = lseek(fd_, 0, SEEK_END);
+  if (size > 0) {
+    buffer_.resize(static_cast<size_t>(size));
+    ssize_t got = pread(fd_, buffer_.data(), buffer_.size(), 0);
+    if (got != size) buffer_.clear();
+  }
+}
+
+WalReader::~WalReader() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool WalReader::Next(WalRecordView* view) {
+  if (!ParseWalRecord(buffer_.data(), buffer_.size(), pos_, view)) {
+    return false;
+  }
+  pos_ += sizeof(WalRecordHeader) + view->payload_len;
+  return true;
+}
+
+bool WalReader::Next(timestamp_t* epoch, uint32_t* participants,
+                     std::string* payload) {
+  WalRecordView view;
+  if (!Next(&view)) return false;
+  *epoch = view.epoch;
+  *participants = view.participants;
+  payload->assign(reinterpret_cast<const char*>(view.payload),
+                  view.payload_len);
+  return true;
+}
+
+bool WalReader::ReadMore() {
+  if (fd_ < 0) return false;
+  off_t size = lseek(fd_, 0, SEEK_END);
+  if (size <= 0 || static_cast<size_t>(size) <= buffer_.size()) {
+    return false;
+  }
+  size_t old_size = buffer_.size();
+  buffer_.resize(static_cast<size_t>(size));
+  ssize_t got = pread(fd_, buffer_.data() + old_size,
+                      buffer_.size() - old_size,
+                      static_cast<off_t>(old_size));
+  if (got < 0) got = 0;
+  // A short read (file still growing, or I/O error) keeps what arrived;
+  // the next ReadMore picks up from the new end.
+  buffer_.resize(old_size + static_cast<size_t>(got));
+  return buffer_.size() > old_size;
+}
+
+void WalReader::TruncateTornTail(const std::string& path) const {
+  if (pos_ >= buffer_.size()) return;  // whole file parsed: nothing torn
+  if (truncate(path.c_str(), static_cast<off_t>(pos_)) != 0) {
+    std::fprintf(stderr, "Wal: torn-tail truncation of %s failed: %s\n",
+                 path.c_str(), std::strerror(errno));
+  }
+}
+
+}  // namespace livegraph

@@ -33,9 +33,14 @@
 //                     held (the contended-vertex requeue).
 //   kWalAppend        Wal::AppendBatch — not a mutex but a single-writer
 //                     section owned by the commit-manager thread, which
-//                     holds nothing else; ranked last so any future code
-//                     that tried to append while holding engine locks
+//                     holds nothing else; ranked near-last so any future
+//                     code that tried to append while holding engine locks
 //                     trips the checker.
+//   kReplicationLog   ReplicationLog::mu_ — guards the primary's in-memory
+//                     replication buffer. Acquired by the WAL durable-sink
+//                     tee INSIDE the append section (hence above
+//                     kWalAppend) and by subscriber threads that hold
+//                     nothing; it is a leaf — nothing is acquired under it.
 //
 // All of it compiles away without LIVEGRAPH_DCHECK_ENABLED.
 #ifndef LIVEGRAPH_UTIL_LOCK_RANK_H_
@@ -54,13 +59,14 @@ enum class LockRank : uint8_t {
   kCommitCoordinator = 3,
   kDirtySet = 4,
   kWalAppend = 5,
+  kReplicationLog = 6,
 };
 
 #ifdef LIVEGRAPH_DCHECK_ENABLED
 
 namespace lock_rank {
 
-inline constexpr int kNumRanks = 6;
+inline constexpr int kNumRanks = 7;
 
 /// Per-thread count of held locks at each rank.
 struct ThreadLedger {
@@ -80,6 +86,7 @@ inline const char* Name(LockRank rank) {
     case LockRank::kCommitCoordinator: return "commit-coordinator";
     case LockRank::kDirtySet: return "dirty-set";
     case LockRank::kWalAppend: return "wal-append";
+    case LockRank::kReplicationLog: return "replication-log";
   }
   return "?";
 }

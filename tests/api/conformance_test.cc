@@ -394,6 +394,29 @@ INSTANTIATE_TEST_SUITE_P(
                          return MakeLoopbackStore(
                              std::make_unique<ShardedStore>(
                                  SmallShardOptions()));
+                       })),
+        // The replication topology behind the same contract: a durable
+        // sharded primary with WAL shipping attached, a follower applying
+        // the stream, and a client that writes to the primary and reads
+        // from the follower under the read-your-epoch rule
+        // (docs/REPLICATION.md). Every read contract is answered by the
+        // replica over real loopback TCP.
+        std::make_pair("ReplicatedLiveGraph",
+                       StoreFactory([] {
+                         static int counter = 0;
+                         std::string root =
+                             "/tmp/lg_conformance_repl_" +
+                             std::to_string(::getpid()) + "_" +
+                             std::to_string(counter++);
+                         std::filesystem::remove_all(root);
+                         std::filesystem::create_directories(root);
+                         ShardOptions options = SmallShardOptions();
+                         options.dir = root + "/primary";
+                         options.graph.fsync_wal = false;
+                         return std::unique_ptr<Store>(new ScopedDirStore(
+                             MakeReplicatedLoopbackStore(options,
+                                                         root + "/replica"),
+                             root));
                        }))),
     [](const auto& info) { return info.param.first; });
 
