@@ -17,8 +17,12 @@
 #include <string>
 #include <vector>
 
+#include <cerrno>
+#include <filesystem>
+
 #include "core/graph.h"
 #include "core/transaction.h"
+#include "util/fault_injection.h"
 #include "util/raw_io.h"
 #include "util/thread_pool.h"
 
@@ -66,11 +70,44 @@ timestamp_t Graph::CheckpointSnapshot(const ReadTransaction& snapshot,
   const timestamp_t epoch = snapshot.read_epoch();
   const vertex_t vertex_count = VertexCount();
 
-  std::vector<std::FILE*> shards(static_cast<size_t>(threads));
+  {
+    // A missing directory is a config/first-run condition, not an I/O
+    // fault; create it rather than failing the cadence.
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+  }
+
+  // Shard files are written under tmp names and renamed into place only
+  // when every byte landed, so a failed checkpoint never corrupts the
+  // previous one: the old MANIFEST (and the shard files it describes)
+  // stay authoritative and the next cadence simply retries.
+  std::vector<std::FILE*> shards(static_cast<size_t>(threads), nullptr);
+  std::vector<int> shard_errs(static_cast<size_t>(threads), 0);
+  auto cleanup_tmps = [&](const char* what, int err) -> timestamp_t {
+    for (std::FILE* f : shards) {
+      if (f != nullptr) std::fclose(f);
+    }
+    for (int s = 0; s < threads; ++s) {
+      std::error_code ec;
+      std::filesystem::remove(ShardPath(checkpoint_dir, s) + ".tmp", ec);
+    }
+    std::error_code ec;
+    std::filesystem::remove(ManifestPath(checkpoint_dir) + ".tmp", ec);
+    std::fprintf(stderr,
+                 "Checkpoint: %s failed: %s (errno %d, dir %s) — previous "
+                 "checkpoint stays authoritative\n",
+                 what, std::strerror(err), err, checkpoint_dir.c_str());
+    return -1;
+  };
   for (int s = 0; s < threads; ++s) {
-    shards[static_cast<size_t>(s)] =
-        std::fopen(ShardPath(checkpoint_dir, s).c_str(), "wb");
-    WriteRaw(shards[static_cast<size_t>(s)], kShardMagic);
+    const std::string tmp = ShardPath(checkpoint_dir, s) + ".tmp";
+    if (faults::Action fault = LIVEGRAPH_FAULT("ckpt.open")) {
+      return cleanup_tmps("open", fault.err);
+    }
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return cleanup_tmps("open", errno);
+    shards[static_cast<size_t>(s)] = f;
+    WriteRaw(f, kShardMagic);
   }
 
   // Static range split: shard s owns vertices [s*per, (s+1)*per).
@@ -79,6 +116,10 @@ timestamp_t Graph::CheckpointSnapshot(const ReadTransaction& snapshot,
   ParallelFor(0, threads, threads, [&](int64_t s0, int64_t s1) {
     for (int64_t s = s0; s < s1; ++s) {
       std::FILE* f = shards[static_cast<size_t>(s)];
+      if (faults::Action fault = LIVEGRAPH_FAULT("ckpt.write")) {
+        shard_errs[static_cast<size_t>(s)] = fault.err;
+        continue;
+      }
       vertex_t lo = static_cast<vertex_t>(s) * per;
       vertex_t hi = std::min<vertex_t>(lo + per, vertex_count);
       std::vector<std::pair<vertex_t, std::string_view>> edges;
@@ -124,10 +165,34 @@ timestamp_t Graph::CheckpointSnapshot(const ReadTransaction& snapshot,
     }
   }, /*chunk=*/1);
 
-  for (std::FILE* f : shards) {
-    std::fflush(f);
-    ::fsync(::fileno(f));  // shard contents durable before the manifest
+  for (int s = 0; s < threads; ++s) {
+    std::FILE* f = shards[static_cast<size_t>(s)];
+    int err = shard_errs[static_cast<size_t>(s)];
+    if (err == 0 && (std::ferror(f) != 0 || std::fflush(f) != 0)) {
+      err = errno != 0 ? errno : EIO;
+    }
+    if (err == 0) {
+      if (faults::Action fault = LIVEGRAPH_FAULT("ckpt.sync")) {
+        err = fault.err;
+      } else if (::fsync(::fileno(f)) != 0) {
+        err = errno;  // shard contents must be durable before the manifest
+      }
+    }
+    if (err != 0) {
+      shards[static_cast<size_t>(s)] = nullptr;
+      std::fclose(f);
+      return cleanup_tmps("write/sync", err);
+    }
+  }
+  for (std::FILE*& f : shards) {
     std::fclose(f);
+    f = nullptr;
+  }
+  for (int s = 0; s < threads; ++s) {
+    if (!Wal::CommitRename(ShardPath(checkpoint_dir, s) + ".tmp",
+                           ShardPath(checkpoint_dir, s))) {
+      return cleanup_tmps("rename", EIO);
+    }
   }
 
   // Manifest last: its presence marks the checkpoint complete. fsync the
@@ -135,14 +200,21 @@ timestamp_t Graph::CheckpointSnapshot(const ReadTransaction& snapshot,
   // itself survives a crash.
   std::string tmp = ManifestPath(checkpoint_dir) + ".tmp";
   std::FILE* manifest = std::fopen(tmp.c_str(), "wb");
+  if (manifest == nullptr) return cleanup_tmps("open(manifest)", errno);
   WriteRaw(manifest, epoch);
   WriteRaw(manifest, threads);
   vertex_t next = VertexCount();
   WriteRaw(manifest, next);
-  std::fflush(manifest);
-  ::fsync(::fileno(manifest));
+  int err = 0;
+  if (std::ferror(manifest) != 0 || std::fflush(manifest) != 0) {
+    err = errno != 0 ? errno : EIO;
+  }
+  if (err == 0 && ::fsync(::fileno(manifest)) != 0) err = errno;
   std::fclose(manifest);
-  Wal::CommitRename(tmp, ManifestPath(checkpoint_dir));
+  if (err != 0) return cleanup_tmps("write(manifest)", err);
+  if (!Wal::CommitRename(tmp, ManifestPath(checkpoint_dir))) {
+    return cleanup_tmps("rename(manifest)", EIO);
+  }
   return epoch;
 }
 

@@ -148,7 +148,7 @@ bool CommitManager::DequeueBatch(std::vector<Request*>* batch) {
 
 timestamp_t CommitManager::Persist(std::string_view wal_payload,
                                    timestamp_t external_epoch,
-                                   uint32_t participants) {
+                                   uint32_t participants, Status* error) {
   Request request;
   request.payload = wal_payload;
   request.external_epoch = external_epoch;
@@ -161,6 +161,7 @@ timestamp_t CommitManager::Persist(std::string_view wal_payload,
   // batches re-check their own flag and go back to sleep.
   for (int spin = 0; spin < spin_iters_; ++spin) {
     if (request.durable.load(std::memory_order_acquire) != 0) {
+      if (error != nullptr) *error = request.status;
       return request.epoch;
     }
     CpuRelax();
@@ -170,6 +171,7 @@ timestamp_t CommitManager::Persist(std::string_view wal_payload,
     if (request.durable.load(std::memory_order_acquire) != 0) break;
     FutexWait(&durable_word_, word);
   }
+  if (error != nullptr) *error = request.status;
   return request.epoch;
 }
 
@@ -219,14 +221,21 @@ void CommitManager::ThreadMain() {
 
     // Persist the whole batch: writev gathered straight from the workers'
     // payload buffers, one fsync. Workers stay parked on the durability
-    // word.
-    if (wal_ != nullptr && !records.empty()) wal_->AppendBatch(records);
+    // word. A failed append/sync poisons the WAL, degrades the engine to
+    // read-only, and fails every member of the group — none of their
+    // records reached stable storage (the fsync covers the whole batch).
+    Status wal_status = Status::kOk;
+    if (wal_ != nullptr && !records.empty()) {
+      wal_status = wal_->AppendBatch(records);
+      if (wal_status != Status::kOk) graph_->EnterDegraded(wal_status);
+    }
 
     // Release the batch into its apply phase with one wake, then loop
     // straight into assembling the next one — batch N+1's WAL write
     // overlaps batch N's apply phase; visibility order is enforced by the
     // domain's cascade, not by this thread.
     for (Request* request : batch) {
+      request->status = wal_status;
       request->durable.store(1, std::memory_order_release);
     }
     durable_word_.fetch_add(1, std::memory_order_release);

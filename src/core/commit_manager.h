@@ -59,9 +59,16 @@ class CommitManager {
   /// counts the shard WALs holding a piece of it); otherwise the batch's
   /// fresh epoch is assigned. The caller must then run its apply phase and
   /// call FinishApply(TWE). The payload is borrowed until return.
+  ///
+  /// When the WAL append/sync fails, *error (if non-null) receives the
+  /// typed status (kIOError/kResourceExhausted) and the engine has entered
+  /// degraded mode. The returned epoch is still valid and the caller MUST
+  /// still account for it to the domain (undo its writes, then
+  /// FinishApply) — every acquired epoch needs exactly one MarkApplied per
+  /// participant on every path, or the visibility frontier wedges.
   timestamp_t Persist(std::string_view wal_payload,
                       timestamp_t external_epoch = 0,
-                      uint32_t participants = 1);
+                      uint32_t participants = 1, Status* error = nullptr);
 
   /// Signals the domain that the calling transaction completed its apply
   /// phase. With `wait_visible` (every fresh commit) it then blocks until
@@ -78,6 +85,7 @@ class CommitManager {
     timestamp_t external_epoch = 0;
     uint32_t participants = 1;
     timestamp_t epoch = 0;                // result, set by the manager
+    Status status = Status::kOk;          // result, set before durable flips
     std::atomic<uint32_t> durable{0};
   };
 

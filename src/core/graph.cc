@@ -245,7 +245,23 @@ block_ptr_t Graph::NewTel(vertex_t src, uint8_t order) {
 }
 
 void Graph::ResetWal() {
-  if (wal_ != nullptr) wal_->Reset();
+  // A failed truncate poisons the log; the next commit group surfaces it
+  // and degrades the engine. The stale log contents are harmless either
+  // way — recovery filters records by epoch against the manifest.
+  if (wal_ != nullptr) (void)wal_->Reset();
+}
+
+void Graph::EnterDegraded(Status status) {
+  if (status == Status::kOk) return;
+  Status expected = Status::kOk;
+  if (degraded_.compare_exchange_strong(expected, status,
+                                        std::memory_order_acq_rel)) {
+    std::fprintf(stderr,
+                 "Graph: entering read-only degraded mode (%s) — reads keep "
+                 "serving the last durable epoch, writes are rejected; "
+                 "restart to recover\n",
+                 StatusName(status));
+  }
 }
 
 Graph::MemoryStats Graph::CollectMemoryStats() const {

@@ -96,7 +96,9 @@ class Graph {
   /// Writes a consistent checkpoint of the latest snapshot into
   /// `checkpoint_dir` using `threads` writer threads (§6 "Recovery"; the
   /// WAL stays append-only — recovery filters by epoch). Returns the
-  /// checkpointed epoch.
+  /// checkpointed epoch, or -1 when an I/O failure prevented the
+  /// checkpoint — the previous checkpoint (if any) stays authoritative
+  /// and the next cadence retries.
   timestamp_t Checkpoint(const std::string& checkpoint_dir, int threads = 1);
 
   /// Writes a checkpoint of `snapshot` (its pinned epoch, exact) into
@@ -146,6 +148,19 @@ class Graph {
   std::map<size_t, size_t> CollectTelSizeHistogram() const;
 
   const GraphOptions& options() const { return options_; }
+
+  /// Degraded-mode status: kOk while healthy; the first durable-path
+  /// failure (WAL append/sync) latches its typed status here and the
+  /// engine becomes read-only — reads/scans/analytics keep serving the
+  /// last durable epoch, new write transactions are rejected with this
+  /// status at commit. Cleared only by restart + recovery.
+  Status degraded_status() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
+
+  /// Latches degraded mode (first error wins). Called by the commit
+  /// pipeline when the WAL poisons itself; idempotent.
+  void EnterDegraded(Status status);
 
  private:
   friend class CommitManager;
@@ -233,6 +248,8 @@ class Graph {
 
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<CommitManager> commit_manager_;
+  /// Sticky read-only degraded mode (see degraded_status()).
+  std::atomic<Status> degraded_{Status::kOk};
 
   // Background compaction.
   std::atomic<bool> shutdown_{false};

@@ -481,9 +481,31 @@ StatusOr<timestamp_t> Transaction::Commit() {
     scratch_->Reset();
     return tre_;
   }
+  // Degraded engine: the WAL is poisoned, so this commit could never be
+  // durable. Reject before the persist phase; the staged writes (still
+  // private -TID entries) are undone like an abort.
+  if (Status degraded = graph_->degraded_status(); degraded != Status::kOk) {
+    Abort();
+    return degraded;
+  }
   // Persist phase: group commit through the transaction manager (§5).
   std::string_view payload = replay_mode_ ? std::string_view{} : scratch_->wal_payload;
-  write_epoch_ = graph_->commit_manager_->Persist(payload);
+  Status persist_error = Status::kOk;
+  write_epoch_ = graph_->commit_manager_->Persist(payload, 0, 1,
+                                                  &persist_error);
+  if (persist_error != Status::kOk) {
+    // The group's WAL batch never reached stable storage. Undo the staged
+    // writes (still private: ApplyCommit has not published anything), then
+    // report the epoch applied anyway — every acquired epoch needs exactly
+    // one MarkApplied per participant or the visibility frontier wedges.
+    // The epoch becomes an empty visible epoch.
+    UndoWrites();
+    ReleaseLocksAndSlot();
+    scratch_->Reset();
+    state_ = State::kAborted;
+    graph_->commit_manager_->FinishApply(write_epoch_);
+    return persist_error;
+  }
   // Apply phase.
   ApplyCommit(write_epoch_);
   graph_->commit_manager_->FinishApply(write_epoch_);
@@ -517,10 +539,30 @@ StatusOr<timestamp_t> Transaction::CommitAt(timestamp_t epoch,
     scratch_->Reset();
     return epoch;
   }
+  // Degraded engine: reject the piece, but this shard is still a declared
+  // participant of `epoch` — report it applied so the frontier stays dense.
+  if (Status degraded = graph_->degraded_status(); degraded != Status::kOk) {
+    Abort();
+    graph_->epoch_domain()->MarkApplied(epoch);
+    return degraded;
+  }
   std::string_view payload =
       replay_mode_ ? std::string_view{} : scratch_->wal_payload;
-  write_epoch_ =
-      graph_->commit_manager_->Persist(payload, epoch, participants);
+  Status persist_error = Status::kOk;
+  write_epoch_ = graph_->commit_manager_->Persist(payload, epoch,
+                                                  participants,
+                                                  &persist_error);
+  if (persist_error != Status::kOk) {
+    // Same discipline as Commit(): undo the (still private) staged writes
+    // and settle this participant's MarkApplied so the epoch can pass.
+    UndoWrites();
+    ReleaseLocksAndSlot();
+    scratch_->Reset();
+    state_ = State::kAborted;
+    graph_->commit_manager_->FinishApply(write_epoch_,
+                                         /*wait_visible=*/false);
+    return persist_error;
+  }
   ApplyCommit(write_epoch_);
   graph_->commit_manager_->FinishApply(write_epoch_, /*wait_visible=*/false);
   MarkDirty();

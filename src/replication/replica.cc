@@ -2,8 +2,10 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <utility>
@@ -11,6 +13,7 @@
 
 #include "server/wire.h"
 #include "storage/wal.h"
+#include "util/fault_injection.h"
 #include "util/raw_io.h"
 
 namespace livegraph {
@@ -72,10 +75,13 @@ void Replica::ThreadMain() {
   int64_t backoff_ms = options_.reconnect_backoff_ms;
   bool first = true;
   while (running_.load(std::memory_order_acquire)) {
+    // Count the resubscription when the non-first session STARTS: a
+    // session that replaces a torn stream may itself run until Stop(),
+    // and observers (tests, metrics) must see it immediately.
+    if (!first) resubscribes_.fetch_add(1, std::memory_order_relaxed);
     const uint64_t before = frames_.load(std::memory_order_relaxed);
     RunSession();
     if (!running_.load(std::memory_order_acquire)) break;
-    if (!first) resubscribes_.fetch_add(1, std::memory_order_relaxed);
     first = false;
     // A session that streamed anything earned a fresh backoff.
     if (frames_.load(std::memory_order_relaxed) != before) {
@@ -94,6 +100,11 @@ void Replica::ThreadMain() {
 void Replica::RunSession() {
   Socket sock = ConnectTcp(options_.primary_host, options_.primary_port);
   if (!sock.valid()) return;
+  // Deadlines: the primary heartbeats an idle push stream every ~2s, so a
+  // 15s silent socket means a dead/hung primary — fail the session and let
+  // the reconnect loop resubscribe rather than wedging this thread.
+  sock.SetRecvTimeout(15'000);
+  sock.SetSendTimeout(15'000);
   {
     std::lock_guard<std::mutex> lock(socket_mu_);
     // Checked under the same lock Stop() holds for its Shutdown(): if
@@ -259,21 +270,44 @@ void Replica::BuildFreshStore(uint32_t shards) {
 void Replica::PersistState() {
   if (options_.dir.empty() || store_ == nullptr) return;
   const timestamp_t covered = frontier_.Frontier();
-  store_->Checkpoint();
+  // The REPLICA_STATE frontier is a promise that the durable store covers
+  // it; a failed checkpoint must therefore skip the state write entirely —
+  // the previous state file keeps describing the previous checkpoint, and
+  // the next cadence (or a restart's resubscribe-low) retries.
+  if (store_->Checkpoint() < 0) return;
   // State after checkpoint: at rest, state <= checkpointed coverage. A
   // crash between the two resubscribes low and re-applies the overlap
   // (upsert-safe, order-convergent — see header).
   const std::string tmp = StatePath() + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return;
-  WriteRaw(f, kReplicaStateMagic);
-  WriteRaw(f, kReplicaStateVersion);
-  WriteRaw(f, static_cast<uint32_t>(store_->num_shards()));
-  WriteRaw(f, covered);
-  std::fflush(f);
-  ::fsync(::fileno(f));
-  std::fclose(f);
-  Wal::CommitRename(tmp, StatePath());
+  std::FILE* f = nullptr;
+  int err = 0;
+  if (faults::Action fault = LIVEGRAPH_FAULT("replica.state")) {
+    err = fault.err != 0 ? fault.err : EIO;
+  } else {
+    f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) err = errno != 0 ? errno : EIO;
+  }
+  if (err == 0) {
+    WriteRaw(f, kReplicaStateMagic);
+    WriteRaw(f, kReplicaStateVersion);
+    WriteRaw(f, static_cast<uint32_t>(store_->num_shards()));
+    WriteRaw(f, covered);
+    if (std::ferror(f) != 0 || std::fflush(f) != 0) {
+      err = errno != 0 ? errno : EIO;
+    }
+    if (err == 0 && ::fsync(::fileno(f)) != 0) err = errno;
+    std::fclose(f);
+  }
+  if (err != 0) {
+    std::fprintf(stderr,
+                 "livegraph: replica state write failed: %s (errno %d, "
+                 "path %s) — previous state stays authoritative\n",
+                 std::strerror(err), err, tmp.c_str());
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  if (!Wal::CommitRename(tmp, StatePath())) return;
   durable_frontier_ = covered;
   last_persisted_frontier_ = covered;
 }

@@ -1,6 +1,7 @@
 #include "server/graph_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "replication/replication_hub.h"
 #include "server/wire.h"
 #include "storage/wal_reader.h"
+#include "util/fault_injection.h"
 
 namespace livegraph {
 
@@ -493,6 +495,12 @@ class GraphServer::Connection {
     std::vector<ReplicationLog::Entry> entries;
     int idle_rounds = 0;
     while (server_->running_.load(std::memory_order_acquire)) {
+      if (LIVEGRAPH_FAULT("repl.push")) {
+        // Injected push failure: tear the stream; the follower notices the
+        // dead socket, reconnects, and resubscribes from its frontier.
+        socket_.Shutdown();
+        return;
+      }
       while (socket_.Readable(0)) {
         Frame ack;
         if (!socket_.ReadFrame(&ack)) return;
@@ -649,6 +657,10 @@ void GraphServer::AcceptLoop() {
   while (running_.load(std::memory_order_acquire)) {
     Socket conn = AcceptTcp(listener_);
     if (!conn.valid()) break;  // listener shut down (or fatal error)
+    // Send deadline only: a hung peer fails its connection thread's writes
+    // instead of wedging it. Receives stay unbounded — an idle client
+    // parked between requests is normal, not a fault.
+    conn.SetSendTimeout(options_.io_timeout_ms);
     std::lock_guard<std::mutex> lock(connections_mu_);
     // Reap finished connections so a long-lived server with connection
     // churn doesn't accumulate dead session objects.
@@ -665,6 +677,24 @@ void GraphServer::AcceptLoop() {
         std::make_unique<Connection>(this, std::move(conn)));
     connections_.back()->Start();
   }
+}
+
+void GraphServer::Drain(int64_t deadline_ms) {
+  if (!running_.load(std::memory_order_acquire)) return;
+  // Stop accepting immediately: shut the listener down and collect the
+  // accept thread, but leave running_ set so in-flight sessions keep
+  // serving until they finish or the deadline lands.
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  while (active_connections_.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Whatever remains (hung clients, replication push streams — which never
+  // end voluntarily) is torn down the hard way.
+  Stop();
 }
 
 void GraphServer::Stop() {

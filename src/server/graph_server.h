@@ -54,6 +54,11 @@ class GraphServer {
     /// frontier on a follower). Null rejects epoch-gated requests with a
     /// positive bound. Not owned; must outlive Stop().
     EpochFrontier* frontier = nullptr;
+    /// Per-operation send deadline installed on every accepted socket
+    /// (Socket::SetSendTimeout): a peer that stops draining its replies or
+    /// its replication push stream fails the write instead of wedging the
+    /// connection thread forever. 0 disables.
+    int64_t io_timeout_ms = 30'000;
   };
 
   /// Serves `store`; does not own it. The store must outlive Stop().
@@ -65,6 +70,13 @@ class GraphServer {
   /// Stops accepting, tears down live connections (aborting their open
   /// transactions), and joins every thread. Idempotent.
   void Stop();
+
+  /// Graceful drain (SIGTERM path): stops accepting new connections
+  /// immediately, then waits up to `deadline_ms` for in-flight sessions to
+  /// finish on their own before tearing down whatever remains via Stop().
+  /// Replication push streams never finish voluntarily, so the deadline is
+  /// also the bound on how long a drain can take.
+  void Drain(int64_t deadline_ms);
 
   /// Port actually bound (resolves port 0 requests). Valid after Start().
   uint16_t port() const { return port_; }

@@ -50,12 +50,15 @@
 #include "replication/replication_hub.h"
 #include "server/graph_server.h"
 #include "shard/sharded_store.h"
+#include "util/fault_injection.h"
 
 namespace {
 
-volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_stop = 0;  // SIGINT: stop now
+volatile std::sig_atomic_t g_term = 0;  // SIGTERM: graceful drain
 
-void HandleSignal(int) { g_stop = 1; }
+void HandleInt(int) { g_stop = 1; }
+void HandleTerm(int) { g_term = 1; }
 
 struct Flags {
   std::string engine = "LiveGraph";
@@ -72,6 +75,7 @@ struct Flags {
   std::string replica_of;   // "host:port" of the primary (follower mode)
   std::string replica_dir;  // follower durable dir (empty = in-memory)
   int64_t replica_checkpoint_epochs = 65536;
+  int64_t drain_deadline_ms = 5000;  // SIGTERM graceful-drain bound
 };
 
 /// Splits "host:port"; false on a missing/invalid port.
@@ -107,12 +111,17 @@ int Usage(const char* argv0) {
       "          [--scan-batch-edges=N]\n"
       "          [--replica-of=HOST:PORT] [--replica-dir=DIR]\n"
       "          [--replica-checkpoint-epochs=N]\n"
+      "          [--drain-deadline-ms=N] [--faults=SPEC]\n"
       "  --shards=N (N > 1) serves a hash-partitioned ShardedLiveGraph;\n"
       "  LiveGraph engine only. With durability the server recovers its\n"
       "  durable state on start; a sharded server uses --wal-path as its\n"
       "  per-shard WAL/checkpoint directory.\n"
       "  --replica-of runs a read-only follower of that primary\n"
-      "  (docs/REPLICATION.md); --replica-dir makes its state durable.\n",
+      "  (docs/REPLICATION.md); --replica-dir makes its state durable.\n"
+      "  SIGTERM drains gracefully: stop accepting, finish in-flight\n"
+      "  requests (up to --drain-deadline-ms), final checkpoint, exit 0.\n"
+      "  --faults installs fault-injection failpoints (docs/FAULTS.md);\n"
+      "  requires a build with -DLIVEGRAPH_FAULTS=ON.\n",
       argv0);
   return 2;
 }
@@ -171,6 +180,9 @@ std::unique_ptr<livegraph::Store> MakeEngine(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Env-var spec (LIVEGRAPH_FAULTS) first, so an explicit --faults= below
+  // overrides it.
+  livegraph::faults::ConfigureFromEnv();
   Flags flags;
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -197,6 +209,18 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoll(value.c_str()));
     } else if (TakeValue(argv[i], "--replica-checkpoint-epochs", &value)) {
       flags.replica_checkpoint_epochs = std::atoll(value.c_str());
+    } else if (TakeValue(argv[i], "--drain-deadline-ms", &value)) {
+      flags.drain_deadline_ms = std::atoll(value.c_str());
+    } else if (TakeValue(argv[i], "--faults", &value)) {
+      std::string error;
+      if (!livegraph::faults::Configure(value, &error)) {
+        std::fprintf(stderr, "--faults: %s\n", error.c_str());
+        return 2;
+      }
+      if (!livegraph::faults::Enabled()) {
+        std::fprintf(stderr,
+                     "--faults ignored: build with -DLIVEGRAPH_FAULTS=ON\n");
+      }
     } else {
       return Usage(argv[0]);
     }
@@ -243,15 +267,22 @@ int main(int argc, char** argv) {
         unsigned{server.port()});
     std::fflush(stdout);
 
-    std::signal(SIGINT, HandleSignal);
-    std::signal(SIGTERM, HandleSignal);
-    while (g_stop == 0) {
+    std::signal(SIGINT, HandleInt);
+    std::signal(SIGTERM, HandleTerm);
+    while (g_stop == 0 && g_term == 0) {
       struct timespec tick = {0, 200'000'000};
       nanosleep(&tick, nullptr);
     }
     std::printf("livegraph_server: follower shutting down (frontier %lld)\n",
                 static_cast<long long>(replica.frontier().Frontier()));
-    server.Stop();
+    if (g_term != 0) {
+      // Graceful: finish serving in-flight reads before detaching from
+      // the primary (Replica::Stop persists nothing extra — its cadence
+      // checkpoints already bound the re-stream on restart).
+      server.Drain(flags.drain_deadline_ms);
+    } else {
+      server.Stop();
+    }
     replica.Stop();
     return 0;
   }
@@ -290,12 +321,37 @@ int main(int argc, char** argv) {
       unsigned{server.port()});
   std::fflush(stdout);
 
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
-  while (g_stop == 0) {
+  std::signal(SIGINT, HandleInt);
+  std::signal(SIGTERM, HandleTerm);
+  while (g_stop == 0 && g_term == 0) {
     // sleep in 200 ms ticks; signals interrupt promptly enough for a CLI
     struct timespec tick = {0, 200'000'000};
     nanosleep(&tick, nullptr);
+  }
+  if (g_term != 0) {
+    // Graceful SIGTERM drain: stop accepting, let in-flight requests
+    // finish (bounded), then take a final checkpoint so a clean restart
+    // replays (almost) no WAL tail. A degraded engine skips the
+    // checkpoint — its last good one must stay authoritative.
+    std::printf("livegraph_server: draining (%zu connections, %lld ms)\n",
+                server.active_connections(),
+                static_cast<long long>(flags.drain_deadline_ms));
+    std::fflush(stdout);
+    server.Drain(flags.drain_deadline_ms);
+    if (auto* sharded =
+            dynamic_cast<livegraph::ShardedStore*>(engine.get())) {
+      if (sharded->degraded_status() == livegraph::Status::kOk) {
+        sharded->Checkpoint();
+      }
+    } else if (auto* live =
+                   dynamic_cast<livegraph::LiveGraphStore*>(engine.get());
+               live != nullptr && !flags.checkpoint_dir.empty()) {
+      if (live->graph().degraded_status() == livegraph::Status::kOk) {
+        live->graph().Checkpoint(flags.checkpoint_dir);
+      }
+    }
+    std::printf("livegraph_server: drained, exiting\n");
+    return 0;
   }
   std::printf("livegraph_server: shutting down (%zu connections)\n",
               server.active_connections());

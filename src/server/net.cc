@@ -5,11 +5,14 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <ctime>
+
+#include "util/fault_injection.h"
 
 namespace livegraph {
 
@@ -34,12 +37,31 @@ void Socket::Close() {
 }
 
 bool Socket::ReadFull(void* data, size_t size) {
+  if (faults::Action fault = LIVEGRAPH_FAULT("net.recv")) {
+    if (fault.kind == faults::Action::Kind::kShortWrite) {
+      // Consume up to the injected budget, then tear the stream mid-frame
+      // — the receiver-side half of a torn/half-closed connection.
+      size_t budget = static_cast<size_t>(fault.arg) < size
+                          ? static_cast<size_t>(fault.arg)
+                          : size;
+      char* at = static_cast<char*>(data);
+      while (budget > 0) {
+        ssize_t n = ::recv(fd_, at, budget, 0);
+        if (n <= 0) break;
+        at += n;
+        budget -= static_cast<size_t>(n);
+      }
+    }
+    Shutdown();
+    return false;
+  }
   char* at = static_cast<char*>(data);
   while (size > 0) {
     ssize_t n = ::recv(fd_, at, size, 0);
     if (n == 0) return false;  // orderly EOF
     if (n < 0) {
       if (errno == EINTR) continue;
+      // Expired SO_RCVTIMEO deadline: the peer is hung, fail the read.
       return false;
     }
     at += n;
@@ -49,17 +71,56 @@ bool Socket::ReadFull(void* data, size_t size) {
 }
 
 bool Socket::WriteFull(const void* data, size_t size) {
+  if (faults::Action fault = LIVEGRAPH_FAULT("net.send")) {
+    if (fault.kind == faults::Action::Kind::kShortWrite) {
+      // Push a real partial frame onto the wire before tearing the
+      // stream, so the peer exercises its mid-frame-close handling.
+      size_t budget = static_cast<size_t>(fault.arg) < size
+                          ? static_cast<size_t>(fault.arg)
+                          : size;
+      const char* at = static_cast<const char*>(data);
+      while (budget > 0) {
+        ssize_t n = ::send(fd_, at, budget, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        at += n;
+        budget -= static_cast<size_t>(n);
+      }
+    }
+    Shutdown();
+    return false;
+  }
   const char* at = static_cast<const char*>(data);
   while (size > 0) {
     ssize_t n = ::send(fd_, at, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // Expired SO_SNDTIMEO deadline: the peer stopped draining, fail.
       return false;
     }
     at += n;
     size -= static_cast<size_t>(n);
   }
   return true;
+}
+
+namespace {
+
+void SetSockTimeout(int fd, int option, int64_t timeout_ms) {
+  if (fd < 0 || timeout_ms < 0) return;
+  timeval tv;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+void Socket::SetRecvTimeout(int64_t timeout_ms) {
+  SetSockTimeout(fd_, SO_RCVTIMEO, timeout_ms);
+}
+
+void Socket::SetSendTimeout(int64_t timeout_ms) {
+  SetSockTimeout(fd_, SO_SNDTIMEO, timeout_ms);
 }
 
 bool Socket::Readable(int timeout_ms) const {
@@ -165,6 +226,7 @@ Socket AcceptTcp(const Socket& listener) {
 }
 
 Socket ConnectTcp(const std::string& host, uint16_t port) {
+  if (LIVEGRAPH_FAULT("net.connect")) return Socket();
   sockaddr_in address;
   if (!FillAddress(host, port, &address)) return Socket();
   Socket conn(::socket(AF_INET, SOCK_STREAM, 0));

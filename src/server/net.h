@@ -33,11 +33,21 @@ class Socket {
   void Shutdown();
   void Close();
 
-  /// Reads exactly `size` bytes. False on EOF, error, or shutdown.
+  /// Reads exactly `size` bytes. False on EOF, error, shutdown, or an
+  /// expired receive deadline (SetRecvTimeout) — a hung peer surfaces as
+  /// a failed read, not a wedged thread.
   bool ReadFull(void* data, size_t size);
   /// Writes exactly `size` bytes (MSG_NOSIGNAL: a dead peer surfaces as an
-  /// error return, not SIGPIPE).
+  /// error return, not SIGPIPE). False also on an expired send deadline
+  /// (SetSendTimeout) — a peer that stops draining cannot wedge a server
+  /// or replication thread forever.
   bool WriteFull(const void* data, size_t size);
+
+  /// Per-operation receive deadline (SO_RCVTIMEO): any single recv that
+  /// makes no progress for `timeout_ms` fails the read. 0 disables.
+  void SetRecvTimeout(int64_t timeout_ms);
+  /// Per-operation send deadline (SO_SNDTIMEO), same semantics.
+  void SetSendTimeout(int64_t timeout_ms);
 
   /// True when at least one byte is readable within `timeout_ms`
   /// (0 = pure poll). Used by the replication push loop to drain

@@ -77,6 +77,8 @@ uint8_t StatusToWire(Status status) {
     case Status::kNotActive: return 4;
     case Status::kUnavailable: return 5;
     case Status::kOutOfRange: return 6;
+    case Status::kIOError: return 7;
+    case Status::kResourceExhausted: return 8;
   }
   return 5;  // unknown statuses degrade to kUnavailable
 }
@@ -90,6 +92,8 @@ Status StatusFromWire(uint8_t wire) {
     case 4: return Status::kNotActive;
     case 5: return Status::kUnavailable;
     case 6: return Status::kOutOfRange;
+    case 7: return Status::kIOError;
+    case 8: return Status::kResourceExhausted;
     default: return Status::kUnavailable;
   }
 }

@@ -31,6 +31,11 @@ class RemoteStore::Connection {
                                           StoreTraits* traits) {
     Socket socket = ConnectTcp(options.host, options.port);
     if (!socket.valid()) return nullptr;
+    // Deadlines on every operation: a server that stops responding fails
+    // the call (surfaced as kUnavailable by the callers) instead of
+    // wedging this client thread forever.
+    socket.SetRecvTimeout(options.io_timeout_ms);
+    socket.SetSendTimeout(options.io_timeout_ms);
     auto connection = std::make_shared<Connection>(std::move(socket));
     std::string body;
     WireWriter writer(&body);

@@ -60,6 +60,12 @@ class RemoteStore : public Store {
     /// First follower-redial backoff after a failover; doubles, capped.
     int64_t replica_backoff_ms = 100;
     int64_t replica_backoff_cap_ms = 5000;
+    /// Per-operation socket deadline (SO_RCVTIMEO/SO_SNDTIMEO) on every
+    /// dialed connection: a hung server fails the call with kUnavailable
+    /// instead of wedging the client thread. Must comfortably exceed the
+    /// server-side epoch-gated read wait (read_your_epoch_timeout_ms).
+    /// 0 disables.
+    int64_t io_timeout_ms = 30'000;
   };
 
   /// Dials the server and performs the version/traits handshake. Null if

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <optional>
@@ -206,6 +207,15 @@ class ShardedWriteTxn : public StoreTxn {
 
   StatusOr<timestamp_t> Commit() override {
     if (!active_) return Status::kNotActive;
+    // Store-wide read-only degradation: the shards share one disk, so a
+    // WAL failure latched by ANY shard rejects every commit — not just
+    // those routed to the poisoned shard. Sessions that staged writes
+    // before the latch abort cleanly (locks released, nothing visible).
+    if (Status degraded = store_->degraded_status();
+        degraded != Status::kOk) {
+      AbortAll();
+      return degraded;
+    }
     active_ = false;
     // The domain pin only has to outlive lazy first-touches: every open
     // shard's worker slot published the pinned epoch itself, and Commit
@@ -567,8 +577,13 @@ timestamp_t ShardedStore::Checkpoint(int threads) {
     const std::string dir = ShardCheckpointPath(s, epoch);
     fs::remove_all(dir, ec);  // re-checkpoint of the same epoch: start clean
     fs::create_directories(dir, ec);
-    shards_[static_cast<size_t>(s)]->CheckpointSnapshot(
-        snapshots[static_cast<size_t>(s)], dir, threads);
+    if (shards_[static_cast<size_t>(s)]->CheckpointSnapshot(
+            snapshots[static_cast<size_t>(s)], dir, threads) < 0) {
+      // Shard checkpoint failed: the global manifest is never rewritten,
+      // so the previous checkpoint stays authoritative; the partial epoch
+      // directory is swept by the next successful checkpoint's GC.
+      return -1;
+    }
     // The epoch directory's own entry must be durable before the global
     // manifest names it: fsync its parent (shard<i>/checkpoint/). The
     // files inside were fsynced by CheckpointSnapshot, and that also
@@ -583,15 +598,20 @@ timestamp_t ShardedStore::Checkpoint(int threads) {
   // never clobber the one the manifest still points at.
   const std::string tmp = ManifestPath() + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return 0;
+  if (f == nullptr) return -1;
   WriteRaw(f, kManifestMagic);
   WriteRaw(f, kManifestVersion);
   WriteRaw(f, static_cast<uint32_t>(num_shards()));
   WriteRaw(f, epoch);
-  std::fflush(f);
-  ::fsync(::fileno(f));
+  int err = 0;
+  if (std::ferror(f) != 0 || std::fflush(f) != 0) err = errno != 0 ? errno : EIO;
+  if (err == 0 && ::fsync(::fileno(f)) != 0) err = errno;
   std::fclose(f);
-  Wal::CommitRename(tmp, ManifestPath());
+  if (err != 0) {
+    fs::remove(tmp, ec);
+    return -1;
+  }
+  if (!Wal::CommitRename(tmp, ManifestPath())) return -1;
 
   // GC superseded per-epoch checkpoint directories.
   for (int s = 0; s < num_shards(); ++s) {

@@ -161,10 +161,25 @@ class ShardedStore : public Store {
   /// Cross-shard checkpoint: pins ONE global epoch, checkpoints every
   /// shard at exactly that epoch (no quiescing of writers — the epoch
   /// domain makes the cut consistent by construction), then atomically
-  /// renames <dir>/MANIFEST recording it. Returns the pinned epoch, or 0
-  /// when the store has no durable directory. `threads` is the per-shard
-  /// checkpoint writer count.
+  /// renames <dir>/MANIFEST recording it. Returns the pinned epoch, 0
+  /// when the store has no durable directory, or -1 when an I/O failure
+  /// prevented the checkpoint — the previous manifest stays authoritative
+  /// and the next cadence retries. `threads` is the per-shard checkpoint
+  /// writer count.
   timestamp_t Checkpoint(int threads = 1);
+
+  /// Degraded-mode status across the shards: kOk while every shard is
+  /// healthy, else the first shard's latched degraded status (see
+  /// Graph::degraded_status()). One degraded shard makes the WHOLE store
+  /// read-only — commits are rejected with the typed status regardless of
+  /// routing (the shards share a disk, and multi-shard transactions could
+  /// touch the poisoned WAL); reads keep serving the last durable epoch.
+  Status degraded_status() const {
+    for (const auto& shard : shards_) {
+      if (Status s = shard->degraded_status(); s != Status::kOk) return s;
+    }
+    return Status::kOk;
+  }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   Graph& shard(int s) { return *shards_[static_cast<size_t>(s)]; }

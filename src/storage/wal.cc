@@ -7,48 +7,80 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
 #include "util/crc32.h"
+#include "util/fault_injection.h"
 #include "util/invariant.h"
 #include "util/lock_rank.h"
 
 namespace livegraph {
 
-namespace {
-
-[[noreturn]] void Die(const char* what) {
-  std::fprintf(stderr, "Wal: %s failed: %s\n", what, std::strerror(errno));
-  std::abort();
-}
-
-}  // namespace
-
-void Wal::FsyncParentDir(const std::string& path) {
+bool Wal::FsyncParentDir(const std::string& path) {
   std::string dir;
   size_t slash = path.find_last_of('/');
   dir = slash == std::string::npos ? "." : path.substr(0, slash);
   if (dir.empty()) dir = "/";
   int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;  // best effort: an unreachable parent fails the
-                       // file operation itself long before this point
-  if (fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
-    close(fd);
-    Die("fsync(dir)");
+  if (fd < 0) return true;  // best effort: an unreachable parent fails the
+                            // file operation itself long before this point
+  int err = 0;
+  if (faults::Action fault = LIVEGRAPH_FAULT("wal.dirsync")) {
+    err = fault.err;
+  } else if (fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+    err = errno;
   }
   close(fd);
+  if (err != 0) {
+    std::fprintf(stderr, "Wal: fsync(dir) failed: %s (errno %d, path %s)\n",
+                 std::strerror(err), err, dir.c_str());
+    return false;
+  }
+  return true;
 }
 
-void Wal::CommitRename(const std::string& tmp,
+bool Wal::CommitRename(const std::string& tmp,
                        const std::string& final_path) {
-  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) Die("rename");
-  FsyncParentDir(final_path);
+  int err = 0;
+  if (faults::Action fault = LIVEGRAPH_FAULT("wal.rename")) {
+    err = fault.err;
+  } else if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    err = errno;
+  }
+  if (err != 0) {
+    std::fprintf(stderr, "Wal: rename failed: %s (errno %d, %s -> %s)\n",
+                 std::strerror(err), err, tmp.c_str(), final_path.c_str());
+    return false;
+  }
+  return FsyncParentDir(final_path);
+}
+
+Status Wal::Poison(const char* what, int err) {
+  Status expected = Status::kOk;
+  const Status fresh = IoStatusFromErrno(err);
+  if (error_.compare_exchange_strong(expected, fresh,
+                                     std::memory_order_acq_rel)) {
+    std::fprintf(stderr,
+                 "Wal: %s failed: %s (errno %d, path %s) — log poisoned, "
+                 "store degrades to read-only\n",
+                 what, std::strerror(err), err, options_.path.c_str());
+    return fresh;
+  }
+  return expected;  // first error wins
 }
 
 Wal::Wal(Options options) : options_(std::move(options)) {
-  fd_ = open(options_.path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd_ < 0) Die("open");
+  int err = 0;
+  if (faults::Action fault = LIVEGRAPH_FAULT("wal.open")) {
+    err = fault.err;
+  } else {
+    fd_ = open(options_.path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) err = errno;
+  }
+  if (err != 0) {
+    Poison("open", err);
+    return;
+  }
   // Persist the directory entry too: without this a crash right after
   // creation can lose the (empty but expected) log file even though the
   // fd was valid — every later record fsync would then sync an orphan.
@@ -59,8 +91,10 @@ Wal::~Wal() {
   if (fd_ >= 0) close(fd_);
 }
 
-void Wal::AppendBatch(const std::vector<Record>& records) {
-  if (records.empty()) return;
+Status Wal::AppendBatch(const std::vector<Record>& records) {
+  if (records.empty()) return error();
+  // Poisoned log: never touch the fd again (see error() in the header).
+  if (Status sticky = error(); sticky != Status::kOk) return sticky;
   // Single-writer section: the commit-manager thread is the only appender,
   // and it must hold no engine locks here (WAL is the bottom of the rank
   // table — see util/lock_rank.h). Both facts are checked, not assumed.
@@ -97,36 +131,77 @@ void Wal::AppendBatch(const std::vector<Record>& records) {
                       records[i].payload.size()});
     }
   }
-  WritevAll(iov_.data(), iov_.size());
-  bytes_written_ += total;
-  if (options_.fsync && fdatasync(fd_) != 0) Die("fdatasync");
+  Status status = WritevAll(iov_.data(), iov_.size());
+  if (status == Status::kOk) {
+    bytes_written_ += total;
+    if (options_.fsync) {
+      if (faults::Action fault = LIVEGRAPH_FAULT("wal.fdatasync")) {
+        status = Poison("fdatasync", fault.err);
+      } else if (fdatasync(fd_) != 0) {
+        status = Poison("fdatasync", errno);
+      }
+    }
+  }
   // Tee the now-durable batch to replication (post-fsync: a subscriber can
-  // never observe a record the primary could still lose). Still inside the
-  // single-appender section, so the sink sees batches in exact log order.
-  if (DurableSink* sink = sink_.load(std::memory_order_acquire)) {
-    sink->OnDurableBatch(records);
+  // never observe a record the primary could still lose — which is exactly
+  // why a failed batch is never teed). Still inside the single-appender
+  // section, so the sink sees batches in exact log order.
+  if (status == Status::kOk) {
+    if (DurableSink* sink = sink_.load(std::memory_order_acquire)) {
+      sink->OnDurableBatch(records);
+    }
   }
   appending_.store(0, std::memory_order_release);
+  return status;
 }
 
-void Wal::AppendBatch(timestamp_t epoch,
-                      const std::vector<std::string_view>& payloads) {
+Status Wal::AppendBatch(timestamp_t epoch,
+                        const std::vector<std::string_view>& payloads) {
   std::vector<Record> records;
   records.reserve(payloads.size());
   for (std::string_view payload : payloads) {
     records.push_back(Record{epoch, 1, payload});
   }
-  AppendBatch(records);
+  return AppendBatch(records);
 }
 
-void Wal::WritevAll(struct iovec* iov, size_t count) {
+Status Wal::WritevAll(struct iovec* iov, size_t count) {
+  // Fault hook for the whole gather: an injected error fails the batch
+  // before any byte lands; an injected short write puts REAL partial bytes
+  // on disk first (a torn batch), so recovery's torn-tail truncation gets
+  // exercised against genuine on-disk state.
+  uint64_t byte_budget = UINT64_MAX;
+  if (faults::Action fault = LIVEGRAPH_FAULT("wal.append")) {
+    if (fault.kind == faults::Action::Kind::kError) {
+      return Poison("writev", fault.err);
+    }
+    byte_budget = fault.arg;
+  }
   size_t idx = 0;
   while (idx < count) {
+    if (byte_budget == 0) return Poison("writev", EIO);  // torn mid-batch
     int batch = static_cast<int>(std::min(count - idx, size_t{IOV_MAX}));
+    if (byte_budget != UINT64_MAX) {
+      // Trim the gather to the injected budget: whole iovecs, then a
+      // partial first-overflowing one.
+      uint64_t left = byte_budget;
+      int kept = 0;
+      for (int i = 0; i < batch && left > 0; ++i) {
+        if (iov[idx + static_cast<size_t>(i)].iov_len > left) {
+          iov[idx + static_cast<size_t>(i)].iov_len = left;
+        }
+        left -= iov[idx + static_cast<size_t>(i)].iov_len;
+        ++kept;
+      }
+      batch = kept > 0 ? kept : 1;
+    }
     ssize_t written = writev(fd_, iov + idx, batch);
     if (written < 0) {
       if (errno == EINTR) continue;
-      Die("writev");
+      return Poison("writev", errno);
+    }
+    if (byte_budget != UINT64_MAX) {
+      byte_budget -= static_cast<uint64_t>(written);
     }
     // Resume after a partial write: consume whole iovecs, then trim the
     // first partially written one in place.
@@ -143,13 +218,21 @@ void Wal::WritevAll(struct iovec* iov, size_t count) {
     }
     while (idx < count && iov[idx].iov_len == 0) ++idx;
   }
+  return Status::kOk;
 }
 
-void Wal::Reset() {
-  if (ftruncate(fd_, 0) != 0) Die("ftruncate");
-  if (lseek(fd_, 0, SEEK_SET) < 0) Die("lseek");
-  if (options_.fsync && fdatasync(fd_) != 0) Die("fdatasync");
+Status Wal::Reset() {
+  if (Status sticky = error(); sticky != Status::kOk) return sticky;
+  if (faults::Action fault = LIVEGRAPH_FAULT("wal.reset")) {
+    return Poison("ftruncate", fault.err);
+  }
+  if (ftruncate(fd_, 0) != 0) return Poison("ftruncate", errno);
+  if (lseek(fd_, 0, SEEK_SET) < 0) return Poison("lseek", errno);
+  if (options_.fsync && fdatasync(fd_) != 0) {
+    return Poison("fdatasync", errno);
+  }
   bytes_written_ = 0;
+  return Status::kOk;
 }
 
 }  // namespace livegraph

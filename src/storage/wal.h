@@ -28,6 +28,7 @@
 #include <sys/uio.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -37,6 +38,14 @@
 #include "util/types.h"
 
 namespace livegraph {
+
+/// Maps an errno from a failed durable-path syscall to the typed Status
+/// surfaced to committers: disk-full conditions (operator can free space
+/// and restart) are distinguishable from hard I/O loss.
+inline Status IoStatusFromErrno(int err) {
+  return (err == ENOSPC || err == EDQUOT) ? Status::kResourceExhausted
+                                          : Status::kIOError;
+}
 
 class Wal {
  public:
@@ -76,16 +85,27 @@ class Wal {
   Wal& operator=(const Wal&) = delete;
 
   /// Appends one group-commit batch, gathered with writev (zero payload
-  /// copies) and made durable with one fsync.
-  void AppendBatch(const std::vector<Record>& records);
+  /// copies) and made durable with one fsync. On I/O failure the batch is
+  /// NOT durable, the log is permanently poisoned (see error()), and the
+  /// typed status (kResourceExhausted for ENOSPC/EDQUOT, kIOError
+  /// otherwise) is returned for the commit group to surface.
+  Status AppendBatch(const std::vector<Record>& records);
 
   /// Single-epoch convenience (tests, tools): every payload becomes a
   /// record stamped with `epoch`, participants = 1.
-  void AppendBatch(timestamp_t epoch,
-                   const std::vector<std::string_view>& payloads);
+  Status AppendBatch(timestamp_t epoch,
+                     const std::vector<std::string_view>& payloads);
 
   /// Truncates the log (after a durable checkpoint supersedes it, §6).
-  void Reset();
+  /// Failure poisons the log like a failed append.
+  Status Reset();
+
+  /// First-error-wins sticky status. Once any append/sync/reset fails the
+  /// log never touches the fd again: after a failed fsync the kernel may
+  /// have dropped the dirty pages, so retrying the sync could "succeed"
+  /// without the data ever reaching stable storage (the fsyncgate
+  /// failure mode). Recovery is a process restart + WAL replay.
+  Status error() const { return error_.load(std::memory_order_acquire); }
 
   /// Installs (nullptr clears) the durable-batch tee. The pointer is read
   /// with acquire semantics on every append, so installing before the
@@ -102,13 +122,16 @@ class Wal {
   /// fsyncs the directory containing `path` so a just-created or
   /// just-renamed entry survives a crash (file-content fsync alone does
   /// not persist the directory entry). Used after WAL creation and after
-  /// checkpoint-manifest renames.
-  static void FsyncParentDir(const std::string& path);
+  /// checkpoint-manifest renames. Returns false when the directory sync
+  /// failed (the entry may not survive a crash).
+  static bool FsyncParentDir(const std::string& path);
 
   /// The atomic-publish tail shared by every manifest writer: rename
   /// `tmp` over `final_path`, then fsync the directory so the rename
   /// itself survives a crash. The caller fsynced the file contents.
-  static void CommitRename(const std::string& tmp,
+  /// Returns false when the publish is not durable; the previous
+  /// `final_path` content (if any) stays authoritative.
+  static bool CommitRename(const std::string& tmp,
                            const std::string& final_path);
 
   /// Replays records from a WAL file in order. Stops at EOF or the first
@@ -120,7 +143,11 @@ class Wal {
   /// The on-disk framing, shared with the reader side.
   using RecordHeader = WalRecordHeader;
 
-  void WritevAll(struct iovec* iov, size_t count);
+  Status WritevAll(struct iovec* iov, size_t count);
+
+  /// Records the first failure: logs one line (operation, errno,
+  /// strerror, path) and latches error_. Idempotent; first error wins.
+  Status Poison(const char* what, int err);
 
   Options options_;
   int fd_ = -1;
@@ -137,6 +164,9 @@ class Wal {
   /// Durable-batch tee (replication). Atomic so installation from the
   /// serving thread is safe against a concurrent commit-manager append.
   std::atomic<DurableSink*> sink_{nullptr};
+  /// Sticky first-error status (see error()). Atomic: committers and the
+  /// serving thread may read it while the appender poisons it.
+  std::atomic<Status> error_{Status::kOk};
 };
 
 }  // namespace livegraph

@@ -1,0 +1,296 @@
+#include "util/fault_injection.h"
+
+#if defined(LIVEGRAPH_FAULTS_ENABLED)
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace livegraph {
+namespace faults {
+
+namespace {
+
+struct Point {
+  Action::Kind kind = Action::Kind::kNone;
+  bool crash = false;
+  bool delay = false;
+  int err = 0;
+  uint64_t arg = 0;        // short-write byte budget or delay millis
+  // Triggers (all must pass for the point to fire).
+  uint64_t every = 0;      // fire on hits where hit % every == 0
+  uint64_t after = 0;      // fire only on hits > after
+  bool once = false;       // disarm after the first firing
+  double prob = 0.0;       // 0 disables the probabilistic gate
+  // State.
+  uint64_t hits = 0;
+  bool fired_once = false;
+  uint64_t prng = 0;       // per-point deterministic xorshift state
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point, std::less<>> points;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+std::atomic<bool> g_enabled{false};
+
+/// xorshift64*: deterministic, seeded from the point name, good enough
+/// for prob= gates (this is test machinery, not cryptography).
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t SeedFromName(std::string_view name) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h != 0 ? h : 1;
+}
+
+bool ParseErrno(std::string_view text, int* out) {
+  if (text == "ENOSPC") { *out = ENOSPC; return true; }
+  if (text == "EIO") { *out = EIO; return true; }
+  if (text == "EPIPE") { *out = EPIPE; return true; }
+  if (text == "EDQUOT") { *out = EDQUOT; return true; }
+  int value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  if (text.empty() || value <= 0) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProb(std::string_view text, double* out) {
+  // Accept "0.1", "1", ".5" — no locale, no exponent.
+  if (text.empty()) return false;
+  double value = 0.0;
+  double scale = 0.1;
+  bool in_frac = false;
+  for (char c : text) {
+    if (c == '.') {
+      if (in_frac) return false;
+      in_frac = true;
+      continue;
+    }
+    if (c < '0' || c > '9') return false;
+    if (in_frac) {
+      value += (c - '0') * scale;
+      scale /= 10.0;
+    } else {
+      value = value * 10.0 + (c - '0');
+    }
+  }
+  if (value <= 0.0 || value > 1.0) return false;
+  *out = value;
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Parses one `point=kind[:param][@trigger,...]` clause into (*name, *p).
+bool ParseClause(std::string_view clause, std::string* name, Point* p,
+                 std::string* error) {
+  size_t eq = clause.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Fail(error, "fault clause missing 'point=': " + std::string(clause));
+  }
+  *name = std::string(clause.substr(0, eq));
+  std::string_view rest = clause.substr(eq + 1);
+
+  std::string_view action = rest;
+  std::string_view triggers;
+  size_t at = rest.find('@');
+  if (at != std::string_view::npos) {
+    action = rest.substr(0, at);
+    triggers = rest.substr(at + 1);
+  }
+
+  std::string_view kind = action;
+  std::string_view param;
+  size_t colon = action.find(':');
+  if (colon != std::string_view::npos) {
+    kind = action.substr(0, colon);
+    param = action.substr(colon + 1);
+  }
+
+  if (kind == "error") {
+    p->kind = Action::Kind::kError;
+    if (!ParseErrno(param, &p->err)) {
+      return Fail(error, "bad errno in fault clause: " + std::string(clause));
+    }
+  } else if (kind == "short") {
+    p->kind = Action::Kind::kShortWrite;
+    p->arg = 0;
+    if (!param.empty() && !ParseU64(param, &p->arg)) {
+      return Fail(error, "bad short-write bytes: " + std::string(clause));
+    }
+  } else if (kind == "delay") {
+    p->delay = true;
+    if (!ParseU64(param, &p->arg) || p->arg == 0) {
+      return Fail(error, "bad delay millis: " + std::string(clause));
+    }
+  } else if (kind == "crash") {
+    p->crash = true;
+  } else {
+    return Fail(error, "unknown fault kind: " + std::string(clause));
+  }
+
+  while (!triggers.empty()) {
+    size_t comma = triggers.find(',');
+    std::string_view trigger = triggers.substr(0, comma);
+    triggers = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : triggers.substr(comma + 1);
+    if (trigger == "once") {
+      p->once = true;
+    } else if (trigger.substr(0, 6) == "every=") {
+      if (!ParseU64(trigger.substr(6), &p->every) || p->every == 0) {
+        return Fail(error, "bad every= trigger: " + std::string(clause));
+      }
+    } else if (trigger.substr(0, 6) == "after=") {
+      if (!ParseU64(trigger.substr(6), &p->after)) {
+        return Fail(error, "bad after= trigger: " + std::string(clause));
+      }
+    } else if (trigger.substr(0, 5) == "prob=") {
+      if (!ParseProb(trigger.substr(5), &p->prob)) {
+        return Fail(error, "bad prob= trigger: " + std::string(clause));
+      }
+    } else {
+      return Fail(error, "unknown fault trigger: " + std::string(clause));
+    }
+  }
+
+  p->prng = SeedFromName(*name);
+  return true;
+}
+
+}  // namespace
+
+bool Configure(std::string_view spec, std::string* error) {
+  std::map<std::string, Point, std::less<>> parsed;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    size_t semi = rest.find(';');
+    std::string_view clause = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (clause.empty()) continue;
+    std::string name;
+    Point point;
+    if (!ParseClause(clause, &name, &point, error)) return false;
+    parsed[name] = point;
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points = std::move(parsed);
+  g_enabled.store(!r.points.empty(), std::memory_order_release);
+  return true;
+}
+
+void ConfigureFromEnv() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): called once before threads start.
+  const char* spec = std::getenv("LIVEGRAPH_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return;
+  std::string error;
+  if (!Configure(spec, &error)) {
+    std::fprintf(stderr, "LIVEGRAPH_FAULTS: %s\n", error.c_str());
+    std::abort();  // a typo'd chaos run must not silently run fault-free
+  }
+}
+
+void Clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_acquire); }
+
+uint64_t HitCount(std::string_view point) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(point);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+Action Evaluate(std::string_view point) {
+  bool crash = false;
+  uint64_t delay_ms = 0;
+  Action action;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(point);
+    if (it == r.points.end()) return Action{};
+    Point& p = it->second;
+    ++p.hits;
+    if (p.once && p.fired_once) return Action{};
+    if (p.hits <= p.after) return Action{};
+    if (p.every > 1 && (p.hits - p.after) % p.every != 0) return Action{};
+    if (p.prob > 0.0) {
+      const double roll =
+          static_cast<double>(NextRand(&p.prng) >> 11) * 0x1.0p-53;
+      if (roll >= p.prob) return Action{};
+    }
+    p.fired_once = true;
+    crash = p.crash;
+    delay_ms = p.delay ? p.arg : 0;
+    if (p.kind != Action::Kind::kNone) {
+      action.kind = p.kind;
+      action.err = p.err;
+      action.arg = p.arg;
+    }
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (crash) {
+    // _exit, not abort: no atexit handlers, no core, no flushing — the
+    // crash harness wants "power cut at this exact point" semantics.
+    ::_exit(42);
+  }
+  return action;
+}
+
+}  // namespace faults
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_FAULTS_ENABLED

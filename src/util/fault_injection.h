@@ -1,0 +1,113 @@
+// Named-failpoint registry for deterministic fault injection.
+//
+// A failpoint is a named site in the code (e.g. "wal.fdatasync") where a
+// test or operator can arrange for an error, a torn write, a delay, or a
+// process crash to happen — deterministically, without mocking the
+// filesystem or the network. Sites are threaded through the durability
+// path (WAL, checkpoints, manifests, REPLICA_STATE), the network layer,
+// and the replication push loop; docs/FAULTS.md catalogs every point.
+//
+// Spec grammar (env var LIVEGRAPH_FAULTS or --faults= on the server):
+//
+//   spec     := point '=' kind [':' param] ['@' trigger (',' trigger)*]
+//               (';' spec)*
+//   kind     := 'error' ':' (ENOSPC|EIO|EPIPE|EDQUOT|<int>)
+//             | 'short' [':' bytes]      -- truncate the I/O to `bytes`
+//             | 'delay' ':' millis      -- sleep, then proceed normally
+//             | 'crash'                 -- ::_exit(42) at the point
+//   trigger  := 'every' '=' N           -- fire on every Nth hit
+//             | 'after' '=' N           -- fire on hits > N
+//             | 'once'                  -- fire on exactly the first match
+//             | 'prob' '=' P            -- fire with probability P (0..1],
+//                                          deterministic per-point PRNG
+//
+// Examples:
+//   wal.append=error:ENOSPC
+//   wal.fdatasync=error:EIO@after=3,once
+//   net.send=short:4@every=7;net.recv=delay:50@prob=0.1
+//   ckpt.sync=crash
+//
+// Compiled to zero overhead when the LIVEGRAPH_FAULTS CMake option is off:
+// LIVEGRAPH_FAULT(point) folds to a constexpr no-action value, Configure
+// and friends become empty inlines, and no registry code is linked. The
+// API is identical in both modes so callers (main.cc, tests) never need
+// their own #ifdefs.
+#ifndef LIVEGRAPH_UTIL_FAULT_INJECTION_H_
+#define LIVEGRAPH_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace livegraph {
+namespace faults {
+
+/// What a triggered failpoint asks the call site to do. Delay and crash
+/// are handled inside Evaluate (the site never sees them); error and
+/// short-write come back here because only the site knows how to fail
+/// its particular syscall or truncate its particular buffer.
+struct Action {
+  enum class Kind : uint8_t { kNone = 0, kError, kShortWrite };
+  Kind kind = Kind::kNone;
+  /// For kError: the errno to inject (ENOSPC, EIO, EPIPE, ...).
+  int err = 0;
+  /// For kShortWrite: byte budget for the truncated I/O.
+  uint64_t arg = 0;
+
+  explicit operator bool() const { return kind != Kind::kNone; }
+};
+
+#if defined(LIVEGRAPH_FAULTS_ENABLED)
+
+/// Parses and installs a spec, replacing the previous configuration.
+/// Returns false (with a message in *error when non-null) on a malformed
+/// spec; the previous configuration is left untouched in that case.
+bool Configure(std::string_view spec, std::string* error = nullptr);
+
+/// Installs the spec from the LIVEGRAPH_FAULTS environment variable, if
+/// set. Called once at process start (server main, test main).
+void ConfigureFromEnv();
+
+/// Removes every configured failpoint.
+void Clear();
+
+/// True when at least one failpoint is configured (single relaxed atomic
+/// load — the fast path for every LIVEGRAPH_FAULT hit).
+bool Enabled();
+
+/// Times `point` has been evaluated (hit), whether or not it fired.
+uint64_t HitCount(std::string_view point);
+
+/// Evaluates `point`: counts the hit, runs the trigger, and either
+/// returns the action for the site to apply (error/short) or handles it
+/// internally (delay sleeps here; crash calls ::_exit(42) and never
+/// returns).
+Action Evaluate(std::string_view point);
+
+/// Convenience used at every instrumented site.
+inline Action Hit(std::string_view point) {
+  if (!Enabled()) return Action{};
+  return Evaluate(point);
+}
+
+#define LIVEGRAPH_FAULT(point) ::livegraph::faults::Hit(point)
+
+#else  // !LIVEGRAPH_FAULTS_ENABLED
+
+inline bool Configure(std::string_view, std::string* = nullptr) {
+  return true;
+}
+inline void ConfigureFromEnv() {}
+inline void Clear() {}
+inline bool Enabled() { return false; }
+inline uint64_t HitCount(std::string_view) { return 0; }
+inline Action Evaluate(std::string_view) { return Action{}; }
+
+#define LIVEGRAPH_FAULT(point) (::livegraph::faults::Action{})
+
+#endif  // LIVEGRAPH_FAULTS_ENABLED
+
+}  // namespace faults
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_UTIL_FAULT_INJECTION_H_

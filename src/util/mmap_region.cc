@@ -15,9 +15,12 @@ namespace livegraph {
 
 namespace {
 
-[[noreturn]] void Die(const char* what) {
-  std::fprintf(stderr, "MmapRegion: %s failed: %s\n", what,
-               std::strerror(errno));
+[[noreturn]] void Die(const char* what, const std::string& path) {
+  const int err = errno;
+  std::fprintf(stderr,
+               "MmapRegion: %s failed: %s (errno %d, path %s)\n", what,
+               std::strerror(err), err,
+               path.empty() ? "<anonymous>" : path.c_str());
   std::abort();
 }
 
@@ -33,7 +36,7 @@ MmapRegion MmapRegion::CreateAnonymous(size_t reserve_bytes) {
   region.reserved_ = RoundUpToPage(reserve_bytes);
   void* addr = mmap(nullptr, region.reserved_, PROT_READ | PROT_WRITE,
                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-  if (addr == MAP_FAILED) Die("mmap(anonymous)");
+  if (addr == MAP_FAILED) Die("mmap(anonymous)", region.path_);
   region.base_ = static_cast<uint8_t*>(addr);
   region.committed_ = region.reserved_;  // lazily faulted by the kernel
   return region;
@@ -45,16 +48,16 @@ MmapRegion MmapRegion::CreateFileBacked(const std::string& path,
   region.path_ = path;
   region.reserved_ = RoundUpToPage(reserve_bytes);
   region.fd_ = open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (region.fd_ < 0) Die("open");
+  if (region.fd_ < 0) Die("open", path);
   off_t existing = lseek(region.fd_, 0, SEEK_END);
-  if (existing < 0) Die("lseek");
+  if (existing < 0) Die("lseek", path);
   size_t initial = RoundUpToPage(
       std::max<size_t>(static_cast<size_t>(existing), 1 << 20));
   if (ftruncate(region.fd_, static_cast<off_t>(initial)) != 0)
-    Die("ftruncate");
+    Die("ftruncate", path);
   void* addr = mmap(nullptr, region.reserved_, PROT_READ | PROT_WRITE,
                     MAP_SHARED | MAP_NORESERVE, region.fd_, 0);
-  if (addr == MAP_FAILED) Die("mmap(file)");
+  if (addr == MAP_FAILED) Die("mmap(file)", path);
   region.base_ = static_cast<uint8_t*>(addr);
   region.committed_ = initial;
   return region;
@@ -95,13 +98,17 @@ void MmapRegion::EnsureCommitted(size_t bytes) {
   // mark sees the file already grown.
   size_t current = committed_.load(std::memory_order_relaxed);
   if (bytes <= current) return;
-  if (bytes > reserved_) Die("reservation exhausted; raise Options reserve");
+  if (bytes > reserved_) {
+    Die("reservation exhausted; raise Options reserve", path_);
+  }
   if (fd_ < 0) return;  // anonymous memory faults in on demand
   // Grow the file in large steps to amortize ftruncate calls.
   size_t target = current;
   while (target < bytes) target *= 2;
   if (target > reserved_) target = reserved_;
-  if (ftruncate(fd_, static_cast<off_t>(target)) != 0) Die("ftruncate(grow)");
+  if (ftruncate(fd_, static_cast<off_t>(target)) != 0) {
+    Die("ftruncate(grow)", path_);
+  }
   committed_.store(target, std::memory_order_release);
 }
 

@@ -67,6 +67,15 @@ enum class Status {
   /// GraphOptions::max_vertices). The session stays usable; retrying
   /// cannot succeed until the store is reconfigured.
   kOutOfRange,
+  /// An I/O operation on the durable state (WAL append/sync, checkpoint
+  /// write, manifest publish) failed. The store transitions to read-only
+  /// degraded mode: reads keep serving the last durable epoch, writes are
+  /// rejected with this status until the process restarts and recovers.
+  kIOError,
+  /// The durable medium ran out of space or quota (ENOSPC/EDQUOT).
+  /// Degrades the store exactly like kIOError, but callers can distinguish
+  /// "disk full" (operator can free space and restart) from hard I/O loss.
+  kResourceExhausted,
 };
 
 /// Human-readable status name, for logs and test failure messages.
@@ -79,6 +88,8 @@ inline const char* StatusName(Status s) {
     case Status::kNotActive: return "NotActive";
     case Status::kUnavailable: return "Unavailable";
     case Status::kOutOfRange: return "OutOfRange";
+    case Status::kIOError: return "IOError";
+    case Status::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -1,0 +1,152 @@
+// Failpoint registry: spec parsing, trigger semantics, determinism.
+// Everything here is gated on the fault build — in a normal build the
+// registry compiles to no-ops and there is nothing to test.
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+
+namespace livegraph {
+namespace {
+
+#if defined(LIVEGRAPH_FAULTS_ENABLED)
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { faults::Clear(); }
+  void TearDown() override { faults::Clear(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefault) {
+  EXPECT_FALSE(faults::Enabled());
+  EXPECT_FALSE(LIVEGRAPH_FAULT("wal.append"));
+}
+
+TEST_F(FaultInjectionTest, ErrorKindFiresEveryHit) {
+  ASSERT_TRUE(faults::Configure("wal.append=error:ENOSPC"));
+  EXPECT_TRUE(faults::Enabled());
+  for (int i = 0; i < 3; ++i) {
+    faults::Action action = LIVEGRAPH_FAULT("wal.append");
+    ASSERT_TRUE(action);
+    EXPECT_EQ(action.kind, faults::Action::Kind::kError);
+    EXPECT_EQ(action.err, ENOSPC);
+  }
+  // Unconfigured points stay silent.
+  EXPECT_FALSE(LIVEGRAPH_FAULT("wal.fdatasync"));
+  EXPECT_EQ(faults::HitCount("wal.append"), 3u);
+}
+
+TEST_F(FaultInjectionTest, ErrnoNamesAndNumbers) {
+  ASSERT_TRUE(faults::Configure(
+      "a=error:EIO;b=error:EPIPE;c=error:EDQUOT;d=error:13"));
+  EXPECT_EQ(LIVEGRAPH_FAULT("a").err, EIO);
+  EXPECT_EQ(LIVEGRAPH_FAULT("b").err, EPIPE);
+  EXPECT_EQ(LIVEGRAPH_FAULT("c").err, EDQUOT);
+  EXPECT_EQ(LIVEGRAPH_FAULT("d").err, 13);
+}
+
+TEST_F(FaultInjectionTest, ShortWriteCarriesByteBudget) {
+  ASSERT_TRUE(faults::Configure("net.send=short:4"));
+  faults::Action action = LIVEGRAPH_FAULT("net.send");
+  ASSERT_TRUE(action);
+  EXPECT_EQ(action.kind, faults::Action::Kind::kShortWrite);
+  EXPECT_EQ(action.arg, 4u);
+}
+
+TEST_F(FaultInjectionTest, EveryTriggerFiresOnMultiplesOnly) {
+  ASSERT_TRUE(faults::Configure("p=error:EIO@every=3"));
+  for (int hit = 1; hit <= 9; ++hit) {
+    bool fired = static_cast<bool>(LIVEGRAPH_FAULT("p"));
+    EXPECT_EQ(fired, hit % 3 == 0) << "hit " << hit;
+  }
+}
+
+TEST_F(FaultInjectionTest, AfterOnceFiresExactlyOnce) {
+  ASSERT_TRUE(faults::Configure("p=error:EIO@after=2,once"));
+  EXPECT_FALSE(LIVEGRAPH_FAULT("p"));  // hit 1
+  EXPECT_FALSE(LIVEGRAPH_FAULT("p"));  // hit 2
+  EXPECT_TRUE(LIVEGRAPH_FAULT("p"));   // hit 3: fires
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(LIVEGRAPH_FAULT("p")) << "once means once";
+  }
+  EXPECT_EQ(faults::HitCount("p"), 8u) << "hits count whether or not fired";
+}
+
+TEST_F(FaultInjectionTest, ProbabilityOneAlwaysFires) {
+  ASSERT_TRUE(faults::Configure("p=error:EIO@prob=1.0"));
+  for (int i = 0; i < 16; ++i) EXPECT_TRUE(LIVEGRAPH_FAULT("p"));
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsDeterministicPerPointName) {
+  // Same point name, same spec, fresh registry: the per-point PRNG is
+  // seeded from the name, so the firing pattern must replay exactly.
+  auto pattern = [] {
+    std::string out;
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(LIVEGRAPH_FAULT("coin") ? '1' : '0');
+    }
+    return out;
+  };
+  ASSERT_TRUE(faults::Configure("coin=error:EIO@prob=0.5"));
+  std::string first = pattern();
+  ASSERT_TRUE(faults::Configure("coin=error:EIO@prob=0.5"));
+  EXPECT_EQ(pattern(), first);
+  EXPECT_NE(first.find('1'), std::string::npos);
+  EXPECT_NE(first.find('0'), std::string::npos);
+}
+
+TEST_F(FaultInjectionTest, DelayReturnsNoActionToTheSite) {
+  ASSERT_TRUE(faults::Configure("p=delay:1"));
+  // The sleep happens inside Evaluate; the site proceeds normally.
+  EXPECT_FALSE(LIVEGRAPH_FAULT("p"));
+  EXPECT_EQ(faults::HitCount("p"), 1u);
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsRejectedAndPreviousKept) {
+  ASSERT_TRUE(faults::Configure("keep=error:EIO"));
+  std::string error;
+  EXPECT_FALSE(faults::Configure("nokind", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(faults::Configure("p=warp", &error));
+  EXPECT_FALSE(faults::Configure("p=error:EBOGUS", &error));
+  EXPECT_FALSE(faults::Configure("p=error:EIO@sometimes", &error));
+  EXPECT_FALSE(faults::Configure("p=error:EIO@prob=2.0", &error));
+  EXPECT_FALSE(faults::Configure("p=error:EIO@prob=0", &error));
+  EXPECT_FALSE(faults::Configure("=error:EIO", &error));
+  // The earlier good configuration survived every failed attempt.
+  EXPECT_TRUE(LIVEGRAPH_FAULT("keep"));
+}
+
+TEST_F(FaultInjectionTest, ConfigureReplacesAndClearDisables) {
+  ASSERT_TRUE(faults::Configure("old=error:EIO"));
+  ASSERT_TRUE(faults::Configure("new=error:ENOSPC"));
+  EXPECT_FALSE(LIVEGRAPH_FAULT("old")) << "Configure replaces, not merges";
+  EXPECT_TRUE(LIVEGRAPH_FAULT("new"));
+  faults::Clear();
+  EXPECT_FALSE(faults::Enabled());
+  EXPECT_FALSE(LIVEGRAPH_FAULT("new"));
+}
+
+TEST_F(FaultInjectionTest, EmptySpecClearsEverything) {
+  ASSERT_TRUE(faults::Configure("p=error:EIO"));
+  ASSERT_TRUE(faults::Configure(""));
+  EXPECT_FALSE(faults::Enabled());
+}
+
+#else  // !LIVEGRAPH_FAULTS_ENABLED
+
+TEST(FaultInjectionTest, CompiledOut) {
+  // The no-op API must still be callable from unconditional code.
+  EXPECT_TRUE(faults::Configure("anything=error:EIO"));
+  EXPECT_FALSE(faults::Enabled());
+  EXPECT_FALSE(LIVEGRAPH_FAULT("wal.append"));
+  GTEST_SKIP() << "fault injection not compiled in "
+               << "(build with -DLIVEGRAPH_FAULTS=ON)";
+}
+
+#endif  // LIVEGRAPH_FAULTS_ENABLED
+
+}  // namespace
+}  // namespace livegraph
