@@ -18,6 +18,7 @@
 #include "baselines/livegraph_store.h"
 #include "baselines/lsmt_store.h"
 #include "shard/sharded_store.h"
+#include "util/metrics.h"
 #include "workload/linkbench.h"
 
 namespace livegraph::bench {
@@ -103,6 +104,59 @@ inline void PrintLatencyHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
   std::printf("%-12s %10s %10s %10s %14s\n", "system", "mean(ms)", "P99(ms)",
               "P999(ms)", "reqs/s");
+}
+
+/// --dump-metrics support (docs/OBSERVABILITY.md): the process metrics
+/// registry rendered as one JSON object — counters and gauges keyed by
+/// their registered names (label text included), histograms as
+/// {count, sum, p50_ns, p99_ns}. Embed as a `"metrics"` member of a
+/// bench's --json document so a perf run carries the engine's own view of
+/// what it did (commits, WAL bytes, group sizes) next to the harness
+/// numbers.
+inline std::string MetricsJson() {
+  metrics::Snapshot snapshot = metrics::Registry::Instance().Collect();
+  std::string out = "{";
+  auto append_key = [&out](const std::string& name) {
+    out += '"';
+    for (char c : name) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\": ";
+  };
+  char buffer[160];
+  bool first = true;
+  auto separator = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const auto& [name, value] : snapshot.counters) {
+    separator();
+    append_key(name);
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += buffer;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    separator();
+    append_key(name);
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+    out += buffer;
+  }
+  for (const metrics::HistogramSample& h : snapshot.histograms) {
+    separator();
+    append_key(h.name);
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"count\": %llu, \"sum\": %.10g, \"p50_ns\": %llu, "
+                  "\"p99_ns\": %llu}",
+                  static_cast<unsigned long long>(h.count), h.sum,
+                  static_cast<unsigned long long>(h.p50),
+                  static_cast<unsigned long long>(h.p99));
+    out += buffer;
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace livegraph::bench

@@ -33,9 +33,11 @@ int main(int argc, char** argv) {
   using namespace livegraph::bench;
 
   bool json = false;
+  bool dump_metrics = false;
   int shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--dump-metrics") == 0) dump_metrics = true;
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::atoi(argv[i] + 9);
     }
@@ -94,7 +96,11 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(rows[i].failures),
                   i + 1 < rows.size() ? "," : "");
     }
-    std::printf("  ]\n}\n");
+    std::printf("  ]%s\n", dump_metrics ? "," : "");
+    if (dump_metrics) {
+      std::printf("  \"metrics\": %s\n", MetricsJson().c_str());
+    }
+    std::printf("}\n");
     return 0;
   }
 

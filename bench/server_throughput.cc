@@ -66,7 +66,7 @@ void PrintRemoteRow(const char* label, const DriverResult& result) {
   std::printf("\n");
 }
 
-int Run(bool json) {
+int Run(bool json, bool dump_metrics) {
   LinkBenchConfig config = DefaultLinkBenchConfig();
   const std::string engine = EnvString("LG_ENGINE", "LiveGraph");
   const int shards = static_cast<int>(EnvInt("LG_SHARDS", 1));
@@ -152,7 +152,14 @@ int Run(bool json) {
                 static_cast<unsigned long long>(config.ops_per_client));
     PrintJsonResult("embedded", embedded, ",");
     PrintJsonResult("remote", result, ",");
-    std::printf("  \"retained_pct\": %.1f\n}\n", retained);
+    std::printf("  \"retained_pct\": %.1f%s\n", retained,
+                dump_metrics ? "," : "");
+    // With LG_CONNECT the serving engine lives in another process; this
+    // dump still carries the local (embedded + client) side's registry.
+    if (dump_metrics) {
+      std::printf("  \"metrics\": %s\n", MetricsJson().c_str());
+    }
+    std::printf("}\n");
   } else {
     PrintRemoteRow(remote->Name().c_str(), result);
     std::printf("network overhead: %.1f%% of embedded throughput retained\n",
@@ -169,7 +176,7 @@ int Run(bool json) {
 // each by its own client fleet). The follower applies the replication
 // stream; reads through it carry the read-your-epoch bound, so this is
 // the served contract, not a dirty-read shortcut.
-int RunReplica(bool json) {
+int RunReplica(bool json, bool dump_metrics) {
   LinkBenchConfig config = DefaultLinkBenchConfig();
   config.mix = MixWithWriteRatio(0.0);  // followers serve reads only
   const int shards = static_cast<int>(EnvInt("LG_SHARDS", 2));
@@ -272,8 +279,12 @@ int RunReplica(bool json) {
     PrintJsonResult("one_target", one, ",");
     PrintJsonResult("two_targets_primary", two_primary, ",");
     PrintJsonResult("two_targets_follower", two_follower, ",");
-    std::printf("  \"combined_throughput\": %.0f,\n  \"scaling_x\": %.2f\n}\n",
-                combined, scaling);
+    std::printf("  \"combined_throughput\": %.0f,\n  \"scaling_x\": %.2f%s\n",
+                combined, scaling, dump_metrics ? "," : "");
+    if (dump_metrics) {
+      std::printf("  \"metrics\": %s\n", MetricsJson().c_str());
+    }
+    std::printf("}\n");
   } else {
     PrintRemoteRow("2 (primary share)", two_primary);
     PrintRemoteRow("2 (follower share)", two_follower);
@@ -298,10 +309,12 @@ int RunReplica(bool json) {
 int main(int argc, char** argv) {
   bool json = false;
   bool replica = false;
+  bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--replica") == 0) replica = true;
+    if (std::strcmp(argv[i], "--dump-metrics") == 0) dump_metrics = true;
   }
-  return replica ? livegraph::bench::RunReplica(json)
-                 : livegraph::bench::Run(json);
+  return replica ? livegraph::bench::RunReplica(json, dump_metrics)
+                 : livegraph::bench::Run(json, dump_metrics);
 }

@@ -6,6 +6,7 @@
 #include "core/graph.h"
 #include "util/futex_lock.h"
 #include "util/invariant.h"
+#include "util/metrics.h"
 #include "util/sync_annotations.h"
 
 namespace livegraph {
@@ -137,11 +138,19 @@ bool CommitManager::DequeueBatch(std::vector<Request*>* batch) {
   // apply-barrier design got this for free, at the cost of stalling the
   // pipeline).
   EpochDomain* domain = graph_->epoch_domain();
+  static metrics::Histogram& formation_latency =
+      metrics::Registry::Instance().GetHistogram(
+          "livegraph_commit_formation_latency", metrics::Unit::kNanos);
+  const bool timed = metrics::SampleStageTiming();
+  const uint64_t window_start = timed ? metrics::MonotonicNanos() : 0;
   int window = 8;
   while (batch->size() < max_batch_ && window-- > 0 &&
          domain->visible() < last_issued_) {
     std::this_thread::yield();
     DrainRing(batch);
+  }
+  if (timed) {
+    formation_latency.Record(metrics::MonotonicNanos() - window_start);
   }
   return true;
 }
@@ -196,9 +205,23 @@ void CommitManager::ThreadMain() {
   batch.reserve(max_batch_);
   records.reserve(max_batch_);
   EpochDomain* domain = graph_->epoch_domain();
+  static metrics::Counter& groups = metrics::Registry::Instance().GetCounter(
+      "livegraph_commit_groups_total");
+  static metrics::Histogram& group_size =
+      metrics::Registry::Instance().GetHistogram("livegraph_commit_group_size",
+                                                 metrics::Unit::kCount);
+  static metrics::Histogram& ring_occupancy =
+      metrics::Registry::Instance().GetHistogram(
+          "livegraph_commit_ring_occupancy", metrics::Unit::kCount);
   while (true) {
     batch.clear();
     if (!DequeueBatch(&batch)) return;
+    groups.Add();
+    group_size.Record(batch.size());
+    // Requests still queued behind the batch just taken: the backlog the
+    // pipeline is running at.
+    ring_occupancy.Record(ring_tail_.load(std::memory_order_relaxed) -
+                          ring_head_);
 
     // One fresh epoch for every request that does not carry a
     // coordinator-stamped one; its MarkApplied countdown is the number of

@@ -12,6 +12,7 @@
 #include "core/transaction.h"
 #include "util/bloom_filter.h"
 #include "util/lock_rank.h"
+#include "util/metrics.h"
 
 namespace livegraph {
 
@@ -61,6 +62,21 @@ void Graph::RunCompactionPass() {
   // Outermost rank: the pass takes vertex locks and dirty sets below it.
   LIVEGRAPH_SCOPED_LOCK_RANK(LockRank::kCompactionPass);
   std::lock_guard<std::mutex> pass_guard(compaction_pass_mu_);
+  static metrics::Counter& passes = metrics::Registry::Instance().GetCounter(
+      "livegraph_compaction_passes_total");
+  static metrics::Counter& dirty_total =
+      metrics::Registry::Instance().GetCounter(
+          "livegraph_compaction_dirty_vertices_total");
+  static metrics::Counter& reclaimed_blocks =
+      metrics::Registry::Instance().GetCounter(
+          "livegraph_compaction_reclaimed_blocks_total");
+  static metrics::Counter& reclaimed_bytes =
+      metrics::Registry::Instance().GetCounter(
+          "livegraph_compaction_reclaimed_bytes_total");
+  static metrics::Histogram& pass_latency =
+      metrics::Registry::Instance().GetHistogram(
+          "livegraph_compaction_pass_latency", metrics::Unit::kNanos);
+  const uint64_t pass_start = metrics::MonotonicNanos();
   const timestamp_t safe = SafeEpoch();
 
   // Collect and dedup all workers' dirty sets.
@@ -77,7 +93,16 @@ void Graph::RunCompactionPass() {
 
   for (vertex_t v : dirty) CompactVertex(v, safe);
 
-  block_manager_->ReclaimRetired(SafeEpoch());
+  const uint64_t retired_before = block_manager_->GetStats().retired_bytes;
+  size_t blocks = block_manager_->ReclaimRetired(SafeEpoch());
+  const uint64_t retired_after = block_manager_->GetStats().retired_bytes;
+
+  passes.Add();
+  dirty_total.Add(dirty.size());
+  reclaimed_blocks.Add(blocks);
+  if (retired_before > retired_after)
+    reclaimed_bytes.Add(retired_before - retired_after);
+  pass_latency.Record(metrics::MonotonicNanos() - pass_start);
 }
 
 void Graph::CompactVertex(vertex_t v, timestamp_t safe) {

@@ -7,6 +7,7 @@
 
 #include "util/futex_lock.h"
 #include "util/invariant.h"
+#include "util/metrics.h"
 #include "util/sync_annotations.h"
 
 namespace livegraph {
@@ -28,6 +29,43 @@ EpochDomain::EpochDomain(size_t window)
   mask_ = size - 1;
   slots_ = std::vector<Slot>(size);
   for (auto& pin : pins_) pin.store(kFreePin, std::memory_order_relaxed);
+  // Epoch-frontier gauges are sampled on demand (a metrics probe run at
+  // snapshot time) instead of being maintained on the commit path. With
+  // several domains in one process (embedded tests/benches) the last
+  // probe to run wins; a server process has exactly one relevant domain
+  // (docs/OBSERVABILITY.md).
+  metrics::Registry& registry = metrics::Registry::Instance();
+  metrics::Gauge& issued_gauge = registry.GetGauge("livegraph_epoch_issued");
+  metrics::Gauge& visible_gauge =
+      registry.GetGauge("livegraph_epoch_visible");
+  metrics::Gauge& lag_gauge = registry.GetGauge("livegraph_epoch_lag");
+  metrics::Gauge& pins_gauge = registry.GetGauge("livegraph_epoch_read_pins");
+  metrics::Gauge& pin_age_gauge =
+      registry.GetGauge("livegraph_epoch_oldest_pin_age");
+  metrics_probe_ = registry.AddProbe([this, &issued_gauge, &visible_gauge,
+                                      &lag_gauge, &pins_gauge,
+                                      &pin_age_gauge] {
+    const timestamp_t now_visible = visible();
+    const timestamp_t now_issued = issued();
+    issued_gauge.Set(now_issued);
+    visible_gauge.Set(now_visible);
+    lag_gauge.Set(now_issued - now_visible);
+    int64_t live_pins = 0;
+    timestamp_t oldest = now_visible;
+    for (const auto& pin : pins_) {
+      timestamp_t pinned = pin.load(std::memory_order_relaxed);
+      if (pinned == kFreePin) continue;
+      ++live_pins;
+      if (pinned < oldest) oldest = pinned;
+    }
+    pins_gauge.Set(live_pins);
+    pin_age_gauge.Set(now_visible - oldest);
+  });
+}
+
+EpochDomain::~EpochDomain() {
+  // Blocks out any in-flight Collect() before `this` goes away.
+  metrics::Registry::Instance().RemoveProbe(metrics_probe_);
 }
 
 timestamp_t EpochDomain::Acquire(uint32_t participants) {

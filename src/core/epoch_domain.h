@@ -39,6 +39,7 @@ class EpochDomain {
   /// (it cannot deadlock: the wait is on strictly older epochs, whose
   /// participants never wait on younger ones).
   explicit EpochDomain(size_t window = 4096);
+  ~EpochDomain();
 
   EpochDomain(const EpochDomain&) = delete;
   EpochDomain& operator=(const EpochDomain&) = delete;
@@ -128,6 +129,10 @@ class EpochDomain {
   static constexpr uint32_t kPinSlots = 2048;
   static constexpr timestamp_t kFreePin = INT64_MAX;
   std::vector<std::atomic<timestamp_t>> pins_;
+
+  /// Frontier/pin gauges sampled at metrics-collection time; removed in
+  /// the destructor (removal blocks out in-flight collection).
+  uint64_t metrics_probe_ = 0;
 };
 
 }  // namespace livegraph

@@ -6,6 +6,7 @@
 
 #include "core/commit_manager.h"
 #include "core/transaction.h"
+#include "util/metrics.h"
 
 namespace livegraph {
 
@@ -256,6 +257,13 @@ void Graph::EnterDegraded(Status status) {
   Status expected = Status::kOk;
   if (degraded_.compare_exchange_strong(expected, status,
                                         std::memory_order_acq_rel)) {
+    // Sticky flag + typed error counter (cold path: once per process
+    // unless multiple engines degrade).
+    metrics::Registry::Instance().GetGauge("livegraph_degraded").Set(1);
+    std::string counter_name = "livegraph_errors_total{status=\"";
+    counter_name += StatusName(status);
+    counter_name += "\"}";
+    metrics::Registry::Instance().GetCounter(counter_name).Add();
     std::fprintf(stderr,
                  "Graph: entering read-only degraded mode (%s) — reads keep "
                  "serving the last durable epoch, writes are rejected; "

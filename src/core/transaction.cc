@@ -9,6 +9,7 @@
 #include "core/tel_ops.h"
 #include "util/bloom_filter.h"
 #include "util/lock_rank.h"
+#include "util/metrics.h"
 
 namespace livegraph {
 
@@ -489,6 +490,21 @@ StatusOr<timestamp_t> Transaction::Commit() {
     return degraded;
   }
   // Persist phase: group commit through the transaction manager (§5).
+  // Stage timings feed the commit-pipeline histograms and, past the
+  // configured threshold, the slow-op ring (docs/OBSERVABILITY.md).
+  static metrics::Histogram& persist_latency =
+      metrics::Registry::Instance().GetHistogram(
+          "livegraph_commit_persist_latency", metrics::Unit::kNanos);
+  static metrics::Histogram& apply_latency =
+      metrics::Registry::Instance().GetHistogram(
+          "livegraph_commit_apply_latency", metrics::Unit::kNanos);
+  static metrics::Histogram& visible_latency =
+      metrics::Registry::Instance().GetHistogram(
+          "livegraph_commit_visible_wait", metrics::Unit::kNanos);
+  static metrics::Counter& commits =
+      metrics::Registry::Instance().GetCounter("livegraph_commit_txns_total");
+  const bool timed = metrics::SampleStageTiming();
+  const uint64_t commit_start = timed ? metrics::MonotonicNanos() : 0;
   std::string_view payload = replay_mode_ ? std::string_view{} : scratch_->wal_payload;
   Status persist_error = Status::kOk;
   write_epoch_ = graph_->commit_manager_->Persist(payload, 0, 1,
@@ -506,9 +522,35 @@ StatusOr<timestamp_t> Transaction::Commit() {
     graph_->commit_manager_->FinishApply(write_epoch_);
     return persist_error;
   }
+  uint64_t persist_done = 0;
+  if (timed) {
+    persist_done = metrics::MonotonicNanos();
+    persist_latency.Record(persist_done - commit_start);
+  }
   // Apply phase.
   ApplyCommit(write_epoch_);
+  uint64_t apply_done = 0;
+  if (timed) {
+    apply_done = metrics::MonotonicNanos();
+    apply_latency.Record(apply_done - persist_done);
+  }
   graph_->commit_manager_->FinishApply(write_epoch_);
+  commits.Add();
+  if (timed) {
+    const uint64_t visible_done = metrics::MonotonicNanos();
+    visible_latency.Record(visible_done - apply_done);
+    if (metrics::SlowOpRing::Instance().ShouldRecord(visible_done -
+                                                     commit_start)) {
+      metrics::SlowOp op;
+      op.name = "COMMIT";
+      op.epoch = write_epoch_;
+      op.total_nanos = visible_done - commit_start;
+      op.stage_nanos[0] = persist_done - commit_start;  // persist
+      op.stage_nanos[1] = apply_done - persist_done;    // apply
+      op.stage_nanos[2] = visible_done - apply_done;    // visible wait
+      metrics::SlowOpRing::Instance().Record(std::move(op));
+    }
+  }
   MarkDirty();
   state_ = State::kCommitted;
   scratch_->Reset();
@@ -546,6 +588,18 @@ StatusOr<timestamp_t> Transaction::CommitAt(timestamp_t epoch,
     graph_->epoch_domain()->MarkApplied(epoch);
     return degraded;
   }
+  // Same stage histograms as Commit(): the registry dedupes by name, so
+  // sharded pieces land in the same commit-pipeline series.
+  static metrics::Histogram& persist_latency =
+      metrics::Registry::Instance().GetHistogram(
+          "livegraph_commit_persist_latency", metrics::Unit::kNanos);
+  static metrics::Histogram& apply_latency =
+      metrics::Registry::Instance().GetHistogram(
+          "livegraph_commit_apply_latency", metrics::Unit::kNanos);
+  static metrics::Counter& commits =
+      metrics::Registry::Instance().GetCounter("livegraph_commit_txns_total");
+  const bool timed = metrics::SampleStageTiming();
+  const uint64_t commit_start = timed ? metrics::MonotonicNanos() : 0;
   std::string_view payload =
       replay_mode_ ? std::string_view{} : scratch_->wal_payload;
   Status persist_error = Status::kOk;
@@ -563,7 +617,14 @@ StatusOr<timestamp_t> Transaction::CommitAt(timestamp_t epoch,
                                          /*wait_visible=*/false);
     return persist_error;
   }
+  uint64_t persist_done = 0;
+  if (timed) {
+    persist_done = metrics::MonotonicNanos();
+    persist_latency.Record(persist_done - commit_start);
+  }
   ApplyCommit(write_epoch_);
+  if (timed) apply_latency.Record(metrics::MonotonicNanos() - persist_done);
+  commits.Add();
   graph_->commit_manager_->FinishApply(write_epoch_, /*wait_visible=*/false);
   MarkDirty();
   state_ = State::kCommitted;

@@ -14,6 +14,7 @@
 #include "server/wire.h"
 #include "storage/wal.h"
 #include "util/fault_injection.h"
+#include "util/metrics.h"
 #include "util/raw_io.h"
 
 namespace livegraph {
@@ -26,9 +27,29 @@ constexpr uint32_t kReplicaStateVersion = 1;
 
 }  // namespace
 
-Replica::Replica(Options options) : options_(std::move(options)) {}
+Replica::Replica(Options options) : options_(std::move(options)) {
+  // Follower-side gauges, sampled at metrics-collection time from the
+  // atomics the replica already maintains (docs/OBSERVABILITY.md).
+  metrics::Registry& registry = metrics::Registry::Instance();
+  metrics::Gauge& frontier_gauge =
+      registry.GetGauge("livegraph_replica_applied_frontier");
+  metrics::Gauge& resub_gauge =
+      registry.GetGauge("livegraph_replica_resubscribes");
+  metrics::Gauge& frames_gauge =
+      registry.GetGauge("livegraph_replica_frames");
+  metrics_probe_ = registry.AddProbe(
+      [this, &frontier_gauge, &resub_gauge, &frames_gauge] {
+        frontier_gauge.Set(frontier_.Frontier());
+        resub_gauge.Set(static_cast<int64_t>(resubscribes()));
+        frames_gauge.Set(static_cast<int64_t>(
+            frames_.load(std::memory_order_relaxed)));
+      });
+}
 
-Replica::~Replica() { Stop(); }
+Replica::~Replica() {
+  metrics::Registry::Instance().RemoveProbe(metrics_probe_);
+  Stop();
+}
 
 void Replica::Start() {
   if (running_.exchange(true)) return;

@@ -121,6 +121,8 @@ class Replica {
   Socket socket_;  // live session socket; Shutdown() unblocks the thread
   std::mutex socket_mu_;
   std::thread thread_;
+  /// Follower gauges probe (registered in the ctor, removed in the dtor).
+  uint64_t metrics_probe_ = 0;
 };
 
 }  // namespace livegraph

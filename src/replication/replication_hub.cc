@@ -2,6 +2,7 @@
 
 #include "baselines/livegraph_store.h"
 #include "shard/sharded_store.h"
+#include "util/metrics.h"
 
 namespace livegraph {
 
@@ -40,10 +41,33 @@ bool ReplicationHub::Attach(Store& store) {
         std::make_unique<ShardSink>(&log_, static_cast<uint32_t>(s)));
     graphs_[s]->SetWalSink(sinks_[s].get());
   }
+  // Frontier/backlog gauges sampled at metrics-collection time
+  // (docs/OBSERVABILITY.md). Lag is primary-visible minus the last acked
+  // follower frontier; bytes is the live buffer backlog.
+  metrics::Registry& registry = metrics::Registry::Instance();
+  metrics::Gauge& frontier_gauge =
+      registry.GetGauge("livegraph_replication_follower_frontier");
+  metrics::Gauge& lag_gauge =
+      registry.GetGauge("livegraph_replication_lag_epochs");
+  metrics::Gauge& buffered_gauge =
+      registry.GetGauge("livegraph_replication_buffered_bytes");
+  metrics_probe_ = registry.AddProbe(
+      [this, &frontier_gauge, &lag_gauge, &buffered_gauge] {
+        const timestamp_t acked = follower_frontier();
+        frontier_gauge.Set(acked);
+        const timestamp_t visible = domain_->visible();
+        lag_gauge.Set(acked > 0 ? visible - acked : visible);
+        buffered_gauge.Set(static_cast<int64_t>(log_.buffered_bytes()));
+      });
   return true;
 }
 
 void ReplicationHub::Detach() {
+  if (metrics_probe_ != 0) {
+    // Blocks out in-flight collection before the domain pointer dies.
+    metrics::Registry::Instance().RemoveProbe(metrics_probe_);
+    metrics_probe_ = 0;
+  }
   for (Graph* graph : graphs_) graph->SetWalSink(nullptr);
   graphs_.clear();
   wal_paths_.clear();
@@ -71,11 +95,24 @@ bool ReplicationHub::Subscribe(timestamp_t from_epoch,
       follower_shards == 0 ||
       follower_shards == static_cast<uint32_t>(num_shards());
 
+  static metrics::Gauge& subscribers = metrics::Registry::Instance().GetGauge(
+      "livegraph_replication_subscribers");
+  static metrics::Counter& tier_live =
+      metrics::Registry::Instance().GetCounter(
+          "livegraph_replication_subscribes_total{tier=\"live\"}");
+  static metrics::Counter& tier_disk =
+      metrics::Registry::Instance().GetCounter(
+          "livegraph_replication_subscribes_total{tier=\"disk\"}");
+  static metrics::Counter& tier_snapshot =
+      metrics::Registry::Instance().GetCounter(
+          "livegraph_replication_subscribes_total{tier=\"snapshot\"}");
   if (layout_ok && from_epoch >= trim) {
     // Tier A: pure live. The buffer holds every record above from_epoch.
     sub->filter = from_epoch;
     sub->need_disk = false;
     sub->need_snapshot = false;
+    subscribers.Add(1);
+    tier_live.Add();
     return true;
   }
   if (layout_ok && from_epoch >= wal_floor_) {
@@ -85,6 +122,8 @@ bool ReplicationHub::Subscribe(timestamp_t from_epoch,
     sub->need_disk = true;
     sub->disk_from = from_epoch;
     sub->need_snapshot = false;
+    subscribers.Add(1);
+    tier_disk.Add();
     return true;
   }
   // Tier C: snapshot bootstrap. Pin every shard at ONE epoch F0 (the pin
@@ -99,12 +138,19 @@ bool ReplicationHub::Subscribe(timestamp_t from_epoch,
   }
   // The snapshots' own reading-epoch slots keep protecting F0 per shard.
   domain_->Unpin(pin);
+  subscribers.Add(1);
+  tier_snapshot.Add();
   return true;
 }
 
 void ReplicationHub::Unsubscribe(Subscription* sub) {
   sub->snapshots.clear();
-  if (sub->cursor != 0) log_.CloseCursor(sub->cursor);
+  if (sub->cursor != 0) {
+    log_.CloseCursor(sub->cursor);
+    metrics::Registry::Instance()
+        .GetGauge("livegraph_replication_subscribers")
+        .Sub(1);
+  }
   sub->cursor = 0;
 }
 

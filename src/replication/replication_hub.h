@@ -123,6 +123,8 @@ class ReplicationHub {
   /// a recovery seal); resuming below it needs the snapshot tier.
   timestamp_t wal_floor_ = 0;
   std::atomic<timestamp_t> follower_frontier_{0};
+  /// Replication gauges probe (registered in Attach, removed in Detach).
+  uint64_t metrics_probe_ = 0;
 };
 
 }  // namespace livegraph

@@ -9,11 +9,87 @@
 
 #include "replication/epoch_frontier.h"
 #include "replication/replication_hub.h"
+#include "server/stats_codec.h"
 #include "server/wire.h"
 #include "storage/wal_reader.h"
 #include "util/fault_injection.h"
+#include "util/metrics.h"
 
 namespace livegraph {
+
+namespace {
+
+// Per-opcode request counter + latency histogram, resolved once per opcode
+// (thread-safe static locals) so the steady-state dispatch cost is two
+// pointer loads, not a registry map lookup.
+struct OpMetrics {
+  const char* name;
+  metrics::Counter& requests;
+  metrics::Histogram& latency;
+};
+
+OpMetrics MakeOpMetrics(const char* op) {
+  auto& registry = metrics::Registry::Instance();
+  std::string label = std::string("{op=\"") + op + "\"}";
+  return OpMetrics{
+      op,
+      registry.GetCounter("livegraph_server_requests_total" + label),
+      registry.GetHistogram("livegraph_server_op_latency" + label,
+                            metrics::Unit::kNanos)};
+}
+
+const OpMetrics* OpMetricsFor(MsgType type) {
+#define LIVEGRAPH_OP_METRICS(TYPE, NAME)                \
+  case MsgType::TYPE: {                                 \
+    static OpMetrics metrics = MakeOpMetrics(NAME);     \
+    return &metrics;                                    \
+  }
+  switch (type) {
+    LIVEGRAPH_OP_METRICS(kHello, "HELLO")
+    LIVEGRAPH_OP_METRICS(kBeginTxn, "BEGIN_TXN")
+    LIVEGRAPH_OP_METRICS(kBeginReadTxn, "BEGIN_READ_TXN")
+    LIVEGRAPH_OP_METRICS(kCommit, "COMMIT")
+    LIVEGRAPH_OP_METRICS(kAbort, "ABORT")
+    LIVEGRAPH_OP_METRICS(kEndRead, "END_READ")
+    LIVEGRAPH_OP_METRICS(kGetNode, "GET_NODE")
+    LIVEGRAPH_OP_METRICS(kGetLink, "GET_LINK")
+    LIVEGRAPH_OP_METRICS(kScanLinks, "SCAN_LINKS")
+    LIVEGRAPH_OP_METRICS(kCountLinks, "COUNT_LINKS")
+    LIVEGRAPH_OP_METRICS(kVertexCount, "VERTEX_COUNT")
+    LIVEGRAPH_OP_METRICS(kAddNode, "ADD_NODE")
+    LIVEGRAPH_OP_METRICS(kUpdateNode, "UPDATE_NODE")
+    LIVEGRAPH_OP_METRICS(kDeleteNode, "DELETE_NODE")
+    LIVEGRAPH_OP_METRICS(kAddLink, "ADD_LINK")
+    LIVEGRAPH_OP_METRICS(kUpdateLink, "UPDATE_LINK")
+    LIVEGRAPH_OP_METRICS(kDeleteLink, "DELETE_LINK")
+    LIVEGRAPH_OP_METRICS(kBeginReadTxnAt, "BEGIN_READ_TXN_AT")
+    LIVEGRAPH_OP_METRICS(kStats, "STATS")
+    default:
+      // kSubscribe converts the connection into a push stream (its latency
+      // is the stream lifetime, not a request) and response types are
+      // protocol violations — neither belongs in the op histograms.
+      return nullptr;
+  }
+#undef LIVEGRAPH_OP_METRICS
+}
+
+/// Non-kOk replies, labelled by status. Looked up per error (registry map
+/// under its mutex): errors are rare, and this keeps one chokepoint
+/// instead of a static per status value.
+void CountReplyError(Status status) {
+  metrics::Registry::Instance()
+      .GetCounter(std::string("livegraph_server_errors_total{status=\"") +
+                  StatusName(status) + "\"}")
+      .Add();
+}
+
+metrics::Gauge& OpenTxnsGauge() {
+  static metrics::Gauge& gauge =
+      metrics::Registry::Instance().GetGauge("livegraph_server_open_txns");
+  return gauge;
+}
+
+}  // namespace
 
 // One protocol session: a connection thread that owns its socket, its open
 // transactions, and three reused buffers (parse is in-place over the
@@ -55,6 +131,7 @@ class GraphServer::Connection {
     }
     // Destroying the table aborts open write sessions and releases read
     // sessions (latches, snapshots) — a vanished client holds nothing.
+    OpenTxnsGauge().Add(-static_cast<int64_t>(txns_.size()));
     txns_.clear();
     // Shutdown only — never Close() here: GraphServer::Stop() may call
     // ShutdownSocket() concurrently, and closing would both race on fd_
@@ -65,9 +142,29 @@ class GraphServer::Connection {
     done_.store(true, std::memory_order_release);
   }
 
-  /// Handles one request frame. False tears the connection down (protocol
-  /// violation or dead socket).
+  /// Handles one request frame with per-opcode accounting (request count,
+  /// latency histogram, slow-op trace). False tears the connection down
+  /// (protocol violation or dead socket).
   bool Dispatch(const Frame& request) {
+    const OpMetrics* op = OpMetricsFor(request.type);
+    if (op == nullptr) return DispatchInner(request);
+    const uint64_t start = metrics::MonotonicNanos();
+    bool keep = DispatchInner(request);
+    const uint64_t elapsed = metrics::MonotonicNanos() - start;
+    op->requests.Add();
+    op->latency.Record(elapsed);
+    auto& ring = metrics::SlowOpRing::Instance();
+    if (ring.ShouldRecord(elapsed)) {
+      metrics::SlowOp slow;
+      slow.name = op->name;
+      slow.total_nanos = elapsed;
+      slow.wall_unix_micros = metrics::WallUnixMicros();
+      ring.Record(std::move(slow));
+    }
+    return keep;
+  }
+
+  bool DispatchInner(const Frame& request) {
     WireReader reader(request.body);
     switch (request.type) {
       case MsgType::kHello: return HandleHello(reader);
@@ -91,6 +188,7 @@ class GraphServer::Connection {
       case MsgType::kDeleteLink: return HandleDeleteLink(reader);
       case MsgType::kSubscribe: return HandleSubscribe(reader);
       case MsgType::kBeginReadTxnAt: return HandleBeginReadTxnAt(reader);
+      case MsgType::kStats: return HandleStats(reader);
       case MsgType::kFrontierAck:
         return false;  // only valid inside an established push stream
       case MsgType::kReply:
@@ -107,6 +205,7 @@ class GraphServer::Connection {
   /// Starts a reply body with its status byte; append the payload through
   /// the returned writer, then SendReply().
   WireWriter BeginReply(Status status) {
+    if (status != Status::kOk) CountReplyError(status);
     reply_body_.clear();
     WireWriter writer(&reply_body_);
     writer.PutU8(StatusToWire(status));
@@ -148,6 +247,7 @@ class GraphServer::Connection {
     if (!reader.Exhausted()) return false;
     uint64_t id = next_txn_id_++;
     OpenTxn& slot = txns_[id];
+    OpenTxnsGauge().Add(1);
     if (write) {
       slot.write = server_->store_.BeginTxn();
     } else {
@@ -167,6 +267,7 @@ class GraphServer::Connection {
     }
     StatusOr<timestamp_t> committed = it->second.write->Commit();
     txns_.erase(it);
+    OpenTxnsGauge().Sub(1);
     if (!committed.ok()) return ReplyStatus(committed.status());
     WireWriter writer = BeginReply(Status::kOk);
     writer.PutI64(*committed);
@@ -182,6 +283,7 @@ class GraphServer::Connection {
     }
     it->second.write->Abort();
     txns_.erase(it);
+    OpenTxnsGauge().Sub(1);
     return ReplyStatus(Status::kOk);
   }
 
@@ -193,6 +295,7 @@ class GraphServer::Connection {
       return ReplyStatus(Status::kNotActive);
     }
     txns_.erase(it);  // releases the engine read session (latch, snapshot)
+    OpenTxnsGauge().Sub(1);
     return ReplyStatus(Status::kOk);
   }
 
@@ -349,8 +452,21 @@ class GraphServer::Connection {
     }
     uint64_t id = next_txn_id_++;
     txns_[id].read = server_->store_.BeginReadTxn();
+    OpenTxnsGauge().Add(1);
     WireWriter writer = BeginReply(Status::kOk);
     writer.PutU64(id);
+    return SendReply();
+  }
+
+  /// STATS: collect the live registry (probes included) and reply with the
+  /// versioned binary snapshot (server/stats_codec.h).
+  bool HandleStats(WireReader& reader) {
+    if (!reader.Exhausted()) return false;
+    metrics::Snapshot snapshot = metrics::Registry::Instance().Collect();
+    batch_body_.clear();
+    EncodeStats(snapshot, &batch_body_);
+    WireWriter writer = BeginReply(Status::kOk);
+    writer.PutBytes(batch_body_);
     return SendReply();
   }
 
@@ -648,6 +764,17 @@ GraphServer::~GraphServer() { Stop(); }
 bool GraphServer::Start() {
   listener_ = ListenTcp(options_.host, options_.port, &port_);
   if (!listener_.valid()) return false;
+  auto& registry = metrics::Registry::Instance();
+  // Eagerly register the gauges scrapes key on, so they exist (at 0) from
+  // the first snapshot instead of appearing after the first event.
+  registry.GetGauge("livegraph_degraded");
+  OpenTxnsGauge();
+  metrics::Gauge& connections =
+      registry.GetGauge("livegraph_server_connections");
+  metrics_probe_ = registry.AddProbe([this, &connections] {
+    connections.Set(static_cast<int64_t>(
+        active_connections_.load(std::memory_order_relaxed)));
+  });
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
@@ -661,6 +788,11 @@ void GraphServer::AcceptLoop() {
     // instead of wedging it. Receives stay unbounded — an idle client
     // parked between requests is normal, not a fault.
     conn.SetSendTimeout(options_.io_timeout_ms);
+    static metrics::Counter& rx = metrics::Registry::Instance().GetCounter(
+        "livegraph_server_rx_bytes_total");
+    static metrics::Counter& tx = metrics::Registry::Instance().GetCounter(
+        "livegraph_server_tx_bytes_total");
+    conn.SetByteCounters(&rx, &tx);
     std::lock_guard<std::mutex> lock(connections_mu_);
     // Reap finished connections so a long-lived server with connection
     // churn doesn't accumulate dead session objects.
@@ -700,6 +832,11 @@ void GraphServer::Drain(int64_t deadline_ms) {
 void GraphServer::Stop() {
   bool was_running = running_.exchange(false, std::memory_order_acq_rel);
   if (!was_running) return;
+  if (metrics_probe_ != 0) {
+    // Blocks out any in-flight Collect() before `this` can go away.
+    metrics::Registry::Instance().RemoveProbe(metrics_probe_);
+    metrics_probe_ = 0;
+  }
   listener_.Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();

@@ -103,6 +103,9 @@ class GraphServer {
 
   std::mutex connections_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;
+
+  /// Connections-gauge probe (registered in Start, removed in Stop).
+  uint64_t metrics_probe_ = 0;
 };
 
 }  // namespace livegraph

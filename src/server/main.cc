@@ -8,6 +8,7 @@
 //                    [--scan-batch-edges=N]
 //                    [--replica-of=HOST:PORT] [--replica-dir=DIR]
 //                    [--replica-checkpoint-epochs=N]
+//                    [--metrics-port=N] [--slow-op-ms=N]
 //
 // Serves the chosen engine over the binary wire protocol until SIGINT or
 // SIGTERM. --shards=N (LiveGraph engine only) serves a hash-partitioned
@@ -49,16 +50,22 @@
 #include "replication/replica.h"
 #include "replication/replication_hub.h"
 #include "server/graph_server.h"
+#include "server/metrics_http.h"
 #include "shard/sharded_store.h"
+#include "util/build_info.h"
 #include "util/fault_injection.h"
+#include "util/log.h"
+#include "util/metrics.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;  // SIGINT: stop now
 volatile std::sig_atomic_t g_term = 0;  // SIGTERM: graceful drain
+volatile std::sig_atomic_t g_dump_slow = 0;  // SIGUSR1: dump slow-op ring
 
 void HandleInt(int) { g_stop = 1; }
 void HandleTerm(int) { g_term = 1; }
+void HandleUsr1(int) { g_dump_slow = 1; }
 
 struct Flags {
   std::string engine = "LiveGraph";
@@ -76,6 +83,8 @@ struct Flags {
   std::string replica_dir;  // follower durable dir (empty = in-memory)
   int64_t replica_checkpoint_epochs = 65536;
   int64_t drain_deadline_ms = 5000;  // SIGTERM graceful-drain bound
+  int metrics_port = -1;  // /metrics HTTP port; -1 = disabled, 0 = ephemeral
+  int64_t slow_op_ms = 100;  // slow-op trace threshold; 0 disables
 };
 
 /// Splits "host:port"; false on a missing/invalid port.
@@ -112,6 +121,7 @@ int Usage(const char* argv0) {
       "          [--replica-of=HOST:PORT] [--replica-dir=DIR]\n"
       "          [--replica-checkpoint-epochs=N]\n"
       "          [--drain-deadline-ms=N] [--faults=SPEC]\n"
+      "          [--metrics-port=N] [--slow-op-ms=N]\n"
       "  --shards=N (N > 1) serves a hash-partitioned ShardedLiveGraph;\n"
       "  LiveGraph engine only. With durability the server recovers its\n"
       "  durable state on start; a sharded server uses --wal-path as its\n"
@@ -121,7 +131,11 @@ int Usage(const char* argv0) {
       "  SIGTERM drains gracefully: stop accepting, finish in-flight\n"
       "  requests (up to --drain-deadline-ms), final checkpoint, exit 0.\n"
       "  --faults installs fault-injection failpoints (docs/FAULTS.md);\n"
-      "  requires a build with -DLIVEGRAPH_FAULTS=ON.\n",
+      "  requires a build with -DLIVEGRAPH_FAULTS=ON.\n"
+      "  --metrics-port serves Prometheus text exposition on GET /metrics\n"
+      "  (docs/OBSERVABILITY.md); 0 picks an ephemeral port. --slow-op-ms\n"
+      "  traces requests/commits slower than N ms into a ring dumped by\n"
+      "  SIGUSR1 and the STATS opcode (default 100, 0 disables).\n",
       argv0);
   return 2;
 }
@@ -177,6 +191,39 @@ std::unique_ptr<livegraph::Store> MakeEngine(const Flags& flags) {
   return nullptr;
 }
 
+/// Binds the /metrics endpoint when --metrics-port is given. False only on
+/// a bind failure — an operator who asked for scrapes must not silently
+/// run without them.
+bool StartMetricsEndpoint(const Flags& flags,
+                          livegraph::MetricsHttpServer* http) {
+  if (flags.metrics_port < 0) return true;
+  if (!http->Start(flags.host,
+                   static_cast<uint16_t>(flags.metrics_port))) {
+    livegraph::logging::LogLine("server.metrics_bind_failed")
+        .Str("host", flags.host)
+        .I64("port", flags.metrics_port);
+    return false;
+  }
+  return true;
+}
+
+/// Shared serve loop: sleep in 200 ms ticks (signals interrupt promptly
+/// enough for a CLI) until SIGINT/SIGTERM, dumping the slow-op trace ring
+/// to stderr whenever SIGUSR1 arrived.
+void RunUntilSignal() {
+  std::signal(SIGINT, HandleInt);
+  std::signal(SIGTERM, HandleTerm);
+  std::signal(SIGUSR1, HandleUsr1);
+  while (g_stop == 0 && g_term == 0) {
+    if (g_dump_slow != 0) {
+      g_dump_slow = 0;
+      livegraph::metrics::SlowOpRing::Instance().DumpToStderr();
+    }
+    struct timespec tick = {0, 200'000'000};
+    nanosleep(&tick, nullptr);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,6 +258,14 @@ int main(int argc, char** argv) {
       flags.replica_checkpoint_epochs = std::atoll(value.c_str());
     } else if (TakeValue(argv[i], "--drain-deadline-ms", &value)) {
       flags.drain_deadline_ms = std::atoll(value.c_str());
+    } else if (TakeValue(argv[i], "--metrics-port", &value)) {
+      flags.metrics_port = std::atoi(value.c_str());
+      if (flags.metrics_port < 0 || flags.metrics_port > 65535) {
+        return Usage(argv[0]);
+      }
+    } else if (TakeValue(argv[i], "--slow-op-ms", &value)) {
+      flags.slow_op_ms = std::atoll(value.c_str());
+      if (flags.slow_op_ms < 0) return Usage(argv[0]);
     } else if (TakeValue(argv[i], "--faults", &value)) {
       std::string error;
       if (!livegraph::faults::Configure(value, &error)) {
@@ -234,6 +289,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--shards=N requires N >= 1 and --engine=LiveGraph\n");
     return Usage(argv[0]);
   }
+  livegraph::metrics::SlowOpRing::Instance().set_threshold_nanos(
+      static_cast<uint64_t>(flags.slow_op_ms) * 1'000'000u);
 
   // --- Follower mode: subscribe to a primary, serve reads only ---
   if (!flags.replica_of.empty()) {
@@ -257,24 +314,31 @@ int main(int argc, char** argv) {
     options.frontier = &replica.frontier();
     livegraph::GraphServer server(replica.store(), options);
     if (!server.Start()) {
-      std::fprintf(stderr, "failed to bind %s:%u\n", flags.host.c_str(),
-                   unsigned{flags.port});
+      livegraph::logging::LogLine("server.bind_failed")
+          .Str("host", flags.host)
+          .I64("port", flags.port);
       return 1;
     }
-    std::printf(
-        "livegraph_server: follower of %s listening on %s:%u\n",
-        flags.replica_of.c_str(), flags.host.c_str(),
-        unsigned{server.port()});
-    std::fflush(stdout);
-
-    std::signal(SIGINT, HandleInt);
-    std::signal(SIGTERM, HandleTerm);
-    while (g_stop == 0 && g_term == 0) {
-      struct timespec tick = {0, 200'000'000};
-      nanosleep(&tick, nullptr);
+    livegraph::MetricsHttpServer metrics_http;
+    if (!StartMetricsEndpoint(flags, &metrics_http)) return 1;
+    {
+      livegraph::logging::LogLine line("server.start");
+      line.Str("role", "follower")
+          .Str("primary", flags.replica_of)
+          .Str("host", flags.host)
+          .U64("port", server.port())
+          .Str("sha", livegraph::kBuildGitSha)
+          .Str("build", livegraph::kBuildType)
+          .Str("build_flags", livegraph::kBuildFlags)
+          .I64("slow_op_ms", flags.slow_op_ms);
+      if (flags.metrics_port >= 0) line.U64("metrics_port", metrics_http.port());
     }
-    std::printf("livegraph_server: follower shutting down (frontier %lld)\n",
-                static_cast<long long>(replica.frontier().Frontier()));
+
+    RunUntilSignal();
+    livegraph::logging::LogLine("server.stop")
+        .Str("role", "follower")
+        .Bool("drain", g_term != 0)
+        .I64("frontier", replica.frontier().Frontier());
     if (g_term != 0) {
       // Graceful: finish serving in-flight reads before detaching from
       // the primary (Replica::Stop persists nothing extra — its cadence
@@ -309,34 +373,38 @@ int main(int argc, char** argv) {
   }
   livegraph::GraphServer server(*engine, options);
   if (!server.Start()) {
-    std::fprintf(stderr, "failed to bind %s:%u\n", flags.host.c_str(),
-                 unsigned{flags.port});
+    livegraph::logging::LogLine("server.bind_failed")
+        .Str("host", flags.host)
+        .I64("port", flags.port);
     return 1;
   }
-  std::printf(
-      "livegraph_server: engine=%s durability=%s replication=%s "
-      "listening on %s:%u\n",
-      engine->Name().c_str(), flags.durability.c_str(),
-      hub.attached() ? "on" : "off", flags.host.c_str(),
-      unsigned{server.port()});
-  std::fflush(stdout);
-
-  std::signal(SIGINT, HandleInt);
-  std::signal(SIGTERM, HandleTerm);
-  while (g_stop == 0 && g_term == 0) {
-    // sleep in 200 ms ticks; signals interrupt promptly enough for a CLI
-    struct timespec tick = {0, 200'000'000};
-    nanosleep(&tick, nullptr);
+  livegraph::MetricsHttpServer metrics_http;
+  if (!StartMetricsEndpoint(flags, &metrics_http)) return 1;
+  {
+    livegraph::logging::LogLine line("server.start");
+    line.Str("role", "primary")
+        .Str("engine", engine->Name())
+        .I64("shards", flags.shards)
+        .Str("durability", flags.durability)
+        .Bool("replication", hub.attached())
+        .Str("host", flags.host)
+        .U64("port", server.port())
+        .Str("sha", livegraph::kBuildGitSha)
+        .Str("build", livegraph::kBuildType)
+        .Str("build_flags", livegraph::kBuildFlags)
+        .I64("slow_op_ms", flags.slow_op_ms);
+    if (flags.metrics_port >= 0) line.U64("metrics_port", metrics_http.port());
   }
+
+  RunUntilSignal();
   if (g_term != 0) {
     // Graceful SIGTERM drain: stop accepting, let in-flight requests
     // finish (bounded), then take a final checkpoint so a clean restart
     // replays (almost) no WAL tail. A degraded engine skips the
     // checkpoint — its last good one must stay authoritative.
-    std::printf("livegraph_server: draining (%zu connections, %lld ms)\n",
-                server.active_connections(),
-                static_cast<long long>(flags.drain_deadline_ms));
-    std::fflush(stdout);
+    livegraph::logging::LogLine("server.drain")
+        .U64("connections", server.active_connections())
+        .I64("deadline_ms", flags.drain_deadline_ms);
     server.Drain(flags.drain_deadline_ms);
     if (auto* sharded =
             dynamic_cast<livegraph::ShardedStore*>(engine.get())) {
@@ -350,11 +418,15 @@ int main(int argc, char** argv) {
         live->graph().Checkpoint(flags.checkpoint_dir);
       }
     }
-    std::printf("livegraph_server: drained, exiting\n");
+    livegraph::logging::LogLine("server.stop")
+        .Str("role", "primary")
+        .Bool("drain", true);
     return 0;
   }
-  std::printf("livegraph_server: shutting down (%zu connections)\n",
-              server.active_connections());
+  livegraph::logging::LogLine("server.stop")
+      .Str("role", "primary")
+      .Bool("drain", false)
+      .U64("connections", server.active_connections());
   server.Stop();
   return 0;
 }

@@ -1,0 +1,107 @@
+#include "server/metrics_http.h"
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace livegraph {
+
+namespace {
+
+/// Request size cap: a scrape request is one short line plus a few
+/// headers; anything larger is not a scraper.
+constexpr size_t kMaxRequestBytes = 8u << 10;
+
+/// Socket deadline for the whole request/response exchange. A scraper that
+/// cannot send one line or drain the body in this window is cut off.
+constexpr int64_t kIoTimeoutMs = 2000;
+
+bool SendResponse(Socket& conn, const char* status_line,
+                  std::string_view content_type, std::string_view body) {
+  char header[256];
+  int n = std::snprintf(header, sizeof(header),
+                        "HTTP/1.0 %s\r\n"
+                        "Content-Type: %.*s\r\n"
+                        "Content-Length: %zu\r\n"
+                        "Connection: close\r\n"
+                        "\r\n",
+                        status_line, static_cast<int>(content_type.size()),
+                        content_type.data(), body.size());
+  if (n <= 0 || static_cast<size_t>(n) >= sizeof(header)) return false;
+  return conn.WriteFull(header, static_cast<size_t>(n)) &&
+         conn.WriteFull(body.data(), body.size());
+}
+
+}  // namespace
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+bool MetricsHttpServer::Start(const std::string& host, uint16_t port) {
+  listener_ = ListenTcp(host, port, &port_);
+  if (!listener_.valid()) return false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void MetricsHttpServer::Stop() {
+  bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+  if (!was_running) return;
+  listener_.Shutdown();
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+}
+
+void MetricsHttpServer::Loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    Socket conn = AcceptTcp(listener_);
+    if (!conn.valid()) break;  // listener shut down
+    // Served inline: scrapes are infrequent singletons, and a per-request
+    // thread would only add teardown races. The deadline bounds how long
+    // one bad client can hold the loop.
+    conn.SetRecvTimeout(kIoTimeoutMs);
+    conn.SetSendTimeout(kIoTimeoutMs);
+    ServeOne(std::move(conn));
+  }
+}
+
+void MetricsHttpServer::ServeOne(Socket conn) {
+  std::string request;
+  char chunk[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    int64_t n = conn.ReadSome(chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF, error, or deadline
+    request.append(chunk, static_cast<size_t>(n));
+  }
+  // Parse just the request line: METHOD SP PATH SP VERSION. Headers are
+  // irrelevant to a fixed single-resource endpoint.
+  size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // never got a full line
+  std::string_view line(request.data(), line_end);
+  size_t method_end = line.find(' ');
+  if (method_end == std::string_view::npos) return;
+  size_t path_end = line.find(' ', method_end + 1);
+  if (path_end == std::string_view::npos) return;
+  std::string_view method = line.substr(0, method_end);
+  std::string_view path =
+      line.substr(method_end + 1, path_end - method_end - 1);
+  if (method != "GET") {
+    SendResponse(conn, "405 Method Not Allowed", "text/plain",
+                 "method not allowed\n");
+    return;
+  }
+  if (path != "/metrics") {
+    SendResponse(conn, "404 Not Found", "text/plain", "not found\n");
+    return;
+  }
+  metrics::Snapshot snapshot = metrics::Registry::Instance().Collect();
+  std::string body;
+  metrics::RenderPrometheus(snapshot, &body);
+  SendResponse(conn, "200 OK",
+               "text/plain; version=0.0.4; charset=utf-8", body);
+}
+
+}  // namespace livegraph

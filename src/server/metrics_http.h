@@ -1,0 +1,52 @@
+// Prometheus exposition endpoint (docs/OBSERVABILITY.md): a minimal
+// HTTP/1.0 server on the net.h socket helpers that answers GET /metrics
+// with the text exposition format rendered from the live metrics registry.
+//
+// Deliberately tiny: one accept thread, one request per connection,
+// Connection: close. Scrapes arrive every few seconds from one collector —
+// an event loop or keep-alive would be machinery without a workload.
+// Anything that is not `GET /metrics` gets a 404; malformed or slow
+// clients are cut off by a short socket deadline so a stuck scraper can
+// never wedge the thread.
+#ifndef LIVEGRAPH_SERVER_METRICS_HTTP_H_
+#define LIVEGRAPH_SERVER_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "server/net.h"
+
+namespace livegraph {
+
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds host:port (port 0 = ephemeral) and starts the serve thread.
+  /// False if the address cannot be bound.
+  bool Start(const std::string& host, uint16_t port);
+  /// Stops serving and joins the thread. Idempotent.
+  void Stop();
+
+  /// Port actually bound. Valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+ private:
+  void Loop();
+  void ServeOne(Socket conn);
+
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_SERVER_METRICS_HTTP_H_

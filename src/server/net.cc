@@ -13,6 +13,7 @@
 #include <ctime>
 
 #include "util/fault_injection.h"
+#include "util/metrics.h"
 
 namespace livegraph {
 
@@ -20,6 +21,8 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    rx_bytes_ = other.rx_bytes_;
+    tx_bytes_ = other.tx_bytes_;
     other.fd_ = -1;
   }
   return *this;
@@ -67,7 +70,22 @@ bool Socket::ReadFull(void* data, size_t size) {
     at += n;
     size -= static_cast<size_t>(n);
   }
+  if (rx_bytes_ != nullptr) {
+    rx_bytes_->Add(static_cast<uint64_t>(at - static_cast<char*>(data)));
+  }
   return true;
+}
+
+int64_t Socket::ReadSome(void* data, size_t size) {
+  while (true) {
+    ssize_t n = ::recv(fd_, data, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return -1;  // error or expired SO_RCVTIMEO deadline
+    if (n > 0 && rx_bytes_ != nullptr) {
+      rx_bytes_->Add(static_cast<uint64_t>(n));
+    }
+    return static_cast<int64_t>(n);
+  }
 }
 
 bool Socket::WriteFull(const void* data, size_t size) {
@@ -99,6 +117,10 @@ bool Socket::WriteFull(const void* data, size_t size) {
     }
     at += n;
     size -= static_cast<size_t>(n);
+  }
+  if (tx_bytes_ != nullptr) {
+    tx_bytes_->Add(
+        static_cast<uint64_t>(at - static_cast<const char*>(data)));
   }
   return true;
 }

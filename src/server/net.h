@@ -14,13 +14,20 @@
 
 namespace livegraph {
 
+namespace metrics {
+class Counter;
+}  // namespace metrics
+
 /// Owning socket fd. Move-only; closes on destruction.
 class Socket {
  public:
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket() { Close(); }
-  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket(Socket&& other) noexcept
+      : fd_(other.fd_), rx_bytes_(other.rx_bytes_), tx_bytes_(other.tx_bytes_) {
+    other.fd_ = -1;
+  }
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -42,6 +49,22 @@ class Socket {
   /// (SetSendTimeout) — a peer that stops draining cannot wedge a server
   /// or replication thread forever.
   bool WriteFull(const void* data, size_t size);
+
+  /// Reads at most `size` bytes in one recv: > 0 bytes read, 0 on orderly
+  /// EOF, -1 on error or an expired receive deadline. For byte-oriented
+  /// peers (the /metrics HTTP endpoint); the frame protocol uses ReadFull.
+  int64_t ReadSome(void* data, size_t size);
+
+  /// Optional byte accounting (docs/OBSERVABILITY.md): when set, ReadFull/
+  /// ReadSome and WriteFull add transferred byte counts to `rx`/`tx`.
+  /// Pointers are borrowed and must outlive the socket — registry-owned
+  /// metrics::Counter instances live for the process, so the server wires
+  /// its rx/tx totals here on every accepted connection. Carried across
+  /// moves with the fd.
+  void SetByteCounters(metrics::Counter* rx, metrics::Counter* tx) {
+    rx_bytes_ = rx;
+    tx_bytes_ = tx;
+  }
 
   /// Per-operation receive deadline (SO_RCVTIMEO): any single recv that
   /// makes no progress for `timeout_ms` fails the read. 0 disables.
@@ -67,6 +90,8 @@ class Socket {
 
  private:
   int fd_ = -1;
+  metrics::Counter* rx_bytes_ = nullptr;
+  metrics::Counter* tx_bytes_ = nullptr;
 };
 
 /// Binds and listens on host:port (port 0 = ephemeral). On success fills

@@ -17,7 +17,7 @@ uint32_t FrameCrc(const char* header12, std::string_view body) {
 
 bool KnownMsgType(uint8_t type) {
   return (type >= static_cast<uint8_t>(MsgType::kHello) &&
-          type <= static_cast<uint8_t>(MsgType::kFrontierAck)) ||
+          type <= static_cast<uint8_t>(MsgType::kStats)) ||
          (type >= static_cast<uint8_t>(MsgType::kReply) &&
           type <= static_cast<uint8_t>(MsgType::kLogBatch));
 }

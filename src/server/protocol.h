@@ -35,8 +35,9 @@ namespace livegraph {
 /// Bumped on any incompatible frame/body layout change; checked during the
 /// Hello handshake. v2 added the replication frames (kSubscribe,
 /// kLogBatch, kSnapshotBatch, kFrontierAck) and epoch-gated reads
-/// (kBeginReadTxnAt) — docs/REPLICATION.md.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// (kBeginReadTxnAt) — docs/REPLICATION.md. v3 added kStats
+/// (docs/OBSERVABILITY.md).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// "LGW1" — rejects non-protocol peers (and byte-shifted streams) before
 /// the CRC even runs.
@@ -78,6 +79,9 @@ enum class MsgType : uint8_t {
                         //   -> kReply{status, u64 txn_id}; kTimeout when
                         //      the frontier does not cover min_epoch in time
   kFrontierAck = 20,    // i64 epoch — follower->primary, no reply
+
+  kStats = 21,          // (empty body, no txn id) -> kReply{status, bytes
+                        //   versioned metrics snapshot — stats_codec.h}
 
   // Responses.
   kReply = 64,      // u8 status, then on kOk an op-specific payload

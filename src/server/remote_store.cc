@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "server/net.h"
+#include "server/stats_codec.h"
 #include "server/wire.h"
 
 namespace livegraph {
@@ -629,6 +630,24 @@ std::unique_ptr<StoreTxn> RemoteStore::BeginReplicaReadSession() {
 size_t RemoteStore::idle_connections() const {
   std::lock_guard<std::mutex> lock(pool_mu_);
   return pool_.size();
+}
+
+bool RemoteStore::Stats(metrics::Snapshot* out) {
+  std::shared_ptr<Connection> connection =
+      AcquireConnection(/*replica=*/false);
+  if (connection == nullptr) return false;
+  Frame reply;
+  bool ok = connection->Call(MsgType::kStats, {}, &reply);
+  ReleaseConnection(std::move(connection), /*replica=*/false);
+  if (!ok) return false;
+  WireReader reader(reply.body);
+  uint8_t status;
+  std::string_view payload;
+  if (!reader.GetU8(&status) || StatusFromWire(status) != Status::kOk ||
+      !reader.GetBytes(&payload) || !reader.Exhausted()) {
+    return false;
+  }
+  return DecodeStats(payload, out);
 }
 
 std::unique_ptr<StoreTxn> RemoteStore::BeginSession(bool writable) {

@@ -36,6 +36,10 @@
 
 namespace livegraph {
 
+namespace metrics {
+struct Snapshot;
+}  // namespace metrics
+
 class RemoteStore : public Store {
  public:
   /// One pooled protocol connection (defined in remote_store.cc; public
@@ -87,6 +91,11 @@ class RemoteStore : public Store {
 
   std::unique_ptr<StoreTxn> BeginTxn() override;
   std::unique_ptr<StoreReadTxn> BeginReadTxn() override;
+
+  /// Fetches the server's metrics snapshot via the STATS opcode
+  /// (docs/OBSERVABILITY.md), using a pooled connection. False on I/O
+  /// failure, a non-kOk reply, or an undecodable payload.
+  bool Stats(metrics::Snapshot* out);
 
   /// Pooled idle connections (observability, tests).
   size_t idle_connections() const;

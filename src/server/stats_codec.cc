@@ -1,0 +1,127 @@
+#include "server/stats_codec.h"
+
+#include <bit>
+#include <cstdint>
+
+#include "server/wire.h"
+
+namespace livegraph {
+
+namespace {
+
+/// Bound on decoded element counts: a corrupt count field must not become
+/// a giant allocation. Far above any real registry size.
+constexpr uint32_t kMaxElements = 1u << 20;
+
+}  // namespace
+
+void EncodeStats(const metrics::Snapshot& snapshot, std::string* out) {
+  WireWriter writer(out);
+  writer.PutU32(kStatsFormatVersion);
+  writer.PutU64(snapshot.mono_nanos);
+  writer.PutU64(snapshot.wall_unix_micros);
+  writer.PutBytes(snapshot.build_info);
+
+  writer.PutU32(static_cast<uint32_t>(snapshot.counters.size()));
+  for (const auto& [name, value] : snapshot.counters) {
+    writer.PutBytes(name);
+    writer.PutU64(value);
+  }
+  writer.PutU32(static_cast<uint32_t>(snapshot.gauges.size()));
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer.PutBytes(name);
+    writer.PutI64(value);
+  }
+  writer.PutU32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const metrics::HistogramSample& h : snapshot.histograms) {
+    writer.PutBytes(h.name);
+    writer.PutU8(static_cast<uint8_t>(h.unit));
+    writer.PutU64(h.count);
+    writer.PutU64(std::bit_cast<uint64_t>(h.sum));
+    writer.PutU64(h.p50);
+    writer.PutU64(h.p90);
+    writer.PutU64(h.p99);
+    writer.PutU64(h.p999);
+  }
+  writer.PutU64(snapshot.slow_ops_total);
+  writer.PutU32(static_cast<uint32_t>(snapshot.slow_ops.size()));
+  for (const metrics::SlowOp& op : snapshot.slow_ops) {
+    writer.PutBytes(op.name);
+    writer.PutU32(op.shard < 0 ? 0 : static_cast<uint32_t>(op.shard) + 1);
+    writer.PutI64(op.epoch);
+    writer.PutU64(op.total_nanos);
+    for (uint64_t stage : op.stage_nanos) writer.PutU64(stage);
+    writer.PutU64(op.wall_unix_micros);
+  }
+}
+
+bool DecodeStats(std::string_view body, metrics::Snapshot* out) {
+  WireReader reader(body);
+  uint32_t version = 0;
+  if (!reader.GetU32(&version) || version != kStatsFormatVersion) {
+    return false;
+  }
+  *out = metrics::Snapshot{};
+  std::string_view bytes;
+  if (!reader.GetU64(&out->mono_nanos) ||
+      !reader.GetU64(&out->wall_unix_micros) || !reader.GetBytes(&bytes)) {
+    return false;
+  }
+  out->build_info.assign(bytes);
+
+  uint32_t n = 0;
+  if (!reader.GetU32(&n) || n > kMaxElements) return false;
+  out->counters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t value = 0;
+    if (!reader.GetBytes(&bytes) || !reader.GetU64(&value)) return false;
+    out->counters.emplace_back(std::string(bytes), value);
+  }
+  if (!reader.GetU32(&n) || n > kMaxElements) return false;
+  out->gauges.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int64_t value = 0;
+    if (!reader.GetBytes(&bytes) || !reader.GetI64(&value)) return false;
+    out->gauges.emplace_back(std::string(bytes), value);
+  }
+  if (!reader.GetU32(&n) || n > kMaxElements) return false;
+  out->histograms.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    metrics::HistogramSample h;
+    uint8_t unit = 0;
+    uint64_t sum_bits = 0;
+    if (!reader.GetBytes(&bytes) || !reader.GetU8(&unit) ||
+        !reader.GetU64(&h.count) || !reader.GetU64(&sum_bits) ||
+        !reader.GetU64(&h.p50) || !reader.GetU64(&h.p90) ||
+        !reader.GetU64(&h.p99) || !reader.GetU64(&h.p999)) {
+      return false;
+    }
+    if (unit > static_cast<uint8_t>(metrics::Unit::kBytes)) return false;
+    h.name.assign(bytes);
+    h.unit = static_cast<metrics::Unit>(unit);
+    h.sum = std::bit_cast<double>(sum_bits);
+    out->histograms.push_back(std::move(h));
+  }
+  if (!reader.GetU64(&out->slow_ops_total)) return false;
+  if (!reader.GetU32(&n) || n > kMaxElements) return false;
+  out->slow_ops.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    metrics::SlowOp op;
+    uint32_t shard_plus_one = 0;
+    if (!reader.GetBytes(&bytes) || !reader.GetU32(&shard_plus_one) ||
+        !reader.GetI64(&op.epoch) || !reader.GetU64(&op.total_nanos)) {
+      return false;
+    }
+    for (uint64_t& stage : op.stage_nanos) {
+      if (!reader.GetU64(&stage)) return false;
+    }
+    if (!reader.GetU64(&op.wall_unix_micros)) return false;
+    op.name.assign(bytes);
+    op.shard = shard_plus_one == 0 ? -1
+                                   : static_cast<int32_t>(shard_plus_one - 1);
+    out->slow_ops.push_back(std::move(op));
+  }
+  return reader.Exhausted();
+}
+
+}  // namespace livegraph

@@ -1,0 +1,42 @@
+// Binary codec for the kStats reply body (docs/OBSERVABILITY.md): a
+// versioned, self-describing serialization of metrics::Snapshot carried
+// over the wire protocol and decoded by RemoteStore::Stats() and
+// tools/livegraph_top. The snapshot format carries its own version (u32,
+// independent of kProtocolVersion) so STATS payloads can evolve without a
+// protocol bump; a decoder rejects versions it does not know.
+//
+// Layout (all integers little-endian via server/wire.h):
+//
+//   u32 version (= kStatsFormatVersion)
+//   u64 mono_nanos, u64 wall_unix_micros, bytes build_info
+//   u32 n, n * { bytes name, u64 value }                    counters
+//   u32 n, n * { bytes name, i64 value }                    gauges
+//   u32 n, n * { bytes name, u8 unit, u64 count,
+//                u64 sum_bits (IEEE-754 double), u64 p50,
+//                u64 p90, u64 p99, u64 p999 }               histograms
+//   u64 slow_ops_total
+//   u32 n, n * { bytes name, u32 shard(+1, 0 = none),
+//                i64 epoch, u64 total_nanos, 4 * u64 stage,
+//                u64 wall_unix_micros }                     slow ops
+#ifndef LIVEGRAPH_SERVER_STATS_CODEC_H_
+#define LIVEGRAPH_SERVER_STATS_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/metrics.h"
+
+namespace livegraph {
+
+inline constexpr uint32_t kStatsFormatVersion = 1;
+
+/// Appends the serialized snapshot to `out` (not cleared).
+void EncodeStats(const metrics::Snapshot& snapshot, std::string* out);
+
+/// Decodes a serialized snapshot; false on an unknown version or a
+/// malformed/truncated body.
+bool DecodeStats(std::string_view body, metrics::Snapshot* out);
+
+}  // namespace livegraph
+
+#endif  // LIVEGRAPH_SERVER_STATS_CODEC_H_

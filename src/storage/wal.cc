@@ -13,6 +13,7 @@
 #include "util/fault_injection.h"
 #include "util/invariant.h"
 #include "util/lock_rank.h"
+#include "util/metrics.h"
 
 namespace livegraph {
 
@@ -60,6 +61,10 @@ Status Wal::Poison(const char* what, int err) {
   const Status fresh = IoStatusFromErrno(err);
   if (error_.compare_exchange_strong(expected, fresh,
                                      std::memory_order_acq_rel)) {
+    static metrics::Counter& poisoned =
+        metrics::Registry::Instance().GetCounter(
+            "livegraph_wal_poisoned_total");
+    poisoned.Add();
     std::fprintf(stderr,
                  "Wal: %s failed: %s (errno %d, path %s) — log poisoned, "
                  "store degrades to read-only\n",
@@ -131,15 +136,35 @@ Status Wal::AppendBatch(const std::vector<Record>& records) {
                       records[i].payload.size()});
     }
   }
+  // Registered once; recording below is a relaxed add per batch
+  // (docs/OBSERVABILITY.md).
+  static metrics::Counter& appends = metrics::Registry::Instance().GetCounter(
+      "livegraph_wal_appends_total");
+  static metrics::Counter& appended_records =
+      metrics::Registry::Instance().GetCounter("livegraph_wal_records_total");
+  static metrics::Counter& appended_bytes =
+      metrics::Registry::Instance().GetCounter("livegraph_wal_bytes_total");
+  static metrics::Histogram& batch_bytes =
+      metrics::Registry::Instance().GetHistogram("livegraph_wal_batch",
+                                                 metrics::Unit::kBytes);
+  static metrics::Histogram& fsync_latency =
+      metrics::Registry::Instance().GetHistogram("livegraph_wal_fsync_latency",
+                                                 metrics::Unit::kNanos);
   Status status = WritevAll(iov_.data(), iov_.size());
   if (status == Status::kOk) {
     bytes_written_ += total;
+    appends.Add();
+    appended_records.Add(records.size());
+    appended_bytes.Add(total);
+    batch_bytes.Record(total);
     if (options_.fsync) {
+      const uint64_t fsync_start = metrics::MonotonicNanos();
       if (faults::Action fault = LIVEGRAPH_FAULT("wal.fdatasync")) {
         status = Poison("fdatasync", fault.err);
       } else if (fdatasync(fd_) != 0) {
         status = Poison("fdatasync", errno);
       }
+      fsync_latency.Record(metrics::MonotonicNanos() - fsync_start);
     }
   }
   // Tee the now-durable batch to replication (post-fsync: a subscriber can

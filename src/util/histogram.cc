@@ -1,6 +1,7 @@
 #include "util/histogram.h"
 
 #include <bit>
+#include <cstddef>
 
 namespace livegraph {
 
@@ -56,6 +57,14 @@ uint64_t LatencyHistogram::PercentileNanos(double q) const {
     if (seen > target) return BucketUpperBound(i);
   }
   return BucketUpperBound(kBuckets - 1);
+}
+
+void LatencyHistogram::AddBucketCount(int bucket, uint64_t n,
+                                      double sum_nanos) {
+  if (bucket < 0 || bucket >= kBuckets || n == 0) return;
+  buckets_[static_cast<size_t>(bucket)] += n;
+  count_ += n;
+  sum_ += sum_nanos;
 }
 
 void LatencyHistogram::Reset() {

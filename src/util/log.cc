@@ -1,0 +1,96 @@
+#include "util/log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+
+#include "util/metrics.h"
+
+namespace livegraph::logging {
+
+namespace {
+
+void AppendKey(std::string* line, std::string_view key) {
+  *line += ' ';
+  line->append(key.data(), key.size());
+  *line += '=';
+}
+
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\n') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LogLine::LogLine(std::string_view event) {
+  timespec wall{};
+  clock_gettime(CLOCK_REALTIME, &wall);
+  tm utc{};
+  gmtime_r(&wall.tv_sec, &utc);
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                "ts=%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ mono_us=%" PRIu64,
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, wall.tv_nsec / 1'000'000,
+                metrics::MonotonicNanos() / 1'000);
+  line_ = buf;
+  AppendKey(&line_, "event");
+  line_.append(event.data(), event.size());
+}
+
+LogLine::~LogLine() {
+  line_ += '\n';
+  std::fwrite(line_.data(), 1, line_.size(), stderr);
+  std::fflush(stderr);
+}
+
+LogLine& LogLine::Str(std::string_view key, std::string_view value) {
+  AppendKey(&line_, key);
+  if (NeedsQuoting(value)) {
+    line_ += '"';
+    for (char c : value) {
+      if (c == '"' || c == '\\') line_ += '\\';
+      line_ += c == '\n' ? ' ' : c;
+    }
+    line_ += '"';
+  } else {
+    line_.append(value.data(), value.size());
+  }
+  return *this;
+}
+
+LogLine& LogLine::I64(std::string_view key, int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  AppendKey(&line_, key);
+  line_ += buf;
+  return *this;
+}
+
+LogLine& LogLine::U64(std::string_view key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  AppendKey(&line_, key);
+  line_ += buf;
+  return *this;
+}
+
+LogLine& LogLine::F64(std::string_view key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  AppendKey(&line_, key);
+  line_ += buf;
+  return *this;
+}
+
+LogLine& LogLine::Bool(std::string_view key, bool value) {
+  AppendKey(&line_, key);
+  line_ += value ? "true" : "false";
+  return *this;
+}
+
+}  // namespace livegraph::logging

@@ -1,0 +1,43 @@
+// Structured one-line key=value logging for the server binaries
+// (docs/OBSERVABILITY.md). Not a general logging framework: the engine
+// stays quiet; this is for lifecycle events (startup, shutdown, drain,
+// degraded transitions) that operators grep and machines parse.
+#ifndef LIVEGRAPH_UTIL_LOG_H_
+#define LIVEGRAPH_UTIL_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace livegraph::logging {
+
+/// Builder for one structured record:
+///
+///   ts=2026-08-08T12:34:56.789Z mono_us=123456 event=server.start \
+///       engine=livegraph port=9271 ...
+///
+/// ts is wall clock (UTC, for correlation across hosts); mono_us is
+/// CLOCK_MONOTONIC microseconds (for intra-process deltas across a wall
+/// clock step). The record is emitted to stderr as a single write on
+/// destruction, so concurrent lines never interleave mid-record. Values
+/// containing spaces or '=' are double-quoted.
+class LogLine {
+ public:
+  explicit LogLine(std::string_view event);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  LogLine& Str(std::string_view key, std::string_view value);
+  LogLine& I64(std::string_view key, int64_t value);
+  LogLine& U64(std::string_view key, uint64_t value);
+  LogLine& F64(std::string_view key, double value);
+  LogLine& Bool(std::string_view key, bool value);
+
+ private:
+  std::string line_;
+};
+
+}  // namespace livegraph::logging
+
+#endif  // LIVEGRAPH_UTIL_LOG_H_

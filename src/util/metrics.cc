@@ -1,0 +1,412 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <utility>
+
+#include "util/build_info.h"
+
+namespace livegraph::metrics {
+
+uint64_t MonotonicNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+uint64_t WallUnixMicros() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000ull;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(Unit unit) : unit_(unit) {
+  for (Stripe& stripe : stripes_) {
+    stripe.buckets = std::make_unique<std::atomic<uint64_t>[]>(
+        LatencyHistogram::kBuckets);
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i)
+      stripe.buckets[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+struct MergedBuckets {
+  std::vector<uint64_t> buckets;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+};
+
+uint64_t QuantileFromBuckets(const MergedBuckets& merged, double q) {
+  if (merged.count == 0) return 0;
+  auto target = static_cast<uint64_t>(q * static_cast<double>(merged.count));
+  if (target >= merged.count) target = merged.count - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    seen += merged.buckets[i];
+    if (seen > target) return LatencyHistogram::BucketUpperBound(i);
+  }
+  return LatencyHistogram::BucketUpperBound(LatencyHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+HistogramSample Histogram::Sample(std::string name) const {
+  MergedBuckets merged;
+  merged.buckets.assign(LatencyHistogram::kBuckets, 0);
+  for (const Stripe& stripe : stripes_) {
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      uint64_t n = stripe.buckets[i].load(std::memory_order_relaxed);
+      merged.buckets[i] += n;
+      merged.count += n;
+    }
+    merged.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  HistogramSample sample;
+  sample.name = std::move(name);
+  sample.unit = unit_;
+  sample.count = merged.count;
+  sample.sum = static_cast<double>(merged.sum);
+  sample.p50 = QuantileFromBuckets(merged, 0.50);
+  sample.p90 = QuantileFromBuckets(merged, 0.90);
+  sample.p99 = QuantileFromBuckets(merged, 0.99);
+  sample.p999 = QuantileFromBuckets(merged, 0.999);
+  return sample;
+}
+
+void Histogram::CollectInto(LatencyHistogram* out) const {
+  MergedBuckets merged;
+  merged.buckets.assign(LatencyHistogram::kBuckets, 0);
+  for (const Stripe& stripe : stripes_) {
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i)
+      merged.buckets[i] += stripe.buckets[i].load(std::memory_order_relaxed);
+    merged.sum += stripe.sum.load(std::memory_order_relaxed);
+  }
+  // Attribute the exact cross-stripe sum to the first populated bucket so
+  // the reconstructed mean is exact; per-bucket counts carry the shape.
+  bool sum_attached = false;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (merged.buckets[i] == 0) continue;
+    out->AddBucketCount(
+        i, merged.buckets[i],
+        sum_attached ? 0.0 : static_cast<double>(merged.sum));
+    sum_attached = true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SlowOpRing
+
+SlowOpRing& SlowOpRing::Instance() {
+  static SlowOpRing ring;
+  return ring;
+}
+
+void SlowOpRing::Record(SlowOp op) {
+  if (op.wall_unix_micros == 0) op.wall_unix_micros = WallUnixMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(op));
+  } else {
+    ring_[next_] = std::move(op);
+    next_ = (next_ + 1) % kCapacity;
+  }
+}
+
+std::vector<SlowOp> SlowOpRing::Snapshot(uint64_t* total_recorded) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_recorded != nullptr) *total_recorded = recorded_;
+  std::vector<SlowOp> out;
+  out.reserve(ring_.size());
+  // Oldest first: when the ring has wrapped, next_ points at the oldest.
+  for (size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+void SlowOpRing::DumpToStderr() const {
+  uint64_t total = 0;
+  std::vector<SlowOp> ops = Snapshot(&total);
+  std::fprintf(stderr,
+               "event=slowop_dump threshold_ms=%.3f ring=%zu total=%" PRIu64
+               "\n",
+               static_cast<double>(threshold_nanos()) / 1e6, ops.size(),
+               total);
+  for (const SlowOp& op : ops) {
+    std::fprintf(stderr,
+                 "event=slowop ts_us=%" PRIu64
+                 " name=%s shard=%d epoch=%" PRId64 " total_ms=%.3f"
+                 " s0_ms=%.3f s1_ms=%.3f s2_ms=%.3f s3_ms=%.3f\n",
+                 op.wall_unix_micros, op.name.c_str(), op.shard, op.epoch,
+                 static_cast<double>(op.total_nanos) / 1e6,
+                 static_cast<double>(op.stage_nanos[0]) / 1e6,
+                 static_cast<double>(op.stage_nanos[1]) / 1e6,
+                 static_cast<double>(op.stage_nanos[2]) / 1e6,
+                 static_cast<double>(op.stage_nanos[3]) / 1e6);
+  }
+}
+
+void SlowOpRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry& Registry::Instance() {
+  static Registry* registry = new Registry();  // leaked: outlive all users
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name, Unit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(unit))
+             .first;
+  }
+  return *it->second;
+}
+
+uint64_t Registry::AddProbe(std::function<void()> probe) {
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  uint64_t id = next_probe_id_++;
+  probes_.emplace(id, std::move(probe));
+  return id;
+}
+
+void Registry::RemoveProbe(uint64_t id) {
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  probes_.erase(id);
+}
+
+Snapshot Registry::Collect() {
+  Snapshot snapshot;
+  snapshot.mono_nanos = MonotonicNanos();
+  snapshot.wall_unix_micros = WallUnixMicros();
+  snapshot.build_info = BuildInfoLabels();
+  {
+    // Probes run under probe_mu_ (not mu_) so they may not re-enter the
+    // registry but RemoveProbe() can safely block out a mid-flight
+    // Collect() from destructors.
+    std::lock_guard<std::mutex> probe_lock(probe_mu_);
+    for (auto& [id, probe] : probes_) probe();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.counters.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_)
+      snapshot.counters.emplace_back(name, counter->Value());
+    snapshot.gauges.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_)
+      snapshot.gauges.emplace_back(name, gauge->Value());
+    snapshot.histograms.reserve(histograms_.size());
+    for (const auto& [name, histogram] : histograms_)
+      snapshot.histograms.push_back(histogram->Sample(name));
+  }
+  snapshot.slow_ops = SlowOpRing::Instance().Snapshot(&snapshot.slow_ops_total);
+  return snapshot;
+}
+
+uint64_t Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+int64_t Snapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return v;
+  return 0;
+}
+
+const HistogramSample* Snapshot::histogram(std::string_view name) const {
+  for (const HistogramSample& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Build info + Prometheus exposition
+
+std::string BuildInfoLabels() {
+  std::string labels = "sha=\"";
+  labels += kBuildGitSha;
+  labels += "\",type=\"";
+  labels += kBuildType;
+  labels += "\",flags=\"";
+  labels += kBuildFlags;
+  labels += "\"";
+  return labels;
+}
+
+namespace {
+
+/// Splits a registered name into base and brace-less label list:
+/// "a_total{op=\"X\"}" -> {"a_total", "op=\"X\""}.
+void SplitName(const std::string& name, std::string* base,
+               std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1);
+  if (!labels->empty() && labels->back() == '}') labels->pop_back();
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  *out += buf;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  *out += buf;
+}
+
+const char* UnitSuffix(Unit unit) {
+  switch (unit) {
+    case Unit::kNanos:
+      return "_seconds";
+    case Unit::kBytes:
+      return "_bytes";
+    case Unit::kCount:
+      return "";
+  }
+  return "";
+}
+
+double ScaleValue(Unit unit, double raw) {
+  return unit == Unit::kNanos ? raw / 1e9 : raw;
+}
+
+struct Family {
+  const char* type = "untyped";
+  std::vector<std::string> lines;
+};
+
+void EmitSample(Family* family, const std::string& metric,
+                const std::string& labels, double value) {
+  std::string line = metric;
+  if (!labels.empty()) {
+    line += '{';
+    line += labels;
+    line += '}';
+  }
+  line += ' ';
+  AppendDouble(&line, value);
+  line += '\n';
+  family->lines.push_back(std::move(line));
+}
+
+}  // namespace
+
+void RenderPrometheus(const Snapshot& snapshot, std::string* out) {
+  // Group samples by family so each family gets exactly one # TYPE line
+  // with all of its samples contiguous, as the text format requires.
+  std::map<std::string, Family> families;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string base;
+    std::string labels;
+    SplitName(name, &base, &labels);
+    Family& family = families[base];
+    family.type = "counter";
+    EmitSample(&family, base, labels, static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string base;
+    std::string labels;
+    SplitName(name, &base, &labels);
+    Family& family = families[base];
+    family.type = "gauge";
+    EmitSample(&family, base, labels, static_cast<double>(value));
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    std::string base;
+    std::string labels;
+    SplitName(h.name, &base, &labels);
+    base += UnitSuffix(h.unit);
+    Family& family = families[base];
+    family.type = "summary";
+    const std::pair<const char*, uint64_t> quantiles[] = {
+        {"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}, {"0.999", h.p999}};
+    for (const auto& [q, v] : quantiles) {
+      std::string qlabels = labels;
+      if (!qlabels.empty()) qlabels += ',';
+      qlabels += "quantile=\"";
+      qlabels += q;
+      qlabels += '"';
+      EmitSample(&family, base, qlabels,
+                 ScaleValue(h.unit, static_cast<double>(v)));
+    }
+    EmitSample(&family, base + "_sum", labels, ScaleValue(h.unit, h.sum));
+    EmitSample(&family, base + "_count", labels,
+               static_cast<double>(h.count));
+  }
+  if (!snapshot.build_info.empty()) {
+    Family& family = families["livegraph_build_info"];
+    family.type = "gauge";
+    EmitSample(&family, "livegraph_build_info", snapshot.build_info, 1.0);
+  }
+  {
+    Family& family = families["livegraph_slowops_recorded_total"];
+    family.type = "counter";
+    EmitSample(&family, "livegraph_slowops_recorded_total", "",
+               static_cast<double>(snapshot.slow_ops_total));
+  }
+  {
+    Family& family = families["livegraph_snapshot_wall_unix_micros"];
+    family.type = "gauge";
+    std::string line = "livegraph_snapshot_wall_unix_micros ";
+    AppendU64(&line, snapshot.wall_unix_micros);
+    line += '\n';
+    family.lines.push_back(std::move(line));
+  }
+
+  for (const auto& [base, family] : families) {
+    *out += "# TYPE ";
+    *out += base;
+    *out += ' ';
+    *out += family.type;
+    *out += '\n';
+    for (const std::string& line : family.lines) *out += line;
+  }
+}
+
+}  // namespace livegraph::metrics

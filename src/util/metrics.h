@@ -1,0 +1,301 @@
+// Process-global metrics registry: the measurement substrate for every
+// subsystem (docs/OBSERVABILITY.md).
+//
+// Design goals, in order:
+//   1. Hot-path cost: recording into a Counter or Histogram is a single
+//      relaxed atomic add into a per-thread stripe — no locks, no
+//      allocation, no branches on registration state. Registration
+//      (GetCounter et al.) is mutex-guarded but happens once per call
+//      site via a function-local static; the returned reference is
+//      stable for the life of the process.
+//   2. One histogram scheme: latency/size histograms reuse
+//      LatencyHistogram's log-bucket mapping (util/histogram.h), so the
+//      wire snapshot, /metrics exposition, and bench reporting all agree
+//      on resolution (<= ~1.6% relative error).
+//   3. Pull-based sampling: state that is cheap to read but wasteful to
+//      maintain eagerly (epoch lag, pin counts, replication frontiers)
+//      is sampled by probe callbacks run at Collect() time.
+//
+// Naming convention: livegraph_<subsystem>_<what>[_total] with at most
+// one label pair embedded in the registered name, e.g.
+//   livegraph_server_requests_total{op="GET_NODE"}
+// Histograms are registered WITHOUT a unit suffix; the Prometheus
+// renderer appends _seconds/_bytes per the metric's Unit and converts
+// nanoseconds to seconds.
+#ifndef LIVEGRAPH_UTIL_METRICS_H_
+#define LIVEGRAPH_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace livegraph::metrics {
+
+/// CLOCK_MONOTONIC in nanoseconds — the clock for every latency metric.
+uint64_t MonotonicNanos();
+/// CLOCK_REALTIME in microseconds since the Unix epoch (timestamps only).
+uint64_t WallUnixMicros();
+
+/// Stripe count for sharded counters/histograms; power of two.
+inline constexpr size_t kStripes = 16;
+
+namespace internal {
+inline std::atomic<uint64_t> g_next_thread_stripe{0};
+/// Threads are assigned stripes round-robin on first use; the thread_local
+/// makes the hot path a TLS load + masked index.
+inline size_t ThreadStripe() {
+  thread_local const size_t stripe =
+      static_cast<size_t>(g_next_thread_stripe.fetch_add(
+          1, std::memory_order_relaxed)) &
+      (kStripes - 1);
+  return stripe;
+}
+}  // namespace internal
+
+/// Monotonic event counter, per-thread-sharded to avoid cache-line
+/// ping-pong between recording threads. Value() is a full-stripe sum and
+/// is only approximately ordered against concurrent Add()s — exact once
+/// recording threads are quiesced.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    cells_[internal::ThreadStripe()].v.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_)
+      total += cell.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kStripes];
+};
+
+/// Point-in-time signed value (open connections, lag, sticky flags).
+/// Single atomic: gauges are updated at state transitions, not per-op.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// What a metric's raw uint64 observations mean; drives exposition
+/// suffixes (_seconds/_bytes) and nanos->seconds conversion.
+enum class Unit : uint8_t { kCount = 0, kNanos = 1, kBytes = 2 };
+
+/// Aggregate view of one histogram at collection time.
+struct HistogramSample {
+  std::string name;
+  Unit unit = Unit::kCount;
+  uint64_t count = 0;
+  double sum = 0.0;  // in the metric's raw unit (nanos/bytes/count)
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+};
+
+/// Striped log-bucket histogram over uint64 observations, sharing
+/// LatencyHistogram's bucket mapping. Record() is two relaxed adds into
+/// this thread's stripe.
+class Histogram {
+ public:
+  explicit Histogram(Unit unit);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    Stripe& stripe = stripes_[internal::ThreadStripe()];
+    stripe.buckets[LatencyHistogram::BucketFor(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  Unit unit() const { return unit_; }
+  /// Cross-stripe merge + quantile scan; `name` is copied into the result.
+  HistogramSample Sample(std::string name) const;
+  /// Merge this histogram's cross-stripe totals into a LatencyHistogram
+  /// (bench reporting interop).
+  void CollectInto(LatencyHistogram* out) const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+    std::atomic<uint64_t> sum{0};
+  };
+  Unit unit_;
+  Stripe stripes_[kStripes];
+};
+
+/// One entry in the slow-op trace ring: an operation that exceeded the
+/// configured threshold, with its stage breakdown.
+struct SlowOp {
+  std::string name;            // opcode or pipeline stage, e.g. "SCAN_LINKS"
+  int32_t shard = -1;          // -1 when not shard-scoped
+  int64_t epoch = 0;           // commit/read epoch when known, else 0
+  uint64_t total_nanos = 0;
+  uint64_t stage_nanos[4] = {0, 0, 0, 0};  // meaning is per-site; 0 unused
+  uint64_t wall_unix_micros = 0;           // when the op completed
+};
+
+/// Bounded in-memory ring of recent slow ops. ShouldRecord() is the hot
+/// check (one relaxed load + compare); Record() takes a mutex but only
+/// runs for ops already known to be slow.
+class SlowOpRing {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  static SlowOpRing& Instance();
+
+  /// 0 disables tracing (the default).
+  void set_threshold_nanos(uint64_t nanos) {
+    threshold_nanos_.store(nanos, std::memory_order_relaxed);
+  }
+  uint64_t threshold_nanos() const {
+    return threshold_nanos_.load(std::memory_order_relaxed);
+  }
+  bool ShouldRecord(uint64_t total_nanos) const {
+    uint64_t t = threshold_nanos();
+    return t != 0 && total_nanos >= t;
+  }
+
+  /// `op.wall_unix_micros` is stamped here if zero.
+  void Record(SlowOp op);
+
+  /// Oldest-first copy of the ring plus the all-time recorded count.
+  std::vector<SlowOp> Snapshot(uint64_t* total_recorded = nullptr) const;
+
+  /// key=value dump of the ring to stderr (SIGUSR1 handler path — called
+  /// from the main loop, never from the signal handler itself).
+  void DumpToStderr() const;
+
+  void Clear();
+
+ private:
+  SlowOpRing() = default;
+
+  std::atomic<uint64_t> threshold_nanos_{0};
+  mutable std::mutex mu_;
+  std::vector<SlowOp> ring_;
+  size_t next_ = 0;
+  uint64_t recorded_ = 0;
+};
+
+/// 1-in-16 sampling gate for stage-latency timing on sub-microsecond hot
+/// paths (the embedded commit pipeline), where the clock reads around
+/// each stage would otherwise cost a measurable slice of the operation
+/// itself. One thread-local increment + mask; counters are never
+/// sampled, only the optional MonotonicNanos() reads and histogram
+/// records ride behind this. Forced on while slow-op tracing is armed:
+/// the ring must see every slow operation, not 1 in 16.
+inline bool SampleStageTiming() {
+  if (SlowOpRing::Instance().threshold_nanos() != 0) return true;
+  thread_local uint32_t tick = 0;
+  return (++tick & 15u) == 0;
+}
+
+/// Everything the registry knows at one instant; the payload of the STATS
+/// opcode, /metrics exposition, and bench --dump-metrics.
+struct Snapshot {
+  uint64_t mono_nanos = 0;
+  uint64_t wall_unix_micros = 0;
+  /// Prometheus label list for livegraph_build_info, e.g.
+  /// sha="1a2b3c",type="Release",flags="none".
+  std::string build_info;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<SlowOp> slow_ops;
+  uint64_t slow_ops_total = 0;
+
+  /// Lookups by exact registered name; 0 when absent.
+  uint64_t counter(std::string_view name) const;
+  int64_t gauge(std::string_view name) const;
+  const HistogramSample* histogram(std::string_view name) const;
+};
+
+/// The process-global registry. Get* registers on first use and returns a
+/// stable reference; call sites cache it in a function-local static.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name, Unit unit);
+
+  /// Probes run at the start of every Collect() to refresh sampled
+  /// gauges. They must not call back into the registry (fetch your
+  /// Gauge references before registering). RemoveProbe blocks until any
+  /// in-flight Collect() finishes, so `this`-capturing probes are safe
+  /// to remove from destructors.
+  uint64_t AddProbe(std::function<void()> probe);
+  void RemoveProbe(uint64_t id);
+
+  Snapshot Collect();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+
+  mutable std::mutex probe_mu_;
+  std::map<uint64_t, std::function<void()>> probes_;
+  uint64_t next_probe_id_ = 1;
+};
+
+/// Prometheus label list for the build-info gauge (from the generated
+/// util/build_info.h).
+std::string BuildInfoLabels();
+
+/// Prometheus text exposition (format 0.0.4) of a snapshot: counters and
+/// gauges verbatim, histograms as summaries (quantile/_sum/_count) with
+/// nanos rendered as seconds, plus the livegraph_build_info info gauge.
+void RenderPrometheus(const Snapshot& snapshot, std::string* out);
+
+/// RAII latency recorder around a scope.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& histogram)
+      : histogram_(&histogram), start_(MonotonicNanos()) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() { histogram_->Record(MonotonicNanos() - start_); }
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_;
+};
+
+}  // namespace livegraph::metrics
+
+#endif  // LIVEGRAPH_UTIL_METRICS_H_

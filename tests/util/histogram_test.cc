@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "util/random.h"
 
 namespace livegraph {
@@ -55,6 +58,62 @@ TEST(Histogram, MergeEqualsCombinedRecording) {
   EXPECT_EQ(a.count(), combined.count());
   EXPECT_DOUBLE_EQ(a.MeanNanos(), combined.MeanNanos());
   EXPECT_EQ(a.PercentileNanos(0.99), combined.PercentileNanos(0.99));
+}
+
+TEST(Histogram, CrossThreadMergeEqualsSerialRecording) {
+  // Per-thread histograms merged afterwards — the pattern both the bench
+  // driver and the metrics registry rely on — must equal one serial
+  // recording of the same values.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<LatencyHistogram> shards(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shards, t] {
+      Xorshift rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        shards[static_cast<size_t>(t)].Record(rng.NextBounded(50'000'000));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LatencyHistogram merged, serial;
+  for (LatencyHistogram& shard : shards) merged.Merge(shard);
+  for (int t = 0; t < kThreads; ++t) {
+    Xorshift rng(static_cast<uint64_t>(t) + 1);
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.Record(rng.NextBounded(50'000'000));
+    }
+  }
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_DOUBLE_EQ(merged.MeanNanos(), serial.MeanNanos());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(merged.PercentileNanos(q), serial.PercentileNanos(q));
+  }
+}
+
+TEST(Histogram, AddBucketCountMatchesRecord) {
+  // Bulk bucket adds (the metrics registry's collection path) land in the
+  // same buckets Record would pick.
+  LatencyHistogram via_record, via_bucket;
+  for (uint64_t value : {uint64_t{1}, uint64_t{900}, uint64_t{123'456},
+                         uint64_t{7'000'000'000}}) {
+    via_record.Record(value);
+    via_bucket.AddBucketCount(LatencyHistogram::BucketFor(value), 1,
+                              static_cast<double>(value));
+  }
+  EXPECT_EQ(via_record.count(), via_bucket.count());
+  EXPECT_DOUBLE_EQ(via_record.MeanNanos(), via_bucket.MeanNanos());
+  EXPECT_EQ(via_record.PercentileNanos(0.5), via_bucket.PercentileNanos(0.5));
+  EXPECT_EQ(via_record.PercentileNanos(0.99),
+            via_bucket.PercentileNanos(0.99));
+
+  // Out-of-range buckets are dropped, not written out of bounds.
+  via_bucket.AddBucketCount(-1, 5, 0.0);
+  via_bucket.AddBucketCount(LatencyHistogram::kBuckets, 5, 0.0);
+  EXPECT_EQ(via_bucket.count(), via_record.count());
 }
 
 TEST(Histogram, ResetClears) {
