@@ -20,18 +20,32 @@
 // attached and one follower, then the TAO-style read-only mix against
 // ONE read target (primary) vs TWO read targets (primary + follower,
 // driven concurrently). Emit with --json as BENCH_replication.json.
+//
+// --idle-conns=K runs the transport comparison instead (docs/SERVER.md
+// "Event loop"): the same LinkBench mix against the legacy blocking
+// thread-per-connection server and the epoll reactor server, each while K
+// extra idle connections sit parked on the listener — the connection-scale
+// story (a blocking server pays a thread per parked client; the reactor
+// pays an epoll registration). Also measures pipelined vs sequential
+// write round trips through RemoteStore::Pipeline. Emit with --json as
+// BENCH_server.json.
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/linkbench_tables.h"
 #include "replication/epoch_frontier.h"
 #include "replication/replica.h"
 #include "replication/replication_hub.h"
 #include "server/graph_server.h"
+#include "server/net.h"
 #include "server/remote_store.h"
+#include "server/wire.h"
 #include "shard/sharded_store.h"
+#include "util/metrics.h"
 
 namespace livegraph::bench {
 namespace {
@@ -168,6 +182,239 @@ int Run(bool json, bool dump_metrics) {
 
   remote.reset();
   if (server != nullptr) server->Stop();
+  return 0;
+}
+
+// One parked client: a real protocol connection (TCP dial + Hello
+// handshake) that then sits silent, the shape of a connection-pool
+// member between requests. On the blocking server each costs a dedicated
+// thread; on the reactor each costs an epoll registration.
+size_t OpenIdleConns(const std::string& host, uint16_t port, size_t count,
+                     std::vector<Socket>* conns) {
+  conns->reserve(count);
+  std::string scratch;
+  size_t ok = 0;
+  for (size_t i = 0; i < count; ++i) {
+    Socket socket = ConnectTcp(host, port);
+    if (!socket.valid()) continue;
+    std::string body;
+    WireWriter writer(&body);
+    writer.PutU32(kProtocolVersion);
+    Frame reply;
+    if (!socket.WriteFrame(MsgType::kHello, kFlagNone, body, &scratch) ||
+        !socket.ReadFrame(&reply)) {
+      continue;
+    }
+    conns->push_back(std::move(socket));
+    ++ok;
+  }
+  return ok;
+}
+
+struct ModeResult {
+  size_t idle_requested = 0;
+  size_t idle_ok = 0;
+  DriverResult mix;
+  // Pipelined vs sequential write round trips (RemoteStore::Pipeline).
+  double sequential_ops_s = 0.0;
+  double pipelined_ops_s = 0.0;
+  bool pipeline_ok = false;
+};
+
+// The pipelining microbenchmark: the same K link writes issued as K
+// request/reply round trips vs queued client-side and shipped as one
+// batched send with in-order replies (the server dispatches every
+// buffered frame per wakeup — in-connection pipelining).
+bool MeasurePipelining(RemoteStore* remote, vertex_t n, ModeResult* out) {
+  constexpr size_t kOps = 512;
+  const std::string_view payload = "pipelined-write";
+  auto pick = [n](size_t i, vertex_t* src, vertex_t* dst) {
+    *src = static_cast<vertex_t>(i % static_cast<size_t>(n));
+    *dst = static_cast<vertex_t>((i * 7 + 1) % static_cast<size_t>(n));
+  };
+
+  auto begin = std::chrono::steady_clock::now();
+  std::unique_ptr<StoreTxn> txn = remote->BeginTxn();
+  if (txn == nullptr) return false;
+  for (size_t i = 0; i < kOps; ++i) {
+    vertex_t src, dst;
+    pick(i, &src, &dst);
+    if (!txn->AddLink(src, label_t{1}, dst, payload).ok()) {
+      txn->Abort();
+      return false;
+    }
+  }
+  txn->Abort();  // measurement traffic; keep the graph unchanged
+  double sequential_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  begin = std::chrono::steady_clock::now();
+  std::unique_ptr<RemoteStore::Pipeline> pipeline = remote->NewPipeline();
+  if (!pipeline->ok()) return false;
+  for (size_t i = 0; i < kOps; ++i) {
+    vertex_t src, dst;
+    pick(i, &src, &dst);
+    pipeline->AddLink(src, label_t{1}, dst, payload);
+  }
+  std::vector<Status> statuses;
+  if (!pipeline->Flush(&statuses) || statuses.size() != kOps) return false;
+  for (Status status : statuses) {
+    if (status != Status::kOk) return false;
+  }
+  pipeline->Abort();
+  double pipelined_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  out->sequential_ops_s = sequential_s > 0 ? kOps / sequential_s : 0.0;
+  out->pipelined_ops_s = pipelined_s > 0 ? kOps / pipelined_s : 0.0;
+  out->pipeline_ok = true;
+  return true;
+}
+
+bool RunOneMode(Store* store, const LinkBenchConfig& config, vertex_t n,
+                int reactors, size_t idle_conns, ModeResult* out) {
+  GraphServer::Options options;
+  options.reactors = reactors;
+  GraphServer server(*store, options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "failed to start loopback server (reactors=%d)\n",
+                 reactors);
+    return false;
+  }
+
+  std::vector<Socket> idle;
+  out->idle_requested = idle_conns;
+  out->idle_ok = OpenIdleConns("127.0.0.1", server.port(), idle_conns, &idle);
+
+  std::unique_ptr<RemoteStore> remote =
+      RemoteStore::Connect("127.0.0.1", server.port());
+  if (remote == nullptr) {
+    std::fprintf(stderr, "client connect failed (reactors=%d)\n", reactors);
+    return false;
+  }
+  {
+    std::vector<std::unique_ptr<StoreReadTxn>> warm;
+    warm.reserve(static_cast<size_t>(config.clients));
+    for (int i = 0; i < config.clients; ++i) {
+      warm.push_back(remote->BeginReadTxn());
+    }
+  }
+
+  out->mix = RunLinkBench(remote.get(), config, n);
+  if (!MeasurePipelining(remote.get(), n, out)) {
+    std::fprintf(stderr, "pipelining measurement failed (reactors=%d)\n",
+                 reactors);
+  }
+
+  remote.reset();
+  idle.clear();
+  server.Stop();
+  return true;
+}
+
+void PrintModeJson(const char* key, const ModeResult& mode, const char* trailer) {
+  std::printf("  \"%s\": {\"idle_requested\": %zu, \"idle_ok\": %zu, "
+              "\"throughput\": %.0f, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+              "\"p99_ms\": %.4f, \"p999_ms\": %.4f, \"failures\": %llu, "
+              "\"sequential_write_ops_s\": %.0f, "
+              "\"pipelined_write_ops_s\": %.0f, \"pipeline_speedup\": %.2f}%s\n",
+              key, mode.idle_requested, mode.idle_ok, mode.mix.throughput(),
+              mode.mix.overall.MeanMillis(),
+              mode.mix.overall.PercentileMillis(0.50),
+              mode.mix.overall.PercentileMillis(0.99),
+              mode.mix.overall.PercentileMillis(0.999),
+              static_cast<unsigned long long>(mode.mix.failures),
+              mode.sequential_ops_s, mode.pipelined_ops_s,
+              mode.sequential_ops_s > 0
+                  ? mode.pipelined_ops_s / mode.sequential_ops_s
+                  : 0.0,
+              trailer);
+}
+
+// Transport comparison: blocking thread-per-connection vs epoll reactor,
+// each under `idle_conns` parked connections plus the live LinkBench mix.
+int RunModes(bool json, bool dump_metrics, size_t idle_conns) {
+  LinkBenchConfig config = DefaultLinkBenchConfig();
+  const std::string engine = EnvString("LG_ENGINE", "LiveGraph");
+  const int shards = static_cast<int>(EnvInt("LG_SHARDS", 1));
+  const std::string mix = EnvString("LG_MIX", "dflt");
+  if (mix == "tao") {
+    config.mix = TaoMix();
+  } else if (mix == "ro") {
+    config.mix = MixWithWriteRatio(0.0);
+  }
+
+  std::unique_ptr<Store> store = MakeStore(engine, nullptr,
+                                           /*wal=*/false, shards);
+  vertex_t n = LoadLinkBenchGraph(store.get(), config);
+
+  if (!json) {
+    std::printf("=== Server transport comparison (%zu idle conns) ===\n",
+                idle_conns);
+    std::printf("engine=%s clients=%d ops/client=%llu scale=%d\n",
+                engine.c_str(), config.clients,
+                static_cast<unsigned long long>(config.ops_per_client),
+                config.scale);
+    std::printf("%-22s %12s %10s %10s %10s %10s\n", "transport", "reqs/s",
+                "mean(ms)", "P50(ms)", "P99(ms)", "P999(ms)");
+  }
+
+  ModeResult blocking, reactor;
+  if (!RunOneMode(store.get(), config, n, /*reactors=*/0, idle_conns,
+                  &blocking)) {
+    return 1;
+  }
+  if (!RunOneMode(store.get(), config, n, /*reactors=*/-1, idle_conns,
+                  &reactor)) {
+    return 1;
+  }
+
+  if (json) {
+    std::printf("{\n  \"bench\": \"server_modes\",\n");
+    std::printf("  \"engine\": \"%s\",\n  \"clients\": %d,\n"
+                "  \"ops_per_client\": %llu,\n  \"idle_conns\": %zu,\n",
+                engine.c_str(), config.clients,
+                static_cast<unsigned long long>(config.ops_per_client),
+                idle_conns);
+    PrintModeJson("blocking", blocking, ",");
+    PrintModeJson("reactor", reactor, dump_metrics ? "," : "");
+    if (dump_metrics) {
+      std::printf("  \"metrics\": %s\n", MetricsJson().c_str());
+    }
+    std::printf("}\n");
+  } else {
+    PrintRemoteRow("blocking (reactors=0)", blocking.mix);
+    PrintRemoteRow("reactor (default)", reactor.mix);
+    std::printf("idle conns accepted: blocking %zu/%zu, reactor %zu/%zu\n",
+                blocking.idle_ok, blocking.idle_requested, reactor.idle_ok,
+                reactor.idle_requested);
+    std::printf("pipelined writes: blocking %.0f -> %.0f ops/s (%.1fx), "
+                "reactor %.0f -> %.0f ops/s (%.1fx)\n",
+                blocking.sequential_ops_s, blocking.pipelined_ops_s,
+                blocking.sequential_ops_s > 0
+                    ? blocking.pipelined_ops_s / blocking.sequential_ops_s
+                    : 0.0,
+                reactor.sequential_ops_s, reactor.pipelined_ops_s,
+                reactor.sequential_ops_s > 0
+                    ? reactor.pipelined_ops_s / reactor.sequential_ops_s
+                    : 0.0);
+  }
+
+  // The acceptance gate for the high-connection mode: every parked
+  // connection accepted and zero failed requests in the live mix, on both
+  // transports.
+  bool clean = blocking.idle_ok == idle_conns && reactor.idle_ok == idle_conns &&
+               blocking.mix.failures == 0 && reactor.mix.failures == 0;
+  if (!clean) {
+    std::fprintf(stderr, "server_modes: FAILED gate (idle %zu/%zu + %zu/%zu, "
+                 "failures %llu + %llu)\n",
+                 blocking.idle_ok, idle_conns, reactor.idle_ok, idle_conns,
+                 static_cast<unsigned long long>(blocking.mix.failures),
+                 static_cast<unsigned long long>(reactor.mix.failures));
+    return 1;
+  }
   return 0;
 }
 
@@ -310,10 +557,22 @@ int main(int argc, char** argv) {
   bool json = false;
   bool replica = false;
   bool dump_metrics = false;
+  long idle_conns = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--replica") == 0) replica = true;
     if (std::strcmp(argv[i], "--dump-metrics") == 0) dump_metrics = true;
+    if (std::strncmp(argv[i], "--idle-conns=", 13) == 0) {
+      idle_conns = std::atol(argv[i] + 13);
+      if (idle_conns < 0) {
+        std::fprintf(stderr, "--idle-conns must be >= 0\n");
+        return 1;
+      }
+    }
+  }
+  if (idle_conns >= 0) {
+    return livegraph::bench::RunModes(json, dump_metrics,
+                                      static_cast<size_t>(idle_conns));
   }
   return replica ? livegraph::bench::RunReplica(json, dump_metrics)
                  : livegraph::bench::Run(json, dump_metrics);

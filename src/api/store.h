@@ -118,6 +118,22 @@ class StoreTxn : public StoreReadTxn {
   virtual StatusOr<timestamp_t> Commit() = 0;
   /// Ends the session; rolls back iff StoreTraits::transactional_writes.
   virtual void Abort() = 0;
+
+  // --- Cross-thread hand-off ---
+  /// True if the session may migrate between threads mid-life (work phase
+  /// on one thread, Commit/Abort on another, one thread at a time). The
+  /// reactor server keys on this to offload group-commit waits to a
+  /// worker pool instead of stalling its event loop. Engines whose
+  /// sessions hold thread-affine state (pthread latches held for the
+  /// session's lifetime, thread-local caches) must leave this false; the
+  /// server then commits them inline on the owning thread.
+  virtual bool SupportsThreadHandoff() const { return false; }
+  /// Hand-off notifications: DetachFromThread() on the old thread after
+  /// its last operation, AttachToThread() on the new thread before the
+  /// next. Default no-ops; engines returning SupportsThreadHandoff() use
+  /// them to migrate debug-ledger state (util/lock_rank.h).
+  virtual void DetachFromThread() {}
+  virtual void AttachToThread() {}
 };
 
 /// An embedded graph store: a factory for sessions.

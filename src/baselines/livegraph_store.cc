@@ -160,6 +160,12 @@ class LiveGraphWriteTxn : public StoreTxn {
     if (txn_.active()) txn_.Abort();
   }
 
+  // MVCC futex locks are not thread-affine; only the debug lock-rank
+  // ledger migrates (core/transaction.h "Cross-thread hand-off").
+  bool SupportsThreadHandoff() const override { return true; }
+  void DetachFromThread() override { txn_.DetachFromThread(); }
+  void AttachToThread() override { txn_.AttachToThread(); }
+
  private:
   Graph* graph_;
   Transaction txn_;

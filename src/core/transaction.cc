@@ -81,6 +81,24 @@ Status Transaction::LockVertex(vertex_t v) {
   return Status::kOk;
 }
 
+void Transaction::DetachFromThread() {
+#ifdef LIVEGRAPH_DCHECK_ENABLED
+  if (state_ != State::kActive || slot_ == nullptr) return;
+  LIVEGRAPH_LOCK_RANK_DETACH(
+      LockRank::kVertexLock,
+      static_cast<uint32_t>(scratch_->locked.size()));
+#endif
+}
+
+void Transaction::AttachToThread() {
+#ifdef LIVEGRAPH_DCHECK_ENABLED
+  if (state_ != State::kActive || slot_ == nullptr) return;
+  LIVEGRAPH_LOCK_RANK_ATTACH(
+      LockRank::kVertexLock,
+      static_cast<uint32_t>(scratch_->locked.size()));
+#endif
+}
+
 void Transaction::ReleaseLocksAndSlot() {
   for (vertex_t v : scratch_->locked) {
     graph_->LockFor(v)->Unlock();

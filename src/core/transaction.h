@@ -184,6 +184,19 @@ class Transaction {
   /// release locks, return new blocks to the memory manager).
   void Abort();
 
+  // --- Cross-thread hand-off ---
+  //
+  // A transaction may be moved between threads mid-life (the reactor
+  // server runs the work phase on an event-loop thread and Commit() on a
+  // commit-worker thread). The futex vertex locks themselves are not
+  // thread-affine, but the debug lock-rank ledger (util/lock_rank.h) is
+  // per-thread: call DetachFromThread() on the old thread after the last
+  // operation there and AttachToThread() on the new thread before the
+  // next one. No-ops outside LIVEGRAPH_DCHECK builds; exactly one thread
+  // may operate on the transaction at a time either way.
+  void DetachFromThread();
+  void AttachToThread();
+
  private:
   friend class Graph;
   friend class CommitManager;

@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstring>
-#include <map>
 #include <utility>
 #include <vector>
 
-#include "replication/epoch_frontier.h"
 #include "replication/replication_hub.h"
-#include "server/stats_codec.h"
+#include "server/reactor.h"
+#include "server/session.h"
 #include "server/wire.h"
 #include "storage/wal_reader.h"
 #include "util/fault_injection.h"
@@ -19,63 +17,8 @@ namespace livegraph {
 
 namespace {
 
-// Per-opcode request counter + latency histogram, resolved once per opcode
-// (thread-safe static locals) so the steady-state dispatch cost is two
-// pointer loads, not a registry map lookup.
-struct OpMetrics {
-  const char* name;
-  metrics::Counter& requests;
-  metrics::Histogram& latency;
-};
-
-OpMetrics MakeOpMetrics(const char* op) {
-  auto& registry = metrics::Registry::Instance();
-  std::string label = std::string("{op=\"") + op + "\"}";
-  return OpMetrics{
-      op,
-      registry.GetCounter("livegraph_server_requests_total" + label),
-      registry.GetHistogram("livegraph_server_op_latency" + label,
-                            metrics::Unit::kNanos)};
-}
-
-const OpMetrics* OpMetricsFor(MsgType type) {
-#define LIVEGRAPH_OP_METRICS(TYPE, NAME)                \
-  case MsgType::TYPE: {                                 \
-    static OpMetrics metrics = MakeOpMetrics(NAME);     \
-    return &metrics;                                    \
-  }
-  switch (type) {
-    LIVEGRAPH_OP_METRICS(kHello, "HELLO")
-    LIVEGRAPH_OP_METRICS(kBeginTxn, "BEGIN_TXN")
-    LIVEGRAPH_OP_METRICS(kBeginReadTxn, "BEGIN_READ_TXN")
-    LIVEGRAPH_OP_METRICS(kCommit, "COMMIT")
-    LIVEGRAPH_OP_METRICS(kAbort, "ABORT")
-    LIVEGRAPH_OP_METRICS(kEndRead, "END_READ")
-    LIVEGRAPH_OP_METRICS(kGetNode, "GET_NODE")
-    LIVEGRAPH_OP_METRICS(kGetLink, "GET_LINK")
-    LIVEGRAPH_OP_METRICS(kScanLinks, "SCAN_LINKS")
-    LIVEGRAPH_OP_METRICS(kCountLinks, "COUNT_LINKS")
-    LIVEGRAPH_OP_METRICS(kVertexCount, "VERTEX_COUNT")
-    LIVEGRAPH_OP_METRICS(kAddNode, "ADD_NODE")
-    LIVEGRAPH_OP_METRICS(kUpdateNode, "UPDATE_NODE")
-    LIVEGRAPH_OP_METRICS(kDeleteNode, "DELETE_NODE")
-    LIVEGRAPH_OP_METRICS(kAddLink, "ADD_LINK")
-    LIVEGRAPH_OP_METRICS(kUpdateLink, "UPDATE_LINK")
-    LIVEGRAPH_OP_METRICS(kDeleteLink, "DELETE_LINK")
-    LIVEGRAPH_OP_METRICS(kBeginReadTxnAt, "BEGIN_READ_TXN_AT")
-    LIVEGRAPH_OP_METRICS(kStats, "STATS")
-    default:
-      // kSubscribe converts the connection into a push stream (its latency
-      // is the stream lifetime, not a request) and response types are
-      // protocol violations — neither belongs in the op histograms.
-      return nullptr;
-  }
-#undef LIVEGRAPH_OP_METRICS
-}
-
-/// Non-kOk replies, labelled by status. Looked up per error (registry map
-/// under its mutex): errors are rare, and this keeps one chokepoint
-/// instead of a static per status value.
+/// Non-kOk subscribe replies, labelled by status (the request/response
+/// path counts its own errors inside ServerSession).
 void CountReplyError(Status status) {
   metrics::Registry::Instance()
       .GetCounter(std::string("livegraph_server_errors_total{status=\"") +
@@ -83,22 +26,40 @@ void CountReplyError(Status status) {
       .Add();
 }
 
-metrics::Gauge& OpenTxnsGauge() {
-  static metrics::Gauge& gauge =
-      metrics::Registry::Instance().GetGauge("livegraph_server_open_txns");
-  return gauge;
-}
+/// Writes replies straight to the socket; never throttles, so every
+/// ServerSession::Handle call completes inline (no async outcomes).
+class BlockingSink : public ServerSession::Sink {
+ public:
+  BlockingSink(Socket* socket, std::string* scratch)
+      : socket_(socket), scratch_(scratch) {}
+
+  bool SendFrame(MsgType type, uint8_t flags,
+                 std::string_view body) override {
+    return socket_->WriteFrame(type, flags, body, scratch_);
+  }
+
+ private:
+  Socket* socket_;
+  std::string* scratch_;
+};
 
 }  // namespace
 
-// One protocol session: a connection thread that owns its socket, its open
-// transactions, and three reused buffers (parse is in-place over the
-// receive frame; replies and scan batches build into per-connection
-// strings whose capacity survives across requests).
+// One blocking connection thread. In legacy mode it is the whole
+// transport: read a frame, hand it to the ServerSession, repeat. In
+// reactor mode it exists only for adopted replication subscriptions — the
+// reactor passes the socket (blocking again) plus the kSubscribe frame as
+// `first`, and the thread runs the push stream.
 class GraphServer::Connection {
  public:
   Connection(GraphServer* server, Socket socket)
       : server_(server), socket_(std::move(socket)) {}
+
+  Connection(GraphServer* server, Socket socket, Frame first)
+      : server_(server),
+        socket_(std::move(socket)),
+        first_(std::move(first)),
+        has_first_(true) {}
 
   void Start() {
     thread_ = std::thread([this] { Run(); });
@@ -111,28 +72,36 @@ class GraphServer::Connection {
   bool done() const { return done_.load(std::memory_order_acquire); }
 
  private:
-  // A slot in the session's transaction table. Write sessions serve reads
-  // too (read-your-writes); read sessions reject mutations.
-  struct OpenTxn {
-    std::unique_ptr<StoreTxn> write;
-    std::unique_ptr<StoreReadTxn> read;
-    StoreReadTxn* AsRead() const {
-      return write != nullptr ? write.get() : read.get();
-    }
-  };
-
   void Run() {
     // relaxed (both edges): active_connections_ is an observability gauge;
     // connection lifetime is ordered by done_/Join, not this counter.
     server_->active_connections_.fetch_add(1, std::memory_order_relaxed);
-    Frame request;
-    while (socket_.ReadFrame(&request)) {
-      if (!Dispatch(request)) break;
+    {
+      ServerSession::Config config;
+      config.store = &server_->store_;
+      config.scan_batch_edges = server_->options_.scan_batch_edges;
+      config.scan_batch_bytes = server_->options_.scan_batch_bytes;
+      config.frontier = server_->options_.frontier;
+      config.offload = false;
+      ServerSession session(config);
+      BlockingSink sink(&socket_, &send_scratch_);
+      Frame request;
+      bool have_frame = has_first_;
+      if (have_frame) request = std::move(first_);
+      while (have_frame || socket_.ReadFrame(&request)) {
+        have_frame = false;
+        ServerSession::Outcome outcome = session.Handle(request, &sink);
+        if (outcome == ServerSession::Outcome::kDone) continue;
+        if (outcome == ServerSession::Outcome::kSubscribe) {
+          WireReader reader(request.body);
+          HandleSubscribe(reader);
+        }
+        break;  // kClose, or a finished subscription
+      }
+      // Destroying the session aborts open write sessions and releases
+      // read sessions (latches, snapshots) — a vanished client holds
+      // nothing.
     }
-    // Destroying the table aborts open write sessions and releases read
-    // sessions (latches, snapshots) — a vanished client holds nothing.
-    OpenTxnsGauge().Add(-static_cast<int64_t>(txns_.size()));
-    txns_.clear();
     // Shutdown only — never Close() here: GraphServer::Stop() may call
     // ShutdownSocket() concurrently, and closing would both race on fd_
     // and free the descriptor number for reuse while Stop still holds it.
@@ -142,68 +111,8 @@ class GraphServer::Connection {
     done_.store(true, std::memory_order_release);
   }
 
-  /// Handles one request frame with per-opcode accounting (request count,
-  /// latency histogram, slow-op trace). False tears the connection down
-  /// (protocol violation or dead socket).
-  bool Dispatch(const Frame& request) {
-    const OpMetrics* op = OpMetricsFor(request.type);
-    if (op == nullptr) return DispatchInner(request);
-    const uint64_t start = metrics::MonotonicNanos();
-    bool keep = DispatchInner(request);
-    const uint64_t elapsed = metrics::MonotonicNanos() - start;
-    op->requests.Add();
-    op->latency.Record(elapsed);
-    auto& ring = metrics::SlowOpRing::Instance();
-    if (ring.ShouldRecord(elapsed)) {
-      metrics::SlowOp slow;
-      slow.name = op->name;
-      slow.total_nanos = elapsed;
-      slow.wall_unix_micros = metrics::WallUnixMicros();
-      ring.Record(std::move(slow));
-    }
-    return keep;
-  }
+  // --- Reply plumbing (subscription handshake only) -----------------------
 
-  bool DispatchInner(const Frame& request) {
-    WireReader reader(request.body);
-    switch (request.type) {
-      case MsgType::kHello: return HandleHello(reader);
-      case MsgType::kBeginTxn: return HandleBegin(reader, /*write=*/true);
-      case MsgType::kBeginReadTxn:
-        return HandleBegin(reader, /*write=*/false);
-      case MsgType::kCommit: return HandleCommit(reader);
-      case MsgType::kAbort: return HandleAbort(reader);
-      case MsgType::kEndRead: return HandleEndRead(reader);
-      case MsgType::kGetNode: return HandleGetNode(reader);
-      case MsgType::kGetLink: return HandleGetLink(reader);
-      case MsgType::kScanLinks: return HandleScanLinks(reader);
-      case MsgType::kCountLinks: return HandleCountLinks(reader);
-      case MsgType::kVertexCount: return HandleVertexCount(reader);
-      case MsgType::kAddNode: return HandleAddNode(reader);
-      case MsgType::kUpdateNode: return HandleUpdateNode(reader);
-      case MsgType::kDeleteNode: return HandleDeleteNode(reader);
-      case MsgType::kAddLink: return HandleAddLink(reader, /*upsert=*/true);
-      case MsgType::kUpdateLink:
-        return HandleAddLink(reader, /*upsert=*/false);
-      case MsgType::kDeleteLink: return HandleDeleteLink(reader);
-      case MsgType::kSubscribe: return HandleSubscribe(reader);
-      case MsgType::kBeginReadTxnAt: return HandleBeginReadTxnAt(reader);
-      case MsgType::kStats: return HandleStats(reader);
-      case MsgType::kFrontierAck:
-        return false;  // only valid inside an established push stream
-      case MsgType::kReply:
-      case MsgType::kScanBatch:
-      case MsgType::kSnapshotBatch:
-      case MsgType::kLogBatch:
-        return false;  // response types are not requests
-    }
-    return false;
-  }
-
-  // --- Reply plumbing -----------------------------------------------------
-
-  /// Starts a reply body with its status byte; append the payload through
-  /// the returned writer, then SendReply().
   WireWriter BeginReply(Status status) {
     if (status != Status::kOk) CountReplyError(status);
     reply_body_.clear();
@@ -222,253 +131,7 @@ class GraphServer::Connection {
     return SendReply(flags);
   }
 
-  // --- Handshake ----------------------------------------------------------
-
-  bool HandleHello(WireReader& reader) {
-    uint32_t version;
-    if (!reader.GetU32(&version) || !reader.Exhausted()) return false;
-    if (version != kProtocolVersion) {
-      ReplyStatus(Status::kUnavailable);
-      return false;  // incompatible dialect: refuse loudly, then hang up
-    }
-    StoreTraits traits = server_->store_.Traits();
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutU32(kProtocolVersion);
-    writer.PutBytes(server_->store_.Name());
-    writer.PutU8(traits.time_ordered_scans ? 1 : 0);
-    writer.PutU8(traits.snapshot_reads ? 1 : 0);
-    writer.PutU8(traits.transactional_writes ? 1 : 0);
-    return SendReply();
-  }
-
-  // --- Session lifecycle --------------------------------------------------
-
-  bool HandleBegin(WireReader& reader, bool write) {
-    if (!reader.Exhausted()) return false;
-    uint64_t id = next_txn_id_++;
-    OpenTxn& slot = txns_[id];
-    OpenTxnsGauge().Add(1);
-    if (write) {
-      slot.write = server_->store_.BeginTxn();
-    } else {
-      slot.read = server_->store_.BeginReadTxn();
-    }
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutU64(id);
-    return SendReply();
-  }
-
-  bool HandleCommit(WireReader& reader) {
-    uint64_t id;
-    if (!reader.GetU64(&id) || !reader.Exhausted()) return false;
-    auto it = txns_.find(id);
-    if (it == txns_.end() || it->second.write == nullptr) {
-      return ReplyStatus(Status::kNotActive);
-    }
-    StatusOr<timestamp_t> committed = it->second.write->Commit();
-    txns_.erase(it);
-    OpenTxnsGauge().Sub(1);
-    if (!committed.ok()) return ReplyStatus(committed.status());
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutI64(*committed);
-    return SendReply();
-  }
-
-  bool HandleAbort(WireReader& reader) {
-    uint64_t id;
-    if (!reader.GetU64(&id) || !reader.Exhausted()) return false;
-    auto it = txns_.find(id);
-    if (it == txns_.end() || it->second.write == nullptr) {
-      return ReplyStatus(Status::kNotActive);
-    }
-    it->second.write->Abort();
-    txns_.erase(it);
-    OpenTxnsGauge().Sub(1);
-    return ReplyStatus(Status::kOk);
-  }
-
-  bool HandleEndRead(WireReader& reader) {
-    uint64_t id;
-    if (!reader.GetU64(&id) || !reader.Exhausted()) return false;
-    auto it = txns_.find(id);
-    if (it == txns_.end() || it->second.read == nullptr) {
-      return ReplyStatus(Status::kNotActive);
-    }
-    txns_.erase(it);  // releases the engine read session (latch, snapshot)
-    OpenTxnsGauge().Sub(1);
-    return ReplyStatus(Status::kOk);
-  }
-
-  // --- Reads --------------------------------------------------------------
-
-  StoreReadTxn* FindRead(uint64_t id) {
-    auto it = txns_.find(id);
-    return it != txns_.end() ? it->second.AsRead() : nullptr;
-  }
-
-  StoreTxn* FindWrite(uint64_t id) {
-    auto it = txns_.find(id);
-    return it != txns_.end() ? it->second.write.get() : nullptr;
-  }
-
-  bool HandleGetNode(WireReader& reader) {
-    uint64_t id;
-    int64_t vertex;
-    if (!reader.GetU64(&id) || !reader.GetI64(&vertex) ||
-        !reader.Exhausted()) {
-      return false;
-    }
-    StoreReadTxn* read = FindRead(id);
-    if (read == nullptr) return ReplyStatus(Status::kNotActive);
-    StatusOr<std::string> props = read->GetNode(vertex);
-    if (!props.ok()) return ReplyStatus(props.status());
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutBytes(*props);
-    return SendReply();
-  }
-
-  bool HandleGetLink(WireReader& reader) {
-    uint64_t id;
-    int64_t src, dst;
-    uint16_t label;
-    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
-        !reader.GetU16(&label) || !reader.GetI64(&dst) ||
-        !reader.Exhausted()) {
-      return false;
-    }
-    StoreReadTxn* read = FindRead(id);
-    if (read == nullptr) return ReplyStatus(Status::kNotActive);
-    StatusOr<std::string> props = read->GetLink(src, label, dst);
-    if (!props.ok()) return ReplyStatus(props.status());
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutBytes(*props);
-    return SendReply();
-  }
-
-  bool HandleCountLinks(WireReader& reader) {
-    uint64_t id;
-    int64_t src;
-    uint16_t label;
-    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
-        !reader.GetU16(&label) || !reader.Exhausted()) {
-      return false;
-    }
-    StoreReadTxn* read = FindRead(id);
-    if (read == nullptr) return ReplyStatus(Status::kNotActive);
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutU64(read->CountLinks(src, label));
-    return SendReply();
-  }
-
-  bool HandleVertexCount(WireReader& reader) {
-    uint64_t id;
-    if (!reader.GetU64(&id) || !reader.Exhausted()) return false;
-    StoreReadTxn* read = FindRead(id);
-    if (read == nullptr) return ReplyStatus(Status::kNotActive);
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutI64(read->VertexCount());
-    return SendReply();
-  }
-
-  // The streaming scan: walk the engine cursor once, flushing a reused
-  // batch buffer whenever either budget (edges or bytes) fills. The last
-  // frame carries kFlagEndOfStream; an error reply does too, so the client
-  // drain rule is uniform.
-  bool HandleScanLinks(WireReader& reader) {
-    uint64_t id, limit;
-    int64_t src;
-    uint16_t label;
-    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
-        !reader.GetU16(&label) || !reader.GetU64(&limit) ||
-        !reader.Exhausted()) {
-      return false;
-    }
-    StoreReadTxn* read = FindRead(id);
-    if (read == nullptr) {
-      return ReplyStatus(Status::kNotActive, kFlagEndOfStream);
-    }
-    const Options& options = server_->options_;
-    uint32_t batch_count = 0;
-    batch_body_.clear();
-    WireWriter writer(&batch_body_);
-    writer.PutU32(0);  // count placeholder, patched at flush
-    auto flush = [&](bool end_of_stream) {
-      uint8_t count_le[4] = {
-          static_cast<uint8_t>(batch_count),
-          static_cast<uint8_t>(batch_count >> 8),
-          static_cast<uint8_t>(batch_count >> 16),
-          static_cast<uint8_t>(batch_count >> 24)};
-      std::memcpy(batch_body_.data(), count_le, sizeof(count_le));
-      bool sent = socket_.WriteFrame(
-          MsgType::kScanBatch,
-          end_of_stream ? kFlagEndOfStream : kFlagNone, batch_body_,
-          &send_scratch_);
-      batch_count = 0;
-      batch_body_.clear();
-      writer.PutU32(0);
-      return sent;
-    };
-    for (EdgeCursor cursor = read->ScanLinks(src, label, limit);
-         cursor.Valid(); cursor.Next()) {
-      // Flush early if this edge would push the frame past the protocol
-      // cap (possible with outsized property blobs loaded embedded); a
-      // single edge that alone exceeds the cap is unrepresentable and
-      // fails the WriteFrame below, closing the connection.
-      size_t edge_bytes = 8 + 8 + 4 + cursor.properties().size();
-      if (batch_count > 0 && batch_body_.size() + edge_bytes > kMaxFrameBody) {
-        if (!flush(/*end_of_stream=*/false)) return false;
-      }
-      writer.PutI64(cursor.dst());
-      writer.PutI64(cursor.creation_timestamp());
-      writer.PutBytes(cursor.properties());
-      if (++batch_count >= options.scan_batch_edges ||
-          batch_body_.size() >= options.scan_batch_bytes) {
-        if (!flush(/*end_of_stream=*/false)) return false;
-      }
-    }
-    return flush(/*end_of_stream=*/true);
-  }
-
   // --- Replication (docs/REPLICATION.md) ----------------------------------
-
-  /// Epoch-gated read session: wait until this node's frontier covers the
-  /// client's epoch, then open a plain read snapshot (which therefore
-  /// includes every commit at or below it). kTimeout when the frontier
-  /// does not catch up in time — the client may fail over.
-  bool HandleBeginReadTxnAt(WireReader& reader) {
-    int64_t min_epoch;
-    uint32_t timeout_ms;
-    if (!reader.GetI64(&min_epoch) || !reader.GetU32(&timeout_ms) ||
-        !reader.Exhausted()) {
-      return false;
-    }
-    EpochFrontier* frontier = server_->options_.frontier;
-    if (min_epoch > 0) {
-      if (frontier == nullptr) return ReplyStatus(Status::kUnavailable);
-      if (!frontier->WaitCovered(min_epoch,
-                                 static_cast<int64_t>(timeout_ms))) {
-        return ReplyStatus(Status::kTimeout);
-      }
-    }
-    uint64_t id = next_txn_id_++;
-    txns_[id].read = server_->store_.BeginReadTxn();
-    OpenTxnsGauge().Add(1);
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutU64(id);
-    return SendReply();
-  }
-
-  /// STATS: collect the live registry (probes included) and reply with the
-  /// versioned binary snapshot (server/stats_codec.h).
-  bool HandleStats(WireReader& reader) {
-    if (!reader.Exhausted()) return false;
-    metrics::Snapshot snapshot = metrics::Registry::Instance().Collect();
-    batch_body_.clear();
-    EncodeStats(snapshot, &batch_body_);
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutBytes(batch_body_);
-    return SendReply();
-  }
 
   /// Converts the connection into a follower push stream: catch-up phase
   /// (snapshot or WAL-file range, per the hub's tier), then live batches
@@ -665,90 +328,12 @@ class GraphServer::Connection {
     }
   }
 
-  // --- Writes -------------------------------------------------------------
-
-  bool HandleAddNode(WireReader& reader) {
-    uint64_t id;
-    std::string_view data;
-    if (!reader.GetU64(&id) || !reader.GetBytes(&data) ||
-        !reader.Exhausted()) {
-      return false;
-    }
-    StoreTxn* txn = FindWrite(id);
-    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
-    StatusOr<vertex_t> added = txn->AddNode(data);
-    if (!added.ok()) return ReplyStatus(added.status());
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutI64(*added);
-    return SendReply();
-  }
-
-  bool HandleUpdateNode(WireReader& reader) {
-    uint64_t id;
-    int64_t vertex;
-    std::string_view data;
-    if (!reader.GetU64(&id) || !reader.GetI64(&vertex) ||
-        !reader.GetBytes(&data) || !reader.Exhausted()) {
-      return false;
-    }
-    StoreTxn* txn = FindWrite(id);
-    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
-    return ReplyStatus(txn->UpdateNode(vertex, data));
-  }
-
-  bool HandleDeleteNode(WireReader& reader) {
-    uint64_t id;
-    int64_t vertex;
-    if (!reader.GetU64(&id) || !reader.GetI64(&vertex) ||
-        !reader.Exhausted()) {
-      return false;
-    }
-    StoreTxn* txn = FindWrite(id);
-    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
-    return ReplyStatus(txn->DeleteNode(vertex));
-  }
-
-  bool HandleAddLink(WireReader& reader, bool upsert) {
-    uint64_t id;
-    int64_t src, dst;
-    uint16_t label;
-    std::string_view data;
-    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
-        !reader.GetU16(&label) || !reader.GetI64(&dst) ||
-        !reader.GetBytes(&data) || !reader.Exhausted()) {
-      return false;
-    }
-    StoreTxn* txn = FindWrite(id);
-    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
-    if (!upsert) return ReplyStatus(txn->UpdateLink(src, label, dst, data));
-    StatusOr<bool> inserted = txn->AddLink(src, label, dst, data);
-    if (!inserted.ok()) return ReplyStatus(inserted.status());
-    WireWriter writer = BeginReply(Status::kOk);
-    writer.PutU8(*inserted ? 1 : 0);
-    return SendReply();
-  }
-
-  bool HandleDeleteLink(WireReader& reader) {
-    uint64_t id;
-    int64_t src, dst;
-    uint16_t label;
-    if (!reader.GetU64(&id) || !reader.GetI64(&src) ||
-        !reader.GetU16(&label) || !reader.GetI64(&dst) ||
-        !reader.Exhausted()) {
-      return false;
-    }
-    StoreTxn* txn = FindWrite(id);
-    if (txn == nullptr) return ReplyStatus(Status::kNotActive);
-    return ReplyStatus(txn->DeleteLink(src, label, dst));
-  }
-
   GraphServer* server_;
   Socket socket_;
   std::thread thread_;
   std::atomic<bool> done_{false};
-
-  uint64_t next_txn_id_ = 1;
-  std::map<uint64_t, OpenTxn> txns_;
+  Frame first_;
+  bool has_first_ = false;
 
   // Reused per-connection buffers: steady state sends allocate nothing.
   std::string reply_body_;
@@ -768,13 +353,46 @@ bool GraphServer::Start() {
   // Eagerly register the gauges scrapes key on, so they exist (at 0) from
   // the first snapshot instead of appearing after the first event.
   registry.GetGauge("livegraph_degraded");
-  OpenTxnsGauge();
+  registry.GetGauge("livegraph_server_open_txns");
+
+  resolved_reactors_ = options_.reactors;
+  if (resolved_reactors_ < 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    resolved_reactors_ = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (resolved_reactors_ > 0) {
+    ReactorGroup::Options group;
+    group.reactors = resolved_reactors_;
+    group.workers = options_.workers > 0 ? options_.workers
+                                         : std::max(2, resolved_reactors_);
+    group.write_high_water = options_.write_high_water;
+    group.write_low_water =
+        std::min(options_.write_low_water, options_.write_high_water);
+    group.idle_timeout_ms = options_.idle_timeout_ms;
+    group.write_stall_timeout_ms = options_.io_timeout_ms;
+    group.session.store = &store_;
+    group.session.scan_batch_edges = options_.scan_batch_edges;
+    group.session.scan_batch_bytes = options_.scan_batch_bytes;
+    group.session.frontier = options_.frontier;
+    reactor_group_ = std::make_unique<ReactorGroup>(
+        std::move(group), [this](Socket socket, Frame frame) {
+          AdoptSubscription(std::move(socket), std::move(frame));
+        });
+    if (!reactor_group_->Start()) {
+      reactor_group_.reset();
+      listener_.Close();
+      return false;
+    }
+  }
+
+  // The probe registers after the reactor group exists: it reads
+  // reactor_group_ from scrape threads.
   metrics::Gauge& connections =
       registry.GetGauge("livegraph_server_connections");
   metrics_probe_ = registry.AddProbe([this, &connections] {
-    connections.Set(static_cast<int64_t>(
-        active_connections_.load(std::memory_order_relaxed)));
+    connections.Set(static_cast<int64_t>(active_connections()));
   });
+
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
@@ -786,13 +404,19 @@ void GraphServer::AcceptLoop() {
     if (!conn.valid()) break;  // listener shut down (or fatal error)
     // Send deadline only: a hung peer fails its connection thread's writes
     // instead of wedging it. Receives stay unbounded — an idle client
-    // parked between requests is normal, not a fault.
+    // parked between requests is normal, not a fault. (Non-blocking
+    // reactor I/O ignores the deadline, but an adopted subscription socket
+    // reverts to blocking sends and inherits it.)
     conn.SetSendTimeout(options_.io_timeout_ms);
     static metrics::Counter& rx = metrics::Registry::Instance().GetCounter(
         "livegraph_server_rx_bytes_total");
     static metrics::Counter& tx = metrics::Registry::Instance().GetCounter(
         "livegraph_server_tx_bytes_total");
     conn.SetByteCounters(&rx, &tx);
+    if (reactor_group_ != nullptr) {
+      reactor_group_->AddConnection(std::move(conn));
+      continue;
+    }
     std::lock_guard<std::mutex> lock(connections_mu_);
     // Reap finished connections so a long-lived server with connection
     // churn doesn't accumulate dead session objects.
@@ -811,16 +435,35 @@ void GraphServer::AcceptLoop() {
   }
 }
 
+void GraphServer::AdoptSubscription(Socket socket, Frame frame) {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  // Checked under the lock: Stop() flips running_ before it swaps the
+  // connection list out (also under the lock), so either this connection
+  // lands in the list Stop() joins, or it is dropped here.
+  if (!running_.load(std::memory_order_acquire)) return;
+  connections_.push_back(std::make_unique<Connection>(
+      this, std::move(socket), std::move(frame)));
+  connections_.back()->Start();
+}
+
+size_t GraphServer::active_connections() const {
+  size_t total = active_connections_.load(std::memory_order_relaxed);
+  if (reactor_group_ != nullptr) {
+    total += reactor_group_->active_connections();
+  }
+  return total;
+}
+
 void GraphServer::Drain(int64_t deadline_ms) {
   if (!running_.load(std::memory_order_acquire)) return;
   // Stop accepting immediately: shut the listener down and collect the
-  // accept thread, but leave running_ set so in-flight sessions keep
-  // serving until they finish or the deadline lands.
+  // accept thread, but leave running_ set so in-flight sessions (on either
+  // transport) keep serving until they finish or the deadline lands.
   listener_.Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(deadline_ms);
-  while (active_connections_.load(std::memory_order_acquire) > 0 &&
+  while (active_connections() > 0 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
@@ -840,6 +483,11 @@ void GraphServer::Stop() {
   listener_.Shutdown();
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
+  // Reactors first: their connections close and any in-flight offloaded
+  // commits drain inside ReactorGroup::Stop(). Blocking threads
+  // (subscriptions, legacy mode) see running_ false and unwind once their
+  // sockets are shut.
+  if (reactor_group_ != nullptr) reactor_group_->Stop();
   std::vector<std::unique_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
@@ -847,6 +495,9 @@ void GraphServer::Stop() {
   }
   for (auto& connection : connections) connection->ShutdownSocket();
   for (auto& connection : connections) connection->Join();
+  // reactor_group_ stays allocated (threads joined, zero connections) so
+  // concurrent active_connections() readers never race its teardown; the
+  // destructor frees it.
 }
 
 }  // namespace livegraph

@@ -1,13 +1,20 @@
 // GraphServer: the network front end over any v2 Store engine
 // (docs/SERVER.md).
 //
-// One accept thread plus one thread per connection, each speaking the
-// framed protocol (server/protocol.h). A connection is a protocol session:
-// it owns a table of open transactions (ids handed out by Begin{,Read}Txn)
-// mapped onto real StoreTxn/StoreReadTxn sessions, so remote sessions keep
+// Two transports share one protocol brain (server/session.h). The default
+// front end is the epoll reactor (server/reactor.h): `reactors` event-loop
+// threads own the accepted connections, pipeline buffered requests, batch
+// replies into single writev calls, and hand blocking work (group-commit
+// waits, frontier waits) to a small worker pool. `reactors = 0` selects
+// the legacy mode — one accept thread plus one blocking thread per
+// connection. Either way a connection is a protocol session: it owns a
+// table of open transactions (ids handed out by Begin{,Read}Txn) mapped
+// onto real StoreTxn/StoreReadTxn sessions, so remote sessions keep
 // exactly the engine's semantics — MVCC snapshots stay snapshots, latch
 // engines hold their latch for the remote session's lifetime, and a
-// dropped connection aborts whatever it left open.
+// dropped connection aborts whatever it left open. Replication
+// subscriptions always run on dedicated blocking threads; the reactor
+// hands those sockets back (adoption) when kSubscribe arrives.
 //
 // Scans stream: ScanLinks walks the engine cursor once, packing edges into
 // reused batch buffers and writing each batch as soon as it fills — the
@@ -32,6 +39,7 @@ namespace livegraph {
 
 class ReplicationHub;
 class EpochFrontier;
+class ReactorGroup;
 
 class GraphServer {
  public:
@@ -57,8 +65,25 @@ class GraphServer {
     /// Per-operation send deadline installed on every accepted socket
     /// (Socket::SetSendTimeout): a peer that stops draining its replies or
     /// its replication push stream fails the write instead of wedging the
-    /// connection thread forever. 0 disables.
+    /// connection thread forever. 0 disables. In reactor mode the same
+    /// value bounds how long a connection's queued output may sit without
+    /// flush progress before the connection is closed.
     int64_t io_timeout_ms = 30'000;
+    /// Event-loop threads (docs/SERVER.md "Event loop"). -1 resolves to
+    /// the hardware concurrency at Start(); 0 selects the legacy blocking
+    /// thread-per-connection mode.
+    int reactors = -1;
+    /// Commit-offload worker threads shared by the reactors. 0 resolves
+    /// to max(2, reactors).
+    int workers = 0;
+    /// Reactor per-connection output-queue watermarks, in bytes: above
+    /// high the reactor stops reading from the connection (and parks
+    /// streaming scans); below low it resumes.
+    size_t write_high_water = 1u << 20;
+    size_t write_low_water = 256u << 10;
+    /// Reactor mode: close connections that send nothing for this long
+    /// (0 = never), aborting their open transactions.
+    int64_t idle_timeout_ms = 0;
   };
 
   /// Serves `store`; does not own it. The store must outlive Stop().
@@ -82,16 +107,22 @@ class GraphServer {
   uint16_t port() const { return port_; }
   const Options& options() const { return options_; }
 
-  /// Connections currently attached (observability, tests).
-  /// relaxed: a monitoring gauge; nothing is synchronized through it.
-  size_t active_connections() const {
-    return active_connections_.load(std::memory_order_relaxed);
-  }
+  /// Connections currently attached, across both transports
+  /// (observability, tests). relaxed: a monitoring gauge; nothing is
+  /// synchronized through it.
+  size_t active_connections() const;
+
+  /// Reactor threads actually running (0 in blocking mode). Valid after
+  /// Start().
+  int resolved_reactors() const { return resolved_reactors_; }
 
  private:
   class Connection;
 
   void AcceptLoop();
+  /// Reactor hand-back: runs a kSubscribe connection on a dedicated
+  /// blocking thread (replication push streams outlive any event loop).
+  void AdoptSubscription(Socket socket, Frame frame);
 
   Store& store_;
   Options options_;
@@ -100,6 +131,10 @@ class GraphServer {
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<size_t> active_connections_{0};
+  int resolved_reactors_ = 0;
+
+  /// The event-loop front end (null in blocking mode).
+  std::unique_ptr<ReactorGroup> reactor_group_;
 
   std::mutex connections_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;

@@ -79,6 +79,9 @@ struct Flags {
   size_t max_vertices = size_t{1} << 24;
   size_t page_cache_pages = size_t{1} << 16;  // PagedLiveGraph: 256 MiB
   size_t scan_batch_edges = 512;
+  int reactors = -1;  // event-loop threads; -1 = hw concurrency, 0 = blocking
+  int workers = 0;    // commit-offload workers; 0 = max(2, reactors)
+  int64_t idle_timeout_ms = 0;  // reactor mode: close silent connections
   std::string replica_of;   // "host:port" of the primary (follower mode)
   std::string replica_dir;  // follower durable dir (empty = in-memory)
   int64_t replica_checkpoint_epochs = 65536;
@@ -118,10 +121,16 @@ int Usage(const char* argv0) {
       "          [--checkpoint-dir=DIR] [--storage-path=FILE]\n"
       "          [--max-vertices=N] [--page-cache-pages=N]\n"
       "          [--scan-batch-edges=N]\n"
+      "          [--reactors=N] [--workers=N] [--idle-timeout-ms=N]\n"
       "          [--replica-of=HOST:PORT] [--replica-dir=DIR]\n"
       "          [--replica-checkpoint-epochs=N]\n"
       "          [--drain-deadline-ms=N] [--faults=SPEC]\n"
       "          [--metrics-port=N] [--slow-op-ms=N]\n"
+      "  --reactors picks the epoll event-loop thread count (docs/SERVER.md\n"
+      "  \"Event loop\"): -1 (default) = hardware concurrency, 0 = legacy\n"
+      "  blocking thread-per-connection. --workers sizes the commit-offload\n"
+      "  pool (0 = max(2, reactors)); --idle-timeout-ms closes connections\n"
+      "  silent that long (0 = never, reactor mode only).\n"
       "  --shards=N (N > 1) serves a hash-partitioned ShardedLiveGraph;\n"
       "  LiveGraph engine only. With durability the server recovers its\n"
       "  durable state on start; a sharded server uses --wal-path as its\n"
@@ -254,6 +263,15 @@ int main(int argc, char** argv) {
     } else if (TakeValue(argv[i], "--scan-batch-edges", &value)) {
       flags.scan_batch_edges =
           static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (TakeValue(argv[i], "--reactors", &value)) {
+      flags.reactors = std::atoi(value.c_str());
+      if (flags.reactors < -1) return Usage(argv[0]);
+    } else if (TakeValue(argv[i], "--workers", &value)) {
+      flags.workers = std::atoi(value.c_str());
+      if (flags.workers < 0) return Usage(argv[0]);
+    } else if (TakeValue(argv[i], "--idle-timeout-ms", &value)) {
+      flags.idle_timeout_ms = std::atoll(value.c_str());
+      if (flags.idle_timeout_ms < 0) return Usage(argv[0]);
     } else if (TakeValue(argv[i], "--replica-checkpoint-epochs", &value)) {
       flags.replica_checkpoint_epochs = std::atoll(value.c_str());
     } else if (TakeValue(argv[i], "--drain-deadline-ms", &value)) {
@@ -311,6 +329,9 @@ int main(int argc, char** argv) {
     options.host = flags.host;
     options.port = flags.port;
     options.scan_batch_edges = flags.scan_batch_edges;
+    options.reactors = flags.reactors;
+    options.workers = flags.workers;
+    options.idle_timeout_ms = flags.idle_timeout_ms;
     options.frontier = &replica.frontier();
     livegraph::GraphServer server(replica.store(), options);
     if (!server.Start()) {
@@ -327,6 +348,7 @@ int main(int argc, char** argv) {
           .Str("primary", flags.replica_of)
           .Str("host", flags.host)
           .U64("port", server.port())
+          .I64("reactors", server.resolved_reactors())
           .Str("sha", livegraph::kBuildGitSha)
           .Str("build", livegraph::kBuildType)
           .Str("build_flags", livegraph::kBuildFlags)
@@ -361,6 +383,9 @@ int main(int argc, char** argv) {
   options.host = flags.host;
   options.port = flags.port;
   options.scan_batch_edges = flags.scan_batch_edges;
+  options.reactors = flags.reactors;
+  options.workers = flags.workers;
+  options.idle_timeout_ms = flags.idle_timeout_ms;
   // A durable LiveGraph primary accepts follower subscriptions; the hub
   // stays inert (and kSubscribe answers kUnavailable) for volatile or
   // baseline engines.
@@ -389,6 +414,7 @@ int main(int argc, char** argv) {
         .Bool("replication", hub.attached())
         .Str("host", flags.host)
         .U64("port", server.port())
+        .I64("reactors", server.resolved_reactors())
         .Str("sha", livegraph::kBuildGitSha)
         .Str("build", livegraph::kBuildType)
         .Str("build_flags", livegraph::kBuildFlags)

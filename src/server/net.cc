@@ -1,11 +1,15 @@
 #include "server/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -123,6 +127,70 @@ bool Socket::WriteFull(const void* data, size_t size) {
         static_cast<uint64_t>(at - static_cast<const char*>(data)));
   }
   return true;
+}
+
+bool Socket::SetNonBlocking(bool enabled) {
+  if (fd_ < 0) return false;
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return flags == wanted || ::fcntl(fd_, F_SETFL, wanted) == 0;
+}
+
+int64_t Socket::ReadNonBlocking(void* data, size_t size) {
+  if (faults::Action fault = LIVEGRAPH_FAULT("net.recv")) {
+    // Same failure the blocking path injects: tear the stream. The
+    // reactor sees an error return and closes the connection.
+    (void)fault;
+    Shutdown();
+    return -1;
+  }
+  while (true) {
+    ssize_t n = ::recv(fd_, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+      return -1;
+    }
+    if (n > 0 && rx_bytes_ != nullptr) {
+      rx_bytes_->Add(static_cast<uint64_t>(n));
+    }
+    return static_cast<int64_t>(n);
+  }
+}
+
+int64_t Socket::WritevNonBlocking(const struct iovec* iov, int iov_count) {
+  if (faults::Action fault = LIVEGRAPH_FAULT("net.send")) {
+    if (fault.kind == faults::Action::Kind::kShortWrite) {
+      // Push a bounded prefix onto the wire before tearing the stream —
+      // the peer exercises its mid-frame-close handling (same shape as
+      // WriteFull's injection).
+      size_t budget = static_cast<size_t>(fault.arg);
+      for (int i = 0; i < iov_count && budget > 0; ++i) {
+        size_t chunk = iov[i].iov_len < budget ? iov[i].iov_len : budget;
+        ssize_t n = ::send(fd_, iov[i].iov_base, chunk, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        budget -= static_cast<size_t>(n);
+      }
+    }
+    Shutdown();
+    return -1;
+  }
+  while (true) {
+    msghdr msg = {};
+    msg.msg_iov = const_cast<struct iovec*>(iov);
+    msg.msg_iovlen = static_cast<size_t>(iov_count);
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+      return -1;
+    }
+    if (n > 0 && tx_bytes_ != nullptr) {
+      tx_bytes_->Add(static_cast<uint64_t>(n));
+    }
+    return static_cast<int64_t>(n);
+  }
 }
 
 namespace {
@@ -244,6 +312,83 @@ Socket AcceptTcp(const Socket& listener) {
       continue;
     }
     return Socket();
+  }
+}
+
+Epoll::Epoll() : fd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+Epoll::~Epoll() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+namespace {
+
+uint32_t ToEpollMask(uint32_t interest) {
+  uint32_t mask = 0;
+  if ((interest & Epoll::kRead) != 0) mask |= EPOLLIN;
+  if ((interest & Epoll::kWrite) != 0) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+bool Epoll::Add(int fd, uint32_t interest, uint64_t data) {
+  epoll_event ev = {};
+  ev.events = ToEpollMask(interest);
+  ev.data.u64 = data;
+  return ::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool Epoll::Mod(int fd, uint32_t interest, uint64_t data) {
+  epoll_event ev = {};
+  ev.events = ToEpollMask(interest);
+  ev.data.u64 = data;
+  return ::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+bool Epoll::Del(int fd) {
+  epoll_event ev = {};
+  return ::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, &ev) == 0;
+}
+
+int Epoll::Wait(int timeout_ms, std::vector<Event>* out) {
+  out->clear();
+  epoll_event events[128];
+  int n;
+  do {
+    n = ::epoll_wait(fd_, events, 128, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return 0;
+  out->reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Event event;
+    event.data = events[i].data.u64;
+    // HUP/ERR surface as readable: the next read returns EOF/error, which
+    // is how the reactor learns the peer is gone.
+    event.readable =
+        (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+    event.writable = (events[i].events & EPOLLOUT) != 0;
+    out->push_back(event);
+  }
+  return n;
+}
+
+EventFd::EventFd() : fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {}
+
+EventFd::~EventFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EventFd::Signal() {
+  uint64_t one = 1;
+  // A full counter (EAGAIN) still leaves the fd readable — the wakeup is
+  // already pending, so dropping the write is correct.
+  [[maybe_unused]] ssize_t n = ::write(fd_, &one, sizeof(one));
+}
+
+void EventFd::Drain() {
+  uint64_t value;
+  while (::read(fd_, &value, sizeof(value)) > 0) {
   }
 }
 

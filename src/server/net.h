@@ -1,16 +1,22 @@
 // Thin POSIX TCP helpers shared by GraphServer and RemoteStore: RAII fds,
 // full-buffer read/write loops, and frame-granularity send/receive built
-// on the protocol framing (server/protocol.h). No event loop — both sides
-// use blocking sockets with one thread per connection, which keeps the
-// scan-streaming path a straight write() loop.
+// on the protocol framing (server/protocol.h). Blocking sockets carry the
+// client side, the legacy thread-per-connection server mode, and
+// replication push streams; the reactor server (server/reactor.h) flips
+// its accepted sockets non-blocking and drives them through the Epoll /
+// EventFd wrappers below.
 #ifndef LIVEGRAPH_SERVER_NET_H_
 #define LIVEGRAPH_SERVER_NET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "server/protocol.h"
+
+struct iovec;
 
 namespace livegraph {
 
@@ -79,6 +85,28 @@ class Socket {
   /// that need to distinguish follow up with ReadFrame.
   bool Readable(int timeout_ms) const;
 
+  // --- Non-blocking mode (reactor server) ---
+
+  /// Result codes for the non-blocking transfer calls below.
+  static constexpr int64_t kWouldBlock = -2;
+
+  /// O_NONBLOCK on/off. The reactor flips accepted sockets non-blocking;
+  /// a connection handed back to a blocking thread (replication
+  /// subscription adoption) flips it back.
+  bool SetNonBlocking(bool enabled);
+
+  /// One non-blocking recv: > 0 bytes read, 0 on orderly EOF, kWouldBlock
+  /// when nothing is buffered, -1 on error. Shares the "net.recv"
+  /// failpoint with ReadFull so chaos runs exercise the reactor's read
+  /// path too.
+  int64_t ReadNonBlocking(void* data, size_t size);
+
+  /// One non-blocking gathered send over `iov[0..iov_count)`: >= 0 bytes
+  /// written (possibly short — the caller keeps its queue and retries on
+  /// EPOLLOUT), kWouldBlock when the socket buffer is full, -1 on error.
+  /// MSG_NOSIGNAL like WriteFull; shares the "net.send" failpoint.
+  int64_t WritevNonBlocking(const struct iovec* iov, int iov_count);
+
   /// Frames `body` and writes it in one buffer. `scratch` is caller-owned
   /// so steady-state sends reuse its capacity.
   bool WriteFrame(MsgType type, uint8_t flags, std::string_view body,
@@ -92,6 +120,65 @@ class Socket {
   int fd_ = -1;
   metrics::Counter* rx_bytes_ = nullptr;
   metrics::Counter* tx_bytes_ = nullptr;
+};
+
+/// Owning epoll instance (level-triggered). Thin enough that the reactor's
+/// event loop reads as epoll calls, thick enough that fd lifetime and
+/// EINTR handling live in one place.
+class Epoll {
+ public:
+  /// One readiness report. `data` is the caller's cookie from Add/Mod.
+  struct Event {
+    uint64_t data;
+    bool readable;   // EPOLLIN | EPOLLHUP | EPOLLERR
+    bool writable;   // EPOLLOUT
+  };
+
+  static constexpr uint32_t kRead = 1u << 0;
+  static constexpr uint32_t kWrite = 1u << 1;
+
+  Epoll();
+  ~Epoll();
+  Epoll(const Epoll&) = delete;
+  Epoll& operator=(const Epoll&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Registers / rearms / removes `fd` with interest in kRead/kWrite bits.
+  /// `data` comes back verbatim in Event::data (connection cookie).
+  bool Add(int fd, uint32_t interest, uint64_t data);
+  bool Mod(int fd, uint32_t interest, uint64_t data);
+  bool Del(int fd);
+
+  /// Blocks up to `timeout_ms` (-1 = forever) and appends ready events to
+  /// `out` (cleared first). Returns the event count; 0 on timeout. EINTR
+  /// retries internally.
+  int Wait(int timeout_ms, std::vector<Event>* out);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Owning eventfd: the reactor's cross-thread doorbell (worker-pool
+/// completions, Stop). Registered in the loop's epoll like any socket.
+class EventFd {
+ public:
+  EventFd();
+  ~EventFd();
+  EventFd(const EventFd&) = delete;
+  EventFd& operator=(const EventFd&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Wakes any epoll_wait watching the fd. Async-signal-safe, never
+  /// blocks (the counter saturates harmlessly).
+  void Signal();
+  /// Consumes all pending signals so the level-triggered epoll quiets.
+  void Drain();
+
+ private:
+  int fd_ = -1;
 };
 
 /// Binds and listens on host:port (port 0 = ephemeral). On success fills

@@ -94,6 +94,31 @@ class RemoteStore::Connection {
     return true;
   }
 
+  /// Pipelined exchange: `encoded` holds `count` fully framed requests.
+  /// One send, then `count` in-order reply frames appended to `replies`.
+  /// Parks any live scan stream first so its batch frames cannot be
+  /// mistaken for replies.
+  bool Exchange(std::string_view encoded, size_t count,
+                std::vector<Frame>* replies) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (broken_) return false;
+    ParkActiveStreamLocked();
+    if (broken_) return false;
+    if (!socket_.WriteFull(encoded.data(), encoded.size())) {
+      MarkBrokenLocked();
+      return false;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      Frame frame;
+      if (!socket_.ReadFrame(&frame) || frame.type != MsgType::kReply) {
+        MarkBrokenLocked();
+        return false;
+      }
+      replies->push_back(std::move(frame));
+    }
+    return true;
+  }
+
   /// Opens a scan stream, parking the previous one if still live. Null on
   /// I/O failure.
   std::shared_ptr<StreamState> StartScan(std::string_view body) {
@@ -519,6 +544,195 @@ class RemoteTxn : public StoreTxn {
   bool dead_;  // never had a connection: kUnavailable, not kNotActive
   bool open_;
 };
+
+// --- Pipeline -------------------------------------------------------------
+
+namespace {
+
+/// One pipelined send is capped so its replies (small, but nonzero) can
+/// never outgrow the server's per-connection output watermarks while the
+/// client is still writing — the classic pipelining deadlock.
+constexpr size_t kPipelineChunkBytes = 256u << 10;
+
+}  // namespace
+
+RemoteStore::Pipeline::Pipeline(RemoteStore* store,
+                                std::shared_ptr<Connection> connection,
+                                uint64_t txn_id)
+    : store_(store),
+      connection_(std::move(connection)),
+      txn_id_(txn_id),
+      open_(connection_ != nullptr) {}
+
+RemoteStore::Pipeline::~Pipeline() { Abort(); }
+
+void RemoteStore::Pipeline::Queue(MsgType type, std::string_view body) {
+  if (!open_) return;
+  EncodeFrame(type, kFlagNone, body, &batch_);
+  ends_.push_back(batch_.size());
+}
+
+void RemoteStore::Pipeline::AddNode(std::string_view data) {
+  std::string body;
+  WireWriter writer(&body);
+  writer.PutU64(txn_id_);
+  writer.PutBytes(data);
+  Queue(MsgType::kAddNode, body);
+}
+
+void RemoteStore::Pipeline::UpdateNode(vertex_t id, std::string_view data) {
+  std::string body;
+  WireWriter writer(&body);
+  writer.PutU64(txn_id_);
+  writer.PutI64(id);
+  writer.PutBytes(data);
+  Queue(MsgType::kUpdateNode, body);
+}
+
+void RemoteStore::Pipeline::DeleteNode(vertex_t id) {
+  std::string body;
+  WireWriter writer(&body);
+  writer.PutU64(txn_id_);
+  writer.PutI64(id);
+  Queue(MsgType::kDeleteNode, body);
+}
+
+void RemoteStore::Pipeline::AddLink(vertex_t src, label_t label,
+                                    vertex_t dst, std::string_view data) {
+  std::string body;
+  WireWriter writer(&body);
+  writer.PutU64(txn_id_);
+  writer.PutI64(src);
+  writer.PutU16(label);
+  writer.PutI64(dst);
+  writer.PutBytes(data);
+  Queue(MsgType::kAddLink, body);
+}
+
+void RemoteStore::Pipeline::UpdateLink(vertex_t src, label_t label,
+                                       vertex_t dst, std::string_view data) {
+  std::string body;
+  WireWriter writer(&body);
+  writer.PutU64(txn_id_);
+  writer.PutI64(src);
+  writer.PutU16(label);
+  writer.PutI64(dst);
+  writer.PutBytes(data);
+  Queue(MsgType::kUpdateLink, body);
+}
+
+void RemoteStore::Pipeline::DeleteLink(vertex_t src, label_t label,
+                                       vertex_t dst) {
+  std::string body;
+  WireWriter writer(&body);
+  writer.PutU64(txn_id_);
+  writer.PutI64(src);
+  writer.PutU16(label);
+  writer.PutI64(dst);
+  Queue(MsgType::kDeleteLink, body);
+}
+
+bool RemoteStore::Pipeline::Flush(std::vector<Status>* statuses) {
+  if (statuses != nullptr) statuses->clear();
+  if (!open_) return false;
+  if (ends_.empty()) return true;
+  std::vector<Frame> replies;
+  size_t first = 0;
+  size_t first_off = 0;
+  while (first < ends_.size()) {
+    // At least one frame per chunk; otherwise as many as fit the cap.
+    size_t last = first + 1;
+    while (last < ends_.size() &&
+           ends_[last] - first_off <= kPipelineChunkBytes) {
+      ++last;
+    }
+    size_t last_off = ends_[last - 1];
+    std::string_view chunk =
+        std::string_view(batch_).substr(first_off, last_off - first_off);
+    if (!connection_->Exchange(chunk, last - first, &replies)) {
+      open_ = false;
+      Release();
+      return false;
+    }
+    first = last;
+    first_off = last_off;
+  }
+  if (statuses != nullptr) {
+    statuses->reserve(replies.size());
+    for (const Frame& reply : replies) {
+      WireReader reader(reply.body);
+      uint8_t status;
+      statuses->push_back(reader.GetU8(&status) ? StatusFromWire(status)
+                                                : Status::kUnavailable);
+    }
+  }
+  batch_.clear();
+  ends_.clear();
+  return true;
+}
+
+StatusOr<timestamp_t> RemoteStore::Pipeline::Commit() {
+  if (!open_) return Status::kUnavailable;
+  if (!Flush(nullptr)) return Status::kUnavailable;
+  std::string body;
+  WireWriter writer(&body);
+  writer.PutU64(txn_id_);
+  Frame reply;
+  bool ok = connection_->Call(MsgType::kCommit, body, &reply);
+  open_ = false;
+  Release();
+  if (!ok) return Status::kUnavailable;
+  WireReader reader(reply.body);
+  uint8_t status;
+  if (!reader.GetU8(&status)) return Status::kUnavailable;
+  Status decoded = StatusFromWire(status);
+  if (decoded != Status::kOk) return decoded;
+  int64_t epoch;
+  if (!reader.GetI64(&epoch)) return Status::kUnavailable;
+  store_->NoteCommitEpoch(epoch);
+  return epoch;
+}
+
+void RemoteStore::Pipeline::Abort() {
+  if (!open_) return;
+  batch_.clear();
+  ends_.clear();
+  std::string body;
+  WireWriter writer(&body);
+  writer.PutU64(txn_id_);
+  Frame reply;
+  connection_->Call(MsgType::kAbort, body, &reply);
+  open_ = false;
+  Release();
+}
+
+void RemoteStore::Pipeline::Release() {
+  if (connection_ != nullptr) {
+    store_->ReleaseConnection(std::move(connection_), /*replica=*/false);
+    connection_ = nullptr;
+  }
+}
+
+std::unique_ptr<RemoteStore::Pipeline> RemoteStore::NewPipeline() {
+  std::shared_ptr<Connection> connection =
+      AcquireConnection(/*replica=*/false);
+  uint64_t txn_id = 0;
+  if (connection != nullptr) {
+    Frame reply;
+    if (connection->Call(MsgType::kBeginTxn, {}, &reply)) {
+      WireReader reader(reply.body);
+      uint8_t status;
+      if (!reader.GetU8(&status) || StatusFromWire(status) != Status::kOk ||
+          !reader.GetU64(&txn_id)) {
+        connection = nullptr;
+      }
+    } else {
+      connection = nullptr;
+    }
+  }
+  return std::unique_ptr<Pipeline>(
+      new Pipeline(this, std::move(connection), txn_id));
+}
 
 std::unique_ptr<RemoteStore> RemoteStore::Connect(const Options& options) {
   std::string name;

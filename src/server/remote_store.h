@@ -30,6 +30,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/store.h"
@@ -39,6 +40,8 @@ namespace livegraph {
 namespace metrics {
 struct Snapshot;
 }  // namespace metrics
+
+enum class MsgType : uint8_t;  // server/protocol.h
 
 class RemoteStore : public Store {
  public:
@@ -91,6 +94,66 @@ class RemoteStore : public Store {
 
   std::unique_ptr<StoreTxn> BeginTxn() override;
   std::unique_ptr<StoreReadTxn> BeginReadTxn() override;
+
+  /// Client-side request pipelining over one pooled connection, the
+  /// client knob for the server's in-connection pipelining (docs/SERVER.md
+  /// "Event loop"): queue mutations locally, then Flush() ships every
+  /// queued frame in one send and reads the replies in order — K ops cost
+  /// one round trip instead of K. A pipeline owns a private server-side
+  /// write transaction; Commit() flushes whatever is queued, then commits.
+  /// Flush chunks very large batches (a bounded number of request bytes
+  /// per send) so the reply backlog can never deadlock against the
+  /// server's per-connection output backpressure.
+  class Pipeline {
+   public:
+    ~Pipeline();
+    Pipeline(const Pipeline&) = delete;
+    Pipeline& operator=(const Pipeline&) = delete;
+
+    /// False when the session could not be opened or the transport died;
+    /// every further call fails with kUnavailable.
+    bool ok() const { return open_; }
+
+    // Queue mutations (no I/O until Flush/Commit).
+    void AddNode(std::string_view data);
+    void UpdateNode(vertex_t id, std::string_view data);
+    void DeleteNode(vertex_t id);
+    void AddLink(vertex_t src, label_t label, vertex_t dst,
+                 std::string_view data);
+    void UpdateLink(vertex_t src, label_t label, vertex_t dst,
+                    std::string_view data);
+    void DeleteLink(vertex_t src, label_t label, vertex_t dst);
+    size_t pending() const { return ends_.size(); }
+
+    /// Ships every queued request, reads the replies in order. When
+    /// `statuses` is non-null it receives one Status per queued op (queue
+    /// order). False on transport failure (the session is dead).
+    bool Flush(std::vector<Status>* statuses = nullptr);
+    /// Flush + commit the underlying transaction.
+    StatusOr<timestamp_t> Commit();
+    /// Flush-discarding abort; the connection returns to the pool.
+    void Abort();
+
+   private:
+    friend class RemoteStore;
+    Pipeline(RemoteStore* store, std::shared_ptr<Connection> connection,
+             uint64_t txn_id);
+
+    void Queue(MsgType type, std::string_view body);
+    /// Returns the (healthy) connection to the pool.
+    void Release();
+
+    RemoteStore* store_;
+    std::shared_ptr<Connection> connection_;
+    uint64_t txn_id_ = 0;
+    bool open_ = false;
+    std::string batch_;          // queued frames, already encoded
+    std::vector<size_t> ends_;   // cumulative end offset of each frame
+  };
+
+  /// Opens a pipeline (one round trip for its BeginTxn). Never null; a
+  /// failed open yields a pipeline whose ok() is false.
+  std::unique_ptr<Pipeline> NewPipeline();
 
   /// Fetches the server's metrics snapshot via the STATS opcode
   /// (docs/OBSERVABILITY.md), using a pooled connection. False on I/O

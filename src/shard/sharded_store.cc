@@ -287,6 +287,21 @@ class ShardedWriteTxn : public StoreTxn {
     if (active_) AbortAll();
   }
 
+  // Every engaged per-shard piece migrates its debug-ledger state; the
+  // futex locks themselves are not thread-affine (core/transaction.h
+  // "Cross-thread hand-off").
+  bool SupportsThreadHandoff() const override { return true; }
+  void DetachFromThread() override {
+    for (auto& txn : txns_) {
+      if (txn.has_value()) txn->DetachFromThread();
+    }
+  }
+  void AttachToThread() override {
+    for (auto& txn : txns_) {
+      if (txn.has_value()) txn->AttachToThread();
+    }
+  }
+
  private:
   /// The shard's native transaction, opened on first touch AT the
   /// session's up-front pinned epoch — one consistent read view across

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -37,6 +38,11 @@ struct Harness {
     engine = std::make_unique<LiveGraphStore>(SmallGraphOptions());
     GraphServer::Options options;
     options.scan_batch_edges = scan_batch_edges;
+    // CI hook: LG_TEST_REACTORS pins the event-loop count (the tsan job
+    // runs these integration tests at 2); unset keeps the default.
+    if (const char* env = std::getenv("LG_TEST_REACTORS")) {
+      options.reactors = std::atoi(env);
+    }
     server = std::make_unique<GraphServer>(*engine, options);
     EXPECT_TRUE(server->Start());
     client = RemoteStore::Connect("127.0.0.1", server->port());

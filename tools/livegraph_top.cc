@@ -125,6 +125,36 @@ void RenderDashboard(const Snapshot& now, const Snapshot& prev,
             1e6);
   }
 
+  // Event-loop frontend (docs/SERVER.md "Event loop"); absent under the
+  // legacy blocking transport. Loop count and connection total come from
+  // the per-reactor connection gauges.
+  int reactor_loops = 0;
+  long long reactor_conns = 0;
+  constexpr std::string_view kReactorConnsPrefix =
+      "livegraph_server_reactor_connections{";
+  for (const auto& [name, value] : now.gauges) {
+    if (std::string_view(name).substr(0, kReactorConnsPrefix.size()) ==
+        kReactorConnsPrefix) {
+      ++reactor_loops;
+      reactor_conns += value;
+    }
+  }
+  if (reactor_loops > 0) {
+    const HistogramSample* frames =
+        now.histogram("livegraph_server_frames_per_wakeup");
+    const HistogramSample* pending =
+        now.histogram("livegraph_server_pending_write_bytes");
+    std::printf(
+        "reactors %d  conns %lld  wakeups/s %.0f  frames/wakeup p50 %llu  "
+        "pending_write p99 %.1f KB  idle_closed %llu\n",
+        reactor_loops, reactor_conns,
+        Rate(now, prev, "livegraph_server_reactor_wakeups_total"),
+        static_cast<unsigned long long>(frames != nullptr ? frames->p50 : 0),
+        static_cast<double>(pending != nullptr ? pending->p99 : 0) / 1e3,
+        static_cast<unsigned long long>(
+            now.counter("livegraph_server_idle_closed_total")));
+  }
+
   // Per-opcode table, skipping opcodes that have never been seen.
   std::printf("\n%-18s %10s %10s %10s %10s\n", "op", "req/s", "total",
               "p50 ms", "p99 ms");
